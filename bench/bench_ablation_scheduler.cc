@@ -1,0 +1,78 @@
+// Ablation: Converge scheduler design choices (DESIGN.md starred items).
+//
+// Sweeps two of the video-aware scheduler's load-bearing parameters on the
+// driving scenario:
+//  * P_max probing headroom — how far positive feedback may push a path
+//    past its congestion-controller rate (1.0 disables in-band probing);
+//  * alpha decay — how quickly receiver feedback stops biasing the split
+//    (0 makes feedback permanent, large values make it ephemeral).
+// Also compares the FEC beta ceiling (NACK-driven protection boost).
+#include "bench/bench_util.h"
+
+using namespace converge;
+using namespace converge::bench;
+
+namespace {
+
+Aggregate RunDriving(const CallConfig& base, int seeds) {
+  return RunMany(
+      base,
+      [](uint64_t seed) { return ScenarioPaths(Scenario::kDriving, seed); },
+      seeds);
+}
+
+}  // namespace
+
+int main() {
+  Header("Ablation — video-aware scheduler parameters (driving)");
+  const int seeds = FastMode() ? 1 : 3;
+
+  std::printf("\nP_max headroom (in-band probing allowance):\n");
+  std::printf("%10s %8s %10s %12s %10s\n", "headroom", "fps", "tput Mbps",
+              "freeze(ms)", "drops");
+  for (double headroom : {1.0, 1.3, 1.6, 2.0, 3.0}) {
+    CallConfig config;
+    config.variant = Variant::kConverge;
+    config.duration = CallLength();
+    config.video_scheduler.pmax_headroom = headroom;
+    const Aggregate a = RunDriving(config, seeds);
+    std::printf("%10.1f %8.1f %10.2f %12.0f %10.0f\n", headroom, a.fps.mean(),
+                a.tput_mbps.mean(), a.freeze_ms.mean(), a.frame_drops.mean());
+  }
+
+  std::printf("\nAlpha decay rate (1/s) — how long QoE feedback biases the "
+              "split:\n");
+  std::printf("%10s %8s %10s %12s %10s\n", "decay", "fps", "tput Mbps",
+              "freeze(ms)", "drops");
+  for (double decay : {0.05, 0.2, 0.4, 1.0, 3.0}) {
+    CallConfig config;
+    config.variant = Variant::kConverge;
+    config.duration = CallLength();
+    config.video_scheduler.alpha_decay_per_s = decay;
+    const Aggregate a = RunDriving(config, seeds);
+    std::printf("%10.2f %8.1f %10.2f %12.0f %10.0f\n", decay, a.fps.mean(),
+                a.tput_mbps.mean(), a.freeze_ms.mean(), a.frame_drops.mean());
+  }
+
+  std::printf("\nFEC beta ceiling (NACK-driven protection boost, §4.3):\n");
+  std::printf("%10s %8s %12s %12s %12s\n", "max beta", "fps", "fec ovh(%)",
+              "fec util(%)", "freeze(ms)");
+  for (double max_beta : {1.0, 2.0, 4.0, 8.0}) {
+    CallConfig config;
+    config.variant = Variant::kConverge;
+    config.duration = CallLength();
+    config.converge_fec.max_beta = max_beta;
+    const Aggregate a = RunDriving(config, seeds);
+    std::printf("%10.1f %8.1f %12.2f %12.1f %12.0f\n", max_beta, a.fps.mean(),
+                a.fec_overhead.mean() * 100, a.fec_utilization.mean() * 100,
+                a.freeze_ms.mean());
+  }
+
+  std::printf("\nReading: large P_max headroom lets positive feedback "
+              "overload a path\n(freezes grow with headroom); slow alpha "
+              "decay (~0.05/s) strands capacity\nafter transient events "
+              "(most freezes), while faster decay recovers it.\nA higher "
+              "beta ceiling buys FEC utilization at slightly more "
+              "overhead.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Figure 12, Figure 13 and Table 5: QoE trade-off analysis of FEC (§6.2).
+//
+// Controlled environment: two 15 Mbps paths, 100 ms propagation delay,
+// i.i.d. loss swept 0-10%. Compares Converge's path-specific loss-based FEC
+// against WebRTC's static table-based FEC (running on the same video-aware
+// scheduler so only the FEC policy differs):
+//   Fig 12  FEC overhead and utilization vs loss
+//   Fig 13  media throughput vs E2E delay trade-off
+//   Table 5 % QoE improvement (drops / freeze / keyframe requests) per loss
+#include "bench/bench_util.h"
+
+using namespace converge;
+using namespace converge::bench;
+
+namespace {
+
+std::vector<PathSpec> LossyPaths(double loss) {
+  auto make = [&](const char* name, int delay_ms) {
+    PathSpec spec;
+    spec.name = name;
+    spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(15));
+    spec.prop_delay = Duration::Millis(delay_ms);
+    if (loss > 0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+    return spec;
+  };
+  // 100 ms propagation delay total across the pair (paper: 100 ms).
+  return {make("p1", 50), make("p2", 50)};
+}
+
+}  // namespace
+
+int main() {
+  Header("Figures 12/13 + Table 5 — path-specific FEC vs WebRTC's "
+         "table-based FEC (2x15 Mbps, 100 ms, loss sweep)");
+
+  struct Row {
+    double loss;
+    Aggregate converge;
+    Aggregate table;
+  };
+  std::vector<Row> rows;
+  const std::vector<double> losses = FastMode()
+                                         ? std::vector<double>{0.01, 0.05, 0.10}
+                                         : std::vector<double>{0.0,  0.01, 0.02,
+                                                               0.03, 0.04, 0.05,
+                                                               0.06, 0.07, 0.08,
+                                                               0.09, 0.10};
+  for (double loss : losses) {
+    Row row;
+    row.loss = loss;
+    CallConfig base;
+    base.duration = CallLength();
+    base.variant = Variant::kConverge;
+    row.converge = RunMany(
+        base, [loss](uint64_t) { return LossyPaths(loss); }, NumSeeds());
+    base.variant = Variant::kConvergeWebRtcFec;
+    row.table = RunMany(
+        base, [loss](uint64_t) { return LossyPaths(loss); }, NumSeeds());
+    rows.push_back(row);
+    std::fprintf(stderr, "  done loss=%.0f%%\n", loss * 100);
+  }
+
+  std::printf("\nFigure 12: FEC overhead and utilization vs loss\n");
+  std::printf("%8s | %14s %14s | %14s %14s\n", "loss(%)", "Cv ovh(%)",
+              "Cv util(%)", "Tbl ovh(%)", "Tbl util(%)");
+  for (const Row& r : rows) {
+    std::printf("%8.0f | %14.1f %14.1f | %14.1f %14.1f\n", r.loss * 100,
+                r.converge.fec_overhead.mean() * 100,
+                r.converge.fec_utilization.mean() * 100,
+                r.table.fec_overhead.mean() * 100,
+                r.table.fec_utilization.mean() * 100);
+  }
+
+  std::printf("\nFigure 13: throughput vs E2E delay trade-off (one point per "
+              "loss level)\n");
+  std::printf("%8s | %12s %12s | %12s %12s\n", "loss(%)", "Cv tput",
+              "Cv e2e(ms)", "Tbl tput", "Tbl e2e(ms)");
+  for (const Row& r : rows) {
+    std::printf("%8.0f | %12.2f %12.0f | %12.2f %12.0f\n", r.loss * 100,
+                r.converge.tput_mbps.mean(), r.converge.e2e_ms.mean(),
+                r.table.tput_mbps.mean(), r.table.e2e_ms.mean());
+  }
+
+  auto improvement = [](double conv, double table) {
+    if (table <= 0) return 0.0;
+    return (1.0 - conv / table) * 100.0;
+  };
+  std::printf("\nTable 5: %% QoE improvement of path-specific FEC over "
+              "table-based FEC\n(absolute Converge/table values in "
+              "parentheses)\n");
+  std::printf("%8s %26s %26s %26s\n", "loss(%)", "frame drops", "freeze(ms)",
+              "keyframe reqs");
+  for (const Row& r : rows) {
+    if (r.loss == 0.0) continue;
+    char drops[40], freeze[40], kf[40];
+    std::snprintf(drops, sizeof(drops), "%.0f%% (%.0f/%.0f)",
+                  improvement(r.converge.frame_drops.mean(),
+                              r.table.frame_drops.mean()),
+                  r.converge.frame_drops.mean(), r.table.frame_drops.mean());
+    std::snprintf(freeze, sizeof(freeze), "%.0f%% (%.0f/%.0f)",
+                  improvement(r.converge.freeze_ms.mean(),
+                              r.table.freeze_ms.mean()),
+                  r.converge.freeze_ms.mean(), r.table.freeze_ms.mean());
+    std::snprintf(kf, sizeof(kf), "%.0f%% (%.1f/%.1f)",
+                  improvement(r.converge.keyframe_requests.mean(),
+                              r.table.keyframe_requests.mean()),
+                  r.converge.keyframe_requests.mean(),
+                  r.table.keyframe_requests.mean());
+    std::printf("%8.0f %26s %26s %26s\n", r.loss * 100, drops, freeze, kf);
+  }
+
+  std::printf("\nPaper shape check: table FEC sends ~40%% overhead at 1%% "
+              "loss with <20%% used;\nConverge sends a few %% with high "
+              "utilization, sits upper-left in Fig 13\n(more throughput, "
+              "less delay), and improves drops/freezes at every loss.\n");
+  return 0;
+}

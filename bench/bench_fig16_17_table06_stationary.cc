@@ -1,0 +1,119 @@
+// Appendix A (Figures 16/17, Table 6): the stationary scenario.
+// Converge on WiFi + T-Mobile vs single-path WebRTC-W / WebRTC-T.
+#include "bench/bench_util.h"
+#include "util/csv.h"
+
+using namespace converge;
+using namespace converge::bench;
+
+int main() {
+  Header("Figures 16/17 + Table 6 — stationary scenario (WiFi + T-Mobile)");
+
+  const uint64_t seed = 3100;
+  auto run = [&](Variant v) {
+    CallConfig config;
+    config.variant = v;
+    config.paths = ScenarioPaths(Scenario::kStationary, seed);
+    config.duration = CallLength();
+    config.seed = seed;
+    Call call(config);
+    return call.Run();
+  };
+  const CallStats conv = run(Variant::kConverge);
+  const CallStats wifi = run(Variant::kWebRtcPath0);
+  const CallStats tmob = run(Variant::kWebRtcPath1);
+
+  std::printf("\nFigure 16: per-second tput (Mbps) / fps / E2E (ms)\n");
+  std::printf("%5s | %6s %5s %6s | %6s %5s %6s | %6s %5s %6s\n", "t",
+              "Cv", "fps", "e2e", "W-W", "fps", "e2e", "W-T", "fps", "e2e");
+  CsvWriter csv("fig16_stationary.csv",
+                {"t_s", "cv_tput", "cv_fps", "cv_e2e", "w_tput", "w_fps",
+                 "w_e2e", "t_tput", "t_fps", "t_e2e"});
+  const size_t n = std::min(
+      {conv.time_series.size(), wifi.time_series.size(), tmob.time_series.size()});
+  for (size_t i = 0; i < n; ++i) {
+    const auto& c = conv.time_series[i];
+    const auto& w = wifi.time_series[i];
+    const auto& t = tmob.time_series[i];
+    csv.Row({c.t_s, c.tput_mbps, c.fps, c.e2e_ms, w.tput_mbps, w.fps, w.e2e_ms,
+             t.tput_mbps, t.fps, t.e2e_ms});
+    if (i % 5 == 0) {
+      std::printf("%5.0f | %6.2f %5.1f %6.0f | %6.2f %5.1f %6.0f | %6.2f %5.1f %6.0f\n",
+                  c.t_s, c.tput_mbps, c.fps, c.e2e_ms, w.tput_mbps, w.fps,
+                  w.e2e_ms, t.tput_mbps, t.fps, t.e2e_ms);
+    }
+  }
+  std::printf("(full series written to fig16_stationary.csv)\n");
+
+  // Figure 17 + Table 6 across seeds and stream counts.
+  const std::vector<std::pair<Variant, std::string>> systems = {
+      {Variant::kWebRtcPath0, "WebRTC-W"},
+      {Variant::kWebRtcPath1, "WebRTC-T"},
+      {Variant::kConverge, "Converge"}};
+  std::vector<std::vector<Aggregate>> agg(systems.size(),
+                                          std::vector<Aggregate>(3));
+  for (size_t i = 0; i < systems.size(); ++i) {
+    for (int streams = 1; streams <= 3; ++streams) {
+      CallConfig config;
+      config.variant = systems[i].first;
+      config.num_streams = streams;
+      config.duration = CallLength();
+      agg[i][streams - 1] = RunMany(
+          config,
+          [](uint64_t s) { return ScenarioPaths(Scenario::kStationary, s); },
+          NumSeeds());
+      std::fprintf(stderr, "  done %s x %d\n", systems[i].second.c_str(),
+                   streams);
+    }
+  }
+
+  std::printf("\nFigure 17: normalized QoE (1 camera)\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "system", "tput/10M", "fps/24",
+              "stall(s)", "QP/60");
+  for (size_t i = 0; i < systems.size(); ++i) {
+    const Aggregate& a = agg[i][0];
+    std::printf("%-10s %10.2f %10.2f %10.1f %10.2f\n",
+                systems[i].second.c_str(), NormTput(a.tput_mbps.mean(), 1),
+                NormFps(a.fps.mean()), a.freeze_ms.mean() / 1000.0,
+                NormQp(a.qp.mean()));
+  }
+
+  auto table = [&](const char* title,
+                   const std::function<std::string(const Aggregate&)>& cell) {
+    std::printf("\nTable 6: %s\n%-4s", title, "#");
+    for (const auto& [v, name] : systems) std::printf(" %18s", name.c_str());
+    std::printf("\n");
+    for (int s = 0; s < 3; ++s) {
+      std::printf("%-4d", s + 1);
+      for (size_t i = 0; i < systems.size(); ++i) {
+        std::printf(" %18s", cell(agg[i][s]).c_str());
+      }
+      std::printf("\n");
+    }
+  };
+  table("end-to-end latency (ms)", [](const Aggregate& a) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f +- %.0f", a.e2e_ms.mean(),
+                  a.e2e_ms.stddev());
+    return std::string(buf);
+  });
+  table("FEC overhead (%)", [](const Aggregate& a) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f +- %.2f", a.fec_overhead.mean() * 100,
+                  a.fec_overhead.stddev() * 100);
+    return std::string(buf);
+  });
+  table("FEC utilization (%)", [](const Aggregate& a) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f +- %.1f",
+                  a.fec_utilization.mean() * 100,
+                  a.fec_utilization.stddev() * 100);
+    return std::string(buf);
+  });
+
+  std::printf("\nPaper shape check: with stable WiFi, Converge ~= WebRTC-W "
+              "on FPS/stalls but\nbeats WebRTC-T clearly; Converge's "
+              "throughput gain grows with camera count;\nFEC overhead is "
+              "minimal for everyone (little loss when stationary).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Appendix D (Figures 20-22): bandwidth dynamics of the three scenarios.
+// Prints summary statistics and a per-second dump of each generated trace,
+// and writes them to CSV for plotting.
+#include "bench/bench_util.h"
+#include "util/csv.h"
+
+using namespace converge;
+using namespace converge::bench;
+
+int main() {
+  Header("Figures 20-22 — bandwidth traces (stationary / walking / driving)");
+
+  const uint64_t seed = 9;
+  TraceParams params;
+  params.length = Duration::Seconds(180);
+
+  struct Entry {
+    Scenario scenario;
+    std::vector<Carrier> carriers;
+  };
+  const std::vector<Entry> entries = {
+      {Scenario::kStationary, {Carrier::kWifi, Carrier::kTmobile}},
+      {Scenario::kWalking, {Carrier::kWifi, Carrier::kTmobile}},
+      {Scenario::kDriving, {Carrier::kVerizon, Carrier::kTmobile}},
+  };
+
+  for (const Entry& entry : entries) {
+    std::printf("\n--- %s ---\n", ToString(entry.scenario).c_str());
+    std::vector<BandwidthTrace> traces;
+    std::vector<std::string> header = {"t_s"};
+    for (size_t c = 0; c < entry.carriers.size(); ++c) {
+      traces.push_back(GenerateBandwidth(entry.scenario, entry.carriers[c],
+                                         seed + c, params));
+      header.push_back(ToString(entry.carriers[c]));
+    }
+    header.push_back("sum");
+
+    const std::string csv_name =
+        "fig20_22_" + ToString(entry.scenario) + ".csv";
+    CsvWriter csv(csv_name, header);
+
+    std::vector<RunningStat> stats(traces.size());
+    RunningStat sum_stat;
+    double below_10_s = 0;  // seconds where even the sum < 10 Mbps
+    for (int t = 0; t < 180; ++t) {
+      std::vector<double> row = {static_cast<double>(t)};
+      double sum = 0;
+      for (size_t c = 0; c < traces.size(); ++c) {
+        const double mbps = traces[c].CapacityAt(Timestamp::Seconds(t)).mbps();
+        stats[c].Add(mbps);
+        row.push_back(mbps);
+        sum += mbps;
+      }
+      sum_stat.Add(sum);
+      if (sum < 10.0) below_10_s += 1.0;
+      row.push_back(sum);
+      csv.Row(row);
+    }
+
+    for (size_t c = 0; c < traces.size(); ++c) {
+      std::printf("  %-9s mean=%6.2f Mbps  std=%5.2f  min=%5.2f  max=%6.2f\n",
+                  ToString(entry.carriers[c]).c_str(), stats[c].mean(),
+                  stats[c].stddev(), stats[c].min(), stats[c].max());
+    }
+    std::printf("  %-9s mean=%6.2f Mbps  min=%5.2f   (< 10 Mbps for %.0f s "
+                "of 180 s)\n",
+                "sum", sum_stat.mean(), sum_stat.min(), below_10_s);
+    std::printf("  (trace written to %s)\n", csv_name.c_str());
+  }
+
+  std::printf("\nPaper shape check (Appendix D): stationary traces nearly "
+              "always cover 10 Mbps;\nwalking dips below occasionally; "
+              "driving swings hard and even the sum of both\ncarriers "
+              "briefly fails to reach 10 Mbps.\n");
+  return 0;
+}

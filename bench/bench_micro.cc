@@ -1,0 +1,167 @@
+// Micro-benchmarks (google-benchmark) for the hot components: the packet
+// scheduler decision, XOR FEC encode/recover, the trendline estimator,
+// packet-buffer insertion, trace sampling, and raw event-loop throughput.
+#include <benchmark/benchmark.h>
+
+#include "cc/trendline.h"
+#include "core/video_aware_scheduler.h"
+#include "fec/xor_fec.h"
+#include "net/trace.h"
+#include "receiver/fec_recovery.h"
+#include "receiver/packet_buffer.h"
+#include "rtp/rtp_packet.h"
+#include "sim/event_loop.h"
+#include "util/random.h"
+
+namespace converge {
+namespace {
+
+std::vector<RtpPacket> MakeFrame(int media) {
+  std::vector<RtpPacket> out;
+  uint16_t seq = 0;
+  RtpPacket pps;
+  pps.seq = seq++;
+  pps.kind = PayloadKind::kPps;
+  pps.priority = Priority::kPps;
+  pps.payload_bytes = 20;
+  out.push_back(pps);
+  for (int i = 0; i < media; ++i) {
+    RtpPacket p;
+    p.seq = seq++;
+    p.kind = PayloadKind::kMedia;
+    p.payload_bytes = 1100;
+    out.push_back(p);
+  }
+  out.front().first_in_frame = true;
+  out.back().last_in_frame = true;
+  out.back().marker = true;
+  return out;
+}
+
+std::vector<PathInfo> MakePaths(int n) {
+  std::vector<PathInfo> paths;
+  for (int i = 0; i < n; ++i) {
+    PathInfo p;
+    p.id = i;
+    p.allocated_rate = DataRate::MegabitsPerSec(5 + i * 3);
+    p.goodput = p.allocated_rate;
+    p.srtt = Duration::Millis(30 + 20 * i);
+    paths.push_back(p);
+  }
+  return paths;
+}
+
+void BM_VideoAwareAssignFrame(benchmark::State& state) {
+  VideoAwareScheduler sched;
+  const auto frame = MakeFrame(static_cast<int>(state.range(0)));
+  const auto paths = MakePaths(static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.AssignFrame(frame, paths));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(frame.size()));
+}
+BENCHMARK(BM_VideoAwareAssignFrame)
+    ->Args({10, 2})
+    ->Args({40, 2})
+    ->Args({40, 4})
+    ->Args({200, 4});
+
+void BM_XorFecGenerate(benchmark::State& state) {
+  const auto frame = MakeFrame(static_cast<int>(state.range(0)));
+  std::vector<const RtpPacket*> ptrs;
+  for (const auto& p : frame) ptrs.push_back(&p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        XorFecEncoder::Generate(ptrs, static_cast<int>(state.range(1)), 1));
+  }
+}
+BENCHMARK(BM_XorFecGenerate)->Args({10, 1})->Args({40, 4})->Args({200, 10});
+
+void BM_FecRecovery(benchmark::State& state) {
+  const auto frame = MakeFrame(20);
+  std::vector<const RtpPacket*> ptrs;
+  for (const auto& p : frame) ptrs.push_back(&p);
+  const auto parity = XorFecEncoder::Generate(ptrs, 2, 1);
+  for (auto _ : state) {
+    int recovered = 0;
+    FecRecoverer rec([&](const RtpPacket&) { ++recovered; });
+    for (size_t i = 1; i < frame.size(); ++i) rec.OnMediaPacket(frame[i]);
+    for (const auto& f : parity) rec.OnFecPacket(f);
+    benchmark::DoNotOptimize(recovered);
+  }
+}
+BENCHMARK(BM_FecRecovery);
+
+void BM_TrendlineUpdate(benchmark::State& state) {
+  TrendlineEstimator est;
+  Timestamp send = Timestamp::Zero();
+  for (auto _ : state) {
+    send += Duration::Millis(10);
+    est.OnPacketFeedback(send, send + Duration::Millis(30));
+    benchmark::DoNotOptimize(est.State());
+  }
+}
+BENCHMARK(BM_TrendlineUpdate);
+
+void BM_PacketBufferInsertAssemble(benchmark::State& state) {
+  const int media = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    int assembled = 0;
+    PacketBuffer buffer({.capacity_packets = 2048},
+                        [&](GatheredFrame&&) { ++assembled; });
+    uint16_t seq = 0;
+    state.ResumeTiming();
+    for (int frame = 0; frame < 30; ++frame) {
+      for (int i = 0; i <= media; ++i) {
+        RtpPacket p;
+        p.ssrc = 1;
+        p.seq = seq++;
+        p.frame_id = frame;
+        p.first_in_frame = i == 0;
+        p.last_in_frame = i == media;
+        p.marker = i == media;
+        p.payload_bytes = 1100;
+        buffer.Insert(p, Timestamp::Millis(frame * 33), 0);
+      }
+    }
+    benchmark::DoNotOptimize(assembled);
+  }
+  state.SetItemsProcessed(state.iterations() * 30 * (media + 1));
+}
+BENCHMARK(BM_PacketBufferInsertAssemble)->Arg(10)->Arg(40);
+
+void BM_TraceLookup(benchmark::State& state) {
+  Random rng(1);
+  std::vector<TraceSample> samples;
+  for (int t = 0; t < 1800; ++t) {
+    samples.push_back({Timestamp::Millis(t * 100), rng.Uniform(1e6, 3e7)});
+  }
+  ValueTrace trace(std::move(samples));
+  int64_t t = 0;
+  for (auto _ : state) {
+    t = (t + 7919) % 500'000'000;
+    benchmark::DoNotOptimize(trace.ValueAt(Timestamp::Micros(t)));
+  }
+}
+BENCHMARK(BM_TraceLookup);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      loop.ScheduleAt(Timestamp::Micros(i * 37 % 100'000), [&] { ++fired; });
+    }
+    loop.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventLoopThroughput);
+
+}  // namespace
+}  // namespace converge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Shared helpers for the figure/table reproduction benches: multi-seed call
+// runners, mean +/- stddev aggregation, and the paper's QoE normalizations
+// (§6: throughput / 10 Mbps per stream, FPS / 24, QP / 60).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "session/call.h"
+#include "trace/generators.h"
+#include "util/stats.h"
+
+namespace converge::bench {
+
+// Honors CONVERGE_BENCH_FAST=1 for quick smoke runs of every bench.
+inline bool FastMode() {
+  const char* env = std::getenv("CONVERGE_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+inline Duration CallLength() {
+  return FastMode() ? Duration::Seconds(30) : Duration::Seconds(180);
+}
+
+inline int NumSeeds() {
+  if (const char* env = std::getenv("CONVERGE_BENCH_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return FastMode() ? 2 : 5;
+}
+
+// Aggregate of repeated calls.
+struct Aggregate {
+  RunningStat fps;
+  RunningStat freeze_ms;
+  RunningStat e2e_ms;
+  RunningStat tput_mbps;
+  RunningStat qp;
+  RunningStat psnr_db;
+  RunningStat frame_drops;
+  RunningStat keyframe_requests;
+  RunningStat fec_overhead;     // fraction
+  RunningStat fec_utilization;  // fraction
+};
+
+// Runs `seeds` calls; the path set is regenerated per seed (like repeating a
+// drive test on different days).
+inline Aggregate RunMany(
+    CallConfig base,
+    const std::function<std::vector<PathSpec>(uint64_t seed)>& paths_for_seed,
+    int seeds) {
+  Aggregate agg;
+  for (int i = 0; i < seeds; ++i) {
+    const uint64_t seed = 1000 + static_cast<uint64_t>(i) * 77;
+    CallConfig config = base;
+    config.seed = seed;
+    config.paths = paths_for_seed(seed);
+    Call call(config);
+    const CallStats stats = call.Run();
+    agg.fps.Add(stats.AvgFps());
+    agg.freeze_ms.Add(stats.AvgFreezeMs());
+    agg.e2e_ms.Add(stats.AvgE2eMs());
+    agg.tput_mbps.Add(stats.TotalTputMbps());
+    agg.qp.Add(stats.AvgQp());
+    agg.psnr_db.Add(stats.AvgPsnrDb());
+    agg.frame_drops.Add(static_cast<double>(stats.total_frame_drops));
+    agg.keyframe_requests.Add(
+        static_cast<double>(stats.total_keyframe_requests));
+    agg.fec_overhead.Add(stats.fec_overhead);
+    agg.fec_utilization.Add(stats.fec_utilization);
+  }
+  return agg;
+}
+
+inline std::vector<PathSpec> ScenarioPaths(Scenario scenario, uint64_t seed) {
+  TraceParams params;
+  params.length = CallLength();
+  return MakeScenarioPaths(scenario, seed, params);
+}
+
+// Paper §6 normalizations.
+inline double NormTput(double tput_mbps, int streams) {
+  return tput_mbps / (10.0 * streams);
+}
+inline double NormFps(double fps) { return fps / 24.0; }
+inline double NormQp(double qp) { return qp / 60.0; }
+
+inline std::string MeanStd(const RunningStat& s, const char* fmt = "%.1f") {
+  char a[32], b[32], out[80];
+  std::snprintf(a, sizeof(a), fmt, s.mean());
+  std::snprintf(b, sizeof(b), fmt, s.stddev());
+  std::snprintf(out, sizeof(out), "%s +- %s", a, b);
+  return out;
+}
+
+inline void Header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+}  // namespace converge::bench

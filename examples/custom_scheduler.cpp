@@ -1,0 +1,143 @@
+// Extending the public API: implement your own multipath scheduler and run
+// it inside a full conference call. This example builds a naive round-robin
+// scheduler (the simplest possible video-unaware policy) and shows how badly
+// it compares to Converge's video-aware scheduling on asymmetric paths —
+// reproducing the paper's core observation in ~40 lines of user code.
+//
+//   ./build/examples/custom_scheduler
+#include <cstdio>
+
+#include "core/video_aware_scheduler.h"
+#include "fec/webrtc_fec_controller.h"
+#include "session/call.h"
+
+using namespace converge;
+
+namespace {
+
+// A user-provided scheduler only has to implement AssignFrame.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "RoundRobin"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>& paths) override {
+    std::vector<PathId> out(packets.size(), kInvalidPathId);
+    if (paths.empty()) return out;
+    for (size_t i = 0; i < packets.size(); ++i) {
+      out[i] = paths[next_++ % paths.size()].id;
+    }
+    return out;
+  }
+
+ private:
+  size_t next_ = 0;
+};
+
+PathSpec MakePath(const char* name, double mbps, int delay_ms,
+                  double loss = 0.0) {
+  PathSpec spec;
+  spec.name = name;
+  spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+  spec.prop_delay = Duration::Millis(delay_ms);
+  if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+  return spec;
+}
+
+std::vector<PathSpec> AsymmetricPaths() {
+  // A good path and a slow, lossy one — the regime where video-unaware
+  // striping hurts (§2.3).
+  return {MakePath("fast", 12.0, 20), MakePath("slow", 6.0, 120, 0.04)};
+}
+
+// Drives a call manually with user-supplied scheduler + FEC controller,
+// using the same building blocks Call wires internally.
+CallStats RunWithCustomScheduler() {
+  EventLoop loop;
+  const std::vector<PathSpec> specs = AsymmetricPaths();
+  Random rng(1);
+  Network network(&loop, specs, rng.Fork());
+  RoundRobinScheduler scheduler;
+  WebRtcFecController fec;
+
+  MetricsCollector::Config mconf;
+  mconf.num_streams = 1;
+  MetricsCollector metrics(&loop, mconf);
+
+  Sender::Config sconf;
+  Sender::StreamConfig stream;
+  stream.ssrc = 0x1000;
+  sconf.streams.push_back(stream);
+  sconf.max_total_rate = DataRate::MegabitsPerSec(10);
+
+  std::unique_ptr<Sender> sender;
+  std::unique_ptr<ReceiverEndpoint> receiver;
+
+  sender = std::make_unique<Sender>(
+      &loop, sconf, &scheduler, &fec, network.path_ids(), rng.Fork(),
+      [&](PathId path, const RtpPacket& p) {
+        network.path(path).forward().Send(p.wire_size(), [&, p, path](Timestamp at) {
+          receiver->OnRtpPacket(p, at, path);
+        });
+      },
+      [&](PathId path, const RtcpPacket& p) {
+        network.path(path).forward().Send(p.wire_size(), [&, p, path](Timestamp at) {
+          receiver->OnRtcpPacket(p, at, path);
+        });
+      });
+
+  ReceiverEndpoint::Config rconf;
+  rconf.ssrcs = {0x1000};
+  receiver = std::make_unique<ReceiverEndpoint>(
+      &loop, rconf, &metrics, [&](PathId path, const RtcpPacket& p) {
+        network.path(path).backward().Send(p.wire_size(), [&, p](Timestamp at) {
+          sender->HandleRtcp(p, at);
+        });
+      });
+
+  receiver->Start();
+  sender->Start();
+  loop.RunUntil(Timestamp::Seconds(30));
+
+  CallStats stats;
+  const auto rx = receiver->stream(0).GetStats();
+  metrics.SetReceiverCounters(0, rx.FrameDrops(), rx.keyframe_requests);
+  stats.streams = metrics.AllStreams(Duration::Seconds(30));
+  stats.total_frame_drops = rx.FrameDrops();
+  stats.total_keyframe_requests = rx.keyframe_requests;
+  stats.media_packets_sent = sender->stats().media_packets_sent;
+  stats.rtx_packets_sent = sender->stats().rtx_packets_sent;
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Running custom round-robin scheduler...\n");
+  const CallStats rr = RunWithCustomScheduler();
+
+  std::printf("Running Converge on the same network...\n");
+  CallConfig config;
+  config.variant = Variant::kConverge;
+  config.paths = AsymmetricPaths();
+  config.duration = Duration::Seconds(30);
+  config.seed = 1;
+  Call call(config);
+  const CallStats conv = call.Run();
+
+  std::printf("\n== asymmetric paths: 12 Mbps/20 ms vs 6 Mbps/120 ms @ 4%% "
+              "loss ==\n");
+  auto report = [](const char* name, const CallStats& s) {
+    std::printf("%-12s fps=%5.1f  e2e=%6.1f ms  freeze=%6.0f ms  drops=%4lld  "
+                "rtx=%lld\n",
+                name, s.AvgFps(), s.AvgE2eMs(), s.AvgFreezeMs(),
+                static_cast<long long>(s.total_frame_drops),
+                static_cast<long long>(s.rtx_packets_sent));
+  };
+  report("RoundRobin", rr);
+  report("Converge", conv);
+  std::printf("\nBlind striping gates every frame on the slow lossy path "
+              "(E2E rides its 120 ms\n+ recovery), while Converge keeps "
+              "critical packets on the fast path (§3.1).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Multi-camera conferencing (the Dualgram/Duovision use case from §1):
+// three Full-HD camera streams over a driving scenario with Verizon +
+// T-Mobile traces, comparing Converge against the multipath baselines.
+//
+//   ./build/examples/multicam_conference [num_streams] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "session/call.h"
+#include "trace/generators.h"
+
+using namespace converge;
+
+int main(int argc, char** argv) {
+  const int num_streams = argc > 1 ? std::atoi(argv[1]) : 3;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  std::printf("== %d camera stream(s), driving traces (Verizon + T-Mobile), "
+              "60 s ==\n\n", num_streams);
+  std::printf("%-12s %8s %10s %10s %12s %10s\n", "variant", "FPS",
+              "tput Mbps", "E2E ms", "freeze ms", "drops");
+
+  for (Variant v : {Variant::kConverge, Variant::kSrtt, Variant::kMtput,
+                    Variant::kMrtp, Variant::kWebRtcPath0}) {
+    CallConfig config;
+    config.variant = v;
+    config.paths = MakeScenarioPaths(Scenario::kDriving, seed);
+    config.num_streams = num_streams;
+    config.duration = Duration::Seconds(60);
+    config.seed = seed;
+    Call call(config);
+    const CallStats stats = call.Run();
+    std::printf("%-12s %8.1f %10.2f %10.1f %12.0f %10lld\n",
+                ToString(v).c_str(), stats.AvgFps(), stats.TotalTputMbps(),
+                stats.AvgE2eMs(), stats.AvgFreezeMs(),
+                static_cast<long long>(stats.total_frame_drops));
+  }
+  std::printf("\nConverge's video-aware scheduler keeps every camera stream "
+              "decodable;\nvideo-unaware striping breaks decode order and "
+              "drops frames (§2.3).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: run one 30-second video-conference call over two emulated
+// network paths with Converge, and compare it against single-path WebRTC.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "session/call.h"
+
+using namespace converge;
+
+namespace {
+
+PathSpec MakePath(const char* name, double mbps, int delay_ms, double loss) {
+  PathSpec spec;
+  spec.name = name;
+  spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+  spec.prop_delay = Duration::Millis(delay_ms);
+  if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+  return spec;
+}
+
+void Report(const char* label, const CallStats& stats) {
+  std::printf(
+      "%-14s  fps=%5.1f  tput=%5.2f Mbps  e2e=%6.1f ms  freeze=%6.0f ms  "
+      "QP=%4.1f  PSNR=%4.1f dB  drops=%lld  fec-ovh=%4.1f%%\n",
+      label, stats.AvgFps(), stats.TotalTputMbps(), stats.AvgE2eMs(),
+      stats.AvgFreezeMs(), stats.AvgQp(), stats.AvgPsnrDb(),
+      static_cast<long long>(stats.total_frame_drops),
+      stats.fec_overhead * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  // Two 8 Mbps paths: neither alone can carry the 10 Mbps the app wants.
+  CallConfig config;
+  config.paths = {MakePath("cellular-A", 8.0, 30, 0.01),
+                  MakePath("cellular-B", 8.0, 45, 0.02)};
+  config.num_streams = 1;
+  config.duration = Duration::Seconds(30);
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(10);
+  config.seed = 42;
+
+  std::printf("Running Converge (multipath)...\n");
+  config.variant = Variant::kConverge;
+  Call converge_call(config);
+  const CallStats converge_stats = converge_call.Run();
+
+  std::printf("Running legacy WebRTC (single path)...\n");
+  config.variant = Variant::kWebRtcPath0;
+  Call webrtc_call(config);
+  const CallStats webrtc_stats = webrtc_call.Run();
+
+  std::printf("\n== 30 s call, 2x 8 Mbps paths, 10 Mbps 720p stream ==\n");
+  Report("Converge", converge_stats);
+  Report("WebRTC", webrtc_stats);
+
+  std::printf(
+      "\nConverge aggregates both paths: %.2fx the single-path throughput.\n",
+      converge_stats.TotalTputMbps() /
+          (webrtc_stats.TotalTputMbps() > 0 ? webrtc_stats.TotalTputMbps()
+                                            : 1.0));
+  return 0;
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Plot the CSV time series the bench binaries write.
+
+The figure benches drop CSVs next to where they run:
+  fig09_walking.csv / fig09_driving.csv   (Figure 9 time series)
+  fig11_feedback.csv                      (Figure 11 IFD/FCD ablation)
+  fig16_stationary.csv                    (Figure 16 time series)
+  fig20_22_<scenario>.csv                 (Appendix D traces)
+
+Usage:
+  python3 scripts/plot_results.py [directory-with-csvs] [output-directory]
+
+Requires matplotlib; falls back to printing summaries without it.
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        cols = {name: [] for name in header}
+        for row in reader:
+            for name, value in zip(header, row):
+                cols[name].append(float(value))
+    return cols
+
+
+def summarize(name, cols):
+    print(f"-- {name}")
+    for key, values in cols.items():
+        if key.startswith("t"):
+            continue
+        if values:
+            mean = sum(values) / len(values)
+            print(f"   {key:>16}: mean={mean:9.2f} min={min(values):9.2f} "
+                  f"max={max(values):9.2f}")
+
+
+def plot(name, cols, outdir, plt):
+    t_key = next(k for k in cols if k.startswith("t"))
+    t = cols[t_key]
+    groups = {}
+    for key in cols:
+        if key == t_key:
+            continue
+        suffix = key.split("_")[-1]
+        groups.setdefault(suffix, []).append(key)
+    fig, axes = plt.subplots(len(groups), 1, figsize=(10, 3 * len(groups)),
+                             sharex=True, squeeze=False)
+    for ax, (suffix, keys) in zip(axes[:, 0], sorted(groups.items())):
+        for key in keys:
+            ax.plot(t, cols[key], label=key, linewidth=1)
+        ax.set_ylabel(suffix)
+        ax.legend(fontsize=7)
+        ax.grid(alpha=0.3)
+    axes[-1][0].set_xlabel("time (s)")
+    fig.suptitle(name)
+    out = os.path.join(outdir, name.replace(".csv", ".png"))
+    fig.savefig(out, dpi=120, bbox_inches="tight")
+    plt.close(fig)
+    print(f"   wrote {out}")
+
+
+def main():
+    src = sys.argv[1] if len(sys.argv) > 1 else "."
+    outdir = sys.argv[2] if len(sys.argv) > 2 else src
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib not available: printing summaries only")
+
+    names = sorted(n for n in os.listdir(src)
+                   if n.endswith(".csv") and (n.startswith("fig")))
+    if not names:
+        print(f"no fig*.csv files in {src}; run the bench binaries first")
+        return 1
+    for name in names:
+        cols = read_csv(os.path.join(src, name))
+        summarize(name, cols)
+        if plt is not None:
+            plot(name, cols, outdir, plt)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,99 @@
+#include "cc/aimd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace converge {
+
+AimdRateControl::AimdRateControl(Config config, DataRate start_rate)
+    : config_(config), rate_(start_rate) {}
+
+DataRate AimdRateControl::Clamp(DataRate r) const {
+  return std::clamp(r, config_.min_rate, config_.max_rate);
+}
+
+DataRate AimdRateControl::AdditiveStep(Timestamp) const {
+  // Roughly one mtu-sized packet per response interval.
+  return DataRate::KilobitsPerSec(60);
+}
+
+DataRate AimdRateControl::Update(BandwidthUsage usage, DataRate acked_rate,
+                                 Timestamp now) {
+  const double dt = last_update_.IsFinite()
+                        ? std::min(1.0, (now - last_update_).seconds())
+                        : 0.05;
+  last_update_ = now;
+
+  switch (usage) {
+    case BandwidthUsage::kOverusing: {
+      // Decrease toward beta * measured throughput.
+      const DataRate measured =
+          acked_rate.IsZero() ? rate_ : acked_rate;
+      const DataRate target = measured * config_.beta;
+      if (target < rate_) rate_ = Clamp(target);
+      // Remember the capacity estimate (EWMA around decrease points).
+      const double sample = static_cast<double>(measured.bps());
+      if (link_capacity_estimate_bps_ <= 0.0) {
+        link_capacity_estimate_bps_ = sample;
+      } else {
+        link_capacity_estimate_bps_ +=
+            0.05 * (sample - link_capacity_estimate_bps_);
+      }
+      ever_decreased_ = true;
+      last_decrease_ = now;
+      state_ = State::kHold;
+      break;
+    }
+    case BandwidthUsage::kUnderusing:
+      // Queues draining: hold to let them empty.
+      state_ = State::kHold;
+      break;
+    case BandwidthUsage::kNormal: {
+      state_ = State::kIncrease;
+      const bool near_capacity =
+          link_capacity_estimate_bps_ > 0.0 &&
+          static_cast<double>(rate_.bps()) >
+              (1.0 - 3.0 * std::sqrt(link_capacity_var_) * 0.1) *
+                  link_capacity_estimate_bps_;
+      const bool delivering =
+          !acked_rate.IsZero() &&
+          static_cast<double>(acked_rate.bps()) >
+              0.8 * static_cast<double>(rate_.bps());
+      const double quiet_s = last_decrease_.IsFinite()
+                                 ? (now - last_decrease_).seconds()
+                                 : 1e9;
+      if (!ever_decreased_) {
+        // Startup: no congestion signal seen yet. Ramp aggressively while
+        // the path demonstrably delivers what we send — this stands in for
+        // WebRTC's initial probing phase.
+        const double per_second =
+            delivering ? 0.30 : config_.increase_per_second;
+        rate_ = Clamp(rate_ * std::pow(1.0 + per_second, dt));
+      } else if (near_capacity && quiet_s < 4.0) {
+        // Near the last decrease point and recently congested: cautious
+        // additive increase.
+        rate_ = Clamp(rate_ + AdditiveStep(now) * dt);
+      } else {
+        // Recovery probing: the longer the path has been congestion-free
+        // while delivering everything we send, the harder we ramp — this
+        // is what re-climbs quickly after an outage collapsed the rate
+        // (WebRTC's ALR/network probes play this role).
+        double per_second = config_.increase_per_second;
+        if (delivering && quiet_s > 2.0) {
+          per_second = std::min(
+              0.5, per_second * std::pow(2.0, (quiet_s - 2.0) / 2.0));
+        }
+        rate_ = Clamp(rate_ * std::pow(1.0 + per_second, dt));
+      }
+      // Never run far ahead of what the path demonstrably delivers.
+      if (!acked_rate.IsZero()) {
+        const DataRate ceiling = acked_rate * 2.0 + DataRate::KilobitsPerSec(500);
+        if (rate_ > ceiling) rate_ = Clamp(ceiling);
+      }
+      break;
+    }
+  }
+  return rate_;
+}
+
+}  // namespace converge

@@ -1,0 +1,46 @@
+// AIMD rate control of the delay-based GCC branch: multiplicative increase
+// far from convergence, additive near it, multiplicative decrease to
+// beta * measured throughput on overuse.
+#pragma once
+
+#include "cc/trendline.h"
+#include "util/time.h"
+
+namespace converge {
+
+class AimdRateControl {
+ public:
+  struct Config {
+    DataRate min_rate = DataRate::KilobitsPerSec(50);
+    DataRate max_rate = DataRate::MegabitsPerSec(50);
+    double beta = 0.85;               // decrease factor
+    double increase_per_second = 0.08;  // multiplicative increase
+  };
+
+  AimdRateControl(Config config, DataRate start_rate);
+
+  // Applies one detector decision. `acked_rate` is the measured delivered
+  // rate for the path (goodput). Returns the new target.
+  DataRate Update(BandwidthUsage usage, DataRate acked_rate, Timestamp now);
+
+  DataRate rate() const { return rate_; }
+  void SetRate(DataRate rate) { rate_ = Clamp(rate); }
+
+ private:
+  enum class State { kHold, kIncrease, kDecrease };
+
+  DataRate Clamp(DataRate r) const;
+  DataRate AdditiveStep(Timestamp now) const;
+
+  Config config_;
+  DataRate rate_;
+  State state_ = State::kIncrease;
+  bool ever_decreased_ = false;
+  Timestamp last_decrease_ = Timestamp::MinusInfinity();
+  Timestamp last_update_ = Timestamp::MinusInfinity();
+  // Average decrease point: near it we switch to additive increase.
+  double link_capacity_estimate_bps_ = 0.0;
+  double link_capacity_var_ = 0.4;
+};
+
+}  // namespace converge

@@ -1,0 +1,45 @@
+#include "cc/gcc.h"
+
+#include <algorithm>
+
+namespace converge {
+
+GccController::GccController() : GccController(Config{}) {}
+
+GccController::GccController(Config config)
+    : config_(config),
+      trendline_(),
+      aimd_({.min_rate = config.min_rate, .max_rate = config.max_rate},
+            config.start_rate),
+      loss_({.min_rate = config.min_rate, .max_rate = config.max_rate},
+            config.start_rate) {}
+
+void GccController::OnTransportFeedback(
+    const std::vector<PacketResult>& results, Timestamp now) {
+  for (const PacketResult& r : results) {
+    if (!r.received) continue;
+    trendline_.OnPacketFeedback(r.send_time, r.recv_time);
+    acked_rate_.AddBytes(r.recv_time, r.bytes);
+  }
+  goodput_ = acked_rate_.Rate(now);
+  aimd_.Update(trendline_.State(), goodput_, now);
+}
+
+void GccController::OnReceiverReport(double fraction_lost, Duration rtt,
+                                     Timestamp now) {
+  if (rtt > Duration::Zero()) {
+    srtt_ = have_rtt_ ? srtt_ * 0.875 + rtt * 0.125 : rtt;
+    have_rtt_ = true;
+  }
+  loss_.OnLossReport(fraction_lost, now);
+  // Keep the loss branch from capping growth when it has no signal yet.
+  if (loss_.rate() < aimd_.rate() && fraction_lost < 0.02) {
+    loss_.SetRate(std::max(loss_.rate(), aimd_.rate()));
+  }
+}
+
+DataRate GccController::target_rate() const {
+  return std::min(aimd_.rate(), loss_.rate());
+}
+
+}  // namespace converge

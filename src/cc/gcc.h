@@ -1,0 +1,64 @@
+// Per-path Google Congestion Control: combines the delay-based branch
+// (trendline + AIMD) with the loss-based branch and tracks path statistics
+// the schedulers consume (smoothed RTT, loss estimate, goodput).
+//
+// Converge runs one GccController per path (uncoupled congestion control,
+// §4.1); the encoder target is min(sum of path rates, application max).
+#pragma once
+
+#include <vector>
+
+#include "cc/aimd.h"
+#include "cc/loss_based.h"
+#include "cc/trendline.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace converge {
+
+// One packet's fate as reported by transport feedback.
+struct PacketResult {
+  int64_t transport_seq = 0;
+  int64_t bytes = 0;
+  Timestamp send_time;
+  Timestamp recv_time;  // only valid when received
+  bool received = false;
+};
+
+class GccController {
+ public:
+  struct Config {
+    DataRate start_rate = DataRate::KilobitsPerSec(300);
+    DataRate min_rate = DataRate::KilobitsPerSec(50);
+    DataRate max_rate = DataRate::MegabitsPerSec(50);
+  };
+
+  GccController();
+  explicit GccController(Config config);
+
+  // Transport-wide feedback for this path (delay-based branch + goodput).
+  void OnTransportFeedback(const std::vector<PacketResult>& results,
+                           Timestamp now);
+  // Receiver-report loss + RTT (loss-based branch).
+  void OnReceiverReport(double fraction_lost, Duration rtt, Timestamp now);
+
+  // Combined target: min(delay-based, loss-based).
+  DataRate target_rate() const;
+
+  Duration smoothed_rtt() const { return srtt_; }
+  double loss_estimate() const { return loss_.smoothed_loss(); }
+  DataRate goodput() const { return goodput_; }
+  BandwidthUsage detector_state() const { return trendline_.State(); }
+
+ private:
+  Config config_;
+  TrendlineEstimator trendline_;
+  AimdRateControl aimd_;
+  LossBasedControl loss_;
+  Duration srtt_ = Duration::Millis(100);
+  bool have_rtt_ = false;
+  RateEstimator acked_rate_{Duration::Millis(800)};
+  DataRate goodput_ = DataRate::Zero();
+};
+
+}  // namespace converge

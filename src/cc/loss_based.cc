@@ -1,0 +1,30 @@
+#include "cc/loss_based.h"
+
+#include <algorithm>
+
+namespace converge {
+
+LossBasedControl::LossBasedControl(Config config, DataRate start_rate)
+    : config_(config), rate_(start_rate) {}
+
+void LossBasedControl::SetRate(DataRate rate) {
+  rate_ = std::clamp(rate, config_.min_rate, config_.max_rate);
+}
+
+void LossBasedControl::OnLossReport(double fraction_lost, Timestamp now) {
+  smoothed_loss_ = 0.7 * smoothed_loss_ + 0.3 * fraction_lost;
+
+  if (fraction_lost > config_.high_loss) {
+    SetRate(rate_ * (1.0 - 0.5 * fraction_lost));
+  } else if (fraction_lost < config_.low_loss) {
+    // Rate-limit multiplicative increases to once per ~200 ms of reports.
+    if (!last_increase_.IsFinite() ||
+        now - last_increase_ >= Duration::Millis(200)) {
+      SetRate(rate_ * config_.increase_factor);
+      last_increase_ = now;
+    }
+  }
+  // Between 2% and 10%: hold.
+}
+
+}  // namespace converge

@@ -1,0 +1,35 @@
+// Loss-based branch of GCC: reacts to the fraction-lost field of receiver
+// reports with the published thresholds (increase below 2%, hold to 10%,
+// multiplicative backoff above 10%).
+#pragma once
+
+#include "util/time.h"
+
+namespace converge {
+
+class LossBasedControl {
+ public:
+  struct Config {
+    DataRate min_rate = DataRate::KilobitsPerSec(50);
+    DataRate max_rate = DataRate::MegabitsPerSec(50);
+    double low_loss = 0.02;
+    double high_loss = 0.10;
+    double increase_factor = 1.05;
+  };
+
+  LossBasedControl(Config config, DataRate start_rate);
+
+  void OnLossReport(double fraction_lost, Timestamp now);
+
+  DataRate rate() const { return rate_; }
+  void SetRate(DataRate rate);
+  double smoothed_loss() const { return smoothed_loss_; }
+
+ private:
+  Config config_;
+  DataRate rate_;
+  double smoothed_loss_ = 0.0;
+  Timestamp last_increase_ = Timestamp::MinusInfinity();
+};
+
+}  // namespace converge

@@ -1,0 +1,85 @@
+#include "cc/pacer.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace converge {
+
+Pacer::Pacer(EventLoop* loop, Config config, SendFn send)
+    : loop_(loop),
+      config_(config),
+      send_(std::move(send)),
+      last_process_(loop->now()) {
+  task_ = std::make_unique<RepeatingTask>(loop_, config_.process_interval,
+                                          [this] { Process(); });
+}
+
+Pacer::~Pacer() = default;
+
+void Pacer::SetRate(DataRate media_rate) {
+  pacing_rate_ = media_rate * config_.pacing_factor;
+}
+
+void Pacer::Enqueue(RtpPacket packet) {
+  queued_bytes_ += packet.wire_size();
+  Queued entry{std::move(packet), loop_->now()};
+  if (entry.packet.priority == Priority::kRetransmit) {
+    high_queue_.push_back(std::move(entry));
+  } else {
+    queue_.push_back(std::move(entry));
+  }
+}
+
+Duration Pacer::QueueDelay() const {
+  if (pacing_rate_.IsZero()) return Duration::Infinity();
+  return pacing_rate_.TransmitTime(queued_bytes_);
+}
+
+void Pacer::Process() {
+  const Timestamp now = loop_->now();
+  const Duration elapsed = now - last_process_;
+  last_process_ = now;
+
+  budget_bytes_ += static_cast<double>(pacing_rate_.BytesIn(elapsed));
+  budget_bytes_ = std::min(
+      budget_bytes_, static_cast<double>(config_.max_burst_bytes));
+
+  // Overload protection: drop retransmissions that went stale in the queue
+  // (their frame has been skipped), then shed old media from the head
+  // rather than let the whole pipeline's latency grow without bound.
+  while (!high_queue_.empty() &&
+         now - high_queue_.front().enqueued > config_.max_rtx_age) {
+    queued_bytes_ -= high_queue_.front().packet.wire_size();
+    high_queue_.pop_front();
+    ++stats_.packets_dropped;
+  }
+  while (!queue_.empty() && QueueDelay() > config_.max_queue_time) {
+    queued_bytes_ -= queue_.front().packet.wire_size();
+    queue_.pop_front();
+    ++stats_.packets_dropped;
+  }
+
+  while (true) {
+    std::deque<Queued>* source =
+        !high_queue_.empty() ? &high_queue_ : &queue_;
+    if (source->empty()) break;
+    if (budget_bytes_ <
+        static_cast<double>(source->front().packet.wire_size())) {
+      break;
+    }
+    RtpPacket packet = std::move(source->front().packet);
+    source->pop_front();
+    const int64_t size = packet.wire_size();
+    queued_bytes_ -= size;
+    budget_bytes_ -= static_cast<double>(size);
+    packet.send_time = now;
+    ++stats_.packets_sent;
+    send_(std::move(packet));
+  }
+  if (queue_.empty() && high_queue_.empty() && budget_bytes_ > 0.0) {
+    // Do not accumulate idle budget beyond one burst.
+    budget_bytes_ = std::min(budget_bytes_, 3000.0);
+  }
+}
+
+}  // namespace converge

@@ -1,0 +1,69 @@
+// Per-path pacer: smooths packet emission onto a path at a configurable
+// multiple of the path's allocated rate, like WebRTC's paced sender.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "rtp/rtp_packet.h"
+#include "sim/event_loop.h"
+
+namespace converge {
+
+class Pacer {
+ public:
+  struct Config {
+    Duration process_interval = Duration::Millis(5);
+    double pacing_factor = 1.25;  // headroom over the media rate
+    int64_t max_burst_bytes = 20'000;
+    // Packets whose projected queueing time exceeds this are dropped from
+    // the head of the queue (stale media is worthless in conferencing).
+    Duration max_queue_time = Duration::Millis(400);
+    // Retransmissions older than this are dropped: the frame buffer has
+    // already skipped past the frame they would repair.
+    Duration max_rtx_age = Duration::Millis(300);
+  };
+
+  struct Stats {
+    int64_t packets_sent = 0;
+    int64_t packets_dropped = 0;  // overload drops at the sender
+  };
+
+  using SendFn = std::function<void(RtpPacket&&)>;
+
+  Pacer(EventLoop* loop, Config config, SendFn send);
+  ~Pacer();
+
+  void SetRate(DataRate media_rate);
+  // Retransmissions (Table 2 priority 1) bypass the media backlog.
+  void Enqueue(RtpPacket packet);
+
+  size_t queue_packets() const { return queue_.size() + high_queue_.size(); }
+  int64_t queue_bytes() const { return queued_bytes_; }
+  // Expected time to drain the current queue at the pacing rate.
+  Duration QueueDelay() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Process();
+
+  EventLoop* loop_;
+  Config config_;
+  SendFn send_;
+  struct Queued {
+    RtpPacket packet;
+    Timestamp enqueued;
+  };
+
+  DataRate pacing_rate_ = DataRate::KilobitsPerSec(300);
+  std::deque<Queued> high_queue_;  // retransmissions
+  std::deque<Queued> queue_;
+  int64_t queued_bytes_ = 0;
+  double budget_bytes_ = 0.0;
+  Timestamp last_process_;
+  Stats stats_;
+  std::unique_ptr<RepeatingTask> task_;
+};
+
+}  // namespace converge

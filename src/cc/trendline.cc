@@ -1,0 +1,120 @@
+#include "cc/trendline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace converge {
+
+TrendlineEstimator::TrendlineEstimator() : TrendlineEstimator(Config{}) {}
+
+TrendlineEstimator::TrendlineEstimator(Config config)
+    : config_(config), threshold_(config.initial_threshold) {}
+
+void TrendlineEstimator::OnPacketFeedback(Timestamp send_time,
+                                          Timestamp recv_time) {
+  UpdateGroup(send_time, recv_time);
+}
+
+void TrendlineEstimator::UpdateGroup(Timestamp send_time, Timestamp recv_time) {
+  if (!group_open_) {
+    group_open_ = true;
+    group_first_send_ = send_time;
+    group_last_send_ = send_time;
+    group_last_recv_ = recv_time;
+    return;
+  }
+  if (send_time - group_first_send_ <= config_.burst_window) {
+    // Same burst: extend.
+    group_last_send_ = std::max(group_last_send_, send_time);
+    group_last_recv_ = std::max(group_last_recv_, recv_time);
+    return;
+  }
+  // Group closed: compute inter-group deltas against the previous group.
+  if (have_prev_group_) {
+    const double send_delta_ms = (group_last_send_ - prev_group_send_).ms();
+    const double recv_delta_ms = (group_last_recv_ - prev_group_recv_).ms();
+    const double delay_delta_ms = recv_delta_ms - send_delta_ms;
+    accumulated_delay_ms_ += delay_delta_ms;
+    smoothed_delay_ms_ = config_.smoothing * smoothed_delay_ms_ +
+                         (1.0 - config_.smoothing) * accumulated_delay_ms_;
+    UpdateTrend(group_last_recv_);
+    const Duration inter_arrival = group_last_recv_ - prev_group_recv_;
+    Detect(trend_ * static_cast<double>(std::min<size_t>(window_.size(), 60)) *
+               config_.threshold_gain,
+           inter_arrival, group_last_recv_);
+  }
+  have_prev_group_ = true;
+  prev_group_send_ = group_last_send_;
+  prev_group_recv_ = group_last_recv_;
+  // Start a new group with this packet.
+  group_first_send_ = send_time;
+  group_last_send_ = send_time;
+  group_last_recv_ = recv_time;
+}
+
+void TrendlineEstimator::UpdateTrend(Timestamp recv_time) {
+  if (window_.empty()) first_arrival_ms_ = recv_time.ms();
+  window_.emplace_back(recv_time.ms() - first_arrival_ms_, smoothed_delay_ms_);
+  while (window_.size() > static_cast<size_t>(config_.window_size)) {
+    window_.pop_front();
+  }
+  if (window_.size() < 2) return;
+
+  // Least-squares slope of smoothed delay vs arrival time.
+  double sum_x = 0, sum_y = 0;
+  for (const auto& [x, y] : window_) {
+    sum_x += x;
+    sum_y += y;
+  }
+  const double n = static_cast<double>(window_.size());
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double num = 0, den = 0;
+  for (const auto& [x, y] : window_) {
+    num += (x - mean_x) * (y - mean_y);
+    den += (x - mean_x) * (x - mean_x);
+  }
+  if (den > 1e-9) trend_ = num / den;
+}
+
+void TrendlineEstimator::Detect(double modified_trend, Duration inter_arrival,
+                                Timestamp recv_time) {
+  if (modified_trend > threshold_) {
+    time_over_using_ += inter_arrival;
+    ++overuse_counter_;
+    if (time_over_using_ > config_.overuse_time_threshold &&
+        overuse_counter_ > 1 && trend_ >= prev_trend_) {
+      state_ = BandwidthUsage::kOverusing;
+    }
+  } else if (modified_trend < -threshold_) {
+    time_over_using_ = Duration::Zero();
+    overuse_counter_ = 0;
+    state_ = BandwidthUsage::kUnderusing;
+  } else {
+    time_over_using_ = Duration::Zero();
+    overuse_counter_ = 0;
+    state_ = BandwidthUsage::kNormal;
+  }
+  prev_trend_ = trend_;
+  UpdateThreshold(modified_trend, recv_time);
+}
+
+void TrendlineEstimator::UpdateThreshold(double modified_trend,
+                                         Timestamp recv_time) {
+  // Adaptive threshold (avoids starvation vs loss-based flows).
+  if (!last_threshold_update_.IsFinite()) last_threshold_update_ = recv_time;
+  const double abs_trend = std::fabs(modified_trend);
+  if (abs_trend > threshold_ + 15.0) {
+    // Outlier: do not adapt to extreme spikes.
+    last_threshold_update_ = recv_time;
+    return;
+  }
+  const double k = abs_trend < threshold_ ? config_.k_down : config_.k_up;
+  const double dt_ms =
+      std::min(100.0, (recv_time - last_threshold_update_).ms());
+  threshold_ += k * (abs_trend - threshold_) * dt_ms;
+  threshold_ = std::clamp(threshold_, 6.0, 600.0);
+  last_threshold_update_ = recv_time;
+}
+
+}  // namespace converge

@@ -1,0 +1,69 @@
+// Delay-based overuse detection: trendline filter + adaptive-threshold
+// detector, following the published GCC design (Carlucci et al., MMSys'16)
+// as used by WebRTC. One instance per path (uncoupled CC, §4.1).
+#pragma once
+
+#include <deque>
+
+#include "util/time.h"
+
+namespace converge {
+
+enum class BandwidthUsage { kNormal, kOverusing, kUnderusing };
+
+class TrendlineEstimator {
+ public:
+  struct Config {
+    Duration burst_window = Duration::Millis(5);  // packet-group span
+    int window_size = 20;                         // regression points
+    double smoothing = 0.9;
+    double threshold_gain = 4.0;
+    double initial_threshold = 12.5;              // ms
+    double k_up = 0.0087;
+    double k_down = 0.039;
+    Duration overuse_time_threshold = Duration::Millis(10);
+  };
+
+  TrendlineEstimator();
+  explicit TrendlineEstimator(Config config);
+
+  // Feed one packet's send and receive timestamps (from transport feedback).
+  void OnPacketFeedback(Timestamp send_time, Timestamp recv_time);
+
+  BandwidthUsage State() const { return state_; }
+  double trend() const { return trend_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  void UpdateGroup(Timestamp send_time, Timestamp recv_time);
+  void UpdateTrend(Timestamp recv_time);
+  void Detect(double modified_trend, Duration inter_arrival,
+              Timestamp recv_time);
+  void UpdateThreshold(double modified_trend, Timestamp recv_time);
+
+  Config config_;
+  // Current packet group (burst) accumulation.
+  bool group_open_ = false;
+  Timestamp group_first_send_;
+  Timestamp group_last_send_;
+  Timestamp group_last_recv_;
+  // Previous completed group edges.
+  bool have_prev_group_ = false;
+  Timestamp prev_group_send_;
+  Timestamp prev_group_recv_;
+
+  double accumulated_delay_ms_ = 0.0;
+  double smoothed_delay_ms_ = 0.0;
+  std::deque<std::pair<double, double>> window_;  // (arrival ms, smoothed)
+  double first_arrival_ms_ = 0.0;
+
+  double trend_ = 0.0;
+  double threshold_;
+  Timestamp last_threshold_update_ = Timestamp::MinusInfinity();
+  Duration time_over_using_ = Duration::Zero();
+  int overuse_counter_ = 0;
+  double prev_trend_ = 0.0;
+  BandwidthUsage state_ = BandwidthUsage::kNormal;
+};
+
+}  // namespace converge

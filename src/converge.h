@@ -1,0 +1,40 @@
+// Umbrella header: everything a downstream application needs to run
+// Converge calls, swap schedulers/FEC controllers, negotiate sessions, and
+// consume results.
+//
+//   #include "converge.h"
+//
+// See examples/quickstart.cpp for the 20-line version.
+#pragma once
+
+// Session layer: calls, endpoints, metrics, JSON export.
+#include "session/call.h"           // IWYU pragma: export
+#include "session/metrics.h"        // IWYU pragma: export
+#include "session/receiver_endpoint.h"  // IWYU pragma: export
+#include "session/sender.h"         // IWYU pragma: export
+#include "session/stats_json.h"     // IWYU pragma: export
+
+// The Converge contribution.
+#include "core/path_manager.h"           // IWYU pragma: export
+#include "core/video_aware_scheduler.h"  // IWYU pragma: export
+
+// Baseline schedulers.
+#include "schedulers/connection_migration.h"  // IWYU pragma: export
+#include "schedulers/ecf_scheduler.h"         // IWYU pragma: export
+#include "schedulers/mprtp_scheduler.h"       // IWYU pragma: export
+#include "schedulers/mtput_scheduler.h"       // IWYU pragma: export
+#include "schedulers/scheduler.h"             // IWYU pragma: export
+#include "schedulers/single_path.h"           // IWYU pragma: export
+#include "schedulers/srtt_scheduler.h"        // IWYU pragma: export
+
+// FEC.
+#include "fec/converge_fec_controller.h"  // IWYU pragma: export
+#include "fec/webrtc_fec_controller.h"    // IWYU pragma: export
+#include "fec/xor_fec.h"                  // IWYU pragma: export
+
+// Signaling (SDP / ICE / negotiation with legacy fallback).
+#include "signaling/negotiation.h"  // IWYU pragma: export
+
+// Network emulation & traces.
+#include "net/network.h"       // IWYU pragma: export
+#include "trace/generators.h"  // IWYU pragma: export

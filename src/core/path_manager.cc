@@ -1,0 +1,74 @@
+#include "core/path_manager.h"
+
+#include <algorithm>
+
+#include "schedulers/path_stats.h"
+
+namespace converge {
+
+PathManager::PathManager() : PathManager(Config{}) {}
+
+PathManager::PathManager(Config config) : config_(config) {}
+
+void PathManager::Disable(PathId path, Timestamp now) {
+  if (disabled_.count(path)) return;
+  disabled_.emplace(path, DisabledState{now, Timestamp::MinusInfinity()});
+  ++disables_;
+}
+
+bool PathManager::IsActive(PathId path) const {
+  return disabled_.find(path) == disabled_.end();
+}
+
+void PathManager::MaybeReenable(const std::vector<PathInfo>& paths,
+                                Timestamp now) {
+  if (disabled_.empty()) return;
+
+  // Fast path among the active ones (minimum sRTT is a good proxy here:
+  // re-enablement compares one-way delays).
+  Duration rtt_fast = Duration::Infinity();
+  for (const PathInfo& p : paths) {
+    if (IsActive(p.id)) rtt_fast = std::min(rtt_fast, p.srtt);
+  }
+  if (rtt_fast.IsInfinite()) return;
+
+  for (auto it = disabled_.begin(); it != disabled_.end();) {
+    const PathInfo* info = FindPath(paths, it->first);
+    const bool min_time_ok =
+        now - it->second.since >= config_.min_disable_time;
+    if (info != nullptr && min_time_ok) {
+      // Equation 3. |rtt_i - rtt_fast| / 2 is the extra one-way delay the
+      // disabled path would add; tolerable once within the observed FCD.
+      const Duration penalty = (info->srtt - rtt_fast) / 2;
+      if (penalty <= last_fcd_ || penalty <= Duration::Zero()) {
+        it = disabled_.erase(it);
+        ++reenables_;
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+std::vector<PathId> PathManager::ProbeDue(Timestamp now) {
+  std::vector<PathId> due;
+  for (auto& [path, st] : disabled_) {
+    if (!st.last_probe.IsFinite() ||
+        now - st.last_probe >= config_.probe_interval) {
+      st.last_probe = now;
+      due.push_back(path);
+    }
+  }
+  return due;
+}
+
+std::vector<PathInfo> PathManager::ActivePaths(
+    const std::vector<PathInfo>& all) const {
+  std::vector<PathInfo> active;
+  for (const PathInfo& p : all) {
+    if (IsActive(p.id)) active.push_back(p);
+  }
+  return active;
+}
+
+}  // namespace converge

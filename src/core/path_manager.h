@@ -1,0 +1,59 @@
+// Converge path management (§4.1/§4.2): paths whose per-path packet budget
+// reaches zero are disabled; disabled paths receive duplicated probe packets
+// so their RTT stays measurable, and are re-enabled once Equation 3 holds:
+//
+//   (rtt_fast - rtt_i) / 2 <= FCD
+//
+// i.e. the path's one-way delay penalty relative to the fast path no longer
+// exceeds the receiver's observed frame construction delay.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class PathManager {
+ public:
+  struct Config {
+    Duration probe_interval = Duration::Millis(50);
+    Duration min_disable_time = Duration::Millis(500);
+  };
+
+  PathManager();
+  explicit PathManager(Config config);
+
+  void Disable(PathId path, Timestamp now);
+  bool IsActive(PathId path) const;
+
+  // Latest FCD reported in QoE feedback (right-hand side of Eq. 3).
+  void OnFeedbackFcd(Duration fcd) { last_fcd_ = fcd; }
+
+  // Evaluates Eq. 3 for every disabled path. `paths` must include the
+  // disabled paths (their sRTT is maintained by probe packets).
+  void MaybeReenable(const std::vector<PathInfo>& paths, Timestamp now);
+
+  // Disabled paths due for a probe duplicate.
+  std::vector<PathId> ProbeDue(Timestamp now);
+
+  std::vector<PathInfo> ActivePaths(const std::vector<PathInfo>& all) const;
+
+  int64_t disables() const { return disables_; }
+  int64_t reenables() const { return reenables_; }
+
+ private:
+  struct DisabledState {
+    Timestamp since;
+    Timestamp last_probe = Timestamp::MinusInfinity();
+  };
+
+  Config config_;
+  std::map<PathId, DisabledState> disabled_;
+  Duration last_fcd_ = Duration::Zero();
+  int64_t disables_ = 0;
+  int64_t reenables_ = 0;
+};
+
+}  // namespace converge

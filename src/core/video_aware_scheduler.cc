@@ -1,0 +1,292 @@
+#include "core/video_aware_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "schedulers/path_stats.h"
+
+namespace converge {
+
+VideoAwareScheduler::VideoAwareScheduler()
+    : VideoAwareScheduler(Config{}) {}
+
+VideoAwareScheduler::VideoAwareScheduler(Config config)
+    : config_(config), path_manager_(config.path_manager) {}
+
+int VideoAwareScheduler::PMax(const PathInfo& path) const {
+  // Packets the path can absorb during one frame interval at S_i, with
+  // headroom: letting positive feedback push slightly past the current rate
+  // is what allows an under-estimated path to ramp (the extra packets act
+  // as in-band probes for its congestion controller).
+  const double bits_per_frame =
+      static_cast<double>(path.allocated_rate.bps()) * config_.frame_interval_s;
+  const double packets = config_.pmax_headroom * bits_per_frame /
+                         (8.0 * static_cast<double>(config_.packet_bytes));
+  return std::max(2, static_cast<int>(std::floor(packets)));
+}
+
+std::vector<PathId> VideoAwareScheduler::AssignFrame(
+    const std::vector<RtpPacket>& packets,
+    const std::vector<PathInfo>& paths) {
+  std::vector<PathId> out(packets.size(), kInvalidPathId);
+  if (paths.empty()) return out;
+
+  std::vector<PathInfo> active = path_manager_.ActivePaths(paths);
+  if (active.empty()) {
+    // Everything disabled (should not happen: the last path is never
+    // disabled) — fail open on the lowest-RTT path.
+    const PathId fallback = MinSrttPath(paths);
+    return std::vector<PathId>(packets.size(), fallback);
+  }
+
+  // Algorithm 1: fast path = argmin cpt_i.
+  const PathId fast = MinCompletionTimePath(
+      active, static_cast<int>(packets.size()), config_.packet_bytes);
+  last_fast_path_ = fast;
+
+  // Rank the remaining active paths by their completion time so priority
+  // overflow cascades to the next-best path.
+  std::vector<const PathInfo*> ranked;
+  for (const PathInfo& p : active) ranked.push_back(&p);
+  const int64_t k = config_.packet_bytes;
+  const int n_packets = static_cast<int>(packets.size());
+  std::sort(ranked.begin(), ranked.end(),
+            [&](const PathInfo* a, const PathInfo* b) {
+              auto cpt = [&](const PathInfo* p) {
+                const DataRate rate =
+                    p->goodput.bps() > 0 ? p->goodput : p->allocated_rate;
+                const double bps = std::max<double>(
+                    1000.0, static_cast<double>(rate.bps()));
+                return static_cast<double>(n_packets) *
+                           static_cast<double>(k) * 8.0 / bps +
+                       p->srtt.seconds() / 2.0;
+              };
+              return cpt(a) < cpt(b);
+            });
+
+  // Remaining per-path budgets for this round.
+  std::map<PathId, int> budget;
+  for (const PathInfo& p : active) budget[p.id] = PMax(p);
+
+  // --- Priority packets (Table 2): fast path first; once its budget is
+  // exhausted, each further critical packet takes the path that would
+  // complete it soonest *including* the backlog this frame has already
+  // queued there. A nominally "slow" path only receives keyframe tail
+  // packets when it genuinely finishes them earlier than queueing behind
+  // the fast path's backlog — never as a blind cascade.
+  std::vector<size_t> priority_indices;
+  std::vector<size_t> media_indices;
+  for (size_t i = 0; i < packets.size(); ++i) {
+    if (packets[i].IsDecodingCritical()) {
+      priority_indices.push_back(i);
+    } else {
+      media_indices.push_back(i);
+    }
+  }
+  std::stable_sort(priority_indices.begin(), priority_indices.end(),
+                   [&](size_t a, size_t b) {
+                     return static_cast<int>(packets[a].priority) <
+                            static_cast<int>(packets[b].priority);
+                   });
+  std::map<PathId, int64_t> backlog;
+  for (const PathInfo& p : active) backlog[p.id] = p.pacer_queue_bytes;
+  auto incremental_cpt = [&](const PathInfo& p, int64_t bytes) {
+    const DataRate rate = p.goodput.bps() > 0 ? p.goodput : p.allocated_rate;
+    const double bps = std::max<double>(1000.0, static_cast<double>(rate.bps()));
+    return static_cast<double>(backlog[p.id] + bytes) * 8.0 / bps +
+           p.srtt.seconds() / 2.0;
+  };
+  for (size_t idx : priority_indices) {
+    PathId chosen = fast;
+    if (budget[fast] <= 0) {
+      double best = 0.0;
+      bool first = true;
+      for (const PathInfo& p : active) {
+        const double cpt = incremental_cpt(p, packets[idx].wire_size());
+        if (first || cpt < best) {
+          best = cpt;
+          chosen = p.id;
+          first = false;
+        }
+      }
+    }
+    out[idx] = chosen;
+    --budget[chosen];
+    backlog[chosen] += packets[idx].wire_size();
+  }
+
+  // --- Media packets: Eq. 1 proportional split over active paths,
+  //     adjusted per path by the feedback alpha (Eq. 2), capped by P_max ---
+  // A path only participates in the media split if it can actually carry
+  // its trickle: one straggler packet on a collapsed or backlogged path
+  // blocks the assembly of *every* frame it touches (§3.2). Such paths
+  // stay active (they still get probes and can carry overflow FEC) but get
+  // no media until they recover.
+  std::vector<PathInfo> splittable;
+  for (const PathInfo& p : active) {
+    const bool can_carry_trickle =
+        static_cast<double>(p.allocated_rate.bps()) * config_.frame_interval_s >=
+        8.0 * static_cast<double>(config_.packet_bytes);
+    const bool backlogged = p.pacer_queue_delay > Duration::Millis(300);
+    if ((can_carry_trickle && !backlogged) || p.id == fast) {
+      splittable.push_back(p);
+    }
+  }
+  if (splittable.empty()) splittable = active;
+  std::vector<int> share =
+      ProportionalSplit(splittable, static_cast<int>(media_indices.size()));
+  std::vector<std::pair<PathId, int>> targets;
+  int assigned_total = 0;
+  for (size_t i = 0; i < splittable.size(); ++i) {
+    const PathId id = splittable[i].id;
+    int target = share[i];
+    const double a = alpha_.count(id) ? alpha_.at(id) : 0.0;
+    if (a > 0) {
+      target = std::min(PMax(splittable[i]),
+                        target + static_cast<int>(std::lround(a)));
+    } else if (a < 0) {
+      target = std::max(0, target + static_cast<int>(std::lround(a)));
+    }
+    target = std::min(target, std::max(0, budget[id]));
+    targets.emplace_back(id, target);
+    assigned_total += target;
+  }
+  // Shortfall (alpha reductions / caps): redistribute into the remaining
+  // P_max budgets, fast path first, so no single path is overloaded past
+  // its own headroom. Anything left after every budget is full lands on the
+  // fast path (the encoder will be throttled by ΣS_i shortly anyway).
+  int shortfall = static_cast<int>(media_indices.size()) - assigned_total;
+  if (shortfall > 0) {
+    std::vector<std::pair<PathId, int>*> by_pref;
+    for (auto& t : targets) by_pref.push_back(&t);
+    std::stable_sort(by_pref.begin(), by_pref.end(),
+                     [&](auto* a, auto* b) {
+                       if (a->first == fast) return b->first != fast;
+                       return false;
+                     });
+    for (auto* t : by_pref) {
+      if (shortfall <= 0) break;
+      // Never push the shortfall back onto a path the receiver's feedback
+      // just pulled packets off (that would undo Eq. 2).
+      const double a = alpha_.count(t->first) ? alpha_.at(t->first) : 0.0;
+      if (t->first != fast && a < -1.0) continue;
+      const int room = std::max(0, budget[t->first] - t->second);
+      const int add = std::min(room, shortfall);
+      t->second += add;
+      shortfall -= add;
+    }
+    if (shortfall > 0) {
+      for (auto& [id, target] : targets) {
+        if (id == fast) target += shortfall;
+      }
+    }
+  }
+
+  // Assign media packets in contiguous blocks, fast path first, preserving
+  // sequence order within each block (Figure 8's 5:1 pattern).
+  std::stable_sort(targets.begin(), targets.end(),
+                   [&](const auto& a, const auto& b) {
+                     if (a.first == fast) return b.first != fast;
+                     if (b.first == fast) return false;
+                     return a.first < b.first;
+                   });
+  size_t cursor = 0;
+  for (const auto& [id, target] : targets) {
+    for (int c = 0; c < target && cursor < media_indices.size(); ++c) {
+      out[media_indices[cursor++]] = id;
+      --budget[id];
+    }
+  }
+  while (cursor < media_indices.size()) {
+    out[media_indices[cursor++]] = fast;
+    --budget[fast];
+  }
+
+  fast_budget_left_ = std::max(0, budget[fast]);
+
+  // Paths that received nothing at all this round (feedback drove their
+  // media target to zero and no priority packet landed there) get disabled
+  // — never the fast path (§4.1 "If P_i becomes zero, the path will be
+  // disabled").
+  std::map<PathId, int> assigned_count;
+  for (PathId id : out) {
+    if (id != kInvalidPathId) ++assigned_count[id];
+  }
+  for (const PathInfo& p : active) {
+    if (assigned_count[p.id] == 0 && p.id != fast && active.size() > 1) {
+      const double a = alpha_.count(p.id) ? alpha_.at(p.id) : 0.0;
+      // Require meaningful negative feedback: with a tiny encoder target a
+      // path can receive zero packets in a round without being at fault.
+      if (a <= -2.0) {
+        path_manager_.Disable(
+            p.id, last_tick_.IsFinite() ? last_tick_ : Timestamp::Zero());
+      }
+    }
+  }
+  return out;
+}
+
+PathId VideoAwareScheduler::ChooseRtxPath(const RtpPacket&,
+                                          const std::vector<PathInfo>& paths) {
+  // Retransmissions are the highest priority (Table 2): always fast path.
+  std::vector<PathInfo> active = path_manager_.ActivePaths(paths);
+  if (active.empty()) return MinSrttPath(paths);
+  return MinCompletionTimePath(active, 1, config_.packet_bytes);
+}
+
+PathId VideoAwareScheduler::ChooseFecPath(const RtpPacket&, PathId origin,
+                                          const std::vector<PathInfo>& paths) {
+  // FEC prefers the fast path while the budget lasts; otherwise it is sent
+  // on the path it was generated for (§4.1).
+  std::vector<PathInfo> active = path_manager_.ActivePaths(paths);
+  if (active.empty()) return MinSrttPath(paths);
+  const PathId fast = last_fast_path_ != kInvalidPathId
+                          ? last_fast_path_
+                          : MinSrttPath(active);
+  if (fast_budget_left_ > 0) {
+    --fast_budget_left_;
+    return fast;
+  }
+  if (path_manager_.IsActive(origin) && FindPath(active, origin) != nullptr) {
+    return origin;
+  }
+  return fast;
+}
+
+void VideoAwareScheduler::OnQoeFeedback(const QoeFeedback& feedback) {
+  if (feedback.path_id == kInvalidPathId) return;
+  alpha_[feedback.path_id] += static_cast<double>(feedback.alpha);
+  alpha_[feedback.path_id] =
+      std::clamp(alpha_[feedback.path_id], config_.max_negative_alpha,
+                 config_.max_positive_alpha);
+  path_manager_.OnFeedbackFcd(feedback.fcd);
+}
+
+bool VideoAwareScheduler::IsPathActive(PathId id) const {
+  return path_manager_.IsActive(id);
+}
+
+std::vector<PathId> VideoAwareScheduler::PathsNeedingProbe(Timestamp now) {
+  return path_manager_.ProbeDue(now);
+}
+
+void VideoAwareScheduler::OnTick(const std::vector<PathInfo>& paths,
+                                 Timestamp now) {
+  path_manager_.MaybeReenable(paths, now);
+  // Alpha decays exponentially toward zero (half-life ~1.7 s): stale
+  // feedback must not bias scheduling once conditions change — only
+  // *sustained* feedback keeps a path suppressed.
+  if (last_tick_.IsFinite()) {
+    const double dt = (now - last_tick_).seconds();
+    const double keep = std::exp(-config_.alpha_decay_per_s * dt);
+    for (auto& [id, a] : alpha_) a *= keep;
+  }
+  last_tick_ = now;
+}
+
+double VideoAwareScheduler::alpha(PathId path) const {
+  auto it = alpha_.find(path);
+  return it == alpha_.end() ? 0.0 : it->second;
+}
+
+}  // namespace converge

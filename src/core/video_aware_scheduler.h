@@ -1,0 +1,73 @@
+// The Converge video-aware RTP scheduler (§4.1).
+//
+// Three levels of control:
+//  * frame-level  — keyframe media packets ride the fast path;
+//  * packet-level — PPS/SPS (and RTX) packets ride the fast path;
+//  * reliability  — FEC placement prefers the fast path, falling back to the
+//    path the parity was generated for when the fast path's packet budget
+//    P_max is exhausted.
+//
+// The fast path is the one minimizing the transmission completion time
+// cpt_i = N*k/rate_i + rtt_i/2 (Algorithm 1). Unprioritized (delta media)
+// packets are split proportionally to the per-path rates S_i (Eq. 1), then
+// adjusted by the receiver's QoE feedback alpha (Eq. 2). A path whose
+// packet count reaches zero is disabled and probed until Eq. 3 re-enables
+// it (handled by PathManager).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/path_manager.h"
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class VideoAwareScheduler final : public Scheduler {
+ public:
+  struct Config {
+    int64_t packet_bytes = 1200;          // k in Algorithm 1
+    double frame_interval_s = 1.0 / 30.0; // P_max budget horizon
+    double pmax_headroom = 1.6;           // P_max probing headroom over S_i
+    double alpha_decay_per_s = 0.4;       // exponential decay rate of alpha
+    double max_positive_alpha = 16.0;
+    double max_negative_alpha = -64.0;
+    PathManager::Config path_manager;
+  };
+
+  VideoAwareScheduler();
+  explicit VideoAwareScheduler(Config config);
+
+  std::string name() const override { return "Converge"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>& paths) override;
+  PathId ChooseRtxPath(const RtpPacket& packet,
+                       const std::vector<PathInfo>& paths) override;
+  PathId ChooseFecPath(const RtpPacket& fec, PathId origin,
+                       const std::vector<PathInfo>& paths) override;
+  void OnQoeFeedback(const QoeFeedback& feedback) override;
+  bool IsPathActive(PathId id) const override;
+  std::vector<PathId> PathsNeedingProbe(Timestamp now) override;
+  void OnTick(const std::vector<PathInfo>& paths, Timestamp now) override;
+
+  // Introspection for tests/benches.
+  PathId last_fast_path() const { return last_fast_path_; }
+  double alpha(PathId path) const;
+  const PathManager& path_manager() const { return path_manager_; }
+
+ private:
+  // Packet budget per scheduling round for a path (P_max, §4.1).
+  int PMax(const PathInfo& path) const;
+
+  Config config_;
+  PathManager path_manager_;
+  std::map<PathId, double> alpha_;  // Eq. 2 adjustment, in packets/frame
+  PathId last_fast_path_ = kInvalidPathId;
+  // Remaining fast-path budget after the last AssignFrame (consumed by
+  // subsequent FEC/RTX placement for the same frame).
+  int fast_budget_left_ = 0;
+  Timestamp last_tick_ = Timestamp::MinusInfinity();
+};
+
+}  // namespace converge

@@ -1,0 +1,56 @@
+#include "fec/converge_fec_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace converge {
+
+ConvergeFecController::ConvergeFecController()
+    : ConvergeFecController(Config{}) {}
+
+ConvergeFecController::ConvergeFecController(Config config)
+    : config_(config) {}
+
+int ConvergeFecController::NumFecPackets(int media_packets, FrameKind kind,
+                                         PathId path, double path_loss,
+                                         double /*aggregate_loss*/) {
+  if (media_packets <= 0) return 0;
+  PathState& st = paths_[path];
+  const double key_boost =
+      kind == FrameKind::kKey ? config_.keyframe_factor : 1.0;
+  st.credit +=
+      path_loss * static_cast<double>(media_packets) * st.beta * key_boost;
+  int fec = static_cast<int>(std::floor(st.credit));
+  fec = std::min(fec, media_packets);
+  st.credit -= fec;
+  // Cap carried credit: a long lossless stretch should not bank protection.
+  st.credit = std::min(st.credit, 2.0);
+  return fec;
+}
+
+void ConvergeFecController::OnNack(PathId path, int nacked_packets) {
+  PathState& st = paths_[path];
+  // Eq. in §4.3 with per-frame quantities: P_i - FEC_i unprotected packets
+  // in the last scheduling round.
+  const int unprotected = std::max(1, st.last_media - st.last_fec);
+  const double target =
+      1.0 + static_cast<double>(nacked_packets) / unprotected;
+  st.beta = std::min(config_.max_beta, std::max(st.beta, target));
+}
+
+void ConvergeFecController::OnFrameSent(PathId path, int media_packets,
+                                        int fec_packets) {
+  PathState& st = paths_[path];
+  st.last_media = media_packets;
+  st.last_fec = fec_packets;
+  // Decay beta toward 1 while the parity budget proves sufficient.
+  st.beta += config_.beta_decay * (1.0 - st.beta);
+  st.beta = std::clamp(st.beta, 1.0, config_.max_beta);
+}
+
+double ConvergeFecController::beta(PathId path) const {
+  auto it = paths_.find(path);
+  return it == paths_.end() ? 1.0 : it->second.beta;
+}
+
+}  // namespace converge

@@ -1,0 +1,50 @@
+// Converge's path-specific FEC controller (§4.3):
+//
+//   FEC_i = l_i * P_i * beta_i
+//
+// where l_i is the path's measured loss, P_i the media packets placed on the
+// path, and beta_i a per-path multiplier raised when NACKs show the parity
+// budget was insufficient: beta = 1 + NACK_i / (P_i - FEC_i). Beta decays
+// back toward 1 while no NACKs arrive. Fractional budget accumulates across
+// frames so small per-frame packet counts still realize the target rate.
+#pragma once
+
+#include <map>
+
+#include "fec/fec_controller.h"
+
+namespace converge {
+
+class ConvergeFecController final : public FecController {
+ public:
+  struct Config {
+    double keyframe_factor = 2.0;  // extra protection for keyframes
+    double beta_decay = 0.02;      // per-frame pull of beta toward 1
+    double max_beta = 4.0;
+  };
+
+  ConvergeFecController();
+  explicit ConvergeFecController(Config config);
+
+  int NumFecPackets(int media_packets, FrameKind kind, PathId path,
+                    double path_loss, double aggregate_loss) override;
+  void OnNack(PathId path, int nacked_packets) override;
+  void OnFrameSent(PathId path, int media_packets, int fec_packets) override;
+
+  double beta(PathId path) const;
+
+ private:
+  struct PathState {
+    double beta = 1.0;
+    double credit = 0.0;
+    // Recent (last-frame) counts: beta = 1 + NACK_i / (P_i - FEC_i) uses
+    // per-interval quantities, not lifetime totals.
+    int last_media = 0;
+    int last_fec = 0;
+  };
+
+  Config config_;
+  std::map<PathId, PathState> paths_;
+};
+
+}  // namespace converge

@@ -1,0 +1,31 @@
+// FEC rate controllers: decide how many parity packets protect the media
+// packets of one frame on one path.
+#pragma once
+
+#include "net/path.h"
+#include "rtp/rtp_packet.h"
+
+namespace converge {
+
+class FecController {
+ public:
+  virtual ~FecController() = default;
+
+  // Number of parity packets for `media_packets` media packets of a frame of
+  // kind `kind` headed for `path`, whose measured loss is `path_loss`.
+  // `aggregate_loss` is the media-weighted loss across all paths (what the
+  // stock WebRTC controller keys on).
+  virtual int NumFecPackets(int media_packets, FrameKind kind, PathId path,
+                            double path_loss, double aggregate_loss) = 0;
+
+  // NACK count observed for `path` since the last call (drives Converge's
+  // beta adaptation, §4.3). Default: ignored.
+  virtual void OnNack(PathId path, int nacked_packets) { (void)path; (void)nacked_packets; }
+
+  // Bookkeeping after a frame's packets are handed to the pacer.
+  virtual void OnFrameSent(PathId path, int media_packets, int fec_packets) {
+    (void)path; (void)media_packets; (void)fec_packets;
+  }
+};
+
+}  // namespace converge

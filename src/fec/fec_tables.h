@@ -1,0 +1,17 @@
+// WebRTC's static, table-based FEC protection (§2.3, §4.3).
+//
+// The table maps measured loss to a protection factor (FEC packets per media
+// packet); keyframes get double protection. The paper observes this is
+// overly aggressive — ~40% overhead at 1% loss (Figure 12) and >=60% once
+// multipath aggregates loss across paths (Figure 3c) — which is exactly the
+// behaviour this table reproduces.
+#pragma once
+
+#include "rtp/rtp_packet.h"
+
+namespace converge {
+
+// Protection factor (FEC/media ratio) for the given loss fraction.
+double WebRtcProtectionFactor(double loss_rate, FrameKind kind);
+
+}  // namespace converge

@@ -1,0 +1,21 @@
+#include "fec/webrtc_fec_controller.h"
+
+#include <cmath>
+
+#include "fec/fec_tables.h"
+
+namespace converge {
+
+int WebRtcFecController::NumFecPackets(int media_packets, FrameKind kind,
+                                       PathId path, double /*path_loss*/,
+                                       double aggregate_loss) {
+  if (media_packets <= 0) return 0;
+  const double factor = WebRtcProtectionFactor(aggregate_loss, kind);
+  double& credit = credit_[path];
+  credit += factor * static_cast<double>(media_packets);
+  const int fec = static_cast<int>(std::floor(credit));
+  credit -= fec;
+  return fec;
+}
+
+}  // namespace converge

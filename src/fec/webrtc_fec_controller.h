@@ -1,0 +1,22 @@
+// Stock WebRTC behaviour: a static protection table keyed on the loss
+// aggregated across all paths, applied uniformly regardless of which path a
+// packet takes (application-level protection, §3.3). Fractional protection
+// accumulates across frames so the long-run overhead matches the table.
+#pragma once
+
+#include <map>
+
+#include "fec/fec_controller.h"
+
+namespace converge {
+
+class WebRtcFecController final : public FecController {
+ public:
+  int NumFecPackets(int media_packets, FrameKind kind, PathId path,
+                    double path_loss, double aggregate_loss) override;
+
+ private:
+  std::map<PathId, double> credit_;
+};
+
+}  // namespace converge

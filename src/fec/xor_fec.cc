@@ -1,0 +1,76 @@
+#include "fec/xor_fec.h"
+
+#include <algorithm>
+
+namespace converge {
+
+ProtectedPacketMeta MetaOf(const RtpPacket& packet) {
+  ProtectedPacketMeta meta;
+  meta.seq = packet.seq;
+  meta.stream_id = packet.stream_id;
+  meta.frame_id = packet.frame_id;
+  meta.gop_id = packet.gop_id;
+  meta.frame_kind = packet.frame_kind;
+  meta.kind = packet.kind;
+  meta.priority = packet.priority;
+  meta.first_in_frame = packet.first_in_frame;
+  meta.last_in_frame = packet.last_in_frame;
+  meta.marker = packet.marker;
+  meta.payload_bytes = packet.payload_bytes;
+  meta.capture_time = packet.capture_time;
+  return meta;
+}
+
+RtpPacket PacketFromMeta(const ProtectedPacketMeta& meta, uint32_t ssrc) {
+  RtpPacket p;
+  p.ssrc = ssrc;
+  p.seq = meta.seq;
+  p.stream_id = meta.stream_id;
+  p.frame_id = meta.frame_id;
+  p.gop_id = meta.gop_id;
+  p.frame_kind = meta.frame_kind;
+  p.kind = meta.kind;
+  p.priority = meta.priority;
+  p.first_in_frame = meta.first_in_frame;
+  p.last_in_frame = meta.last_in_frame;
+  p.marker = meta.marker;
+  p.payload_bytes = meta.payload_bytes;
+  p.capture_time = meta.capture_time;
+  return p;
+}
+
+std::vector<RtpPacket> XorFecEncoder::Generate(
+    const std::vector<const RtpPacket*>& media, int num_fec,
+    int64_t block_id) {
+  std::vector<RtpPacket> out;
+  if (media.empty() || num_fec <= 0) return out;
+  num_fec = std::min<int>(num_fec, static_cast<int>(media.size()));
+
+  for (int g = 0; g < num_fec; ++g) {
+    RtpPacket fec;
+    const RtpPacket& sample = *media.front();
+    fec.ssrc = sample.ssrc;
+    fec.kind = PayloadKind::kFec;
+    fec.priority = Priority::kFec;
+    fec.stream_id = sample.stream_id;
+    fec.frame_id = sample.frame_id;
+    fec.gop_id = sample.gop_id;
+    fec.frame_kind = sample.frame_kind;
+    fec.capture_time = sample.capture_time;
+    fec.fec_block = block_id;
+
+    int64_t max_payload = 0;
+    for (size_t j = static_cast<size_t>(g); j < media.size();
+         j += static_cast<size_t>(num_fec)) {
+      const RtpPacket& covered = *media[j];
+      fec.protected_seqs.push_back(covered.seq);
+      fec.fec_meta.push_back(MetaOf(covered));
+      max_payload = std::max(max_payload, covered.payload_bytes);
+    }
+    fec.payload_bytes = max_payload + 10;  // FEC level header
+    out.push_back(std::move(fec));
+  }
+  return out;
+}
+
+}  // namespace converge

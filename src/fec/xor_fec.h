@@ -1,0 +1,34 @@
+// XOR-based forward error correction (ULPFEC-style, [31]).
+//
+// A FEC block covers the media packets of one frame (WebRTC mode: all paths
+// together; Converge mode: the packets assigned to one path, §4.3). With k
+// parity packets over n media packets, media packet j is covered by parity
+// group (j mod k); each parity packet can rebuild exactly one missing packet
+// of its group, so k losses are recoverable when they fall in distinct
+// groups — the combinatorics that drive FEC utilization in Figure 12.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtp/rtp_packet.h"
+
+namespace converge {
+
+// Extracts the recovery metadata of a packet (ProtectedPacketMeta is
+// declared next to RtpPacket, which carries a list of them in parity
+// packets).
+ProtectedPacketMeta MetaOf(const RtpPacket& packet);
+RtpPacket PacketFromMeta(const ProtectedPacketMeta& meta, uint32_t ssrc);
+
+class XorFecEncoder {
+ public:
+  // Generates `num_fec` parity packets covering `media` (all same SSRC).
+  // Parity payload size is the largest covered payload. Sequence numbers are
+  // assigned by the caller (sender's packetizer sequence space).
+  static std::vector<RtpPacket> Generate(
+      const std::vector<const RtpPacket*>& media, int num_fec,
+      int64_t block_id);
+};
+
+}  // namespace converge

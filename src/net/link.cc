@@ -1,0 +1,66 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace converge {
+namespace {
+// Floor on the instantaneous service rate: an outage makes transmission very
+// slow (forcing queue drops) rather than dividing by zero.
+constexpr int64_t kMinServiceBps = 10'000;
+}  // namespace
+
+Link::Link(EventLoop* loop, Config config, Random rng)
+    : loop_(loop), config_(std::move(config)), rng_(rng) {}
+
+int64_t Link::QueueLimitBytes() const {
+  const int64_t delay_based =
+      CapacityNow().BytesIn(config_.max_queue_delay);
+  return std::max(config_.min_queue_bytes, delay_based);
+}
+
+void Link::Send(int64_t bytes, DeliverFn on_deliver, DropFn on_drop) {
+  ++stats_.packets_sent;
+  if (queued_bytes_ + bytes > QueueLimitBytes()) {
+    ++stats_.packets_queue_dropped;
+    if (on_drop) on_drop(/*queue_drop=*/true);
+    return;
+  }
+  queue_.push_back(Pending{bytes, std::move(on_deliver), std::move(on_drop)});
+  queued_bytes_ += bytes;
+  if (!busy_) StartTransmission();
+}
+
+void Link::StartTransmission() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending pkt = std::move(queue_.front());
+  queue_.pop_front();
+
+  const int64_t rate_bps =
+      std::max<int64_t>(kMinServiceBps, CapacityNow().bps());
+  const Duration tx = DataRate::BitsPerSec(rate_bps).TransmitTime(pkt.bytes);
+
+  loop_->ScheduleIn(tx, [this, pkt = std::move(pkt)]() mutable {
+    queued_bytes_ -= pkt.bytes;
+    const bool lost =
+        config_.loss != nullptr && config_.loss->ShouldDrop(loop_->now(), rng_);
+    if (lost) {
+      ++stats_.packets_lost;
+      if (pkt.on_drop) pkt.on_drop(/*queue_drop=*/false);
+    } else {
+      ++stats_.packets_delivered;
+      stats_.bytes_delivered += pkt.bytes;
+      const Timestamp arrival = loop_->now() + PropDelayNow();
+      loop_->ScheduleAt(arrival, [arrival, deliver = std::move(pkt.on_deliver)] {
+        deliver(arrival);
+      });
+    }
+    StartTransmission();
+  });
+}
+
+}  // namespace converge

@@ -1,0 +1,87 @@
+// Directed bottleneck link: trace-driven service rate, DropTail byte queue,
+// propagation delay, and a pluggable loss model at egress.
+//
+// The service model mirrors trace-driven emulators (mahimahi-style): a packet
+// that reaches the head of the queue occupies the link for
+// bytes / capacity(now); queued packets wait behind it. The queue is bounded
+// either by a fixed byte budget or by `max_queue_delay` worth of bytes at the
+// current capacity, whichever the config selects.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/loss_model.h"
+#include "net/trace.h"
+#include "sim/event_loop.h"
+#include "util/random.h"
+
+namespace converge {
+
+class Link {
+ public:
+  struct Config {
+    BandwidthTrace capacity;
+    Duration prop_delay = Duration::Millis(20);
+    // Optional time-varying propagation delay (µs values); overrides
+    // prop_delay when non-empty. Models reroutes/handovers where a path's
+    // base latency changes without any congestion signal.
+    ValueTrace prop_delay_trace;
+    // Queue bound: bytes admitted while the backlog (including the packet in
+    // service) is below capacity(now) * max_queue_delay, floored at
+    // `min_queue_bytes` so outages do not shrink the queue to nothing.
+    Duration max_queue_delay = Duration::Millis(250);
+    int64_t min_queue_bytes = 30'000;
+    std::shared_ptr<LossModel> loss;  // null => lossless
+  };
+
+  struct Stats {
+    int64_t packets_sent = 0;
+    int64_t packets_delivered = 0;
+    int64_t packets_lost = 0;        // random loss at egress
+    int64_t packets_queue_dropped = 0;
+    int64_t bytes_delivered = 0;
+  };
+
+  using DeliverFn = std::function<void(Timestamp arrival)>;
+  using DropFn = std::function<void(bool queue_drop)>;
+
+  Link(EventLoop* loop, Config config, Random rng);
+
+  // Enqueue `bytes` for transmission. Exactly one of the callbacks fires.
+  void Send(int64_t bytes, DeliverFn on_deliver, DropFn on_drop = nullptr);
+
+  DataRate CapacityNow() const { return config_.capacity.CapacityAt(loop_->now()); }
+  Duration PropDelayNow() const {
+    if (config_.prop_delay_trace.empty()) return config_.prop_delay;
+    return Duration::Micros(
+        static_cast<int64_t>(config_.prop_delay_trace.ValueAt(loop_->now())));
+  }
+  int64_t queued_bytes() const { return queued_bytes_; }
+  const Stats& stats() const { return stats_; }
+  double current_loss_rate() const {
+    return config_.loss ? config_.loss->AverageRate(loop_->now()) : 0.0;
+  }
+
+ private:
+  struct Pending {
+    int64_t bytes;
+    DeliverFn on_deliver;
+    DropFn on_drop;
+  };
+
+  int64_t QueueLimitBytes() const;
+  void StartTransmission();
+
+  EventLoop* loop_;
+  Config config_;
+  Random rng_;
+  std::deque<Pending> queue_;
+  int64_t queued_bytes_ = 0;
+  bool busy_ = false;
+  Stats stats_;
+};
+
+}  // namespace converge

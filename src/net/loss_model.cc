@@ -1,0 +1,22 @@
+#include "net/loss_model.h"
+
+namespace converge {
+
+bool GilbertElliottLoss::ShouldDrop(Timestamp, Random& rng) {
+  if (bad_) {
+    if (rng.Bernoulli(config_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng.Bernoulli(config_.p_good_to_bad)) bad_ = true;
+  }
+  return rng.Bernoulli(bad_ ? config_.loss_bad : config_.loss_good);
+}
+
+double GilbertElliottLoss::AverageRate(Timestamp) const {
+  // Stationary distribution of the two-state chain.
+  const double denom = config_.p_good_to_bad + config_.p_bad_to_good;
+  if (denom <= 0.0) return config_.loss_good;
+  const double pi_bad = config_.p_good_to_bad / denom;
+  return pi_bad * config_.loss_bad + (1.0 - pi_bad) * config_.loss_good;
+}
+
+}  // namespace converge

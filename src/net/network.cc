@@ -1,0 +1,31 @@
+#include "net/network.h"
+
+namespace converge {
+
+Network::Network(EventLoop* loop, const std::vector<PathSpec>& specs,
+                 Random rng) {
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const PathSpec& spec = specs[i];
+    Path::Config config;
+    config.id = static_cast<PathId>(i);
+    config.name = spec.name;
+    config.forward.capacity = spec.capacity;
+    config.forward.prop_delay = spec.prop_delay;
+    config.forward.prop_delay_trace = spec.prop_delay_trace;
+    config.forward.max_queue_delay = spec.max_queue_delay;
+    config.forward.loss = spec.loss;
+    config.backward.capacity = BandwidthTrace::Constant(spec.feedback_capacity);
+    config.backward.prop_delay = spec.prop_delay;
+    config.backward.loss = spec.feedback_loss;
+    paths_.push_back(std::make_unique<Path>(loop, std::move(config), rng.Fork()));
+  }
+}
+
+std::vector<PathId> Network::path_ids() const {
+  std::vector<PathId> ids;
+  ids.reserve(paths_.size());
+  for (const auto& p : paths_) ids.push_back(p->id());
+  return ids;
+}
+
+}  // namespace converge

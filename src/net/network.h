@@ -1,0 +1,44 @@
+// The multipath network connecting the two conference endpoints. Owns the
+// paths and provides a compact spec type used by CallConfig / the trace
+// generators.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/path.h"
+
+namespace converge {
+
+// Declarative description of one path, convertible to Path::Config. The
+// backward (feedback) direction gets a fraction of the forward capacity and
+// the same delay/loss unless overridden.
+struct PathSpec {
+  std::string name;
+  BandwidthTrace capacity;
+  Duration prop_delay = Duration::Millis(20);
+  // Optional time-varying propagation delay (µs), forward direction.
+  ValueTrace prop_delay_trace;
+  std::shared_ptr<LossModel> loss;            // forward loss; null = lossless
+  std::shared_ptr<LossModel> feedback_loss;   // null = lossless feedback
+  DataRate feedback_capacity = DataRate::MegabitsPerSec(10);
+  Duration max_queue_delay = Duration::Millis(250);
+};
+
+class Network {
+ public:
+  Network(EventLoop* loop, const std::vector<PathSpec>& specs, Random rng);
+
+  size_t num_paths() const { return paths_.size(); }
+  Path& path(PathId id) { return *paths_.at(static_cast<size_t>(id)); }
+  const Path& path(PathId id) const {
+    return *paths_.at(static_cast<size_t>(id));
+  }
+  std::vector<PathId> path_ids() const;
+
+ private:
+  std::vector<std::unique_ptr<Path>> paths_;
+};
+
+}  // namespace converge

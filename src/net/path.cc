@@ -1,0 +1,13 @@
+#include "net/path.h"
+
+#include <utility>
+
+namespace converge {
+
+Path::Path(EventLoop* loop, Config config, Random rng)
+    : id_(config.id),
+      name_(std::move(config.name)),
+      forward_(loop, std::move(config.forward), rng.Fork()),
+      backward_(loop, std::move(config.backward), rng.Fork()) {}
+
+}  // namespace converge

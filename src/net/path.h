@@ -1,0 +1,43 @@
+// A bidirectional network path between the two conference endpoints: a data
+// link (sender -> receiver) and a feedback link (receiver -> sender), plus an
+// identifier carried in the Converge RTP/RTCP multipath extensions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/link.h"
+
+namespace converge {
+
+using PathId = int32_t;
+inline constexpr PathId kInvalidPathId = -1;
+
+class Path {
+ public:
+  struct Config {
+    PathId id = 0;
+    std::string name;  // e.g. "T-Mobile", "Verizon", "WiFi"
+    Link::Config forward;   // data direction
+    Link::Config backward;  // feedback direction
+  };
+
+  Path(EventLoop* loop, Config config, Random rng);
+
+  PathId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  Link& forward() { return forward_; }
+  Link& backward() { return backward_; }
+  const Link& forward() const { return forward_; }
+  const Link& backward() const { return backward_; }
+
+ private:
+  PathId id_;
+  std::string name_;
+  Link forward_;
+  Link backward_;
+};
+
+}  // namespace converge

@@ -1,0 +1,75 @@
+#include "receiver/fec_recovery.h"
+
+#include <utility>
+
+namespace converge {
+namespace {
+constexpr size_t kMaxSeen = 4096;
+constexpr size_t kMaxPending = 256;
+constexpr int64_t kPendingMaxAge = 512;  // in media-packet ticks
+}  // namespace
+
+FecRecoverer::FecRecoverer(RecoveredCallback on_recovered)
+    : on_recovered_(std::move(on_recovered)) {}
+
+void FecRecoverer::OnMediaPacket(const RtpPacket& packet) {
+  seen_.insert({packet.ssrc, packet.seq});
+  while (seen_.size() > kMaxSeen) seen_.erase(seen_.begin());
+  ++tick_;
+
+  // A new arrival may complete a pending parity group.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    bool relevant = false;
+    for (uint16_t s : it->packet.protected_seqs) {
+      if (s == packet.seq && it->packet.ssrc == packet.ssrc) {
+        relevant = true;
+        break;
+      }
+    }
+    if (relevant && TryRecover(it->packet)) {
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Sweep();
+}
+
+void FecRecoverer::OnFecPacket(const RtpPacket& packet) {
+  ++stats_.fec_received;
+  ++tick_;
+  if (!TryRecover(packet)) {
+    pending_.push_back(PendingFec{packet, tick_});
+    while (pending_.size() > kMaxPending) pending_.pop_front();
+  }
+  Sweep();
+}
+
+bool FecRecoverer::TryRecover(const RtpPacket& fec) {
+  int missing = 0;
+  const ProtectedPacketMeta* missing_meta = nullptr;
+  for (const ProtectedPacketMeta& meta : fec.fec_meta) {
+    if (!seen_.count({fec.ssrc, meta.seq})) {
+      ++missing;
+      missing_meta = &meta;
+    }
+  }
+  if (missing == 0) return true;  // nothing to do; parity spent
+  if (missing > 1) return false;  // XOR cannot rebuild two losses
+
+  RtpPacket recovered = PacketFromMeta(*missing_meta, fec.ssrc);
+  recovered.via_fec = true;
+  seen_.insert({recovered.ssrc, recovered.seq});
+  ++stats_.fec_used;
+  ++stats_.packets_recovered;
+  on_recovered_(recovered);
+  return true;
+}
+
+void FecRecoverer::Sweep() {
+  while (!pending_.empty() && tick_ - pending_.front().age > kPendingMaxAge) {
+    pending_.pop_front();
+  }
+}
+
+}  // namespace converge

@@ -1,0 +1,59 @@
+// Receiver-side XOR FEC recovery.
+//
+// Tracks received media packets and pending parity packets; whenever a
+// parity group has exactly one covered packet missing, that packet is
+// rebuilt and handed back to the caller. Also reports the utilization
+// statistics the paper evaluates (fraction of received FEC that actually
+// repaired something, Figures 3c/12).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <set>
+#include <vector>
+
+#include "fec/xor_fec.h"
+#include "rtp/rtp_packet.h"
+
+namespace converge {
+
+class FecRecoverer {
+ public:
+  struct Stats {
+    int64_t fec_received = 0;
+    int64_t fec_used = 0;        // parity packets that repaired a loss
+    int64_t packets_recovered = 0;
+  };
+
+  // Recovered packets are delivered through this callback (marked via_fec).
+  using RecoveredCallback = std::function<void(const RtpPacket&)>;
+
+  explicit FecRecoverer(RecoveredCallback on_recovered);
+
+  // Media path: remember the sequence and re-check pending parity packets.
+  void OnMediaPacket(const RtpPacket& packet);
+  // Parity path: attempt recovery now, else park the parity packet.
+  void OnFecPacket(const RtpPacket& packet);
+
+  const Stats& stats() const { return stats_; }
+  size_t pending() const { return pending_.size(); }
+
+ private:
+  struct PendingFec {
+    RtpPacket packet;
+    int64_t age = 0;
+  };
+
+  // Returns true if the parity packet is now spent (recovered or complete).
+  bool TryRecover(const RtpPacket& fec);
+  void Sweep();
+
+  RecoveredCallback on_recovered_;
+  Stats stats_;
+  std::set<std::pair<uint32_t, uint16_t>> seen_;  // (ssrc, seq), bounded
+  std::list<PendingFec> pending_;
+  int64_t tick_ = 0;
+};
+
+}  // namespace converge

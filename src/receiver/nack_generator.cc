@@ -1,0 +1,93 @@
+#include "receiver/nack_generator.h"
+
+#include <utility>
+
+namespace converge {
+
+NackGenerator::NackGenerator(EventLoop* loop, Config config, SendNackFn send)
+    : loop_(loop), config_(config), send_(std::move(send)) {
+  task_ = std::make_unique<RepeatingTask>(loop_, Duration::Millis(5),
+                                          [this] { Process(); });
+}
+
+NackGenerator::~NackGenerator() = default;
+
+void NackGenerator::OnPacket(int64_t flow, uint16_t seq) {
+  FlowState& st = flows_[flow];
+  const int64_t useq = st.unwrapper.Unwrap(seq);
+
+  if (!st.initialized) {
+    st.initialized = true;
+    st.highest = useq;
+    return;
+  }
+
+  if (useq > st.highest) {
+    // FIFO per path: every sequence in (highest, useq) was lost (or is
+    // momentarily reordered — the grace period covers that).
+    for (int64_t s = st.highest + 1; s < useq; ++s) {
+      st.missing.emplace(
+          s, Missing{static_cast<uint16_t>(s & 0xFFFF), loop_->now(),
+                     loop_->now() + config_.reorder_grace, 0});
+    }
+    st.highest = useq;
+    // Burst-loss cap: keep only the newest entries.
+    while (st.missing.size() > config_.max_outstanding_per_path) {
+      st.missing.erase(st.missing.begin());
+      ++stats_.abandoned;
+    }
+  } else {
+    auto it = st.missing.find(useq);
+    if (it != st.missing.end()) {
+      if (it->second.retries > 0) ++stats_.recovered;
+      st.missing.erase(it);
+    }
+  }
+}
+
+void NackGenerator::OnRecovered(int64_t flow, uint16_t seq) {
+  auto fit = flows_.find(flow);
+  if (fit == flows_.end()) return;
+  auto& missing = fit->second.missing;
+  for (auto it = missing.begin(); it != missing.end(); ++it) {
+    if (it->second.seq == seq) {
+      ++stats_.recovered;
+      missing.erase(it);
+      return;
+    }
+  }
+}
+
+void NackGenerator::Process() {
+  const Timestamp now = loop_->now();
+  for (auto& [flow, st] : flows_) {
+    std::vector<uint16_t> batch;
+    for (auto it = st.missing.begin(); it != st.missing.end();) {
+      Missing& m = it->second;
+      if (m.retries >= config_.max_retries ||
+          now - m.first_detected > config_.max_age) {
+        ++stats_.abandoned;
+        it = st.missing.erase(it);
+        continue;
+      }
+      if (now >= m.next_send) {
+        batch.push_back(m.seq);
+        ++m.retries;
+        m.next_send = now + config_.retry_interval;
+      }
+      ++it;
+    }
+    if (!batch.empty()) {
+      stats_.nacks_sent += static_cast<int64_t>(batch.size());
+      send_(flow, batch);
+    }
+  }
+}
+
+size_t NackGenerator::outstanding() const {
+  size_t total = 0;
+  for (const auto& [flow, st] : flows_) total += st.missing.size();
+  return total;
+}
+
+}  // namespace converge

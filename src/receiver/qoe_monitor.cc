@@ -1,0 +1,136 @@
+#include "receiver/qoe_monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace converge {
+
+QoeMonitor::QoeMonitor(EventLoop* loop, Config config, FeedbackFn send)
+    : loop_(loop), config_(config), send_(std::move(send)) {}
+
+void QoeMonitor::SetExpectedFps(double fps) {
+  if (fps > 1.0) ifd_exp_ = Duration::Seconds(1.0 / fps);
+}
+
+void QoeMonitor::OnFrameGathered(const GatheredFrame& gathered) {
+  last_fcd_ = gathered.frame.fcd;
+  // An FCD breach signals path asymmetry only when the frame needed no
+  // loss recovery: a frame healed by RTX/FEC gathers slowly because of the
+  // repair round trip, not because a path delivers late.
+  const bool pure_lateness = gathered.frame.recovered_by_fec == 0 &&
+                             gathered.frame.recovered_by_rtx == 0;
+  if (pure_lateness && last_fcd_ > ifd_exp_ * config_.fcd_tolerance) {
+    ++fcd_breach_streak_;
+  } else {
+    fcd_breach_streak_ = 0;
+  }
+
+  // Reference path: the one carrying the most packets of this frame (the
+  // scheduler sends the bulk of the frame on the fast path).
+  std::map<PathId, int> counts;
+  std::map<PathId, Timestamp> last_arrival;
+  for (const PacketArrivalInfo& a : gathered.arrivals) {
+    ++counts[a.path_id];
+    auto [it, inserted] = last_arrival.emplace(a.path_id, a.arrival);
+    if (!inserted) it->second = std::max(it->second, a.arrival);
+  }
+  if (counts.size() < 2) return;  // single-path frame: no asymmetry signal
+
+  PathId reference = counts.begin()->first;
+  for (const auto& [path, n] : counts) {
+    if (n > counts[reference]) reference = path;
+  }
+  const Timestamp t_ref = last_arrival[reference];
+
+  for (const PacketArrivalInfo& a : gathered.arrivals) {
+    if (a.path_id == reference) continue;
+    PathWindow& w = windows_[a.path_id];
+    ++w.packets;
+    if (a.arrival > t_ref + config_.late_margin) {
+      ++w.late;  // this packet extended the gathering delay
+    } else if (a.arrival + config_.early_margin < t_ref) {
+      ++w.early;  // headroom: the path could carry more
+    }
+  }
+  if (++frames_in_window_ > config_.window_frames) DecayWindows();
+}
+
+void QoeMonitor::OnFrameInserted(Duration ifd) {
+  last_ifd_ = ifd;
+  const bool ifd_breach = ifd > ifd_exp_ * config_.ifd_tolerance;
+  if (ifd_breach) {
+    ++breach_streak_;
+  } else {
+    breach_streak_ = 0;
+  }
+  if (breach_streak_ >= config_.consecutive_breaches ||
+      fcd_breach_streak_ >= config_.consecutive_breaches) {
+    MaybeSendNegative();
+  } else if (!ifd_breach) {
+    MaybeSendPositive();
+  }
+}
+
+void QoeMonitor::MaybeSendNegative() {
+  const Timestamp now = loop_->now();
+  if (last_feedback_.IsFinite() &&
+      now - last_feedback_ < config_.min_feedback_interval) {
+    return;
+  }
+  // Blame the path with the most late packets in the window.
+  PathId worst = kInvalidPathId;
+  int64_t worst_late = 0;
+  for (const auto& [path, w] : windows_) {
+    if (w.late > worst_late) {
+      worst_late = w.late;
+      worst = path;
+    }
+  }
+  if (worst == kInvalidPathId || worst_late == 0) return;
+
+  QoeFeedback fb;
+  fb.path_id = worst;
+  // Bounded per event: persistent asymmetry keeps producing feedback (and
+  // ultimately disables the path); one bad frame must not.
+  fb.alpha = -static_cast<int32_t>(std::min<int64_t>(worst_late, 5));
+  fb.fcd = last_fcd_;
+  send_(fb);
+  ++stats_.negative_feedback;
+  last_feedback_ = now;
+  windows_[worst] = PathWindow{};
+}
+
+void QoeMonitor::MaybeSendPositive() {
+  const Timestamp now = loop_->now();
+  if (last_positive_.IsFinite() &&
+      now - last_positive_ < config_.positive_interval) {
+    return;
+  }
+  // A path whose packets consistently arrive early (and never late) can
+  // take more load.
+  for (const auto& [path, w] : windows_) {
+    if (w.packets >= 4 && w.late == 0 && w.early * 2 >= w.packets) {
+      QoeFeedback fb;
+      fb.path_id = path;
+      fb.alpha = static_cast<int32_t>(std::min<int64_t>(
+          w.early, config_.max_positive_alpha));
+      fb.fcd = last_fcd_;
+      send_(fb);
+      ++stats_.positive_feedback;
+      last_positive_ = now;
+      windows_[path] = PathWindow{};
+      return;
+    }
+  }
+}
+
+void QoeMonitor::DecayWindows() {
+  frames_in_window_ = 0;
+  for (auto& [path, w] : windows_) {
+    w.late /= 2;
+    w.early /= 2;
+    w.packets /= 2;
+  }
+}
+
+}  // namespace converge

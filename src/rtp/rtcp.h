@@ -1,0 +1,97 @@
+// RTCP message model with the Converge multipath extensions (Appendix C).
+//
+// Converge adds a path id to every RTCP report plus two new message types:
+// a sender-side SDES announcing the expected frame rate and a receiver-side
+// QoE feedback message carrying (path id, alpha, FCD) — §4.2/§5.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/path.h"
+#include "util/time.h"
+
+namespace converge {
+
+// Sender report: lets the receiver echo timing for RTT measurement.
+struct SenderReport {
+  uint32_t ssrc = 0;
+  Timestamp send_time;
+  uint32_t packet_count = 0;
+  uint32_t octet_count = 0;
+};
+
+// Receiver report for one path (extended with path-specific sequence space).
+struct ReceiverReport {
+  uint32_t ssrc = 0;
+  double fraction_lost = 0.0;   // since previous report, this path
+  int64_t cumulative_lost = 0;
+  uint16_t ext_high_seq = 0;     // per-SSRC media sequence space
+  uint16_t ext_high_mp_seq = 0;  // per-path sequence space (Figure 19)
+  Duration jitter;
+  // RTT support: echo of the last SenderReport's send time and the delay
+  // the receiver held it before responding.
+  Timestamp last_sr_time = Timestamp::MinusInfinity();
+  Duration delay_since_last_sr;
+};
+
+// Transport-wide feedback for one path: arrival times of the path's
+// transport sequence numbers (drives the delay-based GCC estimator).
+struct TransportFeedback {
+  struct Arrival {
+    int64_t mp_transport_seq;  // unwrapped
+    Timestamp recv_time;       // MinusInfinity marks "not received"
+  };
+  std::vector<Arrival> arrivals;
+};
+
+// Negative acknowledgement: per-SSRC media sequence numbers to retransmit.
+struct Nack {
+  uint32_t ssrc = 0;
+  std::vector<uint16_t> seqs;
+};
+
+// Picture Loss Indication: receiver requests a new keyframe for the stream.
+struct KeyframeRequest {
+  uint32_t ssrc = 0;
+};
+
+// SDES extension: sender announces the encode frame rate so the receiver can
+// derive IFD_exp = 1 / fps (§4.2).
+struct SdesFrameRate {
+  uint32_t ssrc = 0;
+  double fps = 30.0;
+};
+
+// The Converge QoE feedback message: the path whose packets deteriorated
+// frame construction, the early/late packet count alpha (sign says whether
+// the sender should add or remove packets, Eq. 2), and the observed frame
+// construction delay (used for path re-enablement, Eq. 3).
+struct QoeFeedback {
+  PathId path_id = kInvalidPathId;
+  int32_t alpha = 0;
+  Duration fcd;
+};
+
+using RtcpPayload =
+    std::variant<SenderReport, ReceiverReport, TransportFeedback, Nack,
+                 KeyframeRequest, SdesFrameRate, QoeFeedback>;
+
+struct RtcpPacket {
+  // Path the report *describes* (Figure 19 header extension). The packet may
+  // physically travel on any path; Converge sends feedback on the path it
+  // describes when that path is alive, else on the fast path.
+  PathId path_id = kInvalidPathId;
+  RtcpPayload payload;
+
+  int64_t wire_size() const;
+};
+
+// Wire serialization of the extended RTCP header + payload (Figure 19
+// layout: common header, path id word, then type-specific fields). Used by
+// tests to pin the format; the simulator passes structs.
+std::vector<uint8_t> SerializeRtcp(const RtcpPacket& packet);
+bool ParseRtcp(const std::vector<uint8_t>& buffer, RtcpPacket* packet);
+
+}  // namespace converge

@@ -1,0 +1,80 @@
+#include "schedulers/connection_migration.h"
+
+#include "schedulers/path_stats.h"
+
+namespace converge {
+
+ConnectionMigrationScheduler::ConnectionMigrationScheduler()
+    : ConnectionMigrationScheduler(Config{}) {}
+
+ConnectionMigrationScheduler::ConnectionMigrationScheduler(Config config)
+    : config_(config), current_(config.initial_path) {}
+
+bool ConnectionMigrationScheduler::InBlackout(Timestamp now) const {
+  return migrating_ && now < blackout_until_;
+}
+
+std::vector<PathId> ConnectionMigrationScheduler::AssignFrame(
+    const std::vector<RtpPacket>& packets,
+    const std::vector<PathInfo>& paths) {
+  (void)paths;
+  // During ICE restart nothing can be delivered: blackhole the frame.
+  const PathId target = InBlackout(now_) ? kInvalidPathId : current_;
+  return std::vector<PathId>(packets.size(), target);
+}
+
+PathId ConnectionMigrationScheduler::ChooseRtxPath(
+    const RtpPacket&, const std::vector<PathInfo>&) {
+  return InBlackout(now_) ? kInvalidPathId : current_;
+}
+
+PathId ConnectionMigrationScheduler::ChooseFecPath(
+    const RtpPacket&, PathId, const std::vector<PathInfo>&) {
+  return InBlackout(now_) ? kInvalidPathId : current_;
+}
+
+bool ConnectionMigrationScheduler::IsPathActive(PathId id) const {
+  return id == current_ && !migrating_;
+}
+
+void ConnectionMigrationScheduler::OnTick(const std::vector<PathInfo>& paths,
+                                          Timestamp now) {
+  now_ = now;
+  if (migrating_ && now >= blackout_until_) migrating_ = false;
+  if (migrating_) return;
+
+  const PathInfo* active = FindPath(paths, current_);
+  if (active == nullptr) return;
+
+  const bool unhealthy = active->goodput < config_.failure_goodput ||
+                         active->loss > config_.failure_loss;
+  if (!unhealthy) {
+    unhealthy_since_ = Timestamp::MinusInfinity();
+    return;
+  }
+  if (!unhealthy_since_.IsFinite()) {
+    unhealthy_since_ = now;
+    return;
+  }
+  const bool sustained = now - unhealthy_since_ >= config_.failure_window;
+  const bool dwell_ok = !last_migration_.IsFinite() ||
+                        now - last_migration_ >= config_.min_dwell;
+  if (!sustained || !dwell_ok) return;
+
+  // Migrate to the best other path (highest goodput).
+  const PathInfo* best = nullptr;
+  for (const PathInfo& p : paths) {
+    if (p.id == current_) continue;
+    if (best == nullptr || p.goodput > best->goodput) best = &p;
+  }
+  if (best == nullptr) return;
+
+  current_ = best->id;
+  migrating_ = true;
+  blackout_until_ = now + config_.migration_blackout;
+  last_migration_ = now;
+  unhealthy_since_ = Timestamp::MinusInfinity();
+  ++migrations_;
+}
+
+}  // namespace converge

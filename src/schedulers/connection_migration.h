@@ -1,0 +1,55 @@
+// WebRTC-CM: single-path WebRTC with connection migration (§6). Uses one
+// path at a time; when the active path fails (goodput collapse or heavy
+// loss sustained for `failure_window`), it drops the connection and
+// re-establishes on the other path. During re-establishment (ICE restart)
+// nothing can be sent — packets are blackholed, which is exactly why the
+// paper's CM baseline underperforms Converge during handovers.
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class ConnectionMigrationScheduler final : public Scheduler {
+ public:
+  struct Config {
+    PathId initial_path = 0;
+    DataRate failure_goodput = DataRate::KilobitsPerSec(200);
+    double failure_loss = 0.35;
+    Duration failure_window = Duration::Millis(2000);
+    Duration migration_blackout = Duration::Millis(1500);  // ICE restart
+    Duration min_dwell = Duration::Millis(5000);  // no ping-pong
+  };
+
+  ConnectionMigrationScheduler();
+  explicit ConnectionMigrationScheduler(Config config);
+
+  std::string name() const override { return "WebRTC-CM"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>& paths) override;
+  PathId ChooseRtxPath(const RtpPacket&,
+                       const std::vector<PathInfo>&) override;
+  PathId ChooseFecPath(const RtpPacket&, PathId,
+                       const std::vector<PathInfo>&) override;
+  bool IsPathActive(PathId id) const override;
+  void OnTick(const std::vector<PathInfo>& paths, Timestamp now) override;
+
+  PathId current_path() const { return current_; }
+  bool migrating() const { return migrating_; }
+  int64_t migrations() const { return migrations_; }
+
+ private:
+  bool InBlackout(Timestamp now) const;
+
+  Config config_;
+  PathId current_;
+  bool migrating_ = false;
+  Timestamp blackout_until_ = Timestamp::MinusInfinity();
+  Timestamp unhealthy_since_ = Timestamp::MinusInfinity();
+  Timestamp last_migration_ = Timestamp::MinusInfinity();
+  Timestamp now_ = Timestamp::Zero();
+  int64_t migrations_ = 0;
+};
+
+}  // namespace converge

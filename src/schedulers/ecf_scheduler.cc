@@ -1,0 +1,59 @@
+#include "schedulers/ecf_scheduler.h"
+
+#include <algorithm>
+
+namespace converge {
+
+EcfScheduler::EcfScheduler() : EcfScheduler(Config{}) {}
+
+EcfScheduler::EcfScheduler(Config config) : config_(config) {}
+
+std::vector<PathId> EcfScheduler::AssignFrame(
+    const std::vector<RtpPacket>& packets,
+    const std::vector<PathInfo>& paths) {
+  std::vector<PathId> out(packets.size(), kInvalidPathId);
+  if (paths.empty()) return out;
+
+  // Fastest path by sRTT; the alternative is the next-fastest.
+  size_t fast = 0;
+  for (size_t i = 1; i < paths.size(); ++i) {
+    if (paths[i].srtt < paths[fast].srtt) fast = i;
+  }
+
+  std::vector<int64_t> backlog(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    backlog[i] = paths[i].pacer_queue_bytes;
+  }
+  auto rate_bps = [&](size_t i) {
+    return std::max<double>(1000.0,
+                            static_cast<double>(paths[i].allocated_rate.bps()));
+  };
+
+  for (size_t p = 0; p < packets.size(); ++p) {
+    // Time if we keep queueing on the fast path (ECF's "wait" option).
+    const double t_wait = paths[fast].srtt.seconds() / 2.0 +
+                          static_cast<double>(backlog[fast]) * 8.0 /
+                              rate_bps(fast);
+    // Best immediate completion on any other path.
+    size_t alt = fast;
+    double t_alt = 0.0;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      if (i == fast) continue;
+      const double t = paths[i].srtt.seconds() / 2.0 +
+                       static_cast<double>(backlog[i]) * 8.0 / rate_bps(i);
+      if (alt == fast || t < t_alt) {
+        alt = i;
+        t_alt = t;
+      }
+    }
+    size_t chosen = fast;
+    if (alt != fast && t_alt * (1.0 + config_.delta) < t_wait) {
+      chosen = alt;  // spilling genuinely completes earlier than waiting
+    }
+    out[p] = paths[chosen].id;
+    backlog[chosen] += packets[p].wire_size();
+  }
+  return out;
+}
+
+}  // namespace converge

@@ -1,0 +1,33 @@
+// ECF: Earliest Completion First (Lim et al., CoNEXT'17), one of the
+// heterogeneity-aware MPTCP schedulers the paper cites as prior work on
+// head-of-line blocking (§2.2). Like minRTT it prefers the fastest path,
+// but when that path is backlogged it only spills to a slower path if
+// sending there now genuinely completes earlier than *waiting* for the fast
+// path — otherwise it waits (keeps queueing on the fast path). Still
+// video-unaware: no frame/packet priorities.
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class EcfScheduler final : public Scheduler {
+ public:
+  struct Config {
+    // Hysteresis: the slow path must beat waiting by this margin.
+    double delta = 0.25;
+  };
+
+  EcfScheduler();
+  explicit EcfScheduler(Config config);
+
+  std::string name() const override { return "ECF"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>& paths) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace converge

@@ -1,0 +1,52 @@
+#include "schedulers/mprtp_scheduler.h"
+
+#include <algorithm>
+
+namespace converge {
+
+MprtpScheduler::MprtpScheduler() : MprtpScheduler(Config{}) {}
+
+MprtpScheduler::MprtpScheduler(Config config) : config_(config) {}
+
+std::vector<PathId> MprtpScheduler::AssignFrame(
+    const std::vector<RtpPacket>& packets,
+    const std::vector<PathInfo>& paths) {
+  std::vector<PathId> out(packets.size(), kInvalidPathId);
+  if (paths.empty()) return out;
+
+  // Loss-discounted rate estimate per path, floored at the minimum share so
+  // every subflow keeps carrying traffic (per the MPRTP spec).
+  std::vector<double> weight(paths.size());
+  double total = 0.0;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const double rate =
+        static_cast<double>(paths[i].allocated_rate.bps());
+    weight[i] = std::max(1.0, rate * (1.0 - paths[i].loss));
+    total += weight[i];
+  }
+  const double floor_weight = config_.min_share * total;
+  double adjusted_total = 0.0;
+  for (double& w : weight) {
+    w = std::max(w, floor_weight);
+    adjusted_total += w;
+  }
+
+  // Stripe packet-by-packet with a rotating start, so consecutive frames
+  // interleave differently (MPRTP round-robins subflows).
+  std::vector<double> credit(paths.size(), 0.0);
+  for (size_t p = 0; p < packets.size(); ++p) {
+    for (size_t i = 0; i < paths.size(); ++i) {
+      credit[i] += weight[i] / adjusted_total;
+    }
+    size_t best = (p + rr_offset_) % paths.size();
+    for (size_t i = 0; i < paths.size(); ++i) {
+      if (credit[i] > credit[best] + 1e-9) best = i;
+    }
+    credit[best] -= 1.0;
+    out[p] = paths[best].id;
+  }
+  ++rr_offset_;
+  return out;
+}
+
+}  // namespace converge

@@ -1,0 +1,31 @@
+// M-RTP: scheduler following the MPRTP specification [71] (§2.2, §5).
+// Distributes packets over ALL available paths using a loss-discounted
+// sending-rate estimate per path, with a minimum share per path (MPRTP keeps
+// every subflow alive to maintain its statistics). No feedback about frame
+// construction, no prioritization — the worst performer in Table 1.
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class MprtpScheduler final : public Scheduler {
+ public:
+  struct Config {
+    double min_share = 0.15;  // every subflow keeps at least this fraction
+  };
+
+  MprtpScheduler();
+  explicit MprtpScheduler(Config config);
+
+  std::string name() const override { return "M-RTP"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>& paths) override;
+
+ private:
+  Config config_;
+  size_t rr_offset_ = 0;  // rotates the striping start across frames
+};
+
+}  // namespace converge

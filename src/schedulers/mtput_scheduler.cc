@@ -1,0 +1,44 @@
+#include "schedulers/mtput_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace converge {
+
+std::vector<PathId> MtputScheduler::AssignFrame(
+    const std::vector<RtpPacket>& packets,
+    const std::vector<PathInfo>& paths) {
+  std::vector<PathId> out(packets.size(), kInvalidPathId);
+  if (paths.empty()) return out;
+
+  // Weights: measured goodput (fall back to allocated rate before the first
+  // throughput samples exist).
+  std::vector<double> weight(paths.size());
+  double total = 0.0;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    weight[i] = static_cast<double>(
+        paths[i].goodput.bps() > 0 ? paths[i].goodput.bps()
+                                   : paths[i].allocated_rate.bps());
+    weight[i] = std::max(weight[i], 1.0);
+    total += weight[i];
+  }
+
+  // Weighted striping: packet p goes to the path whose cumulative weight
+  // bucket contains it (interleaves paths within the frame, as a
+  // transport-level throughput scheduler does).
+  std::vector<double> credit(paths.size(), 0.0);
+  for (size_t p = 0; p < packets.size(); ++p) {
+    for (size_t i = 0; i < paths.size(); ++i) {
+      credit[i] += weight[i] / total;
+    }
+    size_t best = 0;
+    for (size_t i = 1; i < paths.size(); ++i) {
+      if (credit[i] > credit[best]) best = i;
+    }
+    credit[best] -= 1.0;
+    out[p] = paths[best].id;
+  }
+  return out;
+}
+
+}  // namespace converge

@@ -1,0 +1,18 @@
+// M-TPUT: the throughput-proportional scheduler from Musher [69] ported to
+// WebRTC (§5). Packets of every frame are striped across all paths in
+// proportion to each path's measured throughput. Video-unaware.
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class MtputScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "M-TPUT"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>& paths) override;
+};
+
+}  // namespace converge

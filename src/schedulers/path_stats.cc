@@ -1,0 +1,76 @@
+#include "schedulers/path_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace converge {
+
+PathId MinSrttPath(const std::vector<PathInfo>& paths) {
+  if (paths.empty()) return kInvalidPathId;
+  const PathInfo* best = &paths.front();
+  for (const PathInfo& p : paths) {
+    if (p.srtt < best->srtt) best = &p;
+  }
+  return best->id;
+}
+
+PathId MinCompletionTimePath(const std::vector<PathInfo>& paths,
+                             int num_packets, int64_t packet_bytes) {
+  if (paths.empty()) return kInvalidPathId;
+  const PathInfo* best = nullptr;
+  double best_cpt = 0.0;
+  for (const PathInfo& p : paths) {
+    const DataRate rate =
+        p.goodput.bps() > 0 ? p.goodput : p.allocated_rate;
+    const double rate_bps =
+        std::max<double>(1000.0, static_cast<double>(rate.bps()));
+    const double cpt =
+        static_cast<double>(num_packets) * static_cast<double>(packet_bytes) *
+            8.0 / rate_bps +
+        p.srtt.seconds() / 2.0;
+    if (best == nullptr || cpt < best_cpt) {
+      best = &p;
+      best_cpt = cpt;
+    }
+  }
+  return best->id;
+}
+
+DataRate TotalAllocatedRate(const std::vector<PathInfo>& paths) {
+  DataRate total = DataRate::Zero();
+  for (const PathInfo& p : paths) total += p.allocated_rate;
+  return total;
+}
+
+std::vector<int> ProportionalSplit(const std::vector<PathInfo>& paths,
+                                   int n) {
+  std::vector<int> out(paths.size(), 0);
+  if (paths.empty() || n <= 0) return out;
+  const double total =
+      std::max<double>(1.0, static_cast<double>(TotalAllocatedRate(paths).bps()));
+
+  std::vector<std::pair<double, size_t>> remainders;
+  int assigned = 0;
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const double exact =
+        static_cast<double>(paths[i].allocated_rate.bps()) / total * n;
+    out[i] = static_cast<int>(std::floor(exact));
+    assigned += out[i];
+    remainders.emplace_back(exact - std::floor(exact), i);
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (size_t j = 0; j < remainders.size() && assigned < n; ++j) {
+    ++out[remainders[j].second];
+    ++assigned;
+  }
+  return out;
+}
+
+const PathInfo* FindPath(const std::vector<PathInfo>& paths, PathId id) {
+  for (const PathInfo& p : paths) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace converge

@@ -1,0 +1,28 @@
+// Shared helpers over PathInfo snapshots.
+#pragma once
+
+#include <vector>
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+// Path with minimum smoothed RTT.
+PathId MinSrttPath(const std::vector<PathInfo>& paths);
+
+// Algorithm 1: path with minimum completion time for N packets of size k:
+//   cpt_i = N * k / rate_i + rtt_i / 2
+// using the measured goodput when available, else the allocated rate.
+PathId MinCompletionTimePath(const std::vector<PathInfo>& paths,
+                             int num_packets, int64_t packet_bytes);
+
+// Sum of allocated rates.
+DataRate TotalAllocatedRate(const std::vector<PathInfo>& paths);
+
+// Proportional split of `n` items by allocated rate (Eq. 1), rounded with
+// largest-remainder so the counts always sum to n.
+std::vector<int> ProportionalSplit(const std::vector<PathInfo>& paths, int n);
+
+const PathInfo* FindPath(const std::vector<PathInfo>& paths, PathId id);
+
+}  // namespace converge

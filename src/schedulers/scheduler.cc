@@ -1,0 +1,20 @@
+#include "schedulers/scheduler.h"
+
+#include "schedulers/path_stats.h"
+
+namespace converge {
+
+// Default RTX/FEC placement for video-unaware baselines: retransmissions go
+// to the lowest-RTT path, FEC stays on the path whose media it protects.
+PathId Scheduler::ChooseRtxPath(const RtpPacket&,
+                                const std::vector<PathInfo>& paths) {
+  return MinSrttPath(paths);
+}
+
+PathId Scheduler::ChooseFecPath(const RtpPacket&, PathId origin,
+                                const std::vector<PathInfo>& paths) {
+  if (FindPath(paths, origin) != nullptr) return origin;
+  return MinSrttPath(paths);
+}
+
+}  // namespace converge

@@ -1,0 +1,72 @@
+// Multipath packet-scheduler interface shared by the Converge video-aware
+// scheduler and the baselines the paper compares against (§2.2, §5):
+// SRTT (minRTT, the MPTCP/MPQUIC default), M-TPUT (Musher), M-RTP (MPRTP),
+// plus single-path WebRTC and WebRTC-CM (connection migration).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/path.h"
+#include "rtp/rtcp.h"
+#include "rtp/rtp_packet.h"
+#include "util/time.h"
+
+namespace converge {
+
+// Per-path state snapshot the sender hands to the scheduler.
+struct PathInfo {
+  PathId id = kInvalidPathId;
+  DataRate allocated_rate;   // S_i from the per-path congestion controller
+  Duration srtt = Duration::Millis(100);
+  double loss = 0.0;         // smoothed loss estimate
+  DataRate goodput;          // measured delivered rate
+  int64_t pacer_queue_bytes = 0;
+  Duration pacer_queue_delay;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  // Assigns every packet of one frame to a path. Entries may be
+  // kInvalidPathId, meaning "do not send" (used by WebRTC-CM during
+  // re-establishment blackouts).
+  virtual std::vector<PathId> AssignFrame(
+      const std::vector<RtpPacket>& packets,
+      const std::vector<PathInfo>& paths) = 0;
+
+  // Path for a retransmitted packet (responding to a NACK).
+  virtual PathId ChooseRtxPath(const RtpPacket& packet,
+                               const std::vector<PathInfo>& paths);
+
+  // Path for a FEC packet generated to protect media sent on `origin`.
+  virtual PathId ChooseFecPath(const RtpPacket& fec, PathId origin,
+                               const std::vector<PathInfo>& paths);
+
+  // Receiver QoE feedback (§4.2); only Converge reacts.
+  virtual void OnQoeFeedback(const QoeFeedback& feedback) { (void)feedback; }
+
+  // Whether the scheduler currently uses a path (Converge can disable paths;
+  // CM uses one at a time).
+  virtual bool IsPathActive(PathId id) const {
+    (void)id;
+    return true;
+  }
+
+  // Paths that should receive a duplicated probe packet now (§4.2).
+  virtual std::vector<PathId> PathsNeedingProbe(Timestamp now) {
+    (void)now;
+    return {};
+  }
+
+  // Periodic maintenance (failure detection, path re-enablement).
+  virtual void OnTick(const std::vector<PathInfo>& paths, Timestamp now) {
+    (void)paths;
+    (void)now;
+  }
+};
+
+}  // namespace converge

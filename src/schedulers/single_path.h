@@ -1,0 +1,34 @@
+// Legacy single-path WebRTC: every packet rides one fixed path
+// (WebRTC-W / WebRTC-T / WebRTC-V in the evaluation).
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class SinglePathScheduler final : public Scheduler {
+ public:
+  explicit SinglePathScheduler(PathId path) : path_(path) {}
+
+  std::string name() const override { return "WebRTC"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>&) override {
+    return std::vector<PathId>(packets.size(), path_);
+  }
+
+  PathId ChooseRtxPath(const RtpPacket&,
+                       const std::vector<PathInfo>&) override {
+    return path_;
+  }
+  PathId ChooseFecPath(const RtpPacket&, PathId,
+                       const std::vector<PathInfo>&) override {
+    return path_;
+  }
+  bool IsPathActive(PathId id) const override { return id == path_; }
+
+ private:
+  PathId path_;
+};
+
+}  // namespace converge

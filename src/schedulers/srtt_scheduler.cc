@@ -1,0 +1,43 @@
+#include "schedulers/srtt_scheduler.h"
+
+#include <algorithm>
+
+#include "schedulers/path_stats.h"
+
+namespace converge {
+
+std::vector<PathId> SrttScheduler::AssignFrame(
+    const std::vector<RtpPacket>& packets,
+    const std::vector<PathInfo>& paths) {
+  std::vector<PathId> out(packets.size(), kInvalidPathId);
+  if (paths.empty()) return out;
+
+  // Track the backlog we add during this frame so spillover kicks in
+  // mid-frame, like a transport-level scheduler that fills a cwnd.
+  std::vector<int64_t> backlog(paths.size());
+  for (size_t i = 0; i < paths.size(); ++i) {
+    backlog[i] = paths[i].pacer_queue_bytes;
+  }
+
+  for (size_t p = 0; p < packets.size(); ++p) {
+    // Effective latency of each path: sRTT/2 plus time to drain the backlog.
+    size_t best = 0;
+    double best_latency = 0.0;
+    for (size_t i = 0; i < paths.size(); ++i) {
+      const double rate_bps = std::max<double>(
+          1000.0, static_cast<double>(paths[i].allocated_rate.bps()));
+      const double drain_s =
+          static_cast<double>(backlog[i]) * 8.0 / rate_bps;
+      const double latency = paths[i].srtt.seconds() / 2.0 + drain_s;
+      if (i == 0 || latency < best_latency) {
+        best = i;
+        best_latency = latency;
+      }
+    }
+    out[p] = paths[best].id;
+    backlog[best] += packets[p].wire_size();
+  }
+  return out;
+}
+
+}  // namespace converge

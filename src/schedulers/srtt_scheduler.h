@@ -1,0 +1,21 @@
+// SRTT: the minRTT scheduler used by default in MPTCP and MPQUIC (§2.2).
+// Every packet goes to the lowest-sRTT path; when that path's pacer backlog
+// would delay the packet beyond the next path's RTT advantage, the packet
+// spills to the next-best path. Video-unaware: keyframe, PPS/SPS and FEC
+// packets are treated like any other payload, which is what breaks frame
+// decode ordering under path asymmetry (§2.3).
+#pragma once
+
+#include "schedulers/scheduler.h"
+
+namespace converge {
+
+class SrttScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "SRTT"; }
+
+  std::vector<PathId> AssignFrame(const std::vector<RtpPacket>& packets,
+                                  const std::vector<PathInfo>& paths) override;
+};
+
+}  // namespace converge

@@ -1,0 +1,124 @@
+// Top-level conference call: builds the network, the sender and receiver
+// endpoints, the chosen scheduler variant and FEC controller from one
+// declarative CallConfig, runs the simulation, and returns the QoE results
+// the paper's tables and figures report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/video_aware_scheduler.h"
+#include "fec/converge_fec_controller.h"
+#include "fec/fec_controller.h"
+#include "net/network.h"
+#include "schedulers/scheduler.h"
+#include "session/metrics.h"
+#include "session/receiver_endpoint.h"
+#include "session/sender.h"
+
+namespace converge {
+
+// The systems evaluated in §6.
+enum class Variant {
+  kWebRtcPath0,       // single-path WebRTC on the first path
+  kWebRtcPath1,       // single-path WebRTC on the second path
+  kWebRtcCm,          // single path + connection migration
+  kSrtt,              // minRTT multipath (MPTCP/MPQUIC default)
+  kEcf,               // Earliest Completion First (heterogeneity-aware)
+  kMtput,             // Musher throughput scheduler
+  kMrtp,              // MPRTP
+  kConverge,          // full system
+  kConvergeNoFeedback,  // ablation: video-aware scheduler, no QoE feedback
+  kConvergeWebRtcFec,   // ablation: Converge scheduler + table-based FEC
+};
+
+std::string ToString(Variant v);
+bool IsMultipath(Variant v);
+
+struct CallConfig {
+  Variant variant = Variant::kConverge;
+  std::vector<PathSpec> paths;
+  int num_streams = 1;
+  DataRate max_rate_per_stream = DataRate::MegabitsPerSec(10);
+  double fps = 30.0;
+  int width = 1280;
+  int height = 720;
+  Duration duration = Duration::Seconds(180);
+  uint64_t seed = 1;
+  bool enable_fec = true;
+  // Receiver buffer sizing (§2.1 "small, fixed-size buffers").
+  size_t packet_buffer_capacity = 512;
+  size_t frame_buffer_capacity = 16;
+  // Tunables for the Converge variants (design-choice ablations).
+  VideoAwareScheduler::Config video_scheduler;
+  ConvergeFecController::Config converge_fec;
+};
+
+// Aggregated results of one call.
+struct CallStats {
+  std::vector<StreamQoe> streams;
+  std::vector<SecondSample> time_series;
+
+  // Sender-side counters.
+  int64_t media_packets_sent = 0;
+  int64_t fec_packets_sent = 0;
+  int64_t rtx_packets_sent = 0;
+  int64_t frames_encoded = 0;
+
+  // FEC economics (§6): overhead = FEC/media packets sent; utilization =
+  // parity packets that actually repaired a loss / parity received.
+  double fec_overhead = 0.0;
+  double fec_utilization = 0.0;
+  int64_t fec_recovered_packets = 0;
+
+  // Receiver totals.
+  int64_t total_frame_drops = 0;
+  int64_t total_keyframe_requests = 0;
+
+  // Convenience aggregates over streams.
+  double AvgFps() const;
+  double AvgFreezeMs() const;
+  double AvgE2eMs() const;
+  double TotalTputMbps() const;
+  double AvgQp() const;
+  double AvgPsnrDb() const;
+};
+
+class Call {
+ public:
+  explicit Call(const CallConfig& config);
+  ~Call();
+
+  // Runs the whole call; returns aggregated stats. PSNR/E2E sample sets stay
+  // accessible through metrics() afterwards.
+  CallStats Run();
+
+  EventLoop& loop() { return loop_; }
+  const MetricsCollector& metrics() const { return *metrics_; }
+  const Sender& sender() const { return *sender_; }
+  const ReceiverEndpoint& receiver() const { return *receiver_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const Network& network() const { return *network_; }
+
+ private:
+  void TransmitRtp(PathId path, const RtpPacket& packet);
+  void TransmitRtcpForward(PathId path, const RtcpPacket& packet);
+  void TransmitRtcpBackward(PathId path, const RtcpPacket& packet);
+
+  CallConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<FecController> fec_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  std::unique_ptr<Sender> sender_;
+  std::unique_ptr<ReceiverEndpoint> receiver_;
+};
+
+// Runs `seeds` repetitions of the same config (varying the seed) and returns
+// one CallStats per run — used by the table benches for mean ± stddev.
+std::vector<CallStats> RunSeeds(CallConfig config,
+                                const std::vector<uint64_t>& seeds);
+
+}  // namespace converge

@@ -1,0 +1,135 @@
+#include "session/metrics.h"
+
+#include <algorithm>
+
+namespace converge {
+
+MetricsCollector::MetricsCollector(EventLoop* loop, Config config)
+    : loop_(loop), config_(config) {
+  for (int i = 0; i < config.num_streams; ++i) streams_[i];
+  second_task_ = std::make_unique<RepeatingTask>(
+      loop_, Duration::Seconds(1.0), [this] { SecondTick(); });
+  display_task_ = std::make_unique<RepeatingTask>(
+      loop_, config_.expected_frame_interval, [this] { DisplayTick(); });
+}
+
+void MetricsCollector::OnDecodedFrame(const DecodedFrame& frame) {
+  StreamState& st = streams_[frame.stream_id];
+
+  if (st.last_render.IsFinite()) {
+    const Duration gap = frame.render_time - st.last_render;
+    if (gap > config_.freeze_threshold) {
+      st.freeze_total_ms +=
+          (gap - config_.expected_frame_interval).ms();
+      ++st.freeze_count;
+    }
+  }
+  st.last_render = frame.render_time;
+  st.last_psnr = frame.psnr_db;
+  st.stale_ticks = 0;
+
+  st.e2e_ms.Add(frame.e2e_latency.ms());
+  st.qp.Add(frame.qp);
+  st.decoded_bytes += frame.size_bytes;
+  ++st.frames;
+
+  ++sec_frames_;
+  sec_e2e_.Add(frame.e2e_latency.ms());
+}
+
+void MetricsCollector::OnMediaBytesReceived(int stream_id, int64_t bytes) {
+  streams_[stream_id].media_bytes += bytes;
+  sec_bytes_ += bytes;
+}
+
+void MetricsCollector::OnFrameGatheredDelays(Duration fcd, Duration ifd) {
+  sec_fcd_.Add(fcd.ms());
+  sec_ifd_.Add(ifd.ms());
+}
+
+void MetricsCollector::SetReceiverCounters(int stream_id, int64_t frame_drops,
+                                           int64_t keyframe_requests) {
+  receiver_counters_[stream_id] = {frame_drops, keyframe_requests};
+}
+
+void MetricsCollector::SecondTick() {
+  SecondSample s;
+  s.t_s = loop_->now().seconds();
+  s.tput_mbps = static_cast<double>(sec_bytes_) * 8.0 / 1e6;
+  s.fps = static_cast<double>(sec_frames_) /
+          static_cast<double>(std::max(1, config_.num_streams));
+  s.e2e_ms = sec_e2e_.mean();
+  s.ifd_ms = sec_ifd_.mean();
+  s.fcd_ms = sec_fcd_.mean();
+  series_.push_back(s);
+  sec_bytes_ = 0;
+  sec_frames_ = 0;
+  sec_e2e_.Clear();
+  sec_ifd_.Clear();
+  sec_fcd_.Clear();
+}
+
+void MetricsCollector::DisplayTick() {
+  // Display-rate PSNR: a frozen display shows an increasingly stale image of
+  // a moving scene, so effective quality decays until a fresh frame lands.
+  for (auto& [id, st] : streams_) {
+    if (st.frames == 0) continue;
+    double psnr = st.last_psnr;
+    if (st.stale_ticks > 0) {
+      psnr = std::max(18.0, psnr - 0.8 * static_cast<double>(st.stale_ticks));
+    }
+    st.psnr_db.Add(psnr);
+    ++st.stale_ticks;
+  }
+}
+
+StreamQoe MetricsCollector::StreamResult(int stream_id,
+                                         Duration call_length) const {
+  StreamQoe out;
+  auto it = streams_.find(stream_id);
+  if (it == streams_.end()) return out;
+  const StreamState& st = it->second;
+
+  const double seconds = std::max(1e-9, call_length.seconds());
+  out.avg_fps = static_cast<double>(st.frames) / seconds;
+  out.freeze_total_ms = st.freeze_total_ms;
+  out.freeze_count = st.freeze_count;
+  out.e2e_mean_ms = st.e2e_ms.Mean();
+  out.e2e_p95_ms = st.e2e_ms.Quantile(0.95);
+  out.e2e_std_ms = st.e2e_ms.Stddev();
+  out.tput_mbps = static_cast<double>(st.decoded_bytes) * 8.0 / 1e6 / seconds;
+  out.received_mbps =
+      static_cast<double>(st.media_bytes) * 8.0 / 1e6 / seconds;
+  out.qp_mean = st.qp.mean();
+  out.psnr_mean_db = st.psnr_db.Mean();
+  out.frames_decoded = st.frames;
+  auto cit = receiver_counters_.find(stream_id);
+  if (cit != receiver_counters_.end()) {
+    out.frame_drops = cit->second.first;
+    out.keyframe_requests = cit->second.second;
+  }
+  return out;
+}
+
+std::vector<StreamQoe> MetricsCollector::AllStreams(
+    Duration call_length) const {
+  std::vector<StreamQoe> out;
+  for (const auto& [id, st] : streams_) {
+    out.push_back(StreamResult(id, call_length));
+  }
+  return out;
+}
+
+const SampleSet& MetricsCollector::e2e_samples(int stream_id) const {
+  static const SampleSet kEmpty;
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? kEmpty : it->second.e2e_ms;
+}
+
+const SampleSet& MetricsCollector::psnr_samples(int stream_id) const {
+  static const SampleSet kEmpty;
+  auto it = streams_.find(stream_id);
+  return it == streams_.end() ? kEmpty : it->second.psnr_db;
+}
+
+}  // namespace converge

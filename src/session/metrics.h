@@ -1,0 +1,109 @@
+// QoE metrics (§2.1, §6): frame rate, freeze duration, E2E latency, media
+// throughput, QP/PSNR, plus the FEC overhead/utilization and frame-drop /
+// keyframe-request counters the paper's tables report. Also records
+// per-second time series for the figure benches.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "util/stats.h"
+#include "video/frame.h"
+
+namespace converge {
+
+// One row of the per-second time series (Figures 9/11/16).
+struct SecondSample {
+  double t_s = 0.0;
+  double tput_mbps = 0.0;   // received media rate
+  double fps = 0.0;         // rendered frames in the second
+  double e2e_ms = 0.0;      // mean E2E latency of the second's frames
+  double ifd_ms = 0.0;      // mean inter-frame delay
+  double fcd_ms = 0.0;      // mean frame construction delay
+};
+
+// Aggregated QoE for one camera stream.
+struct StreamQoe {
+  double avg_fps = 0.0;
+  double freeze_total_ms = 0.0;
+  int64_t freeze_count = 0;
+  double e2e_mean_ms = 0.0;
+  double e2e_p95_ms = 0.0;
+  double e2e_std_ms = 0.0;
+  // Decoded-video goodput: bytes of frames that actually rendered. Raw
+  // received media that never became a frame (the multipath variants'
+  // failure mode, §2.3) does not count.
+  double tput_mbps = 0.0;
+  double received_mbps = 0.0;  // raw media arrival rate, for reference
+  double qp_mean = 0.0;
+  double psnr_mean_db = 0.0;
+  int64_t frames_decoded = 0;
+  int64_t frame_drops = 0;
+  int64_t keyframe_requests = 0;
+};
+
+class MetricsCollector {
+ public:
+  struct Config {
+    Duration freeze_threshold = Duration::Millis(200);
+    Duration expected_frame_interval = Duration::Millis(33);
+    int num_streams = 1;
+  };
+
+  MetricsCollector(EventLoop* loop, Config config);
+
+  // --- event inputs ---
+  void OnDecodedFrame(const DecodedFrame& frame);
+  void OnMediaBytesReceived(int stream_id, int64_t bytes);
+  void OnFrameGatheredDelays(Duration fcd, Duration ifd);
+
+  // Call once at the end of the run; sets drop/request counters measured by
+  // the receiver pipeline.
+  void SetReceiverCounters(int stream_id, int64_t frame_drops,
+                           int64_t keyframe_requests);
+
+  // --- outputs ---
+  StreamQoe StreamResult(int stream_id, Duration call_length) const;
+  std::vector<StreamQoe> AllStreams(Duration call_length) const;
+  const std::vector<SecondSample>& time_series() const { return series_; }
+  const SampleSet& e2e_samples(int stream_id) const;
+  // Display-rate PSNR samples (stale frames degrade, §6 Fig 15 CDF).
+  const SampleSet& psnr_samples(int stream_id) const;
+
+ private:
+  struct StreamState {
+    SampleSet e2e_ms;
+    SampleSet psnr_db;
+    RunningStat qp;
+    int64_t frames = 0;
+    int64_t media_bytes = 0;
+    int64_t decoded_bytes = 0;
+    double freeze_total_ms = 0.0;
+    int64_t freeze_count = 0;
+    Timestamp last_render = Timestamp::MinusInfinity();
+    double last_psnr = 0.0;
+    int64_t stale_ticks = 0;
+  };
+
+  void SecondTick();
+  void DisplayTick();
+
+  EventLoop* loop_;
+  Config config_;
+  std::map<int, StreamState> streams_;
+  std::map<int, std::pair<int64_t, int64_t>> receiver_counters_;
+
+  // Per-second accumulation.
+  std::vector<SecondSample> series_;
+  int64_t sec_bytes_ = 0;
+  int64_t sec_frames_ = 0;
+  RunningStat sec_e2e_;
+  RunningStat sec_ifd_;
+  RunningStat sec_fcd_;
+
+  std::unique_ptr<RepeatingTask> second_task_;
+  std::unique_ptr<RepeatingTask> display_task_;
+};
+
+}  // namespace converge

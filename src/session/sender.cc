@@ -1,0 +1,424 @@
+#include "session/sender.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "schedulers/path_stats.h"
+
+namespace converge {
+
+Sender::Sender(EventLoop* loop, Config config, Scheduler* scheduler,
+               FecController* fec, std::vector<PathId> path_ids, Random rng,
+               TransmitRtpFn transmit_rtp, TransmitRtcpFn transmit_rtcp)
+    : loop_(loop),
+      config_(std::move(config)),
+      scheduler_(scheduler),
+      fec_(fec),
+      rng_(rng),
+      transmit_rtp_(std::move(transmit_rtp)),
+      transmit_rtcp_(std::move(transmit_rtcp)),
+      path_ids_(std::move(path_ids)) {
+  for (PathId id : path_ids_) {
+    PathState& st = paths_[id];
+    st.gcc = GccController(config_.gcc);
+    st.pacer = std::make_unique<Pacer>(
+        loop_, config_.pacer,
+        [this, id](RtpPacket&& packet) { DispatchPacket(id, std::move(packet)); });
+    st.pacer->SetRate(config_.gcc.start_rate);
+  }
+  for (size_t i = 0; i < config_.streams.size(); ++i) {
+    const StreamConfig& sc = config_.streams[i];
+    StreamState stream;
+    stream.encoder =
+        std::make_unique<Encoder>(sc.encoder, rng_.Fork());
+    Packetizer::Config pconf = sc.packetizer;
+    pconf.ssrc = sc.ssrc;
+    stream.packetizer = std::make_unique<Packetizer>(pconf);
+    Camera::Config cconf = sc.camera;
+    cconf.stream_id = static_cast<int>(i);
+    stream.camera = std::make_unique<Camera>(
+        loop_, cconf, rng_.Fork(),
+        [this, i](const RawFrame& raw) { OnCameraFrame(i, raw); });
+    streams_.push_back(std::move(stream));
+  }
+}
+
+Sender::~Sender() = default;
+
+void Sender::Start() {
+  for (StreamState& s : streams_) s.camera->Start();
+  tick_task_ = std::make_unique<RepeatingTask>(loop_, config_.tick_interval,
+                                               [this] { Tick(); });
+  sr_task_ = std::make_unique<RepeatingTask>(
+      loop_, config_.sr_interval, [this] { SendSenderReports(); });
+  sdes_task_ = std::make_unique<RepeatingTask>(loop_, config_.sdes_interval,
+                                               [this] { SendSdes(); });
+  SendSdes();
+}
+
+std::vector<PathInfo> Sender::BuildPathInfos() const {
+  std::vector<PathInfo> infos;
+  for (PathId id : path_ids_) {
+    const PathState& st = paths_.at(id);
+    PathInfo info;
+    info.id = id;
+    info.allocated_rate = st.gcc.target_rate();
+    info.srtt = st.gcc.smoothed_rtt();
+    info.loss = st.gcc.loss_estimate();
+    info.goodput = st.gcc.goodput();
+    info.pacer_queue_bytes = st.pacer->queue_bytes();
+    info.pacer_queue_delay = st.pacer->QueueDelay();
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+double Sender::AggregateLoss() const {
+  // Rate-weighted loss across paths: what application-level (WebRTC-style)
+  // FEC keys on (§3.3).
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& [id, st] : paths_) {
+    const double rate = static_cast<double>(st.gcc.target_rate().bps());
+    weighted += st.gcc.loss_estimate() * rate;
+    total += rate;
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+void Sender::OnCameraFrame(size_t stream_index, const RawFrame& raw) {
+  StreamState& stream = streams_[stream_index];
+  EncodedFrame frame = stream.encoder->Encode(raw);
+  ++stats_.frames_encoded;
+  if (frame.kind == FrameKind::kKey) {
+    ++stats_.keyframes_encoded;
+    stream.last_keyframe_encoded = loop_->now();
+  }
+
+  std::vector<RtpPacket> packets = stream.packetizer->Packetize(frame);
+  for (RtpPacket& p : packets) p.qp = frame.qp;
+
+  const std::vector<PathInfo> infos = BuildPathInfos();
+  const std::vector<PathId> assignment =
+      scheduler_->AssignFrame(packets, infos);
+
+  // Group media by destination path for per-path FEC (§4.3).
+  std::map<PathId, std::vector<const RtpPacket*>> per_path;
+  for (size_t i = 0; i < packets.size(); ++i) {
+    const PathId path = assignment[i];
+    if (path == kInvalidPathId) continue;  // blackout (CM) — not sent
+    per_path[path].push_back(&packets[i]);
+  }
+
+  // Send media packets.
+  for (size_t i = 0; i < packets.size(); ++i) {
+    const PathId path = assignment[i];
+    if (path == kInvalidPathId) continue;
+    ++stats_.media_packets_sent;
+    stats_.media_bytes_sent += packets[i].wire_size();
+    DispatchToPacer(path, packets[i]);
+  }
+
+  // Per-path FEC generation (§4.3). Parity covers a sliding window of the
+  // path's recent media for this stream: at low loss the controller emits a
+  // parity packet only every few frames, and covering the whole interval
+  // keeps FEC utilization high (one parity packet guards ~1/l_i packets).
+  if (config_.enable_fec && fec_ != nullptr) {
+    const double aggregate = AggregateLoss();
+    for (auto& [path, media] : per_path) {
+      auto pit = paths_.find(path);
+      const double path_loss =
+          pit != paths_.end() ? pit->second.gcc.loss_estimate() : 0.0;
+      const int n_fec = fec_->NumFecPackets(
+          static_cast<int>(media.size()), frame.kind, path, path_loss,
+          aggregate);
+
+      auto& window = fec_window_[{path, frame.stream_id}];
+      for (const RtpPacket* p : media) window.push_back(*p);
+      while (window.size() > kFecWindowPackets) window.pop_front();
+
+      if (n_fec > 0) {
+        std::vector<const RtpPacket*> covered;
+        covered.reserve(window.size());
+        for (const RtpPacket& p : window) covered.push_back(&p);
+        std::vector<RtpPacket> parity =
+            XorFecEncoder::Generate(covered, n_fec, next_fec_block_++);
+        for (RtpPacket& fp : parity) {
+          fp.seq = stream.next_fec_seq++;
+          fp.qp = frame.qp;
+          const PathId target = scheduler_->ChooseFecPath(fp, path, infos);
+          if (target == kInvalidPathId) continue;
+          ++stats_.fec_packets_sent;
+          stats_.fec_bytes_sent += fp.wire_size();
+          DispatchToPacer(target, fp);
+        }
+        window.clear();
+      }
+      fec_->OnFrameSent(path, static_cast<int>(media.size()), n_fec);
+    }
+  }
+}
+
+void Sender::DispatchToPacer(PathId path, const RtpPacket& packet) {
+  auto it = paths_.find(path);
+  if (it == paths_.end()) return;
+  RtpPacket copy = packet;
+  copy.path_id = path;
+  it->second.pacer->Enqueue(std::move(copy));
+}
+
+void Sender::DispatchPacket(PathId path, RtpPacket packet) {
+  PathState& st = paths_.at(path);
+  packet.send_time = loop_->now();
+  // Multipath sequence numbers are stamped at pacer *output* so the on-wire
+  // order per path is strictly sequential even when retransmissions jump
+  // the pacer queue (otherwise the receiver would read reordering as loss).
+  packet.mp_seq = st.next_mp_seq++;
+  packet.mp_transport_seq = st.next_mp_transport_seq++;
+
+  // Transport feedback bookkeeping. Transport seqs are assigned
+  // monotonically per path, so unwrapping against the newest entry is exact.
+  int64_t unwrapped = packet.mp_transport_seq;
+  if (!st.sent.empty()) {
+    const int64_t last = st.sent.rbegin()->first;
+    unwrapped = last + static_cast<int16_t>(static_cast<uint16_t>(
+                           packet.mp_transport_seq -
+                           static_cast<uint16_t>(last & 0xFFFF)));
+  }
+  st.sent[unwrapped] = {packet.send_time, packet.wire_size()};
+  while (st.sent.size() > 8192) st.sent.erase(st.sent.begin());
+
+  // Retransmission history, keyed by the per-path sequence NACKs reference.
+  // Only media-like packets are retransmittable (FEC and probes are not
+  // worth recovering); the 16-bit key bounds the map, wrap overwrites.
+  const bool media_like = packet.kind == PayloadKind::kMedia ||
+                          packet.kind == PayloadKind::kPps ||
+                          packet.kind == PayloadKind::kSps;
+  if (media_like) {
+    st.mp_sent[packet.mp_seq] = packet;
+    if (!packet.via_rtx) {
+      ssrc_sent_[{packet.ssrc, packet.seq}] = {packet, path};
+      while (ssrc_sent_.size() > config_.rtx_history) {
+        ssrc_sent_.erase(ssrc_sent_.begin());
+      }
+    }
+  } else {
+    st.mp_sent.erase(packet.mp_seq);  // stale wrap-around entry
+  }
+
+  if (media_like) {
+    const std::vector<PathInfo> infos = BuildPathInfos();
+    const PathId fast = MinSrttPath(infos);
+    if (path == fast) last_fast_packet_ = packet;
+  }
+
+  transmit_rtp_(path, packet);
+}
+
+void Sender::Tick() {
+  const Timestamp now = loop_->now();
+  std::vector<PathInfo> infos = BuildPathInfos();
+  scheduler_->OnTick(infos, now);
+
+  // Per-path pacing rates and the aggregate encoder target (§4.1): the
+  // encoder runs at min(sum of active path rates, application max).
+  DataRate total = DataRate::Zero();
+  for (PathId id : path_ids_) {
+    PathState& st = paths_.at(id);
+    const DataRate rate = st.gcc.target_rate();
+    st.pacer->SetRate(std::max(rate, DataRate::KilobitsPerSec(100)));
+    if (scheduler_->IsPathActive(id)) total += rate;
+  }
+  encoder_target_ = std::min(total, config_.max_total_rate);
+
+  // Encoder pushback: if any active path's pacer backlog grows, throttle
+  // the encoder below the nominal aggregate until the queue drains (WebRTC's
+  // pacer-queue signal into the bitrate allocator).
+  Duration worst_queue = Duration::Zero();
+  for (PathId id : path_ids_) {
+    if (!scheduler_->IsPathActive(id)) continue;
+    worst_queue = std::max(worst_queue, paths_.at(id).pacer->QueueDelay());
+  }
+  if (worst_queue > Duration::Millis(100) && !worst_queue.IsInfinite()) {
+    const double factor = std::clamp(100.0 / worst_queue.ms(), 0.3, 1.0);
+    encoder_target_ = encoder_target_ * factor;
+  }
+
+  const DataRate per_stream =
+      encoder_target_ / static_cast<int64_t>(std::max<size_t>(1, streams_.size()));
+  for (StreamState& s : streams_) s.encoder->SetTargetRate(per_stream);
+
+  // Probe disabled paths with duplicated fast-path packets (§4.2).
+  for (PathId path : scheduler_->PathsNeedingProbe(now)) {
+    if (!last_fast_packet_.has_value()) break;
+    RtpPacket probe = *last_fast_packet_;
+    probe.is_probe_duplicate = true;
+    probe.kind = PayloadKind::kProbe;
+    probe.priority = Priority::kNone;
+    ++stats_.probe_packets_sent;
+    DispatchToPacer(path, probe);
+  }
+}
+
+void Sender::SendSenderReports() {
+  for (PathId id : path_ids_) {
+    PathState& st = paths_.at(id);
+    st.last_sr_sent = loop_->now();
+    RtcpPacket rtcp;
+    rtcp.path_id = id;
+    SenderReport sr;
+    sr.ssrc = streams_.empty() ? 0 : config_.streams.front().ssrc;
+    sr.send_time = loop_->now();
+    sr.packet_count = static_cast<uint32_t>(stats_.media_packets_sent);
+    rtcp.payload = sr;
+    transmit_rtcp_(id, rtcp);
+  }
+}
+
+void Sender::SendSdes() {
+  // Announce the expected frame rate so the receiver can derive IFD_exp.
+  const std::vector<PathInfo> infos = BuildPathInfos();
+  const PathId fast = MinSrttPath(infos);
+  if (fast == kInvalidPathId) return;
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    RtcpPacket rtcp;
+    rtcp.path_id = fast;
+    SdesFrameRate sdes;
+    sdes.ssrc = config_.streams[i].ssrc;
+    sdes.fps = streams_[i].camera->fps();
+    rtcp.payload = sdes;
+    transmit_rtcp_(fast, rtcp);
+  }
+}
+
+void Sender::HandleRtcp(const RtcpPacket& packet, Timestamp arrival) {
+  const PathId path_id = packet.path_id;
+  auto pit = paths_.find(path_id);
+
+  if (const auto* rr = std::get_if<ReceiverReport>(&packet.payload)) {
+    if (pit == paths_.end()) return;
+    Duration rtt = Duration::Zero();
+    if (rr->last_sr_time.IsFinite()) {
+      rtt = arrival - rr->last_sr_time - rr->delay_since_last_sr;
+      if (rtt < Duration::Zero()) rtt = Duration::Zero();
+    }
+    pit->second.gcc.OnReceiverReport(rr->fraction_lost, rtt, arrival);
+  } else if (const auto* fb =
+                 std::get_if<TransportFeedback>(&packet.payload)) {
+    HandleTransportFeedback(*fb, path_id, arrival);
+  } else if (const auto* nack = std::get_if<Nack>(&packet.payload)) {
+    HandleNack(*nack, path_id);
+  } else if (const auto* pli =
+                 std::get_if<KeyframeRequest>(&packet.payload)) {
+    for (size_t i = 0; i < config_.streams.size(); ++i) {
+      if (config_.streams[i].ssrc != pli->ssrc) continue;
+      // Debounce: a keyframe encoded moments ago is likely still in
+      // flight; re-keying would only burn bandwidth.
+      if (streams_[i].last_keyframe_encoded.IsFinite() &&
+          arrival - streams_[i].last_keyframe_encoded <
+              Duration::Millis(500)) {
+        continue;
+      }
+      streams_[i].encoder->RequestKeyframe();
+    }
+  } else if (const auto* qoe = std::get_if<QoeFeedback>(&packet.payload)) {
+    scheduler_->OnQoeFeedback(*qoe);
+  }
+}
+
+void Sender::HandleTransportFeedback(const TransportFeedback& feedback,
+                                     PathId path_id, Timestamp now) {
+  auto pit = paths_.find(path_id);
+  if (pit == paths_.end()) return;
+  PathState& st = pit->second;
+
+  std::vector<PacketResult> results;
+  for (const TransportFeedback::Arrival& a : feedback.arrivals) {
+    auto sit = st.sent.find(a.mp_transport_seq);
+    if (sit == st.sent.end()) continue;
+    PacketResult r;
+    r.transport_seq = a.mp_transport_seq;
+    r.send_time = sit->second.first;
+    r.bytes = sit->second.second;
+    r.received = a.recv_time.IsFinite();
+    r.recv_time = a.recv_time;
+    results.push_back(r);
+  }
+  st.gcc.OnTransportFeedback(results, now);
+}
+
+void Sender::HandleNack(const Nack& nack, PathId report_path) {
+  const std::vector<PathInfo> infos = BuildPathInfos();
+  std::map<PathId, int> losses_per_path;
+
+  auto retransmit = [&](const RtpPacket& original, PathId origin,
+                        int64_t dedup_flow, uint16_t dedup_seq,
+                        bool tag_mp_hole) {
+    const auto key = std::make_pair(dedup_flow, dedup_seq);
+    // De-duplicate: the receiver sends NACKs on every live path.
+    auto rit = recent_rtx_.find(key);
+    if (rit != recent_rtx_.end() &&
+        loop_->now() - rit->second < Duration::Millis(40)) {
+      return;
+    }
+    RtpPacket rtx = original;
+    rtx.via_rtx = true;
+    rtx.priority = Priority::kRetransmit;
+    if (tag_mp_hole) {
+      rtx.rtx_for_path = static_cast<PathId>(dedup_flow);
+      rtx.rtx_for_mp_seq = dedup_seq;
+    }
+    const PathId target = scheduler_->ChooseRtxPath(rtx, infos);
+    if (target == kInvalidPathId) return;
+    ++stats_.rtx_packets_sent;
+    recent_rtx_[key] = loop_->now();
+    if (recent_rtx_.size() > 4096) recent_rtx_.erase(recent_rtx_.begin());
+    ++losses_per_path[origin];
+    DispatchToPacer(target, rtx);
+  };
+
+  if (nack.ssrc != 0) {
+    // Legacy NACK: (ssrc, media seq). Reordering across paths produces
+    // spurious entries here — the retransmissions are simply wasted.
+    for (uint16_t seq : nack.seqs) {
+      auto it = ssrc_sent_.find({nack.ssrc, seq});
+      if (it == ssrc_sent_.end()) continue;
+      retransmit(it->second.first, it->second.second,
+                 static_cast<int64_t>(nack.ssrc), seq, /*tag_mp_hole=*/false);
+    }
+  } else {
+    // Converge NACK: (path, mp_seq); the reported path is where the
+    // per-path FIFO sequence space had a gap.
+    auto pit = paths_.find(report_path);
+    if (pit == paths_.end()) return;
+    PathState& st = pit->second;
+    for (uint16_t mp_seq : nack.seqs) {
+      auto it = st.mp_sent.find(mp_seq);
+      if (it == st.mp_sent.end()) continue;  // FEC/probe or history evicted
+      retransmit(it->second, report_path, report_path, mp_seq,
+                 /*tag_mp_hole=*/true);
+    }
+  }
+  if (fec_ != nullptr) {
+    for (const auto& [path, count] : losses_per_path) {
+      fec_->OnNack(path, count);
+    }
+  }
+}
+
+DataRate Sender::path_rate(PathId path) const {
+  auto it = paths_.find(path);
+  return it == paths_.end() ? DataRate::Zero() : it->second.gcc.target_rate();
+}
+
+Duration Sender::path_srtt(PathId path) const {
+  auto it = paths_.find(path);
+  return it == paths_.end() ? Duration::Zero() : it->second.gcc.smoothed_rtt();
+}
+
+double Sender::path_loss(PathId path) const {
+  auto it = paths_.find(path);
+  return it == paths_.end() ? 0.0 : it->second.gcc.loss_estimate();
+}
+
+}  // namespace converge

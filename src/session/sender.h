@@ -1,0 +1,155 @@
+// The sending endpoint: N camera streams feeding encoders and packetizers,
+// per-path congestion control (uncoupled GCC, §4.1), the pluggable multipath
+// scheduler, the pluggable FEC controller, per-path pacers, RTX handling,
+// probing of disabled paths, and all sender-side RTCP (SR, SDES frame rate)
+// plus reaction to receiver RTCP (RR, transport feedback, NACK, PLI, QoE
+// feedback).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cc/gcc.h"
+#include "cc/pacer.h"
+#include "fec/fec_controller.h"
+#include "fec/xor_fec.h"
+#include "net/network.h"
+#include "rtp/rtcp.h"
+#include "schedulers/scheduler.h"
+#include "sim/event_loop.h"
+#include "video/camera.h"
+#include "video/encoder.h"
+#include "video/packetizer.h"
+
+namespace converge {
+
+class Sender {
+ public:
+  struct StreamConfig {
+    uint32_t ssrc = 0x1000;
+    Camera::Config camera;
+    Encoder::Config encoder;
+    Packetizer::Config packetizer;
+  };
+
+  struct Config {
+    std::vector<StreamConfig> streams;
+    DataRate max_total_rate = DataRate::MegabitsPerSec(10);
+    GccController::Config gcc;
+    Pacer::Config pacer;
+    Duration tick_interval = Duration::Millis(50);
+    Duration sr_interval = Duration::Millis(100);
+    Duration sdes_interval = Duration::Seconds(1.0);
+    bool enable_fec = true;
+    size_t rtx_history = 4096;  // packets kept for retransmission
+  };
+
+  struct Stats {
+    int64_t media_packets_sent = 0;
+    int64_t fec_packets_sent = 0;
+    int64_t rtx_packets_sent = 0;
+    int64_t probe_packets_sent = 0;
+    int64_t media_bytes_sent = 0;
+    int64_t fec_bytes_sent = 0;
+    int64_t frames_encoded = 0;
+    int64_t keyframes_encoded = 0;
+  };
+
+  // Delivery of an RTP packet into the network. The Call wires this to the
+  // path's forward link.
+  using TransmitRtpFn =
+      std::function<void(PathId path, const RtpPacket& packet)>;
+  // Sender-originated RTCP (SR / SDES) toward the receiver.
+  using TransmitRtcpFn =
+      std::function<void(PathId path, const RtcpPacket& packet)>;
+
+  Sender(EventLoop* loop, Config config, Scheduler* scheduler,
+         FecController* fec, std::vector<PathId> path_ids, Random rng,
+         TransmitRtpFn transmit_rtp, TransmitRtcpFn transmit_rtcp);
+  ~Sender();
+
+  void Start();
+
+  // Receiver RTCP arriving at the sender.
+  void HandleRtcp(const RtcpPacket& packet, Timestamp arrival);
+
+  const Stats& stats() const { return stats_; }
+  DataRate current_encoder_target() const { return encoder_target_; }
+  DataRate path_rate(PathId path) const;
+  Duration path_srtt(PathId path) const;
+  double path_loss(PathId path) const;
+
+ private:
+  struct PathState {
+    GccController gcc;
+    std::unique_ptr<Pacer> pacer;
+    uint16_t next_mp_seq = 0;
+    uint16_t next_mp_transport_seq = 0;
+    // Sent history for transport feedback matching: unwrapped transport
+    // seq -> (send time, wire bytes).
+    std::map<int64_t, std::pair<Timestamp, int64_t>> sent;
+    // Retransmission history: per-path mp_seq (wire 16-bit) -> sent packet.
+    // NACKs name (path, mp_seq); the entry is overwritten on wrap.
+    std::map<uint16_t, RtpPacket> mp_sent;
+    int64_t last_fed_back_seq = -1;
+    Timestamp last_sr_sent = Timestamp::MinusInfinity();
+  };
+
+  struct StreamState {
+    std::unique_ptr<Camera> camera;
+    std::unique_ptr<Encoder> encoder;
+    std::unique_ptr<Packetizer> packetizer;
+    uint16_t next_fec_seq = 0;  // separate sequence space for parity
+    // PLI debounce: a keyframe already in flight satisfies new requests.
+    Timestamp last_keyframe_encoded = Timestamp::MinusInfinity();
+  };
+
+  void OnCameraFrame(size_t stream_index, const RawFrame& raw);
+  // Stamps multipath headers and hands the packet to the path's pacer.
+  void DispatchToPacer(PathId path, const RtpPacket& packet);
+  // Pacer output: bookkeeping + transmission into the network.
+  void DispatchPacket(PathId path, RtpPacket packet);
+  void Tick();
+  void SendSenderReports();
+  void SendSdes();
+  std::vector<PathInfo> BuildPathInfos() const;
+  double AggregateLoss() const;
+  void HandleNack(const Nack& nack, PathId report_path);
+  void HandleTransportFeedback(const TransportFeedback& feedback,
+                               PathId path_id, Timestamp now);
+
+  EventLoop* loop_;
+  Config config_;
+  Scheduler* scheduler_;
+  FecController* fec_;
+  Random rng_;
+  TransmitRtpFn transmit_rtp_;
+  TransmitRtcpFn transmit_rtcp_;
+
+  std::vector<PathId> path_ids_;
+  std::map<PathId, PathState> paths_;
+  std::vector<StreamState> streams_;
+  // Recently retransmitted (flow, seq): the receiver duplicates NACKs
+  // across paths, so the sender de-duplicates. flow = path id for per-path
+  // NACKs, ssrc for legacy NACKs (disjoint value ranges).
+  std::map<std::pair<int64_t, uint16_t>, Timestamp> recent_rtx_;
+  // Legacy NACK lookup: (ssrc, media seq) -> (packet, original path).
+  std::map<std::pair<uint32_t, uint16_t>, std::pair<RtpPacket, PathId>>
+      ssrc_sent_;
+  // Sliding FEC windows: media of (path, stream) awaiting parity coverage.
+  static constexpr size_t kFecWindowPackets = 48;
+  std::map<std::pair<PathId, int>, std::deque<RtpPacket>> fec_window_;
+  std::optional<RtpPacket> last_fast_packet_;  // probe duplication source
+
+  DataRate encoder_target_ = DataRate::KilobitsPerSec(300);
+  Stats stats_;
+  std::unique_ptr<RepeatingTask> tick_task_;
+  std::unique_ptr<RepeatingTask> sr_task_;
+  std::unique_ptr<RepeatingTask> sdes_task_;
+  int64_t next_fec_block_ = 0;
+};
+
+}  // namespace converge

@@ -1,0 +1,135 @@
+#include "session/stats_json.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace converge {
+namespace {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  void OpenObject() { Open('{'); }
+  void CloseObject() { Close('}'); }
+  void OpenArray(const std::string& key) {
+    Key(key);
+    out_ << "[";
+    ++depth_;
+    first_ = true;
+  }
+  void CloseArray() { Close(']'); }
+  void OpenObjectInArray() {
+    Separator();
+    Newline();
+    out_ << "{";
+    ++depth_;
+    first_ = true;
+  }
+
+  void Field(const std::string& key, double value) {
+    Key(key);
+    if (std::isfinite(value)) {
+      out_ << value;
+    } else {
+      out_ << "null";
+    }
+  }
+  void Field(const std::string& key, int64_t value) {
+    Key(key);
+    out_ << value;
+  }
+
+  std::string str() const { return out_.str(); }
+
+ private:
+  void Open(char c) {
+    Separator();
+    if (depth_ > 0) Newline();
+    out_ << c;
+    ++depth_;
+    first_ = true;
+  }
+  void Close(char c) {
+    --depth_;
+    Newline();
+    out_ << c;
+    first_ = false;
+  }
+  void Key(const std::string& key) {
+    Separator();
+    Newline();
+    out_ << '"' << key << "\": ";
+    first_ = false;
+  }
+  void Separator() {
+    if (!first_) out_ << ',';
+    first_ = false;
+  }
+  void Newline() {
+    out_ << '\n';
+    for (int i = 0; i < depth_ * indent_; ++i) out_ << ' ';
+  }
+
+  std::ostringstream out_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string CallStatsToJson(const CallStats& stats, int indent) {
+  JsonWriter w(indent);
+  w.OpenObject();
+  w.Field("avg_fps", stats.AvgFps());
+  w.Field("avg_freeze_ms", stats.AvgFreezeMs());
+  w.Field("avg_e2e_ms", stats.AvgE2eMs());
+  w.Field("total_tput_mbps", stats.TotalTputMbps());
+  w.Field("avg_qp", stats.AvgQp());
+  w.Field("avg_psnr_db", stats.AvgPsnrDb());
+  w.Field("media_packets_sent", stats.media_packets_sent);
+  w.Field("fec_packets_sent", stats.fec_packets_sent);
+  w.Field("rtx_packets_sent", stats.rtx_packets_sent);
+  w.Field("frames_encoded", stats.frames_encoded);
+  w.Field("fec_overhead", stats.fec_overhead);
+  w.Field("fec_utilization", stats.fec_utilization);
+  w.Field("fec_recovered_packets", stats.fec_recovered_packets);
+  w.Field("total_frame_drops", stats.total_frame_drops);
+  w.Field("total_keyframe_requests", stats.total_keyframe_requests);
+
+  w.OpenArray("streams");
+  for (const StreamQoe& s : stats.streams) {
+    w.OpenObjectInArray();
+    w.Field("avg_fps", s.avg_fps);
+    w.Field("freeze_total_ms", s.freeze_total_ms);
+    w.Field("freeze_count", s.freeze_count);
+    w.Field("e2e_mean_ms", s.e2e_mean_ms);
+    w.Field("e2e_p95_ms", s.e2e_p95_ms);
+    w.Field("tput_mbps", s.tput_mbps);
+    w.Field("qp_mean", s.qp_mean);
+    w.Field("psnr_mean_db", s.psnr_mean_db);
+    w.Field("frames_decoded", s.frames_decoded);
+    w.Field("frame_drops", s.frame_drops);
+    w.Field("keyframe_requests", s.keyframe_requests);
+    w.CloseObject();
+  }
+  w.CloseArray();
+
+  w.OpenArray("time_series");
+  for (const SecondSample& s : stats.time_series) {
+    w.OpenObjectInArray();
+    w.Field("t_s", s.t_s);
+    w.Field("tput_mbps", s.tput_mbps);
+    w.Field("fps", s.fps);
+    w.Field("e2e_ms", s.e2e_ms);
+    w.Field("ifd_ms", s.ifd_ms);
+    w.Field("fcd_ms", s.fcd_ms);
+    w.CloseObject();
+  }
+  w.CloseArray();
+  w.CloseObject();
+  return w.str();
+}
+
+}  // namespace converge

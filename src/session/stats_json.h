@@ -1,0 +1,15 @@
+// JSON export of call results — the simulator's analogue of WebRTC's
+// getStats(): lets downstream tooling (dashboards, notebook plots) consume
+// call outcomes without linking against the library.
+#pragma once
+
+#include <string>
+
+#include "session/call.h"
+
+namespace converge {
+
+// Serializes the aggregate stats, per-stream QoE and per-second time series.
+std::string CallStatsToJson(const CallStats& stats, int indent = 2);
+
+}  // namespace converge

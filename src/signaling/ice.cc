@@ -1,0 +1,111 @@
+#include "signaling/ice.h"
+
+#include <algorithm>
+#include <map>
+
+namespace converge {
+namespace {
+
+int TypePreference(CandidateType type) {
+  switch (type) {
+    case CandidateType::kHost:
+      return 126;
+    case CandidateType::kServerReflexive:
+      return 100;
+    case CandidateType::kRelayed:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint32_t CandidatePriority(CandidateType type, int local_preference,
+                           int component) {
+  return (static_cast<uint32_t>(TypePreference(type)) << 24) |
+         (static_cast<uint32_t>(local_preference & 0xFFFF) << 8) |
+         static_cast<uint32_t>(256 - component);
+}
+
+std::vector<IceCandidate> GatherCandidates(
+    const std::vector<NetworkInterface>& interfaces, uint16_t base_port) {
+  std::vector<IceCandidate> out;
+  uint16_t port = base_port;
+  int foundation = 1;
+  for (const NetworkInterface& iface : interfaces) {
+    IceCandidate host;
+    host.foundation = std::to_string(foundation++);
+    host.address = iface.address;
+    host.port = port++;
+    host.type = CandidateType::kHost;
+    host.network_id = iface.network_id;
+    host.priority =
+        CandidatePriority(CandidateType::kHost, iface.local_preference, 1);
+    out.push_back(host);
+
+    if (iface.behind_nat) {
+      IceCandidate srflx = host;
+      srflx.foundation = std::to_string(foundation++);
+      srflx.address = "203.0.113." + std::to_string(iface.network_id + 1);
+      srflx.port = port++;
+      srflx.type = CandidateType::kServerReflexive;
+      srflx.priority = CandidatePriority(CandidateType::kServerReflexive,
+                                         iface.local_preference, 1);
+      out.push_back(srflx);
+    }
+  }
+  return out;
+}
+
+std::vector<CandidatePair> PairCandidates(
+    const std::vector<IceCandidate>& local,
+    const std::vector<IceCandidate>& remote, bool multipath) {
+  // RFC 5245 pair priority with the controlling side = local.
+  auto pair_priority = [](uint32_t g, uint32_t d) {
+    const uint64_t lo = std::min(g, d);
+    const uint64_t hi = std::max(g, d);
+    return (lo << 32) + 2 * hi + (g > d ? 1 : 0);
+  };
+
+  // Best pair per (local network, remote network).
+  std::map<std::pair<int, int>, CandidatePair> best;
+  for (const IceCandidate& l : local) {
+    for (const IceCandidate& r : remote) {
+      if (l.protocol != r.protocol) continue;
+      CandidatePair pair;
+      pair.local = l;
+      pair.remote = r;
+      pair.pair_priority = pair_priority(l.priority, r.priority);
+      const auto key = std::make_pair(l.network_id, r.network_id);
+      auto it = best.find(key);
+      if (it == best.end() || pair.pair_priority > it->second.pair_priority) {
+        best[key] = pair;
+      }
+    }
+  }
+
+  std::vector<CandidatePair> out;
+  for (auto& [key, pair] : best) out.push_back(pair);
+  std::sort(out.begin(), out.end(),
+            [](const CandidatePair& a, const CandidatePair& b) {
+              return a.pair_priority > b.pair_priority;
+            });
+
+  if (!multipath && !out.empty()) {
+    // Legacy WebRTC: keep only the single best checked pair.
+    out.resize(1);
+    return out;
+  }
+  // Converge: at most one pair per *local* interface (a local modem cannot
+  // carry two independent paths to the same peer usefully).
+  std::vector<CandidatePair> deduped;
+  std::map<int, bool> local_used;
+  for (const CandidatePair& pair : out) {
+    if (local_used[pair.local.network_id]) continue;
+    local_used[pair.local.network_id] = true;
+    deduped.push_back(pair);
+  }
+  return deduped;
+}
+
+}  // namespace converge

@@ -1,0 +1,62 @@
+// Interactive Connectivity Establishment model (§5): Converge extends ICE
+// to gather candidates on *every* network interface (WiFi + one or two
+// cellular modems) and to form one candidate pair per interface pair, so
+// the media layer sees multiple usable paths instead of the single best
+// pair legacy WebRTC keeps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace converge {
+
+enum class CandidateType { kHost = 0, kServerReflexive, kRelayed };
+
+// A local network interface the agent can bind to.
+struct NetworkInterface {
+  std::string name;      // "wlan0", "rmnet0", ...
+  std::string address;   // textual IP
+  int network_id = 0;    // distinct per physical network
+  bool behind_nat = true;
+  // Type preference tweak: cellular interfaces rank below WiFi by default
+  // (matches how the paper prefers WiFi when stationary).
+  int local_preference = 65535;
+};
+
+struct IceCandidate {
+  std::string foundation;
+  int component = 1;  // RTP
+  std::string protocol = "udp";
+  uint32_t priority = 0;
+  std::string address;
+  uint16_t port = 0;
+  CandidateType type = CandidateType::kHost;
+  int network_id = 0;
+};
+
+// RFC 5245 §4.1.2.1 priority: (2^24)·type-pref + (2^8)·local-pref +
+// (256 - component).
+uint32_t CandidatePriority(CandidateType type, int local_preference,
+                           int component);
+
+// Gathers host (and, for NATed interfaces, server-reflexive) candidates on
+// each interface.
+std::vector<IceCandidate> GatherCandidates(
+    const std::vector<NetworkInterface>& interfaces, uint16_t base_port = 50000);
+
+// A checked candidate pair that can carry media.
+struct CandidatePair {
+  IceCandidate local;
+  IceCandidate remote;
+  uint64_t pair_priority = 0;  // RFC 5245 §5.7.2
+};
+
+// Converge pairing: at most one (highest-priority) pair per
+// (local network, remote network) combination, sorted by pair priority.
+// Legacy pairing keeps only the single best pair overall.
+std::vector<CandidatePair> PairCandidates(
+    const std::vector<IceCandidate>& local,
+    const std::vector<IceCandidate>& remote, bool multipath);
+
+}  // namespace converge

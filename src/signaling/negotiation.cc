@@ -1,0 +1,80 @@
+#include "signaling/negotiation.h"
+
+#include <algorithm>
+
+namespace converge {
+namespace {
+
+SessionDescription BaseDescription(const EndpointCapabilities& caps) {
+  SessionDescription desc;
+  for (int i = 0; i < caps.num_streams; ++i) {
+    SdpMediaStream stream;
+    stream.ssrc = 0x1000 + static_cast<uint32_t>(i);
+    stream.label = "camera" + std::to_string(i);
+    desc.streams.push_back(stream);
+  }
+  return desc;
+}
+
+}  // namespace
+
+SessionDescription CreateOffer(const EndpointCapabilities& caps) {
+  SessionDescription offer = BaseDescription(caps);
+  if (caps.supports_multipath && caps.interfaces.size() > 1) {
+    offer.multipath_supported = true;
+    offer.max_paths = std::min<int>(caps.max_paths,
+                                    static_cast<int>(caps.interfaces.size()));
+    offer.header_extensions.push_back(kMultipathExtensionUri);
+  }
+  return offer;
+}
+
+SessionDescription CreateAnswer(const EndpointCapabilities& caps,
+                                const SessionDescription& offer) {
+  SessionDescription answer = BaseDescription(caps);
+  // Multipath only if the offer carried it AND we are capable: a legacy
+  // answerer never echoes the attribute, so the offerer falls back.
+  if (offer.multipath_supported && caps.supports_multipath &&
+      caps.interfaces.size() > 1) {
+    answer.multipath_supported = true;
+    answer.max_paths =
+        std::min({offer.max_paths, caps.max_paths,
+                  static_cast<int>(caps.interfaces.size())});
+    answer.header_extensions.push_back(kMultipathExtensionUri);
+  }
+  return answer;
+}
+
+NegotiatedSession Negotiate(const EndpointCapabilities& local,
+                            const EndpointCapabilities& remote) {
+  // SDP round trip (serialize/parse so the text format is the contract).
+  const SessionDescription offer = CreateOffer(local);
+  const auto offer_parsed = ParseSdp(SerializeSdp(offer));
+  const SessionDescription answer =
+      CreateAnswer(remote, offer_parsed.value_or(SessionDescription{}));
+  const auto answer_parsed = ParseSdp(SerializeSdp(answer));
+
+  NegotiatedSession session;
+  session.num_streams = local.num_streams;
+  const bool multipath = offer.multipath_supported &&
+                         answer_parsed.has_value() &&
+                         answer_parsed->multipath_supported;
+
+  const auto local_candidates = GatherCandidates(local.interfaces);
+  const auto remote_candidates = GatherCandidates(remote.interfaces, 60000);
+  session.pairs =
+      PairCandidates(local_candidates, remote_candidates, multipath);
+
+  if (multipath) {
+    const int limit =
+        std::min(offer.max_paths, answer_parsed->max_paths);
+    if (static_cast<int>(session.pairs.size()) > limit) {
+      session.pairs.resize(static_cast<size_t>(limit));
+    }
+  }
+  session.num_paths = static_cast<int>(session.pairs.size());
+  session.use_multipath = multipath && session.num_paths > 1;
+  return session;
+}
+
+}  // namespace converge

@@ -1,0 +1,41 @@
+// Offer/answer negotiation with multipath capability exchange and the
+// backward-compatibility fallback the paper highlights (§1, §5): "Converge
+// seamlessly falls back to the standard WebRTC protocols if either endpoint
+// does not support multipath."
+#pragma once
+
+#include "signaling/ice.h"
+#include "signaling/sdp.h"
+
+namespace converge {
+
+// Everything one endpoint brings to the negotiation.
+struct EndpointCapabilities {
+  bool supports_multipath = true;
+  int max_paths = 2;
+  int num_streams = 1;
+  std::vector<NetworkInterface> interfaces;
+};
+
+// Result of offer/answer + ICE: what the media session should use.
+struct NegotiatedSession {
+  bool use_multipath = false;
+  int num_paths = 1;
+  int num_streams = 1;
+  std::vector<CandidatePair> pairs;  // one per media path
+};
+
+// Builds the SDP offer for an endpoint (advertises multipath iff capable).
+SessionDescription CreateOffer(const EndpointCapabilities& caps);
+
+// Builds the answer given a remote offer: multipath appears in the answer
+// only when both sides support it.
+SessionDescription CreateAnswer(const EndpointCapabilities& caps,
+                                const SessionDescription& offer);
+
+// Completes the handshake: capability intersection + ICE gathering/pairing
+// on both sides. `remote` answers `local`'s offer.
+NegotiatedSession Negotiate(const EndpointCapabilities& local,
+                            const EndpointCapabilities& remote);
+
+}  // namespace converge

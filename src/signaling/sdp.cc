@@ -1,0 +1,102 @@
+#include "signaling/sdp.h"
+
+#include <sstream>
+
+namespace converge {
+
+std::string SerializeSdp(const SessionDescription& desc) {
+  std::ostringstream out;
+  out << "v=0\r\n";
+  out << "o=" << desc.origin << " 0 0 IN IP4 0.0.0.0\r\n";
+  out << "s=" << desc.session_name << "\r\n";
+  out << "t=0 0\r\n";
+  out << "m=video 9 UDP/TLS/RTP/SAVPF " << desc.payload_type << "\r\n";
+  out << "a=rtpmap:" << desc.payload_type << " " << desc.codec << "\r\n";
+  for (size_t i = 0; i < desc.header_extensions.size(); ++i) {
+    out << "a=extmap:" << (i + 1) << " " << desc.header_extensions[i]
+        << "\r\n";
+  }
+  if (desc.multipath_supported) {
+    out << "a=" << kMultipathAttribute << ":" << desc.max_paths << "\r\n";
+  }
+  for (const SdpMediaStream& s : desc.streams) {
+    out << "a=ssrc:" << s.ssrc << " label:" << s.label << "\r\n";
+  }
+  return out.str();
+}
+
+std::optional<SessionDescription> ParseSdp(const std::string& text) {
+  SessionDescription desc;
+  desc.header_extensions.clear();
+  desc.streams.clear();
+  desc.multipath_supported = false;
+  desc.max_paths = 1;
+
+  bool saw_version = false;
+  bool saw_media = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line.size() < 2 || line[1] != '=') return std::nullopt;
+    const char type = line[0];
+    const std::string value = line.substr(2);
+    switch (type) {
+      case 'v':
+        if (value != "0") return std::nullopt;
+        saw_version = true;
+        break;
+      case 'o':
+        desc.origin = value.substr(0, value.find(' '));
+        break;
+      case 's':
+        desc.session_name = value;
+        break;
+      case 'm': {
+        if (value.rfind("video ", 0) != 0) return std::nullopt;
+        saw_media = true;
+        const size_t last_space = value.rfind(' ');
+        if (last_space != std::string::npos) {
+          desc.payload_type = std::atoi(value.c_str() + last_space + 1);
+        }
+        break;
+      }
+      case 'a': {
+        if (value.rfind("rtpmap:", 0) == 0) {
+          const size_t space = value.find(' ');
+          if (space != std::string::npos) desc.codec = value.substr(space + 1);
+        } else if (value.rfind("extmap:", 0) == 0) {
+          const size_t space = value.find(' ');
+          if (space != std::string::npos) {
+            desc.header_extensions.push_back(value.substr(space + 1));
+          }
+        } else if (value.rfind(std::string(kMultipathAttribute) + ":", 0) ==
+                   0) {
+          desc.multipath_supported = true;
+          desc.max_paths =
+              std::atoi(value.c_str() + std::string(kMultipathAttribute).size() + 1);
+          if (desc.max_paths < 1) desc.max_paths = 1;
+        } else if (value.rfind("ssrc:", 0) == 0) {
+          SdpMediaStream stream;
+          stream.ssrc = static_cast<uint32_t>(
+              std::strtoul(value.c_str() + 5, nullptr, 10));
+          const size_t label = value.find("label:");
+          if (label != std::string::npos) {
+            stream.label = value.substr(label + 6);
+          }
+          desc.streams.push_back(stream);
+        }
+        break;
+      }
+      default:
+        break;  // tolerated (t=, c=, b=, ...)
+    }
+  }
+  if (!saw_version || !saw_media) return std::nullopt;
+  return desc;
+}
+
+}  // namespace converge

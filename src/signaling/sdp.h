@@ -1,0 +1,45 @@
+// Session Description Protocol support for Converge (§5 "Connections
+// management"): the standard offer/answer video description extended with a
+// multipath capability attribute. A legacy WebRTC endpoint simply ignores
+// the unknown `a=x-converge-multipath` line, which is what makes the
+// fallback path work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace converge {
+
+struct SdpMediaStream {
+  uint32_t ssrc = 0;
+  std::string label;  // e.g. "camera0"
+};
+
+struct SessionDescription {
+  std::string session_name = "converge";
+  std::string origin = "converge-agent";
+  std::vector<SdpMediaStream> streams;
+  std::string codec = "VP8/90000";
+  int payload_type = 96;
+
+  // Converge extension: advertised only by multipath-capable endpoints.
+  bool multipath_supported = false;
+  int max_paths = 1;
+  // RTP header extension URIs (the Appendix-B multipath extension).
+  std::vector<std::string> header_extensions;
+};
+
+// Serializes to SDP text (RFC 4566 subset + the Converge attribute).
+std::string SerializeSdp(const SessionDescription& desc);
+
+// Parses SDP text produced by SerializeSdp or by a legacy endpoint (no
+// multipath attribute). Returns nullopt on malformed input.
+std::optional<SessionDescription> ParseSdp(const std::string& text);
+
+inline constexpr char kMultipathAttribute[] = "x-converge-multipath";
+inline constexpr char kMultipathExtensionUri[] =
+    "urn:x-converge:rtp-hdrext:multipath";
+
+}  // namespace converge

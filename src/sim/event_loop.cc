@@ -1,0 +1,57 @@
+#include "sim/event_loop.h"
+
+#include <memory>
+#include <utility>
+
+namespace converge {
+
+void EventLoop::ScheduleAt(Timestamp at, Callback cb) {
+  if (at < now_) at = now_;
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+void EventLoop::ScheduleIn(Duration delay, Callback cb) {
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void EventLoop::RunUntil(Timestamp end) {
+  while (!queue_.empty() && queue_.top().at <= end) {
+    // Copy out before pop: the callback may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++executed_;
+    ev.cb();
+  }
+  if (end.IsFinite() && now_ < end) now_ = end;
+}
+
+void EventLoop::RunAll() { RunUntil(Timestamp::PlusInfinity()); }
+
+RepeatingTask::RepeatingTask(EventLoop* loop, Duration period,
+                             std::function<void()> tick)
+    : loop_(loop),
+      period_(period),
+      tick_(std::move(tick)),
+      alive_(std::make_shared<bool>(true)) {
+  Arm();
+}
+
+RepeatingTask::~RepeatingTask() { Stop(); }
+
+void RepeatingTask::Stop() {
+  if (alive_) *alive_ = false;
+  alive_.reset();
+}
+
+void RepeatingTask::Arm() {
+  std::weak_ptr<bool> weak = alive_;
+  loop_->ScheduleIn(period_, [this, weak] {
+    auto alive = weak.lock();
+    if (!alive || !*alive) return;
+    tick_();
+    Arm();
+  });
+}
+
+}  // namespace converge

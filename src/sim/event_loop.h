@@ -1,0 +1,81 @@
+// Discrete-event simulation core.
+//
+// Single-threaded, deterministic: events at the same timestamp run in the
+// order they were scheduled (stable tie-break by insertion sequence). All
+// Converge components take an `EventLoop*` and never read wall-clock time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace converge {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Timestamp now() const { return now_; }
+
+  // Schedule `cb` to run at absolute time `at` (clamped to now).
+  void ScheduleAt(Timestamp at, Callback cb);
+  // Schedule `cb` to run `delay` from now.
+  void ScheduleIn(Duration delay, Callback cb);
+
+  // Run until the queue drains or `end` is reached (events at exactly `end`
+  // still execute).
+  void RunUntil(Timestamp end);
+  // Run until the queue drains entirely.
+  void RunAll();
+
+  size_t pending_events() const { return queue_.size(); }
+  int64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    Timestamp at;
+    int64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  Timestamp now_ = Timestamp::Zero();
+  int64_t next_seq_ = 0;
+  int64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+// Repeating timer helper: invokes `tick` every `period` until cancelled or
+// the owning loop stops running. Cancel by destroying the handle.
+class RepeatingTask {
+ public:
+  RepeatingTask(EventLoop* loop, Duration period, std::function<void()> tick);
+  ~RepeatingTask();
+  RepeatingTask(const RepeatingTask&) = delete;
+  RepeatingTask& operator=(const RepeatingTask&) = delete;
+
+  void Stop();
+
+ private:
+  void Arm();
+
+  EventLoop* loop_;
+  Duration period_;
+  std::function<void()> tick_;
+  std::shared_ptr<bool> alive_;
+};
+
+}  // namespace converge

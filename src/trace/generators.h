@@ -1,0 +1,49 @@
+// Synthetic network-trace generators shaped after the paper's Appendix D
+// measurements (Figures 20-22): per-carrier bandwidth envelopes for the
+// stationary, walking, and driving scenarios. The paper's evaluation fed
+// iperf3-collected traces into an emulator (§6.2); these generators produce
+// seeded traces with the same qualitative envelope — means, dip depth and
+// frequency, and full outages in the driving case — so every experiment is
+// reproducible from a (scenario, carrier, seed) triple.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/loss_model.h"
+#include "net/network.h"
+#include "net/trace.h"
+#include "util/random.h"
+
+namespace converge {
+
+enum class Scenario { kStationary, kWalking, kDriving };
+enum class Carrier { kWifi, kTmobile, kVerizon };
+
+std::string ToString(Scenario s);
+std::string ToString(Carrier c);
+
+struct TraceParams {
+  Duration length = Duration::Seconds(180);
+  Duration sample_interval = Duration::Millis(200);
+};
+
+// Bandwidth trace for one carrier in one scenario.
+BandwidthTrace GenerateBandwidth(Scenario scenario, Carrier carrier,
+                                 uint64_t seed, TraceParams params = {});
+
+// Matching loss model: mobility raises both the base loss and burstiness.
+std::shared_ptr<LossModel> GenerateLoss(Scenario scenario, Carrier carrier,
+                                        uint64_t seed);
+
+// Convenience: a full PathSpec (capacity + loss + propagation delay) for a
+// carrier in a scenario.
+PathSpec MakePathSpec(Scenario scenario, Carrier carrier, uint64_t seed,
+                      TraceParams params = {});
+
+// The two-path networks the paper evaluates: walking = WiFi + T-Mobile,
+// driving = Verizon + T-Mobile, stationary = WiFi + T-Mobile (§6.1).
+std::vector<PathSpec> MakeScenarioPaths(Scenario scenario, uint64_t seed,
+                                        TraceParams params = {});
+
+}  // namespace converge

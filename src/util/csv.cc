@@ -1,0 +1,29 @@
+#include "util/csv.h"
+
+namespace converge {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) return;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << header[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::Row(const std::vector<double>& values) {
+  if (!out_) return;
+  for (size_t i = 0; i < values.size() && i < columns_; ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::Row(std::initializer_list<double> values) {
+  Row(std::vector<double>(values));
+}
+
+}  // namespace converge

@@ -1,0 +1,26 @@
+// Tiny CSV writer used by the bench harnesses to dump time series that
+// correspond to the paper's figures (so they can be plotted externally).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace converge {
+
+class CsvWriter {
+ public:
+  // Opens `path` for writing and emits the header row. Check `ok()`.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  bool ok() const { return static_cast<bool>(out_); }
+  void Row(const std::vector<double>& values);
+  void Row(std::initializer_list<double> values);
+
+ private:
+  std::ofstream out_;
+  size_t columns_;
+};
+
+}  // namespace converge

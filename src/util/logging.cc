@@ -1,0 +1,19 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace converge {
+
+Logger& Logger::Get() {
+  static Logger instance;
+  return instance;
+}
+
+void Logger::Write(LogLevel level, const std::string& msg) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  const int idx = static_cast<int>(level);
+  if (idx < 0 || idx > 4) return;
+  std::fprintf(stderr, "[%s] %s\n", kNames[idx], msg.c_str());
+}
+
+}  // namespace converge

@@ -1,0 +1,50 @@
+// Minimal leveled logging. Off by default so benchmark output stays clean;
+// tests and examples can raise the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace converge {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarning, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& Get();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool Enabled(LogLevel level) const { return level >= level_; }
+  void Write(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+};
+
+namespace logging_internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::Get().Write(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace converge
+
+#define CONVERGE_LOG(level)                                      \
+  if (!::converge::Logger::Get().Enabled(::converge::LogLevel::level)) \
+    ;                                                            \
+  else                                                           \
+    ::converge::logging_internal::LogLine(::converge::LogLevel::level)

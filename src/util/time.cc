@@ -1,0 +1,21 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace converge {
+
+std::string Duration::ToString() const {
+  char buf[32];
+  if (IsInfinite()) return "+inf";
+  std::snprintf(buf, sizeof(buf), "%.3f ms", ms());
+  return buf;
+}
+
+std::string Timestamp::ToString() const {
+  char buf[32];
+  if (!IsFinite()) return us_ > 0 ? "+inf" : "-inf";
+  std::snprintf(buf, sizeof(buf), "%.3f s", seconds());
+  return buf;
+}
+
+}  // namespace converge

@@ -1,0 +1,190 @@
+// Strong time types used throughout the Converge stack.
+//
+// All simulation time is kept as signed 64-bit microseconds. `Duration` is a
+// span, `Timestamp` a point on the simulated clock. Both are trivially
+// copyable value types; arithmetic that would mix the two incorrectly does
+// not compile.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace converge {
+
+class Duration {
+ public:
+  constexpr Duration() : us_(0) {}
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Infinity() {
+    return Duration(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool IsZero() const { return us_ == 0; }
+  constexpr bool IsInfinite() const {
+    return us_ == std::numeric_limits<int64_t>::max();
+  }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(us_ + other.us_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(us_ - other.us_);
+  }
+  constexpr Duration operator*(double factor) const {
+    return Duration(static_cast<int64_t>(static_cast<double>(us_) * factor));
+  }
+  constexpr Duration operator/(int64_t divisor) const {
+    return Duration(us_ / divisor);
+  }
+  constexpr double operator/(Duration other) const {
+    return static_cast<double>(us_) / static_cast<double>(other.us_);
+  }
+  Duration& operator+=(Duration other) {
+    us_ += other.us_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    us_ -= other.us_;
+    return *this;
+  }
+  constexpr Duration operator-() const { return Duration(-us_); }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t us) : us_(us) {}
+  int64_t us_;
+};
+
+class Timestamp {
+ public:
+  constexpr Timestamp() : us_(0) {}
+
+  static constexpr Timestamp Micros(int64_t us) { return Timestamp(us); }
+  static constexpr Timestamp Millis(int64_t ms) { return Timestamp(ms * 1000); }
+  static constexpr Timestamp Seconds(double s) {
+    return Timestamp(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Timestamp Zero() { return Timestamp(0); }
+  static constexpr Timestamp PlusInfinity() {
+    return Timestamp(std::numeric_limits<int64_t>::max());
+  }
+  static constexpr Timestamp MinusInfinity() {
+    return Timestamp(std::numeric_limits<int64_t>::min());
+  }
+
+  constexpr int64_t us() const { return us_; }
+  constexpr double ms() const { return static_cast<double>(us_) / 1e3; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr bool IsFinite() const {
+    return us_ != std::numeric_limits<int64_t>::max() &&
+           us_ != std::numeric_limits<int64_t>::min();
+  }
+
+  constexpr Timestamp operator+(Duration d) const {
+    return Timestamp(us_ + d.us());
+  }
+  constexpr Timestamp operator-(Duration d) const {
+    return Timestamp(us_ - d.us());
+  }
+  constexpr Duration operator-(Timestamp other) const {
+    return Duration::Micros(us_ - other.us_);
+  }
+  Timestamp& operator+=(Duration d) {
+    us_ += d.us();
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Timestamp&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Timestamp(int64_t us) : us_(us) {}
+  int64_t us_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+inline std::ostream& operator<<(std::ostream& os, Timestamp t) {
+  return os << t.ToString();
+}
+
+// Data-rate value type, stored as bits per second.
+class DataRate {
+ public:
+  constexpr DataRate() : bps_(0) {}
+
+  static constexpr DataRate BitsPerSec(int64_t bps) { return DataRate(bps); }
+  static constexpr DataRate KilobitsPerSec(int64_t kbps) {
+    return DataRate(kbps * 1000);
+  }
+  static constexpr DataRate MegabitsPerSec(double mbps) {
+    return DataRate(static_cast<int64_t>(mbps * 1e6));
+  }
+  static constexpr DataRate Zero() { return DataRate(0); }
+  static constexpr DataRate Infinity() {
+    return DataRate(std::numeric_limits<int64_t>::max());
+  }
+
+  constexpr int64_t bps() const { return bps_; }
+  constexpr double kbps() const { return static_cast<double>(bps_) / 1e3; }
+  constexpr double mbps() const { return static_cast<double>(bps_) / 1e6; }
+  constexpr bool IsZero() const { return bps_ == 0; }
+
+  // Time to serialize `bytes` at this rate.
+  constexpr Duration TransmitTime(int64_t bytes) const {
+    if (bps_ <= 0) return Duration::Infinity();
+    return Duration::Micros(bytes * 8 * 1'000'000 / bps_);
+  }
+  // Bytes deliverable in `d`.
+  constexpr int64_t BytesIn(Duration d) const {
+    return bps_ * d.us() / 8 / 1'000'000;
+  }
+
+  constexpr DataRate operator+(DataRate other) const {
+    return DataRate(bps_ + other.bps_);
+  }
+  constexpr DataRate operator-(DataRate other) const {
+    return DataRate(bps_ - other.bps_);
+  }
+  constexpr DataRate operator*(double f) const {
+    return DataRate(static_cast<int64_t>(static_cast<double>(bps_) * f));
+  }
+  constexpr DataRate operator/(int64_t d) const { return DataRate(bps_ / d); }
+  constexpr double operator/(DataRate other) const {
+    return static_cast<double>(bps_) / static_cast<double>(other.bps_);
+  }
+  DataRate& operator+=(DataRate other) {
+    bps_ += other.bps_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const DataRate&) const = default;
+
+ private:
+  explicit constexpr DataRate(int64_t bps) : bps_(bps) {}
+  int64_t bps_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, DataRate r) {
+  return os << r.mbps() << " Mbps";
+}
+
+}  // namespace converge

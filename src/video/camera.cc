@@ -1,0 +1,39 @@
+#include "video/camera.h"
+
+#include <algorithm>
+
+namespace converge {
+
+Camera::Camera(EventLoop* loop, Config config, Random rng,
+               FrameCallback on_frame)
+    : loop_(loop),
+      config_(config),
+      rng_(rng),
+      on_frame_(std::move(on_frame)),
+      complexity_(config.complexity_mean) {}
+
+void Camera::Start() {
+  if (task_) return;
+  const Duration period = Duration::Seconds(1.0 / config_.fps);
+  task_ = std::make_unique<RepeatingTask>(loop_, period, [this] { Tick(); });
+}
+
+void Camera::Stop() { task_.reset(); }
+
+void Camera::Tick() {
+  // Mean-reverting complexity walk keeps frame sizes realistically bursty.
+  const double pull = 0.1 * (config_.complexity_mean - complexity_);
+  complexity_ += pull + rng_.Gaussian(0.0, config_.complexity_jitter);
+  complexity_ = std::clamp(complexity_, 0.5, 2.0);
+
+  RawFrame frame;
+  frame.stream_id = config_.stream_id;
+  frame.frame_number = frame_number_++;
+  frame.capture_time = loop_->now();
+  frame.width = config_.width;
+  frame.height = config_.height;
+  frame.complexity = complexity_;
+  on_frame_(frame);
+}
+
+}  // namespace converge

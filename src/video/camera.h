@@ -1,0 +1,48 @@
+// Camera stream model: emits RawFrames at a fixed frame rate with slowly
+// varying scene complexity (a mean-reverting random walk), standing in for
+// the real capture devices of §5.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "sim/event_loop.h"
+#include "util/random.h"
+#include "video/frame.h"
+
+namespace converge {
+
+class Camera {
+ public:
+  struct Config {
+    int stream_id = 0;
+    double fps = 30.0;
+    int width = 1280;
+    int height = 720;
+    double complexity_mean = 1.0;
+    double complexity_jitter = 0.05;  // per-frame random-walk step
+  };
+
+  using FrameCallback = std::function<void(const RawFrame&)>;
+
+  Camera(EventLoop* loop, Config config, Random rng, FrameCallback on_frame);
+
+  void Start();
+  void Stop();
+
+  double fps() const { return config_.fps; }
+  int64_t frames_captured() const { return frame_number_; }
+
+ private:
+  void Tick();
+
+  EventLoop* loop_;
+  Config config_;
+  Random rng_;
+  FrameCallback on_frame_;
+  int64_t frame_number_ = 0;
+  double complexity_;
+  std::unique_ptr<RepeatingTask> task_;
+};
+
+}  // namespace converge

@@ -1,0 +1,52 @@
+#include "video/decoder.h"
+
+#include <utility>
+
+namespace converge {
+
+Decoder::Decoder(EventLoop* loop, Config config, RenderCallback on_render,
+                 DecodeFailureCallback on_failure)
+    : loop_(loop),
+      config_(config),
+      on_render_(std::move(on_render)),
+      on_failure_(std::move(on_failure)) {}
+
+bool Decoder::Decodable(const AssembledFrame& frame) const {
+  if (frame.kind == FrameKind::kKey) return true;
+  // A delta frame references its predecessor: decodable only when the chain
+  // from the GOP's keyframe is unbroken.
+  return have_reference_ && frame.gop_id == last_decoded_gop_ &&
+         frame.frame_id == last_decoded_frame_id_ + 1;
+}
+
+void Decoder::Decode(const AssembledFrame& frame) {
+  if (!Decodable(frame)) {
+    ++decode_failures_;
+    have_reference_ = false;  // freeze until a keyframe arrives
+    if (on_failure_) on_failure_(frame);
+    return;
+  }
+  have_reference_ = true;
+  last_decoded_frame_id_ = frame.frame_id;
+  last_decoded_gop_ = frame.gop_id;
+  ++frames_decoded_;
+
+  const Duration decode_delay =
+      config_.base_decode_time +
+      config_.fec_recovery_penalty * static_cast<double>(frame.recovered_by_fec);
+
+  DecodedFrame out;
+  out.stream_id = frame.stream_id;
+  out.frame_id = frame.frame_id;
+  out.capture_time = frame.capture_time;
+  out.qp = frame.qp;
+  out.psnr_db = PsnrForQp(frame.qp);
+  out.size_bytes = frame.size_bytes;
+  const Timestamp render_time = loop_->now() + decode_delay;
+  out.render_time = render_time;
+  out.e2e_latency = render_time - frame.capture_time;
+  loop_->ScheduleIn(decode_delay,
+                    [cb = on_render_, out] { if (cb) cb(out); });
+}
+
+}  // namespace converge

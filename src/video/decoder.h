@@ -1,0 +1,51 @@
+// Decoder model: consumes assembled frames in decode order, enforces the
+// key/delta dependency chain (§3.1), and renders DecodedFrames. FEC
+// recovery work adds decode latency, reflecting the paper's observation
+// that FEC decoding incurs non-negligible delay in the pipeline (§2.1).
+#pragma once
+
+#include <functional>
+
+#include "sim/event_loop.h"
+#include "video/frame.h"
+#include "video/quality.h"
+
+namespace converge {
+
+class Decoder {
+ public:
+  struct Config {
+    Duration base_decode_time = Duration::Millis(3);
+    Duration fec_recovery_penalty = Duration::Millis(2);  // per recovered pkt
+  };
+
+  using RenderCallback = std::function<void(const DecodedFrame&)>;
+  // Invoked when a frame cannot be decoded (broken dependency chain); the
+  // receiver responds with a keyframe request.
+  using DecodeFailureCallback = std::function<void(const AssembledFrame&)>;
+
+  Decoder(EventLoop* loop, Config config, RenderCallback on_render,
+          DecodeFailureCallback on_failure);
+
+  // Frames must arrive in the order the frame buffer releases them.
+  void Decode(const AssembledFrame& frame);
+
+  int64_t frames_decoded() const { return frames_decoded_; }
+  int64_t decode_failures() const { return decode_failures_; }
+
+ private:
+  bool Decodable(const AssembledFrame& frame) const;
+
+  EventLoop* loop_;
+  Config config_;
+  RenderCallback on_render_;
+  DecodeFailureCallback on_failure_;
+
+  bool have_reference_ = false;
+  int64_t last_decoded_frame_id_ = -1;
+  int64_t last_decoded_gop_ = -1;
+  int64_t frames_decoded_ = 0;
+  int64_t decode_failures_ = 0;
+};
+
+}  // namespace converge

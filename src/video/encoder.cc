@@ -1,0 +1,91 @@
+#include "video/encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "video/quality.h"
+
+namespace converge {
+
+Encoder::Encoder(Config config, Random rng)
+    : config_(config), rng_(rng), target_rate_(config.min_rate) {}
+
+void Encoder::SetTargetRate(DataRate rate) {
+  target_rate_ = std::clamp(rate, config_.min_rate, config_.max_rate);
+}
+
+void Encoder::UpdateResolutionStep(Timestamp now) {
+  if (!config_.adapt_resolution) return;
+  if (last_resolution_change_.IsFinite() &&
+      now - last_resolution_change_ < config_.min_resolution_dwell) {
+    return;
+  }
+  // Rate thresholds per rung (each rung halves the linear resolution).
+  // Hysteresis: step down below `down`, step back up above `up`.
+  struct Rung {
+    double down_mbps;
+    double up_mbps;
+  };
+  static constexpr Rung kLadder[] = {
+      {2.0, 0.0},   // rung 0 (full) -> rung 1 below 2.0 Mbps
+      {0.8, 3.0},   // rung 1 (1/2)  -> rung 2 below 0.8, back up above 3.0
+      {0.3, 1.2},   // rung 2 (1/4)  -> rung 3 below 0.3, back up above 1.2
+      {0.0, 0.5},   // rung 3 (1/8)  -> back up above 0.5
+  };
+  const double mbps = target_rate_.mbps();
+  const int max_step = 3;
+  int step = resolution_step_;
+  if (step < max_step && mbps < kLadder[step].down_mbps) {
+    ++step;
+  } else if (step > 0 && mbps > kLadder[step].up_mbps) {
+    --step;
+  }
+  if (step != resolution_step_) {
+    resolution_step_ = step;
+    last_resolution_change_ = now;
+    // Codecs require a keyframe at a new resolution.
+    keyframe_requested_ = true;
+  }
+}
+
+EncodedFrame Encoder::Encode(const RawFrame& raw) {
+  UpdateResolutionStep(raw.capture_time);
+
+  EncodedFrame out;
+  out.stream_id = raw.stream_id;
+  out.frame_id = next_frame_id_++;
+  out.capture_time = raw.capture_time;
+  out.width = std::max(1, raw.width >> resolution_step_);
+  out.height = std::max(1, raw.height >> resolution_step_);
+
+  const double fps = 30.0;  // capture cadence; sizes derive from per-frame budget
+  const double budget_bits =
+      static_cast<double>(target_rate_.bps()) / fps;
+
+  const bool keyframe = keyframe_requested_;
+  keyframe_requested_ = false;
+  if (keyframe) {
+    ++gop_id_;
+    ++keyframes_encoded_;
+  }
+  out.gop_id = gop_id_;
+  out.kind = keyframe ? FrameKind::kKey : FrameKind::kDelta;
+  out.encode_fps = fps;
+
+  const double factor = keyframe ? config_.keyframe_size_factor : 1.0;
+  const double noise =
+      std::exp(rng_.Gaussian(0.0, config_.size_jitter));
+  const double bits =
+      std::max(8.0 * 200.0, budget_bits * factor * raw.complexity * noise);
+  out.size_bytes = static_cast<int64_t>(bits / 8.0);
+  // QP is reported as full-resolution-equivalent quality: encoding at a
+  // lower rung keeps the per-pixel QP moderate but costs upscaling quality
+  // (~6 dB, i.e. ~11 QP steps per halving), so the ladder trades QP for
+  // frame-rate stability rather than hiding the loss.
+  const int raw_qp =
+      QpForBudget(budget_bits, out.width, out.height, raw.complexity);
+  out.qp = std::min(kMaxQp, raw_qp + 11 * resolution_step_);
+  return out;
+}
+
+}  // namespace converge

@@ -1,0 +1,65 @@
+// Rate-controlled encoder model.
+//
+// Converts RawFrames into EncodedFrames sized by the target bitrate the
+// congestion controller supplies (§2.1 pipeline). Keyframes are produced at
+// stream start and on demand (PLI); like WebRTC's infinite-GOP conferencing
+// mode there is no periodic keyframe interval. Keyframes cost a configurable
+// multiple of the per-frame budget.
+#pragma once
+
+#include <functional>
+
+#include "util/random.h"
+#include "util/time.h"
+#include "video/frame.h"
+
+namespace converge {
+
+class Encoder {
+ public:
+  struct Config {
+    double keyframe_size_factor = 4.0;  // keyframe bytes vs delta budget
+    double size_jitter = 0.08;          // lognormal-ish size noise
+    DataRate min_rate = DataRate::KilobitsPerSec(50);
+    DataRate max_rate = DataRate::MegabitsPerSec(10);  // app cap per stream
+    // Resolution ladder: at low rates the encoder steps the output down
+    // (the paper's driving scenario: "adjusting the video resolution to
+    // match the lower throughput"). A resolution switch forces a keyframe,
+    // so switches are hysteretic and rate-limited.
+    bool adapt_resolution = true;
+    Duration min_resolution_dwell = Duration::Seconds(3.0);
+  };
+
+  Encoder(Config config, Random rng);
+
+  // Target from the congestion controller; clamped to [min_rate, max_rate].
+  void SetTargetRate(DataRate rate);
+  DataRate target_rate() const { return target_rate_; }
+
+  // Forces the next frame to be a keyframe (PLI / keyframe request path).
+  void RequestKeyframe() { keyframe_requested_ = true; }
+
+  // Encodes one captured frame.
+  EncodedFrame Encode(const RawFrame& raw);
+
+  int64_t keyframes_encoded() const { return keyframes_encoded_; }
+  int64_t frames_encoded() const { return next_frame_id_; }
+  // Current rung of the resolution ladder (0 = full capture resolution).
+  int resolution_step() const { return resolution_step_; }
+
+ private:
+  // Picks the ladder rung for the current target rate (with hysteresis).
+  void UpdateResolutionStep(Timestamp now);
+
+  Config config_;
+  Random rng_;
+  DataRate target_rate_;
+  bool keyframe_requested_ = true;  // first frame is always a key
+  int64_t next_frame_id_ = 0;
+  int64_t gop_id_ = -1;
+  int64_t keyframes_encoded_ = 0;
+  int resolution_step_ = 0;
+  Timestamp last_resolution_change_ = Timestamp::MinusInfinity();
+};
+
+}  // namespace converge

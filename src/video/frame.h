@@ -1,0 +1,65 @@
+// Frame types flowing through the encode/decode pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "rtp/rtp_packet.h"
+#include "util/time.h"
+
+namespace converge {
+
+// A raw capture from a camera stream (pixels abstracted away; `complexity`
+// models scene difficulty and scales encoded size at a given quality).
+struct RawFrame {
+  int stream_id = 0;
+  int64_t frame_number = 0;
+  Timestamp capture_time;
+  int width = 1280;
+  int height = 720;
+  double complexity = 1.0;
+};
+
+// Output of the encoder: a compressed key or delta frame.
+struct EncodedFrame {
+  int stream_id = 0;
+  int64_t frame_id = 0;  // monotone per stream
+  int64_t gop_id = 0;    // increments at each keyframe
+  FrameKind kind = FrameKind::kDelta;
+  int64_t size_bytes = 0;
+  int qp = 30;            // quantization parameter actually used
+  double encode_fps = 30; // frame rate the encoder is running at
+  Timestamp capture_time;
+  int width = 1280;
+  int height = 720;
+};
+
+// A frame rebuilt by the receiver and handed to the decoder.
+struct AssembledFrame {
+  int stream_id = 0;
+  int64_t frame_id = 0;
+  int64_t gop_id = 0;
+  FrameKind kind = FrameKind::kDelta;
+  int64_t size_bytes = 0;
+  int qp = 30;
+  Timestamp capture_time;
+  Timestamp first_packet_time;
+  Timestamp complete_time;          // all packets (incl. PPS/SPS) present
+  Duration fcd;                     // frame construction delay (§4.2)
+  int packets = 0;
+  int recovered_by_fec = 0;         // packets restored by XOR recovery
+  int recovered_by_rtx = 0;         // packets restored via NACK/RTX
+};
+
+// A frame the decoder rendered.
+struct DecodedFrame {
+  int stream_id = 0;
+  int64_t frame_id = 0;
+  Timestamp capture_time;
+  Timestamp render_time;
+  int qp = 30;
+  double psnr_db = 0.0;
+  int64_t size_bytes = 0;  // compressed size (decoded-goodput accounting)
+  Duration e2e_latency;    // render_time - capture_time
+};
+
+}  // namespace converge

@@ -1,0 +1,57 @@
+#include "video/packetizer.h"
+
+#include <algorithm>
+
+namespace converge {
+
+std::vector<RtpPacket> Packetizer::Packetize(const EncodedFrame& frame) {
+  std::vector<RtpPacket> packets;
+  const bool keyframe = frame.kind == FrameKind::kKey;
+  const uint32_t rtp_ts =
+      static_cast<uint32_t>(frame.capture_time.us() * 90 / 1000);  // 90 kHz
+
+  auto base_packet = [&](PayloadKind kind, Priority priority,
+                         int64_t payload) {
+    RtpPacket p;
+    p.ssrc = config_.ssrc;
+    p.seq = next_seq_++;
+    p.rtp_timestamp = rtp_ts;
+    p.kind = kind;
+    p.priority = priority;
+    p.frame_kind = frame.kind;
+    p.stream_id = frame.stream_id;
+    p.frame_id = frame.frame_id;
+    p.gop_id = frame.gop_id;
+    p.payload_bytes = payload;
+    p.capture_time = frame.capture_time;
+    return p;
+  };
+
+  // SPS: decoding information for the group of frames; present at GOP start.
+  if (keyframe) {
+    packets.push_back(
+        base_packet(PayloadKind::kSps, Priority::kSps, config_.sps_bytes));
+  }
+  // PPS: decoding information for this frame; present on every frame.
+  packets.push_back(
+      base_packet(PayloadKind::kPps, Priority::kPps, config_.pps_bytes));
+
+  // Media slices. Keyframe media carries Table-2 priority 2; delta media is
+  // unprioritized and split across paths by rate (§4.1).
+  const Priority media_priority =
+      keyframe ? Priority::kKeyframe : Priority::kNone;
+  int64_t remaining = std::max<int64_t>(frame.size_bytes, 1);
+  while (remaining > 0) {
+    const int64_t payload = std::min(remaining, config_.max_payload_bytes);
+    packets.push_back(
+        base_packet(PayloadKind::kMedia, media_priority, payload));
+    remaining -= payload;
+  }
+
+  packets.front().first_in_frame = true;
+  packets.back().last_in_frame = true;
+  packets.back().marker = true;
+  return packets;
+}
+
+}  // namespace converge

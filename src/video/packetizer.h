@@ -1,0 +1,38 @@
+// Packetizer: slices EncodedFrames into RTP packets and exposes the video
+// structure the Converge scheduler relies on (§3.1): keyframe vs delta
+// media packets, the per-frame PPS packet, the per-GOP SPS packet, and the
+// Table-2 priority of each packet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rtp/rtp_packet.h"
+#include "video/frame.h"
+
+namespace converge {
+
+class Packetizer {
+ public:
+  struct Config {
+    uint32_t ssrc = 0x1000;
+    int64_t max_payload_bytes = 1100;
+    int64_t pps_bytes = 20;   // picture parameter set payload
+    int64_t sps_bytes = 40;   // sequence parameter set payload
+  };
+
+  explicit Packetizer(Config config) : config_(config) {}
+
+  // Packet order within a frame: [SPS (keyframes only)], PPS, media...
+  // The first packet carries first_in_frame, the last carries marker.
+  std::vector<RtpPacket> Packetize(const EncodedFrame& frame);
+
+  uint32_t ssrc() const { return config_.ssrc; }
+  uint16_t next_seq() const { return next_seq_; }
+
+ private:
+  Config config_;
+  uint16_t next_seq_ = 0;
+};
+
+}  // namespace converge

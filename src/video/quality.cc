@@ -1,0 +1,26 @@
+#include "video/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace converge {
+
+int QpForBudget(double bits, int width, int height, double complexity) {
+  const double pixels = static_cast<double>(width) * height;
+  if (pixels <= 0 || bits <= 0) return kMaxQp;
+  // Reference operating point: 0.36 bits/pixel (a 720p30 stream at 10 Mbps)
+  // encodes around QP 24; each halving of the per-pixel budget costs about
+  // 6.5 QP steps. Complexity scales the effective budget.
+  const double bpp = bits / (pixels * std::max(0.1, complexity));
+  const double qp = 24.0 - 6.5 * std::log2(bpp / 0.36);
+  return std::clamp(static_cast<int>(std::lround(qp)), kMinQp, kMaxQp);
+}
+
+double PsnrForQp(int qp) {
+  // H.264-style fit: ~52 dB at QP 10 falling ~0.5 dB per QP step, with a
+  // gentle floor so extreme QPs stay physically plausible.
+  const double psnr = 57.0 - 0.55 * static_cast<double>(qp);
+  return std::max(18.0, psnr);
+}
+
+}  // namespace converge

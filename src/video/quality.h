@@ -1,0 +1,25 @@
+// Rate/quality model for the simulated codec.
+//
+// Maps an encode budget (bits per pixel) to the quantization parameter a
+// rate-controlled H.264/VP8-class encoder would pick, and QP to PSNR. The
+// constants are fit to the usual R-D rules of thumb (~-0.5 dB per QP step,
+// QP halving per ~2x rate) so that the paper's QP/PSNR *ordering* between
+// variants is preserved even though no pixels are coded.
+#pragma once
+
+#include "util/time.h"
+
+namespace converge {
+
+// QP the rate controller picks for a frame budget of `bits` over a
+// `width` x `height` frame with the given scene complexity. Clamped to
+// [kMinQp, kMaxQp] (60 is "lowest video quality" per §6).
+int QpForBudget(double bits, int width, int height, double complexity = 1.0);
+
+// Approximate luma PSNR delivered at a given QP.
+double PsnrForQp(int qp);
+
+inline constexpr int kMinQp = 10;
+inline constexpr int kMaxQp = 60;
+
+}  // namespace converge

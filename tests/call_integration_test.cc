@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "session/call.h"
+
+namespace converge {
+namespace {
+
+PathSpec StablePath(const std::string& name, double mbps, int delay_ms,
+                    double loss = 0.0) {
+  PathSpec spec;
+  spec.name = name;
+  spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+  spec.prop_delay = Duration::Millis(delay_ms);
+  if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+  return spec;
+}
+
+CallConfig ShortCall(Variant variant, Duration duration = Duration::Seconds(20)) {
+  CallConfig config;
+  config.variant = variant;
+  config.paths = {StablePath("p0", 15.0, 20), StablePath("p1", 15.0, 25)};
+  config.duration = duration;
+  config.seed = 3;
+  return config;
+}
+
+TEST(CallIntegrationTest, ConvergeDeliversVideoOnStablePaths) {
+  Call call(ShortCall(Variant::kConverge));
+  const CallStats stats = call.Run();
+  ASSERT_EQ(stats.streams.size(), 1u);
+  EXPECT_GT(stats.AvgFps(), 24.0);
+  EXPECT_GT(stats.TotalTputMbps(), 2.0);
+  EXPECT_LT(stats.AvgE2eMs(), 300.0);
+  EXPECT_GT(stats.frames_encoded, 500);
+  EXPECT_EQ(stats.total_keyframe_requests, 0);
+  EXPECT_LT(stats.total_frame_drops, 20);
+}
+
+TEST(CallIntegrationTest, SinglePathWebRtcWorksOnGoodPath) {
+  Call call(ShortCall(Variant::kWebRtcPath0));
+  const CallStats stats = call.Run();
+  EXPECT_GT(stats.AvgFps(), 24.0);
+  EXPECT_LT(stats.AvgE2eMs(), 300.0);
+}
+
+TEST(CallIntegrationTest, AggregationBeatsSinglePathWhenNeitherPathSuffices) {
+  // Each path alone is ~5.5 Mbps but the app wants 10 Mbps.
+  auto make = [&](Variant v) {
+    CallConfig config;
+    config.variant = v;
+    config.paths = {StablePath("a", 5.5, 20), StablePath("b", 5.5, 30)};
+    config.duration = Duration::Seconds(25);
+    config.seed = 5;
+    return config;
+  };
+  Call conv(make(Variant::kConverge));
+  const CallStats cs = conv.Run();
+  Call single(make(Variant::kWebRtcPath0));
+  const CallStats ss = single.Run();
+  EXPECT_GT(cs.TotalTputMbps(), ss.TotalTputMbps() * 1.2);
+}
+
+TEST(CallIntegrationTest, ConvergeSurvivesPathOutage) {
+  // Path 1 dies from t=5s to t=15s.
+  ValueTrace dying({{Timestamp::Seconds(0), 12e6},
+                    {Timestamp::Seconds(5), 0.05e6},
+                    {Timestamp::Seconds(15), 12e6}},
+                   /*repeat=*/false);
+  CallConfig config;
+  config.variant = Variant::kConverge;
+  config.paths = {StablePath("alive", 12.0, 20)};
+  PathSpec failing;
+  failing.name = "failing";
+  failing.capacity = BandwidthTrace(dying);
+  failing.prop_delay = Duration::Millis(25);
+  config.paths.push_back(failing);
+  config.duration = Duration::Seconds(25);
+  Call call(config);
+  const CallStats stats = call.Run();
+  // The call keeps running at a usable frame rate thanks to the live path.
+  EXPECT_GT(stats.AvgFps(), 15.0);
+}
+
+TEST(CallIntegrationTest, LossyPathsStillDeliverWithFec) {
+  CallConfig config = ShortCall(Variant::kConverge);
+  config.paths = {StablePath("a", 15.0, 20, 0.02),
+                  StablePath("b", 15.0, 25, 0.02)};
+  Call call(config);
+  const CallStats stats = call.Run();
+  EXPECT_GT(stats.fec_packets_sent, 0);
+  EXPECT_GT(stats.fec_recovered_packets, 0);
+  EXPECT_GT(stats.AvgFps(), 20.0);
+}
+
+TEST(CallIntegrationTest, MultiStreamCallRuns) {
+  CallConfig config = ShortCall(Variant::kConverge);
+  config.num_streams = 3;
+  config.paths = {StablePath("a", 20.0, 20), StablePath("b", 20.0, 25)};
+  Call call(config);
+  const CallStats stats = call.Run();
+  ASSERT_EQ(stats.streams.size(), 3u);
+  for (const StreamQoe& s : stats.streams) {
+    EXPECT_GT(s.avg_fps, 15.0);
+  }
+}
+
+TEST(CallIntegrationTest, DeterministicAcrossRuns) {
+  const CallConfig config = ShortCall(Variant::kConverge, Duration::Seconds(10));
+  Call a(config);
+  Call b(config);
+  const CallStats sa = a.Run();
+  const CallStats sb = b.Run();
+  EXPECT_EQ(sa.media_packets_sent, sb.media_packets_sent);
+  EXPECT_EQ(sa.fec_packets_sent, sb.fec_packets_sent);
+  EXPECT_DOUBLE_EQ(sa.AvgFps(), sb.AvgFps());
+  EXPECT_DOUBLE_EQ(sa.TotalTputMbps(), sb.TotalTputMbps());
+}
+
+TEST(CallIntegrationTest, AllVariantsRunWithoutCrashing) {
+  for (Variant v :
+       {Variant::kWebRtcPath0, Variant::kWebRtcPath1, Variant::kWebRtcCm,
+        Variant::kSrtt, Variant::kMtput, Variant::kMrtp, Variant::kConverge,
+        Variant::kConvergeNoFeedback, Variant::kConvergeWebRtcFec}) {
+    Call call(ShortCall(v, Duration::Seconds(8)));
+    const CallStats stats = call.Run();
+    EXPECT_GT(stats.frames_encoded, 100) << ToString(v);
+    EXPECT_GT(stats.AvgFps(), 1.0) << ToString(v);
+  }
+}
+
+TEST(CallIntegrationTest, TimeSeriesCoversCallDuration) {
+  Call call(ShortCall(Variant::kConverge, Duration::Seconds(12)));
+  const CallStats stats = call.Run();
+  EXPECT_NEAR(static_cast<double>(stats.time_series.size()), 12.0, 2.0);
+  // Throughput series is non-zero once the call ramps.
+  double late_tput = 0.0;
+  for (const auto& s : stats.time_series) {
+    if (s.t_s > 6.0) late_tput += s.tput_mbps;
+  }
+  EXPECT_GT(late_tput, 1.0);
+}
+
+TEST(CallIntegrationTest, RunSeedsProducesOneStatsPerSeed) {
+  const auto all =
+      RunSeeds(ShortCall(Variant::kConverge, Duration::Seconds(6)), {1, 2, 3});
+  EXPECT_EQ(all.size(), 3u);
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "cc/gcc.h"
+#include "cc/loss_based.h"
+#include "cc/pacer.h"
+#include "cc/trendline.h"
+#include "sim/event_loop.h"
+
+namespace converge {
+namespace {
+
+TEST(TrendlineTest, StableDelaysStayNormal) {
+  TrendlineEstimator est;
+  Timestamp send = Timestamp::Zero();
+  for (int i = 0; i < 200; ++i) {
+    send += Duration::Millis(10);
+    est.OnPacketFeedback(send, send + Duration::Millis(30));
+  }
+  EXPECT_EQ(est.State(), BandwidthUsage::kNormal);
+}
+
+TEST(TrendlineTest, GrowingQueueDetectsOveruse) {
+  TrendlineEstimator est;
+  Timestamp send = Timestamp::Zero();
+  Duration queue = Duration::Millis(30);
+  for (int i = 0; i < 300; ++i) {
+    send += Duration::Millis(10);
+    queue += Duration::Millis(3);  // steadily building queue
+    est.OnPacketFeedback(send, send + queue);
+  }
+  EXPECT_EQ(est.State(), BandwidthUsage::kOverusing);
+  EXPECT_GT(est.trend(), 0.0);
+}
+
+TEST(TrendlineTest, DrainingQueueDetectsUnderuse) {
+  TrendlineEstimator est;
+  Timestamp send = Timestamp::Zero();
+  Duration queue = Duration::Millis(1000);
+  // The queue drains continuously through the whole window.
+  for (int i = 0; i < 150; ++i) {
+    send += Duration::Millis(10);
+    queue -= Duration::Millis(4);
+    est.OnPacketFeedback(send, send + Duration::Millis(30) + queue);
+  }
+  EXPECT_EQ(est.State(), BandwidthUsage::kUnderusing);
+}
+
+TEST(AimdTest, IncreasesWhenNormal) {
+  AimdRateControl aimd({}, DataRate::KilobitsPerSec(500));
+  Timestamp now = Timestamp::Zero();
+  DataRate acked = DataRate::KilobitsPerSec(500);
+  for (int i = 0; i < 20; ++i) {
+    now += Duration::Millis(100);
+    acked = aimd.rate();  // the network delivers what we send
+    aimd.Update(BandwidthUsage::kNormal, acked, now);
+  }
+  EXPECT_GT(aimd.rate().kbps(), 550.0);
+}
+
+TEST(AimdTest, DecreasesOnOveruse) {
+  AimdRateControl aimd({}, DataRate::MegabitsPerSec(10));
+  const DataRate measured = DataRate::MegabitsPerSec(6);
+  aimd.Update(BandwidthUsage::kOverusing, measured, Timestamp::Millis(100));
+  EXPECT_NEAR(aimd.rate().mbps(), 6.0 * 0.85, 0.01);
+}
+
+TEST(AimdTest, HoldsOnUnderuse) {
+  AimdRateControl aimd({}, DataRate::MegabitsPerSec(5));
+  aimd.Update(BandwidthUsage::kUnderusing, DataRate::MegabitsPerSec(5),
+              Timestamp::Millis(100));
+  EXPECT_EQ(aimd.rate(), DataRate::MegabitsPerSec(5));
+}
+
+TEST(AimdTest, RespectsMinMax) {
+  AimdRateControl::Config c;
+  c.min_rate = DataRate::KilobitsPerSec(100);
+  c.max_rate = DataRate::KilobitsPerSec(1000);
+  AimdRateControl aimd(c, DataRate::KilobitsPerSec(150));
+  aimd.Update(BandwidthUsage::kOverusing, DataRate::KilobitsPerSec(10),
+              Timestamp::Millis(1));
+  EXPECT_EQ(aimd.rate(), c.min_rate);
+  aimd.SetRate(DataRate::MegabitsPerSec(100));
+  EXPECT_EQ(aimd.rate(), c.max_rate);
+}
+
+TEST(LossBasedTest, BacksOffAboveHighLoss) {
+  LossBasedControl lb({}, DataRate::MegabitsPerSec(10));
+  lb.OnLossReport(0.2, Timestamp::Millis(100));
+  EXPECT_NEAR(lb.rate().mbps(), 10.0 * (1.0 - 0.5 * 0.2), 0.01);
+}
+
+TEST(LossBasedTest, GrowsBelowLowLoss) {
+  LossBasedControl lb({}, DataRate::MegabitsPerSec(1));
+  lb.OnLossReport(0.0, Timestamp::Millis(100));
+  EXPECT_NEAR(lb.rate().mbps(), 1.05, 0.001);
+  // Increase is rate-limited: immediate second report does not compound.
+  lb.OnLossReport(0.0, Timestamp::Millis(120));
+  EXPECT_NEAR(lb.rate().mbps(), 1.05, 0.001);
+  lb.OnLossReport(0.0, Timestamp::Millis(400));
+  EXPECT_NEAR(lb.rate().mbps(), 1.1025, 0.001);
+}
+
+TEST(LossBasedTest, HoldsInMiddleBand) {
+  LossBasedControl lb({}, DataRate::MegabitsPerSec(5));
+  lb.OnLossReport(0.05, Timestamp::Millis(100));
+  EXPECT_EQ(lb.rate(), DataRate::MegabitsPerSec(5));
+  EXPECT_GT(lb.smoothed_loss(), 0.0);
+}
+
+TEST(GccTest, TargetIsMinOfBranches) {
+  GccController::Config c;
+  c.start_rate = DataRate::MegabitsPerSec(5);
+  GccController gcc(c);
+  // Heavy loss drives the loss branch below the delay branch.
+  for (int i = 0; i < 10; ++i) {
+    gcc.OnReceiverReport(0.3, Duration::Millis(50),
+                         Timestamp::Millis(100 * (i + 1)));
+  }
+  EXPECT_LT(gcc.target_rate().mbps(), 5.0);
+  EXPECT_GT(gcc.loss_estimate(), 0.2);
+}
+
+TEST(GccTest, SmoothedRttTracksReports) {
+  GccController gcc;
+  for (int i = 0; i < 50; ++i) {
+    gcc.OnReceiverReport(0.0, Duration::Millis(80),
+                         Timestamp::Millis(100 * (i + 1)));
+  }
+  EXPECT_NEAR(gcc.smoothed_rtt().ms(), 80.0, 2.0);
+}
+
+TEST(GccTest, GoodputFromTransportFeedback) {
+  GccController gcc;
+  std::vector<PacketResult> results;
+  Timestamp t = Timestamp::Millis(1000);
+  // 100 packets x 1250 bytes over 500 ms => 2 Mbps.
+  for (int i = 0; i < 100; ++i) {
+    PacketResult r;
+    r.transport_seq = i;
+    r.bytes = 1250;
+    r.send_time = t - Duration::Millis(40);
+    r.recv_time = t;
+    r.received = true;
+    results.push_back(r);
+    t += Duration::Millis(5);
+  }
+  gcc.OnTransportFeedback(results, t);
+  EXPECT_NEAR(gcc.goodput().mbps(), 2.0, 0.5);
+}
+
+TEST(PacerTest, PacesAtConfiguredRate) {
+  EventLoop loop;
+  int64_t sent_bytes = 0;
+  Pacer::Config config;
+  config.max_queue_time = Duration::Seconds(100);  // no shedding here
+  Pacer pacer(&loop, config,
+              [&](RtpPacket&& p) { sent_bytes += p.wire_size(); });
+  pacer.SetRate(DataRate::MegabitsPerSec(1));  // paced at 1.25 Mbps
+
+  for (int i = 0; i < 1000; ++i) {
+    RtpPacket p;
+    p.payload_bytes = 1222;  // wire = 1250
+    pacer.Enqueue(p);
+  }
+  loop.RunUntil(Timestamp::Seconds(1.0));
+  // ~1.25 Mbps -> ~156 KB/s.
+  EXPECT_NEAR(static_cast<double>(sent_bytes), 156250.0, 156250.0 * 0.1);
+  EXPECT_GT(pacer.queue_packets(), 0u);
+}
+
+TEST(PacerTest, RtxJumpsAheadOfMediaBacklog) {
+  EventLoop loop;
+  std::vector<Priority> order;
+  Pacer pacer(&loop, {}, [&](RtpPacket&& p) { order.push_back(p.priority); });
+  pacer.SetRate(DataRate::MegabitsPerSec(2));
+  for (int i = 0; i < 5; ++i) {
+    RtpPacket media;
+    media.payload_bytes = 1100;
+    pacer.Enqueue(media);
+  }
+  RtpPacket rtx;
+  rtx.priority = Priority::kRetransmit;
+  rtx.payload_bytes = 1100;
+  pacer.Enqueue(rtx);
+  loop.RunUntil(Timestamp::Millis(100));
+  ASSERT_FALSE(order.empty());
+  // The retransmission overtakes the queued media.
+  EXPECT_EQ(order.front(), Priority::kRetransmit);
+}
+
+TEST(PacerTest, StaleRtxDropped) {
+  EventLoop loop;
+  int rtx_sent = 0;
+  Pacer::Config config;
+  config.max_rtx_age = Duration::Millis(300);
+  Pacer pacer(&loop, config, [&](RtpPacket&& p) {
+    if (p.priority == Priority::kRetransmit) ++rtx_sent;
+  });
+  pacer.SetRate(DataRate::KilobitsPerSec(1));  // effectively stalled
+  RtpPacket rtx;
+  rtx.priority = Priority::kRetransmit;
+  rtx.payload_bytes = 1100;
+  pacer.Enqueue(rtx);
+  loop.RunUntil(Timestamp::Seconds(2.0));
+  // Too old to matter by the time bandwidth would have allowed it.
+  EXPECT_EQ(rtx_sent, 0);
+  EXPECT_EQ(pacer.stats().packets_dropped, 1);
+}
+
+TEST(AimdTest, QuietTimeAcceleratesRecovery) {
+  // After a decrease, a long congestion-free stretch ramps much faster
+  // than the base 8%/s (the outage-recovery behaviour).
+  AimdRateControl slow({}, DataRate::MegabitsPerSec(10));
+  AimdRateControl fast({}, DataRate::MegabitsPerSec(10));
+  // Both decrease to the same point at t=0.
+  slow.Update(BandwidthUsage::kOverusing, DataRate::KilobitsPerSec(100),
+              Timestamp::Millis(0));
+  fast.Update(BandwidthUsage::kOverusing, DataRate::KilobitsPerSec(100),
+              Timestamp::Millis(0));
+  ASSERT_EQ(slow.rate(), fast.rate());
+
+  // `slow` updates right after the decrease (quiet < 2 s): gentle.
+  DataRate acked = slow.rate();
+  for (int i = 1; i <= 10; ++i) {
+    acked = slow.rate();
+    slow.Update(BandwidthUsage::kNormal, acked,
+                Timestamp::Millis(100 * i));
+  }
+  // `fast` has been quiet for 10 s before its updates: aggressive ramp.
+  acked = fast.rate();
+  for (int i = 1; i <= 10; ++i) {
+    acked = fast.rate();
+    fast.Update(BandwidthUsage::kNormal, acked,
+                Timestamp::Millis(10000 + 100 * i));
+  }
+  EXPECT_GT(fast.rate().bps(), slow.rate().bps());
+}
+
+TEST(PacerTest, ShedsStaleBacklog) {
+  EventLoop loop;
+  int sent = 0;
+  Pacer::Config config;
+  config.max_queue_time = Duration::Millis(400);
+  Pacer pacer(&loop, config, [&](RtpPacket&&) { ++sent; });
+  pacer.SetRate(DataRate::MegabitsPerSec(1));
+  for (int i = 0; i < 1000; ++i) {
+    RtpPacket p;
+    p.payload_bytes = 1222;
+    pacer.Enqueue(p);
+  }
+  loop.RunUntil(Timestamp::Seconds(2.0));
+  EXPECT_GT(pacer.stats().packets_dropped, 0);
+  // Backlog is bounded by the queue-time cap.
+  EXPECT_LE(pacer.QueueDelay(), Duration::Millis(450));
+}
+
+TEST(PacerTest, SetsSendTimestamp) {
+  EventLoop loop;
+  Timestamp seen = Timestamp::MinusInfinity();
+  Pacer pacer(&loop, {}, [&](RtpPacket&& p) { seen = p.send_time; });
+  pacer.SetRate(DataRate::MegabitsPerSec(10));
+  RtpPacket p;
+  p.payload_bytes = 100;
+  pacer.Enqueue(p);
+  loop.RunUntil(Timestamp::Millis(20));
+  EXPECT_TRUE(seen.IsFinite());
+  EXPECT_GT(seen, Timestamp::Zero());
+}
+
+TEST(PacerTest, QueueDelayReflectsBacklog) {
+  EventLoop loop;
+  Pacer pacer(&loop, {}, [](RtpPacket&&) {});
+  pacer.SetRate(DataRate::MegabitsPerSec(1));
+  EXPECT_EQ(pacer.QueueDelay(), Duration::Zero());
+  RtpPacket p;
+  p.payload_bytes = 125000 - 28;  // 1 second at 1 Mbps (wire size 125 kB)
+  pacer.Enqueue(p);
+  EXPECT_NEAR(pacer.QueueDelay().seconds(), 0.8, 0.05);  // 1.25x pacing
+}
+
+}  // namespace
+}  // namespace converge

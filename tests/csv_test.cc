@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+
+namespace converge {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(CsvTest, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/csv_basic.csv";
+  {
+    CsvWriter csv(path, {"t", "a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.Row({1.0, 2.5, 3.0});
+    csv.Row({2.0, 4.5, 6.0});
+  }
+  const std::string content = ReadAll(path);
+  EXPECT_EQ(content, "t,a,b\n1,2.5,3\n2,4.5,6\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, TruncatesRowsToHeaderWidth) {
+  const std::string path = testing::TempDir() + "/csv_trunc.csv";
+  {
+    CsvWriter csv(path, {"x", "y"});
+    csv.Row({1.0, 2.0, 99.0, 100.0});  // extras dropped
+  }
+  EXPECT_EQ(ReadAll(path), "x,y\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, InvalidPathReportsNotOk) {
+  CsvWriter csv("/nonexistent-dir-xyz/file.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+  csv.Row({1.0});  // must not crash
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace converge {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(Timestamp::Millis(30), [&] { order.push_back(3); });
+  loop.ScheduleAt(Timestamp::Millis(10), [&] { order.push_back(1); });
+  loop.ScheduleAt(Timestamp::Millis(20), [&] { order.push_back(2); });
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.executed_events(), 3);
+}
+
+TEST(EventLoopTest, StableTieBreakByInsertion) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(Timestamp::Millis(5), [&order, i] { order.push_back(i); });
+  }
+  loop.RunAll();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoopTest, NowAdvancesWithEvents) {
+  EventLoop loop;
+  Timestamp seen;
+  loop.ScheduleAt(Timestamp::Millis(42), [&] { seen = loop.now(); });
+  loop.RunAll();
+  EXPECT_EQ(seen, Timestamp::Millis(42));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtBoundary) {
+  EventLoop loop;
+  int ran = 0;
+  loop.ScheduleAt(Timestamp::Millis(10), [&] { ++ran; });
+  loop.ScheduleAt(Timestamp::Millis(20), [&] { ++ran; });
+  loop.ScheduleAt(Timestamp::Millis(30), [&] { ++ran; });
+  loop.RunUntil(Timestamp::Millis(20));
+  EXPECT_EQ(ran, 2);  // the 20 ms event is inclusive
+  EXPECT_EQ(loop.now(), Timestamp::Millis(20));
+  EXPECT_EQ(loop.pending_events(), 1u);
+}
+
+TEST(EventLoopTest, ScheduledInPastRunsNow) {
+  EventLoop loop;
+  loop.ScheduleAt(Timestamp::Millis(10), [&] {
+    // Scheduling "in the past" clamps to now.
+    loop.ScheduleAt(Timestamp::Millis(1), [&] {
+      EXPECT_EQ(loop.now(), Timestamp::Millis(10));
+    });
+  });
+  loop.RunAll();
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.ScheduleIn(Duration::Millis(1), recurse);
+  };
+  loop.ScheduleIn(Duration::Millis(1), recurse);
+  loop.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), Timestamp::Millis(5));
+}
+
+TEST(RepeatingTaskTest, TicksAtPeriod) {
+  EventLoop loop;
+  int ticks = 0;
+  RepeatingTask task(&loop, Duration::Millis(10), [&] { ++ticks; });
+  loop.RunUntil(Timestamp::Millis(100));
+  EXPECT_EQ(ticks, 10);
+}
+
+TEST(RepeatingTaskTest, StopCancelsFutureTicks) {
+  EventLoop loop;
+  int ticks = 0;
+  auto task = std::make_unique<RepeatingTask>(&loop, Duration::Millis(10),
+                                              [&] { ++ticks; });
+  loop.ScheduleAt(Timestamp::Millis(35), [&] { task->Stop(); });
+  loop.RunUntil(Timestamp::Millis(200));
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(RepeatingTaskTest, DestructionCancels) {
+  EventLoop loop;
+  int ticks = 0;
+  {
+    RepeatingTask task(&loop, Duration::Millis(10), [&] { ++ticks; });
+    loop.RunUntil(Timestamp::Millis(25));
+  }
+  loop.RunUntil(Timestamp::Millis(200));
+  EXPECT_EQ(ticks, 2);
+}
+
+}  // namespace
+}  // namespace converge

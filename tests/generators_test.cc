@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "trace/generators.h"
+#include "util/stats.h"
+
+namespace converge {
+namespace {
+
+RunningStat SampleTrace(const BandwidthTrace& trace, Duration length) {
+  RunningStat st;
+  for (Timestamp t = Timestamp::Zero(); t < Timestamp::Zero() + length;
+       t += Duration::Millis(200)) {
+    st.Add(trace.CapacityAt(t).mbps());
+  }
+  return st;
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  const auto a = GenerateBandwidth(Scenario::kDriving, Carrier::kVerizon, 7);
+  const auto b = GenerateBandwidth(Scenario::kDriving, Carrier::kVerizon, 7);
+  for (int s = 0; s < 180; s += 5) {
+    EXPECT_EQ(a.CapacityAt(Timestamp::Seconds(s)).bps(),
+              b.CapacityAt(Timestamp::Seconds(s)).bps());
+  }
+}
+
+TEST(GeneratorsTest, SeedsChangeTrace) {
+  const auto a = GenerateBandwidth(Scenario::kDriving, Carrier::kVerizon, 1);
+  const auto b = GenerateBandwidth(Scenario::kDriving, Carrier::kVerizon, 2);
+  int diffs = 0;
+  for (int s = 0; s < 180; s += 5) {
+    if (a.CapacityAt(Timestamp::Seconds(s)).bps() !=
+        b.CapacityAt(Timestamp::Seconds(s)).bps()) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 20);
+}
+
+TEST(GeneratorsTest, StationaryWifiIsFastAndStable) {
+  const auto trace =
+      GenerateBandwidth(Scenario::kStationary, Carrier::kWifi, 3);
+  const RunningStat st = SampleTrace(trace, Duration::Seconds(180));
+  EXPECT_GT(st.mean(), 20.0);
+  // Coefficient of variation stays moderate when stationary.
+  EXPECT_LT(st.stddev() / st.mean(), 0.5);
+}
+
+TEST(GeneratorsTest, DrivingIsMoreVolatileThanStationary) {
+  const auto stat = SampleTrace(
+      GenerateBandwidth(Scenario::kStationary, Carrier::kTmobile, 5),
+      Duration::Seconds(180));
+  const auto drive = SampleTrace(
+      GenerateBandwidth(Scenario::kDriving, Carrier::kTmobile, 5),
+      Duration::Seconds(180));
+  EXPECT_GT(drive.stddev() / drive.mean(), stat.stddev() / stat.mean());
+}
+
+TEST(GeneratorsTest, DrivingHasOutages) {
+  // Across seeds, driving traces dip into outage territory (< 2 Mbps, i.e.
+  // below what a 10 Mbps stream needs by 5x).
+  int outage_seeds = 0;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const auto trace =
+        GenerateBandwidth(Scenario::kDriving, Carrier::kVerizon, seed);
+    const RunningStat st = SampleTrace(trace, Duration::Seconds(180));
+    if (st.min() < 2.0) ++outage_seeds;
+  }
+  EXPECT_GE(outage_seeds, 6);
+}
+
+TEST(GeneratorsTest, CapacityAlwaysPositive) {
+  for (auto scenario :
+       {Scenario::kStationary, Scenario::kWalking, Scenario::kDriving}) {
+    for (auto carrier :
+         {Carrier::kWifi, Carrier::kTmobile, Carrier::kVerizon}) {
+      const auto trace = GenerateBandwidth(scenario, carrier, 9);
+      const RunningStat st = SampleTrace(trace, Duration::Seconds(180));
+      EXPECT_GT(st.min(), 0.0) << ToString(scenario) << "/" << ToString(carrier);
+    }
+  }
+}
+
+TEST(GeneratorsTest, ScenarioPathsMatchPaper) {
+  const auto walking = MakeScenarioPaths(Scenario::kWalking, 1);
+  ASSERT_EQ(walking.size(), 2u);
+  EXPECT_EQ(walking[0].name, "WiFi");
+  EXPECT_EQ(walking[1].name, "T-Mobile");
+
+  const auto driving = MakeScenarioPaths(Scenario::kDriving, 1);
+  ASSERT_EQ(driving.size(), 2u);
+  EXPECT_EQ(driving[0].name, "Verizon");
+  EXPECT_EQ(driving[1].name, "T-Mobile");
+  EXPECT_NE(driving[0].loss, nullptr);
+}
+
+TEST(GeneratorsTest, LossModelScalesWithMobility) {
+  auto stationary = GenerateLoss(Scenario::kStationary, Carrier::kTmobile, 1);
+  auto driving = GenerateLoss(Scenario::kDriving, Carrier::kTmobile, 1);
+  EXPECT_LT(stationary->AverageRate(Timestamp::Zero()),
+            driving->AverageRate(Timestamp::Zero()));
+}
+
+TEST(GeneratorsTest, ToStringNames) {
+  EXPECT_EQ(ToString(Scenario::kWalking), "walking");
+  EXPECT_EQ(ToString(Carrier::kVerizon), "Verizon");
+}
+
+}  // namespace
+}  // namespace converge

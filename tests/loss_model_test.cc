@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "net/loss_model.h"
+
+namespace converge {
+namespace {
+
+TEST(LossModelTest, NoLossNeverDrops) {
+  NoLoss model;
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(model.ShouldDrop(Timestamp::Zero(), rng));
+  }
+  EXPECT_EQ(model.AverageRate(Timestamp::Zero()), 0.0);
+}
+
+TEST(LossModelTest, BernoulliMatchesRate) {
+  BernoulliLoss model(0.07);
+  Random rng(5);
+  int drops = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (model.ShouldDrop(Timestamp::Zero(), rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.07, 0.005);
+  EXPECT_EQ(model.AverageRate(Timestamp::Zero()), 0.07);
+}
+
+TEST(LossModelTest, GilbertElliottIsBursty) {
+  // Same average rate as a Bernoulli model, but losses must cluster:
+  // P(loss | previous loss) >> average loss rate.
+  GilbertElliottLoss::Config config;
+  config.p_good_to_bad = 0.004;
+  config.p_bad_to_good = 0.05;
+  config.loss_good = 0.0;
+  config.loss_bad = 0.4;
+  GilbertElliottLoss model(config);
+  Random rng(9);
+
+  int losses = 0;
+  int pairs = 0;        // loss followed by loss
+  bool prev_lost = false;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const bool lost = model.ShouldDrop(Timestamp::Zero(), rng);
+    if (lost) {
+      ++losses;
+      if (prev_lost) ++pairs;
+    }
+    prev_lost = lost;
+  }
+  const double avg = static_cast<double>(losses) / n;
+  const double cond = static_cast<double>(pairs) / std::max(1, losses);
+  EXPECT_GT(cond, 3.0 * avg);  // heavy clustering
+}
+
+TEST(LossModelTest, TraceLossFollowsSchedule) {
+  // 0% for the first second, 50% afterwards.
+  ValueTrace schedule({{Timestamp::Seconds(0), 0.0},
+                       {Timestamp::Seconds(1), 0.5}},
+                      /*repeat=*/false);
+  TraceLoss model{ValueTrace(schedule)};
+  Random rng(3);
+  int early = 0;
+  int late = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (model.ShouldDrop(Timestamp::Millis(500), rng)) ++early;
+    if (model.ShouldDrop(Timestamp::Millis(1500), rng)) ++late;
+  }
+  EXPECT_EQ(early, 0);
+  EXPECT_NEAR(static_cast<double>(late) / 5000.0, 0.5, 0.03);
+  EXPECT_EQ(model.AverageRate(Timestamp::Millis(1500)), 0.5);
+}
+
+}  // namespace
+}  // namespace converge

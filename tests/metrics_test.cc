@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "session/metrics.h"
+
+namespace converge {
+namespace {
+
+DecodedFrame MakeDecoded(int stream, int64_t id, Timestamp render,
+                         Duration e2e, int qp = 30, double psnr = 38.0,
+                         int64_t bytes = 0) {
+  DecodedFrame f;
+  f.stream_id = stream;
+  f.frame_id = id;
+  f.render_time = render;
+  f.e2e_latency = e2e;
+  f.qp = qp;
+  f.psnr_db = psnr;
+  f.size_bytes = bytes;
+  f.capture_time = render - e2e;
+  return f;
+}
+
+class MetricsTest : public testing::Test {
+ protected:
+  MetricsTest() : metrics_(&loop_, {.num_streams = 2}) {}
+
+  EventLoop loop_;
+  MetricsCollector metrics_;
+};
+
+TEST_F(MetricsTest, FpsFromDecodedFrames) {
+  // 30 fps for 2 seconds on stream 0.
+  for (int i = 0; i < 60; ++i) {
+    metrics_.OnDecodedFrame(MakeDecoded(0, i, Timestamp::Millis(33 * i),
+                                        Duration::Millis(100)));
+  }
+  loop_.RunUntil(Timestamp::Seconds(2.0));
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(2.0));
+  EXPECT_NEAR(q.avg_fps, 30.0, 0.5);
+  EXPECT_EQ(q.frames_decoded, 60);
+  EXPECT_NEAR(q.e2e_mean_ms, 100.0, 0.1);
+}
+
+TEST_F(MetricsTest, FreezeDetection) {
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 0, Timestamp::Millis(0), Duration::Millis(80)));
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 1, Timestamp::Millis(33), Duration::Millis(80)));
+  // 500 ms gap: one freeze of ~467 ms beyond the expected interval.
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 2, Timestamp::Millis(533), Duration::Millis(80)));
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(1.0));
+  EXPECT_EQ(q.freeze_count, 1);
+  EXPECT_NEAR(q.freeze_total_ms, 467.0, 1.0);
+}
+
+TEST_F(MetricsTest, ShortGapIsNotAFreeze) {
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 0, Timestamp::Millis(0), Duration::Millis(80)));
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 1, Timestamp::Millis(150), Duration::Millis(80)));
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(1.0));
+  EXPECT_EQ(q.freeze_count, 0);
+}
+
+TEST_F(MetricsTest, GoodputCountsOnlyDecodedBytes) {
+  // 250 KB of media arrived, but only 125 KB became rendered frames.
+  metrics_.OnMediaBytesReceived(0, 250000);
+  metrics_.OnDecodedFrame(MakeDecoded(0, 0, Timestamp::Millis(10),
+                                      Duration::Millis(50), 30, 38.0,
+                                      /*bytes=*/125000));
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(1.0));
+  EXPECT_NEAR(q.tput_mbps, 1.0, 1e-9);      // decoded goodput
+  EXPECT_NEAR(q.received_mbps, 2.0, 1e-9);  // raw arrivals
+}
+
+TEST_F(MetricsTest, StreamsAreIndependent) {
+  metrics_.OnDecodedFrame(MakeDecoded(0, 0, Timestamp::Millis(0),
+                                      Duration::Millis(50), 30, 38.0, 1000));
+  metrics_.OnMediaBytesReceived(1, 250000);
+  const StreamQoe q0 = metrics_.StreamResult(0, Duration::Seconds(1.0));
+  const StreamQoe q1 = metrics_.StreamResult(1, Duration::Seconds(1.0));
+  EXPECT_EQ(q0.frames_decoded, 1);
+  EXPECT_EQ(q1.frames_decoded, 0);
+  EXPECT_NEAR(q1.received_mbps, 2.0, 1e-9);
+  EXPECT_GT(q0.tput_mbps, 0.0);
+  EXPECT_NEAR(q1.tput_mbps, 0.0, 1e-9);
+}
+
+TEST_F(MetricsTest, TimeSeriesSampledPerSecond) {
+  loop_.ScheduleAt(Timestamp::Millis(100), [this] {
+    metrics_.OnMediaBytesReceived(0, 125000);
+    metrics_.OnDecodedFrame(
+        MakeDecoded(0, 0, Timestamp::Millis(100), Duration::Millis(60)));
+  });
+  loop_.RunUntil(Timestamp::Seconds(3.0));
+  const auto& series = metrics_.time_series();
+  ASSERT_GE(series.size(), 3u);
+  EXPECT_NEAR(series[0].tput_mbps, 1.0, 1e-9);
+  EXPECT_EQ(series[1].tput_mbps, 0.0);
+  EXPECT_GT(series[0].fps, 0.0);
+}
+
+TEST_F(MetricsTest, GatheredDelaysEnterSeries) {
+  loop_.ScheduleAt(Timestamp::Millis(200), [this] {
+    metrics_.OnFrameGatheredDelays(Duration::Millis(12), Duration::Millis(40));
+    metrics_.OnFrameGatheredDelays(Duration::Millis(18), Duration::Millis(20));
+  });
+  loop_.RunUntil(Timestamp::Seconds(1.5));
+  ASSERT_FALSE(metrics_.time_series().empty());
+  EXPECT_NEAR(metrics_.time_series()[0].fcd_ms, 15.0, 1e-9);
+  EXPECT_NEAR(metrics_.time_series()[0].ifd_ms, 30.0, 1e-9);
+}
+
+TEST_F(MetricsTest, ReceiverCountersReported) {
+  metrics_.SetReceiverCounters(0, 42, 3);
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(1.0));
+  EXPECT_EQ(q.frame_drops, 42);
+  EXPECT_EQ(q.keyframe_requests, 3);
+}
+
+TEST_F(MetricsTest, DisplayPsnrDecaysDuringFreeze) {
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 0, Timestamp::Millis(0), Duration::Millis(50), 30, 40.0));
+  // No further frames: display ticks degrade the stale image.
+  loop_.RunUntil(Timestamp::Seconds(1.0));
+  const SampleSet& psnr = metrics_.psnr_samples(0);
+  ASSERT_GT(psnr.size(), 10u);
+  EXPECT_LT(psnr.Quantile(0.1), 30.0);   // decayed samples
+  EXPECT_NEAR(psnr.Quantile(1.0), 40.0, 0.5);  // the fresh sample
+}
+
+}  // namespace
+}  // namespace converge

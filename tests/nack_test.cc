@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "receiver/nack_generator.h"
+
+namespace converge {
+namespace {
+
+class NackTest : public testing::Test {
+ protected:
+  NackTest()
+      : nack_(&loop_,
+              {.reorder_grace = Duration::Millis(10),
+               .retry_interval = Duration::Millis(100),
+               .max_retries = 3},
+              [this](PathId path, const std::vector<uint16_t>& seqs) {
+                for (uint16_t s : seqs) sent_.emplace_back(path, s);
+              }) {}
+
+  EventLoop loop_;
+  NackGenerator nack_;
+  std::vector<std::pair<PathId, uint16_t>> sent_;
+};
+
+TEST_F(NackTest, NoNackWithoutGap) {
+  for (uint16_t s = 0; s < 10; ++s) nack_.OnPacket(0, s);
+  loop_.RunUntil(Timestamp::Millis(500));
+  EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(NackTest, GapTriggersNackAfterGrace) {
+  nack_.OnPacket(0, 0);
+  nack_.OnPacket(0, 3);  // 1, 2 missing on path 0
+  loop_.RunUntil(Timestamp::Millis(5));
+  EXPECT_TRUE(sent_.empty());  // still within the reorder grace window
+  loop_.RunUntil(Timestamp::Millis(30));
+  ASSERT_EQ(sent_.size(), 2u);
+  EXPECT_EQ(sent_[0], (std::pair<PathId, uint16_t>{0, 1}));
+  EXPECT_EQ(sent_[1], (std::pair<PathId, uint16_t>{0, 2}));
+}
+
+TEST_F(NackTest, ReorderedArrivalCancelsNack) {
+  nack_.OnPacket(0, 0);
+  nack_.OnPacket(0, 2);
+  nack_.OnPacket(0, 1);  // reorder fills the gap in time
+  loop_.RunUntil(Timestamp::Millis(100));
+  EXPECT_TRUE(sent_.empty());
+  EXPECT_EQ(nack_.outstanding(), 0u);
+}
+
+TEST_F(NackTest, RetriesThenGivesUp) {
+  nack_.OnPacket(0, 0);
+  nack_.OnPacket(0, 2);
+  loop_.RunUntil(Timestamp::Seconds(2.0));
+  EXPECT_EQ(sent_.size(), 3u);  // 3 retries max for seq 1
+  EXPECT_EQ(nack_.outstanding(), 0u);
+  EXPECT_EQ(nack_.stats().abandoned, 1);
+}
+
+TEST_F(NackTest, ArrivalAfterNackCountsRecovered) {
+  nack_.OnPacket(0, 0);
+  nack_.OnPacket(0, 2);
+  loop_.RunUntil(Timestamp::Millis(50));
+  EXPECT_EQ(sent_.size(), 1u);
+  nack_.OnPacket(0, 1);  // RTX arrived
+  loop_.RunUntil(Timestamp::Seconds(2.0));
+  EXPECT_EQ(sent_.size(), 1u);  // no more retries
+  EXPECT_EQ(nack_.stats().recovered, 1);
+}
+
+TEST_F(NackTest, PathsTrackedIndependently) {
+  // A gap on path 1 must not be confused with path 0's sequence space.
+  nack_.OnPacket(0, 100);
+  nack_.OnPacket(1, 10);
+  nack_.OnPacket(1, 12);  // gap at (1, 11)
+  nack_.OnPacket(0, 101);  // contiguous on path 0
+  loop_.RunUntil(Timestamp::Millis(50));
+  ASSERT_EQ(sent_.size(), 1u);
+  EXPECT_EQ(sent_[0], (std::pair<PathId, uint16_t>{1, 11}));
+}
+
+TEST_F(NackTest, CrossPathSkewProducesNoNacks) {
+  // The core multipath property: interleaved delivery across two paths
+  // (each FIFO) never looks like loss, no matter the skew.
+  for (uint16_t s = 0; s < 50; ++s) nack_.OnPacket(0, s);
+  for (uint16_t s = 0; s < 50; ++s) nack_.OnPacket(1, s);
+  loop_.RunUntil(Timestamp::Seconds(1.0));
+  EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(NackTest, BurstLossCappedAtOutstandingLimit) {
+  NackGenerator capped(&loop_,
+                       {.reorder_grace = Duration::Millis(5),
+                        .retry_interval = Duration::Millis(100),
+                        .max_retries = 3,
+                        .max_outstanding_per_path = 16},
+                       [this](PathId, const std::vector<uint16_t>& seqs) {
+                         for (uint16_t s : seqs) sent_.emplace_back(0, s);
+                       });
+  capped.OnPacket(0, 0);
+  capped.OnPacket(0, 500);  // 499 packets "lost" at once: a path collapse
+  EXPECT_LE(capped.outstanding(), 16u);
+  EXPECT_GE(capped.stats().abandoned, 483);
+  loop_.RunUntil(Timestamp::Millis(50));
+  EXPECT_LE(sent_.size(), 16u);  // no NACK storm
+}
+
+TEST_F(NackTest, EntriesExpireByAge) {
+  NackGenerator aged(&loop_,
+                     {.reorder_grace = Duration::Millis(5),
+                      .retry_interval = Duration::Millis(500),
+                      .max_retries = 100,
+                      .max_age = Duration::Millis(200)},
+                     [](PathId, const std::vector<uint16_t>&) {});
+  aged.OnPacket(0, 0);
+  aged.OnPacket(0, 2);
+  loop_.RunUntil(Timestamp::Millis(400));
+  // Expired long before the 100 retries could happen.
+  EXPECT_EQ(aged.outstanding(), 0u);
+  EXPECT_EQ(aged.stats().abandoned, 1);
+}
+
+TEST_F(NackTest, OnRecoveredClearsChase) {
+  nack_.OnPacket(0, 0);
+  nack_.OnPacket(0, 2);
+  loop_.RunUntil(Timestamp::Millis(30));
+  const size_t after_first = sent_.size();
+  EXPECT_GE(after_first, 1u);
+  nack_.OnRecovered(0, 1);
+  loop_.RunUntil(Timestamp::Seconds(1.0));
+  EXPECT_EQ(sent_.size(), after_first);  // no retries after recovery
+  EXPECT_EQ(nack_.stats().recovered, 1);
+}
+
+TEST_F(NackTest, WrapAroundGapDetected) {
+  nack_.OnPacket(0, 0xFFFE);
+  nack_.OnPacket(0, 1);  // 0xFFFF and 0 missing across the wrap
+  loop_.RunUntil(Timestamp::Millis(50));
+  ASSERT_EQ(sent_.size(), 2u);
+  EXPECT_EQ(sent_[0].second, 0xFFFF);
+  EXPECT_EQ(sent_[1].second, 0);
+}
+
+}  // namespace
+}  // namespace converge

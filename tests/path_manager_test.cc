@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/path_manager.h"
+
+namespace converge {
+namespace {
+
+PathInfo MakePath(PathId id, double srtt_ms) {
+  PathInfo p;
+  p.id = id;
+  p.allocated_rate = DataRate::MegabitsPerSec(10);
+  p.srtt = Duration::Millis(static_cast<int64_t>(srtt_ms));
+  return p;
+}
+
+TEST(PathManagerTest, AllActiveByDefault) {
+  PathManager mgr;
+  EXPECT_TRUE(mgr.IsActive(0));
+  EXPECT_TRUE(mgr.IsActive(1));
+  EXPECT_EQ(mgr.disables(), 0);
+}
+
+TEST(PathManagerTest, DisableIsIdempotent) {
+  PathManager mgr;
+  mgr.Disable(1, Timestamp::Millis(10));
+  mgr.Disable(1, Timestamp::Millis(20));
+  EXPECT_FALSE(mgr.IsActive(1));
+  EXPECT_EQ(mgr.disables(), 1);
+}
+
+TEST(PathManagerTest, ActivePathsFilters) {
+  PathManager mgr;
+  mgr.Disable(0, Timestamp::Millis(1));
+  const auto active = mgr.ActivePaths({MakePath(0, 50), MakePath(1, 60)});
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0].id, 1);
+}
+
+TEST(PathManagerTest, ProbeScheduleRespectsInterval) {
+  PathManager::Config c;
+  c.probe_interval = Duration::Millis(50);
+  PathManager mgr(c);
+  mgr.Disable(2, Timestamp::Millis(0));
+  EXPECT_EQ(mgr.ProbeDue(Timestamp::Millis(1)), (std::vector<PathId>{2}));
+  EXPECT_TRUE(mgr.ProbeDue(Timestamp::Millis(20)).empty());
+  EXPECT_EQ(mgr.ProbeDue(Timestamp::Millis(60)), (std::vector<PathId>{2}));
+}
+
+TEST(PathManagerTest, ReenableRequiresEq3) {
+  PathManager::Config c;
+  c.min_disable_time = Duration::Millis(100);
+  PathManager mgr(c);
+  mgr.Disable(1, Timestamp::Millis(0));
+  mgr.OnFeedbackFcd(Duration::Millis(10));
+
+  // RTT gap (400-50)/2 = 175ms > FCD 10ms: stays disabled.
+  std::vector<PathInfo> paths = {MakePath(0, 50), MakePath(1, 400)};
+  mgr.MaybeReenable(paths, Timestamp::Millis(500));
+  EXPECT_FALSE(mgr.IsActive(1));
+
+  // Gap shrinks to (60-50)/2 = 5ms <= 10ms: re-enabled.
+  paths[1].srtt = Duration::Millis(60);
+  mgr.MaybeReenable(paths, Timestamp::Millis(600));
+  EXPECT_TRUE(mgr.IsActive(1));
+  EXPECT_EQ(mgr.reenables(), 1);
+}
+
+TEST(PathManagerTest, MinDisableTimeHolds) {
+  PathManager::Config c;
+  c.min_disable_time = Duration::Millis(500);
+  PathManager mgr(c);
+  mgr.Disable(1, Timestamp::Millis(0));
+  mgr.OnFeedbackFcd(Duration::Millis(1000));  // Eq. 3 trivially satisfied
+
+  std::vector<PathInfo> paths = {MakePath(0, 50), MakePath(1, 60)};
+  mgr.MaybeReenable(paths, Timestamp::Millis(100));
+  EXPECT_FALSE(mgr.IsActive(1));  // too soon
+  mgr.MaybeReenable(paths, Timestamp::Millis(600));
+  EXPECT_TRUE(mgr.IsActive(1));
+}
+
+TEST(PathManagerTest, FasterDisabledPathReenablesImmediately) {
+  PathManager::Config c;
+  c.min_disable_time = Duration::Zero();
+  PathManager mgr(c);
+  mgr.Disable(1, Timestamp::Millis(0));
+  mgr.OnFeedbackFcd(Duration::Zero());
+  // Disabled path is actually faster than the active one: penalty <= 0.
+  std::vector<PathInfo> paths = {MakePath(0, 100), MakePath(1, 40)};
+  mgr.MaybeReenable(paths, Timestamp::Millis(1));
+  EXPECT_TRUE(mgr.IsActive(1));
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "receiver/qoe_monitor.h"
+
+namespace converge {
+namespace {
+
+// Builds a gathered frame whose packets arrive on two paths: path 0 packets
+// at `t0`, path 1 packets at the given offsets from t0.
+GatheredFrame MakeGathered(Timestamp t0, int n_path0,
+                           const std::vector<Duration>& path1_offsets,
+                           Duration fcd = Duration::Millis(5)) {
+  GatheredFrame g;
+  g.frame.fcd = fcd;
+  int64_t seq = 0;
+  for (int i = 0; i < n_path0; ++i) {
+    g.arrivals.push_back({0, t0 + Duration::Millis(i), seq++});
+  }
+  for (Duration off : path1_offsets) {
+    g.arrivals.push_back({1, t0 + off, seq++});
+  }
+  return g;
+}
+
+class QoeMonitorTest : public testing::Test {
+ protected:
+  QoeMonitorTest()
+      : monitor_(&loop_, {},
+                 [this](const QoeFeedback& fb) { feedback_.push_back(fb); }) {
+    monitor_.SetExpectedFps(30.0);
+  }
+
+  EventLoop loop_;
+  QoeMonitor monitor_;
+  std::vector<QoeFeedback> feedback_;
+};
+
+TEST_F(QoeMonitorTest, ExpectedIfdFromFps) {
+  EXPECT_NEAR(monitor_.expected_ifd().ms(), 33.3, 0.5);
+  monitor_.SetExpectedFps(60.0);
+  EXPECT_NEAR(monitor_.expected_ifd().ms(), 16.7, 0.2);
+}
+
+TEST_F(QoeMonitorTest, NoFeedbackWhenIfdHealthy) {
+  for (int i = 0; i < 20; ++i) {
+    monitor_.OnFrameGathered(
+        MakeGathered(Timestamp::Millis(33 * i), 4,
+                     {Duration::Millis(40), Duration::Millis(45)}));
+    monitor_.OnFrameInserted(Duration::Millis(33));
+  }
+  // Late packets accumulated but IFD never breached: only positive feedback
+  // is possible, and late>0 prevents that too.
+  for (const auto& fb : feedback_) EXPECT_GE(fb.alpha, 0);
+}
+
+TEST_F(QoeMonitorTest, LatePacketsPlusHighIfdYieldNegativeFeedback) {
+  loop_.ScheduleAt(Timestamp::Millis(100), [this] {
+    for (int i = 0; i < 5; ++i) {
+      // Path 1 packets arrive 40-45 ms after path 0 finished: late.
+      monitor_.OnFrameGathered(
+          MakeGathered(Timestamp::Millis(100 + 33 * i), 4,
+                       {Duration::Millis(40), Duration::Millis(45)},
+                       Duration::Millis(42)));
+      monitor_.OnFrameInserted(Duration::Millis(80));  // IFD breach
+    }
+  });
+  loop_.RunAll();
+  ASSERT_FALSE(feedback_.empty());
+  const QoeFeedback& fb = feedback_.front();
+  EXPECT_EQ(fb.path_id, 1);
+  EXPECT_LT(fb.alpha, 0);
+  EXPECT_EQ(fb.fcd, Duration::Millis(42));
+}
+
+TEST_F(QoeMonitorTest, NegativeAlphaCountsLatePackets) {
+  loop_.ScheduleAt(Timestamp::Millis(100), [this] {
+    // Two consecutive breaches are required before negative feedback.
+    monitor_.OnFrameGathered(MakeGathered(
+        Timestamp::Millis(100), 4,
+        {Duration::Millis(40), Duration::Millis(45), Duration::Millis(50)}));
+    monitor_.OnFrameInserted(Duration::Millis(90));
+    monitor_.OnFrameInserted(Duration::Millis(90));
+  });
+  loop_.RunAll();
+  ASSERT_EQ(feedback_.size(), 1u);
+  EXPECT_EQ(feedback_[0].alpha, -3);
+}
+
+TEST_F(QoeMonitorTest, EarlyPacketsYieldPositiveFeedback) {
+  loop_.ScheduleAt(Timestamp::Seconds(1.0), [this] {
+    for (int i = 0; i < 6; ++i) {
+      // Path 1 packets arrive well before path 0's last packet.
+      monitor_.OnFrameGathered(MakeGathered(
+          Timestamp::Seconds(1.0) + Duration::Millis(33 * i), 4,
+          {-Duration::Millis(20), -Duration::Millis(18)}));
+      monitor_.OnFrameInserted(Duration::Millis(33));
+    }
+  });
+  loop_.RunAll();
+  ASSERT_FALSE(feedback_.empty());
+  EXPECT_EQ(feedback_.front().path_id, 1);
+  EXPECT_GT(feedback_.front().alpha, 0);
+}
+
+TEST_F(QoeMonitorTest, PositiveFeedbackIsRateLimited) {
+  for (int i = 0; i < 30; ++i) {
+    monitor_.OnFrameGathered(MakeGathered(
+        Timestamp::Millis(33 * i), 4,
+        {-Duration::Millis(20), -Duration::Millis(18)}));
+    monitor_.OnFrameInserted(Duration::Millis(33));
+  }
+  // All at sim time 0: at most one positive message per interval.
+  EXPECT_LE(feedback_.size(), 1u);
+}
+
+TEST_F(QoeMonitorTest, SinglePathFramesProduceNoSignal) {
+  loop_.ScheduleAt(Timestamp::Millis(50), [this] {
+    for (int i = 0; i < 10; ++i) {
+      monitor_.OnFrameGathered(MakeGathered(Timestamp::Millis(50), 5, {}));
+      monitor_.OnFrameInserted(Duration::Millis(200));  // bad IFD but no path info
+    }
+  });
+  loop_.RunAll();
+  EXPECT_TRUE(feedback_.empty());
+}
+
+TEST_F(QoeMonitorTest, NegativeFeedbackRateLimited) {
+  loop_.ScheduleAt(Timestamp::Millis(10), [this] {
+    for (int i = 0; i < 10; ++i) {
+      monitor_.OnFrameGathered(MakeGathered(
+          Timestamp::Millis(10), 4, {Duration::Millis(50)}));
+      monitor_.OnFrameInserted(Duration::Millis(99));
+    }
+  });
+  loop_.RunAll();
+  // All breaches happen at the same instant: min_feedback_interval allows 1.
+  EXPECT_EQ(feedback_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace converge

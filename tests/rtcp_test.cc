@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "rtp/rtcp.h"
+
+namespace converge {
+namespace {
+
+template <typename T>
+T RoundTrip(const RtcpPacket& in) {
+  const std::vector<uint8_t> wire = SerializeRtcp(in);
+  RtcpPacket out;
+  EXPECT_TRUE(ParseRtcp(wire, &out));
+  EXPECT_EQ(out.path_id, in.path_id);
+  EXPECT_TRUE(std::holds_alternative<T>(out.payload));
+  return std::get<T>(out.payload);
+}
+
+TEST(RtcpTest, SenderReportRoundTrip) {
+  RtcpPacket p;
+  p.path_id = 1;
+  SenderReport sr;
+  sr.ssrc = 0x1000;
+  sr.send_time = Timestamp::Millis(1234);
+  sr.packet_count = 99;
+  sr.octet_count = 12345;
+  p.payload = sr;
+  const SenderReport out = RoundTrip<SenderReport>(p);
+  EXPECT_EQ(out.ssrc, sr.ssrc);
+  EXPECT_EQ(out.send_time, sr.send_time);
+  EXPECT_EQ(out.packet_count, sr.packet_count);
+}
+
+TEST(RtcpTest, ReceiverReportRoundTrip) {
+  RtcpPacket p;
+  p.path_id = 2;
+  ReceiverReport rr;
+  rr.ssrc = 0x1001;
+  rr.fraction_lost = 0.125;
+  rr.cumulative_lost = 42;
+  rr.ext_high_seq = 777;
+  rr.ext_high_mp_seq = 333;
+  rr.jitter = Duration::Micros(1500);
+  rr.last_sr_time = Timestamp::Millis(100);
+  rr.delay_since_last_sr = Duration::Millis(20);
+  p.payload = rr;
+  const ReceiverReport out = RoundTrip<ReceiverReport>(p);
+  EXPECT_NEAR(out.fraction_lost, 0.125, 1e-6);
+  EXPECT_EQ(out.cumulative_lost, 42);
+  EXPECT_EQ(out.ext_high_mp_seq, 333);
+  EXPECT_EQ(out.jitter, rr.jitter);
+  EXPECT_EQ(out.last_sr_time, rr.last_sr_time);
+  EXPECT_EQ(out.delay_since_last_sr, rr.delay_since_last_sr);
+}
+
+TEST(RtcpTest, TransportFeedbackRoundTrip) {
+  RtcpPacket p;
+  p.path_id = 0;
+  TransportFeedback fb;
+  fb.arrivals.push_back({100, Timestamp::Millis(5)});
+  fb.arrivals.push_back({101, Timestamp::MinusInfinity()});  // lost
+  fb.arrivals.push_back({102, Timestamp::Millis(9)});
+  p.payload = fb;
+  const TransportFeedback out = RoundTrip<TransportFeedback>(p);
+  ASSERT_EQ(out.arrivals.size(), 3u);
+  EXPECT_EQ(out.arrivals[0].recv_time, Timestamp::Millis(5));
+  EXPECT_FALSE(out.arrivals[1].recv_time.IsFinite());
+  // Note: transport seqs travel as 16-bit on the wire.
+  EXPECT_EQ(out.arrivals[2].mp_transport_seq & 0xFFFF, 102);
+}
+
+TEST(RtcpTest, NackRoundTrip) {
+  RtcpPacket p;
+  p.path_id = 1;
+  Nack nack;
+  nack.ssrc = 0x2000;
+  nack.seqs = {5, 9, 1000};
+  p.payload = nack;
+  const Nack out = RoundTrip<Nack>(p);
+  EXPECT_EQ(out.ssrc, 0x2000u);
+  EXPECT_EQ(out.seqs, nack.seqs);
+}
+
+TEST(RtcpTest, KeyframeRequestRoundTrip) {
+  RtcpPacket p;
+  KeyframeRequest req;
+  req.ssrc = 0x3000;
+  p.payload = req;
+  EXPECT_EQ(RoundTrip<KeyframeRequest>(p).ssrc, 0x3000u);
+}
+
+TEST(RtcpTest, SdesFrameRateRoundTrip) {
+  RtcpPacket p;
+  SdesFrameRate sdes;
+  sdes.ssrc = 0x4000;
+  sdes.fps = 29.97;
+  p.payload = sdes;
+  const SdesFrameRate out = RoundTrip<SdesFrameRate>(p);
+  EXPECT_NEAR(out.fps, 29.97, 0.001);
+}
+
+TEST(RtcpTest, QoeFeedbackRoundTrip) {
+  RtcpPacket p;
+  p.path_id = 2;
+  QoeFeedback fb;
+  fb.path_id = 2;
+  fb.alpha = -7;
+  fb.fcd = Duration::Millis(45);
+  p.payload = fb;
+  const QoeFeedback out = RoundTrip<QoeFeedback>(p);
+  EXPECT_EQ(out.path_id, 2);
+  EXPECT_EQ(out.alpha, -7);
+  EXPECT_EQ(out.fcd, Duration::Millis(45));
+}
+
+TEST(RtcpTest, WireSizeMatchesSerializedLength) {
+  RtcpPacket p;
+  p.path_id = 1;
+  TransportFeedback fb;
+  for (int i = 0; i < 20; ++i) fb.arrivals.push_back({i, Timestamp::Millis(i)});
+  p.payload = fb;
+  // wire_size is the accounting size used for link transmission; it should
+  // be within a word of the actual serialized length.
+  const auto wire = SerializeRtcp(p);
+  EXPECT_NEAR(static_cast<double>(p.wire_size()),
+              static_cast<double>(wire.size()), 4.0);
+}
+
+TEST(RtcpTest, ParseRejectsGarbage) {
+  RtcpPacket out;
+  EXPECT_FALSE(ParseRtcp({0x00, 0x01}, &out));
+  std::vector<uint8_t> bad(16, 0);
+  bad[0] = 0x80;
+  bad[1] = 99;  // unknown type
+  EXPECT_FALSE(ParseRtcp(bad, &out));
+}
+
+}  // namespace
+}  // namespace converge

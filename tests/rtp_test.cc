@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "rtp/rtp_packet.h"
+#include "rtp/sequence_number.h"
+
+namespace converge {
+namespace {
+
+TEST(SequenceNumberTest, NewerThanHandlesWrap) {
+  EXPECT_TRUE(SeqNewerThan(1, 0));
+  EXPECT_TRUE(SeqNewerThan(0, 0xFFFF));  // wrap
+  EXPECT_FALSE(SeqNewerThan(0xFFFF, 0));
+  EXPECT_FALSE(SeqNewerThan(5, 5));
+  EXPECT_TRUE(SeqNewerThan(0x8000, 0x0001));
+}
+
+TEST(SequenceNumberTest, Distance) {
+  EXPECT_EQ(SeqDistance(10, 15), 5);
+  EXPECT_EQ(SeqDistance(0xFFFE, 2), 4);  // across the wrap
+}
+
+TEST(SeqUnwrapperTest, MonotoneAcrossWrap) {
+  SeqUnwrapper u;
+  EXPECT_EQ(u.Unwrap(0xFFFE), 0xFFFE);
+  EXPECT_EQ(u.Unwrap(0xFFFF), 0xFFFF);
+  EXPECT_EQ(u.Unwrap(0), 0x10000);
+  EXPECT_EQ(u.Unwrap(1), 0x10001);
+}
+
+TEST(SeqUnwrapperTest, HandlesReordering) {
+  SeqUnwrapper u;
+  EXPECT_EQ(u.Unwrap(100), 100);
+  EXPECT_EQ(u.Unwrap(99), 99);   // late packet: unwraps backwards
+  EXPECT_EQ(u.Unwrap(101), 101);
+}
+
+TEST(RtpPacketTest, WireSizeIncludesHeaderAndExtension) {
+  RtpPacket p;
+  p.payload_bytes = 1000;
+  EXPECT_EQ(p.wire_size(), 1000 + kRtpHeaderBytes + kMultipathExtensionBytes);
+}
+
+TEST(RtpPacketTest, SerializeParseRoundTrip) {
+  RtpPacket p;
+  p.ssrc = 0xDEADBEEF;
+  p.seq = 0xABCD;
+  p.rtp_timestamp = 123456789;
+  p.marker = true;
+  p.payload_type = 96;
+  p.path_id = 2;
+  p.mp_seq = 0x1234;
+  p.mp_transport_seq = 0x5678;
+
+  const std::vector<uint8_t> wire = SerializeRtpHeader(p);
+  EXPECT_EQ(wire.size(),
+            static_cast<size_t>(kRtpHeaderBytes + kMultipathExtensionBytes));
+
+  RtpPacket out;
+  ASSERT_TRUE(ParseRtpHeader(wire, &out));
+  EXPECT_EQ(out.ssrc, p.ssrc);
+  EXPECT_EQ(out.seq, p.seq);
+  EXPECT_EQ(out.rtp_timestamp, p.rtp_timestamp);
+  EXPECT_TRUE(out.marker);
+  EXPECT_EQ(out.payload_type, 96);
+  EXPECT_EQ(out.path_id, 2);
+  EXPECT_EQ(out.mp_seq, 0x1234);
+  EXPECT_EQ(out.mp_transport_seq, 0x5678);
+}
+
+TEST(RtpPacketTest, ParseRejectsTruncatedBuffer) {
+  RtpPacket p;
+  std::vector<uint8_t> wire = SerializeRtpHeader(p);
+  wire.resize(8);
+  RtpPacket out;
+  EXPECT_FALSE(ParseRtpHeader(wire, &out));
+}
+
+TEST(RtpPacketTest, ParseRejectsWrongVersion) {
+  RtpPacket p;
+  std::vector<uint8_t> wire = SerializeRtpHeader(p);
+  wire[0] = 0x10;  // version 0
+  RtpPacket out;
+  EXPECT_FALSE(ParseRtpHeader(wire, &out));
+}
+
+TEST(RtpPacketTest, PriorityClassification) {
+  RtpPacket p;
+  p.priority = Priority::kKeyframe;
+  EXPECT_TRUE(p.IsDecodingCritical());
+  p.priority = Priority::kSps;
+  EXPECT_TRUE(p.IsDecodingCritical());
+  p.priority = Priority::kFec;
+  EXPECT_FALSE(p.IsDecodingCritical());
+  p.priority = Priority::kNone;
+  EXPECT_FALSE(p.IsDecodingCritical());
+}
+
+// Table 2 ordering: retransmit > keyframe > SPS > PPS > FEC.
+TEST(RtpPacketTest, PriorityLevelsMatchTable2) {
+  EXPECT_LT(static_cast<int>(Priority::kRetransmit),
+            static_cast<int>(Priority::kKeyframe));
+  EXPECT_LT(static_cast<int>(Priority::kKeyframe),
+            static_cast<int>(Priority::kSps));
+  EXPECT_LT(static_cast<int>(Priority::kSps), static_cast<int>(Priority::kPps));
+  EXPECT_LT(static_cast<int>(Priority::kPps), static_cast<int>(Priority::kFec));
+}
+
+}  // namespace
+}  // namespace converge

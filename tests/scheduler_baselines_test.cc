@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "schedulers/connection_migration.h"
+#include "schedulers/mprtp_scheduler.h"
+#include "schedulers/mtput_scheduler.h"
+#include "schedulers/path_stats.h"
+#include "schedulers/single_path.h"
+#include "schedulers/srtt_scheduler.h"
+
+namespace converge {
+namespace {
+
+std::vector<RtpPacket> MakePackets(int n) {
+  std::vector<RtpPacket> out;
+  for (int i = 0; i < n; ++i) {
+    RtpPacket p;
+    p.seq = static_cast<uint16_t>(i);
+    p.payload_bytes = 1100;
+    out.push_back(p);
+  }
+  return out;
+}
+
+PathInfo MakePath(PathId id, double rate_mbps, double srtt_ms,
+                  double loss = 0.0) {
+  PathInfo p;
+  p.id = id;
+  p.allocated_rate = DataRate::MegabitsPerSec(rate_mbps);
+  p.goodput = DataRate::MegabitsPerSec(rate_mbps);
+  p.srtt = Duration::Millis(static_cast<int64_t>(srtt_ms));
+  p.loss = loss;
+  return p;
+}
+
+std::map<PathId, int> CountByPath(const std::vector<PathId>& assignment) {
+  std::map<PathId, int> counts;
+  for (PathId id : assignment) ++counts[id];
+  return counts;
+}
+
+TEST(PathStatsTest, MinSrttPath) {
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 80), MakePath(1, 5, 30)};
+  EXPECT_EQ(MinSrttPath(paths), 1);
+  EXPECT_EQ(MinSrttPath({}), kInvalidPathId);
+}
+
+TEST(PathStatsTest, MinCompletionTimeBalancesRateAndRtt) {
+  // Path 0: fast rate, slow RTT; path 1: slow rate, fast RTT.
+  const std::vector<PathInfo> paths = {MakePath(0, 50, 200), MakePath(1, 2, 10)};
+  // Few packets: RTT dominates -> path 1. Many packets: rate dominates -> 0.
+  EXPECT_EQ(MinCompletionTimePath(paths, 1, 1200), 1);
+  EXPECT_EQ(MinCompletionTimePath(paths, 200, 1200), 0);
+}
+
+TEST(PathStatsTest, ProportionalSplitSumsToN) {
+  const std::vector<PathInfo> paths = {MakePath(0, 15, 50), MakePath(1, 5, 50)};
+  const std::vector<int> split = ProportionalSplit(paths, 40);
+  EXPECT_EQ(split[0] + split[1], 40);
+  EXPECT_EQ(split[0], 30);  // 15/20 * 40
+  EXPECT_EQ(split[1], 10);
+}
+
+TEST(PathStatsTest, ProportionalSplitEdgeCases) {
+  EXPECT_TRUE(ProportionalSplit({}, 10).empty());
+  const std::vector<PathInfo> one = {MakePath(0, 10, 50)};
+  EXPECT_EQ(ProportionalSplit(one, 7)[0], 7);
+  const std::vector<PathInfo> two = {MakePath(0, 10, 50), MakePath(1, 10, 50)};
+  const auto z = ProportionalSplit(two, 0);
+  EXPECT_EQ(z[0] + z[1], 0);
+}
+
+TEST(SinglePathTest, EverythingOnOnePath) {
+  SinglePathScheduler sched(1);
+  const auto packets = MakePackets(10);
+  const auto assignment = sched.AssignFrame(
+      packets, {MakePath(0, 10, 50), MakePath(1, 10, 50)});
+  for (PathId id : assignment) EXPECT_EQ(id, 1);
+  EXPECT_TRUE(sched.IsPathActive(1));
+  EXPECT_FALSE(sched.IsPathActive(0));
+}
+
+TEST(SrttTest, PrefersLowRttPath) {
+  SrttScheduler sched;
+  const auto packets = MakePackets(4);
+  const auto assignment =
+      sched.AssignFrame(packets, {MakePath(0, 20, 100), MakePath(1, 20, 20)});
+  const auto counts = CountByPath(assignment);
+  EXPECT_GT(counts.count(1) ? counts.at(1) : 0, 2);
+}
+
+TEST(SrttTest, SpillsToSecondPathUnderBacklog) {
+  SrttScheduler sched;
+  std::vector<PathInfo> paths = {MakePath(0, 2, 20), MakePath(1, 2, 60)};
+  // Large frame: the low-RTT path's projected drain time grows past the
+  // other path's latency, forcing spillover.
+  const auto packets = MakePackets(60);
+  const auto counts = CountByPath(sched.AssignFrame(packets, paths));
+  EXPECT_GT(counts.count(0) ? counts.at(0) : 0, 0);
+  EXPECT_GT(counts.count(1) ? counts.at(1) : 0, 0);
+}
+
+TEST(SrttTest, AccountsExistingPacerBacklog) {
+  SrttScheduler sched;
+  std::vector<PathInfo> paths = {MakePath(0, 10, 20), MakePath(1, 10, 21)};
+  paths[0].pacer_queue_bytes = 1'000'000;  // path 0 badly backlogged
+  const auto counts = CountByPath(sched.AssignFrame(MakePackets(10), paths));
+  EXPECT_EQ(counts.count(0) ? counts.at(0) : 0, 0);
+}
+
+TEST(MtputTest, SplitsProportionalToThroughput) {
+  MtputScheduler sched;
+  const auto counts = CountByPath(sched.AssignFrame(
+      MakePackets(40), {MakePath(0, 30, 50), MakePath(1, 10, 50)}));
+  EXPECT_NEAR(counts.at(0), 30, 2);
+  EXPECT_NEAR(counts.at(1), 10, 2);
+}
+
+TEST(MtputTest, InterleavesWithinFrame) {
+  MtputScheduler sched;
+  const auto assignment = sched.AssignFrame(
+      MakePackets(10), {MakePath(0, 10, 50), MakePath(1, 10, 50)});
+  // Equal weights: strict alternation, i.e. adjacent packets differ.
+  int switches = 0;
+  for (size_t i = 1; i < assignment.size(); ++i) {
+    if (assignment[i] != assignment[i - 1]) ++switches;
+  }
+  EXPECT_GE(switches, 5);
+}
+
+TEST(MprtpTest, UsesAllPathsEvenWithHighLoss) {
+  MprtpScheduler sched;
+  const auto counts = CountByPath(sched.AssignFrame(
+      MakePackets(40), {MakePath(0, 20, 50, 0.0), MakePath(1, 20, 50, 0.45)}));
+  // The lossy path still carries at least the minimum share.
+  EXPECT_GE(counts.at(1), 40 * 0.10);
+  EXPECT_GT(counts.at(0), counts.at(1));
+}
+
+TEST(MprtpTest, LossDiscountsShare) {
+  MprtpScheduler sched;
+  const auto counts = CountByPath(sched.AssignFrame(
+      MakePackets(100), {MakePath(0, 10, 50, 0.0), MakePath(1, 10, 50, 0.30)}));
+  EXPECT_GT(counts.at(0), counts.at(1));
+}
+
+TEST(ConnectionMigrationTest, StartsOnInitialPath) {
+  ConnectionMigrationScheduler sched;
+  const auto assignment = sched.AssignFrame(
+      MakePackets(5), {MakePath(0, 10, 50), MakePath(1, 10, 50)});
+  for (PathId id : assignment) EXPECT_EQ(id, 0);
+  EXPECT_EQ(sched.current_path(), 0);
+}
+
+TEST(ConnectionMigrationTest, MigratesAfterSustainedFailure) {
+  ConnectionMigrationScheduler::Config c;
+  c.failure_window = Duration::Millis(100);
+  c.migration_blackout = Duration::Millis(200);
+  c.min_dwell = Duration::Millis(100);
+  ConnectionMigrationScheduler sched(c);
+
+  std::vector<PathInfo> paths = {MakePath(0, 0.05, 50), MakePath(1, 10, 50)};
+  paths[0].goodput = DataRate::KilobitsPerSec(10);  // collapsed
+  sched.OnTick(paths, Timestamp::Millis(0));
+  EXPECT_EQ(sched.current_path(), 0);
+  sched.OnTick(paths, Timestamp::Millis(150));
+  EXPECT_EQ(sched.current_path(), 1);
+  EXPECT_TRUE(sched.migrating());
+  EXPECT_EQ(sched.migrations(), 1);
+
+  // Blackout: frames are blackholed.
+  const auto assignment = sched.AssignFrame(MakePackets(3), paths);
+  for (PathId id : assignment) EXPECT_EQ(id, kInvalidPathId);
+
+  // After the blackout, traffic flows on the new path.
+  sched.OnTick(paths, Timestamp::Millis(400));
+  const auto after = sched.AssignFrame(MakePackets(3), paths);
+  for (PathId id : after) EXPECT_EQ(id, 1);
+}
+
+TEST(ConnectionMigrationTest, HealthyPathNeverMigrates) {
+  ConnectionMigrationScheduler sched;
+  std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 10, 50)};
+  for (int i = 0; i < 100; ++i) {
+    sched.OnTick(paths, Timestamp::Millis(100 * i));
+  }
+  EXPECT_EQ(sched.migrations(), 0);
+  EXPECT_EQ(sched.current_path(), 0);
+}
+
+TEST(DefaultFecRtxPlacement, FecStaysOnOriginRtxOnMinRtt) {
+  SrttScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 100), MakePath(1, 10, 20)};
+  RtpPacket fec;
+  fec.kind = PayloadKind::kFec;
+  EXPECT_EQ(sched.ChooseFecPath(fec, /*origin=*/0, paths), 0);
+  RtpPacket rtx;
+  EXPECT_EQ(sched.ChooseRtxPath(rtx, paths), 1);
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "signaling/negotiation.h"
+
+namespace converge {
+namespace {
+
+std::vector<NetworkInterface> DualInterfaces() {
+  NetworkInterface wifi;
+  wifi.name = "wlan0";
+  wifi.address = "192.168.1.10";
+  wifi.network_id = 0;
+  wifi.local_preference = 65535;
+  NetworkInterface cell;
+  cell.name = "rmnet0";
+  cell.address = "10.20.30.40";
+  cell.network_id = 1;
+  cell.local_preference = 60000;
+  return {wifi, cell};
+}
+
+TEST(SdpTest, SerializeParseRoundTrip) {
+  SessionDescription desc;
+  desc.multipath_supported = true;
+  desc.max_paths = 2;
+  desc.header_extensions.push_back(kMultipathExtensionUri);
+  desc.streams.push_back({0x1000, "camera0"});
+  desc.streams.push_back({0x1001, "camera1"});
+
+  const auto parsed = ParseSdp(SerializeSdp(desc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->multipath_supported);
+  EXPECT_EQ(parsed->max_paths, 2);
+  ASSERT_EQ(parsed->streams.size(), 2u);
+  EXPECT_EQ(parsed->streams[0].ssrc, 0x1000u);
+  EXPECT_EQ(parsed->streams[1].label, "camera1");
+  ASSERT_EQ(parsed->header_extensions.size(), 1u);
+  EXPECT_EQ(parsed->header_extensions[0], kMultipathExtensionUri);
+}
+
+TEST(SdpTest, LegacySdpHasNoMultipath) {
+  SessionDescription desc;  // defaults: no multipath
+  const auto parsed = ParseSdp(SerializeSdp(desc));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->multipath_supported);
+  EXPECT_EQ(parsed->max_paths, 1);
+}
+
+TEST(SdpTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseSdp("not sdp at all").has_value());
+  EXPECT_FALSE(ParseSdp("v=1\r\nm=video 9 X 96\r\n").has_value());
+  EXPECT_FALSE(ParseSdp("v=0\r\n").has_value());  // no media section
+}
+
+TEST(SdpTest, UnknownAttributesTolerated) {
+  // A legacy endpoint may include attributes we do not understand.
+  const std::string sdp =
+      "v=0\r\no=legacy 0 0 IN IP4 0.0.0.0\r\ns=call\r\nt=0 0\r\n"
+      "m=video 9 UDP/TLS/RTP/SAVPF 96\r\n"
+      "a=rtcp-mux\r\na=setup:actpass\r\n"
+      "a=ssrc:4096 label:cam\r\n";
+  const auto parsed = ParseSdp(sdp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->multipath_supported);
+  ASSERT_EQ(parsed->streams.size(), 1u);
+  EXPECT_EQ(parsed->streams[0].ssrc, 4096u);
+}
+
+TEST(IceTest, PriorityFormula) {
+  // host > srflx; higher local preference wins within a type.
+  const uint32_t host_hi = CandidatePriority(CandidateType::kHost, 65535, 1);
+  const uint32_t host_lo = CandidatePriority(CandidateType::kHost, 60000, 1);
+  const uint32_t srflx = CandidatePriority(CandidateType::kServerReflexive,
+                                           65535, 1);
+  EXPECT_GT(host_hi, host_lo);
+  EXPECT_GT(host_lo, srflx);
+}
+
+TEST(IceTest, GatherProducesHostAndSrflx) {
+  const auto candidates = GatherCandidates(DualInterfaces());
+  // 2 interfaces x (host + srflx behind NAT).
+  EXPECT_EQ(candidates.size(), 4u);
+  int hosts = 0;
+  for (const auto& c : candidates) {
+    if (c.type == CandidateType::kHost) ++hosts;
+    EXPECT_GT(c.priority, 0u);
+  }
+  EXPECT_EQ(hosts, 2);
+}
+
+TEST(IceTest, LegacyPairingKeepsSingleBestPair) {
+  const auto local = GatherCandidates(DualInterfaces());
+  const auto remote = GatherCandidates(DualInterfaces(), 60000);
+  const auto pairs = PairCandidates(local, remote, /*multipath=*/false);
+  ASSERT_EQ(pairs.size(), 1u);
+  // Best pair is WiFi-WiFi (highest preferences).
+  EXPECT_EQ(pairs[0].local.network_id, 0);
+}
+
+TEST(IceTest, MultipathPairingOnePairPerLocalInterface) {
+  const auto local = GatherCandidates(DualInterfaces());
+  const auto remote = GatherCandidates(DualInterfaces(), 60000);
+  const auto pairs = PairCandidates(local, remote, /*multipath=*/true);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_NE(pairs[0].local.network_id, pairs[1].local.network_id);
+}
+
+TEST(NegotiationTest, BothCapableYieldsMultipath) {
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  EndpointCapabilities b = a;
+  const NegotiatedSession session = Negotiate(a, b);
+  EXPECT_TRUE(session.use_multipath);
+  EXPECT_EQ(session.num_paths, 2);
+}
+
+TEST(NegotiationTest, LegacyRemoteFallsBackToSinglePath) {
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  EndpointCapabilities legacy;
+  legacy.supports_multipath = false;
+  legacy.interfaces = DualInterfaces();
+  const NegotiatedSession session = Negotiate(a, legacy);
+  EXPECT_FALSE(session.use_multipath);
+  EXPECT_EQ(session.num_paths, 1);
+}
+
+TEST(NegotiationTest, SingleInterfaceCannotOfferMultipath) {
+  EndpointCapabilities a;
+  a.interfaces = {DualInterfaces()[0]};
+  EndpointCapabilities b;
+  b.interfaces = DualInterfaces();
+  const NegotiatedSession session = Negotiate(a, b);
+  EXPECT_FALSE(session.use_multipath);
+}
+
+TEST(NegotiationTest, MaxPathsIntersection) {
+  std::vector<NetworkInterface> three = DualInterfaces();
+  NetworkInterface extra;
+  extra.name = "rmnet1";
+  extra.address = "10.99.0.2";
+  extra.network_id = 2;
+  extra.local_preference = 55000;
+  three.push_back(extra);
+
+  EndpointCapabilities a;
+  a.interfaces = three;
+  a.max_paths = 3;
+  EndpointCapabilities b;
+  b.interfaces = DualInterfaces();
+  b.max_paths = 2;
+  const NegotiatedSession session = Negotiate(a, b);
+  EXPECT_TRUE(session.use_multipath);
+  EXPECT_LE(session.num_paths, 2);  // limited by the answerer
+}
+
+TEST(NegotiationTest, OfferAdvertisesExtensionUri) {
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  const SessionDescription offer = CreateOffer(a);
+  ASSERT_TRUE(offer.multipath_supported);
+  ASSERT_FALSE(offer.header_extensions.empty());
+  EXPECT_EQ(offer.header_extensions[0], kMultipathExtensionUri);
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "session/stats_json.h"
+
+namespace converge {
+namespace {
+
+CallStats SampleStats() {
+  CallStats stats;
+  StreamQoe s;
+  s.avg_fps = 29.5;
+  s.e2e_mean_ms = 120.0;
+  s.tput_mbps = 8.2;
+  s.frames_decoded = 5310;
+  stats.streams.push_back(s);
+  stats.media_packets_sent = 100000;
+  stats.fec_packets_sent = 1200;
+  stats.fec_overhead = 0.012;
+  SecondSample sec;
+  sec.t_s = 1.0;
+  sec.tput_mbps = 5.5;
+  sec.fps = 30.0;
+  stats.time_series.push_back(sec);
+  return stats;
+}
+
+TEST(StatsJsonTest, ContainsAllAggregateFields) {
+  const std::string json = CallStatsToJson(SampleStats());
+  for (const char* key :
+       {"avg_fps", "avg_freeze_ms", "avg_e2e_ms", "total_tput_mbps",
+        "media_packets_sent", "fec_packets_sent", "fec_overhead",
+        "total_frame_drops", "streams", "time_series"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << "missing key " << key;
+  }
+}
+
+TEST(StatsJsonTest, StreamAndSeriesValuesPresent) {
+  const std::string json = CallStatsToJson(SampleStats());
+  EXPECT_NE(json.find("29.5"), std::string::npos);
+  EXPECT_NE(json.find("100000"), std::string::npos);
+  EXPECT_NE(json.find("5.5"), std::string::npos);
+}
+
+TEST(StatsJsonTest, BalancedBracesAndBrackets) {
+  const std::string json = CallStatsToJson(SampleStats());
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(StatsJsonTest, EmptyStatsStillValid) {
+  const std::string json = CallStatsToJson(CallStats{});
+  EXPECT_NE(json.find("\"streams\": ["), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(StatsJsonTest, NoTrailingCommas) {
+  const std::string json = CallStatsToJson(SampleStats());
+  EXPECT_EQ(json.find(",\n}"), std::string::npos);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  EXPECT_EQ(json.find(", ]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace converge

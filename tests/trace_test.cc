@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "net/trace.h"
+
+namespace converge {
+namespace {
+
+TEST(ValueTraceTest, ConstantTrace) {
+  const ValueTrace t = ValueTrace::Constant(5.0);
+  EXPECT_EQ(t.ValueAt(Timestamp::Zero()), 5.0);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(1000)), 5.0);
+}
+
+TEST(ValueTraceTest, PiecewiseLookup) {
+  ValueTrace t({{Timestamp::Seconds(0), 1.0},
+                {Timestamp::Seconds(10), 2.0},
+                {Timestamp::Seconds(20), 3.0}},
+               /*repeat=*/false);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(0)), 1.0);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(5)), 1.0);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(10)), 2.0);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(15)), 2.0);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(25)), 3.0);  // holds
+}
+
+TEST(ValueTraceTest, BeforeFirstSampleReturnsFirst) {
+  ValueTrace t({{Timestamp::Seconds(10), 7.0}, {Timestamp::Seconds(20), 9.0}},
+               false);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(1)), 7.0);
+}
+
+TEST(ValueTraceTest, RepeatWrapsAround) {
+  ValueTrace t({{Timestamp::Seconds(0), 1.0},
+                {Timestamp::Seconds(10), 2.0},
+                {Timestamp::Seconds(20), 3.0}},
+               /*repeat=*/true);
+  // span = 20 s; t=25 wraps to t=5 -> 1.0; t=35 wraps to 15 -> 2.0.
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(25)), 1.0);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(35)), 2.0);
+}
+
+TEST(ValueTraceTest, UnsortedSamplesAreSorted) {
+  ValueTrace t({{Timestamp::Seconds(10), 2.0}, {Timestamp::Seconds(0), 1.0}},
+               false);
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(5)), 1.0);
+}
+
+TEST(ValueTraceTest, ScaledMultipliesValues) {
+  ValueTrace t({{Timestamp::Seconds(0), 2.0}, {Timestamp::Seconds(5), 4.0}},
+               false);
+  const ValueTrace s = t.Scaled(2.5);
+  EXPECT_EQ(s.ValueAt(Timestamp::Seconds(0)), 5.0);
+  EXPECT_EQ(s.ValueAt(Timestamp::Seconds(6)), 10.0);
+}
+
+TEST(ValueTraceTest, CsvRoundTrip) {
+  ValueTrace t({{Timestamp::Seconds(0), 1.5}, {Timestamp::Seconds(2), 2.5}},
+               false);
+  const std::string path = testing::TempDir() + "/trace_roundtrip.csv";
+  ASSERT_TRUE(t.SaveCsv(path));
+  const ValueTrace loaded = ValueTrace::LoadCsv(path, false);
+  ASSERT_EQ(loaded.samples().size(), 2u);
+  EXPECT_EQ(loaded.ValueAt(Timestamp::Seconds(1)), 1.5);
+  EXPECT_EQ(loaded.ValueAt(Timestamp::Seconds(3)), 2.5);
+  std::remove(path.c_str());
+}
+
+TEST(ValueTraceTest, EmptyTraceReturnsZero) {
+  ValueTrace t;
+  EXPECT_EQ(t.ValueAt(Timestamp::Seconds(1)), 0.0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BandwidthTraceTest, CapacityLookup) {
+  const BandwidthTrace t = BandwidthTrace::Constant(DataRate::MegabitsPerSec(10));
+  EXPECT_EQ(t.CapacityAt(Timestamp::Seconds(5)).mbps(), 10.0);
+}
+
+}  // namespace
+}  // namespace converge

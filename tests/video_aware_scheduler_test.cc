@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "core/video_aware_scheduler.h"
+
+namespace converge {
+namespace {
+
+PathInfo MakePath(PathId id, double rate_mbps, double srtt_ms,
+                  double loss = 0.0) {
+  PathInfo p;
+  p.id = id;
+  p.allocated_rate = DataRate::MegabitsPerSec(rate_mbps);
+  p.goodput = DataRate::MegabitsPerSec(rate_mbps);
+  p.srtt = Duration::Millis(static_cast<int64_t>(srtt_ms));
+  p.loss = loss;
+  return p;
+}
+
+// A frame with SPS + PPS + keyframe media, or PPS + delta media.
+std::vector<RtpPacket> MakeFrame(FrameKind kind, int media) {
+  std::vector<RtpPacket> out;
+  uint16_t seq = 0;
+  auto push = [&](PayloadKind k, Priority prio) {
+    RtpPacket p;
+    p.seq = seq++;
+    p.kind = k;
+    p.priority = prio;
+    p.frame_kind = kind;
+    p.payload_bytes = k == PayloadKind::kMedia ? 1100 : 30;
+    out.push_back(p);
+  };
+  if (kind == FrameKind::kKey) push(PayloadKind::kSps, Priority::kSps);
+  push(PayloadKind::kPps, Priority::kPps);
+  for (int i = 0; i < media; ++i) {
+    push(PayloadKind::kMedia,
+         kind == FrameKind::kKey ? Priority::kKeyframe : Priority::kNone);
+  }
+  return out;
+}
+
+std::map<PathId, int> CountByPath(const std::vector<PathId>& assignment) {
+  std::map<PathId, int> counts;
+  for (PathId id : assignment) ++counts[id];
+  return counts;
+}
+
+TEST(VideoAwareSchedulerTest, KeyframePacketsRideFastPath) {
+  VideoAwareScheduler sched;
+  // Path 1 is clearly faster (higher rate, lower RTT).
+  const std::vector<PathInfo> paths = {MakePath(0, 5, 120), MakePath(1, 20, 30)};
+  const auto frame = MakeFrame(FrameKind::kKey, 10);
+  const auto assignment = sched.AssignFrame(frame, paths);
+  EXPECT_EQ(sched.last_fast_path(), 1);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    if (frame[i].IsDecodingCritical()) {
+      EXPECT_EQ(assignment[i], 1) << "critical packet " << i << " off fast path";
+    }
+  }
+}
+
+TEST(VideoAwareSchedulerTest, PpsSpsOnFastPathForDeltaFrames) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 15, 30), MakePath(1, 5, 90)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 20);
+  const auto assignment = sched.AssignFrame(frame, paths);
+  EXPECT_EQ(assignment[0], 0);  // PPS on fast path
+  // Delta media is split across both paths.
+  const auto counts = CountByPath(assignment);
+  EXPECT_GT(counts.count(1) ? counts.at(1) : 0, 0);
+}
+
+TEST(VideoAwareSchedulerTest, MediaSplitFollowsEq1) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 15, 50), MakePath(1, 5, 50)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 40);
+  const auto counts = CountByPath(sched.AssignFrame(frame, paths));
+  // 15:5 split of 40 media (+1 PPS) => roughly 30:10.
+  EXPECT_NEAR(counts.at(0), 31, 3);
+  EXPECT_NEAR(counts.at(1), 10, 3);
+}
+
+TEST(VideoAwareSchedulerTest, MediaAssignedInContiguousBlocks) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 10, 60)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 30);
+  const auto assignment = sched.AssignFrame(frame, paths);
+  // Count path switches among media packets: contiguous blocks mean few.
+  int switches = 0;
+  for (size_t i = 2; i < assignment.size(); ++i) {
+    if (assignment[i] != assignment[i - 1]) ++switches;
+  }
+  EXPECT_LE(switches, 2);
+}
+
+TEST(VideoAwareSchedulerTest, NegativeAlphaShrinksPath) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 10, 55)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 40);
+  const auto before = CountByPath(sched.AssignFrame(frame, paths));
+
+  QoeFeedback fb;
+  fb.path_id = 1;
+  fb.alpha = -8;
+  fb.fcd = Duration::Millis(20);
+  sched.OnQoeFeedback(fb);
+  EXPECT_NEAR(sched.alpha(1), -8.0, 1e-9);
+
+  const auto after = CountByPath(sched.AssignFrame(frame, paths));
+  EXPECT_LT(after.count(1) ? after.at(1) : 0, before.at(1));
+  // The removed packets moved to the other path, none were dropped.
+  int total = 0;
+  for (const auto& [id, n] : after) total += n;
+  EXPECT_EQ(total, static_cast<int>(frame.size()));
+}
+
+TEST(VideoAwareSchedulerTest, RepeatedNegativeFeedbackDisablesPath) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 2, 55)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 20);
+
+  QoeFeedback fb;
+  fb.path_id = 1;
+  fb.alpha = -30;
+  fb.fcd = Duration::Millis(5);
+  sched.OnQoeFeedback(fb);
+  sched.AssignFrame(frame, paths);  // path 1 target hits zero -> disabled
+  EXPECT_FALSE(sched.IsPathActive(1));
+  EXPECT_TRUE(sched.IsPathActive(0));
+
+  // All packets now go to path 0.
+  const auto counts = CountByPath(sched.AssignFrame(frame, paths));
+  EXPECT_EQ(counts.count(1), 0u);
+}
+
+TEST(VideoAwareSchedulerTest, DisabledPathProbedAndReenabled) {
+  VideoAwareScheduler::Config config;
+  config.path_manager.min_disable_time = Duration::Millis(100);
+  config.path_manager.probe_interval = Duration::Millis(50);
+  VideoAwareScheduler sched(config);
+  std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 2, 500)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 20);
+
+  sched.OnTick(paths, Timestamp::Millis(10));
+  QoeFeedback fb;
+  fb.path_id = 1;
+  fb.alpha = -30;
+  fb.fcd = Duration::Millis(10);
+  sched.OnQoeFeedback(fb);
+  sched.AssignFrame(frame, paths);
+  ASSERT_FALSE(sched.IsPathActive(1));
+
+  // Probes are due periodically.
+  EXPECT_EQ(sched.PathsNeedingProbe(Timestamp::Millis(20)),
+            (std::vector<PathId>{1}));
+  EXPECT_TRUE(sched.PathsNeedingProbe(Timestamp::Millis(30)).empty());
+  EXPECT_EQ(sched.PathsNeedingProbe(Timestamp::Millis(80)),
+            (std::vector<PathId>{1}));
+
+  // Path 1's RTT recovers: Eq. 3 holds -> re-enabled on tick.
+  paths[1].srtt = Duration::Millis(55);
+  sched.OnTick(paths, Timestamp::Millis(500));
+  EXPECT_TRUE(sched.IsPathActive(1));
+}
+
+TEST(VideoAwareSchedulerTest, Eq3BlocksReenableWhileRttGapLarge) {
+  VideoAwareScheduler::Config config;
+  config.path_manager.min_disable_time = Duration::Millis(10);
+  VideoAwareScheduler sched(config);
+  std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 2, 500)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 20);
+
+  sched.OnTick(paths, Timestamp::Millis(1));
+  QoeFeedback fb;
+  fb.path_id = 1;
+  fb.alpha = -30;
+  fb.fcd = Duration::Millis(10);  // (500-50)/2 = 225ms > 10ms FCD
+  sched.OnQoeFeedback(fb);
+  sched.AssignFrame(frame, paths);
+  sched.OnTick(paths, Timestamp::Millis(400));
+  EXPECT_FALSE(sched.IsPathActive(1));
+}
+
+TEST(VideoAwareSchedulerTest, RtxAlwaysFastPath) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 5, 120), MakePath(1, 20, 30)};
+  RtpPacket rtx;
+  rtx.priority = Priority::kRetransmit;
+  EXPECT_EQ(sched.ChooseRtxPath(rtx, paths), 1);
+}
+
+TEST(VideoAwareSchedulerTest, FecPrefersFastPathThenOrigin) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 20, 30), MakePath(1, 20, 80)};
+  // Small frame: fast-path budget remains after assignment.
+  sched.AssignFrame(MakeFrame(FrameKind::kDelta, 4), paths);
+  RtpPacket fec;
+  fec.kind = PayloadKind::kFec;
+  EXPECT_EQ(sched.ChooseFecPath(fec, /*origin=*/1, paths), 0);
+
+  // Exhaust the fast budget with a huge frame: FEC falls back to origin.
+  sched.AssignFrame(MakeFrame(FrameKind::kDelta, 500), paths);
+  EXPECT_EQ(sched.ChooseFecPath(fec, /*origin=*/1, paths), 1);
+}
+
+TEST(VideoAwareSchedulerTest, AlphaDecaysOverTime) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 10, 50)};
+  QoeFeedback fb;
+  fb.path_id = 1;
+  fb.alpha = -10;
+  fb.fcd = Duration::Millis(10);
+  sched.OnQoeFeedback(fb);
+  sched.OnTick(paths, Timestamp::Seconds(1.0));
+  sched.OnTick(paths, Timestamp::Seconds(11.0));
+  EXPECT_GT(sched.alpha(1), -6.0);  // decayed toward 0
+}
+
+TEST(VideoAwareSchedulerTest, CollapsedPathGetsNoMediaTrickle) {
+  VideoAwareScheduler sched;
+  // Path 1's rate cannot even carry one packet per frame interval: a single
+  // straggler there would block every frame's assembly.
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 50),
+                                       MakePath(1, 0.15, 60)};
+  const auto frame = MakeFrame(FrameKind::kDelta, 40);
+  const auto counts = CountByPath(sched.AssignFrame(frame, paths));
+  EXPECT_EQ(counts.count(1), 0u);
+  EXPECT_TRUE(sched.IsPathActive(1));  // still active (probes, FEC overflow)
+}
+
+TEST(VideoAwareSchedulerTest, BackloggedPathExcludedFromMediaSplit) {
+  VideoAwareScheduler sched;
+  std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 10, 60)};
+  paths[1].pacer_queue_delay = Duration::Millis(800);  // badly backlogged
+  const auto frame = MakeFrame(FrameKind::kDelta, 40);
+  const auto counts = CountByPath(sched.AssignFrame(frame, paths));
+  EXPECT_EQ(counts.count(1), 0u);
+}
+
+TEST(VideoAwareSchedulerTest, KeyframeOverflowAvoidsMuchSlowerPath) {
+  VideoAwareScheduler sched;
+  // Huge keyframe, fast path budget overflows; the alternative is 100x
+  // slower, so waiting behind the fast path's backlog still wins.
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 40),
+                                       MakePath(1, 0.1, 60)};
+  const auto frame = MakeFrame(FrameKind::kKey, 120);
+  const auto counts = CountByPath(sched.AssignFrame(frame, paths));
+  const int on_slow = counts.count(1) ? counts.at(1) : 0;
+  EXPECT_LE(on_slow, 2);  // essentially everything stays on the fast path
+}
+
+TEST(VideoAwareSchedulerTest, KeyframeOverflowUsesComparablePath) {
+  VideoAwareScheduler sched;
+  // Two comparable paths: the overflow genuinely balances.
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 40),
+                                       MakePath(1, 9, 45)};
+  const auto frame = MakeFrame(FrameKind::kKey, 120);
+  const auto counts = CountByPath(sched.AssignFrame(frame, paths));
+  EXPECT_GT(counts.count(1) ? counts.at(1) : 0, 20);
+}
+
+TEST(VideoAwareSchedulerTest, SinglePathDegeneratesGracefully) {
+  VideoAwareScheduler sched;
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 50)};
+  const auto frame = MakeFrame(FrameKind::kKey, 10);
+  const auto assignment = sched.AssignFrame(frame, paths);
+  for (PathId id : assignment) EXPECT_EQ(id, 0);
+}
+
+TEST(VideoAwareSchedulerTest, EmptyPathsYieldInvalid) {
+  VideoAwareScheduler sched;
+  const auto assignment = sched.AssignFrame(MakeFrame(FrameKind::kDelta, 3), {});
+  for (PathId id : assignment) EXPECT_EQ(id, kInvalidPathId);
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "video/camera.h"
+#include "video/decoder.h"
+#include "video/encoder.h"
+#include "video/packetizer.h"
+#include "video/quality.h"
+
+namespace converge {
+namespace {
+
+TEST(CameraTest, EmitsFramesAtFps) {
+  EventLoop loop;
+  int frames = 0;
+  Camera::Config c;
+  c.fps = 30.0;
+  Camera cam(&loop, c, Random(1), [&](const RawFrame&) { ++frames; });
+  cam.Start();
+  loop.RunUntil(Timestamp::Seconds(2.0));
+  EXPECT_NEAR(frames, 60, 1);
+}
+
+TEST(CameraTest, FrameNumbersMonotone) {
+  EventLoop loop;
+  int64_t last = -1;
+  Camera::Config c;
+  Camera cam(&loop, c, Random(2), [&](const RawFrame& f) {
+    EXPECT_EQ(f.frame_number, last + 1);
+    last = f.frame_number;
+    EXPECT_GE(f.complexity, 0.5);
+    EXPECT_LE(f.complexity, 2.0);
+  });
+  cam.Start();
+  loop.RunUntil(Timestamp::Seconds(1.0));
+  EXPECT_GE(last, 25);
+}
+
+TEST(CameraTest, StopHaltsCapture) {
+  EventLoop loop;
+  int frames = 0;
+  Camera::Config c;
+  Camera cam(&loop, c, Random(1), [&](const RawFrame&) { ++frames; });
+  cam.Start();
+  loop.RunUntil(Timestamp::Seconds(1.0));
+  cam.Stop();
+  const int at_stop = frames;
+  loop.RunUntil(Timestamp::Seconds(2.0));
+  EXPECT_EQ(frames, at_stop);
+}
+
+RawFrame MakeRaw(int64_t n) {
+  RawFrame raw;
+  raw.frame_number = n;
+  raw.capture_time = Timestamp::Millis(n * 33);
+  return raw;
+}
+
+TEST(EncoderTest, FirstFrameIsKeyframe) {
+  Encoder enc({}, Random(1));
+  const EncodedFrame f = enc.Encode(MakeRaw(0));
+  EXPECT_EQ(f.kind, FrameKind::kKey);
+  EXPECT_EQ(f.frame_id, 0);
+  EXPECT_EQ(f.gop_id, 0);
+  const EncodedFrame g = enc.Encode(MakeRaw(1));
+  EXPECT_EQ(g.kind, FrameKind::kDelta);
+  EXPECT_EQ(g.gop_id, 0);
+}
+
+TEST(EncoderTest, KeyframeOnRequestStartsNewGop) {
+  Encoder enc({}, Random(1));
+  enc.Encode(MakeRaw(0));
+  enc.Encode(MakeRaw(1));
+  enc.RequestKeyframe();
+  const EncodedFrame f = enc.Encode(MakeRaw(2));
+  EXPECT_EQ(f.kind, FrameKind::kKey);
+  EXPECT_EQ(f.gop_id, 1);
+  EXPECT_EQ(enc.keyframes_encoded(), 2);
+}
+
+TEST(EncoderTest, ResolutionLadderStepsDownAndForcesKeyframe) {
+  Encoder::Config c;
+  c.size_jitter = 0.0;
+  c.min_resolution_dwell = Duration::Seconds(1.0);
+  Encoder enc(c, Random(1));
+  enc.SetTargetRate(DataRate::MegabitsPerSec(8.0));
+  RawFrame raw = MakeRaw(0);
+  EXPECT_EQ(enc.Encode(raw).width, 1280);  // first (key)frame, full res
+  EXPECT_EQ(enc.resolution_step(), 0);
+
+  // Rate collapses: after the dwell, the encoder steps down and re-keys.
+  enc.SetTargetRate(DataRate::KilobitsPerSec(600));
+  raw = MakeRaw(1);
+  raw.capture_time = Timestamp::Seconds(2.0);
+  const EncodedFrame down = enc.Encode(raw);
+  EXPECT_EQ(down.width, 640);
+  EXPECT_EQ(down.kind, FrameKind::kKey);
+  EXPECT_EQ(enc.resolution_step(), 1);
+
+  // Rate recovers: steps back up (after another dwell), re-keying again.
+  enc.SetTargetRate(DataRate::MegabitsPerSec(8.0));
+  raw = MakeRaw(2);
+  raw.capture_time = Timestamp::Seconds(4.0);
+  const EncodedFrame up = enc.Encode(raw);
+  EXPECT_EQ(up.width, 1280);
+  EXPECT_EQ(up.kind, FrameKind::kKey);
+}
+
+TEST(EncoderTest, ResolutionDwellPreventsFlapping) {
+  Encoder::Config c;
+  c.min_resolution_dwell = Duration::Seconds(3.0);
+  Encoder enc(c, Random(1));
+  enc.SetTargetRate(DataRate::MegabitsPerSec(8.0));
+  enc.Encode(MakeRaw(0));
+  enc.SetTargetRate(DataRate::KilobitsPerSec(600));
+  RawFrame raw = MakeRaw(1);
+  raw.capture_time = Timestamp::Millis(33);
+  enc.Encode(raw);  // too soon after start to switch? (first change allowed)
+  const int step_after_first = enc.resolution_step();
+  enc.SetTargetRate(DataRate::MegabitsPerSec(8.0));
+  raw = MakeRaw(2);
+  raw.capture_time = Timestamp::Millis(66);
+  enc.Encode(raw);
+  // Whatever the first decision was, it cannot flip back within the dwell.
+  EXPECT_EQ(enc.resolution_step(), step_after_first);
+}
+
+TEST(EncoderTest, LadderPenalizesReportedQp) {
+  Encoder::Config c;
+  c.size_jitter = 0.0;
+  c.min_resolution_dwell = Duration::Millis(1);
+  Encoder enc(c, Random(1));
+  enc.SetTargetRate(DataRate::KilobitsPerSec(500));
+  RawFrame raw = MakeRaw(0);
+  raw.capture_time = Timestamp::Seconds(1.0);
+  const EncodedFrame low = enc.Encode(raw);
+  ASSERT_GT(enc.resolution_step(), 0);
+  // The reported (full-res-equivalent) QP includes the upscaling penalty.
+  const int raw_qp = QpForBudget(500e3 / 30.0, low.width, low.height, 1.0);
+  EXPECT_EQ(low.qp, std::min(60, raw_qp + 11 * enc.resolution_step()));
+}
+
+TEST(EncoderTest, SizeTracksTargetRate) {
+  Encoder::Config c;
+  c.size_jitter = 0.0;
+  c.adapt_resolution = false;
+  Encoder enc(c, Random(1));
+  enc.Encode(MakeRaw(0));  // keyframe out of the way
+
+  enc.SetTargetRate(DataRate::MegabitsPerSec(3.0));
+  const EncodedFrame low = enc.Encode(MakeRaw(1));
+  enc.SetTargetRate(DataRate::MegabitsPerSec(9.0));
+  const EncodedFrame high = enc.Encode(MakeRaw(2));
+  EXPECT_NEAR(static_cast<double>(high.size_bytes) / low.size_bytes, 3.0, 0.5);
+  EXPECT_LT(high.qp, low.qp);
+}
+
+TEST(EncoderTest, KeyframesAreLarger) {
+  Encoder::Config c;
+  c.size_jitter = 0.0;
+  c.keyframe_size_factor = 4.0;
+  Encoder enc(c, Random(1));
+  enc.SetTargetRate(DataRate::MegabitsPerSec(6.0));
+  const EncodedFrame key = enc.Encode(MakeRaw(0));
+  const EncodedFrame delta = enc.Encode(MakeRaw(1));
+  EXPECT_NEAR(static_cast<double>(key.size_bytes) / delta.size_bytes, 4.0, 0.5);
+}
+
+TEST(EncoderTest, RateClampedToConfiguredRange) {
+  Encoder::Config c;
+  c.min_rate = DataRate::KilobitsPerSec(100);
+  c.max_rate = DataRate::MegabitsPerSec(5);
+  Encoder enc(c, Random(1));
+  enc.SetTargetRate(DataRate::MegabitsPerSec(50));
+  EXPECT_EQ(enc.target_rate(), DataRate::MegabitsPerSec(5));
+  enc.SetTargetRate(DataRate::BitsPerSec(1));
+  EXPECT_EQ(enc.target_rate(), DataRate::KilobitsPerSec(100));
+}
+
+TEST(QualityTest, QpMonotoneInBudget) {
+  const int qp_rich = QpForBudget(400000, 1280, 720);
+  const int qp_poor = QpForBudget(40000, 1280, 720);
+  EXPECT_LT(qp_rich, qp_poor);
+  EXPECT_GE(qp_rich, kMinQp);
+  EXPECT_LE(qp_poor, kMaxQp);
+}
+
+TEST(QualityTest, QpEdgeCases) {
+  EXPECT_EQ(QpForBudget(0, 1280, 720), kMaxQp);
+  EXPECT_EQ(QpForBudget(1e12, 1280, 720), kMinQp);
+}
+
+TEST(QualityTest, PsnrDecreasesWithQp) {
+  EXPECT_GT(PsnrForQp(20), PsnrForQp(40));
+  EXPECT_GE(PsnrForQp(60), 18.0);
+}
+
+TEST(PacketizerTest, KeyframeLayout) {
+  Packetizer pkt({.ssrc = 0x42});
+  EncodedFrame frame;
+  frame.kind = FrameKind::kKey;
+  frame.size_bytes = 2500;
+  frame.frame_id = 7;
+  frame.gop_id = 3;
+  const auto packets = pkt.Packetize(frame);
+  // SPS + PPS + ceil(2500/1100)=3 media.
+  ASSERT_EQ(packets.size(), 5u);
+  EXPECT_EQ(packets[0].kind, PayloadKind::kSps);
+  EXPECT_EQ(packets[0].priority, Priority::kSps);
+  EXPECT_EQ(packets[1].kind, PayloadKind::kPps);
+  EXPECT_EQ(packets[1].priority, Priority::kPps);
+  for (size_t i = 2; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].kind, PayloadKind::kMedia);
+    EXPECT_EQ(packets[i].priority, Priority::kKeyframe);
+    EXPECT_EQ(packets[i].frame_kind, FrameKind::kKey);
+  }
+  EXPECT_TRUE(packets.front().first_in_frame);
+  EXPECT_TRUE(packets.back().marker);
+  EXPECT_TRUE(packets.back().last_in_frame);
+  // Contiguous sequence numbers.
+  for (size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].seq, packets[i - 1].seq + 1);
+  }
+  // Payload adds up.
+  int64_t media = 0;
+  for (const auto& p : packets) {
+    if (p.kind == PayloadKind::kMedia) media += p.payload_bytes;
+  }
+  EXPECT_EQ(media, 2500);
+}
+
+TEST(PacketizerTest, DeltaFrameHasNoSps) {
+  Packetizer pkt({});
+  EncodedFrame frame;
+  frame.kind = FrameKind::kDelta;
+  frame.size_bytes = 1000;
+  const auto packets = pkt.Packetize(frame);
+  ASSERT_EQ(packets.size(), 2u);  // PPS + 1 media
+  EXPECT_EQ(packets[0].kind, PayloadKind::kPps);
+  EXPECT_EQ(packets[1].priority, Priority::kNone);
+}
+
+TEST(PacketizerTest, SequenceSpaceSharedAcrossFrames) {
+  Packetizer pkt({});
+  EncodedFrame a;
+  a.kind = FrameKind::kDelta;
+  a.size_bytes = 1000;
+  const auto pa = pkt.Packetize(a);
+  const auto pb = pkt.Packetize(a);
+  EXPECT_EQ(pb.front().seq, pa.back().seq + 1);
+}
+
+TEST(DecoderTest, DecodesContinuousChain) {
+  EventLoop loop;
+  std::vector<int64_t> rendered;
+  Decoder dec(
+      &loop, {}, [&](const DecodedFrame& f) { rendered.push_back(f.frame_id); },
+      nullptr);
+  for (int64_t i = 0; i < 5; ++i) {
+    AssembledFrame f;
+    f.frame_id = i;
+    f.gop_id = 0;
+    f.kind = i == 0 ? FrameKind::kKey : FrameKind::kDelta;
+    dec.Decode(f);
+  }
+  loop.RunAll();
+  EXPECT_EQ(rendered, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(dec.decode_failures(), 0);
+}
+
+TEST(DecoderTest, BrokenChainFailsUntilKeyframe) {
+  EventLoop loop;
+  int failures = 0;
+  std::vector<int64_t> rendered;
+  Decoder dec(
+      &loop, {}, [&](const DecodedFrame& f) { rendered.push_back(f.frame_id); },
+      [&](const AssembledFrame&) { ++failures; });
+
+  AssembledFrame key;
+  key.frame_id = 0;
+  key.gop_id = 0;
+  key.kind = FrameKind::kKey;
+  dec.Decode(key);
+
+  AssembledFrame gap;  // frame 2 without frame 1
+  gap.frame_id = 2;
+  gap.gop_id = 0;
+  gap.kind = FrameKind::kDelta;
+  dec.Decode(gap);
+  EXPECT_EQ(failures, 1);
+
+  AssembledFrame next;  // even the next consecutive delta is undecodable now
+  next.frame_id = 3;
+  next.gop_id = 0;
+  next.kind = FrameKind::kDelta;
+  dec.Decode(next);
+  EXPECT_EQ(failures, 2);
+
+  AssembledFrame key2;  // a new keyframe recovers
+  key2.frame_id = 4;
+  key2.gop_id = 1;
+  key2.kind = FrameKind::kKey;
+  dec.Decode(key2);
+  loop.RunAll();
+  EXPECT_EQ(rendered, (std::vector<int64_t>{0, 4}));
+}
+
+TEST(DecoderTest, FecRecoveryAddsLatency) {
+  EventLoop loop;
+  Duration e2e_plain, e2e_fec;
+  Decoder::Config c;
+  c.base_decode_time = Duration::Millis(3);
+  c.fec_recovery_penalty = Duration::Millis(2);
+  int calls = 0;
+  Decoder dec(
+      &loop, c,
+      [&](const DecodedFrame& f) {
+        if (calls++ == 0) {
+          e2e_plain = f.e2e_latency;
+        } else {
+          e2e_fec = f.e2e_latency;
+        }
+      },
+      nullptr);
+
+  AssembledFrame a;
+  a.frame_id = 0;
+  a.gop_id = 0;
+  a.kind = FrameKind::kKey;
+  a.capture_time = Timestamp::Zero();
+  dec.Decode(a);
+
+  AssembledFrame b;
+  b.frame_id = 1;
+  b.gop_id = 0;
+  b.kind = FrameKind::kDelta;
+  b.capture_time = Timestamp::Zero();
+  b.recovered_by_fec = 3;
+  dec.Decode(b);
+  loop.RunAll();
+  EXPECT_EQ(e2e_fec - e2e_plain, Duration::Millis(6));
+}
+
+}  // namespace
+}  // namespace converge
