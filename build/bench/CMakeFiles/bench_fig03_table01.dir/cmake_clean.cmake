@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_table01.dir/bench_fig03_table01.cc.o"
+  "CMakeFiles/bench_fig03_table01.dir/bench_fig03_table01.cc.o.d"
+  "bench_fig03_table01"
+  "bench_fig03_table01.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_table01.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig09_10_table03_wild.cc" "bench/CMakeFiles/bench_fig09_10_table03_wild.dir/bench_fig09_10_table03_wild.cc.o" "gcc" "bench/CMakeFiles/bench_fig09_10_table03_wild.dir/bench_fig09_10_table03_wild.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_receiver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_10_table03_wild.dir/bench_fig09_10_table03_wild.cc.o"
+  "CMakeFiles/bench_fig09_10_table03_wild.dir/bench_fig09_10_table03_wild.cc.o.d"
+  "bench_fig09_10_table03_wild"
+  "bench_fig09_10_table03_wild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_10_table03_wild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

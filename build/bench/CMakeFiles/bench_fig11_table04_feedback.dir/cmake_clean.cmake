@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_table04_feedback.dir/bench_fig11_table04_feedback.cc.o"
+  "CMakeFiles/bench_fig11_table04_feedback.dir/bench_fig11_table04_feedback.cc.o.d"
+  "bench_fig11_table04_feedback"
+  "bench_fig11_table04_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_table04_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_table05_fec.dir/bench_fig12_13_table05_fec.cc.o"
+  "CMakeFiles/bench_fig12_13_table05_fec.dir/bench_fig12_13_table05_fec.cc.o.d"
+  "bench_fig12_13_table05_fec"
+  "bench_fig12_13_table05_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_table05_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

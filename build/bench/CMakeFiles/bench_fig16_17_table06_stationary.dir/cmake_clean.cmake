@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_17_table06_stationary.dir/bench_fig16_17_table06_stationary.cc.o"
+  "CMakeFiles/bench_fig16_17_table06_stationary.dir/bench_fig16_17_table06_stationary.cc.o.d"
+  "bench_fig16_17_table06_stationary"
+  "bench_fig16_17_table06_stationary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_17_table06_stationary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

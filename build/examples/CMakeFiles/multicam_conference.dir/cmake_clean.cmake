@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicam_conference.dir/multicam_conference.cpp.o"
+  "CMakeFiles/multicam_conference.dir/multicam_conference.cpp.o.d"
+  "multicam_conference"
+  "multicam_conference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicam_conference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

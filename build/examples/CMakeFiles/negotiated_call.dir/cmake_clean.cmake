@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negotiated_call.dir/negotiated_call.cpp.o"
+  "CMakeFiles/negotiated_call.dir/negotiated_call.cpp.o.d"
+  "negotiated_call"
+  "negotiated_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negotiated_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for negotiated_call.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_failover.dir/path_failover.cpp.o"
+  "CMakeFiles/path_failover.dir/path_failover.cpp.o.d"
+  "path_failover"
+  "path_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

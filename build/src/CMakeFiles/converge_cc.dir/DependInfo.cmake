@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/aimd.cc" "src/CMakeFiles/converge_cc.dir/cc/aimd.cc.o" "gcc" "src/CMakeFiles/converge_cc.dir/cc/aimd.cc.o.d"
+  "/root/repo/src/cc/gcc.cc" "src/CMakeFiles/converge_cc.dir/cc/gcc.cc.o" "gcc" "src/CMakeFiles/converge_cc.dir/cc/gcc.cc.o.d"
+  "/root/repo/src/cc/loss_based.cc" "src/CMakeFiles/converge_cc.dir/cc/loss_based.cc.o" "gcc" "src/CMakeFiles/converge_cc.dir/cc/loss_based.cc.o.d"
+  "/root/repo/src/cc/pacer.cc" "src/CMakeFiles/converge_cc.dir/cc/pacer.cc.o" "gcc" "src/CMakeFiles/converge_cc.dir/cc/pacer.cc.o.d"
+  "/root/repo/src/cc/trendline.cc" "src/CMakeFiles/converge_cc.dir/cc/trendline.cc.o" "gcc" "src/CMakeFiles/converge_cc.dir/cc/trendline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

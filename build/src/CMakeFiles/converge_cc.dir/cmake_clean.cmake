@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_cc.dir/cc/aimd.cc.o"
+  "CMakeFiles/converge_cc.dir/cc/aimd.cc.o.d"
+  "CMakeFiles/converge_cc.dir/cc/gcc.cc.o"
+  "CMakeFiles/converge_cc.dir/cc/gcc.cc.o.d"
+  "CMakeFiles/converge_cc.dir/cc/loss_based.cc.o"
+  "CMakeFiles/converge_cc.dir/cc/loss_based.cc.o.d"
+  "CMakeFiles/converge_cc.dir/cc/pacer.cc.o"
+  "CMakeFiles/converge_cc.dir/cc/pacer.cc.o.d"
+  "CMakeFiles/converge_cc.dir/cc/trendline.cc.o"
+  "CMakeFiles/converge_cc.dir/cc/trendline.cc.o.d"
+  "libconverge_cc.a"
+  "libconverge_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_core.dir/core/path_manager.cc.o"
+  "CMakeFiles/converge_core.dir/core/path_manager.cc.o.d"
+  "CMakeFiles/converge_core.dir/core/video_aware_scheduler.cc.o"
+  "CMakeFiles/converge_core.dir/core/video_aware_scheduler.cc.o.d"
+  "libconverge_core.a"
+  "libconverge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fec/converge_fec_controller.cc" "src/CMakeFiles/converge_fec.dir/fec/converge_fec_controller.cc.o" "gcc" "src/CMakeFiles/converge_fec.dir/fec/converge_fec_controller.cc.o.d"
+  "/root/repo/src/fec/fec_tables.cc" "src/CMakeFiles/converge_fec.dir/fec/fec_tables.cc.o" "gcc" "src/CMakeFiles/converge_fec.dir/fec/fec_tables.cc.o.d"
+  "/root/repo/src/fec/webrtc_fec_controller.cc" "src/CMakeFiles/converge_fec.dir/fec/webrtc_fec_controller.cc.o" "gcc" "src/CMakeFiles/converge_fec.dir/fec/webrtc_fec_controller.cc.o.d"
+  "/root/repo/src/fec/xor_fec.cc" "src/CMakeFiles/converge_fec.dir/fec/xor_fec.cc.o" "gcc" "src/CMakeFiles/converge_fec.dir/fec/xor_fec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

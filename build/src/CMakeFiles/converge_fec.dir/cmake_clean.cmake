@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_fec.dir/fec/converge_fec_controller.cc.o"
+  "CMakeFiles/converge_fec.dir/fec/converge_fec_controller.cc.o.d"
+  "CMakeFiles/converge_fec.dir/fec/fec_tables.cc.o"
+  "CMakeFiles/converge_fec.dir/fec/fec_tables.cc.o.d"
+  "CMakeFiles/converge_fec.dir/fec/webrtc_fec_controller.cc.o"
+  "CMakeFiles/converge_fec.dir/fec/webrtc_fec_controller.cc.o.d"
+  "CMakeFiles/converge_fec.dir/fec/xor_fec.cc.o"
+  "CMakeFiles/converge_fec.dir/fec/xor_fec.cc.o.d"
+  "libconverge_fec.a"
+  "libconverge_fec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_fec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

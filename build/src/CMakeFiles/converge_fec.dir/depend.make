@@ -1,0 +1,2 @@
+# Empty dependencies file for converge_fec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cc" "src/CMakeFiles/converge_net.dir/net/link.cc.o" "gcc" "src/CMakeFiles/converge_net.dir/net/link.cc.o.d"
+  "/root/repo/src/net/loss_model.cc" "src/CMakeFiles/converge_net.dir/net/loss_model.cc.o" "gcc" "src/CMakeFiles/converge_net.dir/net/loss_model.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/converge_net.dir/net/network.cc.o" "gcc" "src/CMakeFiles/converge_net.dir/net/network.cc.o.d"
+  "/root/repo/src/net/path.cc" "src/CMakeFiles/converge_net.dir/net/path.cc.o" "gcc" "src/CMakeFiles/converge_net.dir/net/path.cc.o.d"
+  "/root/repo/src/net/trace.cc" "src/CMakeFiles/converge_net.dir/net/trace.cc.o" "gcc" "src/CMakeFiles/converge_net.dir/net/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

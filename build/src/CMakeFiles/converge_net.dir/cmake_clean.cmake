@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_net.dir/net/link.cc.o"
+  "CMakeFiles/converge_net.dir/net/link.cc.o.d"
+  "CMakeFiles/converge_net.dir/net/loss_model.cc.o"
+  "CMakeFiles/converge_net.dir/net/loss_model.cc.o.d"
+  "CMakeFiles/converge_net.dir/net/network.cc.o"
+  "CMakeFiles/converge_net.dir/net/network.cc.o.d"
+  "CMakeFiles/converge_net.dir/net/path.cc.o"
+  "CMakeFiles/converge_net.dir/net/path.cc.o.d"
+  "CMakeFiles/converge_net.dir/net/trace.cc.o"
+  "CMakeFiles/converge_net.dir/net/trace.cc.o.d"
+  "libconverge_net.a"
+  "libconverge_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/receiver/fec_recovery.cc" "src/CMakeFiles/converge_receiver.dir/receiver/fec_recovery.cc.o" "gcc" "src/CMakeFiles/converge_receiver.dir/receiver/fec_recovery.cc.o.d"
+  "/root/repo/src/receiver/frame_buffer.cc" "src/CMakeFiles/converge_receiver.dir/receiver/frame_buffer.cc.o" "gcc" "src/CMakeFiles/converge_receiver.dir/receiver/frame_buffer.cc.o.d"
+  "/root/repo/src/receiver/nack_generator.cc" "src/CMakeFiles/converge_receiver.dir/receiver/nack_generator.cc.o" "gcc" "src/CMakeFiles/converge_receiver.dir/receiver/nack_generator.cc.o.d"
+  "/root/repo/src/receiver/packet_buffer.cc" "src/CMakeFiles/converge_receiver.dir/receiver/packet_buffer.cc.o" "gcc" "src/CMakeFiles/converge_receiver.dir/receiver/packet_buffer.cc.o.d"
+  "/root/repo/src/receiver/qoe_monitor.cc" "src/CMakeFiles/converge_receiver.dir/receiver/qoe_monitor.cc.o" "gcc" "src/CMakeFiles/converge_receiver.dir/receiver/qoe_monitor.cc.o.d"
+  "/root/repo/src/receiver/receiver.cc" "src/CMakeFiles/converge_receiver.dir/receiver/receiver.cc.o" "gcc" "src/CMakeFiles/converge_receiver.dir/receiver/receiver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

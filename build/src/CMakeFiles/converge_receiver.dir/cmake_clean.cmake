@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_receiver.dir/receiver/fec_recovery.cc.o"
+  "CMakeFiles/converge_receiver.dir/receiver/fec_recovery.cc.o.d"
+  "CMakeFiles/converge_receiver.dir/receiver/frame_buffer.cc.o"
+  "CMakeFiles/converge_receiver.dir/receiver/frame_buffer.cc.o.d"
+  "CMakeFiles/converge_receiver.dir/receiver/nack_generator.cc.o"
+  "CMakeFiles/converge_receiver.dir/receiver/nack_generator.cc.o.d"
+  "CMakeFiles/converge_receiver.dir/receiver/packet_buffer.cc.o"
+  "CMakeFiles/converge_receiver.dir/receiver/packet_buffer.cc.o.d"
+  "CMakeFiles/converge_receiver.dir/receiver/qoe_monitor.cc.o"
+  "CMakeFiles/converge_receiver.dir/receiver/qoe_monitor.cc.o.d"
+  "CMakeFiles/converge_receiver.dir/receiver/receiver.cc.o"
+  "CMakeFiles/converge_receiver.dir/receiver/receiver.cc.o.d"
+  "libconverge_receiver.a"
+  "libconverge_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

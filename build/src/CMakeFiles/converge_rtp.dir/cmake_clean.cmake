@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_rtp.dir/rtp/rtcp.cc.o"
+  "CMakeFiles/converge_rtp.dir/rtp/rtcp.cc.o.d"
+  "CMakeFiles/converge_rtp.dir/rtp/rtp_packet.cc.o"
+  "CMakeFiles/converge_rtp.dir/rtp/rtp_packet.cc.o.d"
+  "libconverge_rtp.a"
+  "libconverge_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

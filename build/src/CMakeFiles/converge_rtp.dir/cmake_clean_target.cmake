@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconverge_rtp.a"
+)

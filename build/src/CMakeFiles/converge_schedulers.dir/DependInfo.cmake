@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/connection_migration.cc" "src/CMakeFiles/converge_schedulers.dir/schedulers/connection_migration.cc.o" "gcc" "src/CMakeFiles/converge_schedulers.dir/schedulers/connection_migration.cc.o.d"
+  "/root/repo/src/schedulers/ecf_scheduler.cc" "src/CMakeFiles/converge_schedulers.dir/schedulers/ecf_scheduler.cc.o" "gcc" "src/CMakeFiles/converge_schedulers.dir/schedulers/ecf_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/mprtp_scheduler.cc" "src/CMakeFiles/converge_schedulers.dir/schedulers/mprtp_scheduler.cc.o" "gcc" "src/CMakeFiles/converge_schedulers.dir/schedulers/mprtp_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/mtput_scheduler.cc" "src/CMakeFiles/converge_schedulers.dir/schedulers/mtput_scheduler.cc.o" "gcc" "src/CMakeFiles/converge_schedulers.dir/schedulers/mtput_scheduler.cc.o.d"
+  "/root/repo/src/schedulers/path_stats.cc" "src/CMakeFiles/converge_schedulers.dir/schedulers/path_stats.cc.o" "gcc" "src/CMakeFiles/converge_schedulers.dir/schedulers/path_stats.cc.o.d"
+  "/root/repo/src/schedulers/scheduler.cc" "src/CMakeFiles/converge_schedulers.dir/schedulers/scheduler.cc.o" "gcc" "src/CMakeFiles/converge_schedulers.dir/schedulers/scheduler.cc.o.d"
+  "/root/repo/src/schedulers/srtt_scheduler.cc" "src/CMakeFiles/converge_schedulers.dir/schedulers/srtt_scheduler.cc.o" "gcc" "src/CMakeFiles/converge_schedulers.dir/schedulers/srtt_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_schedulers.dir/schedulers/connection_migration.cc.o"
+  "CMakeFiles/converge_schedulers.dir/schedulers/connection_migration.cc.o.d"
+  "CMakeFiles/converge_schedulers.dir/schedulers/ecf_scheduler.cc.o"
+  "CMakeFiles/converge_schedulers.dir/schedulers/ecf_scheduler.cc.o.d"
+  "CMakeFiles/converge_schedulers.dir/schedulers/mprtp_scheduler.cc.o"
+  "CMakeFiles/converge_schedulers.dir/schedulers/mprtp_scheduler.cc.o.d"
+  "CMakeFiles/converge_schedulers.dir/schedulers/mtput_scheduler.cc.o"
+  "CMakeFiles/converge_schedulers.dir/schedulers/mtput_scheduler.cc.o.d"
+  "CMakeFiles/converge_schedulers.dir/schedulers/path_stats.cc.o"
+  "CMakeFiles/converge_schedulers.dir/schedulers/path_stats.cc.o.d"
+  "CMakeFiles/converge_schedulers.dir/schedulers/scheduler.cc.o"
+  "CMakeFiles/converge_schedulers.dir/schedulers/scheduler.cc.o.d"
+  "CMakeFiles/converge_schedulers.dir/schedulers/srtt_scheduler.cc.o"
+  "CMakeFiles/converge_schedulers.dir/schedulers/srtt_scheduler.cc.o.d"
+  "libconverge_schedulers.a"
+  "libconverge_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

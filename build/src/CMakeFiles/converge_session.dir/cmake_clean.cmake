@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_session.dir/session/call.cc.o"
+  "CMakeFiles/converge_session.dir/session/call.cc.o.d"
+  "CMakeFiles/converge_session.dir/session/metrics.cc.o"
+  "CMakeFiles/converge_session.dir/session/metrics.cc.o.d"
+  "CMakeFiles/converge_session.dir/session/receiver_endpoint.cc.o"
+  "CMakeFiles/converge_session.dir/session/receiver_endpoint.cc.o.d"
+  "CMakeFiles/converge_session.dir/session/sender.cc.o"
+  "CMakeFiles/converge_session.dir/session/sender.cc.o.d"
+  "CMakeFiles/converge_session.dir/session/stats_json.cc.o"
+  "CMakeFiles/converge_session.dir/session/stats_json.cc.o.d"
+  "libconverge_session.a"
+  "libconverge_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signaling/ice.cc" "src/CMakeFiles/converge_signaling.dir/signaling/ice.cc.o" "gcc" "src/CMakeFiles/converge_signaling.dir/signaling/ice.cc.o.d"
+  "/root/repo/src/signaling/negotiation.cc" "src/CMakeFiles/converge_signaling.dir/signaling/negotiation.cc.o" "gcc" "src/CMakeFiles/converge_signaling.dir/signaling/negotiation.cc.o.d"
+  "/root/repo/src/signaling/sdp.cc" "src/CMakeFiles/converge_signaling.dir/signaling/sdp.cc.o" "gcc" "src/CMakeFiles/converge_signaling.dir/signaling/sdp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

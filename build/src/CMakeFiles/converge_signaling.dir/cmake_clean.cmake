@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_signaling.dir/signaling/ice.cc.o"
+  "CMakeFiles/converge_signaling.dir/signaling/ice.cc.o.d"
+  "CMakeFiles/converge_signaling.dir/signaling/negotiation.cc.o"
+  "CMakeFiles/converge_signaling.dir/signaling/negotiation.cc.o.d"
+  "CMakeFiles/converge_signaling.dir/signaling/sdp.cc.o"
+  "CMakeFiles/converge_signaling.dir/signaling/sdp.cc.o.d"
+  "libconverge_signaling.a"
+  "libconverge_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for converge_signaling.
+# This may be replaced when dependencies are built.

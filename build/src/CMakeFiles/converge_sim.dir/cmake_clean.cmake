@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_sim.dir/sim/event_loop.cc.o"
+  "CMakeFiles/converge_sim.dir/sim/event_loop.cc.o.d"
+  "libconverge_sim.a"
+  "libconverge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

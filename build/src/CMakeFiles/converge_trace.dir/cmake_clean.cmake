@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_trace.dir/trace/generators.cc.o"
+  "CMakeFiles/converge_trace.dir/trace/generators.cc.o.d"
+  "libconverge_trace.a"
+  "libconverge_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_util.dir/util/csv.cc.o"
+  "CMakeFiles/converge_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/converge_util.dir/util/logging.cc.o"
+  "CMakeFiles/converge_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/converge_util.dir/util/random.cc.o"
+  "CMakeFiles/converge_util.dir/util/random.cc.o.d"
+  "CMakeFiles/converge_util.dir/util/stats.cc.o"
+  "CMakeFiles/converge_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/converge_util.dir/util/time.cc.o"
+  "CMakeFiles/converge_util.dir/util/time.cc.o.d"
+  "libconverge_util.a"
+  "libconverge_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

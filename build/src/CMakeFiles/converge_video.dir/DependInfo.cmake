@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/camera.cc" "src/CMakeFiles/converge_video.dir/video/camera.cc.o" "gcc" "src/CMakeFiles/converge_video.dir/video/camera.cc.o.d"
+  "/root/repo/src/video/decoder.cc" "src/CMakeFiles/converge_video.dir/video/decoder.cc.o" "gcc" "src/CMakeFiles/converge_video.dir/video/decoder.cc.o.d"
+  "/root/repo/src/video/encoder.cc" "src/CMakeFiles/converge_video.dir/video/encoder.cc.o" "gcc" "src/CMakeFiles/converge_video.dir/video/encoder.cc.o.d"
+  "/root/repo/src/video/packetizer.cc" "src/CMakeFiles/converge_video.dir/video/packetizer.cc.o" "gcc" "src/CMakeFiles/converge_video.dir/video/packetizer.cc.o.d"
+  "/root/repo/src/video/quality.cc" "src/CMakeFiles/converge_video.dir/video/quality.cc.o" "gcc" "src/CMakeFiles/converge_video.dir/video/quality.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

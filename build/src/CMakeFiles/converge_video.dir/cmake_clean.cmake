@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converge_video.dir/video/camera.cc.o"
+  "CMakeFiles/converge_video.dir/video/camera.cc.o.d"
+  "CMakeFiles/converge_video.dir/video/decoder.cc.o"
+  "CMakeFiles/converge_video.dir/video/decoder.cc.o.d"
+  "CMakeFiles/converge_video.dir/video/encoder.cc.o"
+  "CMakeFiles/converge_video.dir/video/encoder.cc.o.d"
+  "CMakeFiles/converge_video.dir/video/packetizer.cc.o"
+  "CMakeFiles/converge_video.dir/video/packetizer.cc.o.d"
+  "CMakeFiles/converge_video.dir/video/quality.cc.o"
+  "CMakeFiles/converge_video.dir/video/quality.cc.o.d"
+  "libconverge_video.a"
+  "libconverge_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converge_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

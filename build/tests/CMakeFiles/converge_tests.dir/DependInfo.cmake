@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/call_integration_test.cc" "tests/CMakeFiles/converge_tests.dir/call_integration_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/call_integration_test.cc.o.d"
+  "/root/repo/tests/cc_test.cc" "tests/CMakeFiles/converge_tests.dir/cc_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/cc_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/converge_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/ecf_scheduler_test.cc" "tests/CMakeFiles/converge_tests.dir/ecf_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/ecf_scheduler_test.cc.o.d"
+  "/root/repo/tests/event_loop_test.cc" "tests/CMakeFiles/converge_tests.dir/event_loop_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/event_loop_test.cc.o.d"
+  "/root/repo/tests/fec_test.cc" "tests/CMakeFiles/converge_tests.dir/fec_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/fec_test.cc.o.d"
+  "/root/repo/tests/feedback_ablation_test.cc" "tests/CMakeFiles/converge_tests.dir/feedback_ablation_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/feedback_ablation_test.cc.o.d"
+  "/root/repo/tests/frame_buffer_test.cc" "tests/CMakeFiles/converge_tests.dir/frame_buffer_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/frame_buffer_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/converge_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/link_test.cc" "tests/CMakeFiles/converge_tests.dir/link_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/link_test.cc.o.d"
+  "/root/repo/tests/loss_model_test.cc" "tests/CMakeFiles/converge_tests.dir/loss_model_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/loss_model_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/converge_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/nack_test.cc" "tests/CMakeFiles/converge_tests.dir/nack_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/nack_test.cc.o.d"
+  "/root/repo/tests/packet_buffer_test.cc" "tests/CMakeFiles/converge_tests.dir/packet_buffer_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/packet_buffer_test.cc.o.d"
+  "/root/repo/tests/path_manager_test.cc" "tests/CMakeFiles/converge_tests.dir/path_manager_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/path_manager_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/converge_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/qoe_monitor_test.cc" "tests/CMakeFiles/converge_tests.dir/qoe_monitor_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/qoe_monitor_test.cc.o.d"
+  "/root/repo/tests/receive_stream_test.cc" "tests/CMakeFiles/converge_tests.dir/receive_stream_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/receive_stream_test.cc.o.d"
+  "/root/repo/tests/receiver_endpoint_test.cc" "tests/CMakeFiles/converge_tests.dir/receiver_endpoint_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/receiver_endpoint_test.cc.o.d"
+  "/root/repo/tests/rtcp_test.cc" "tests/CMakeFiles/converge_tests.dir/rtcp_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/rtcp_test.cc.o.d"
+  "/root/repo/tests/rtp_test.cc" "tests/CMakeFiles/converge_tests.dir/rtp_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/rtp_test.cc.o.d"
+  "/root/repo/tests/scheduler_baselines_test.cc" "tests/CMakeFiles/converge_tests.dir/scheduler_baselines_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/scheduler_baselines_test.cc.o.d"
+  "/root/repo/tests/sender_test.cc" "tests/CMakeFiles/converge_tests.dir/sender_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/sender_test.cc.o.d"
+  "/root/repo/tests/signaling_test.cc" "tests/CMakeFiles/converge_tests.dir/signaling_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/signaling_test.cc.o.d"
+  "/root/repo/tests/stats_json_test.cc" "tests/CMakeFiles/converge_tests.dir/stats_json_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/stats_json_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/converge_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/converge_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/video_aware_scheduler_test.cc" "tests/CMakeFiles/converge_tests.dir/video_aware_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/video_aware_scheduler_test.cc.o.d"
+  "/root/repo/tests/video_test.cc" "tests/CMakeFiles/converge_tests.dir/video_test.cc.o" "gcc" "tests/CMakeFiles/converge_tests.dir/video_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/converge_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_schedulers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_receiver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_fec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/converge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
