@@ -18,25 +18,45 @@ int main() {
   const std::vector<size_t> frame_caps = {4, 8, 16, 32};
   const int seeds = FastMode() ? 1 : 3;
 
-  for (Variant variant : {Variant::kConverge, Variant::kSrtt}) {
+  // Compute the whole grid in parallel up front, then print it serially.
+  const std::vector<Variant> variants = {Variant::kConverge, Variant::kSrtt};
+  std::vector<std::vector<std::vector<Aggregate>>> grid(
+      variants.size(),
+      std::vector<std::vector<Aggregate>>(
+          packet_caps.size(), std::vector<Aggregate>(frame_caps.size())));
+  std::vector<std::function<void()>> cells;
+  for (size_t v = 0; v < variants.size(); ++v) {
+    for (size_t p = 0; p < packet_caps.size(); ++p) {
+      for (size_t f = 0; f < frame_caps.size(); ++f) {
+        cells.push_back([&, v, p, f] {
+          CallConfig config;
+          config.variant = variants[v];
+          config.duration = CallLength();
+          config.packet_buffer_capacity = packet_caps[p];
+          config.frame_buffer_capacity = frame_caps[f];
+          grid[v][p][f] = RunMany(
+              config,
+              [](uint64_t seed) {
+                return ScenarioPaths(Scenario::kDriving, seed);
+              },
+              seeds);
+        });
+      }
+    }
+  }
+  RunCells(std::move(cells));
+
+  for (size_t v = 0; v < variants.size(); ++v) {
     std::printf("\n%s: avg FPS / frame drops per (packet buffer x frame "
                 "buffer)\n",
-                ToString(variant).c_str());
+                ToString(variants[v]).c_str());
     std::printf("%-16s", "pkt-buf\\frm-buf");
     for (size_t fc : frame_caps) std::printf(" %14zu", fc);
     std::printf("\n");
-    for (size_t pc : packet_caps) {
-      std::printf("%-16zu", pc);
-      for (size_t fc : frame_caps) {
-        CallConfig config;
-        config.variant = variant;
-        config.duration = CallLength();
-        config.packet_buffer_capacity = pc;
-        config.frame_buffer_capacity = fc;
-        const Aggregate agg = RunMany(
-            config,
-            [](uint64_t seed) { return ScenarioPaths(Scenario::kDriving, seed); },
-            seeds);
+    for (size_t p = 0; p < packet_caps.size(); ++p) {
+      std::printf("%-16zu", packet_caps[p]);
+      for (size_t f = 0; f < frame_caps.size(); ++f) {
+        const Aggregate& agg = grid[v][p][f];
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%.1f/%.0f", agg.fps.mean(),
                       agg.frame_drops.mean());

@@ -27,43 +27,70 @@ int main() {
   Header("Ablation — video-aware scheduler parameters (driving)");
   const int seeds = FastMode() ? 1 : 3;
 
+  // All three sweeps are computed in one parallel batch, printed serially.
+  const std::vector<double> headrooms = {1.0, 1.3, 1.6, 2.0, 3.0};
+  const std::vector<double> decays = {0.05, 0.2, 0.4, 1.0, 3.0};
+  const std::vector<double> betas = {1.0, 2.0, 4.0, 8.0};
+  std::vector<Aggregate> headroom_agg(headrooms.size());
+  std::vector<Aggregate> decay_agg(decays.size());
+  std::vector<Aggregate> beta_agg(betas.size());
+
+  std::vector<std::function<void()>> cells;
+  for (size_t i = 0; i < headrooms.size(); ++i) {
+    cells.push_back([&, i] {
+      CallConfig config;
+      config.variant = Variant::kConverge;
+      config.duration = CallLength();
+      config.video_scheduler.pmax_headroom = headrooms[i];
+      headroom_agg[i] = RunDriving(config, seeds);
+    });
+  }
+  for (size_t i = 0; i < decays.size(); ++i) {
+    cells.push_back([&, i] {
+      CallConfig config;
+      config.variant = Variant::kConverge;
+      config.duration = CallLength();
+      config.video_scheduler.alpha_decay_per_s = decays[i];
+      decay_agg[i] = RunDriving(config, seeds);
+    });
+  }
+  for (size_t i = 0; i < betas.size(); ++i) {
+    cells.push_back([&, i] {
+      CallConfig config;
+      config.variant = Variant::kConverge;
+      config.duration = CallLength();
+      config.converge_fec.max_beta = betas[i];
+      beta_agg[i] = RunDriving(config, seeds);
+    });
+  }
+  RunCells(std::move(cells));
+
   std::printf("\nP_max headroom (in-band probing allowance):\n");
   std::printf("%10s %8s %10s %12s %10s\n", "headroom", "fps", "tput Mbps",
               "freeze(ms)", "drops");
-  for (double headroom : {1.0, 1.3, 1.6, 2.0, 3.0}) {
-    CallConfig config;
-    config.variant = Variant::kConverge;
-    config.duration = CallLength();
-    config.video_scheduler.pmax_headroom = headroom;
-    const Aggregate a = RunDriving(config, seeds);
-    std::printf("%10.1f %8.1f %10.2f %12.0f %10.0f\n", headroom, a.fps.mean(),
-                a.tput_mbps.mean(), a.freeze_ms.mean(), a.frame_drops.mean());
+  for (size_t i = 0; i < headrooms.size(); ++i) {
+    const Aggregate& a = headroom_agg[i];
+    std::printf("%10.1f %8.1f %10.2f %12.0f %10.0f\n", headrooms[i],
+                a.fps.mean(), a.tput_mbps.mean(), a.freeze_ms.mean(),
+                a.frame_drops.mean());
   }
 
   std::printf("\nAlpha decay rate (1/s) — how long QoE feedback biases the "
               "split:\n");
   std::printf("%10s %8s %10s %12s %10s\n", "decay", "fps", "tput Mbps",
               "freeze(ms)", "drops");
-  for (double decay : {0.05, 0.2, 0.4, 1.0, 3.0}) {
-    CallConfig config;
-    config.variant = Variant::kConverge;
-    config.duration = CallLength();
-    config.video_scheduler.alpha_decay_per_s = decay;
-    const Aggregate a = RunDriving(config, seeds);
-    std::printf("%10.2f %8.1f %10.2f %12.0f %10.0f\n", decay, a.fps.mean(),
+  for (size_t i = 0; i < decays.size(); ++i) {
+    const Aggregate& a = decay_agg[i];
+    std::printf("%10.2f %8.1f %10.2f %12.0f %10.0f\n", decays[i], a.fps.mean(),
                 a.tput_mbps.mean(), a.freeze_ms.mean(), a.frame_drops.mean());
   }
 
   std::printf("\nFEC beta ceiling (NACK-driven protection boost, §4.3):\n");
   std::printf("%10s %8s %12s %12s %12s\n", "max beta", "fps", "fec ovh(%)",
               "fec util(%)", "freeze(ms)");
-  for (double max_beta : {1.0, 2.0, 4.0, 8.0}) {
-    CallConfig config;
-    config.variant = Variant::kConverge;
-    config.duration = CallLength();
-    config.converge_fec.max_beta = max_beta;
-    const Aggregate a = RunDriving(config, seeds);
-    std::printf("%10.1f %8.1f %12.2f %12.1f %12.0f\n", max_beta, a.fps.mean(),
+  for (size_t i = 0; i < betas.size(); ++i) {
+    const Aggregate& a = beta_agg[i];
+    std::printf("%10.1f %8.1f %12.2f %12.1f %12.0f\n", betas[i], a.fps.mean(),
                 a.fec_overhead.mean() * 100, a.fec_utilization.mean() * 100,
                 a.freeze_ms.mean());
   }

@@ -30,19 +30,21 @@ int main() {
                 tmobile.CapacityAt(Timestamp::Seconds(t)).mbps());
   }
 
-  // One single-path WebRTC call per carrier (Figure 1 bottom).
-  auto run = [&](Variant variant) {
+  // One single-path WebRTC call per carrier (Figure 1 bottom), run
+  // concurrently — each call is an independent deterministic simulation.
+  auto make = [&](Variant variant) {
     CallConfig config;
     config.variant = variant;
     config.paths = ScenarioPaths(Scenario::kDriving, seed);
     config.duration = CallLength();
     config.seed = seed;
-    Call call(config);
-    return call.Run();
+    return config;
   };
   // Path 0 = Verizon, path 1 = T-Mobile in the driving scenario.
-  const CallStats verizon_call = run(Variant::kWebRtcPath0);
-  const CallStats tmobile_call = run(Variant::kWebRtcPath1);
+  const std::vector<CallStats> calls =
+      RunCalls({make(Variant::kWebRtcPath0), make(Variant::kWebRtcPath1)});
+  const CallStats& verizon_call = calls[0];
+  const CallStats& tmobile_call = calls[1];
 
   std::printf("\nPer-second QoE of single-path WebRTC:\n");
   std::printf("%6s %12s %12s %12s %12s\n", "t(s)", "V fps", "V e2e(ms)",

@@ -24,20 +24,26 @@ int main() {
   std::vector<std::vector<Cell>> results(variants.size(),
                                          std::vector<Cell>(3));
 
+  std::vector<std::function<void()>> cells;
   for (size_t v = 0; v < variants.size(); ++v) {
     for (int streams = 1; streams <= 3; ++streams) {
-      CallConfig config;
-      config.variant = variants[v];
-      config.num_streams = streams;
-      config.duration = CallLength();
-      results[v][streams - 1].agg = RunMany(
-          config,
-          [](uint64_t seed) { return ScenarioPaths(Scenario::kDriving, seed); },
-          NumSeeds());
-      std::fprintf(stderr, "  done %s x %d streams\n",
-                   ToString(variants[v]).c_str(), streams);
+      cells.push_back([&, v, streams] {
+        CallConfig config;
+        config.variant = variants[v];
+        config.num_streams = streams;
+        config.duration = CallLength();
+        results[v][streams - 1].agg = RunMany(
+            config,
+            [](uint64_t seed) {
+              return ScenarioPaths(Scenario::kDriving, seed);
+            },
+            NumSeeds());
+        std::fprintf(stderr, "  done %s x %d streams\n",
+                     ToString(variants[v]).c_str(), streams);
+      });
     }
   }
+  RunCells(std::move(cells));
 
   auto print_metric = [&](const char* title,
                           const std::function<double(const Aggregate&)>& get,

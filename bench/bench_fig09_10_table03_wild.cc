@@ -15,18 +15,19 @@ namespace {
 void TimeSeriesFigure9(Scenario scenario, Variant single_a, Variant single_b,
                        const char* name_a, const char* name_b) {
   const uint64_t seed = 2024;
-  auto run = [&](Variant v) {
+  auto make = [&](Variant v) {
     CallConfig config;
     config.variant = v;
     config.paths = ScenarioPaths(scenario, seed);
     config.duration = CallLength();
     config.seed = seed;
-    Call call(config);
-    return call.Run();
+    return config;
   };
-  const CallStats conv = run(Variant::kConverge);
-  const CallStats a = run(single_a);
-  const CallStats b = run(single_b);
+  const std::vector<CallStats> calls =
+      RunCalls({make(Variant::kConverge), make(single_a), make(single_b)});
+  const CallStats& conv = calls[0];
+  const CallStats& a = calls[1];
+  const CallStats& b = calls[2];
 
   std::printf("\nFigure 9 (%s): per-second tput (Mbps) / fps / E2E (ms)\n",
               ToString(scenario).c_str());
@@ -64,22 +65,29 @@ void Figure10AndTable3(Scenario scenario, Variant single_a, Variant single_b,
   std::printf("%-12s %10s %10s %10s %10s\n", "system", "tput/10M", "fps/24",
               "stall(s)", "QP/60");
 
-  // Keep the aggregates for Table 3 as well (per stream count).
+  // Keep the aggregates for Table 3 as well (per stream count). All cells
+  // are computed up front in parallel; printing happens serially after.
   std::vector<std::vector<Aggregate>> per_streams(
       systems.size(), std::vector<Aggregate>(3));
+  std::vector<std::function<void()>> cells;
   for (size_t i = 0; i < systems.size(); ++i) {
     for (int streams = 1; streams <= 3; ++streams) {
-      CallConfig config;
-      config.variant = systems[i].first;
-      config.num_streams = streams;
-      config.duration = CallLength();
-      per_streams[i][streams - 1] = RunMany(
-          config,
-          [scenario](uint64_t seed) { return ScenarioPaths(scenario, seed); },
-          NumSeeds());
-      std::fprintf(stderr, "  done %s %s x %d\n", ToString(scenario).c_str(),
-                   systems[i].second.c_str(), streams);
+      cells.push_back([&, i, streams] {
+        CallConfig config;
+        config.variant = systems[i].first;
+        config.num_streams = streams;
+        config.duration = CallLength();
+        per_streams[i][streams - 1] = RunMany(
+            config,
+            [scenario](uint64_t seed) { return ScenarioPaths(scenario, seed); },
+            NumSeeds());
+        std::fprintf(stderr, "  done %s %s x %d\n", ToString(scenario).c_str(),
+                     systems[i].second.c_str(), streams);
+      });
     }
+  }
+  RunCells(std::move(cells));
+  for (size_t i = 0; i < systems.size(); ++i) {
     const Aggregate& one = per_streams[i][0];
     std::printf("%-12s %10.2f %10.2f %10.1f %10.2f\n",
                 systems[i].second.c_str(), NormTput(one.tput_mbps.mean(), 1),

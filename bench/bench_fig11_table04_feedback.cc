@@ -65,14 +65,13 @@ Duration FeedbackCallLength() {
   return FastMode() ? Duration::Seconds(120) : Duration::Seconds(180);
 }
 
-CallStats RunOne(Variant variant, uint64_t seed) {
+CallConfig MakeOne(Variant variant, uint64_t seed) {
   CallConfig config;
   config.variant = variant;
   config.paths = FeedbackScenarioPaths(seed);
   config.duration = FeedbackCallLength();
   config.seed = seed;
-  Call call(config);
-  return call.Run();
+  return config;
 }
 
 }  // namespace
@@ -82,8 +81,11 @@ int main() {
          "feedback");
 
   const uint64_t seed = 77;
-  const CallStats with_fb = RunOne(Variant::kConverge, seed);
-  const CallStats without_fb = RunOne(Variant::kConvergeNoFeedback, seed);
+  const std::vector<CallStats> figure_calls =
+      RunCalls({MakeOne(Variant::kConverge, seed),
+                MakeOne(Variant::kConvergeNoFeedback, seed)});
+  const CallStats& with_fb = figure_calls[0];
+  const CallStats& without_fb = figure_calls[1];
 
   std::printf("\nFigure 11(b-d): received rate (Mbps), IFD (ms), FCD (ms); "
               "IFD_exp = 33 ms\n");
@@ -107,15 +109,20 @@ int main() {
   }
   std::printf("(full series written to fig11_feedback.csv)\n");
 
-  // Table 4 over multiple seeds.
-  CallConfig base;
-  base.duration = FeedbackCallLength();
-  base.variant = Variant::kConverge;
-  const Aggregate fb =
-      RunMany(base, FeedbackScenarioPaths, NumSeeds());
-  base.variant = Variant::kConvergeNoFeedback;
-  const Aggregate nofb =
-      RunMany(base, FeedbackScenarioPaths, NumSeeds());
+  // Table 4 over multiple seeds: the two variants' sweeps run concurrently.
+  Aggregate fb, nofb;
+  RunCells({[&] {
+              CallConfig base;
+              base.duration = FeedbackCallLength();
+              base.variant = Variant::kConverge;
+              fb = RunMany(base, FeedbackScenarioPaths, NumSeeds());
+            },
+            [&] {
+              CallConfig base;
+              base.duration = FeedbackCallLength();
+              base.variant = Variant::kConvergeNoFeedback;
+              nofb = RunMany(base, FeedbackScenarioPaths, NumSeeds());
+            }});
 
   auto pct_gain = [](double with_v, double without_v) {
     if (without_v <= 0) return 0.0;

@@ -45,20 +45,28 @@ int main() {
                                                                0.03, 0.04, 0.05,
                                                                0.06, 0.07, 0.08,
                                                                0.09, 0.10};
-  for (double loss : losses) {
-    Row row;
-    row.loss = loss;
-    CallConfig base;
-    base.duration = CallLength();
-    base.variant = Variant::kConverge;
-    row.converge = RunMany(
-        base, [loss](uint64_t) { return LossyPaths(loss); }, NumSeeds());
-    base.variant = Variant::kConvergeWebRtcFec;
-    row.table = RunMany(
-        base, [loss](uint64_t) { return LossyPaths(loss); }, NumSeeds());
-    rows.push_back(row);
-    std::fprintf(stderr, "  done loss=%.0f%%\n", loss * 100);
+  rows.resize(losses.size());
+  std::vector<std::function<void()>> cells;
+  for (size_t i = 0; i < losses.size(); ++i) {
+    const double loss = losses[i];
+    rows[i].loss = loss;
+    cells.push_back([&, i, loss] {
+      CallConfig base;
+      base.duration = CallLength();
+      base.variant = Variant::kConverge;
+      rows[i].converge = RunMany(
+          base, [loss](uint64_t) { return LossyPaths(loss); }, NumSeeds());
+    });
+    cells.push_back([&, i, loss] {
+      CallConfig base;
+      base.duration = CallLength();
+      base.variant = Variant::kConvergeWebRtcFec;
+      rows[i].table = RunMany(
+          base, [loss](uint64_t) { return LossyPaths(loss); }, NumSeeds());
+      std::fprintf(stderr, "  done loss=%.0f%%\n", loss * 100);
+    });
   }
+  RunCells(std::move(cells));
 
   std::printf("\nFigure 12: FEC overhead and utilization vs loss\n");
   std::printf("%8s | %14s %14s | %14s %14s\n", "loss(%)", "Cv ovh(%)",

@@ -24,17 +24,21 @@ int main() {
   // Aggregates across seeds (2 cameras: the multi-camera conferencing case).
   const int kStreams = FastMode() ? 1 : 2;
   std::vector<Aggregate> agg(systems.size());
+  std::vector<std::function<void()>> cells;
   for (size_t i = 0; i < systems.size(); ++i) {
-    CallConfig config;
-    config.variant = systems[i].first;
-    config.num_streams = kStreams;
-    config.duration = CallLength();
-    agg[i] = RunMany(
-        config,
-        [](uint64_t seed) { return ScenarioPaths(Scenario::kDriving, seed); },
-        NumSeeds());
-    std::fprintf(stderr, "  done %s\n", systems[i].second.c_str());
+    cells.push_back([&, i] {
+      CallConfig config;
+      config.variant = systems[i].first;
+      config.num_streams = kStreams;
+      config.duration = CallLength();
+      agg[i] = RunMany(
+          config,
+          [](uint64_t seed) { return ScenarioPaths(Scenario::kDriving, seed); },
+          NumSeeds());
+      std::fprintf(stderr, "  done %s\n", systems[i].second.c_str());
+    });
   }
+  RunCells(std::move(cells));
 
   std::printf("\nFigure 14(a): normalized QoE (driving, %d cameras)\n",
               kStreams);
@@ -61,21 +65,26 @@ int main() {
               "call)\n");
   std::printf("%-10s %8s %8s %8s %8s %8s\n", "system", "p10", "p50", "p90",
               "p95", "p99");
-  std::vector<std::unique_ptr<Call>> calls;
+  std::vector<std::unique_ptr<Call>> calls(systems.size());
+  cells.clear();
   for (size_t i = 0; i < systems.size(); ++i) {
-    CallConfig config;
-    config.variant = systems[i].first;
-    config.paths = ScenarioPaths(Scenario::kDriving, 4242);
-    config.duration = CallLength();
-    config.seed = 4242;
-    auto call = std::make_unique<Call>(config);
-    call->Run();
-    const SampleSet& e2e = call->metrics().e2e_samples(0);
+    cells.push_back([&, i] {
+      CallConfig config;
+      config.variant = systems[i].first;
+      config.paths = ScenarioPaths(Scenario::kDriving, 4242);
+      config.duration = CallLength();
+      config.seed = 4242;
+      calls[i] = std::make_unique<Call>(config);
+      calls[i]->Run();
+    });
+  }
+  RunCells(std::move(cells));
+  for (size_t i = 0; i < systems.size(); ++i) {
+    const SampleSet& e2e = calls[i]->metrics().e2e_samples(0);
     std::printf("%-10s %8.0f %8.0f %8.0f %8.0f %8.0f\n",
                 systems[i].second.c_str(), e2e.Quantile(0.10),
                 e2e.Quantile(0.50), e2e.Quantile(0.90), e2e.Quantile(0.95),
                 e2e.Quantile(0.99));
-    calls.push_back(std::move(call));
   }
 
   std::printf("\nFigure 15: PSNR percentiles (dB, display-rate samples; "

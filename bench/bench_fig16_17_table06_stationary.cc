@@ -10,18 +10,20 @@ int main() {
   Header("Figures 16/17 + Table 6 — stationary scenario (WiFi + T-Mobile)");
 
   const uint64_t seed = 3100;
-  auto run = [&](Variant v) {
+  auto make = [&](Variant v) {
     CallConfig config;
     config.variant = v;
     config.paths = ScenarioPaths(Scenario::kStationary, seed);
     config.duration = CallLength();
     config.seed = seed;
-    Call call(config);
-    return call.Run();
+    return config;
   };
-  const CallStats conv = run(Variant::kConverge);
-  const CallStats wifi = run(Variant::kWebRtcPath0);
-  const CallStats tmob = run(Variant::kWebRtcPath1);
+  const std::vector<CallStats> figure_calls =
+      RunCalls({make(Variant::kConverge), make(Variant::kWebRtcPath0),
+                make(Variant::kWebRtcPath1)});
+  const CallStats& conv = figure_calls[0];
+  const CallStats& wifi = figure_calls[1];
+  const CallStats& tmob = figure_calls[2];
 
   std::printf("\nFigure 16: per-second tput (Mbps) / fps / E2E (ms)\n");
   std::printf("%5s | %6s %5s %6s | %6s %5s %6s | %6s %5s %6s\n", "t",
@@ -52,20 +54,24 @@ int main() {
       {Variant::kConverge, "Converge"}};
   std::vector<std::vector<Aggregate>> agg(systems.size(),
                                           std::vector<Aggregate>(3));
+  std::vector<std::function<void()>> cells;
   for (size_t i = 0; i < systems.size(); ++i) {
     for (int streams = 1; streams <= 3; ++streams) {
-      CallConfig config;
-      config.variant = systems[i].first;
-      config.num_streams = streams;
-      config.duration = CallLength();
-      agg[i][streams - 1] = RunMany(
-          config,
-          [](uint64_t s) { return ScenarioPaths(Scenario::kStationary, s); },
-          NumSeeds());
-      std::fprintf(stderr, "  done %s x %d\n", systems[i].second.c_str(),
-                   streams);
+      cells.push_back([&, i, streams] {
+        CallConfig config;
+        config.variant = systems[i].first;
+        config.num_streams = streams;
+        config.duration = CallLength();
+        agg[i][streams - 1] = RunMany(
+            config,
+            [](uint64_t s) { return ScenarioPaths(Scenario::kStationary, s); },
+            NumSeeds());
+        std::fprintf(stderr, "  done %s x %d\n", systems[i].second.c_str(),
+                     streams);
+      });
     }
   }
+  RunCells(std::move(cells));
 
   std::printf("\nFigure 17: normalized QoE (1 camera)\n");
   std::printf("%-10s %10s %10s %10s %10s\n", "system", "tput/10M", "fps/24",

@@ -3,9 +3,12 @@
 // packet-buffer insertion, trace sampling, and raw event-loop throughput.
 #include <benchmark/benchmark.h>
 
+#include <utility>
+
 #include "cc/trendline.h"
 #include "core/video_aware_scheduler.h"
 #include "fec/xor_fec.h"
+#include "net/link.h"
 #include "net/trace.h"
 #include "receiver/fec_recovery.h"
 #include "receiver/packet_buffer.h"
@@ -160,6 +163,109 @@ void BM_EventLoopThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 10'000);
 }
 BENCHMARK(BM_EventLoopThroughput);
+
+// Steady-state event churn: each event schedules its successor, so the heap
+// stays small and every slot is recycled — the simulator's inner loop shape.
+// This is the allocation-elimination regression guard: before the flat-heap
+// + InlineFunction rework, every event cost a std::function heap allocation
+// plus a priority_queue node copy.
+void BM_EventLoopSelfScheduling(benchmark::State& state) {
+  constexpr int kEvents = 10'000;
+  for (auto _ : state) {
+    EventLoop loop;
+    int fired = 0;
+    std::function<void()> next = [&] {
+      if (++fired < kEvents) loop.ScheduleIn(Duration::Micros(10), next);
+    };
+    loop.ScheduleAt(Timestamp::Zero(), next);
+    loop.RunAll();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventLoopSelfScheduling);
+
+// Events whose callback carries a full RtpPacket by value — the link
+// delivery shape. Must stay inside the EventLoop's inline callback buffer
+// (no heap fallback): sizeof(RtpPacket) + capture overhead < 192 bytes.
+void BM_EventLoopPacketCapture(benchmark::State& state) {
+  constexpr int kEvents = 5'000;
+  RtpPacket proto;
+  proto.kind = PayloadKind::kMedia;
+  proto.payload_bytes = 1100;
+  for (auto _ : state) {
+    EventLoop loop;
+    int64_t bytes = 0;
+    for (int i = 0; i < kEvents; ++i) {
+      RtpPacket p = proto;
+      p.seq = static_cast<uint16_t>(i);
+      loop.ScheduleAt(Timestamp::Micros(i * 13 % 50'000),
+                      [pkt = std::move(p), &bytes] {
+                        bytes += pkt.payload_bytes;
+                      });
+    }
+    loop.RunAll();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * kEvents);
+}
+BENCHMARK(BM_EventLoopPacketCapture);
+
+// Link enqueue/deliver with an RtpPacket riding in the delivery callback —
+// the per-transmitted-packet hot path of every simulated call.
+void BM_LinkEnqueueDeliver(benchmark::State& state) {
+  constexpr int kPackets = 2'000;
+  RtpPacket proto;
+  proto.kind = PayloadKind::kMedia;
+  proto.payload_bytes = 1100;
+  for (auto _ : state) {
+    EventLoop loop;
+    Link::Config config;
+    config.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(100));
+    config.prop_delay = Duration::Millis(10);
+    Link link(&loop, config, Random(1));
+    int64_t delivered_bytes = 0;
+    Timestamp at = Timestamp::Zero();
+    for (int i = 0; i < kPackets; ++i) {
+      // ~10 Mbps offered load: well under capacity, so nothing queues long.
+      at += Duration::Micros(900);
+      loop.ScheduleAt(at, [&link, &delivered_bytes, &proto, i] {
+        RtpPacket p = proto;
+        p.seq = static_cast<uint16_t>(i);
+        link.Send(p.payload_bytes + 12,
+                  [pkt = std::move(p), &delivered_bytes](Timestamp) {
+                    delivered_bytes += pkt.payload_bytes;
+                  });
+      });
+    }
+    loop.RunAll();
+    benchmark::DoNotOptimize(delivered_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * kPackets);
+}
+BENCHMARK(BM_LinkEnqueueDeliver);
+
+// Copy vs move of an RtpPacket carrying shared FEC metadata: the copy is a
+// flat memcpy plus a refcount bump, the move is pointer swaps. Guards the
+// shared_ptr<const FecBlockMeta> representation.
+void BM_RtpPacketCopy(benchmark::State& state) {
+  auto meta = std::make_shared<FecBlockMeta>();
+  for (int i = 0; i < 40; ++i) {
+    ProtectedPacketMeta m;
+    m.seq = static_cast<uint16_t>(i);
+    m.payload_bytes = 1100;
+    meta->covered.push_back(m);
+  }
+  RtpPacket p;
+  p.kind = PayloadKind::kFec;
+  p.payload_bytes = 1100;
+  p.fec = std::move(meta);
+  for (auto _ : state) {
+    RtpPacket copy = p;
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_RtpPacketCopy);
 
 }  // namespace
 }  // namespace converge

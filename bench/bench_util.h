@@ -7,10 +7,12 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "session/call.h"
 #include "trace/generators.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace converge::bench {
@@ -47,20 +49,32 @@ struct Aggregate {
   RunningStat fec_utilization;  // fraction
 };
 
-// Runs `seeds` calls; the path set is regenerated per seed (like repeating a
-// drive test on different days).
+// Runs `seeds` calls fanned out across cores (CONVERGE_BENCH_JOBS workers;
+// JOBS=1 falls back to a fully serial loop); the path set is regenerated per
+// seed (like repeating a drive test on different days). Each worker receives
+// a private CallConfig copy, and the Aggregate is reduced serially in seed
+// order afterwards, so the result is bit-identical to the serial run no
+// matter how many workers executed.
 inline Aggregate RunMany(
-    CallConfig base,
+    const CallConfig& base,
     const std::function<std::vector<PathSpec>(uint64_t seed)>& paths_for_seed,
-    int seeds) {
-  Aggregate agg;
+    int seeds, int jobs = 0) {
+  // Path generation stays on the caller's thread: the callback is invoked
+  // exactly as often and in the same order as the old serial loop, so
+  // stateful callbacks keep working.
+  std::vector<CallConfig> configs;
+  configs.reserve(static_cast<size_t>(seeds));
   for (int i = 0; i < seeds; ++i) {
     const uint64_t seed = 1000 + static_cast<uint64_t>(i) * 77;
-    CallConfig config = base;
+    CallConfig config = base;  // by value: workers never alias shared state
     config.seed = seed;
     config.paths = paths_for_seed(seed);
-    Call call(config);
-    const CallStats stats = call.Run();
+    configs.push_back(std::move(config));
+  }
+  const std::vector<CallStats> results = RunCalls(configs, jobs);
+
+  Aggregate agg;
+  for (const CallStats& stats : results) {
     agg.fps.Add(stats.AvgFps());
     agg.freeze_ms.Add(stats.AvgFreezeMs());
     agg.e2e_ms.Add(stats.AvgE2eMs());
@@ -74,6 +88,17 @@ inline Aggregate RunMany(
     agg.fec_utilization.Add(stats.fec_utilization);
   }
   return agg;
+}
+
+// Fan a bench's table cells (variant x scenario jobs) out across the shared
+// worker budget. Each job must write only its own result cell; jobs nest
+// fine with the seed-level parallelism inside RunMany (the global thread
+// budget keeps the machine from oversubscribing). Completion messages print
+// from worker threads, so they may interleave between cells — pipe stderr
+// through `sort` if exact ordering matters.
+inline void RunCells(std::vector<std::function<void()>> jobs) {
+  ParallelFor(static_cast<int64_t>(jobs.size()),
+              [&](int64_t i) { jobs[static_cast<size_t>(i)](); });
 }
 
 inline std::vector<PathSpec> ScenarioPaths(Scenario scenario, uint64_t seed) {

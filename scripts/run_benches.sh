@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the benches in Release mode and records the micro-benchmark
+# baseline to BENCH_micro.json (gitignored; compare across commits with
+# google-benchmark's tools/compare.py or by diffing the JSON).
+#
+# Environment knobs (see EXPERIMENTS.md):
+#   CONVERGE_BENCH_JOBS   worker threads for the figure/table benches
+#                         (default: hardware concurrency; 1 = serial)
+#   CONVERGE_BENCH_FAST   1 = short smoke runs of every bench
+#   CONVERGE_BENCH_SEEDS  seeds per table cell (default 5, fast mode 2)
+#   RUN_FIGURE_BENCHES    1 = also run the fig/table reproduction benches
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-release}
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "== micro benchmarks -> BENCH_micro.json =="
+"${BUILD_DIR}/bench/bench_micro" \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_micro.json \
+  --benchmark_out_format=json
+
+if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
+  for bench in "${BUILD_DIR}"/bench/bench_fig* "${BUILD_DIR}"/bench/bench_ablation*; do
+    echo "== $(basename "${bench}") =="
+    "${bench}"
+  done
+fi
+
+echo "Done. Micro baseline written to BENCH_micro.json"

@@ -1,6 +1,8 @@
 #include "fec/xor_fec.h"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 namespace converge {
 
@@ -60,13 +62,14 @@ std::vector<RtpPacket> XorFecEncoder::Generate(
     fec.fec_block = block_id;
 
     int64_t max_payload = 0;
+    auto block = std::make_shared<FecBlockMeta>();
     for (size_t j = static_cast<size_t>(g); j < media.size();
          j += static_cast<size_t>(num_fec)) {
       const RtpPacket& covered = *media[j];
-      fec.protected_seqs.push_back(covered.seq);
-      fec.fec_meta.push_back(MetaOf(covered));
+      block->covered.push_back(MetaOf(covered));
       max_payload = std::max(max_payload, covered.payload_bytes);
     }
+    fec.fec = std::move(block);
     fec.payload_bytes = max_payload + 10;  // FEC level header
     out.push_back(std::move(fec));
   }

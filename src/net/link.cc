@@ -37,30 +37,34 @@ void Link::StartTransmission() {
     return;
   }
   busy_ = true;
-  Pending pkt = std::move(queue_.front());
-  queue_.pop_front();
-
+  // The packet in service stays at the queue head until its service time
+  // elapses, so the completion event captures only `this` — no callback or
+  // packet state is dragged through the event loop per transmission.
   const int64_t rate_bps =
       std::max<int64_t>(kMinServiceBps, CapacityNow().bps());
-  const Duration tx = DataRate::BitsPerSec(rate_bps).TransmitTime(pkt.bytes);
+  const Duration tx =
+      DataRate::BitsPerSec(rate_bps).TransmitTime(queue_.front().bytes);
+  loop_->ScheduleIn(tx, [this] { FinishTransmission(); });
+}
 
-  loop_->ScheduleIn(tx, [this, pkt = std::move(pkt)]() mutable {
-    queued_bytes_ -= pkt.bytes;
-    const bool lost =
-        config_.loss != nullptr && config_.loss->ShouldDrop(loop_->now(), rng_);
-    if (lost) {
-      ++stats_.packets_lost;
-      if (pkt.on_drop) pkt.on_drop(/*queue_drop=*/false);
-    } else {
-      ++stats_.packets_delivered;
-      stats_.bytes_delivered += pkt.bytes;
-      const Timestamp arrival = loop_->now() + PropDelayNow();
-      loop_->ScheduleAt(arrival, [arrival, deliver = std::move(pkt.on_deliver)] {
-        deliver(arrival);
-      });
-    }
-    StartTransmission();
-  });
+void Link::FinishTransmission() {
+  Pending pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= pkt.bytes;
+  const bool lost =
+      config_.loss != nullptr && config_.loss->ShouldDrop(loop_->now(), rng_);
+  if (lost) {
+    ++stats_.packets_lost;
+    if (pkt.on_drop) pkt.on_drop(/*queue_drop=*/false);
+  } else {
+    ++stats_.packets_delivered;
+    stats_.bytes_delivered += pkt.bytes;
+    const Timestamp arrival = loop_->now() + PropDelayNow();
+    loop_->ScheduleAt(arrival, [arrival, deliver = std::move(pkt.on_deliver)]() mutable {
+      deliver(arrival);
+    });
+  }
+  StartTransmission();
 }
 
 }  // namespace converge

@@ -10,12 +10,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 
 #include "net/loss_model.h"
 #include "net/trace.h"
 #include "sim/event_loop.h"
+#include "util/inline_function.h"
 #include "util/random.h"
 
 namespace converge {
@@ -45,8 +45,13 @@ class Link {
     int64_t bytes_delivered = 0;
   };
 
-  using DeliverFn = std::function<void(Timestamp arrival)>;
-  using DropFn = std::function<void(bool queue_drop)>;
+  // Small-buffer-optimized so a delivery continuation carrying a whole
+  // RtpPacket stays allocation-free; sized to fit inside an EventLoop
+  // callback slot together with the arrival timestamp.
+  static constexpr size_t kDeliverInlineBytes =
+      EventLoop::kCallbackInlineBytes - 24;
+  using DeliverFn = InlineFunction<void(Timestamp), kDeliverInlineBytes>;
+  using DropFn = InlineFunction<void(bool), 48>;
 
   Link(EventLoop* loop, Config config, Random rng);
 
@@ -74,6 +79,7 @@ class Link {
 
   int64_t QueueLimitBytes() const;
   void StartTransmission();
+  void FinishTransmission();
 
   EventLoop* loop_;
   Config config_;

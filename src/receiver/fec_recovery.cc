@@ -20,10 +20,12 @@ void FecRecoverer::OnMediaPacket(const RtpPacket& packet) {
   // A new arrival may complete a pending parity group.
   for (auto it = pending_.begin(); it != pending_.end();) {
     bool relevant = false;
-    for (uint16_t s : it->packet.protected_seqs) {
-      if (s == packet.seq && it->packet.ssrc == packet.ssrc) {
-        relevant = true;
-        break;
+    if (it->packet.fec && it->packet.ssrc == packet.ssrc) {
+      for (const ProtectedPacketMeta& meta : it->packet.fec->covered) {
+        if (meta.seq == packet.seq) {
+          relevant = true;
+          break;
+        }
       }
     }
     if (relevant && TryRecover(it->packet)) {
@@ -46,9 +48,10 @@ void FecRecoverer::OnFecPacket(const RtpPacket& packet) {
 }
 
 bool FecRecoverer::TryRecover(const RtpPacket& fec) {
+  if (!fec.fec) return true;  // malformed parity: nothing recoverable
   int missing = 0;
   const ProtectedPacketMeta* missing_meta = nullptr;
-  for (const ProtectedPacketMeta& meta : fec.fec_meta) {
+  for (const ProtectedPacketMeta& meta : fec.fec->covered) {
     if (!seen_.count({fec.ssrc, meta.seq})) {
       ++missing;
       missing_meta = &meta;
@@ -62,7 +65,7 @@ bool FecRecoverer::TryRecover(const RtpPacket& fec) {
   seen_.insert({recovered.ssrc, recovered.seq});
   ++stats_.fec_used;
   ++stats_.packets_recovered;
-  on_recovered_(recovered);
+  on_recovered_(std::move(recovered));
   return true;
 }
 

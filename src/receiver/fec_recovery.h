@@ -27,7 +27,8 @@ class FecRecoverer {
   };
 
   // Recovered packets are delivered through this callback (marked via_fec).
-  using RecoveredCallback = std::function<void(const RtpPacket&)>;
+  // By value: the freshly rebuilt packet is moved out to the caller.
+  using RecoveredCallback = std::function<void(RtpPacket)>;
 
   explicit FecRecoverer(RecoveredCallback on_recovered);
 

@@ -8,8 +8,7 @@ namespace converge {
 PacketBuffer::PacketBuffer(Config config, FrameCallback on_frame)
     : config_(config), on_frame_(std::move(on_frame)) {}
 
-void PacketBuffer::Insert(const RtpPacket& packet, Timestamp arrival,
-                          PathId path) {
+void PacketBuffer::Insert(RtpPacket packet, Timestamp arrival, PathId path) {
   const int64_t useq = unwrappers_[packet.ssrc].Unwrap(packet.seq);
   const auto key = std::make_pair(packet.ssrc, useq);
   if (entries_.count(key)) {
@@ -19,13 +18,18 @@ void PacketBuffer::Insert(const RtpPacket& packet, Timestamp arrival,
   while (entries_.size() >= config_.capacity_packets) EvictOldest();
 
   ++stats_.inserted;
-  entries_.emplace(key, Entry{packet, arrival, path, next_insert_order_++});
+  const uint32_t ssrc = packet.ssrc;
+  const int stream_id = packet.stream_id;
+  const int64_t frame_id = packet.frame_id;
+  const bool first_in_frame = packet.first_in_frame;
+  const bool closes_frame = packet.marker || packet.last_in_frame;
+  entries_.emplace(
+      key, Entry{std::move(packet), arrival, path, next_insert_order_++});
 
-  FrameProgress& progress =
-      frames_[std::make_pair(packet.stream_id, packet.frame_id)];
-  if (packet.first_in_frame) progress.first_seq = useq;
-  if (packet.marker || packet.last_in_frame) progress.last_seq = useq;
-  TryAssemble(packet.ssrc, packet.stream_id, packet.frame_id);
+  FrameProgress& progress = frames_[std::make_pair(stream_id, frame_id)];
+  if (first_in_frame) progress.first_seq = useq;
+  if (closes_frame) progress.last_seq = useq;
+  TryAssemble(ssrc, stream_id, frame_id);
 }
 
 void PacketBuffer::TryAssemble(uint32_t ssrc, int stream_id,

@@ -53,8 +53,9 @@ class PacketBuffer {
   PacketBuffer(Config config, FrameCallback on_frame);
 
   // Inserts a media/PPS/SPS packet (FEC-recovered and RTX packets enter here
-  // too, already converted to their original form).
-  void Insert(const RtpPacket& packet, Timestamp arrival, PathId path);
+  // too, already converted to their original form). Takes the packet by
+  // value: callers on the hot receive path move it in.
+  void Insert(RtpPacket packet, Timestamp arrival, PathId path);
 
   // Frame-buffer instruction: drop all packets belonging to frames of
   // `stream` with frame_id <= `upto` (missing/purged frames, §2.1).

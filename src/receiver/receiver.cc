@@ -9,10 +9,11 @@ VideoReceiveStream::VideoReceiveStream(EventLoop* loop, Config config,
     : loop_(loop),
       config_(config),
       callbacks_(std::move(callbacks)),
-      fec_([this](const RtpPacket& recovered) {
+      fec_([this](RtpPacket recovered) {
         // Recovered packets rejoin the media pipeline with the original
         // arrival context (recovery happens upon the triggering arrival).
-        OnMediaLikePacket(recovered, current_arrival_, current_path_);
+        OnMediaLikePacket(std::move(recovered), current_arrival_,
+                          current_path_);
       }),
       packet_buffer_(config.packet_buffer,
                      [this](GatheredFrame&& gathered) {
@@ -44,8 +45,8 @@ VideoReceiveStream::VideoReceiveStream(EventLoop* loop, Config config,
           },
           [this](const AssembledFrame&) { RequestKeyframe(); }) {}
 
-void VideoReceiveStream::OnRtpPacket(const RtpPacket& packet,
-                                     Timestamp arrival, PathId path) {
+void VideoReceiveStream::OnRtpPacket(RtpPacket packet, Timestamp arrival,
+                                     PathId path) {
   ++packets_received_;
   current_arrival_ = arrival;
   current_path_ = path;
@@ -54,13 +55,13 @@ void VideoReceiveStream::OnRtpPacket(const RtpPacket& packet,
     fec_.OnFecPacket(packet);
     return;
   }
-  OnMediaLikePacket(packet, arrival, path);
+  OnMediaLikePacket(std::move(packet), arrival, path);
 }
 
-void VideoReceiveStream::OnMediaLikePacket(const RtpPacket& packet,
+void VideoReceiveStream::OnMediaLikePacket(RtpPacket packet,
                                            Timestamp arrival, PathId path) {
   if (!packet.via_fec) fec_.OnMediaPacket(packet);
-  packet_buffer_.Insert(packet, arrival, path);
+  packet_buffer_.Insert(std::move(packet), arrival, path);
 }
 
 void VideoReceiveStream::RequestKeyframe() {

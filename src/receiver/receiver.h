@@ -55,7 +55,8 @@ class VideoReceiveStream {
   VideoReceiveStream(EventLoop* loop, Config config, Callbacks callbacks);
 
   // Entry point for every RTP packet of this SSRC (any path, any kind).
-  void OnRtpPacket(const RtpPacket& packet, Timestamp arrival, PathId path);
+  // By value: the packet is moved through to the packet buffer.
+  void OnRtpPacket(RtpPacket packet, Timestamp arrival, PathId path);
 
   // Sender announcements.
   void OnSdesFrameRate(double fps) { qoe_monitor_.SetExpectedFps(fps); }
@@ -67,8 +68,7 @@ class VideoReceiveStream {
   const FrameBuffer& frame_buffer() const { return frame_buffer_; }
 
  private:
-  void OnMediaLikePacket(const RtpPacket& packet, Timestamp arrival,
-                         PathId path);
+  void OnMediaLikePacket(RtpPacket packet, Timestamp arrival, PathId path);
   void RequestKeyframe();
 
   EventLoop* loop_;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/path.h"
@@ -57,6 +58,15 @@ struct ProtectedPacketMeta {
   Timestamp capture_time;
 };
 
+// Recovery metadata of one FEC parity packet: the covered sequence numbers
+// and per-packet rebuild info. Built once by the encoder and shared,
+// immutable, by every copy of the parity packet (sender history, link
+// in-flight captures, receiver buffers) — copying an RtpPacket is a flat
+// memcpy plus a refcount bump, never a vector clone.
+struct FecBlockMeta {
+  std::vector<ProtectedPacketMeta> covered;
+};
+
 struct RtpPacket {
   // ---- standard RTP header fields ----
   uint32_t ssrc = 0;
@@ -93,8 +103,8 @@ struct RtpPacket {
 
   // ---- FEC metadata (valid when kind == kFec) ----
   int64_t fec_block = -1;
-  std::vector<uint16_t> protected_seqs;       // per-SSRC media seqs covered
-  std::vector<ProtectedPacketMeta> fec_meta;  // recovery info per covered seq
+  // Shared immutable recovery info; null on non-parity packets.
+  std::shared_ptr<const FecBlockMeta> fec;
 
   // ---- RTX metadata (set on retransmitted copies) ----
   // Which (path, per-path seq) hole this retransmission plugs, so the

@@ -1,6 +1,9 @@
 #include "session/call.h"
 
 #include <numeric>
+#include <utility>
+
+#include "util/parallel.h"
 
 #include "core/video_aware_scheduler.h"
 #include "fec/converge_fec_controller.h"
@@ -132,8 +135,8 @@ Call::Call(const CallConfig& config) : config_(config) {
   sender_ = std::make_unique<Sender>(
       &loop_, sconf, scheduler_.get(), fec_.get(), network_->path_ids(),
       rng.Fork(),
-      [this](PathId path, const RtpPacket& packet) {
-        TransmitRtp(path, packet);
+      [this](PathId path, RtpPacket packet) {
+        TransmitRtp(path, std::move(packet));
       },
       [this](PathId path, const RtcpPacket& packet) {
         TransmitRtcpForward(path, packet);
@@ -160,11 +163,14 @@ Call::Call(const CallConfig& config) : config_(config) {
 
 Call::~Call() = default;
 
-void Call::TransmitRtp(PathId path, const RtpPacket& packet) {
+void Call::TransmitRtp(PathId path, RtpPacket packet) {
+  const int64_t wire_bytes = packet.wire_size();
+  // The in-flight packet rides inside the link's inline delivery callback —
+  // no heap allocation per transmitted packet.
   network_->path(path).forward().Send(
-      packet.wire_size(),
-      [this, packet, path](Timestamp arrival) {
-        receiver_->OnRtpPacket(packet, arrival, path);
+      wire_bytes,
+      [this, packet = std::move(packet), path](Timestamp arrival) mutable {
+        receiver_->OnRtpPacket(std::move(packet), arrival, path);
       });
 }
 
@@ -267,15 +273,32 @@ double CallStats::AvgPsnrDb() const {
   return acc / static_cast<double>(streams.size());
 }
 
+std::vector<CallStats> RunCalls(const std::vector<CallConfig>& configs,
+                                int jobs) {
+  std::vector<CallStats> out(configs.size());
+  ParallelFor(
+      static_cast<int64_t>(configs.size()),
+      [&](int64_t i) {
+        // Each worker gets a private copy of the config: nothing a Call
+        // mutates can alias another worker's state.
+        CallConfig config = configs[static_cast<size_t>(i)];
+        Call call(config);
+        out[static_cast<size_t>(i)] = call.Run();
+      },
+      jobs);
+  return out;
+}
+
 std::vector<CallStats> RunSeeds(CallConfig config,
-                                const std::vector<uint64_t>& seeds) {
-  std::vector<CallStats> out;
+                                const std::vector<uint64_t>& seeds,
+                                int jobs) {
+  std::vector<CallConfig> configs;
+  configs.reserve(seeds.size());
   for (uint64_t seed : seeds) {
     config.seed = seed;
-    Call call(config);
-    out.push_back(call.Run());
+    configs.push_back(config);
   }
-  return out;
+  return RunCalls(configs, jobs);
 }
 
 }  // namespace converge

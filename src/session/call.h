@@ -102,7 +102,7 @@ class Call {
   const Network& network() const { return *network_; }
 
  private:
-  void TransmitRtp(PathId path, const RtpPacket& packet);
+  void TransmitRtp(PathId path, RtpPacket packet);
   void TransmitRtcpForward(PathId path, const RtcpPacket& packet);
   void TransmitRtcpBackward(PathId path, const RtcpPacket& packet);
 
@@ -116,9 +116,20 @@ class Call {
   std::unique_ptr<ReceiverEndpoint> receiver_;
 };
 
+// Runs one independent Call per config, fanned out across cores (each call
+// has its own EventLoop and seeded Random, so runs are embarrassingly
+// parallel), and returns results in input order — aggregation over the
+// returned vector is bit-identical however many workers ran. `jobs` <= 0
+// uses DefaultJobs() (CONVERGE_BENCH_JOBS / hardware_concurrency); 1 forces
+// the serial fallback.
+std::vector<CallStats> RunCalls(const std::vector<CallConfig>& configs,
+                                int jobs = 0);
+
 // Runs `seeds` repetitions of the same config (varying the seed) and returns
 // one CallStats per run — used by the table benches for mean ± stddev.
+// Seeds run in parallel (see RunCalls); results are in seed order.
 std::vector<CallStats> RunSeeds(CallConfig config,
-                                const std::vector<uint64_t>& seeds);
+                                const std::vector<uint64_t>& seeds,
+                                int jobs = 0);
 
 }  // namespace converge

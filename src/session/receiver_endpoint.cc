@@ -71,7 +71,7 @@ int ReceiverEndpoint::StreamIndexOf(uint32_t ssrc) const {
   return -1;
 }
 
-void ReceiverEndpoint::OnRtpPacket(const RtpPacket& packet, Timestamp arrival,
+void ReceiverEndpoint::OnRtpPacket(RtpPacket packet, Timestamp arrival,
                                    PathId path) {
   ++stats_.rtp_received;
   PathReceiveState& ps = path_state_[path];
@@ -124,9 +124,11 @@ void ReceiverEndpoint::OnRtpPacket(const RtpPacket& packet, Timestamp arrival,
 
   const int idx = StreamIndexOf(packet.ssrc);
   if (idx < 0) return;
-  streams_[static_cast<size_t>(idx)]->OnRtpPacket(packet, arrival, path);
+  const bool last_in_frame = packet.last_in_frame;
+  streams_[static_cast<size_t>(idx)]->OnRtpPacket(std::move(packet), arrival,
+                                                  path);
 
-  if (metrics_ != nullptr && packet.last_in_frame) {
+  if (metrics_ != nullptr && last_in_frame) {
     const auto& stream = *streams_[static_cast<size_t>(idx)];
     metrics_->OnFrameGatheredDelays(stream.qoe().last_fcd(),
                                     stream.frame_buffer().last_ifd());

@@ -50,8 +50,9 @@ class ReceiverEndpoint {
 
   void Start();
 
-  // Network delivery entry points.
-  void OnRtpPacket(const RtpPacket& packet, Timestamp arrival, PathId path);
+  // Network delivery entry points. RTP packets arrive by value and are moved
+  // through the stream pipeline into the packet buffer.
+  void OnRtpPacket(RtpPacket packet, Timestamp arrival, PathId path);
   void OnRtcpPacket(const RtcpPacket& packet, Timestamp arrival, PathId path);
 
   const Stats& stats() const { return stats_; }

@@ -212,7 +212,7 @@ void Sender::DispatchPacket(PathId path, RtpPacket packet) {
     if (path == fast) last_fast_packet_ = packet;
   }
 
-  transmit_rtp_(path, packet);
+  transmit_rtp_(path, std::move(packet));
 }
 
 void Sender::Tick() {

@@ -59,9 +59,8 @@ class Sender {
   };
 
   // Delivery of an RTP packet into the network. The Call wires this to the
-  // path's forward link.
-  using TransmitRtpFn =
-      std::function<void(PathId path, const RtpPacket& packet)>;
+  // path's forward link. By value: the sender moves its last reference in.
+  using TransmitRtpFn = std::function<void(PathId path, RtpPacket packet)>;
   // Sender-originated RTCP (SR / SDES) toward the receiver.
   using TransmitRtcpFn =
       std::function<void(PathId path, const RtcpPacket& packet)>;

@@ -1,13 +1,27 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 namespace converge {
 
+uint32_t EventLoop::AcquireSlot(Callback cb) {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(cb);
+    return slot;
+  }
+  slots_.push_back(std::move(cb));
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
 void EventLoop::ScheduleAt(Timestamp at, Callback cb) {
   if (at < now_) at = now_;
-  queue_.push(Event{at, next_seq_++, std::move(cb)});
+  const uint32_t slot = AcquireSlot(std::move(cb));
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventLoop::ScheduleIn(Duration delay, Callback cb) {
@@ -15,13 +29,18 @@ void EventLoop::ScheduleIn(Duration delay, Callback cb) {
 }
 
 void EventLoop::RunUntil(Timestamp end) {
-  while (!queue_.empty() && queue_.top().at <= end) {
-    // Copy out before pop: the callback may schedule more events.
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.at;
+  while (!heap_.empty() && heap_.front().at <= end) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    const HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    // Move the callback out before running it: the callback may schedule
+    // more events, which can reuse the slot.
+    Callback cb = std::move(slots_[entry.slot]);
+    slots_[entry.slot] = nullptr;
+    free_slots_.push_back(entry.slot);
+    now_ = entry.at;
     ++executed_;
-    ev.cb();
+    cb();
   }
   if (end.IsFinite() && now_ < end) now_ = end;
 }
@@ -50,7 +69,10 @@ void RepeatingTask::Arm() {
     auto alive = weak.lock();
     if (!alive || !*alive) return;
     tick_();
-    Arm();
+    // The tick may have stopped or destroyed the task; `alive` (a strong
+    // ref to the flag) outlives the object, so check it before touching
+    // `this` again.
+    if (*alive) Arm();
   });
 }
 

@@ -3,21 +3,32 @@
 // Single-threaded, deterministic: events at the same timestamp run in the
 // order they were scheduled (stable tie-break by insertion sequence). All
 // Converge components take an `EventLoop*` and never read wall-clock time.
+//
+// Steady-state scheduling is allocation-free: callbacks are stored in a
+// small-buffer-optimized InlineFunction (big enough for an in-flight
+// RtpPacket capture) inside a recycled slot array, and the ready queue is a
+// flat binary heap of 24-byte (timestamp, seq, slot) entries — no
+// std::function heap spill, no per-event node allocation, and heap sifts
+// move tiny entries instead of whole callbacks.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "util/inline_function.h"
 #include "util/time.h"
 
 namespace converge {
 
 class EventLoop {
  public:
-  using Callback = std::function<void()>;
+  // Sized so the largest hot-path capture — a link-delivery continuation
+  // carrying an RtpPacket by value — stays inline. Oversized captures still
+  // work; they fall back to the heap inside InlineFunction.
+  static constexpr size_t kCallbackInlineBytes = 192;
+  using Callback = InlineFunction<void(), kCallbackInlineBytes>;
 
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
@@ -36,30 +47,36 @@ class EventLoop {
   // Run until the queue drains entirely.
   void RunAll();
 
-  size_t pending_events() const { return queue_.size(); }
+  size_t pending_events() const { return heap_.size(); }
   int64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
+  struct HeapEntry {
     Timestamp at;
     int64_t seq;
-    Callback cb;
+    uint32_t slot;
   };
+  // Min-heap on (at, seq) expressed as std::*_heap's max-heap of "later".
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
 
+  uint32_t AcquireSlot(Callback cb);
+
   Timestamp now_ = Timestamp::Zero();
   int64_t next_seq_ = 0;
   int64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<HeapEntry> heap_;
+  std::vector<Callback> slots_;
+  std::vector<uint32_t> free_slots_;
 };
 
 // Repeating timer helper: invokes `tick` every `period` until cancelled or
-// the owning loop stops running. Cancel by destroying the handle.
+// the owning loop stops running. Cancel by destroying the handle; calling
+// Stop() from inside the tick itself is safe — the task will not re-arm.
 class RepeatingTask {
  public:
   RepeatingTask(EventLoop* loop, Duration period, std::function<void()> tick);

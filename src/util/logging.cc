@@ -13,6 +13,7 @@ void Logger::Write(LogLevel level, const std::string& msg) {
   static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
   const int idx = static_cast<int>(level);
   if (idx < 0 || idx > 4) return;
+  std::lock_guard<std::mutex> lock(write_mutex_);
   std::fprintf(stderr, "[%s] %s\n", kNames[idx], msg.c_str());
 }
 

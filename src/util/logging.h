@@ -1,7 +1,13 @@
 // Minimal leveled logging. Off by default so benchmark output stays clean;
 // tests and examples can raise the level.
+//
+// The singleton is shared by every simulation running under the parallel
+// bench driver, so the level is atomic and writes are serialized — lines
+// from concurrent seeds interleave whole, never mid-line.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -13,14 +19,17 @@ class Logger {
  public:
   static Logger& Get();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
-  bool Enabled(LogLevel level) const { return level >= level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool Enabled(LogLevel level) const { return level >= this->level(); }
   void Write(LogLevel level, const std::string& msg);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarning;
+  std::atomic<LogLevel> level_ = LogLevel::kWarning;
+  std::mutex write_mutex_;
 };
 
 namespace logging_internal {

@@ -1,0 +1,106 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace converge {
+namespace {
+
+int ComputeDefaultJobs() {
+  if (const char* env = std::getenv("CONVERGE_BENCH_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// Global helper-thread budget shared by every concurrent/nested loop. The
+// caller thread is free; only helpers consume permits, so total live threads
+// stay near DefaultJobs() no matter how loops nest.
+class ThreadBudget {
+ public:
+  static ThreadBudget& Get() {
+    static ThreadBudget budget;
+    return budget;
+  }
+
+  int TryAcquire(int want) {
+    int avail = available_.load(std::memory_order_relaxed);
+    while (avail > 0) {
+      const int take = want < avail ? want : avail;
+      if (available_.compare_exchange_weak(avail, avail - take,
+                                           std::memory_order_relaxed)) {
+        return take;
+      }
+    }
+    return 0;
+  }
+
+  void Release(int n) { available_.fetch_add(n, std::memory_order_relaxed); }
+
+ private:
+  ThreadBudget() : available_(DefaultJobs() - 1) {}
+  std::atomic<int> available_;
+};
+
+}  // namespace
+
+int DefaultJobs() {
+  static const int jobs = ComputeDefaultJobs();
+  return jobs;
+}
+
+ThreadPool::ThreadPool(int jobs)
+    : jobs_(jobs > 0 ? jobs : DefaultJobs()), explicit_size_(jobs > 0) {}
+
+void ThreadPool::ParallelFor(int64_t n,
+                             const std::function<void(int64_t)>& body) const {
+  if (n <= 0) return;
+  const int64_t max_helpers = static_cast<int64_t>(jobs_) - 1;
+  int64_t want = max_helpers < n - 1 ? max_helpers : n - 1;
+  if (want < 0) want = 0;
+  int granted = 0;
+  if (want > 0) {
+    granted = explicit_size_
+                  ? static_cast<int>(want)
+                  : ThreadBudget::Get().TryAcquire(static_cast<int>(want));
+  }
+
+  if (granted == 0) {
+    for (int64_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<int64_t> next(0);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> helpers;
+  helpers.reserve(static_cast<size_t>(granted));
+  for (int t = 0; t < granted; ++t) helpers.emplace_back(worker);
+  worker();  // The caller always participates.
+  for (std::thread& h : helpers) h.join();
+  if (!explicit_size_) ThreadBudget::Get().Release(granted);
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace converge

@@ -1,0 +1,56 @@
+// Parallel execution of independent work items (the multi-seed / multi-cell
+// bench sweeps). Every simulated call is a self-contained deterministic
+// island (own EventLoop, own seeded Random), so fanning calls across threads
+// changes nothing about the results as long as the reduction happens in a
+// fixed order — ParallelFor guarantees item i's effects land wherever the
+// body writes for index i, and callers reduce serially in index order.
+//
+// Concurrency model: ParallelFor spawns helper threads for the duration of
+// one loop and the calling thread always participates, so nested loops (a
+// bench fanning out table cells whose bodies fan out seeds) can never
+// deadlock — the innermost caller just runs its own indices. A global permit
+// budget of DefaultJobs()-1 helpers keeps nesting from oversubscribing the
+// machine. CONVERGE_BENCH_JOBS=1 (or a single-core host) disables threading
+// entirely and every loop runs serially on the caller.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace converge {
+
+// Worker parallelism: CONVERGE_BENCH_JOBS if set (>0), else
+// std::thread::hardware_concurrency(). Cached after the first call.
+int DefaultJobs();
+
+class ThreadPool {
+ public:
+  // Spawns nothing up front; `jobs` bounds workers per loop. <=0 means
+  // DefaultJobs(), in which case helper threads are rationed by the global
+  // permit budget; an explicit positive `jobs` is authoritative and always
+  // gets its jobs-1 helpers (tests rely on this to force real concurrency).
+  explicit ThreadPool(int jobs = 0);
+
+  int jobs() const { return jobs_; }
+
+  // Runs body(i) for i in [0, n). Blocks until every index finished; the
+  // caller executes indices itself alongside up to jobs()-1 helpers. The
+  // first exception thrown by any body is rethrown here after the loop
+  // drains. For budget-rationed pools, helper threads beyond the global
+  // permit budget are not spawned (the loop still completes on the caller),
+  // so nested ParallelFor calls degrade gracefully instead of multiplying
+  // threads.
+  void ParallelFor(int64_t n, const std::function<void(int64_t)>& body) const;
+
+ private:
+  int jobs_;
+  bool explicit_size_;
+};
+
+// Convenience: one loop on a pool of `jobs` workers (<=0 → DefaultJobs()).
+inline void ParallelFor(int64_t n, const std::function<void(int64_t)>& body,
+                        int jobs = 0) {
+  ThreadPool(jobs).ParallelFor(n, body);
+}
+
+}  // namespace converge

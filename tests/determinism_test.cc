@@ -1,0 +1,158 @@
+// Regression tests for the parallel multi-seed driver: fanning seeded calls
+// across worker threads must be invisible in the results. Every comparison
+// here is exact (==, not near): each Call is an isolated deterministic
+// island (own EventLoop, own seeded Random), so the parallel run is the
+// same arithmetic in a different order of wall-clock time, not a different
+// computation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/loss_model.h"
+#include "session/call.h"
+
+namespace converge {
+namespace {
+
+std::vector<PathSpec> TwoLossyPaths() {
+  PathSpec a;
+  a.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(6));
+  a.prop_delay = Duration::Millis(20);
+  a.loss = std::make_shared<BernoulliLoss>(0.01);
+  PathSpec b = a;
+  b.prop_delay = Duration::Millis(50);
+  return {a, b};
+}
+
+CallConfig ShortConvergeCall() {
+  CallConfig config;
+  config.variant = Variant::kConverge;
+  config.paths = TwoLossyPaths();
+  config.duration = Duration::Seconds(6);
+  config.seed = 7;
+  return config;
+}
+
+void ExpectBitIdentical(const CallStats& a, const CallStats& b) {
+  // Scalar counters and derived doubles. Doubles compare with ==: identical
+  // operations in identical order must give identical bit patterns.
+  EXPECT_EQ(a.media_packets_sent, b.media_packets_sent);
+  EXPECT_EQ(a.fec_packets_sent, b.fec_packets_sent);
+  EXPECT_EQ(a.rtx_packets_sent, b.rtx_packets_sent);
+  EXPECT_EQ(a.frames_encoded, b.frames_encoded);
+  EXPECT_EQ(a.fec_recovered_packets, b.fec_recovered_packets);
+  EXPECT_EQ(a.total_frame_drops, b.total_frame_drops);
+  EXPECT_EQ(a.total_keyframe_requests, b.total_keyframe_requests);
+  EXPECT_EQ(a.fec_overhead, b.fec_overhead);
+  EXPECT_EQ(a.fec_utilization, b.fec_utilization);
+
+  // Per-stream QoE, field by field.
+  ASSERT_EQ(a.streams.size(), b.streams.size());
+  for (size_t i = 0; i < a.streams.size(); ++i) {
+    const StreamQoe& x = a.streams[i];
+    const StreamQoe& y = b.streams[i];
+    EXPECT_EQ(x.avg_fps, y.avg_fps);
+    EXPECT_EQ(x.freeze_total_ms, y.freeze_total_ms);
+    EXPECT_EQ(x.freeze_count, y.freeze_count);
+    EXPECT_EQ(x.e2e_mean_ms, y.e2e_mean_ms);
+    EXPECT_EQ(x.e2e_p95_ms, y.e2e_p95_ms);
+    EXPECT_EQ(x.e2e_std_ms, y.e2e_std_ms);
+    EXPECT_EQ(x.tput_mbps, y.tput_mbps);
+    EXPECT_EQ(x.received_mbps, y.received_mbps);
+    EXPECT_EQ(x.qp_mean, y.qp_mean);
+    EXPECT_EQ(x.psnr_mean_db, y.psnr_mean_db);
+    EXPECT_EQ(x.frames_decoded, y.frames_decoded);
+    EXPECT_EQ(x.frame_drops, y.frame_drops);
+    EXPECT_EQ(x.keyframe_requests, y.keyframe_requests);
+  }
+
+  // Full per-second time series.
+  ASSERT_EQ(a.time_series.size(), b.time_series.size());
+  for (size_t i = 0; i < a.time_series.size(); ++i) {
+    const SecondSample& x = a.time_series[i];
+    const SecondSample& y = b.time_series[i];
+    EXPECT_EQ(x.t_s, y.t_s);
+    EXPECT_EQ(x.tput_mbps, y.tput_mbps);
+    EXPECT_EQ(x.fps, y.fps);
+    EXPECT_EQ(x.e2e_ms, y.e2e_ms);
+    EXPECT_EQ(x.ifd_ms, y.ifd_ms);
+    EXPECT_EQ(x.fcd_ms, y.fcd_ms);
+  }
+}
+
+TEST(DeterminismRegressionTest, SameConfigSameSeedBitIdentical) {
+  const CallConfig config = ShortConvergeCall();
+  Call first(config);
+  const CallStats s1 = first.Run();
+  Call second(config);
+  const CallStats s2 = second.Run();
+  ExpectBitIdentical(s1, s2);
+}
+
+// The core promise of the parallel driver: running the same seed sweep on 4
+// workers and on the serial fallback yields byte-for-byte the same results
+// in the same order.
+TEST(DeterminismRegressionTest, RunSeedsParallelMatchesSerial) {
+  const CallConfig config = ShortConvergeCall();
+  const std::vector<uint64_t> seeds = {11, 12, 13};
+  const std::vector<CallStats> serial = RunSeeds(config, seeds, /*jobs=*/1);
+  const std::vector<CallStats> parallel = RunSeeds(config, seeds, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    ExpectBitIdentical(serial[i], parallel[i]);
+  }
+}
+
+// Same check one level up: RunMany's reduced Aggregate (the numbers every
+// table bench prints) is bit-identical across worker counts, because the
+// RunningStat reduction happens serially in seed order either way.
+TEST(DeterminismRegressionTest, RunManyParallelMatchesSerial) {
+  CallConfig base;
+  base.variant = Variant::kConverge;
+  base.duration = Duration::Seconds(6);
+  auto paths = [](uint64_t) { return TwoLossyPaths(); };
+
+  const bench::Aggregate serial = bench::RunMany(base, paths, 3, /*jobs=*/1);
+  const bench::Aggregate parallel = bench::RunMany(base, paths, 3, /*jobs=*/4);
+
+  auto expect_stat_eq = [](const RunningStat& x, const RunningStat& y) {
+    EXPECT_EQ(x.count(), y.count());
+    EXPECT_EQ(x.mean(), y.mean());
+    EXPECT_EQ(x.stddev(), y.stddev());
+    EXPECT_EQ(x.min(), y.min());
+    EXPECT_EQ(x.max(), y.max());
+  };
+  expect_stat_eq(serial.fps, parallel.fps);
+  expect_stat_eq(serial.freeze_ms, parallel.freeze_ms);
+  expect_stat_eq(serial.e2e_ms, parallel.e2e_ms);
+  expect_stat_eq(serial.tput_mbps, parallel.tput_mbps);
+  expect_stat_eq(serial.qp, parallel.qp);
+  expect_stat_eq(serial.psnr_db, parallel.psnr_db);
+  expect_stat_eq(serial.frame_drops, parallel.frame_drops);
+  expect_stat_eq(serial.keyframe_requests, parallel.keyframe_requests);
+  expect_stat_eq(serial.fec_overhead, parallel.fec_overhead);
+  expect_stat_eq(serial.fec_utilization, parallel.fec_utilization);
+}
+
+// Mixed configs through RunCalls keep input order regardless of which
+// worker finishes first.
+TEST(DeterminismRegressionTest, RunCallsPreservesInputOrder) {
+  CallConfig base = ShortConvergeCall();
+  std::vector<CallConfig> configs;
+  for (int streams = 1; streams <= 3; ++streams) {
+    CallConfig c = base;
+    c.num_streams = streams;
+    configs.push_back(c);
+  }
+  const std::vector<CallStats> out = RunCalls(configs, /*jobs=*/3);
+  ASSERT_EQ(out.size(), 3u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].streams.size(), i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace converge

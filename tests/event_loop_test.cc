@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -26,6 +28,66 @@ TEST(EventLoopTest, StableTieBreakByInsertion) {
   }
   loop.RunAll();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+// The flat binary heap is not inherently stable, so FIFO order among
+// same-timestamp events relies entirely on the (at, seq) composite key.
+// Stress it well past any small-case luck: many batches, each with many
+// events at the same instant, interleaved with earlier/later noise.
+TEST(EventLoopTest, SameTimestampFifoAtScale) {
+  EventLoop loop;
+  std::vector<int> order;
+  constexpr int kBatches = 50;
+  constexpr int kPerBatch = 64;
+  // Schedule batches in a deliberately shuffled timestamp order so heap
+  // sift paths get exercised; within a timestamp, insertion order must win.
+  for (int b = kBatches - 1; b >= 0; --b) {
+    for (int i = 0; i < kPerBatch; ++i) {
+      loop.ScheduleAt(Timestamp::Millis(b),
+                      [&order, b, i] { order.push_back(b * kPerBatch + i); });
+    }
+  }
+  loop.RunAll();
+  ASSERT_EQ(order.size(), static_cast<size_t>(kBatches * kPerBatch));
+  // Timestamps globally ascend; within each timestamp, insertion order holds
+  // (batches were inserted high-to-low, so each batch's block is FIFO).
+  for (int b = 0; b < kBatches; ++b) {
+    for (int i = 0; i < kPerBatch; ++i) {
+      EXPECT_EQ(order[static_cast<size_t>(b * kPerBatch + i)],
+                b * kPerBatch + i);
+    }
+  }
+}
+
+// Callbacks larger than the inline buffer must still work (heap fallback).
+TEST(EventLoopTest, OversizedCallbackFallsBackToHeap) {
+  EventLoop loop;
+  std::array<uint64_t, 64> big{};  // 512 bytes: over kCallbackInlineBytes
+  for (size_t i = 0; i < big.size(); ++i) big[i] = i * 3 + 1;
+  uint64_t sum = 0;
+  loop.ScheduleAt(Timestamp::Millis(1), [big, &sum] {
+    for (uint64_t v : big) sum += v;
+  });
+  loop.RunAll();
+  uint64_t want = 0;
+  for (size_t i = 0; i < big.size(); ++i) want += i * 3 + 1;
+  EXPECT_EQ(sum, want);
+}
+
+// Callback slots are recycled; scheduling from inside a callback while the
+// heap churns must never corrupt pending entries.
+TEST(EventLoopTest, SlotRecyclingUnderChurn) {
+  EventLoop loop;
+  int executed = 0;
+  std::function<void(int)> spawn = [&](int depth) {
+    ++executed;
+    if (depth >= 200) return;
+    loop.ScheduleIn(Duration::Micros(7), [&, depth] { spawn(depth + 1); });
+    loop.ScheduleIn(Duration::Micros(13), [&] { ++executed; });
+  };
+  loop.ScheduleAt(Timestamp::Zero(), [&] { spawn(0); });
+  loop.RunAll();
+  EXPECT_EQ(executed, 201 + 200);  // spawn at depths 0..200 + 200 side events
 }
 
 TEST(EventLoopTest, NowAdvancesWithEvents) {
@@ -86,6 +148,19 @@ TEST(RepeatingTaskTest, StopCancelsFutureTicks) {
                                               [&] { ++ticks; });
   loop.ScheduleAt(Timestamp::Millis(35), [&] { task->Stop(); });
   loop.RunUntil(Timestamp::Millis(200));
+  EXPECT_EQ(ticks, 3);
+}
+
+// Stopping from inside the tick itself must prevent the re-arm: the tick
+// lambda re-checks aliveness after running the user callback.
+TEST(RepeatingTaskTest, StopFromInsideTickCancels) {
+  EventLoop loop;
+  int ticks = 0;
+  std::unique_ptr<RepeatingTask> task;
+  task = std::make_unique<RepeatingTask>(&loop, Duration::Millis(10), [&] {
+    if (++ticks == 3) task->Stop();
+  });
+  loop.RunUntil(Timestamp::Millis(500));
   EXPECT_EQ(ticks, 3);
 }
 

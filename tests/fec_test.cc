@@ -30,6 +30,16 @@ std::vector<const RtpPacket*> Ptrs(const std::vector<RtpPacket>& v) {
   return out;
 }
 
+std::vector<uint16_t> ProtectedSeqs(const RtpPacket& parity) {
+  std::vector<uint16_t> out;
+  if (parity.fec) {
+    for (const ProtectedPacketMeta& meta : parity.fec->covered) {
+      out.push_back(meta.seq);
+    }
+  }
+  return out;
+}
+
 TEST(XorFecTest, GeneratesRequestedParityCount) {
   const auto media = MakeMedia(10);
   const auto parity = XorFecEncoder::Generate(Ptrs(media), 3, 42);
@@ -38,13 +48,13 @@ TEST(XorFecTest, GeneratesRequestedParityCount) {
     EXPECT_EQ(f.kind, PayloadKind::kFec);
     EXPECT_EQ(f.priority, Priority::kFec);
     EXPECT_EQ(f.fec_block, 42);
-    EXPECT_FALSE(f.protected_seqs.empty());
-    EXPECT_EQ(f.protected_seqs.size(), f.fec_meta.size());
+    ASSERT_NE(f.fec, nullptr);
+    EXPECT_FALSE(f.fec->covered.empty());
   }
   // Interleaved groups: parity g covers seqs {g, g+3, g+6, ...}.
-  EXPECT_EQ(parity[0].protected_seqs, (std::vector<uint16_t>{0, 3, 6, 9}));
-  EXPECT_EQ(parity[1].protected_seqs, (std::vector<uint16_t>{1, 4, 7}));
-  EXPECT_EQ(parity[2].protected_seqs, (std::vector<uint16_t>{2, 5, 8}));
+  EXPECT_EQ(ProtectedSeqs(parity[0]), (std::vector<uint16_t>{0, 3, 6, 9}));
+  EXPECT_EQ(ProtectedSeqs(parity[1]), (std::vector<uint16_t>{1, 4, 7}));
+  EXPECT_EQ(ProtectedSeqs(parity[2]), (std::vector<uint16_t>{2, 5, 8}));
 }
 
 TEST(XorFecTest, EveryMediaPacketCoveredExactlyOnce) {
@@ -52,7 +62,7 @@ TEST(XorFecTest, EveryMediaPacketCoveredExactlyOnce) {
   const auto parity = XorFecEncoder::Generate(Ptrs(media), 4, 0);
   std::map<uint16_t, int> coverage;
   for (const auto& f : parity) {
-    for (uint16_t s : f.protected_seqs) ++coverage[s];
+    for (uint16_t s : ProtectedSeqs(f)) ++coverage[s];
   }
   EXPECT_EQ(coverage.size(), 17u);
   for (const auto& [seq, n] : coverage) EXPECT_EQ(n, 1);

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace converge {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](int64_t i) { hits[i].fetch_add(1); }, /*jobs=*/4);
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, ResultsLandAtTheirIndex) {
+  constexpr int64_t kN = 512;
+  std::vector<int64_t> out(kN, -1);
+  ParallelFor(kN, [&](int64_t i) { out[i] = i * i; }, /*jobs=*/4);
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelForTest, ZeroAndNegativeCountsAreNoOps) {
+  int calls = 0;
+  ParallelFor(0, [&](int64_t) { ++calls; }, /*jobs=*/4);
+  ParallelFor(-5, [&](int64_t) { ++calls; }, /*jobs=*/4);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleJobRunsSeriallyInOrder) {
+  std::vector<int64_t> order;
+  // jobs=1 must take the serial path: in-order on the calling thread.
+  ParallelFor(100, [&](int64_t i) { order.push_back(i); }, /*jobs=*/1);
+  ASSERT_EQ(order.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelForTest, ExplicitJobsSpawnRealHelpers) {
+  // An explicit pool size must give real helper threads even on a
+  // single-core host (the determinism tests rely on jobs=4 actually racing).
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  ParallelFor(
+      64,
+      [&](int64_t) {
+        // Slow the body down so helper threads get scheduled before the
+        // caller can drain the whole range (matters on few-core hosts).
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      },
+      /*jobs=*/4);
+  EXPECT_GT(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 4u);
+}
+
+TEST(ParallelForTest, FirstExceptionPropagatesAfterDrain) {
+  std::atomic<int> completed(0);
+  EXPECT_THROW(
+      ParallelFor(
+          100,
+          [&](int64_t i) {
+            if (i == 17) throw std::runtime_error("boom");
+            completed.fetch_add(1);
+          },
+          /*jobs=*/4),
+      std::runtime_error);
+  // The loop drains: every non-throwing index still ran.
+  EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ParallelForTest, NestedLoopsComplete) {
+  // Outer cells each fan out an inner loop — the shape every table bench
+  // now has. Must finish without deadlock and cover the full grid.
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 32;
+  std::vector<std::vector<int>> grid(kOuter, std::vector<int>(kInner, 0));
+  ParallelFor(
+      kOuter,
+      [&](int64_t o) {
+        ParallelFor(
+            kInner, [&](int64_t i) { grid[o][i] = 1; }, /*jobs=*/2);
+      },
+      /*jobs=*/4);
+  for (const auto& row : grid) {
+    EXPECT_EQ(std::accumulate(row.begin(), row.end(), 0), kInner);
+  }
+}
+
+TEST(ParallelForTest, DefaultJobsIsPositive) {
+  EXPECT_GE(DefaultJobs(), 1);
+  ThreadPool pool;
+  EXPECT_EQ(pool.jobs(), DefaultJobs());
+  ThreadPool sized(3);
+  EXPECT_EQ(sized.jobs(), 3);
+}
+
+}  // namespace
+}  // namespace converge
