@@ -1,8 +1,26 @@
 #include "cc/gcc.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/invariants.h"
 
 namespace converge {
+namespace {
+
+// Shared by both feedback entry points: the combined estimate must stay
+// inside the configured envelope or the encoder/scheduler see garbage rates.
+void CheckRateEnvelope(const GccController::Config& config, DataRate rate,
+                       Timestamp now) {
+  CONVERGE_INVARIANT(
+      "GccController", now,
+      rate >= config.min_rate && rate <= config.max_rate,
+      "target=" + std::to_string(rate.bps()) +
+          "bps min=" + std::to_string(config.min_rate.bps()) +
+          " max=" + std::to_string(config.max_rate.bps()));
+}
+
+}  // namespace
 
 GccController::GccController() : GccController(Config{}) {}
 
@@ -23,6 +41,7 @@ void GccController::OnTransportFeedback(
   }
   goodput_ = acked_rate_.Rate(now);
   aimd_.Update(trendline_.State(), goodput_, now);
+  CheckRateEnvelope(config_, target_rate(), now);
 }
 
 void GccController::OnReceiverReport(double fraction_lost, Duration rtt,
@@ -36,6 +55,9 @@ void GccController::OnReceiverReport(double fraction_lost, Duration rtt,
   if (loss_.rate() < aimd_.rate() && fraction_lost < 0.02) {
     loss_.SetRate(std::max(loss_.rate(), aimd_.rate()));
   }
+  CheckRateEnvelope(config_, target_rate(), now);
+  CONVERGE_INVARIANT("GccController", now, srtt_ > Duration::Zero(),
+                     "srtt=" + std::to_string(srtt_.us()) + "us");
 }
 
 DataRate GccController::target_rate() const {

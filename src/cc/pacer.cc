@@ -1,7 +1,10 @@
 #include "cc/pacer.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -80,6 +83,17 @@ void Pacer::Process() {
     // Do not accumulate idle budget beyond one burst.
     budget_bytes_ = std::min(budget_bytes_, 3000.0);
   }
+
+  CONVERGE_INVARIANT("Pacer", now, queued_bytes_ >= 0,
+                     "queued_bytes=" + std::to_string(queued_bytes_));
+  CONVERGE_INVARIANT(
+      "Pacer", now,
+      !(queue_.empty() && high_queue_.empty()) || queued_bytes_ == 0,
+      "empty queues but queued_bytes=" + std::to_string(queued_bytes_));
+  CONVERGE_INVARIANT(
+      "Pacer", now, budget_bytes_ <= static_cast<double>(config_.max_burst_bytes),
+      "budget=" + std::to_string(budget_bytes_) +
+          " max_burst=" + std::to_string(config_.max_burst_bytes));
 }
 
 }  // namespace converge

@@ -1,8 +1,10 @@
 #include "core/path_manager.h"
 
 #include <algorithm>
+#include <string>
 
 #include "schedulers/path_stats.h"
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -48,6 +50,11 @@ void PathManager::MaybeReenable(const std::vector<PathInfo>& paths,
     }
     ++it;
   }
+  // Every re-enable is paired with an earlier disable; a mismatch means the
+  // disabled set and its counters have diverged.
+  CONVERGE_INVARIANT("PathManager", now, reenables_ <= disables_,
+                     "reenables=" + std::to_string(reenables_) +
+                         " disables=" + std::to_string(disables_));
 }
 
 std::vector<PathId> PathManager::ProbeDue(Timestamp now) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "schedulers/path_stats.h"
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -211,6 +213,11 @@ std::vector<PathId> VideoAwareScheduler::AssignFrame(
   std::map<PathId, int> assigned_count;
   for (PathId id : out) {
     if (id != kInvalidPathId) ++assigned_count[id];
+    // Checked before this round's zero-assignment disables below: at this
+    // point every target must still be in the active set.
+    CONVERGE_INVARIANT("VideoAwareScheduler", last_tick_,
+                       id == kInvalidPathId || path_manager_.IsActive(id),
+                       "assigned inactive path " + std::to_string(id));
   }
   for (const PathInfo& p : active) {
     if (assigned_count[p.id] == 0 && p.id != fast && active.size() > 1) {

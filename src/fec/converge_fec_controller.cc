@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -25,6 +28,16 @@ int ConvergeFecController::NumFecPackets(int media_packets, FrameKind kind,
   st.credit -= fec;
   // Cap carried credit: a long lossless stretch should not bank protection.
   st.credit = std::min(st.credit, 2.0);
+  // §4.3 overhead cap: never more parity than media, beta stays in its band.
+  // The controller has no clock; FormatTime renders this as "no-sim-time".
+  CONVERGE_INVARIANT("ConvergeFec", Timestamp::MinusInfinity(),
+                     fec >= 0 && fec <= media_packets,
+                     "fec=" + std::to_string(fec) +
+                         " media=" + std::to_string(media_packets));
+  CONVERGE_INVARIANT("ConvergeFec", Timestamp::MinusInfinity(),
+                     st.beta >= 1.0 && st.beta <= config_.max_beta,
+                     "beta=" + std::to_string(st.beta) +
+                         " max_beta=" + std::to_string(config_.max_beta));
   return fec;
 }
 

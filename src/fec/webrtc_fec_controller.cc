@@ -1,8 +1,10 @@
 #include "fec/webrtc_fec_controller.h"
 
 #include <cmath>
+#include <string>
 
 #include "fec/fec_tables.h"
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -15,6 +17,14 @@ int WebRtcFecController::NumFecPackets(int media_packets, FrameKind kind,
   credit += factor * static_cast<double>(media_packets);
   const int fec = static_cast<int>(std::floor(credit));
   credit -= fec;
+  // The protection tables top out at 0.8 (with keyframe doubling already
+  // capped), and carried credit stays below one packet — so parity can never
+  // exceed 80% of the media plus the fractional carry.
+  CONVERGE_INVARIANT(
+      "WebRtcFec", Timestamp::MinusInfinity(),
+      fec >= 0 && fec <= static_cast<int>(0.8 * media_packets) + 1,
+      "fec=" + std::to_string(fec) +
+          " media=" + std::to_string(media_packets));
   return fec;
 }
 

@@ -6,12 +6,18 @@
 // bytes / capacity(now); queued packets wait behind it. The queue is bounded
 // either by a fixed byte budget or by `max_queue_delay` worth of bytes at the
 // current capacity, whichever the config selects.
+//
+// The ingress (Send) and the instantaneous capacity / propagation delay are
+// virtual so a decorator can inject faults without touching callers: see
+// FaultyLink in net/fault_injector.h, which MakeLink() substitutes whenever
+// the config carries a non-empty FaultPlan.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <memory>
 
+#include "net/fault_plan.h"
 #include "net/loss_model.h"
 #include "net/trace.h"
 #include "sim/event_loop.h"
@@ -35,12 +41,16 @@ class Link {
     Duration max_queue_delay = Duration::Millis(250);
     int64_t min_queue_bytes = 30'000;
     std::shared_ptr<LossModel> loss;  // null => lossless
+    // Scripted fault events layered on top of the organic capacity/loss
+    // model. The base Link ignores it; MakeLink() (net/fault_injector.h)
+    // returns a FaultyLink when the plan is non-empty.
+    FaultPlan faults;
   };
 
   struct Stats {
     int64_t packets_sent = 0;
     int64_t packets_delivered = 0;
-    int64_t packets_lost = 0;        // random loss at egress
+    int64_t packets_lost = 0;        // random + fault-injected loss
     int64_t packets_queue_dropped = 0;
     int64_t bytes_delivered = 0;
   };
@@ -54,12 +64,27 @@ class Link {
   using DropFn = InlineFunction<void(bool), 48>;
 
   Link(EventLoop* loop, Config config, Random rng);
+  virtual ~Link() = default;
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
 
-  // Enqueue `bytes` for transmission. Exactly one of the callbacks fires.
-  void Send(int64_t bytes, DeliverFn on_deliver, DropFn on_drop = nullptr);
+  // Enqueue `bytes` for transmission. Exactly one of the callbacks fires
+  // per copy (see SendCopies for duplication faults).
+  virtual void Send(int64_t bytes, DeliverFn on_deliver,
+                    DropFn on_drop = nullptr);
 
-  DataRate CapacityNow() const { return config_.capacity.CapacityAt(loop_->now()); }
-  Duration PropDelayNow() const {
+  // How many copies of the next packet the caller should Send. Plain links
+  // always answer 1; a FaultyLink inside a duplication window may answer 2.
+  // Byte-level links cannot clone an in-flight payload themselves (the
+  // delivery continuation owns it, move-only), so callers that can copy
+  // their payload cheaply — the RTP transmit path — consult this to realize
+  // duplication end-to-end. Draws RNG: call exactly once per packet.
+  virtual int SendCopies() { return 1; }
+
+  virtual DataRate CapacityNow() const {
+    return config_.capacity.CapacityAt(loop_->now());
+  }
+  virtual Duration PropDelayNow() const {
     if (config_.prop_delay_trace.empty()) return config_.prop_delay;
     return Duration::Micros(
         static_cast<int64_t>(config_.prop_delay_trace.ValueAt(loop_->now())));
@@ -68,6 +93,23 @@ class Link {
   const Stats& stats() const { return stats_; }
   double current_loss_rate() const {
     return config_.loss ? config_.loss->AverageRate(loop_->now()) : 0.0;
+  }
+
+ protected:
+  EventLoop* loop() const { return loop_; }
+  const Config& config() const { return config_; }
+
+  // Fault-injection stat hooks (FaultyLink only): an ingress fault drop
+  // counts as sent+lost; a delivery retroactively converted to a loss (an
+  // outage swallowing an in-flight packet) undoes the delivered counters.
+  void RecordInjectedSendDrop() {
+    ++stats_.packets_sent;
+    ++stats_.packets_lost;
+  }
+  void ConvertDeliveryToLoss(int64_t bytes) {
+    --stats_.packets_delivered;
+    stats_.bytes_delivered -= bytes;
+    ++stats_.packets_lost;
   }
 
  private:

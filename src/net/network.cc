@@ -14,9 +14,11 @@ Network::Network(EventLoop* loop, const std::vector<PathSpec>& specs,
     config.forward.prop_delay_trace = spec.prop_delay_trace;
     config.forward.max_queue_delay = spec.max_queue_delay;
     config.forward.loss = spec.loss;
+    config.forward.faults = spec.fault_plan;
     config.backward.capacity = BandwidthTrace::Constant(spec.feedback_capacity);
     config.backward.prop_delay = spec.prop_delay;
     config.backward.loss = spec.feedback_loss;
+    config.backward.faults = spec.feedback_fault_plan;
     paths_.push_back(std::make_unique<Path>(loop, std::move(config), rng.Fork()));
   }
 }

@@ -24,6 +24,11 @@ struct PathSpec {
   std::shared_ptr<LossModel> feedback_loss;   // null = lossless feedback
   DataRate feedback_capacity = DataRate::MegabitsPerSec(10);
   Duration max_queue_delay = Duration::Millis(250);
+  // Scripted fault events (outages, rate cliffs, handovers, reorder/jitter
+  // windows; net/fault_plan.h). A non-empty plan makes the path's link a
+  // FaultyLink. Faults are seed-deterministic with the rest of the call.
+  FaultPlan fault_plan;           // applied to the forward (data) link
+  FaultPlan feedback_fault_plan;  // applied to the backward (feedback) link
 };
 
 class Network {

@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "net/fault_injector.h"
+
 namespace converge {
 
 Path::Path(EventLoop* loop, Config config, Random rng)
     : id_(config.id),
       name_(std::move(config.name)),
-      forward_(loop, std::move(config.forward), rng.Fork()),
-      backward_(loop, std::move(config.backward), rng.Fork()) {}
+      forward_(MakeLink(loop, std::move(config.forward), rng.Fork())),
+      backward_(MakeLink(loop, std::move(config.backward), rng.Fork())) {}
 
 }  // namespace converge

@@ -1,6 +1,10 @@
 // A bidirectional network path between the two conference endpoints: a data
 // link (sender -> receiver) and a feedback link (receiver -> sender), plus an
 // identifier carried in the Converge RTP/RTCP multipath extensions.
+//
+// Links are held behind the Link interface so a Config carrying a FaultPlan
+// transparently yields a FaultyLink (net/fault_injector.h) — callers always
+// talk to `Link&` and never see the difference.
 #pragma once
 
 #include <cstdint>
@@ -28,16 +32,16 @@ class Path {
   PathId id() const { return id_; }
   const std::string& name() const { return name_; }
 
-  Link& forward() { return forward_; }
-  Link& backward() { return backward_; }
-  const Link& forward() const { return forward_; }
-  const Link& backward() const { return backward_; }
+  Link& forward() { return *forward_; }
+  Link& backward() { return *backward_; }
+  const Link& forward() const { return *forward_; }
+  const Link& backward() const { return *backward_; }
 
  private:
   PathId id_;
   std::string name_;
-  Link forward_;
-  Link backward_;
+  std::unique_ptr<Link> forward_;
+  std::unique_ptr<Link> backward_;
 };
 
 }  // namespace converge

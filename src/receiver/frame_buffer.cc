@@ -1,6 +1,9 @@
 #include "receiver/frame_buffer.h"
 
+#include <string>
 #include <utility>
+
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -30,6 +33,18 @@ void FrameBuffer::Insert(AssembledFrame frame) {
 
   // A keyframe makes everything older irrelevant: decoding restarts there.
   Release();
+
+  CONVERGE_INVARIANT(
+      "FrameBuffer", now, buffer_.size() <= config_.capacity_frames,
+      "size=" + std::to_string(buffer_.size()) +
+          " capacity=" + std::to_string(config_.capacity_frames));
+  // Never hold a frame older than one already released/skipped: such a
+  // frame could only be decoded out of order.
+  CONVERGE_INVARIANT(
+      "FrameBuffer", now,
+      buffer_.empty() || buffer_.begin()->first >= next_expected_,
+      "oldest_buffered=" + std::to_string(buffer_.begin()->first) +
+          " next_expected=" + std::to_string(next_expected_));
 }
 
 void FrameBuffer::Release() {

@@ -1,7 +1,10 @@
 #include "receiver/packet_buffer.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -30,6 +33,17 @@ void PacketBuffer::Insert(RtpPacket packet, Timestamp arrival, PathId path) {
   if (first_in_frame) progress.first_seq = useq;
   if (closes_frame) progress.last_seq = useq;
   TryAssemble(ssrc, stream_id, frame_id);
+
+  CONVERGE_INVARIANT(
+      "PacketBuffer", arrival, entries_.size() <= config_.capacity_packets,
+      "size=" + std::to_string(entries_.size()) +
+          " capacity=" + std::to_string(config_.capacity_packets));
+  CONVERGE_INVARIANT(
+      "PacketBuffer", arrival,
+      stats_.inserted >= stats_.evicted + stats_.purged,
+      "inserted=" + std::to_string(stats_.inserted) +
+          " evicted=" + std::to_string(stats_.evicted) +
+          " purged=" + std::to_string(stats_.purged));
 }
 
 void PacketBuffer::TryAssemble(uint32_t ssrc, int stream_id,

@@ -1,8 +1,10 @@
 #include "session/call.h"
 
 #include <numeric>
+#include <string>
 #include <utility>
 
+#include "util/invariants.h"
 #include "util/parallel.h"
 
 #include "core/video_aware_scheduler.h"
@@ -165,9 +167,18 @@ Call::~Call() = default;
 
 void Call::TransmitRtp(PathId path, RtpPacket packet) {
   const int64_t wire_bytes = packet.wire_size();
+  Link& link = network_->path(path).forward();
+  // Duplication faults clone the payload here: the link only sees bytes and
+  // an opaque move-only continuation, so it cannot copy a packet itself.
+  for (int copy = link.SendCopies(); copy > 1; --copy) {
+    link.Send(wire_bytes,
+              [this, packet, path](Timestamp arrival) mutable {
+                receiver_->OnRtpPacket(std::move(packet), arrival, path);
+              });
+  }
   // The in-flight packet rides inside the link's inline delivery callback —
   // no heap allocation per transmitted packet.
-  network_->path(path).forward().Send(
+  link.Send(
       wire_bytes,
       [this, packet = std::move(packet), path](Timestamp arrival) mutable {
         receiver_->OnRtpPacket(std::move(packet), arrival, path);
@@ -191,6 +202,12 @@ void Call::TransmitRtcpBackward(PathId path, const RtcpPacket& packet) {
 }
 
 CallStats Call::Run() {
+  // Label invariant violations with the run that produced them — essential
+  // when a parallel multi-seed chaos sweep trips one check in one run.
+  if (InvariantRegistry::enabled()) {
+    InvariantRegistry::SetContext(ToString(config_.variant) +
+                                  " seed=" + std::to_string(config_.seed));
+  }
   receiver_->Start();
   sender_->Start();
   loop_.RunUntil(Timestamp::Zero() + config_.duration);

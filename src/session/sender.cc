@@ -1,9 +1,11 @@
 #include "session/sender.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "schedulers/path_stats.h"
+#include "util/invariants.h"
 
 namespace converge {
 
@@ -102,6 +104,22 @@ void Sender::OnCameraFrame(size_t stream_index, const RawFrame& raw) {
   const std::vector<PathId> assignment =
       scheduler_->AssignFrame(packets, infos);
 
+  CONVERGE_INVARIANT("Scheduler", loop_->now(),
+                     assignment.size() == packets.size(),
+                     scheduler_->name() + " assigned " +
+                         std::to_string(assignment.size()) + " of " +
+                         std::to_string(packets.size()));
+  if (InvariantRegistry::enabled()) {
+    for (PathId id : assignment) {
+      if (id == kInvalidPathId) continue;  // explicit blackout is legal
+      // A scheduler must never place media on a path it itself flags dead.
+      CONVERGE_INVARIANT("Scheduler", loop_->now(),
+                         paths_.count(id) > 0 && scheduler_->IsPathActive(id),
+                         scheduler_->name() + " picked path " +
+                             std::to_string(id));
+    }
+  }
+
   // Group media by destination path for per-path FEC (§4.3).
   std::map<PathId, std::vector<const RtpPacket*>> per_path;
   for (size_t i = 0; i < packets.size(); ++i) {
@@ -132,6 +150,13 @@ void Sender::OnCameraFrame(size_t stream_index, const RawFrame& raw) {
       const int n_fec = fec_->NumFecPackets(
           static_cast<int>(media.size()), frame.kind, path, path_loss,
           aggregate);
+      // Every controller caps parity at the media count it protects; more
+      // would mean FEC overhead above 100% of the frame's share.
+      CONVERGE_INVARIANT("FecController", loop_->now(),
+                         n_fec >= 0 && n_fec <= static_cast<int>(media.size()),
+                         "n_fec=" + std::to_string(n_fec) +
+                             " media=" + std::to_string(media.size()) +
+                             " path=" + std::to_string(path));
 
       auto& window = fec_window_[{path, frame.stream_id}];
       for (const RtpPacket* p : media) window.push_back(*p);

@@ -175,4 +175,96 @@ std::vector<PathSpec> MakeScenarioPaths(Scenario scenario, uint64_t seed,
   return {};
 }
 
+FaultPlan MakeScenarioFaultPlan(Scenario scenario, uint64_t seed,
+                                TraceParams params) {
+  Random rng(seed ^ 0x9e3779b97f4a7c15ULL ^
+             (static_cast<uint64_t>(scenario) << 24));
+  const double len_s = params.length.seconds();
+  // Event anchors are fractions of the trace, jittered by the seed so no two
+  // seeds hit the congestion controller at the same phase.
+  auto at = [&](double frac) {
+    const double jitter_s = rng.Uniform(-0.03, 0.03) * len_s;
+    const double t = std::clamp(frac * len_s + jitter_s, 1.0, len_s - 1.0);
+    return Timestamp::Zero() + Duration::Seconds(t);
+  };
+
+  FaultPlan plan;
+  switch (scenario) {
+    case Scenario::kStationary:
+      plan.Add(FaultEvent::JitterSpike(at(0.30), Duration::Seconds(2),
+                                       Duration::Millis(25)));
+      plan.Add(FaultEvent::RateCliff(at(0.65), Duration::Seconds(4), 0.6));
+      break;
+    case Scenario::kWalking:
+      plan.Add(FaultEvent::Handover(at(0.25), Duration::Seconds(1),
+                                    Duration::Millis(30), 0.12));
+      plan.Add(FaultEvent::RateCliff(at(0.50), Duration::Seconds(5), 0.4));
+      plan.Add(FaultEvent::Handover(at(0.75), Duration::Seconds(1),
+                                    Duration::Millis(40), 0.15));
+      break;
+    case Scenario::kDriving:
+      plan.Add(FaultEvent::RateCliff(at(0.20), Duration::Seconds(6), 0.25));
+      plan.Add(FaultEvent::Outage(at(0.45), Duration::Seconds(2)));
+      plan.Add(FaultEvent::Handover(at(0.65), Duration::Seconds(1),
+                                    Duration::Millis(50), 0.2));
+      plan.Add(FaultEvent::Reorder(at(0.85), Duration::Seconds(3),
+                                   Duration::Millis(40), 0.02));
+      break;
+  }
+  return plan;
+}
+
+FaultPlan MakeRandomFaultPlan(Random& rng, Duration length) {
+  FaultPlan plan;
+  const double len_s = length.seconds();
+  const int n_events = static_cast<int>(rng.UniformInt(2, 6));
+  for (int i = 0; i < n_events; ++i) {
+    // Leave the head of the call fault-free (controllers are still ramping)
+    // and guarantee a quiet tail so recovery is observable.
+    const double start_s = rng.Uniform(0.1 * len_s, 0.8 * len_s);
+    const Timestamp start = Timestamp::Zero() + Duration::Seconds(start_s);
+    switch (rng.UniformInt(0, 4)) {
+      case 0:
+        plan.Add(FaultEvent::Outage(
+            start, Duration::Seconds(rng.Uniform(0.3, 3.0)),
+            rng.Bernoulli(0.5) ? InFlightPolicy::kDrop
+                               : InFlightPolicy::kDelayToEnd));
+        break;
+      case 1:
+        plan.Add(FaultEvent::RateCliff(
+            start, Duration::Seconds(rng.Uniform(1.0, 6.0)),
+            rng.Uniform(0.1, 0.7)));
+        break;
+      case 2:
+        plan.Add(FaultEvent::Handover(
+            start, Duration::Seconds(rng.Uniform(0.5, 2.0)),
+            Duration::Millis(rng.UniformInt(10, 80)),
+            rng.Uniform(0.05, 0.3)));
+        break;
+      case 3:
+        plan.Add(FaultEvent::Reorder(
+            start, Duration::Seconds(rng.Uniform(1.0, 4.0)),
+            Duration::Millis(rng.UniformInt(5, 60)),
+            rng.Uniform(0.0, 0.05)));
+        break;
+      default:
+        plan.Add(FaultEvent::JitterSpike(
+            start, Duration::Seconds(rng.Uniform(1.0, 4.0)),
+            Duration::Millis(rng.UniformInt(5, 50))));
+        break;
+    }
+  }
+  return plan;
+}
+
+std::vector<PathSpec> MakeScenarioPathsWithFaults(Scenario scenario,
+                                                  uint64_t seed,
+                                                  TraceParams params) {
+  std::vector<PathSpec> paths = MakeScenarioPaths(scenario, seed, params);
+  if (!paths.empty()) {
+    paths.front().fault_plan = MakeScenarioFaultPlan(scenario, seed, params);
+  }
+  return paths;
+}
+
 }  // namespace converge

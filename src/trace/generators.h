@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "net/fault_plan.h"
 #include "net/loss_model.h"
 #include "net/network.h"
 #include "net/trace.h"
@@ -45,5 +46,24 @@ PathSpec MakePathSpec(Scenario scenario, Carrier carrier, uint64_t seed,
 // driving = Verizon + T-Mobile, stationary = WiFi + T-Mobile (§6.1).
 std::vector<PathSpec> MakeScenarioPaths(Scenario scenario, uint64_t seed,
                                         TraceParams params = {});
+
+// Canned fault plan matching the scenario's mobility profile, with event
+// times jittered deterministically from `seed`:
+//   stationary — one jitter spike plus a shallow rate cliff;
+//   walking    — two handovers (RTT step + burst loss) and a cliff to ~40%;
+//   driving    — a 2 s primary outage, a handover, a cliff to ~25%, and a
+//                reorder/duplication window.
+FaultPlan MakeScenarioFaultPlan(Scenario scenario, uint64_t seed,
+                                TraceParams params = {});
+
+// Randomized plan for chaos testing: 2-6 mixed events drawn from `rng`,
+// spread over `length`, outages capped at 3 s so calls can recover.
+FaultPlan MakeRandomFaultPlan(Random& rng, Duration length);
+
+// MakeScenarioPaths with the scenario's canned fault plan installed on the
+// primary (first) path's forward link.
+std::vector<PathSpec> MakeScenarioPathsWithFaults(Scenario scenario,
+                                                  uint64_t seed,
+                                                  TraceParams params = {});
 
 }  // namespace converge

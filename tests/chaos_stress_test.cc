@@ -1,0 +1,139 @@
+// Chaos stress suite: randomized fault plans hammering short calls across
+// seeds × schedulers × mobility scenarios, with the runtime invariant
+// harness armed. The promise under test is not any particular QoE number —
+// it is that no component invariant breaks and the event loop never stalls,
+// whatever the fault plan throws at the stack. On failure the violation log
+// is written to $CONVERGE_INVARIANT_LOG (default invariant_violations.log)
+// so CI can attach it as an artifact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "net/fault_plan.h"
+#include "net/loss_model.h"
+#include "session/call.h"
+#include "trace/generators.h"
+#include "util/invariants.h"
+#include "util/random.h"
+
+namespace converge {
+namespace {
+
+constexpr int kSeedsPerCell = 20;
+
+void DumpViolationsIfAny() {
+  if (InvariantRegistry::violation_count() == 0) return;
+  const char* env = std::getenv("CONVERGE_INVARIANT_LOG");
+  const std::string path = env != nullptr ? env : "invariant_violations.log";
+  InvariantRegistry::WriteLog(path);
+}
+
+CallConfig ChaosCall(Scenario scenario, Variant variant, uint64_t seed) {
+  TraceParams params;
+  params.length = Duration::Seconds(8);
+  CallConfig config;
+  config.variant = variant;
+  config.paths = MakeScenarioPaths(scenario, seed, params);
+  config.duration = Duration::Seconds(8);
+  config.seed = seed;
+
+  // Scripted chaos on top of the organic trace: a random plan on the
+  // primary data link, and (for some seeds) jitter on the feedback link so
+  // RTCP starvation is exercised too.
+  Random rng(seed * 7919 + static_cast<uint64_t>(variant) * 131 +
+             static_cast<uint64_t>(scenario));
+  config.paths.front().fault_plan = MakeRandomFaultPlan(rng, config.duration);
+  if (rng.Bernoulli(0.3)) {
+    config.paths.front().feedback_fault_plan.Add(FaultEvent::JitterSpike(
+        Timestamp::Seconds(2), Duration::Seconds(3), Duration::Millis(30)));
+  }
+  return config;
+}
+
+// 20 seeds × 3 schedulers × 3 scenarios of randomized faults. Calls fan out
+// across cores (RunCalls); the invariant registry is process-global and
+// thread-safe, so one armed scope covers the whole sweep.
+TEST(ChaosStressTest, RandomPlansProduceNoInvariantViolations) {
+  const Scenario scenarios[] = {Scenario::kStationary, Scenario::kWalking,
+                                Scenario::kDriving};
+  const Variant variants[] = {Variant::kSrtt, Variant::kMtput,
+                              Variant::kConverge};
+  std::vector<CallConfig> configs;
+  for (Scenario sc : scenarios) {
+    for (Variant v : variants) {
+      for (uint64_t seed = 1; seed <= kSeedsPerCell; ++seed) {
+        configs.push_back(ChaosCall(sc, v, seed));
+      }
+    }
+  }
+
+  ScopedInvariants guard;
+  const std::vector<CallStats> results = RunCalls(configs);
+  DumpViolationsIfAny();
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+
+  // No event-loop stall: every call must have run to its full duration
+  // (per-second samples for every elapsed second) and kept encoding and
+  // sending throughout whatever its plan did.
+  ASSERT_EQ(results.size(), configs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CallStats& stats = results[i];
+    EXPECT_GE(stats.time_series.size(), 7u) << "call " << i;
+    EXPECT_GT(stats.media_packets_sent, 0) << "call " << i;
+    EXPECT_GE(stats.frames_encoded, static_cast<int64_t>(0.8 * 30.0 * 8.0))
+        << "call " << i;
+  }
+}
+
+// Post-outage recovery on a controlled network: constant-capacity paths, a
+// scripted 2 s outage on the primary, nothing else. The aggregate delivered
+// rate must regain at least half of its pre-outage average within 10 s of
+// the window closing.
+TEST(ChaosStressTest, ThroughputRecoversAfterOutage) {
+  PathSpec primary;
+  primary.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(6));
+  primary.prop_delay = Duration::Millis(20);
+  PathSpec secondary = primary;
+  secondary.prop_delay = Duration::Millis(50);
+  primary.fault_plan.Add(
+      FaultEvent::Outage(Timestamp::Seconds(10), Duration::Seconds(2)));
+
+  CallConfig config;
+  config.variant = Variant::kConverge;
+  config.paths = {primary, secondary};
+  config.duration = Duration::Seconds(22);
+  config.seed = 5;
+
+  ScopedInvariants guard;
+  Call call(config);
+  const CallStats stats = call.Run();
+  DumpViolationsIfAny();
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+
+  // Pre-outage baseline: mean delivered rate over seconds [5, 10). Recovery:
+  // best second in (12, 22], i.e. within 10 s of the window closing.
+  double pre_sum = 0.0;
+  int pre_n = 0;
+  double post_best = 0.0;
+  for (const SecondSample& s : stats.time_series) {
+    if (s.t_s >= 5 && s.t_s < 10) {
+      pre_sum += s.tput_mbps;
+      ++pre_n;
+    }
+    if (s.t_s > 12 && s.t_s <= 22) post_best = std::max(post_best, s.tput_mbps);
+  }
+  ASSERT_GT(pre_n, 0);
+  const double pre_mean = pre_sum / pre_n;
+  EXPECT_GT(pre_mean, 0.5);  // the call was actually flowing before the cut
+  EXPECT_GE(post_best, 0.5 * pre_mean)
+      << "pre-outage mean " << pre_mean << " Mbps, best post-outage second "
+      << post_best << " Mbps";
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,387 @@
+// Unit tests for the scripted fault-injection layer (net/fault_plan.h,
+// net/fault_injector.h): each event type at link level, the pinned in-flight
+// outage semantics, and whole-call determinism — the same seed + plan must
+// reproduce the exact same stats JSON however many worker threads ran.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault_injector.h"
+#include "net/fault_plan.h"
+#include "net/link.h"
+#include "session/call.h"
+#include "session/stats_json.h"
+#include "trace/generators.h"
+#include "util/invariants.h"
+
+namespace converge {
+namespace {
+
+Link::Config FaultedConfig(FaultPlan plan,
+                           DataRate rate = DataRate::MegabitsPerSec(8),
+                           Duration prop = Duration::Millis(20)) {
+  Link::Config c;
+  c.capacity = BandwidthTrace::Constant(rate);
+  c.prop_delay = prop;
+  c.faults = std::move(plan);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// FaultPlan: aggregate queries.
+
+TEST(FaultPlanTest, OverlappingCliffsMultiplyAndHandoversAdd) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::RateCliff(Timestamp::Seconds(10), Duration::Seconds(10),
+                                 0.5));
+  plan.Add(FaultEvent::RateCliff(Timestamp::Seconds(15), Duration::Seconds(10),
+                                 0.5));
+  plan.Add(FaultEvent::Handover(Timestamp::Seconds(10), Duration::Seconds(5),
+                                Duration::Millis(30)));
+  plan.Add(FaultEvent::Handover(Timestamp::Seconds(12), Duration::Seconds(5),
+                                Duration::Millis(20)));
+
+  EXPECT_DOUBLE_EQ(plan.CapacityScaleAt(Timestamp::Seconds(5)), 1.0);
+  EXPECT_DOUBLE_EQ(plan.CapacityScaleAt(Timestamp::Seconds(12)), 0.5);
+  EXPECT_DOUBLE_EQ(plan.CapacityScaleAt(Timestamp::Seconds(17)), 0.25);
+  EXPECT_EQ(plan.DelayStepAt(Timestamp::Seconds(13)), Duration::Millis(50));
+  EXPECT_EQ(plan.DelayStepAt(Timestamp::Seconds(16)), Duration::Millis(20));
+  EXPECT_EQ(plan.DelayStepAt(Timestamp::Seconds(30)), Duration::Zero());
+  EXPECT_FALSE(plan.Describe().empty());
+}
+
+TEST(FaultPlanTest, OutageQueriesAndLastEnd) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Outage(Timestamp::Seconds(5), Duration::Seconds(2)));
+  plan.Add(FaultEvent::Outage(Timestamp::Seconds(20), Duration::Seconds(1),
+                              InFlightPolicy::kDelayToEnd));
+
+  EXPECT_FALSE(plan.InOutage(Timestamp::Seconds(4)));
+  EXPECT_TRUE(plan.InOutage(Timestamp::Seconds(6)));
+  EXPECT_FALSE(plan.InOutage(Timestamp::Seconds(7)));  // end is exclusive
+  ASSERT_TRUE(plan.OutageEnd(Timestamp::Seconds(6)).has_value());
+  EXPECT_EQ(*plan.OutageEnd(Timestamp::Seconds(6)), Timestamp::Seconds(7));
+  EXPECT_EQ(plan.OutagePolicy(Timestamp::Seconds(6)), InFlightPolicy::kDrop);
+  EXPECT_EQ(plan.OutagePolicy(Timestamp::Millis(20500)),
+            InFlightPolicy::kDelayToEnd);
+  EXPECT_EQ(plan.LastOutageEnd(), Timestamp::Seconds(21));
+}
+
+// ---------------------------------------------------------------------------
+// Link-level event semantics.
+
+TEST(FaultyLinkTest, OutageDropsEverySendInsideTheWindow) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Outage(Timestamp::Millis(100), Duration::Millis(200)));
+  EventLoop loop;
+  auto link = MakeLink(&loop, FaultedConfig(std::move(plan)), Random(3));
+
+  int delivered = 0;
+  int lost = 0;
+  auto send_one = [&] {
+    link->Send(
+        500, [&](Timestamp) { ++delivered; },
+        [&](bool queue_drop) {
+          EXPECT_FALSE(queue_drop);
+          ++lost;
+        });
+  };
+  // 5 sends before, 5 inside, 5 after the window.
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleAt(Timestamp::Millis(2 * i), send_one);
+    loop.ScheduleAt(Timestamp::Millis(150 + 2 * i), send_one);
+    loop.ScheduleAt(Timestamp::Millis(400 + 2 * i), send_one);
+  }
+  loop.RunAll();
+  EXPECT_EQ(lost, 5);
+  EXPECT_EQ(delivered, 10);
+  EXPECT_EQ(link->stats().packets_lost, 5);
+  EXPECT_EQ(link->stats().packets_delivered, 10);
+  EXPECT_EQ(link->stats().packets_sent, 15);
+}
+
+TEST(FaultyLinkTest, RateCliffScalesServiceTimeByFraction) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::RateCliff(Timestamp::Zero(), Duration::Seconds(1),
+                                 0.25));
+  EventLoop loop;
+  // 8 Mbps scaled to 2 Mbps: 1000 bytes serialize in 4 ms instead of 1 ms.
+  auto link = MakeLink(
+      &loop, FaultedConfig(std::move(plan), DataRate::MegabitsPerSec(8),
+                           Duration::Zero()),
+      Random(3));
+  std::vector<Timestamp> arrivals;
+  link->Send(1000, [&](Timestamp t) { arrivals.push_back(t); });
+  loop.ScheduleAt(Timestamp::Millis(2000), [&] {
+    // Cliff over: back to the nominal 1 ms serialization.
+    link->Send(1000, [&](Timestamp t) { arrivals.push_back(t); });
+  });
+  loop.RunAll();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(arrivals[0], Timestamp::Millis(4));
+  EXPECT_EQ(arrivals[1], Timestamp::Millis(2001));
+}
+
+TEST(FaultyLinkTest, HandoverAppliesRttStepThenRecovers) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Handover(Timestamp::Millis(100), Duration::Millis(500),
+                                Duration::Millis(40), /*burst_loss=*/0.0));
+  EventLoop loop;
+  auto link = MakeLink(&loop, FaultedConfig(std::move(plan)), Random(3));
+
+  std::vector<Timestamp> arrivals;
+  auto send_at = [&](int64_t ms) {
+    loop.ScheduleAt(Timestamp::Millis(ms), [&] {
+      link->Send(1000, [&](Timestamp t) { arrivals.push_back(t); });
+    });
+  };
+  send_at(0);    // before: 1 ms serialization + 20 ms prop = 21 ms
+  send_at(200);  // inside: + 40 ms step = 261 ms
+  send_at(700);  // after: step decayed = 721 ms
+  loop.RunAll();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], Timestamp::Millis(21));
+  EXPECT_EQ(arrivals[1], Timestamp::Millis(261));
+  EXPECT_EQ(arrivals[2], Timestamp::Millis(721));
+}
+
+TEST(FaultyLinkTest, HandoverBurstLossDropsOnlyTheBurstWindow) {
+  FaultPlan plan;
+  // Deterministic with p=1: everything in the first 300 ms of the window is
+  // lost, everything after the burst passes.
+  plan.Add(FaultEvent::Handover(Timestamp::Zero(), Duration::Seconds(1),
+                                Duration::Millis(10), /*burst_loss=*/1.0,
+                                /*burst=*/Duration::Millis(300)));
+  EventLoop loop;
+  auto link = MakeLink(&loop, FaultedConfig(std::move(plan)), Random(3));
+  int delivered = 0;
+  int lost = 0;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(Timestamp::Millis(100 * i), [&] {
+      link->Send(
+          500, [&](Timestamp) { ++delivered; }, [&](bool) { ++lost; });
+    });
+  }
+  loop.RunAll();
+  EXPECT_EQ(lost, 3);       // t = 0, 100, 200 ms
+  EXPECT_EQ(delivered, 7);  // t >= 300 ms
+}
+
+TEST(FaultyLinkTest, ReorderWindowJittersWithinBoundAndReorders) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Reorder(Timestamp::Zero(), Duration::Seconds(5),
+                               Duration::Millis(40)));
+  EventLoop loop;
+  auto link = MakeLink(
+      &loop, FaultedConfig(std::move(plan), DataRate::MegabitsPerSec(100),
+                           Duration::Millis(10)),
+      Random(11));
+  std::vector<std::pair<int, Timestamp>> arrivals;
+  for (int i = 0; i < 100; ++i) {
+    loop.ScheduleAt(Timestamp::Millis(i), [&, i] {
+      link->Send(100, [&, i](Timestamp t) { arrivals.emplace_back(i, t); });
+    });
+  }
+  loop.RunAll();
+  ASSERT_EQ(arrivals.size(), 100u);
+  bool reordered = false;
+  for (size_t k = 0; k < arrivals.size(); ++k) {
+    const auto& [i, t] = arrivals[k];
+    // Nominal arrival is send + serialization (8 µs) + 10 ms prop; jitter
+    // adds at most 40 ms on top.
+    const Timestamp nominal =
+        Timestamp::Millis(i) + Duration::Millis(10) + Duration::Micros(8);
+    EXPECT_GE(t, nominal);
+    EXPECT_LE(t, nominal + Duration::Millis(40));
+    if (k > 0 && arrivals[k].first < arrivals[k - 1].first) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(FaultyLinkTest, DuplicationWindowDoublesSendCopies) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Reorder(Timestamp::Millis(100), Duration::Millis(100),
+                               Duration::Zero(), /*duplicate_prob=*/1.0));
+  EventLoop loop;
+  auto link = MakeLink(&loop, FaultedConfig(std::move(plan)), Random(3));
+  int copies_outside = 0;
+  int copies_inside = 0;
+  loop.ScheduleAt(Timestamp::Zero(),
+                  [&] { copies_outside = link->SendCopies(); });
+  loop.ScheduleAt(Timestamp::Millis(150),
+                  [&] { copies_inside = link->SendCopies(); });
+  loop.RunAll();
+  EXPECT_EQ(copies_outside, 1);
+  EXPECT_EQ(copies_inside, 2);
+}
+
+TEST(FaultyLinkTest, EmptyPlanYieldsPlainLink) {
+  EventLoop loop;
+  auto link = MakeLink(&loop, FaultedConfig(FaultPlan{}), Random(3));
+  EXPECT_EQ(dynamic_cast<FaultyLink*>(link.get()), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 4 regression: in-flight packets vs an outage window. Pinned
+// semantics — packets queued *before* the window whose delivery falls inside
+// it do NOT sail through at their original timestamps: kDrop loses them,
+// kDelayToEnd parks them until the window closes.
+
+TEST(FaultyLinkTest, InFlightPacketCaughtByOutageIsDroppedByDefault) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Outage(Timestamp::Millis(50), Duration::Millis(100)));
+  EventLoop loop;
+  // Sent at t=0, arrival would be 1 ms serialization + 100 ms prop = 101 ms,
+  // inside the [50, 150) window.
+  auto link = MakeLink(
+      &loop, FaultedConfig(std::move(plan), DataRate::MegabitsPerSec(8),
+                           Duration::Millis(100)),
+      Random(3));
+  int delivered = 0;
+  int lost = 0;
+  link->Send(
+      1000, [&](Timestamp) { ++delivered; }, [&](bool) { ++lost; });
+  loop.RunAll();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(lost, 1);
+  // Stats must agree: the delivery was retroactively converted to a loss.
+  EXPECT_EQ(link->stats().packets_delivered, 0);
+  EXPECT_EQ(link->stats().bytes_delivered, 0);
+  EXPECT_EQ(link->stats().packets_lost, 1);
+}
+
+TEST(FaultyLinkTest, InFlightPacketDelayedToOutageEndUnderDelayPolicy) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Outage(Timestamp::Millis(50), Duration::Millis(100),
+                              InFlightPolicy::kDelayToEnd));
+  EventLoop loop;
+  auto link = MakeLink(
+      &loop, FaultedConfig(std::move(plan), DataRate::MegabitsPerSec(8),
+                           Duration::Millis(100)),
+      Random(3));
+  Timestamp arrival = Timestamp::MinusInfinity();
+  link->Send(1000, [&](Timestamp t) { arrival = t; });
+  loop.RunAll();
+  EXPECT_EQ(arrival, Timestamp::Millis(150));
+  EXPECT_EQ(link->stats().packets_delivered, 1);
+}
+
+TEST(FaultyLinkTest, InFlightDeliveryOutsideWindowsIsUntouched) {
+  FaultPlan plan;
+  plan.Add(FaultEvent::Outage(Timestamp::Millis(500), Duration::Millis(100)));
+  EventLoop loop;
+  auto link = MakeLink(&loop, FaultedConfig(std::move(plan)), Random(3));
+  Timestamp arrival = Timestamp::MinusInfinity();
+  link->Send(1000, [&](Timestamp t) { arrival = t; });
+  loop.RunAll();
+  // 1 ms serialization + 20 ms prop, well before the window opens.
+  EXPECT_EQ(arrival, Timestamp::Millis(21));
+}
+
+// ---------------------------------------------------------------------------
+// Invariant harness plumbing.
+
+TEST(InvariantRegistryTest, ReportsAreRecordedOnlyWhileEnabled) {
+  InvariantRegistry::Clear();
+  CONVERGE_INVARIANT("Test", Timestamp::Seconds(1), false, "disabled");
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+  {
+    ScopedInvariants guard;
+    CONVERGE_INVARIANT("Test", Timestamp::Seconds(1), 1 + 1 == 2, "fine");
+    CONVERGE_INVARIANT("Test", Timestamp::Seconds(2), false, "broken");
+    EXPECT_EQ(InvariantRegistry::violation_count(), 1);
+    const auto violations = InvariantRegistry::Snapshot();
+    ASSERT_EQ(violations.size(), 1u);
+    EXPECT_EQ(violations[0].component, "Test");
+    EXPECT_EQ(violations[0].condition, "false");
+    EXPECT_EQ(violations[0].detail, "broken");
+    EXPECT_FALSE(InvariantRegistry::Describe().empty());
+  }
+  CONVERGE_INVARIANT("Test", Timestamp::Seconds(3), false, "disabled again");
+  EXPECT_EQ(InvariantRegistry::violation_count(), 1);
+  InvariantRegistry::Clear();
+}
+
+// ---------------------------------------------------------------------------
+// Whole-call acceptance: a driving-scenario call with a scripted 2 s
+// mid-call outage on the primary path completes under every scheduler with
+// zero invariant violations.
+
+CallConfig DrivingOutageCall(Variant variant, uint64_t seed) {
+  TraceParams params;
+  params.length = Duration::Seconds(12);
+  CallConfig config;
+  config.variant = variant;
+  config.paths = MakeScenarioPaths(Scenario::kDriving, seed, params);
+  config.paths.front().fault_plan.Add(
+      FaultEvent::Outage(Timestamp::Seconds(5), Duration::Seconds(2)));
+  config.duration = Duration::Seconds(12);
+  config.seed = seed;
+  return config;
+}
+
+TEST(FaultInjectionAcceptanceTest, DrivingOutageCleanUnderAllSchedulers) {
+  const Variant variants[] = {Variant::kSrtt, Variant::kEcf, Variant::kMtput,
+                              Variant::kConverge};
+  for (Variant v : variants) {
+    ScopedInvariants guard;
+    Call call(DrivingOutageCall(v, 42));
+    const CallStats stats = call.Run();
+    EXPECT_GT(stats.media_packets_sent, 0) << ToString(v);
+    EXPECT_GT(stats.frames_encoded, 0) << ToString(v);
+    EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+        << ToString(v) << ":\n"
+        << InvariantRegistry::Describe();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the same seed + plan reproduces the exact same stats JSON —
+// run to run, with the invariant harness on or off, and across worker
+// counts.
+
+TEST(FaultInjectionDeterminismTest, SameSeedAndPlanGiveIdenticalStatsJson) {
+  const CallConfig config = DrivingOutageCall(Variant::kConverge, 7);
+  Call first(config);
+  const std::string json1 = CallStatsToJson(first.Run());
+  std::string json2;
+  {
+    // The harness observes; it must never perturb the simulation.
+    ScopedInvariants guard;
+    Call second(config);
+    json2 = CallStatsToJson(second.Run());
+    EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+  }
+  EXPECT_EQ(json1, json2);
+}
+
+TEST(FaultInjectionDeterminismTest, ParallelJobsMatchSerialByteForByte) {
+  std::vector<CallConfig> configs;
+  for (uint64_t seed : {21, 22, 23}) {
+    configs.push_back(DrivingOutageCall(Variant::kConverge, seed));
+  }
+  const std::vector<CallStats> serial = RunCalls(configs, /*jobs=*/1);
+  const std::vector<CallStats> parallel = RunCalls(configs, /*jobs=*/8);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(CallStatsToJson(serial[i]), CallStatsToJson(parallel[i]))
+        << "seed index " << i;
+  }
+}
+
+TEST(FaultInjectionDeterminismTest, ScenarioPlansAreSeedDeterministic) {
+  Random rng_a(5);
+  Random rng_b(5);
+  const FaultPlan a = MakeRandomFaultPlan(rng_a, Duration::Seconds(30));
+  const FaultPlan b = MakeRandomFaultPlan(rng_b, Duration::Seconds(30));
+  EXPECT_EQ(a.Describe(), b.Describe());
+  EXPECT_EQ(MakeScenarioFaultPlan(Scenario::kDriving, 9).Describe(),
+            MakeScenarioFaultPlan(Scenario::kDriving, 9).Describe());
+  EXPECT_NE(MakeScenarioFaultPlan(Scenario::kDriving, 9).Describe(),
+            MakeScenarioFaultPlan(Scenario::kDriving, 10).Describe());
+}
+
+}  // namespace
+}  // namespace converge
