@@ -11,7 +11,8 @@
 using namespace converge;
 using namespace converge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Ablation — receiver buffer sizing (driving scenario)");
 
   const std::vector<size_t> packet_caps = {128, 256, 512, 1024};

@@ -23,7 +23,8 @@ Aggregate RunDriving(const CallConfig& base, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Ablation — video-aware scheduler parameters (driving)");
   const int seeds = FastMode() ? 1 : 3;
 

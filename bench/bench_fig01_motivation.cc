@@ -8,7 +8,8 @@
 using namespace converge;
 using namespace converge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figure 1 — WebRTC degrades under cellular bandwidth variation "
          "(driving)");
 

@@ -10,7 +10,8 @@
 using namespace converge;
 using namespace converge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figure 3 + Table 1 — WebRTC and multipath variants vs Converge "
          "(driving, 1-3 streams)");
 

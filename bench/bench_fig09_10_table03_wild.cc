@@ -133,7 +133,8 @@ void Figure10AndTable3(Scenario scenario, Variant single_a, Variant single_b,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figures 9/10 + Table 3 — Converge in the wild");
 
   // Walking: Converge on WiFi+T-Mobile vs WebRTC-W (path 0) / WebRTC-T (1).

@@ -76,7 +76,8 @@ CallConfig MakeOne(Variant variant, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figure 11 + Table 4 — video-aware scheduler with vs without QoE "
          "feedback");
 

@@ -29,7 +29,8 @@ std::vector<PathSpec> LossyPaths(double loss) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figures 12/13 + Table 5 — path-specific FEC vs WebRTC's "
          "table-based FEC (2x15 Mbps, 100 ms, loss sweep)");
 

@@ -9,7 +9,8 @@
 using namespace converge;
 using namespace converge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figures 14/15 — Converge vs single-path and multipath systems "
          "(driving)");
 

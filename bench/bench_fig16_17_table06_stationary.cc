@@ -6,7 +6,8 @@
 using namespace converge;
 using namespace converge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figures 16/17 + Table 6 — stationary scenario (WiFi + T-Mobile)");
 
   const uint64_t seed = 3100;

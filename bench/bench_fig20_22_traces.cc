@@ -7,7 +7,8 @@
 using namespace converge;
 using namespace converge::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  if (converge::bench::MaybeCaptureTrace(argc, argv)) return 0;
   Header("Figures 20-22 — bandwidth traces (stationary / walking / driving)");
 
   const uint64_t seed = 9;

@@ -15,6 +15,8 @@
 #include "rtp/rtp_packet.h"
 #include "sim/event_loop.h"
 #include "util/random.h"
+#include "util/stats.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 namespace {
@@ -266,6 +268,53 @@ void BM_RtpPacketCopy(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RtpPacketCopy);
+
+// Multi-quantile QoE report over one sample set — the shape of every bench
+// table row (p5/p25/p50/p75/p95/p99 of e2e latency). Guards the sorted-order
+// cache in SampleSet: before it, every Quantile() call re-sorted.
+void BM_SampleSetQuantiles(benchmark::State& state) {
+  Random rng(7);
+  SampleSet samples;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    samples.Add(rng.Uniform(10.0, 400.0));
+  }
+  const double qs[] = {0.05, 0.25, 0.5, 0.75, 0.95, 0.99};
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double q : qs) acc += samples.Quantile(q);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 6);
+}
+BENCHMARK(BM_SampleSetQuantiles)->Arg(1'000)->Arg(100'000);
+
+// A probe site with no recorder installed: the disabled cost every hot path
+// pays once tracing probes exist. Must stay at one thread-local load + one
+// branch — effectively free next to any real work.
+void BM_TraceProbeDisabled(benchmark::State& state) {
+  int64_t hits = 0;
+  for (auto _ : state) {
+    if (TraceRecorder* trace = TraceRecorder::Current()) {
+      trace->Counter("bench", "x", Timestamp::Zero(), 1.0);
+      ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_TraceProbeDisabled);
+
+// Emission cost with a recorder installed (ring write, no allocation).
+void BM_TraceEmit(benchmark::State& state) {
+  TraceRecorder recorder(1 << 16);
+  TraceScope scope(&recorder);
+  Timestamp at = Timestamp::Zero();
+  for (auto _ : state) {
+    at += Duration::Micros(10);
+    TraceRecorder::Current()->Counter("bench", "value", at, 42.0, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmit);
 
 }  // namespace
 }  // namespace converge

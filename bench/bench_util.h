@@ -107,6 +107,53 @@ inline std::vector<PathSpec> ScenarioPaths(Scenario scenario, uint64_t seed) {
   return MakeScenarioPaths(scenario, seed, params);
 }
 
+// --trace=<prefix> / CONVERGE_TRACE=<prefix>: instead of the bench's normal
+// sweep, run ONE traced Converge call on the driving scenario (handovers and
+// outages exercise every component) and write <prefix>.json (Chrome trace
+// format — load it in https://ui.perfetto.dev or chrome://tracing) and
+// <prefix>.csv (flat per-metric time series). Bench mains call this first
+// and return early when it handled the run.
+inline bool MaybeCaptureTrace(int argc, char** argv) {
+  std::string prefix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) prefix = arg.substr(8);
+  }
+  if (prefix.empty()) {
+    if (const char* env = std::getenv("CONVERGE_TRACE")) prefix = env;
+  }
+  if (prefix.empty()) return false;
+
+  const uint64_t seed = 1;
+  CallConfig config;
+  config.variant = Variant::kConverge;
+  config.duration = FastMode() ? Duration::Seconds(30) : Duration::Seconds(60);
+  TraceParams params;
+  params.length = config.duration;
+  config.paths = MakeScenarioPathsWithFaults(Scenario::kDriving, seed, params);
+  config.seed = seed;
+  config.trace_capacity = TraceRecorder::kDefaultCapacity;
+
+  Call call(config);
+  const CallStats stats = call.Run();
+  const TraceRecorder* trace = call.trace();
+
+  const std::string json_path = prefix + ".json";
+  const std::string csv_path = prefix + ".csv";
+  const bool ok =
+      trace->WriteChromeTrace(json_path) && trace->WriteCsv(csv_path);
+  std::printf("traced driving call: %.2f Mbps avg, %lld events (%lld dropped)\n",
+              stats.TotalTputMbps(),
+              static_cast<long long>(trace->total_emitted()),
+              static_cast<long long>(trace->dropped()));
+  std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "error: failed writing trace files\n");
+    std::exit(1);
+  }
+  return true;
+}
+
 // Paper §6 normalizations.
 inline double NormTput(double tput_mbps, int streams) {
   return tput_mbps / (10.0 * streams);

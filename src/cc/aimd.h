@@ -23,12 +23,13 @@ class AimdRateControl {
   // rate for the path (goodput). Returns the new target.
   DataRate Update(BandwidthUsage usage, DataRate acked_rate, Timestamp now);
 
-  DataRate rate() const { return rate_; }
-  void SetRate(DataRate rate) { rate_ = Clamp(rate); }
-
- private:
   enum class State { kHold, kIncrease, kDecrease };
 
+  DataRate rate() const { return rate_; }
+  void SetRate(DataRate rate) { rate_ = Clamp(rate); }
+  State state() const { return state_; }
+
+ private:
   DataRate Clamp(DataRate r) const;
   DataRate AdditiveStep(Timestamp now) const;
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/invariants.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 namespace {
@@ -42,6 +43,7 @@ void GccController::OnTransportFeedback(
   goodput_ = acked_rate_.Rate(now);
   aimd_.Update(trendline_.State(), goodput_, now);
   CheckRateEnvelope(config_, target_rate(), now);
+  EmitTrace(now);
 }
 
 void GccController::OnReceiverReport(double fraction_lost, Duration rtt,
@@ -58,6 +60,26 @@ void GccController::OnReceiverReport(double fraction_lost, Duration rtt,
   CheckRateEnvelope(config_, target_rate(), now);
   CONVERGE_INVARIANT("GccController", now, srtt_ > Duration::Zero(),
                      "srtt=" + std::to_string(srtt_.us()) + "us");
+  EmitTrace(now);
+}
+
+void GccController::EmitTrace(Timestamp now) const {
+  TraceRecorder* trace = TraceRecorder::Current();
+  if (trace == nullptr) return;
+  const int32_t path = config_.trace_path;
+  trace->Counter("gcc", "target_kbps", now,
+                 static_cast<double>(target_rate().bps()) / 1000.0, path);
+  trace->Counter("gcc", "goodput_kbps", now,
+                 static_cast<double>(goodput_.bps()) / 1000.0, path);
+  trace->Counter("gcc", "trendline_slope", now, trendline_.trend(), path);
+  trace->Counter("gcc", "trendline_threshold", now, trendline_.threshold(),
+                 path);
+  trace->Counter("gcc", "detector_state", now,
+                 static_cast<double>(trendline_.State()), path);
+  trace->Counter("gcc", "aimd_state", now,
+                 static_cast<double>(aimd_.state()), path);
+  trace->Counter("gcc", "srtt_ms", now, srtt_.seconds() * 1000.0, path);
+  trace->Counter("gcc", "loss", now, loss_.smoothed_loss(), path);
 }
 
 DataRate GccController::target_rate() const {

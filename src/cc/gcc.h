@@ -31,6 +31,9 @@ class GccController {
     DataRate start_rate = DataRate::KilobitsPerSec(300);
     DataRate min_rate = DataRate::KilobitsPerSec(50);
     DataRate max_rate = DataRate::MegabitsPerSec(50);
+    // PathId stamped on trace events (-1 when this controller is not
+    // path-scoped); probes are read-only and fire only under TraceScope.
+    int trace_path = -1;
   };
 
   GccController();
@@ -49,8 +52,12 @@ class GccController {
   double loss_estimate() const { return loss_.smoothed_loss(); }
   DataRate goodput() const { return goodput_; }
   BandwidthUsage detector_state() const { return trendline_.State(); }
+  double trendline_slope() const { return trendline_.trend(); }
+  AimdRateControl::State aimd_state() const { return aimd_.state(); }
 
  private:
+  void EmitTrace(Timestamp now) const;
+
   Config config_;
   TrendlineEstimator trendline_;
   AimdRateControl aimd_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/invariants.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 
@@ -82,6 +83,19 @@ void Pacer::Process() {
   if (queue_.empty() && high_queue_.empty() && budget_bytes_ > 0.0) {
     // Do not accumulate idle budget beyond one burst.
     budget_bytes_ = std::min(budget_bytes_, 3000.0);
+  }
+
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    const int32_t path = config_.trace_path;
+    trace->Counter("pacer", "queue_pkts", now,
+                   static_cast<double>(queue_packets()), path);
+    trace->Counter("pacer", "queue_bytes", now,
+                   static_cast<double>(queued_bytes_), path);
+    trace->Counter("pacer", "budget_bytes", now, budget_bytes_, path);
+    const Duration delay = QueueDelay();
+    trace->Counter("pacer", "queue_delay_ms", now,
+                   delay.IsInfinite() ? -1.0 : delay.seconds() * 1000.0,
+                   path);
   }
 
   CONVERGE_INVARIANT("Pacer", now, queued_bytes_ >= 0,

@@ -23,6 +23,8 @@ class Pacer {
     // Retransmissions older than this are dropped: the frame buffer has
     // already skipped past the frame they would repair.
     Duration max_rtx_age = Duration::Millis(300);
+    // PathId stamped on trace events (-1 when not path-scoped).
+    int trace_path = -1;
   };
 
   struct Stats {

@@ -6,6 +6,7 @@
 
 #include "schedulers/path_stats.h"
 #include "util/invariants.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 
@@ -289,6 +290,22 @@ void VideoAwareScheduler::OnTick(const std::vector<PathInfo>& paths,
     for (auto& [id, a] : alpha_) a *= keep;
   }
   last_tick_ = now;
+
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    for (const PathInfo& p : paths) {
+      const auto it = alpha_.find(p.id);
+      trace->Counter("scheduler", "alpha", now,
+                     it != alpha_.end() ? it->second : 0.0,
+                     static_cast<int32_t>(p.id));
+      trace->Counter("scheduler", "path_active", now,
+                     path_manager_.IsActive(p.id) ? 1.0 : 0.0,
+                     static_cast<int32_t>(p.id));
+    }
+    if (last_fast_path_ != kInvalidPathId) {
+      trace->Counter("scheduler", "fast_path", now,
+                     static_cast<double>(last_fast_path_));
+    }
+  }
 }
 
 double VideoAwareScheduler::alpha(PathId path) const {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/invariants.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 
@@ -38,6 +39,15 @@ int ConvergeFecController::NumFecPackets(int media_packets, FrameKind kind,
                      st.beta >= 1.0 && st.beta <= config_.max_beta,
                      "beta=" + std::to_string(st.beta) +
                          " max_beta=" + std::to_string(config_.max_beta));
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    // No clock here — events inherit the recorder's newest simulation time
+    // (the sender emitted clocked events for this same frame just before).
+    const Timestamp at = Timestamp::MinusInfinity();
+    const int32_t p = static_cast<int32_t>(path);
+    trace->Counter("fec", "beta", at, st.beta, p);
+    trace->Counter("fec", "loss", at, path_loss, p);
+    trace->Counter("fec", "n_fec", at, static_cast<double>(fec), p);
+  }
   return fec;
 }
 
@@ -49,6 +59,11 @@ void ConvergeFecController::OnNack(PathId path, int nacked_packets) {
   const double target =
       1.0 + static_cast<double>(nacked_packets) / unprotected;
   st.beta = std::min(config_.max_beta, std::max(st.beta, target));
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant("fec", "nack_boost", Timestamp::MinusInfinity(),
+                   static_cast<double>(nacked_packets),
+                   static_cast<int32_t>(path), -1, st.beta);
+  }
 }
 
 void ConvergeFecController::OnFrameSent(PathId path, int media_packets,

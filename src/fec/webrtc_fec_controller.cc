@@ -5,12 +5,14 @@
 
 #include "fec/fec_tables.h"
 #include "util/invariants.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 
 int WebRtcFecController::NumFecPackets(int media_packets, FrameKind kind,
-                                       PathId path, double /*path_loss*/,
+                                       PathId path, double path_loss,
                                        double aggregate_loss) {
+  (void)path_loss;
   if (media_packets <= 0) return 0;
   const double factor = WebRtcProtectionFactor(aggregate_loss, kind);
   double& credit = credit_[path];
@@ -25,6 +27,13 @@ int WebRtcFecController::NumFecPackets(int media_packets, FrameKind kind,
       fec >= 0 && fec <= static_cast<int>(0.8 * media_packets) + 1,
       "fec=" + std::to_string(fec) +
           " media=" + std::to_string(media_packets));
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    const Timestamp at = Timestamp::MinusInfinity();  // clock-less: inherit
+    const int32_t p = static_cast<int32_t>(path);
+    trace->Counter("fec", "protection", at, factor, p);
+    trace->Counter("fec", "loss", at, aggregate_loss, p);
+    trace->Counter("fec", "n_fec", at, static_cast<double>(fec), p);
+  }
   return fec;
 }
 

@@ -1,6 +1,9 @@
 #include "receiver/nack_generator.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "util/trace_recorder.h"
 
 namespace converge {
 
@@ -24,11 +27,18 @@ void NackGenerator::OnPacket(int64_t flow, uint16_t seq) {
 
   if (useq > st.highest) {
     // FIFO per path: every sequence in (highest, useq) was lost (or is
-    // momentarily reordered — the grace period covers that).
-    for (int64_t s = st.highest + 1; s < useq; ++s) {
-      st.missing.emplace(
-          s, Missing{static_cast<uint16_t>(s & 0xFFFF), loop_->now(),
-                     loop_->now() + config_.reorder_grace, 0});
+    // momentarily reordered — the grace period covers that). Only the
+    // newest `max_outstanding_per_path` entries would survive the burst
+    // cap anyway, so older ones are abandoned up front — a spurious jump
+    // (e.g. a >32k-stale arrival unwrapping forward) costs O(cap), not
+    // O(gap) insertions.
+    const int64_t cap =
+        static_cast<int64_t>(config_.max_outstanding_per_path);
+    const int64_t first = std::max(st.highest + 1, useq - cap);
+    stats_.abandoned += first - (st.highest + 1);
+    for (int64_t s = first; s < useq; ++s) {
+      st.missing.emplace(s, Missing{loop_->now(),
+                                    loop_->now() + config_.reorder_grace, 0});
     }
     st.highest = useq;
     // Burst-loss cap: keep only the newest entries.
@@ -48,13 +58,22 @@ void NackGenerator::OnPacket(int64_t flow, uint16_t seq) {
 void NackGenerator::OnRecovered(int64_t flow, uint16_t seq) {
   auto fit = flows_.find(flow);
   if (fit == flows_.end()) return;
-  auto& missing = fit->second.missing;
-  for (auto it = missing.begin(); it != missing.end(); ++it) {
-    if (it->second.seq == seq) {
-      ++stats_.recovered;
-      missing.erase(it);
-      return;
-    }
+  FlowState& st = fit->second;
+  if (!st.initialized) return;
+  // Re-wrap the 16-bit wire seq into the flow's unwrapped space relative to
+  // the highest sequence seen, exactly as the sender side does. A linear
+  // first-match scan on truncated seqs would be ambiguous across the wrap
+  // boundary (keys 65536 apart share a wire seq) and could erase the wrong
+  // entry; the exact key lookup cannot. This must not go through
+  // st.unwrapper: recovery notifications are not in-order arrivals and
+  // advancing the unwrapper here would corrupt gap detection.
+  const int64_t key =
+      st.highest + static_cast<int16_t>(static_cast<uint16_t>(
+                       seq - static_cast<uint16_t>(st.highest & 0xFFFF)));
+  auto it = st.missing.find(key);
+  if (it != st.missing.end()) {
+    ++stats_.recovered;
+    st.missing.erase(it);
   }
 }
 
@@ -71,7 +90,7 @@ void NackGenerator::Process() {
         continue;
       }
       if (now >= m.next_send) {
-        batch.push_back(m.seq);
+        batch.push_back(static_cast<uint16_t>(it->first & 0xFFFF));
         ++m.retries;
         m.next_send = now + config_.retry_interval;
       }
@@ -79,8 +98,18 @@ void NackGenerator::Process() {
     }
     if (!batch.empty()) {
       stats_.nacks_sent += static_cast<int64_t>(batch.size());
+      if (TraceRecorder* trace = TraceRecorder::Current()) {
+        trace->Instant("nack", "batch", now,
+                       static_cast<double>(batch.size()),
+                       static_cast<int32_t>(flow), -1,
+                       static_cast<double>(st.missing.size()));
+      }
       send_(flow, batch);
     }
+  }
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Counter("nack", "outstanding", now,
+                   static_cast<double>(outstanding()));
   }
 }
 

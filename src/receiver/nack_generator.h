@@ -61,8 +61,11 @@ class NackGenerator {
   size_t outstanding() const;
 
  private:
+  // The wire sequence is derived from the unwrapped map key when a NACK is
+  // built (key & 0xFFFF). Storing a truncated copy alongside the key invites
+  // aliasing: two keys 65536 apart carry the same 16-bit seq, and a
+  // recovery for one could credit the other.
   struct Missing {
-    uint16_t seq;
     Timestamp first_detected;
     Timestamp next_send;
     int retries = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/trace_recorder.h"
+
 namespace converge {
 
 QoeMonitor::QoeMonitor(EventLoop* loop, Config config, FeedbackFn send)
@@ -58,6 +60,13 @@ void QoeMonitor::OnFrameGathered(const GatheredFrame& gathered) {
 void QoeMonitor::OnFrameInserted(Duration ifd) {
   last_ifd_ = ifd;
   const bool ifd_breach = ifd > ifd_exp_ * config_.ifd_tolerance;
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Counter("qoe", "ifd_ms", loop_->now(), ifd.seconds() * 1000.0);
+    trace->Counter("qoe", "fcd_ms", loop_->now(),
+                   last_fcd_.seconds() * 1000.0);
+    trace->Counter("qoe", "ifd_breach_streak", loop_->now(),
+                   static_cast<double>(breach_streak_ + (ifd_breach ? 1 : 0)));
+  }
   if (ifd_breach) {
     ++breach_streak_;
   } else {
@@ -94,6 +103,12 @@ void QoeMonitor::MaybeSendNegative() {
   // ultimately disables the path); one bad frame must not.
   fb.alpha = -static_cast<int32_t>(std::min<int64_t>(worst_late, 5));
   fb.fcd = last_fcd_;
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant("qoe", "negative_verdict", now,
+                   static_cast<double>(fb.alpha),
+                   static_cast<int32_t>(worst), -1,
+                   last_fcd_.seconds() * 1000.0);
+  }
   send_(fb);
   ++stats_.negative_feedback;
   last_feedback_ = now;
@@ -115,6 +130,12 @@ void QoeMonitor::MaybeSendPositive() {
       fb.alpha = static_cast<int32_t>(std::min<int64_t>(
           w.early, config_.max_positive_alpha));
       fb.fcd = last_fcd_;
+      if (TraceRecorder* trace = TraceRecorder::Current()) {
+        trace->Instant("qoe", "positive_verdict", now,
+                       static_cast<double>(fb.alpha),
+                       static_cast<int32_t>(path), -1,
+                       last_fcd_.seconds() * 1000.0);
+      }
       send_(fb);
       ++stats_.positive_feedback;
       last_positive_ = now;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/trace_recorder.h"
+
 namespace converge {
 
 VideoReceiveStream::VideoReceiveStream(EventLoop* loop, Config config,
@@ -21,8 +23,17 @@ VideoReceiveStream::VideoReceiveStream(EventLoop* loop, Config config,
                        // metrics); enable_qoe_feedback only gates whether
                        // feedback messages leave the endpoint.
                        qoe_monitor_.OnFrameGathered(gathered);
+                       const int32_t stream_id = gathered.frame.stream_id;
                        frame_buffer_.Insert(std::move(gathered.frame));
                        qoe_monitor_.OnFrameInserted(frame_buffer_.last_ifd());
+                       if (TraceRecorder* trace = TraceRecorder::Current()) {
+                         trace->Counter("packet_buffer", "frames", loop_->now(),
+                                        static_cast<double>(packet_buffer_.size()),
+                                        -1, stream_id);
+                         trace->Counter("frame_buffer", "frames", loop_->now(),
+                                        static_cast<double>(frame_buffer_.size()),
+                                        -1, stream_id);
+                       }
                      }),
       frame_buffer_(
           loop, config.frame_buffer,

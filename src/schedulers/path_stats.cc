@@ -58,7 +58,15 @@ std::vector<int> ProportionalSplit(const std::vector<PathInfo>& paths,
     assigned += out[i];
     remainders.emplace_back(exact - std::floor(exact), i);
   }
-  std::sort(remainders.rbegin(), remainders.rend());
+  // Largest remainder first; remainder ties go to the lower PathId so the
+  // split is deterministic and stable across the paths' iteration order
+  // (a reversed pair-sort would hand ties to the higher index).
+  std::sort(remainders.begin(), remainders.end(),
+            [&](const std::pair<double, size_t>& a,
+                const std::pair<double, size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return paths[a.second].id < paths[b.second].id;
+            });
   for (size_t j = 0; j < remainders.size() && assigned < n; ++j) {
     ++out[remainders[j].second];
     ++assigned;

@@ -108,6 +108,9 @@ bool HasMultipathRtpExtension(Variant v) {
 }  // namespace
 
 Call::Call(const CallConfig& config) : config_(config) {
+  if (config.trace_capacity > 0) {
+    trace_ = std::make_unique<TraceRecorder>(config.trace_capacity);
+  }
   Random rng(config.seed);
   network_ = std::make_unique<Network>(&loop_, config.paths, rng.Fork());
   scheduler_ = MakeScheduler(config);
@@ -208,6 +211,9 @@ CallStats Call::Run() {
     InvariantRegistry::SetContext(ToString(config_.variant) +
                                   " seed=" + std::to_string(config_.seed));
   }
+  // Calls run single-threaded (one per worker in parallel sweeps), so the
+  // thread-local recorder covers exactly this call's components.
+  TraceScope trace_scope(trace_.get());
   receiver_->Start();
   sender_->Start();
   loop_.RunUntil(Timestamp::Zero() + config_.duration);

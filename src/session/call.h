@@ -16,6 +16,7 @@
 #include "session/metrics.h"
 #include "session/receiver_endpoint.h"
 #include "session/sender.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 
@@ -53,6 +54,11 @@ struct CallConfig {
   // Tunables for the Converge variants (design-choice ablations).
   VideoAwareScheduler::Config video_scheduler;
   ConvergeFecController::Config converge_fec;
+  // Flight-recorder capacity in events; 0 (the default) disables tracing.
+  // When set, the call owns a TraceRecorder that is installed for the
+  // duration of Run() — probes are read-only, so results are identical
+  // with tracing on or off.
+  size_t trace_capacity = 0;
 };
 
 // Aggregated results of one call.
@@ -95,6 +101,8 @@ class Call {
   CallStats Run();
 
   EventLoop& loop() { return loop_; }
+  // The call's flight recorder (nullptr unless trace_capacity > 0).
+  TraceRecorder* trace() { return trace_.get(); }
   const MetricsCollector& metrics() const { return *metrics_; }
   const Sender& sender() const { return *sender_; }
   const ReceiverEndpoint& receiver() const { return *receiver_; }
@@ -108,6 +116,7 @@ class Call {
 
   CallConfig config_;
   EventLoop loop_;
+  std::unique_ptr<TraceRecorder> trace_;
   std::unique_ptr<Network> network_;
   std::unique_ptr<Scheduler> scheduler_;
   std::unique_ptr<FecController> fec_;

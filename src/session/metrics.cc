@@ -94,6 +94,18 @@ StreamQoe MetricsCollector::StreamResult(int stream_id,
   out.avg_fps = static_cast<double>(st.frames) / seconds;
   out.freeze_total_ms = st.freeze_total_ms;
   out.freeze_count = st.freeze_count;
+  // A freeze still in progress when the call ends is real frozen wall time
+  // the per-frame accounting above never closes (it only books a freeze on
+  // the *next* decoded frame). Calls start at Timestamp::Zero(), so call
+  // end is Zero() + call_length.
+  if (st.last_render.IsFinite()) {
+    const Duration tail =
+        (Timestamp::Zero() + call_length) - st.last_render;
+    if (tail > config_.freeze_threshold) {
+      out.freeze_total_ms += (tail - config_.expected_frame_interval).ms();
+      ++out.freeze_count;
+    }
+  }
   out.e2e_mean_ms = st.e2e_ms.Mean();
   out.e2e_p95_ms = st.e2e_ms.Quantile(0.95);
   out.e2e_std_ms = st.e2e_ms.Stddev();

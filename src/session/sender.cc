@@ -6,6 +6,7 @@
 
 #include "schedulers/path_stats.h"
 #include "util/invariants.h"
+#include "util/trace_recorder.h"
 
 namespace converge {
 
@@ -22,9 +23,13 @@ Sender::Sender(EventLoop* loop, Config config, Scheduler* scheduler,
       path_ids_(std::move(path_ids)) {
   for (PathId id : path_ids_) {
     PathState& st = paths_[id];
-    st.gcc = GccController(config_.gcc);
+    GccController::Config gcc_config = config_.gcc;
+    gcc_config.trace_path = static_cast<int>(id);
+    st.gcc = GccController(gcc_config);
+    Pacer::Config pacer_config = config_.pacer;
+    pacer_config.trace_path = static_cast<int>(id);
     st.pacer = std::make_unique<Pacer>(
-        loop_, config_.pacer,
+        loop_, pacer_config,
         [this, id](RtpPacket&& packet) { DispatchPacket(id, std::move(packet)); });
     st.pacer->SetRate(config_.gcc.start_rate);
   }
@@ -126,6 +131,23 @@ void Sender::OnCameraFrame(size_t stream_index, const RawFrame& raw) {
     const PathId path = assignment[i];
     if (path == kInvalidPathId) continue;  // blackout (CM) — not sent
     per_path[path].push_back(&packets[i]);
+  }
+
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    // The per-frame split decision: one counter per destination path (paths
+    // assigned nothing this frame report zero so their series stays dense),
+    // plus one instant carrying the frame's packet count and kind.
+    for (PathId id : path_ids_) {
+      auto it = per_path.find(id);
+      const double share =
+          it != per_path.end() ? static_cast<double>(it->second.size()) : 0.0;
+      trace->Counter("scheduler", "split_pkts", loop_->now(), share,
+                     static_cast<int32_t>(id));
+    }
+    trace->Instant("scheduler", "frame_assigned", loop_->now(),
+                   static_cast<double>(packets.size()), -1,
+                   static_cast<int32_t>(frame.stream_id),
+                   frame.kind == FrameKind::kKey ? 1.0 : 0.0);
   }
 
   // Send media packets.
@@ -272,6 +294,11 @@ void Sender::Tick() {
   const DataRate per_stream =
       encoder_target_ / static_cast<int64_t>(std::max<size_t>(1, streams_.size()));
   for (StreamState& s : streams_) s.encoder->SetTargetRate(per_stream);
+
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Counter("sender", "encoder_target_kbps", now,
+                   static_cast<double>(encoder_target_.bps()) / 1000.0);
+  }
 
   // Probe disabled paths with duplicated fast-path packets (§4.2).
   for (PathId path : scheduler_->PathsNeedingProbe(now)) {

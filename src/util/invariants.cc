@@ -4,6 +4,8 @@
 #include <mutex>
 #include <sstream>
 
+#include "util/trace_recorder.h"
+
 namespace converge {
 namespace {
 
@@ -28,6 +30,13 @@ std::atomic<int64_t>& Count() {
 
 thread_local std::string t_context;
 
+// Tail of the reporting thread's flight recorder, captured under Mutex()
+// when the first violation is stored.
+std::string& FlightTail() {
+  static std::string tail;
+  return tail;
+}
+
 std::string FormatTime(Timestamp at) {
   if (!at.IsFinite()) return "no-sim-time";
   std::ostringstream os;
@@ -48,6 +57,13 @@ void InvariantRegistry::Report(const char* component, const char* condition,
   Count().fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(Mutex());
   if (Violations().size() >= kMaxStoredViolations) return;
+  if (Violations().empty() && FlightTail().empty()) {
+    // First stored violation: if this thread is tracing, preserve the
+    // recent component history — the post-mortem for chaos/CI artifacts.
+    if (TraceRecorder* trace = TraceRecorder::Current()) {
+      FlightTail() = trace->DescribeTail();
+    }
+  }
   Violations().push_back(InvariantViolation{component, condition,
                                             std::move(detail), t_context, at});
 }
@@ -71,6 +87,12 @@ void InvariantRegistry::Clear() {
   std::lock_guard<std::mutex> lock(Mutex());
   Violations().clear();
   Count().store(0, std::memory_order_relaxed);
+  FlightTail().clear();
+}
+
+std::string InvariantRegistry::FlightRecorderTail() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  return FlightTail();
 }
 
 std::string InvariantRegistry::Describe(size_t max_entries) {
@@ -91,6 +113,8 @@ std::string InvariantRegistry::Describe(size_t max_entries) {
     if (!v.context.empty()) os << " (" << v.context << ")";
     os << "\n";
   }
+  const std::string tail = FlightRecorderTail();
+  if (!tail.empty()) os << tail;
   return os.str();
 }
 
@@ -103,6 +127,8 @@ bool InvariantRegistry::WriteLog(const std::string& path) {
     out << v.component << "\t" << FormatTime(v.at) << "\t" << v.condition
         << "\t" << v.detail << "\t" << v.context << "\n";
   }
+  const std::string tail = FlightRecorderTail();
+  if (!tail.empty()) out << tail;
   return static_cast<bool>(out);
 }
 

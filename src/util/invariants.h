@@ -51,6 +51,13 @@ class InvariantRegistry {
   static std::vector<InvariantViolation> Snapshot();
   static void Clear();
 
+  // Flight-recorder tail captured from the reporting thread's TraceRecorder
+  // at the moment the first violation was stored (empty when no recorder
+  // was installed). Describe() and WriteLog() append it, so a traced chaos
+  // run that trips an invariant ships the controllers' recent history with
+  // the violation report.
+  static std::string FlightRecorderTail();
+
   // Human-readable dump of the first `max_entries` violations, for test
   // failure messages.
   static std::string Describe(size_t max_entries = 16);

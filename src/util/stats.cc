@@ -30,7 +30,7 @@ double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 double SampleSet::Quantile(double q) const {
   if (samples_.empty()) return 0.0;
-  std::vector<double> sorted = Sorted();
+  const std::vector<double>& sorted = SortedCache();
   const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
   const size_t hi = std::min(lo + 1, sorted.size() - 1);
@@ -52,10 +52,15 @@ double SampleSet::Stddev() const {
   return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
 }
 
-std::vector<double> SampleSet::Sorted() const {
-  std::vector<double> sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  return sorted;
+std::vector<double> SampleSet::Sorted() const { return SortedCache(); }
+
+const std::vector<double>& SampleSet::SortedCache() const {
+  if (dirty_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  return sorted_;
 }
 
 void RateEstimator::AddBytes(Timestamp now, int64_t bytes) {

@@ -38,10 +38,15 @@ class RunningStat {
 // reporting (per-frame latency percentiles etc.), not hot paths.
 class SampleSet {
  public:
-  void Add(double x) { samples_.push_back(x); }
+  void Add(double x) {
+    samples_.push_back(x);
+    dirty_ = true;
+  }
   bool empty() const { return samples_.empty(); }
   size_t size() const { return samples_.size(); }
-  // q in [0,1]; linear interpolation between order statistics.
+  // q in [0,1]; linear interpolation between order statistics. The sorted
+  // order is cached with dirty-bit invalidation, so a multi-quantile report
+  // (p5/p50/p95/p99...) sorts once, not once per quantile.
   double Quantile(double q) const;
   double Mean() const;
   double Stddev() const;
@@ -50,7 +55,11 @@ class SampleSet {
   std::vector<double> Sorted() const;
 
  private:
+  const std::vector<double>& SortedCache() const;
+
   std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = true;
 };
 
 // Exponentially weighted moving average.

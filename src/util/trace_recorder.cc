@@ -1,0 +1,204 @@
+#include "util/trace_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace converge {
+
+ATTR_TLS_INITIAL_EXEC constinit thread_local TraceRecorder*
+    TraceRecorder::current_ = nullptr;
+
+TraceScope::TraceScope(TraceRecorder* recorder)
+    : prev_(TraceRecorder::current_) {
+  TraceRecorder::current_ = recorder;
+}
+
+TraceScope::~TraceScope() { TraceRecorder::current_ = prev_; }
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+void TraceRecorder::Emit(TraceEvent event) {
+  if (event.at_us == kInheritTime) {
+    // Clock-less emitter (e.g. a pure-function FEC controller): pin the
+    // event to the newest simulation time seen so the timeline stays
+    // monotone for exporters.
+    event.at_us = last_at_us_;
+  } else {
+    last_at_us_ = std::max(last_at_us_, event.at_us);
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[static_cast<size_t>(total_ % static_cast<int64_t>(capacity_))] =
+        event;
+  }
+  ++total_;
+}
+
+size_t TraceRecorder::size() const {
+  return ring_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (total_ <= static_cast<int64_t>(capacity_)) {
+    out = ring_;
+  } else {
+    // The ring wrapped: the oldest surviving event lives at the next write
+    // position.
+    const size_t head =
+        static_cast<size_t>(total_ % static_cast<int64_t>(capacity_));
+    out.insert(out.end(), ring_.begin() + static_cast<ptrdiff_t>(head),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<ptrdiff_t>(head));
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out += buf;
+}
+
+// Series name: component.name plus path/stream qualifiers so each scope gets
+// its own Perfetto track (e.g. "gcc.target_kbps.p1").
+std::string SeriesName(const TraceEvent& e) {
+  std::string name = e.component;
+  name.push_back('.');
+  name += e.name;
+  if (e.path >= 0) {
+    name += ".p";
+    name += std::to_string(e.path);
+  }
+  if (e.stream >= 0) {
+    name += ".s";
+    name += std::to_string(e.stream);
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 128);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    const std::string series = SeriesName(e);
+    out += "{\"name\":\"";
+    AppendJsonEscaped(out, series.c_str());
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(out, e.component);
+    out += "\",\"ph\":\"";
+    out += e.kind == TraceKind::kCounter ? "C" : "i";
+    out += "\",\"ts\":";
+    out += std::to_string(e.at_us);
+    out += ",\"pid\":1,\"tid\":1";
+    if (e.kind == TraceKind::kInstant) {
+      out += ",\"s\":\"g\"";
+    }
+    out += ",\"args\":{\"value\":";
+    AppendDouble(out, e.value);
+    if (e.kind == TraceKind::kInstant && e.value2 != 0.0) {
+      out += ",\"value2\":";
+      AppendDouble(out, e.value2);
+    }
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << ChromeTraceJson();
+  return file.good();
+}
+
+std::string TraceRecorder::Csv() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "t_ms,component,name,kind,path,stream,value,value2\n";
+  char buf[64];
+  for (const TraceEvent& e : events) {
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(e.at_us) / 1000.0);
+    out += buf;
+    out.push_back(',');
+    out += e.component;
+    out.push_back(',');
+    out += e.name;
+    out.push_back(',');
+    out += e.kind == TraceKind::kCounter ? "counter" : "instant";
+    out.push_back(',');
+    out += std::to_string(e.path);
+    out.push_back(',');
+    out += std::to_string(e.stream);
+    out.push_back(',');
+    AppendDouble(out, e.value);
+    out.push_back(',');
+    AppendDouble(out, e.value2);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+bool TraceRecorder::WriteCsv(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) return false;
+  file << Csv();
+  return file.good();
+}
+
+std::string TraceRecorder::DescribeTail(size_t max_events) const {
+  const std::vector<TraceEvent> events = Snapshot();
+  const size_t n = std::min(max_events, events.size());
+  std::ostringstream out;
+  out << "flight recorder tail (" << n << " of " << total_
+      << " events, newest last):\n";
+  for (size_t i = events.size() - n; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << "  t=" << (static_cast<double>(e.at_us) / 1000.0) << "ms "
+        << e.component << '.' << e.name;
+    if (e.path >= 0) out << " path=" << e.path;
+    if (e.stream >= 0) out << " stream=" << e.stream;
+    out << " value=" << e.value;
+    if (e.kind == TraceKind::kInstant && e.value2 != 0.0) {
+      out << " value2=" << e.value2;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace converge

@@ -1,0 +1,147 @@
+// Flight-recorder trace layer: a fixed-capacity ring buffer of typed trace
+// events stamped with simulation time, fed by lightweight probes inside the
+// runtime components (GCC, pacer, schedulers, FEC controllers, NACK
+// generator, receiver buffers, QoE monitor).
+//
+// Cost model mirrors util/invariants.h: recording is off by default and a
+// probe site costs one thread-local pointer load when no recorder is
+// installed, so production/bench hot paths pay nothing measurable. A call
+// opts in by owning a TraceRecorder and installing it with TraceScope for
+// the duration of its Run; because every Call executes on a single worker
+// thread, parallel multi-seed sweeps can each trace their own call without
+// sharing state. Probes only *read* component state — enabling tracing can
+// never alter simulation results, which keeps traced runs byte-identical
+// with untraced ones.
+//
+// Exporters: Chrome trace-format JSON (loadable in Perfetto or
+// chrome://tracing) and a flat per-metric CSV time series, plus a
+// human-readable tail dump that the invariant harness attaches to violation
+// reports (see util/invariants.h).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+#if defined(__ELF__) && (defined(__GNUC__) || defined(__clang__))
+#define ATTR_TLS_INITIAL_EXEC __attribute__((tls_model("initial-exec")))
+#else
+#define ATTR_TLS_INITIAL_EXEC
+#endif
+
+namespace converge {
+
+// Counters are sampled values rendered as time-series tracks; instants are
+// discrete moments (a NACK batch leaving, a QoE verdict, a path disable).
+enum class TraceKind : uint8_t { kCounter, kInstant };
+
+// One recorded event. Component/name must be string literals (or otherwise
+// outlive the recorder): events store the pointers, never copies, so
+// emission is allocation-free.
+struct TraceEvent {
+  int64_t at_us = 0;
+  const char* component = "";
+  const char* name = "";
+  TraceKind kind = TraceKind::kCounter;
+  int32_t path = -1;    // PathId, -1 when not path-scoped
+  int32_t stream = -1;  // stream id, -1 when not stream-scoped
+  double value = 0.0;
+  double value2 = 0.0;  // secondary value for instants (context)
+};
+
+class TraceRecorder {
+ public:
+  // ~11 MB of events; at the default probe cadence this holds several
+  // minutes of a two-path call, and older events are overwritten in flight
+  // recorder fashion once the ring is full.
+  static constexpr size_t kDefaultCapacity = 1 << 18;
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  // The recorder installed on this thread, or nullptr when tracing is off.
+  // Inline: a disabled probe site is one thread-local load and a branch.
+  static TraceRecorder* Current() { return current_; }
+
+  // Emission. Events whose timestamp is not finite (pure-function components
+  // with no clock, e.g. the FEC controllers) inherit the recorder's
+  // high-water simulation time so the timeline stays ordered.
+  void Emit(TraceEvent event);
+  void Counter(const char* component, const char* name, Timestamp at,
+               double value, int32_t path = -1, int32_t stream = -1) {
+    Emit(TraceEvent{at.IsFinite() ? at.us() : kInheritTime, component, name,
+                    TraceKind::kCounter, path, stream, value, 0.0});
+  }
+  void Instant(const char* component, const char* name, Timestamp at,
+               double value, int32_t path = -1, int32_t stream = -1,
+               double value2 = 0.0) {
+    Emit(TraceEvent{at.IsFinite() ? at.us() : kInheritTime, component, name,
+                    TraceKind::kInstant, path, stream, value, value2});
+  }
+
+  size_t capacity() const { return capacity_; }
+  // Events currently stored (<= capacity).
+  size_t size() const;
+  // Lifetime emission count; total_emitted() - size() events were
+  // overwritten by the ring.
+  int64_t total_emitted() const { return total_; }
+  int64_t dropped() const { return total_ - static_cast<int64_t>(size()); }
+
+  // Stored events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  // Chrome trace-format JSON ({"traceEvents": [...]}): counters become "C"
+  // events (one series per component.name[pN]), instants become "i" events.
+  std::string ChromeTraceJson() const;
+  bool WriteChromeTrace(const std::string& path) const;
+
+  // Flat CSV time series: t_ms,component,name,kind,path,stream,value,value2.
+  std::string Csv() const;
+  bool WriteCsv(const std::string& path) const;
+
+  // Human-readable dump of the newest `max_events` events, newest last —
+  // the flight-recorder tail attached to invariant-violation reports.
+  std::string DescribeTail(size_t max_events = 48) const;
+
+ private:
+  friend class TraceScope;
+  static constexpr int64_t kInheritTime =
+      std::numeric_limits<int64_t>::min();
+
+  // constinit: no dynamic initialization, so access sites skip the TLS
+  // init-guard wrapper entirely (GCC 12 miscompiles that guard's flags
+  // under -fsanitize=address,undefined at -O2, branching spuriously into
+  // the sanitizer error block). initial-exec additionally keeps the
+  // disabled-probe load a single %fs-relative mov (no __tls_get_addr
+  // call); valid because the recorder only lives in statically linked
+  // code.
+  ATTR_TLS_INITIAL_EXEC static constinit thread_local TraceRecorder*
+      current_;
+
+  size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  int64_t total_ = 0;
+  int64_t last_at_us_ = 0;
+};
+
+// RAII: installs a recorder as this thread's trace target, restoring the
+// previous target (usually nullptr) on exit. Ctor/dtor are out of line on
+// purpose: GCC 12 miscompiles the inlined TLS *store* under
+// -fsanitize=address,undefined at -O2 (the TLS-init guard's flags are
+// clobbered by the address computation, branching into the sanitizer's
+// error block). Scopes are entered twice per call, so this costs nothing;
+// the hot path is the inline Current() *load*, which is unaffected.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceRecorder* recorder);
+  ~TraceScope();
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+}  // namespace converge

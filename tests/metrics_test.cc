@@ -46,10 +46,11 @@ TEST_F(MetricsTest, FreezeDetection) {
       MakeDecoded(0, 0, Timestamp::Millis(0), Duration::Millis(80)));
   metrics_.OnDecodedFrame(
       MakeDecoded(0, 1, Timestamp::Millis(33), Duration::Millis(80)));
-  // 500 ms gap: one freeze of ~467 ms beyond the expected interval.
+  // 500 ms gap: one freeze of ~467 ms beyond the expected interval. Call
+  // ends shortly after the last frame so only the mid-call freeze counts.
   metrics_.OnDecodedFrame(
       MakeDecoded(0, 2, Timestamp::Millis(533), Duration::Millis(80)));
-  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(1.0));
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Millis(600));
   EXPECT_EQ(q.freeze_count, 1);
   EXPECT_NEAR(q.freeze_total_ms, 467.0, 1.0);
 }
@@ -59,8 +60,36 @@ TEST_F(MetricsTest, ShortGapIsNotAFreeze) {
       MakeDecoded(0, 0, Timestamp::Millis(0), Duration::Millis(80)));
   metrics_.OnDecodedFrame(
       MakeDecoded(0, 1, Timestamp::Millis(150), Duration::Millis(80)));
-  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(1.0));
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Millis(300));
   EXPECT_EQ(q.freeze_count, 0);
+}
+
+// Regression: a tail outage — the stream dies mid-call and never recovers —
+// must count as frozen time. The old per-frame accounting only booked a
+// freeze when the NEXT frame decoded, so a freeze in progress at call end
+// vanished from freeze_total_ms entirely.
+TEST_F(MetricsTest, FreezeInProgressAtCallEndIsCounted) {
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 0, Timestamp::Millis(0), Duration::Millis(80)));
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 1, Timestamp::Millis(33), Duration::Millis(80)));
+  // Nothing more decodes; the call runs to 2 s. Tail = 1967 ms, freeze
+  // booked = tail - expected interval (33 ms) = 1934 ms.
+  const StreamQoe q = metrics_.StreamResult(0, Duration::Seconds(2.0));
+  EXPECT_EQ(q.freeze_count, 1);
+  EXPECT_NEAR(q.freeze_total_ms, 1934.0, 1.0);
+
+  // The accounting is computed at report time and must not double-book:
+  // asking again yields the same totals.
+  const StreamQoe again = metrics_.StreamResult(0, Duration::Seconds(2.0));
+  EXPECT_EQ(again.freeze_count, q.freeze_count);
+  EXPECT_EQ(again.freeze_total_ms, q.freeze_total_ms);
+
+  // A mid-call freeze and a tail freeze both count.
+  metrics_.OnDecodedFrame(
+      MakeDecoded(0, 2, Timestamp::Millis(533), Duration::Millis(80)));
+  const StreamQoe both = metrics_.StreamResult(0, Duration::Seconds(2.0));
+  EXPECT_EQ(both.freeze_count, 2);
 }
 
 TEST_F(MetricsTest, GoodputCountsOnlyDecodedBytes) {

@@ -140,5 +140,59 @@ TEST_F(NackTest, WrapAroundGapDetected) {
   EXPECT_EQ(sent_[1].second, 0);
 }
 
+// Regression for the seq-truncation bug: entries used to store `s & 0xFFFF`
+// next to the unwrapped key, and OnRecovered did a first-match linear scan
+// on the truncated value — ambiguous whenever the chase list straddles the
+// 0xFFFF→0x0000 boundary. Recovery at the boundary must erase exactly the
+// right entry.
+TEST_F(NackTest, RecoveryAcrossWrapBoundaryClearsRightEntry) {
+  nack_.OnPacket(0, 0xFFFD);
+  nack_.OnPacket(0, 2);  // missing: 0xFFFE, 0xFFFF, 0, 1 across the wrap
+  EXPECT_EQ(nack_.outstanding(), 4u);
+
+  nack_.OnRecovered(0, 0xFFFF);  // pre-wrap wire seq
+  nack_.OnRecovered(0, 0);       // post-wrap wire seq
+  EXPECT_EQ(nack_.outstanding(), 2u);
+  EXPECT_EQ(nack_.stats().recovered, 2);
+
+  // The survivors are exactly 0xFFFE and 1.
+  loop_.RunUntil(Timestamp::Millis(50));
+  ASSERT_EQ(sent_.size(), 2u);
+  EXPECT_EQ(sent_[0].second, 0xFFFE);
+  EXPECT_EQ(sent_[1].second, 1);
+}
+
+// A recovery notice for a sequence that is not being chased (e.g. a stale
+// duplicate RTX) must be a no-op — in particular it must not erase an alias
+// 65536 away or disturb the unwrapper.
+TEST_F(NackTest, SpuriousRecoveryIsNoOp) {
+  nack_.OnPacket(0, 10);
+  nack_.OnPacket(0, 13);  // missing: 11, 12
+  nack_.OnRecovered(0, 11);
+  EXPECT_EQ(nack_.outstanding(), 1u);
+  // Same wire seq again, and one that was never missing.
+  nack_.OnRecovered(0, 11);
+  nack_.OnRecovered(0, 500);
+  EXPECT_EQ(nack_.outstanding(), 1u);
+  EXPECT_EQ(nack_.stats().recovered, 1);
+  // Gap detection still works after the recovery calls.
+  nack_.OnPacket(0, 15);  // 14 now missing too
+  EXPECT_EQ(nack_.outstanding(), 2u);
+}
+
+// A stale arrival from >32768 behind unwraps FORWARD (int16 delta), which
+// used to insert up to 65535 chase entries one by one before trimming. The
+// generator must survive such a jump with bounded work and a bounded list.
+TEST_F(NackTest, HugeForwardJumpIsBounded) {
+  nack_.OnPacket(0, 100);
+  nack_.OnPacket(0, 40000);  // unwraps ~39900 ahead
+  EXPECT_LE(nack_.outstanding(), 64u);  // default max_outstanding_per_path
+  EXPECT_GE(nack_.stats().abandoned, 39'800);
+  // Still functional afterwards: the newest entries are chased.
+  loop_.RunUntil(Timestamp::Millis(50));
+  EXPECT_GT(sent_.size(), 0u);
+  EXPECT_LE(sent_.size(), 64u);
+}
+
 }  // namespace
 }  // namespace converge

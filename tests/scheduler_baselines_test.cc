@@ -60,6 +60,35 @@ TEST(PathStatsTest, ProportionalSplitSumsToN) {
   EXPECT_EQ(split[1], 10);
 }
 
+// Remainder ties must go to the LOWER PathId (the reverse pair-sort used to
+// hand them to the higher index), and the split must be invariant to the
+// order the paths are listed in.
+TEST(PathStatsTest, ProportionalSplitTiesFavorLowerPathId) {
+  // Equal rates, odd n: every path has remainder 0.5, one gets the extra.
+  const std::vector<PathInfo> paths = {MakePath(0, 10, 50), MakePath(1, 10, 50)};
+  const std::vector<int> split = ProportionalSplit(paths, 5);
+  EXPECT_EQ(split[0] + split[1], 5);
+  EXPECT_EQ(split[0], 3);  // tie-break to PathId 0
+  EXPECT_EQ(split[1], 2);
+
+  // Same paths listed in reverse order: PathId 0 still wins the tie.
+  const std::vector<PathInfo> reversed = {MakePath(1, 10, 50),
+                                          MakePath(0, 10, 50)};
+  const std::vector<int> rsplit = ProportionalSplit(reversed, 5);
+  EXPECT_EQ(rsplit[0] + rsplit[1], 5);
+  EXPECT_EQ(rsplit[1], 3);  // PathId 0 is at index 1 here
+  EXPECT_EQ(rsplit[0], 2);
+
+  // Three-way tie, two extras: lowest two PathIds get them.
+  const std::vector<PathInfo> three = {MakePath(2, 9, 50), MakePath(0, 9, 50),
+                                       MakePath(1, 9, 50)};
+  const std::vector<int> tsplit = ProportionalSplit(three, 8);
+  EXPECT_EQ(tsplit[0] + tsplit[1] + tsplit[2], 8);
+  EXPECT_EQ(tsplit[1], 3);  // PathId 0
+  EXPECT_EQ(tsplit[2], 3);  // PathId 1
+  EXPECT_EQ(tsplit[0], 2);  // PathId 2 misses out
+}
+
 TEST(PathStatsTest, ProportionalSplitEdgeCases) {
   EXPECT_TRUE(ProportionalSplit({}, 10).empty());
   const std::vector<PathInfo> one = {MakePath(0, 10, 50)};

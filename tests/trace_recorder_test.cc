@@ -1,0 +1,266 @@
+// Flight-recorder trace layer: ring semantics, zero observable effect on
+// simulation results, Chrome-trace export sanity, and the invariant-harness
+// hookup that dumps the recorder tail on a violation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "session/call.h"
+#include "session/stats_json.h"
+#include "trace/generators.h"
+#include "util/invariants.h"
+#include "util/trace_recorder.h"
+
+namespace converge {
+namespace {
+
+TEST(TraceRecorderTest, StoresEventsInOrder) {
+  TraceRecorder recorder(16);
+  recorder.Counter("gcc", "target_kbps", Timestamp::Millis(10), 300.0, 0);
+  recorder.Instant("nack", "batch", Timestamp::Millis(20), 3.0, 1, -1, 7.0);
+  ASSERT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.total_emitted(), 2);
+  EXPECT_EQ(recorder.dropped(), 0);
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  EXPECT_STREQ(events[0].component, "gcc");
+  EXPECT_STREQ(events[0].name, "target_kbps");
+  EXPECT_EQ(events[0].at_us, 10'000);
+  EXPECT_EQ(events[0].kind, TraceKind::kCounter);
+  EXPECT_EQ(events[0].path, 0);
+  EXPECT_DOUBLE_EQ(events[0].value, 300.0);
+  EXPECT_EQ(events[1].kind, TraceKind::kInstant);
+  EXPECT_DOUBLE_EQ(events[1].value2, 7.0);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestAtCapacity) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Counter("c", "v", Timestamp::Millis(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_emitted(), 10);
+  EXPECT_EQ(recorder.dropped(), 6);
+
+  // Snapshot is the newest 4 events, oldest first.
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(events[static_cast<size_t>(i)].value,
+                     static_cast<double>(6 + i));
+  }
+}
+
+TEST(TraceRecorderTest, ClocklessEventsInheritNewestSimTime) {
+  TraceRecorder recorder(8);
+  recorder.Counter("gcc", "target_kbps", Timestamp::Millis(50), 1.0);
+  // A clock-less component (FEC controller) emits with MinusInfinity.
+  recorder.Counter("fec", "beta", Timestamp::MinusInfinity(), 1.5, 0);
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].at_us, 50'000);  // inherited, not -inf garbage
+}
+
+TEST(TraceRecorderTest, CurrentIsNullWithoutScopeAndRestoredAfter) {
+  EXPECT_EQ(TraceRecorder::Current(), nullptr);
+  TraceRecorder recorder(8);
+  {
+    TraceScope scope(&recorder);
+    EXPECT_EQ(TraceRecorder::Current(), &recorder);
+    {
+      TraceRecorder inner(8);
+      TraceScope nested(&inner);
+      EXPECT_EQ(TraceRecorder::Current(), &inner);
+    }
+    EXPECT_EQ(TraceRecorder::Current(), &recorder);
+  }
+  EXPECT_EQ(TraceRecorder::Current(), nullptr);
+}
+
+TEST(TraceRecorderTest, CsvHasHeaderAndOneRowPerEvent) {
+  TraceRecorder recorder(8);
+  recorder.Counter("pacer", "queue_pkts", Timestamp::Millis(5), 3.0, 1);
+  recorder.Instant("qoe", "negative_verdict", Timestamp::Millis(6), -2.0, 0);
+  const std::string csv = recorder.Csv();
+  EXPECT_EQ(static_cast<size_t>(std::count(csv.begin(), csv.end(), '\n')), 3u);
+  EXPECT_NE(csv.find("t_ms,component,name,kind,path,stream,value,value2"),
+            std::string::npos);
+  EXPECT_NE(csv.find("5.000,pacer,queue_pkts,counter,1,-1,3,0"),
+            std::string::npos);
+  EXPECT_NE(csv.find("qoe,negative_verdict,instant"), std::string::npos);
+}
+
+// Minimal structural JSON check (no parser dependency): balanced braces
+// outside strings, and the exact Chrome trace envelope.
+void ExpectBalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0) << "unbalanced at offset " << i;
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth, 0);
+}
+
+// Pulls every `"ts":<n>` value out of the trace JSON, in document order.
+std::vector<int64_t> ExtractTimestamps(const std::string& json) {
+  std::vector<int64_t> out;
+  const std::string key = "\"ts\":";
+  size_t pos = 0;
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    int64_t v = 0;
+    bool neg = false;
+    if (pos < json.size() && json[pos] == '-') {
+      neg = true;
+      ++pos;
+    }
+    while (pos < json.size() && std::isdigit(static_cast<unsigned char>(json[pos]))) {
+      v = v * 10 + (json[pos] - '0');
+      ++pos;
+    }
+    out.push_back(neg ? -v : v);
+  }
+  return out;
+}
+
+CallConfig TracedDrivingCall() {
+  TraceParams params;
+  params.length = Duration::Seconds(12);
+  CallConfig config;
+  config.variant = Variant::kConverge;
+  config.paths = MakeScenarioPathsWithFaults(Scenario::kDriving, 3, params);
+  config.duration = Duration::Seconds(12);
+  config.seed = 3;
+  return config;
+}
+
+// The acceptance bar for the exporter: a scenario run's Chrome-trace JSON is
+// structurally valid, time-ordered, and contains events from at least six
+// distinct components.
+TEST(TraceRecorderTest, ScenarioRunExportsOrderedMultiComponentTrace) {
+  CallConfig config = TracedDrivingCall();
+  config.trace_capacity = TraceRecorder::kDefaultCapacity;
+  Call call(config);
+  call.Run();
+  TraceRecorder* trace = call.trace();
+  ASSERT_NE(trace, nullptr);
+  EXPECT_GT(trace->total_emitted(), 1000);
+
+  std::set<std::string> components;
+  const std::vector<TraceEvent> events = trace->Snapshot();
+  int64_t prev = std::numeric_limits<int64_t>::min();
+  for (const TraceEvent& e : events) {
+    components.insert(e.component);
+    EXPECT_GE(e.at_us, prev);  // the timeline is monotone
+    prev = e.at_us;
+  }
+  EXPECT_GE(components.size(), 6u)
+      << "components traced: " << components.size();
+  for (const char* expected :
+       {"gcc", "pacer", "scheduler", "fec", "nack", "qoe"}) {
+    EXPECT_TRUE(components.count(expected)) << expected << " missing";
+  }
+
+  const std::string json = trace->ChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  ExpectBalancedJson(json);
+  const std::vector<int64_t> ts = ExtractTimestamps(json);
+  ASSERT_EQ(ts.size(), events.size());
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+// Tracing must be purely observational: the same call with the recorder on
+// and off produces byte-identical exported stats.
+TEST(TraceRecorderTest, StatsJsonByteIdenticalWithTracingOnAndOff) {
+  CallConfig off = TracedDrivingCall();
+  CallConfig on = TracedDrivingCall();
+  on.trace_capacity = 1 << 14;
+
+  Call call_off(off);
+  const std::string json_off = CallStatsToJson(call_off.Run());
+  Call call_on(on);
+  const std::string json_on = CallStatsToJson(call_on.Run());
+
+  EXPECT_GT(call_on.trace()->total_emitted(), 0);
+  EXPECT_EQ(json_off, json_on);
+}
+
+// A violation while tracing captures the recorder's tail into the registry:
+// Describe() and the CI log both ship the recent component history.
+TEST(TraceRecorderTest, InvariantViolationDumpsFlightRecorderTail) {
+  ScopedInvariants guard;
+  TraceRecorder recorder(64);
+  TraceScope scope(&recorder);
+  recorder.Counter("gcc", "target_kbps", Timestamp::Millis(1), 450.0, 0);
+  recorder.Counter("pacer", "queue_pkts", Timestamp::Millis(2), 12.0, 0);
+
+  CONVERGE_INVARIANT("TestComponent", Timestamp::Millis(3), 1 + 1 == 3,
+                     std::string("forced"));
+  ASSERT_EQ(InvariantRegistry::violation_count(), 1);
+
+  const std::string tail = InvariantRegistry::FlightRecorderTail();
+  EXPECT_NE(tail.find("flight recorder tail"), std::string::npos);
+  EXPECT_NE(tail.find("gcc.target_kbps"), std::string::npos);
+  EXPECT_NE(tail.find("pacer.queue_pkts"), std::string::npos);
+  EXPECT_NE(InvariantRegistry::Describe().find("flight recorder tail"),
+            std::string::npos);
+
+  const std::string log_path =
+      testing::TempDir() + "/trace_invariant_dump.log";
+  ASSERT_TRUE(InvariantRegistry::WriteLog(log_path));
+  std::ifstream log(log_path);
+  const std::string contents((std::istreambuf_iterator<char>(log)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("flight recorder tail"), std::string::npos);
+  EXPECT_NE(contents.find("gcc.target_kbps"), std::string::npos);
+
+  // Clear() resets the captured tail along with the violations.
+  InvariantRegistry::Clear();
+  EXPECT_TRUE(InvariantRegistry::FlightRecorderTail().empty());
+}
+
+// Without a recorder installed, a violation stores no tail — and the
+// violation path itself keeps working.
+TEST(TraceRecorderTest, ViolationWithoutRecorderHasNoTail) {
+  ScopedInvariants guard;
+  CONVERGE_INVARIANT("TestComponent", Timestamp::Millis(1), false,
+                     std::string("forced"));
+  EXPECT_EQ(InvariantRegistry::violation_count(), 1);
+  EXPECT_TRUE(InvariantRegistry::FlightRecorderTail().empty());
+}
+
+TEST(TraceRecorderTest, DescribeTailShowsNewestEventsLast) {
+  TraceRecorder recorder(128);
+  for (int i = 0; i < 100; ++i) {
+    recorder.Counter("c", "v", Timestamp::Millis(i), static_cast<double>(i));
+  }
+  const std::string tail = recorder.DescribeTail(5);
+  EXPECT_NE(tail.find("5 of 100 events"), std::string::npos);
+  EXPECT_EQ(tail.find("value=94"), std::string::npos);  // older than the tail
+  EXPECT_NE(tail.find("value=95"), std::string::npos);
+  EXPECT_NE(tail.find("value=99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace converge
