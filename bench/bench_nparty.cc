@@ -1,0 +1,134 @@
+// N-party scaling sweep over the conference runtime: per-participant QoE and
+// driver wall-clock versus conference size, for both topologies. Mesh cost
+// grows with the number of directed legs, N*(N-1); star grows with uplinks
+// plus fan-out, so the crossover between the two is the quantity of interest.
+//
+//   --smoke            tiny sweep (N in {2,3}, 1 seed, 4 s calls) used as a
+//                      CI build-and-run sanity check
+//   CONVERGE_BENCH_FAST=1 / CONVERGE_BENCH_SEEDS / CONVERGE_BENCH_JOBS as in
+//   the other benches
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "session/conference.h"
+#include "session/stats_json.h"
+
+namespace converge {
+namespace {
+
+ConferenceConfig NpartyConfig(Topology topology, int participants,
+                              Duration duration, uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = topology;
+  config.participants.assign(static_cast<size_t>(participants),
+                             ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(4);
+  config.duration = duration;
+  config.seed = seed;
+
+  // Every participant: a WiFi-like and a cellular-like access path. Star
+  // downlinks out of the forwarder are provisioned for the aggregate of the
+  // N-1 forwarded senders (the SFU sits in well-connected infrastructure).
+  const int fanout = participants - 1;
+  config.paths_for_edge = [fanout](int from, int) {
+    auto path = [](const char* name, double mbps, int delay_ms, double loss) {
+      PathSpec spec;
+      spec.name = name;
+      spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+      spec.prop_delay = Duration::Millis(delay_ms);
+      if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+      return spec;
+    };
+    if (from == kHubId) {
+      return std::vector<PathSpec>{
+          path("dl-wifi", 10.0 * fanout, 10, 0.0),
+          path("dl-cell", 8.0 * fanout, 20, 0.0)};
+    }
+    return std::vector<PathSpec>{path("wifi", 7.0, 20, 0.01),
+                                 path("cell", 5.0, 40, 0.005)};
+  };
+  return config;
+}
+
+void SweepTopology(Topology topology, const std::vector<int>& sizes,
+                   Duration duration, int seeds) {
+  bench::Header(("n-party scaling: " + ToString(topology) + " topology").c_str());
+  std::printf("%3s %5s %8s %8s %8s %9s %8s %10s\n", "N", "legs", "fps",
+              "freeze", "e2e_ms", "mbps/recv", "drops", "wall_ms");
+  for (int n : sizes) {
+    std::vector<ConferenceConfig> configs;
+    for (int i = 0; i < seeds; ++i) {
+      configs.push_back(NpartyConfig(topology, n, duration,
+                                     1000 + static_cast<uint64_t>(i) * 77));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ConferenceStats> results = RunConferences(configs);
+    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+
+    RunningStat fps, freeze, e2e, tput, drops;
+    size_t legs = 0;
+    for (const ConferenceStats& stats : results) {
+      legs = stats.legs.size();
+      for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+        fps.Add(p.avg_fps);
+        freeze.Add(p.avg_freeze_ms);
+        e2e.Add(p.avg_e2e_ms);
+        tput.Add(p.total_tput_mbps);
+        drops.Add(static_cast<double>(p.frame_drops));
+      }
+    }
+    std::printf("%3d %5zu %8.2f %8.1f %8.1f %9.2f %8.1f %10lld\n", n, legs,
+                fps.mean(), freeze.mean(), e2e.mean(), tput.mean(),
+                drops.mean(), static_cast<long long>(wall.count()));
+  }
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::vector<int> sizes;
+  Duration duration = Duration::Seconds(0);
+  int seeds = 0;
+  if (smoke) {
+    sizes = {2, 3};
+    duration = Duration::Seconds(4);
+    seeds = 1;
+  } else {
+    sizes = {2, 3, 4, 5, 6};
+    duration = bench::FastMode() ? Duration::Seconds(10) : Duration::Seconds(60);
+    seeds = bench::NumSeeds();
+  }
+
+  SweepTopology(Topology::kMesh, sizes, duration, seeds);
+  SweepTopology(Topology::kStar, sizes, duration, seeds);
+
+  if (smoke) {
+    // Cheap structural sanity for CI: a 3-party mesh must produce 6 legs and
+    // per-participant aggregates for everyone.
+    Conference conference(
+        NpartyConfig(Topology::kMesh, 3, Duration::Seconds(2), 7));
+    const ConferenceStats stats = conference.Run();
+    if (stats.legs.size() != 6 || stats.participants.size() != 3) {
+      std::fprintf(stderr, "smoke failure: got %zu legs / %zu participants\n",
+                   stats.legs.size(), stats.participants.size());
+      return 1;
+    }
+    std::printf("\nsmoke ok: %s\n",
+                ConferenceStatsToJson(stats, 0).substr(0, 60).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace converge
+
+int main(int argc, char** argv) { return converge::Main(argc, argv); }

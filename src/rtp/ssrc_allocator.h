@@ -1,0 +1,35 @@
+// Single source of truth for the SSRC layout shared by the sender, the
+// receiver subscription lists, and SDP negotiation. Historically the base
+// (0x1000 + stream) was hardcoded independently in the sender and receiver
+// blocks of call.cc and again in signaling — workable for one point-to-point
+// call, but colliding as soon as two participants publish streams into the
+// same conference. Every SSRC now derives from (participant, stream):
+//
+//   participant 0: 0x1000, 0x1001, ...   (the legacy 2-party layout)
+//   participant 1: 0x1100, 0x1101, ...
+//   participant p: 0x1000 + p * 0x100 + stream
+//
+// The stride caps streams-per-participant at 256, far above the 3-stream
+// regime the paper evaluates; Conference enforces the bound with an
+// invariant rather than silently wrapping into a neighbour's block.
+#pragma once
+
+#include <cstdint>
+
+namespace converge {
+
+class SsrcAllocator {
+ public:
+  static constexpr uint32_t kBase = 0x1000;
+  static constexpr uint32_t kParticipantStride = 0x100;
+  static constexpr int kMaxStreamsPerParticipant =
+      static_cast<int>(kParticipantStride);
+
+  static constexpr uint32_t StreamSsrc(int participant, int stream) {
+    return kBase +
+           static_cast<uint32_t>(participant) * kParticipantStride +
+           static_cast<uint32_t>(stream);
+  }
+};
+
+}  // namespace converge

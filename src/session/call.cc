@@ -1,299 +1,49 @@
 #include "session/call.h"
 
-#include <numeric>
-#include <string>
 #include <utility>
 
-#include "util/invariants.h"
 #include "util/parallel.h"
-
-#include "core/video_aware_scheduler.h"
-#include "fec/converge_fec_controller.h"
-#include "fec/webrtc_fec_controller.h"
-#include "schedulers/connection_migration.h"
-#include "schedulers/ecf_scheduler.h"
-#include "schedulers/mprtp_scheduler.h"
-#include "schedulers/mtput_scheduler.h"
-#include "schedulers/single_path.h"
-#include "schedulers/srtt_scheduler.h"
 
 namespace converge {
 
-std::string ToString(Variant v) {
-  switch (v) {
-    case Variant::kWebRtcPath0:
-      return "WebRTC(p0)";
-    case Variant::kWebRtcPath1:
-      return "WebRTC(p1)";
-    case Variant::kWebRtcCm:
-      return "WebRTC-CM";
-    case Variant::kSrtt:
-      return "SRTT";
-    case Variant::kEcf:
-      return "ECF";
-    case Variant::kMtput:
-      return "M-TPUT";
-    case Variant::kMrtp:
-      return "M-RTP";
-    case Variant::kConverge:
-      return "Converge";
-    case Variant::kConvergeNoFeedback:
-      return "Converge-NoFB";
-    case Variant::kConvergeWebRtcFec:
-      return "Converge-TblFEC";
-  }
-  return "?";
+ConferenceConfig ToConferenceConfig(const CallConfig& config) {
+  ConferenceConfig conf;
+  conf.variant = config.variant;
+  conf.topology = Topology::kMesh;
+  // The historical point-to-point call: participant 0 publishes
+  // num_streams cameras, participant 1 watches. One directed leg.
+  ParticipantSpec caller;
+  caller.sends = true;
+  caller.receives = false;
+  caller.num_streams = config.num_streams;
+  ParticipantSpec callee;
+  callee.sends = false;
+  callee.receives = true;
+  conf.participants = {caller, callee};
+  conf.paths = config.paths;
+  conf.max_rate_per_stream = config.max_rate_per_stream;
+  conf.fps = config.fps;
+  conf.width = config.width;
+  conf.height = config.height;
+  conf.duration = config.duration;
+  conf.seed = config.seed;
+  conf.enable_fec = config.enable_fec;
+  conf.packet_buffer_capacity = config.packet_buffer_capacity;
+  conf.frame_buffer_capacity = config.frame_buffer_capacity;
+  conf.video_scheduler = config.video_scheduler;
+  conf.converge_fec = config.converge_fec;
+  conf.trace_capacity = config.trace_capacity;
+  return conf;
 }
 
-bool IsMultipath(Variant v) {
-  switch (v) {
-    case Variant::kWebRtcPath0:
-    case Variant::kWebRtcPath1:
-    case Variant::kWebRtcCm:
-      return false;
-    default:
-      return true;
-  }
-}
-
-namespace {
-
-std::unique_ptr<Scheduler> MakeScheduler(const CallConfig& config) {
-  const Variant v = config.variant;
-  switch (v) {
-    case Variant::kWebRtcPath0:
-      return std::make_unique<SinglePathScheduler>(0);
-    case Variant::kWebRtcPath1:
-      return std::make_unique<SinglePathScheduler>(1);
-    case Variant::kWebRtcCm:
-      return std::make_unique<ConnectionMigrationScheduler>();
-    case Variant::kSrtt:
-      return std::make_unique<SrttScheduler>();
-    case Variant::kEcf:
-      return std::make_unique<EcfScheduler>();
-    case Variant::kMtput:
-      return std::make_unique<MtputScheduler>();
-    case Variant::kMrtp:
-      return std::make_unique<MprtpScheduler>();
-    case Variant::kConverge:
-    case Variant::kConvergeNoFeedback:
-    case Variant::kConvergeWebRtcFec:
-      return std::make_unique<VideoAwareScheduler>(config.video_scheduler);
-  }
-  return std::make_unique<SinglePathScheduler>(0);
-}
-
-std::unique_ptr<FecController> MakeFec(const CallConfig& config) {
-  switch (config.variant) {
-    case Variant::kConverge:
-    case Variant::kConvergeNoFeedback:
-      return std::make_unique<ConvergeFecController>(config.converge_fec);
-    default:
-      // Baselines and the table-FEC ablation use stock WebRTC protection.
-      return std::make_unique<WebRtcFecController>();
-  }
-}
-
-bool QoeFeedbackEnabled(Variant v) {
-  return v == Variant::kConverge || v == Variant::kConvergeWebRtcFec;
-}
-
-// The per-path sequence spaces (Appendix B RTP extension) exist only on
-// Converge endpoints; everything else runs standard SSRC-sequence NACK.
-bool HasMultipathRtpExtension(Variant v) {
-  return v == Variant::kConverge || v == Variant::kConvergeNoFeedback ||
-         v == Variant::kConvergeWebRtcFec;
-}
-
-}  // namespace
-
-Call::Call(const CallConfig& config) : config_(config) {
-  if (config.trace_capacity > 0) {
-    trace_ = std::make_unique<TraceRecorder>(config.trace_capacity);
-  }
-  Random rng(config.seed);
-  network_ = std::make_unique<Network>(&loop_, config.paths, rng.Fork());
-  scheduler_ = MakeScheduler(config);
-  fec_ = MakeFec(config);
-
-  MetricsCollector::Config mconf;
-  mconf.num_streams = config.num_streams;
-  mconf.expected_frame_interval = Duration::Seconds(1.0 / config.fps);
-  metrics_ = std::make_unique<MetricsCollector>(&loop_, mconf);
-
-  // Sender.
-  Sender::Config sconf;
-  for (int i = 0; i < config.num_streams; ++i) {
-    Sender::StreamConfig sc;
-    sc.ssrc = 0x1000 + static_cast<uint32_t>(i);
-    sc.camera.stream_id = i;
-    sc.camera.fps = config.fps;
-    sc.camera.width = config.width;
-    sc.camera.height = config.height;
-    sc.encoder.max_rate = config.max_rate_per_stream;
-    sconf.streams.push_back(sc);
-  }
-  sconf.max_total_rate =
-      config.max_rate_per_stream * static_cast<int64_t>(config.num_streams);
-  sconf.gcc.max_rate = sconf.max_total_rate * 2;
-  sconf.enable_fec = config.enable_fec;
-  sender_ = std::make_unique<Sender>(
-      &loop_, sconf, scheduler_.get(), fec_.get(), network_->path_ids(),
-      rng.Fork(),
-      [this](PathId path, RtpPacket packet) {
-        TransmitRtp(path, std::move(packet));
-      },
-      [this](PathId path, const RtcpPacket& packet) {
-        TransmitRtcpForward(path, packet);
-      });
-
-  // Receiver.
-  ReceiverEndpoint::Config rconf;
-  for (int i = 0; i < config.num_streams; ++i) {
-    rconf.ssrcs.push_back(0x1000 + static_cast<uint32_t>(i));
-  }
-  rconf.stream_template.packet_buffer.capacity_packets =
-      config.packet_buffer_capacity;
-  rconf.stream_template.frame_buffer.capacity_frames =
-      config.frame_buffer_capacity;
-  rconf.stream_template.enable_qoe_feedback =
-      QoeFeedbackEnabled(config.variant);
-  rconf.per_path_nack = HasMultipathRtpExtension(config.variant);
-  receiver_ = std::make_unique<ReceiverEndpoint>(
-      &loop_, rconf, metrics_.get(),
-      [this](PathId path, const RtcpPacket& packet) {
-        TransmitRtcpBackward(path, packet);
-      });
-}
+Call::Call(const CallConfig& config)
+    : conference_(std::make_unique<Conference>(ToConferenceConfig(config))) {}
 
 Call::~Call() = default;
 
-void Call::TransmitRtp(PathId path, RtpPacket packet) {
-  const int64_t wire_bytes = packet.wire_size();
-  Link& link = network_->path(path).forward();
-  // Duplication faults clone the payload here: the link only sees bytes and
-  // an opaque move-only continuation, so it cannot copy a packet itself.
-  for (int copy = link.SendCopies(); copy > 1; --copy) {
-    link.Send(wire_bytes,
-              [this, packet, path](Timestamp arrival) mutable {
-                receiver_->OnRtpPacket(std::move(packet), arrival, path);
-              });
-  }
-  // The in-flight packet rides inside the link's inline delivery callback —
-  // no heap allocation per transmitted packet.
-  link.Send(
-      wire_bytes,
-      [this, packet = std::move(packet), path](Timestamp arrival) mutable {
-        receiver_->OnRtpPacket(std::move(packet), arrival, path);
-      });
-}
-
-void Call::TransmitRtcpForward(PathId path, const RtcpPacket& packet) {
-  network_->path(path).forward().Send(
-      packet.wire_size(),
-      [this, packet, path](Timestamp arrival) {
-        receiver_->OnRtcpPacket(packet, arrival, path);
-      });
-}
-
-void Call::TransmitRtcpBackward(PathId path, const RtcpPacket& packet) {
-  network_->path(path).backward().Send(
-      packet.wire_size(),
-      [this, packet](Timestamp arrival) {
-        sender_->HandleRtcp(packet, arrival);
-      });
-}
-
 CallStats Call::Run() {
-  // Label invariant violations with the run that produced them — essential
-  // when a parallel multi-seed chaos sweep trips one check in one run.
-  if (InvariantRegistry::enabled()) {
-    InvariantRegistry::SetContext(ToString(config_.variant) +
-                                  " seed=" + std::to_string(config_.seed));
-  }
-  // Calls run single-threaded (one per worker in parallel sweeps), so the
-  // thread-local recorder covers exactly this call's components.
-  TraceScope trace_scope(trace_.get());
-  receiver_->Start();
-  sender_->Start();
-  loop_.RunUntil(Timestamp::Zero() + config_.duration);
-
-  CallStats out;
-  for (int i = 0; i < config_.num_streams; ++i) {
-    const auto rx_stats = receiver_->stream(i).GetStats();
-    metrics_->SetReceiverCounters(i, rx_stats.FrameDrops(),
-                                  rx_stats.keyframe_requests);
-    out.total_frame_drops += rx_stats.FrameDrops();
-    out.total_keyframe_requests += rx_stats.keyframe_requests;
-  }
-  out.streams = metrics_->AllStreams(config_.duration);
-  out.time_series = metrics_->time_series();
-
-  const auto& tx = sender_->stats();
-  out.media_packets_sent = tx.media_packets_sent;
-  out.fec_packets_sent = tx.fec_packets_sent;
-  out.rtx_packets_sent = tx.rtx_packets_sent;
-  out.frames_encoded = tx.frames_encoded;
-  out.fec_overhead =
-      tx.media_packets_sent > 0
-          ? static_cast<double>(tx.fec_packets_sent) /
-                static_cast<double>(tx.media_packets_sent)
-          : 0.0;
-
-  int64_t fec_received = 0;
-  int64_t fec_used = 0;
-  for (int i = 0; i < config_.num_streams; ++i) {
-    fec_received += receiver_->stream(i).fec().stats().fec_received;
-    fec_used += receiver_->stream(i).fec().stats().fec_used;
-    out.fec_recovered_packets +=
-        receiver_->stream(i).fec().stats().packets_recovered;
-  }
-  out.fec_utilization =
-      fec_received > 0
-          ? static_cast<double>(fec_used) / static_cast<double>(fec_received)
-          : 0.0;
-  return out;
-}
-
-double CallStats::AvgFps() const {
-  if (streams.empty()) return 0.0;
-  double acc = 0.0;
-  for (const StreamQoe& s : streams) acc += s.avg_fps;
-  return acc / static_cast<double>(streams.size());
-}
-
-double CallStats::AvgFreezeMs() const {
-  if (streams.empty()) return 0.0;
-  double acc = 0.0;
-  for (const StreamQoe& s : streams) acc += s.freeze_total_ms;
-  return acc / static_cast<double>(streams.size());
-}
-
-double CallStats::AvgE2eMs() const {
-  if (streams.empty()) return 0.0;
-  double acc = 0.0;
-  for (const StreamQoe& s : streams) acc += s.e2e_mean_ms;
-  return acc / static_cast<double>(streams.size());
-}
-
-double CallStats::TotalTputMbps() const {
-  double acc = 0.0;
-  for (const StreamQoe& s : streams) acc += s.tput_mbps;
-  return acc;
-}
-
-double CallStats::AvgQp() const {
-  if (streams.empty()) return 0.0;
-  double acc = 0.0;
-  for (const StreamQoe& s : streams) acc += s.qp_mean;
-  return acc / static_cast<double>(streams.size());
-}
-
-double CallStats::AvgPsnrDb() const {
-  if (streams.empty()) return 0.0;
-  double acc = 0.0;
-  for (const StreamQoe& s : streams) acc += s.psnr_mean_db;
-  return acc / static_cast<double>(streams.size());
+  ConferenceStats stats = conference_->Run();
+  return std::move(stats.legs.front().stats);
 }
 
 std::vector<CallStats> RunCalls(const std::vector<CallConfig>& configs,

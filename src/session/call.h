@@ -1,41 +1,19 @@
-// Top-level conference call: builds the network, the sender and receiver
-// endpoints, the chosen scheduler variant and FEC controller from one
-// declarative CallConfig, runs the simulation, and returns the QoE results
-// the paper's tables and figures report.
+// Point-to-point call: a thin 2-party adapter over the Conference runtime
+// (session/conference.h). A Call is exactly a 2-participant mesh with one
+// directed leg — participant 0 sends, participant 1 receives — built in the
+// historical construction order, so results are byte-identical with the
+// pre-conference implementation (pinned by the tests/data fixtures). All
+// benches and tests keep this API; N-party topologies use Conference
+// directly.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "core/video_aware_scheduler.h"
-#include "fec/converge_fec_controller.h"
-#include "fec/fec_controller.h"
-#include "net/network.h"
-#include "schedulers/scheduler.h"
-#include "session/metrics.h"
-#include "session/receiver_endpoint.h"
-#include "session/sender.h"
-#include "util/trace_recorder.h"
+#include "session/conference.h"
 
 namespace converge {
-
-// The systems evaluated in §6.
-enum class Variant {
-  kWebRtcPath0,       // single-path WebRTC on the first path
-  kWebRtcPath1,       // single-path WebRTC on the second path
-  kWebRtcCm,          // single path + connection migration
-  kSrtt,              // minRTT multipath (MPTCP/MPQUIC default)
-  kEcf,               // Earliest Completion First (heterogeneity-aware)
-  kMtput,             // Musher throughput scheduler
-  kMrtp,              // MPRTP
-  kConverge,          // full system
-  kConvergeNoFeedback,  // ablation: video-aware scheduler, no QoE feedback
-  kConvergeWebRtcFec,   // ablation: Converge scheduler + table-based FEC
-};
-
-std::string ToString(Variant v);
-bool IsMultipath(Variant v);
 
 struct CallConfig {
   Variant variant = Variant::kConverge;
@@ -61,35 +39,10 @@ struct CallConfig {
   size_t trace_capacity = 0;
 };
 
-// Aggregated results of one call.
-struct CallStats {
-  std::vector<StreamQoe> streams;
-  std::vector<SecondSample> time_series;
-
-  // Sender-side counters.
-  int64_t media_packets_sent = 0;
-  int64_t fec_packets_sent = 0;
-  int64_t rtx_packets_sent = 0;
-  int64_t frames_encoded = 0;
-
-  // FEC economics (§6): overhead = FEC/media packets sent; utilization =
-  // parity packets that actually repaired a loss / parity received.
-  double fec_overhead = 0.0;
-  double fec_utilization = 0.0;
-  int64_t fec_recovered_packets = 0;
-
-  // Receiver totals.
-  int64_t total_frame_drops = 0;
-  int64_t total_keyframe_requests = 0;
-
-  // Convenience aggregates over streams.
-  double AvgFps() const;
-  double AvgFreezeMs() const;
-  double AvgE2eMs() const;
-  double TotalTputMbps() const;
-  double AvgQp() const;
-  double AvgPsnrDb() const;
-};
+// Expands a CallConfig into the equivalent 2-participant mesh
+// ConferenceConfig (participant 0 send-only, participant 1 receive-only).
+// Exposed so tests can drive the same run through Conference directly.
+ConferenceConfig ToConferenceConfig(const CallConfig& config);
 
 class Call {
  public:
@@ -100,29 +53,21 @@ class Call {
   // accessible through metrics() afterwards.
   CallStats Run();
 
-  EventLoop& loop() { return loop_; }
+  EventLoop& loop() { return conference_->loop(); }
   // The call's flight recorder (nullptr unless trace_capacity > 0).
-  TraceRecorder* trace() { return trace_.get(); }
-  const MetricsCollector& metrics() const { return *metrics_; }
-  const Sender& sender() const { return *sender_; }
-  const ReceiverEndpoint& receiver() const { return *receiver_; }
-  Scheduler& scheduler() { return *scheduler_; }
-  const Network& network() const { return *network_; }
+  TraceRecorder* trace() { return conference_->trace(); }
+  const MetricsCollector& metrics() const {
+    return conference_->leg_metrics(0);
+  }
+  const Sender& sender() const { return conference_->leg_sender(0); }
+  const ReceiverEndpoint& receiver() const {
+    return conference_->leg_receiver(0);
+  }
+  Scheduler& scheduler() { return conference_->leg_scheduler(0); }
+  const Network& network() const { return conference_->leg_network(0); }
 
  private:
-  void TransmitRtp(PathId path, RtpPacket packet);
-  void TransmitRtcpForward(PathId path, const RtcpPacket& packet);
-  void TransmitRtcpBackward(PathId path, const RtcpPacket& packet);
-
-  CallConfig config_;
-  EventLoop loop_;
-  std::unique_ptr<TraceRecorder> trace_;
-  std::unique_ptr<Network> network_;
-  std::unique_ptr<Scheduler> scheduler_;
-  std::unique_ptr<FecController> fec_;
-  std::unique_ptr<MetricsCollector> metrics_;
-  std::unique_ptr<Sender> sender_;
-  std::unique_ptr<ReceiverEndpoint> receiver_;
+  std::unique_ptr<Conference> conference_;
 };
 
 // Runs one independent Call per config, fanned out across cores (each call

@@ -1,0 +1,722 @@
+#include "session/conference.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/invariants.h"
+#include "util/parallel.h"
+
+#include "core/video_aware_scheduler.h"
+#include "fec/converge_fec_controller.h"
+#include "fec/webrtc_fec_controller.h"
+#include "rtp/ssrc_allocator.h"
+#include "schedulers/connection_migration.h"
+#include "schedulers/ecf_scheduler.h"
+#include "schedulers/mprtp_scheduler.h"
+#include "schedulers/mtput_scheduler.h"
+#include "schedulers/single_path.h"
+#include "schedulers/srtt_scheduler.h"
+
+namespace converge {
+
+std::string ToString(Variant v) {
+  switch (v) {
+    case Variant::kWebRtcPath0:
+      return "WebRTC(p0)";
+    case Variant::kWebRtcPath1:
+      return "WebRTC(p1)";
+    case Variant::kWebRtcCm:
+      return "WebRTC-CM";
+    case Variant::kSrtt:
+      return "SRTT";
+    case Variant::kEcf:
+      return "ECF";
+    case Variant::kMtput:
+      return "M-TPUT";
+    case Variant::kMrtp:
+      return "M-RTP";
+    case Variant::kConverge:
+      return "Converge";
+    case Variant::kConvergeNoFeedback:
+      return "Converge-NoFB";
+    case Variant::kConvergeWebRtcFec:
+      return "Converge-TblFEC";
+  }
+  return "?";
+}
+
+bool IsMultipath(Variant v) {
+  switch (v) {
+    case Variant::kWebRtcPath0:
+    case Variant::kWebRtcPath1:
+    case Variant::kWebRtcCm:
+      return false;
+    case Variant::kSrtt:
+    case Variant::kEcf:
+    case Variant::kMtput:
+    case Variant::kMrtp:
+    case Variant::kConverge:
+    case Variant::kConvergeNoFeedback:
+    case Variant::kConvergeWebRtcFec:
+      return true;
+  }
+  return true;
+}
+
+std::string ToString(Topology t) {
+  switch (t) {
+    case Topology::kMesh:
+      return "mesh";
+    case Topology::kStar:
+      return "star";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<Scheduler> MakeScheduler(const ConferenceConfig& config) {
+  switch (config.variant) {
+    case Variant::kWebRtcPath0:
+      return std::make_unique<SinglePathScheduler>(0);
+    case Variant::kWebRtcPath1:
+      return std::make_unique<SinglePathScheduler>(1);
+    case Variant::kWebRtcCm:
+      return std::make_unique<ConnectionMigrationScheduler>();
+    case Variant::kSrtt:
+      return std::make_unique<SrttScheduler>();
+    case Variant::kEcf:
+      return std::make_unique<EcfScheduler>();
+    case Variant::kMtput:
+      return std::make_unique<MtputScheduler>();
+    case Variant::kMrtp:
+      return std::make_unique<MprtpScheduler>();
+    case Variant::kConverge:
+    case Variant::kConvergeNoFeedback:
+    case Variant::kConvergeWebRtcFec:
+      return std::make_unique<VideoAwareScheduler>(config.video_scheduler);
+  }
+  // The switch above is exhaustive; only a Variant forged from an
+  // out-of-range integer lands here. Scream under the harness, then degrade
+  // to single-path so release builds still produce a run.
+  CONVERGE_INVARIANT(
+      "Conference", Timestamp::MinusInfinity(), false,
+      "unknown Variant " +
+          std::to_string(static_cast<int>(config.variant)));
+  return std::make_unique<SinglePathScheduler>(0);
+}
+
+std::unique_ptr<FecController> MakeFec(const ConferenceConfig& config) {
+  switch (config.variant) {
+    case Variant::kConverge:
+    case Variant::kConvergeNoFeedback:
+      return std::make_unique<ConvergeFecController>(config.converge_fec);
+    case Variant::kWebRtcPath0:
+    case Variant::kWebRtcPath1:
+    case Variant::kWebRtcCm:
+    case Variant::kSrtt:
+    case Variant::kEcf:
+    case Variant::kMtput:
+    case Variant::kMrtp:
+    case Variant::kConvergeWebRtcFec:
+      // Baselines and the table-FEC ablation use stock WebRTC protection.
+      return std::make_unique<WebRtcFecController>();
+  }
+  CONVERGE_INVARIANT(
+      "Conference", Timestamp::MinusInfinity(), false,
+      "unknown Variant " +
+          std::to_string(static_cast<int>(config.variant)));
+  return std::make_unique<WebRtcFecController>();
+}
+
+bool QoeFeedbackEnabled(Variant v) {
+  return v == Variant::kConverge || v == Variant::kConvergeWebRtcFec;
+}
+
+// The per-path sequence spaces (Appendix B RTP extension) exist only on
+// Converge endpoints; everything else runs standard SSRC-sequence NACK.
+bool HasMultipathRtpExtension(Variant v) {
+  return v == Variant::kConverge || v == Variant::kConvergeNoFeedback ||
+         v == Variant::kConvergeWebRtcFec;
+}
+
+// End-to-end signals the star hub relays to the origin sender: repair
+// requests and QoE feedback. RR/transport feedback from downlink receivers
+// terminate at the hub — the uplink congestion loop is closed by the hub's
+// own feedback endpoint (per-downlink CC at the forwarder is an open item).
+bool ForwardsUpstream(const RtcpPacket& packet) {
+  return std::holds_alternative<Nack>(packet.payload) ||
+         std::holds_alternative<KeyframeRequest>(packet.payload) ||
+         std::holds_alternative<QoeFeedback>(packet.payload);
+}
+
+}  // namespace
+
+Conference::Conference(const ConferenceConfig& config) : config_(config) {
+  if (config_.participants.empty()) {
+    config_.participants = {ParticipantSpec{}, ParticipantSpec{}};
+  }
+  CONVERGE_INVARIANT("Conference", Timestamp::Zero(),
+                     config_.participants.size() >= 2,
+                     "conference needs >= 2 participants, got " +
+                         std::to_string(config_.participants.size()));
+  for (const ParticipantSpec& p : config_.participants) {
+    CONVERGE_INVARIANT(
+        "Conference", Timestamp::Zero(),
+        p.num_streams >= 1 &&
+            p.num_streams <= SsrcAllocator::kMaxStreamsPerParticipant,
+        "num_streams out of range: " + std::to_string(p.num_streams));
+  }
+  if (config_.trace_capacity > 0) {
+    trace_ = std::make_unique<TraceRecorder>(config_.trace_capacity);
+  }
+  Random rng(config_.seed);
+  if (config_.topology == Topology::kMesh) {
+    BuildMesh(rng);
+  } else {
+    BuildStar(rng);
+  }
+}
+
+Conference::~Conference() = default;
+
+std::vector<PathSpec> Conference::EdgePaths(int from, int to) const {
+  return config_.paths_for_edge ? config_.paths_for_edge(from, to)
+                                : config_.paths;
+}
+
+namespace {
+
+Sender::Config MakeSenderConfig(const ConferenceConfig& config,
+                                int participant) {
+  const ParticipantSpec& spec =
+      config.participants[static_cast<size_t>(participant)];
+  Sender::Config sconf;
+  for (int i = 0; i < spec.num_streams; ++i) {
+    Sender::StreamConfig sc;
+    sc.ssrc = SsrcAllocator::StreamSsrc(participant, i);
+    sc.camera.stream_id = i;
+    sc.camera.fps = config.fps;
+    sc.camera.width = config.width;
+    sc.camera.height = config.height;
+    sc.encoder.max_rate = config.max_rate_per_stream;
+    sconf.streams.push_back(sc);
+  }
+  sconf.max_total_rate =
+      config.max_rate_per_stream * static_cast<int64_t>(spec.num_streams);
+  sconf.gcc.max_rate = sconf.max_total_rate * 2;
+  sconf.enable_fec = config.enable_fec;
+  return sconf;
+}
+
+// Receiver-side subscription to `from`'s published streams. `subscribe` is
+// false for the star hub's feedback-only endpoint: it answers RR/transport
+// feedback/NACK for the uplink but never decodes media.
+ReceiverEndpoint::Config MakeReceiverConfig(const ConferenceConfig& config,
+                                            int from, bool subscribe) {
+  ReceiverEndpoint::Config rconf;
+  if (subscribe) {
+    const ParticipantSpec& spec =
+        config.participants[static_cast<size_t>(from)];
+    for (int i = 0; i < spec.num_streams; ++i) {
+      rconf.ssrcs.push_back(SsrcAllocator::StreamSsrc(from, i));
+    }
+  }
+  rconf.stream_template.packet_buffer.capacity_packets =
+      config.packet_buffer_capacity;
+  rconf.stream_template.frame_buffer.capacity_frames =
+      config.frame_buffer_capacity;
+  rconf.stream_template.enable_qoe_feedback =
+      QoeFeedbackEnabled(config.variant);
+  rconf.per_path_nack = HasMultipathRtpExtension(config.variant);
+  return rconf;
+}
+
+}  // namespace
+
+void Conference::BuildMesh(Random& rng) {
+  const int n = static_cast<int>(config_.participants.size());
+  size_t num_legs = 0;
+  for (int from = 0; from < n; ++from) {
+    if (!config_.participants[static_cast<size_t>(from)].sends) continue;
+    for (int to = 0; to < n; ++to) {
+      if (to == from) continue;
+      if (config_.participants[static_cast<size_t>(to)].receives) ++num_legs;
+    }
+  }
+  uplinks_.reserve(num_legs);
+  legs_.reserve(num_legs);
+
+  // One full pipeline per ordered pair, built in exactly the order the
+  // historical point-to-point Call used (network fork, scheduler, FEC,
+  // metrics, sender fork, receiver) — with one sending participant and one
+  // receiving participant this IS the old Call, RNG stream and event
+  // schedule included, which is what keeps the 2-party adapter
+  // byte-identical.
+  for (int from = 0; from < n; ++from) {
+    if (!config_.participants[static_cast<size_t>(from)].sends) continue;
+    for (int to = 0; to < n; ++to) {
+      if (to == from) continue;
+      if (!config_.participants[static_cast<size_t>(to)].receives) continue;
+
+      uplinks_.emplace_back();
+      Uplink& up = uplinks_.back();
+      legs_.emplace_back();
+      Leg& leg = legs_.back();
+      up.from = from;
+      leg.from = from;
+      leg.to = to;
+      leg.uplink = &up;
+      Leg* leg_ptr = &leg;
+      {
+        TraceParticipantScope scope(from);
+        up.network = std::make_unique<Network>(&loop_, EdgePaths(from, to),
+                                               rng.Fork());
+        up.scheduler = MakeScheduler(config_);
+        up.fec = MakeFec(config_);
+      }
+      {
+        TraceParticipantScope scope(to);
+        MetricsCollector::Config mconf;
+        mconf.num_streams =
+            config_.participants[static_cast<size_t>(from)].num_streams;
+        mconf.expected_frame_interval = Duration::Seconds(1.0 / config_.fps);
+        leg.metrics = std::make_unique<MetricsCollector>(&loop_, mconf);
+      }
+      {
+        TraceParticipantScope scope(from);
+        up.sender = std::make_unique<Sender>(
+            &loop_, MakeSenderConfig(config_, from), up.scheduler.get(),
+            up.fec.get(), up.network->path_ids(), rng.Fork(),
+            [this, leg_ptr](PathId path, RtpPacket packet) {
+              MeshTransmitRtp(leg_ptr, path, std::move(packet));
+            },
+            [this, leg_ptr](PathId path, const RtcpPacket& packet) {
+              MeshTransmitRtcpForward(leg_ptr, path, packet);
+            });
+      }
+      {
+        TraceParticipantScope scope(to);
+        leg.receiver = std::make_unique<ReceiverEndpoint>(
+            &loop_, MakeReceiverConfig(config_, from, /*subscribe=*/true),
+            leg.metrics.get(),
+            [this, leg_ptr](PathId path, const RtcpPacket& packet) {
+              MeshTransmitRtcpBackward(leg_ptr, path, packet);
+            });
+      }
+    }
+  }
+}
+
+void Conference::BuildStar(Random& rng) {
+  const int n = static_cast<int>(config_.participants.size());
+  size_t num_uplinks = 0;
+  size_t num_legs = 0;
+  for (int from = 0; from < n; ++from) {
+    if (!config_.participants[static_cast<size_t>(from)].sends) continue;
+    ++num_uplinks;
+    for (int to = 0; to < n; ++to) {
+      if (to == from) continue;
+      if (config_.participants[static_cast<size_t>(to)].receives) ++num_legs;
+    }
+  }
+  uplinks_.reserve(num_uplinks);
+  legs_.reserve(num_legs);
+  downlinks_.resize(static_cast<size_t>(n));
+
+  // Hub->participant downlink networks, one per receiving participant,
+  // shared by every stream forwarded to that participant.
+  for (int to = 0; to < n; ++to) {
+    if (!config_.participants[static_cast<size_t>(to)].receives) continue;
+    TraceParticipantScope scope(to);
+    downlinks_[static_cast<size_t>(to)] = std::make_unique<Network>(
+        &loop_, EdgePaths(kHubId, to), rng.Fork());
+  }
+
+  // Per-sender uplinks: pipeline into the hub plus the hub-side endpoint
+  // that terminates the uplink congestion-control loop.
+  for (int from = 0; from < n; ++from) {
+    if (!config_.participants[static_cast<size_t>(from)].sends) continue;
+    uplinks_.emplace_back();
+    Uplink& up = uplinks_.back();
+    up.from = from;
+    Uplink* up_ptr = &up;
+    TraceParticipantScope scope(from);
+    up.network = std::make_unique<Network>(&loop_, EdgePaths(from, kHubId),
+                                           rng.Fork());
+    up.scheduler = MakeScheduler(config_);
+    up.fec = MakeFec(config_);
+    up.sender = std::make_unique<Sender>(
+        &loop_, MakeSenderConfig(config_, from), up.scheduler.get(),
+        up.fec.get(), up.network->path_ids(), rng.Fork(),
+        [this, up_ptr](PathId path, RtpPacket packet) {
+          StarTransmitRtp(up_ptr, path, std::move(packet));
+        },
+        [this, up_ptr](PathId path, const RtcpPacket& packet) {
+          StarTransmitRtcpForward(up_ptr, path, packet);
+        });
+    up.hub_feedback = std::make_unique<ReceiverEndpoint>(
+        &loop_, MakeReceiverConfig(config_, from, /*subscribe=*/false),
+        /*metrics=*/nullptr,
+        [this, up_ptr](PathId path, const RtcpPacket& packet) {
+          up_ptr->network->path(path).backward().Send(
+              packet.wire_size(), [up_ptr, packet](Timestamp arrival) {
+                TraceParticipantScope deliver_scope(up_ptr->from);
+                up_ptr->sender->HandleRtcp(packet, arrival);
+              });
+        });
+
+    // The hub forwards uplink path p onto downlink path p, so every edge of
+    // a star must expose the same number of paths.
+    for (int to = 0; to < n; ++to) {
+      const Network* down = downlinks_[static_cast<size_t>(to)].get();
+      CONVERGE_INVARIANT(
+          "Conference", Timestamp::Zero(),
+          down == nullptr || down->num_paths() == up.network->num_paths(),
+          "star edge path-count mismatch: uplink " + std::to_string(from) +
+              " has " + std::to_string(up.network->num_paths()) +
+              ", downlink " + std::to_string(to) + " has " +
+              std::to_string(down == nullptr ? 0 : down->num_paths()));
+    }
+  }
+
+  // Receiving legs: per (sender, receiver) metrics + receive pipeline,
+  // registered with the sender's uplink for hub fan-out.
+  size_t uplink_index = 0;
+  for (int from = 0; from < n; ++from) {
+    if (!config_.participants[static_cast<size_t>(from)].sends) continue;
+    Uplink& up = uplinks_[uplink_index++];
+    for (int to = 0; to < n; ++to) {
+      if (to == from) continue;
+      if (!config_.participants[static_cast<size_t>(to)].receives) continue;
+      legs_.emplace_back();
+      Leg& leg = legs_.back();
+      leg.from = from;
+      leg.to = to;
+      leg.uplink = &up;
+      leg.downlink = downlinks_[static_cast<size_t>(to)].get();
+      Leg* leg_ptr = &leg;
+      TraceParticipantScope scope(to);
+      MetricsCollector::Config mconf;
+      mconf.num_streams =
+          config_.participants[static_cast<size_t>(from)].num_streams;
+      mconf.expected_frame_interval = Duration::Seconds(1.0 / config_.fps);
+      leg.metrics = std::make_unique<MetricsCollector>(&loop_, mconf);
+      leg.receiver = std::make_unique<ReceiverEndpoint>(
+          &loop_, MakeReceiverConfig(config_, from, /*subscribe=*/true),
+          leg.metrics.get(),
+          [this, leg_ptr](PathId path, const RtcpPacket& packet) {
+            StarTransmitRtcpBackward(leg_ptr, path, packet);
+          });
+      up.fanout.push_back(leg_ptr);
+    }
+  }
+}
+
+void Conference::MeshTransmitRtp(Leg* leg, PathId path, RtpPacket packet) {
+  const int64_t wire_bytes = packet.wire_size();
+  Link& link = leg->uplink->network->path(path).forward();
+  // Duplication faults clone the payload here: the link only sees bytes and
+  // an opaque move-only continuation, so it cannot copy a packet itself.
+  for (int copy = link.SendCopies(); copy > 1; --copy) {
+    link.Send(wire_bytes, [leg, packet, path](Timestamp arrival) mutable {
+      TraceParticipantScope scope(leg->to);
+      leg->receiver->OnRtpPacket(std::move(packet), arrival, path);
+    });
+  }
+  // The in-flight packet rides inside the link's inline delivery callback —
+  // no heap allocation per transmitted packet.
+  link.Send(
+      wire_bytes,
+      [leg, packet = std::move(packet), path](Timestamp arrival) mutable {
+        TraceParticipantScope scope(leg->to);
+        leg->receiver->OnRtpPacket(std::move(packet), arrival, path);
+      });
+}
+
+void Conference::MeshTransmitRtcpForward(Leg* leg, PathId path,
+                                         const RtcpPacket& packet) {
+  leg->uplink->network->path(path).forward().Send(
+      packet.wire_size(), [leg, packet, path](Timestamp arrival) {
+        TraceParticipantScope scope(leg->to);
+        leg->receiver->OnRtcpPacket(packet, arrival, path);
+      });
+}
+
+void Conference::MeshTransmitRtcpBackward(Leg* leg, PathId path,
+                                          const RtcpPacket& packet) {
+  leg->uplink->network->path(path).backward().Send(
+      packet.wire_size(), [leg, packet](Timestamp arrival) {
+        TraceParticipantScope scope(leg->from);
+        leg->uplink->sender->HandleRtcp(packet, arrival);
+      });
+}
+
+void Conference::StarTransmitRtp(Uplink* uplink, PathId path,
+                                 RtpPacket packet) {
+  const int64_t wire_bytes = packet.wire_size();
+  Link& link = uplink->network->path(path).forward();
+  for (int copy = link.SendCopies(); copy > 1; --copy) {
+    link.Send(wire_bytes,
+              [this, uplink, packet, path](Timestamp arrival) mutable {
+                StarHubDeliverRtp(uplink, path, std::move(packet), arrival);
+              });
+  }
+  link.Send(wire_bytes,
+            [this, uplink, packet = std::move(packet),
+             path](Timestamp arrival) mutable {
+              StarHubDeliverRtp(uplink, path, std::move(packet), arrival);
+            });
+}
+
+void Conference::StarHubDeliverRtp(Uplink* uplink, PathId path,
+                                   RtpPacket packet, Timestamp arrival) {
+  {
+    // The hub's feedback endpoint sees every uplink arrival: it is what
+    // answers RR/transport feedback/NACK toward the sender. Attributed to
+    // the uplink owner, like a real SFU's per-publisher transport context.
+    TraceParticipantScope scope(uplink->from);
+    RtpPacket hub_copy = packet;
+    uplink->hub_feedback->OnRtpPacket(std::move(hub_copy), arrival, path);
+  }
+  // Fan out to every subscribed receiver on its own downlink network,
+  // uplink path p -> downlink path p (equal path counts, checked at build).
+  const int64_t wire_bytes = packet.wire_size();
+  for (size_t k = 0; k < uplink->fanout.size(); ++k) {
+    Leg* leg = uplink->fanout[k];
+    Link& down = leg->downlink->path(path).forward();
+    for (int copy = down.SendCopies(); copy > 1; --copy) {
+      down.Send(wire_bytes, [leg, packet, path](Timestamp at) mutable {
+        TraceParticipantScope scope(leg->to);
+        leg->receiver->OnRtpPacket(std::move(packet), at, path);
+      });
+    }
+    // Last fan-out leg takes ownership; earlier ones copy.
+    RtpPacket fwd = (k + 1 == uplink->fanout.size()) ? std::move(packet)
+                                                     : RtpPacket(packet);
+    down.Send(wire_bytes,
+              [leg, fwd = std::move(fwd), path](Timestamp at) mutable {
+                TraceParticipantScope scope(leg->to);
+                leg->receiver->OnRtpPacket(std::move(fwd), at, path);
+              });
+  }
+}
+
+void Conference::StarTransmitRtcpForward(Uplink* uplink, PathId path,
+                                         const RtcpPacket& packet) {
+  uplink->network->path(path).forward().Send(
+      packet.wire_size(), [this, uplink, packet, path](Timestamp arrival) {
+        {
+          TraceParticipantScope scope(uplink->from);
+          uplink->hub_feedback->OnRtcpPacket(packet, arrival, path);
+        }
+        for (Leg* leg : uplink->fanout) {
+          leg->downlink->path(path).forward().Send(
+              packet.wire_size(), [leg, packet, path](Timestamp at) {
+                TraceParticipantScope scope(leg->to);
+                leg->receiver->OnRtcpPacket(packet, at, path);
+              });
+        }
+      });
+}
+
+void Conference::StarTransmitRtcpBackward(Leg* leg, PathId path,
+                                          const RtcpPacket& packet) {
+  // Receiver -> hub on the downlink's feedback direction.
+  leg->downlink->path(path).backward().Send(
+      packet.wire_size(), [this, leg, path, packet](Timestamp) {
+        // At the hub: relay end-to-end repair/QoE signals to the origin
+        // sender; RR/transport feedback terminate here (the hub's own
+        // feedback endpoint closes the uplink congestion loop).
+        if (!ForwardsUpstream(packet)) return;
+        Uplink* up = leg->uplink;
+        up->network->path(path).backward().Send(
+            packet.wire_size(), [up, packet](Timestamp arrival) {
+              TraceParticipantScope scope(up->from);
+              up->sender->HandleRtcp(packet, arrival);
+            });
+      });
+}
+
+namespace {
+
+CallStats CollectLegStats(const ConferenceConfig& config, int num_streams,
+                          MetricsCollector* metrics, const Sender& sender,
+                          const ReceiverEndpoint& receiver) {
+  CallStats out;
+  for (int i = 0; i < num_streams; ++i) {
+    const auto rx_stats = receiver.stream(i).GetStats();
+    metrics->SetReceiverCounters(i, rx_stats.FrameDrops(),
+                                 rx_stats.keyframe_requests);
+    out.total_frame_drops += rx_stats.FrameDrops();
+    out.total_keyframe_requests += rx_stats.keyframe_requests;
+  }
+  out.streams = metrics->AllStreams(config.duration);
+  out.time_series = metrics->time_series();
+
+  const auto& tx = sender.stats();
+  out.media_packets_sent = tx.media_packets_sent;
+  out.fec_packets_sent = tx.fec_packets_sent;
+  out.rtx_packets_sent = tx.rtx_packets_sent;
+  out.frames_encoded = tx.frames_encoded;
+  out.fec_overhead =
+      tx.media_packets_sent > 0
+          ? static_cast<double>(tx.fec_packets_sent) /
+                static_cast<double>(tx.media_packets_sent)
+          : 0.0;
+
+  int64_t fec_received = 0;
+  int64_t fec_used = 0;
+  for (int i = 0; i < num_streams; ++i) {
+    fec_received += receiver.stream(i).fec().stats().fec_received;
+    fec_used += receiver.stream(i).fec().stats().fec_used;
+    out.fec_recovered_packets +=
+        receiver.stream(i).fec().stats().packets_recovered;
+  }
+  out.fec_utilization =
+      fec_received > 0
+          ? static_cast<double>(fec_used) / static_cast<double>(fec_received)
+          : 0.0;
+  return out;
+}
+
+}  // namespace
+
+ConferenceStats Conference::Run() {
+  // Label invariant violations with the run that produced them — essential
+  // when a parallel multi-seed chaos sweep trips one check in one run. A
+  // single-leg conference (the 2-party Call adapter) keeps the historical
+  // "<variant> seed=<n>" label.
+  if (InvariantRegistry::enabled()) {
+    std::string context = ToString(config_.variant) +
+                          " seed=" + std::to_string(config_.seed);
+    if (legs_.size() > 1) {
+      context += " " + ToString(config_.topology) +
+                 " n=" + std::to_string(config_.participants.size());
+    }
+    InvariantRegistry::SetContext(std::move(context));
+  }
+  // Conferences run single-threaded (one per worker in parallel sweeps), so
+  // the thread-local recorder covers exactly this conference's components.
+  TraceScope trace_scope(trace_.get());
+  for (Leg& leg : legs_) {
+    TraceParticipantScope scope(leg.to);
+    leg.receiver->Start();
+  }
+  for (Uplink& up : uplinks_) {
+    if (up.hub_feedback == nullptr) continue;
+    TraceParticipantScope scope(up.from);
+    up.hub_feedback->Start();
+  }
+  for (Uplink& up : uplinks_) {
+    TraceParticipantScope scope(up.from);
+    up.sender->Start();
+  }
+  loop_.RunUntil(Timestamp::Zero() + config_.duration);
+
+  ConferenceStats out;
+  out.legs.reserve(legs_.size());
+  for (Leg& leg : legs_) {
+    ConferenceStats::Leg ls;
+    ls.from = leg.from;
+    ls.to = leg.to;
+    // Star note: the sender-side counters (packets sent, FEC overhead) come
+    // from the shared uplink, so they repeat across the uplink's legs; the
+    // receive-side QoE is per leg.
+    ls.stats = CollectLegStats(
+        config_,
+        config_.participants[static_cast<size_t>(leg.from)].num_streams,
+        leg.metrics.get(), *leg.uplink->sender, *leg.receiver);
+    out.legs.push_back(std::move(ls));
+  }
+
+  const int n = static_cast<int>(config_.participants.size());
+  out.participants.reserve(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    ConferenceStats::ParticipantQoe q;
+    q.participant = p;
+    std::vector<const StreamQoe*> inbound;
+    for (const ConferenceStats::Leg& ls : out.legs) {
+      if (ls.to != p) continue;
+      for (const StreamQoe& s : ls.stats.streams) inbound.push_back(&s);
+      q.frame_drops += ls.stats.total_frame_drops;
+      q.keyframe_requests += ls.stats.total_keyframe_requests;
+    }
+    q.inbound_streams = static_cast<int>(inbound.size());
+    q.avg_fps = MeanOverStreams(inbound, &StreamQoe::avg_fps);
+    q.avg_freeze_ms = MeanOverStreams(inbound, &StreamQoe::freeze_total_ms);
+    q.avg_e2e_ms = MeanOverStreams(inbound, &StreamQoe::e2e_mean_ms);
+    q.total_tput_mbps = SumOverStreams(inbound, &StreamQoe::tput_mbps);
+    q.avg_qp = MeanOverStreams(inbound, &StreamQoe::qp_mean);
+    q.avg_psnr_db = MeanOverStreams(inbound, &StreamQoe::psnr_mean_db);
+    out.participants.push_back(q);
+  }
+  return out;
+}
+
+int Conference::leg_from(size_t leg) const { return legs_.at(leg).from; }
+int Conference::leg_to(size_t leg) const { return legs_.at(leg).to; }
+
+const MetricsCollector& Conference::leg_metrics(size_t leg) const {
+  return *legs_.at(leg).metrics;
+}
+
+const Sender& Conference::leg_sender(size_t leg) const {
+  return *legs_.at(leg).uplink->sender;
+}
+
+const ReceiverEndpoint& Conference::leg_receiver(size_t leg) const {
+  return *legs_.at(leg).receiver;
+}
+
+Scheduler& Conference::leg_scheduler(size_t leg) {
+  return *legs_.at(leg).uplink->scheduler;
+}
+
+const Network& Conference::leg_network(size_t leg) const {
+  return *legs_.at(leg).uplink->network;
+}
+
+double CallStats::AvgFps() const {
+  return MeanOverStreams(streams, &StreamQoe::avg_fps);
+}
+
+double CallStats::AvgFreezeMs() const {
+  return MeanOverStreams(streams, &StreamQoe::freeze_total_ms);
+}
+
+double CallStats::AvgE2eMs() const {
+  return MeanOverStreams(streams, &StreamQoe::e2e_mean_ms);
+}
+
+double CallStats::TotalTputMbps() const {
+  return SumOverStreams(streams, &StreamQoe::tput_mbps);
+}
+
+double CallStats::AvgQp() const {
+  return MeanOverStreams(streams, &StreamQoe::qp_mean);
+}
+
+double CallStats::AvgPsnrDb() const {
+  return MeanOverStreams(streams, &StreamQoe::psnr_mean_db);
+}
+
+std::vector<ConferenceStats> RunConferences(
+    const std::vector<ConferenceConfig>& configs, int jobs) {
+  std::vector<ConferenceStats> out(configs.size());
+  ParallelFor(
+      static_cast<int64_t>(configs.size()),
+      [&](int64_t i) {
+        // Each worker gets a private copy of the config: nothing a
+        // Conference mutates can alias another worker's state.
+        ConferenceConfig config = configs[static_cast<size_t>(i)];
+        Conference conference(config);
+        out[static_cast<size_t>(i)] = conference.Run();
+      },
+      jobs);
+  return out;
+}
+
+}  // namespace converge

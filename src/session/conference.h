@@ -1,0 +1,269 @@
+// Conference runtime: the N-party, topology-driven session layer.
+//
+// A Conference instantiates N participants on ONE shared EventLoop and wires
+// directed media legs between them according to a declarative topology:
+//
+//   kMesh — full-mesh P2P. Every ordered pair (sender, receiver) gets its
+//     own Network plus a complete pipeline (scheduler, FEC controller,
+//     Sender, ReceiverEndpoint, MetricsCollector). Modelling a mesh as
+//     independent directed legs matches real mesh conferencing, where each
+//     peer runs a separate encode + congestion-control loop per remote.
+//
+//   kStar — SFU-style forwarder hop. Each sending participant runs ONE
+//     uplink (Sender + Network to the hub); the hub terminates the uplink
+//     congestion-control loop with a feedback-only ReceiverEndpoint (RR,
+//     transport feedback, NACK — exactly what a real SFU answers on behalf
+//     of receivers) and fans every uplink packet out over per-receiver
+//     downlink Networks. End-to-end repair and QoE signals from downlink
+//     receivers (NACK, PLI, Converge QoE feedback) are forwarded upstream to
+//     the origin sender; downlink RR/transport feedback terminates at the
+//     hub (per-downlink congestion control at the forwarder is an open item,
+//     see ROADMAP). The hub forwards path p onto downlink path p, so all
+//     edges of a star must expose the same number of paths.
+//
+// Call/CallConfig (session/call.h) are now a thin 2-party adapter over this
+// runtime: a 2-participant mesh with one directed leg, constructed in
+// exactly the order the historical point-to-point Call used, which keeps its
+// results byte-identical (pinned by tests/data fixtures).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/video_aware_scheduler.h"
+#include "fec/converge_fec_controller.h"
+#include "fec/fec_controller.h"
+#include "net/network.h"
+#include "schedulers/scheduler.h"
+#include "session/metrics.h"
+#include "session/receiver_endpoint.h"
+#include "session/sender.h"
+#include "util/trace_recorder.h"
+
+namespace converge {
+
+// The systems evaluated in §6.
+enum class Variant {
+  kWebRtcPath0,       // single-path WebRTC on the first path
+  kWebRtcPath1,       // single-path WebRTC on the second path
+  kWebRtcCm,          // single path + connection migration
+  kSrtt,              // minRTT multipath (MPTCP/MPQUIC default)
+  kEcf,               // Earliest Completion First (heterogeneity-aware)
+  kMtput,             // Musher throughput scheduler
+  kMrtp,              // MPRTP
+  kConverge,          // full system
+  kConvergeNoFeedback,  // ablation: video-aware scheduler, no QoE feedback
+  kConvergeWebRtcFec,   // ablation: Converge scheduler + table-based FEC
+};
+
+std::string ToString(Variant v);
+bool IsMultipath(Variant v);
+
+enum class Topology {
+  kMesh,  // full-mesh P2P: one directed leg per ordered participant pair
+  kStar,  // SFU-style: per-sender uplink to a forwarder, fan-out downlinks
+};
+
+std::string ToString(Topology t);
+
+// Edge id of the star forwarder for ConferenceConfig::paths_for_edge.
+inline constexpr int kHubId = -1;
+
+struct ParticipantSpec {
+  bool sends = true;
+  bool receives = true;
+  // Camera streams this participant publishes when it sends.
+  int num_streams = 1;
+};
+
+struct ConferenceConfig {
+  Variant variant = Variant::kConverge;
+  Topology topology = Topology::kMesh;
+  // N >= 2 participants; when left empty, two duplex participants.
+  std::vector<ParticipantSpec> participants;
+
+  // Path template instantiated independently for every directed network
+  // edge (mesh: sender->receiver pair; star: participant->hub uplink and
+  // hub->participant downlink).
+  std::vector<PathSpec> paths;
+  // Optional per-edge override; `to == kHubId` names an uplink into the
+  // forwarder and `from == kHubId` a downlink out of it. Must return the
+  // same number of paths for every edge (the hub forwards path p to path p).
+  std::function<std::vector<PathSpec>(int from, int to)> paths_for_edge;
+
+  // Per-stream media knobs (identical semantics to the historical
+  // CallConfig).
+  DataRate max_rate_per_stream = DataRate::MegabitsPerSec(10);
+  double fps = 30.0;
+  int width = 1280;
+  int height = 720;
+  Duration duration = Duration::Seconds(180);
+  uint64_t seed = 1;
+  bool enable_fec = true;
+  // Receiver buffer sizing (§2.1 "small, fixed-size buffers").
+  size_t packet_buffer_capacity = 512;
+  size_t frame_buffer_capacity = 16;
+  // Tunables for the Converge variants (design-choice ablations).
+  VideoAwareScheduler::Config video_scheduler;
+  ConvergeFecController::Config converge_fec;
+  // Flight-recorder capacity in events; 0 (the default) disables tracing.
+  size_t trace_capacity = 0;
+};
+
+// Aggregated results of one directed media flow: a whole point-to-point
+// Call, or one leg of a Conference.
+struct CallStats {
+  std::vector<StreamQoe> streams;
+  std::vector<SecondSample> time_series;
+
+  // Sender-side counters.
+  int64_t media_packets_sent = 0;
+  int64_t fec_packets_sent = 0;
+  int64_t rtx_packets_sent = 0;
+  int64_t frames_encoded = 0;
+
+  // FEC economics (§6): overhead = FEC/media packets sent; utilization =
+  // parity packets that actually repaired a loss / parity received.
+  double fec_overhead = 0.0;
+  double fec_utilization = 0.0;
+  int64_t fec_recovered_packets = 0;
+
+  // Receiver totals.
+  int64_t total_frame_drops = 0;
+  int64_t total_keyframe_requests = 0;
+
+  // Convenience aggregates over streams.
+  double AvgFps() const;
+  double AvgFreezeMs() const;
+  double AvgE2eMs() const;
+  double TotalTputMbps() const;
+  double AvgQp() const;
+  double AvgPsnrDb() const;
+};
+
+struct ConferenceStats {
+  // One entry per directed leg, in construction order (mesh: from-major over
+  // ordered pairs; star: same order, legs of one uplink grouped together).
+  struct Leg {
+    int from = 0;
+    int to = 0;
+    CallStats stats;
+  };
+
+  // Receive-side QoE aggregated per participant over all inbound legs.
+  struct ParticipantQoe {
+    int participant = 0;
+    int inbound_streams = 0;
+    double avg_fps = 0.0;
+    double avg_freeze_ms = 0.0;
+    double avg_e2e_ms = 0.0;
+    double total_tput_mbps = 0.0;
+    double avg_qp = 0.0;
+    double avg_psnr_db = 0.0;
+    int64_t frame_drops = 0;
+    int64_t keyframe_requests = 0;
+  };
+
+  std::vector<Leg> legs;
+  std::vector<ParticipantQoe> participants;
+};
+
+class Conference {
+ public:
+  explicit Conference(const ConferenceConfig& config);
+  ~Conference();
+
+  // Runs the whole conference; returns per-leg stats plus per-participant
+  // QoE aggregates.
+  ConferenceStats Run();
+
+  EventLoop& loop() { return loop_; }
+  // The conference's flight recorder (nullptr unless trace_capacity > 0).
+  TraceRecorder* trace() { return trace_.get(); }
+
+  // Leg introspection, for tests and the 2-party Call adapter. Legs are
+  // indexed in construction order (matching ConferenceStats::legs).
+  size_t num_legs() const { return legs_.size(); }
+  int leg_from(size_t leg) const;
+  int leg_to(size_t leg) const;
+  const MetricsCollector& leg_metrics(size_t leg) const;
+  const Sender& leg_sender(size_t leg) const;
+  const ReceiverEndpoint& leg_receiver(size_t leg) const;
+  Scheduler& leg_scheduler(size_t leg);
+  // Mesh: the pair's network. Star: the origin sender's uplink network.
+  const Network& leg_network(size_t leg) const;
+
+ private:
+  struct Leg;
+
+  // One sending pipeline. Mesh: paired 1:1 with a leg. Star: one per
+  // sending participant, fanned out to every receiving leg by the hub.
+  struct Uplink {
+    int from = 0;
+    std::unique_ptr<Network> network;
+    std::unique_ptr<Scheduler> scheduler;
+    std::unique_ptr<FecController> fec;
+    std::unique_ptr<Sender> sender;
+    // Star only: the hub-side endpoint that terminates the uplink
+    // congestion-control loop (RR + transport feedback + NACK).
+    std::unique_ptr<ReceiverEndpoint> hub_feedback;
+    // Star only: receiving legs fed by this uplink (filled after legs are
+    // built; transmission starts in Run(), so never observed empty early).
+    std::vector<Leg*> fanout;
+  };
+
+  // One directed media flow into a receiving participant.
+  struct Leg {
+    int from = 0;
+    int to = 0;
+    Uplink* uplink = nullptr;
+    // Star only: the hub->receiver network this leg's media rides on.
+    Network* downlink = nullptr;
+    std::unique_ptr<MetricsCollector> metrics;
+    std::unique_ptr<ReceiverEndpoint> receiver;
+  };
+
+  std::vector<PathSpec> EdgePaths(int from, int to) const;
+  void BuildMesh(Random& rng);
+  void BuildStar(Random& rng);
+
+  // Mesh routing: the three historical Call transmit hops, per leg.
+  void MeshTransmitRtp(Leg* leg, PathId path, RtpPacket packet);
+  void MeshTransmitRtcpForward(Leg* leg, PathId path,
+                               const RtcpPacket& packet);
+  void MeshTransmitRtcpBackward(Leg* leg, PathId path,
+                                const RtcpPacket& packet);
+
+  // Star routing: uplink into the hub, then fan-out; feedback either
+  // terminates at the hub or is forwarded upstream.
+  void StarTransmitRtp(Uplink* uplink, PathId path, RtpPacket packet);
+  void StarHubDeliverRtp(Uplink* uplink, PathId path, RtpPacket packet,
+                         Timestamp arrival);
+  void StarTransmitRtcpForward(Uplink* uplink, PathId path,
+                               const RtcpPacket& packet);
+  void StarTransmitRtcpBackward(Leg* leg, PathId path,
+                                const RtcpPacket& packet);
+
+  ConferenceConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<TraceRecorder> trace_;
+  // Star only: downlink networks indexed by receiving participant (null for
+  // non-receiving entries); empty for mesh.
+  std::vector<std::unique_ptr<Network>> downlinks_;
+  // reserve()d to exact counts up front: routing callbacks capture stable
+  // Uplink*/Leg* pointers into these vectors.
+  std::vector<Uplink> uplinks_;
+  std::vector<Leg> legs_;
+};
+
+// Runs one independent Conference per config, fanned out across cores (each
+// conference owns its EventLoop and seeded Random, so runs are
+// embarrassingly parallel), and returns results in input order — identical
+// however many workers ran. `jobs` <= 0 uses DefaultJobs(); 1 forces the
+// serial fallback.
+std::vector<ConferenceStats> RunConferences(
+    const std::vector<ConferenceConfig>& configs, int jobs = 0);
+
+}  // namespace converge

@@ -144,4 +144,32 @@ const SampleSet& MetricsCollector::psnr_samples(int stream_id) const {
   return it == streams_.end() ? kEmpty : it->second.psnr_db;
 }
 
+double SumOverStreams(const std::vector<StreamQoe>& streams,
+                      double StreamQoe::*field) {
+  double acc = 0.0;
+  for (const StreamQoe& s : streams) acc += s.*field;
+  return acc;
+}
+
+double MeanOverStreams(const std::vector<StreamQoe>& streams,
+                       double StreamQoe::*field) {
+  if (streams.empty()) return 0.0;
+  return SumOverStreams(streams, field) /
+         static_cast<double>(streams.size());
+}
+
+double SumOverStreams(const std::vector<const StreamQoe*>& streams,
+                      double StreamQoe::*field) {
+  double acc = 0.0;
+  for (const StreamQoe* s : streams) acc += s->*field;
+  return acc;
+}
+
+double MeanOverStreams(const std::vector<const StreamQoe*>& streams,
+                       double StreamQoe::*field) {
+  if (streams.empty()) return 0.0;
+  return SumOverStreams(streams, field) /
+         static_cast<double>(streams.size());
+}
+
 }  // namespace converge

@@ -43,6 +43,22 @@ struct StreamQoe {
   int64_t keyframe_requests = 0;
 };
 
+// Shared accumulators behind every mean/total-over-streams convenience
+// aggregate (CallStats::Avg*, per-participant QoE in ConferenceStats) — one
+// definition instead of a copy-pasted loop per field. Accumulation order is
+// the stream order, so the doubles stay bit-identical with the historical
+// per-field loops.
+double MeanOverStreams(const std::vector<StreamQoe>& streams,
+                       double StreamQoe::*field);
+double SumOverStreams(const std::vector<StreamQoe>& streams,
+                      double StreamQoe::*field);
+// Pointer-vector forms for aggregations that gather streams across legs
+// without copying (ConferenceStats).
+double MeanOverStreams(const std::vector<const StreamQoe*>& streams,
+                       double StreamQoe::*field);
+double SumOverStreams(const std::vector<const StreamQoe*>& streams,
+                      double StreamQoe::*field);
+
 class MetricsCollector {
  public:
   struct Config {

@@ -11,6 +11,13 @@ class JsonWriter {
   explicit JsonWriter(int indent) : indent_(indent) {}
 
   void OpenObject() { Open('{'); }
+  // Keyed nested object ("stats": { ... }).
+  void OpenObject(const std::string& key) {
+    Key(key);
+    out_ << "{";
+    ++depth_;
+    first_ = true;
+  }
   void CloseObject() { Close('}'); }
   void OpenArray(const std::string& key) {
     Key(key);
@@ -77,11 +84,11 @@ class JsonWriter {
   bool first_ = true;
 };
 
-}  // namespace
-
-std::string CallStatsToJson(const CallStats& stats, int indent) {
-  JsonWriter w(indent);
-  w.OpenObject();
+// Body of one CallStats object (fields + streams + time_series arrays),
+// shared between the top-level CallStatsToJson export and the nested per-leg
+// objects in ConferenceStatsToJson. The field order is pinned by the
+// seed-era fixtures in tests/data — do not reorder.
+void WriteCallStatsBody(JsonWriter& w, const CallStats& stats) {
   w.Field("avg_fps", stats.AvgFps());
   w.Field("avg_freeze_ms", stats.AvgFreezeMs());
   w.Field("avg_e2e_ms", stats.AvgE2eMs());
@@ -128,6 +135,51 @@ std::string CallStatsToJson(const CallStats& stats, int indent) {
     w.CloseObject();
   }
   w.CloseArray();
+}
+
+}  // namespace
+
+std::string CallStatsToJson(const CallStats& stats, int indent) {
+  JsonWriter w(indent);
+  w.OpenObject();
+  WriteCallStatsBody(w, stats);
+  w.CloseObject();
+  return w.str();
+}
+
+std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
+  JsonWriter w(indent);
+  w.OpenObject();
+
+  w.OpenArray("participants");
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    w.OpenObjectInArray();
+    w.Field("participant", static_cast<int64_t>(p.participant));
+    w.Field("inbound_streams", static_cast<int64_t>(p.inbound_streams));
+    w.Field("avg_fps", p.avg_fps);
+    w.Field("avg_freeze_ms", p.avg_freeze_ms);
+    w.Field("avg_e2e_ms", p.avg_e2e_ms);
+    w.Field("total_tput_mbps", p.total_tput_mbps);
+    w.Field("avg_qp", p.avg_qp);
+    w.Field("avg_psnr_db", p.avg_psnr_db);
+    w.Field("frame_drops", p.frame_drops);
+    w.Field("keyframe_requests", p.keyframe_requests);
+    w.CloseObject();
+  }
+  w.CloseArray();
+
+  w.OpenArray("legs");
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    w.OpenObjectInArray();
+    w.Field("from", static_cast<int64_t>(leg.from));
+    w.Field("to", static_cast<int64_t>(leg.to));
+    w.OpenObject("stats");
+    WriteCallStatsBody(w, leg.stats);
+    w.CloseObject();
+    w.CloseObject();
+  }
+  w.CloseArray();
+
   w.CloseObject();
   return w.str();
 }

@@ -1,15 +1,21 @@
-// JSON export of call results — the simulator's analogue of WebRTC's
-// getStats(): lets downstream tooling (dashboards, notebook plots) consume
-// call outcomes without linking against the library.
+// JSON export of call/conference results — the simulator's analogue of
+// WebRTC's getStats(): lets downstream tooling (dashboards, notebook plots)
+// consume outcomes without linking against the library.
 #pragma once
 
 #include <string>
 
 #include "session/call.h"
+#include "session/conference.h"
 
 namespace converge {
 
 // Serializes the aggregate stats, per-stream QoE and per-second time series.
 std::string CallStatsToJson(const CallStats& stats, int indent = 2);
+
+// Serializes a conference: per-participant receive QoE plus every directed
+// leg's full CallStats (nested in the exact CallStatsToJson layout).
+std::string ConferenceStatsToJson(const ConferenceStats& stats,
+                                  int indent = 2);
 
 }  // namespace converge

@@ -1,6 +1,9 @@
 #include "signaling/negotiation.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "rtp/ssrc_allocator.h"
 
 namespace converge {
 namespace {
@@ -9,7 +12,9 @@ SessionDescription BaseDescription(const EndpointCapabilities& caps) {
   SessionDescription desc;
   for (int i = 0; i < caps.num_streams; ++i) {
     SdpMediaStream stream;
-    stream.ssrc = 0x1000 + static_cast<uint32_t>(i);
+    // Participant-scoped SSRCs (participant 0 keeps the historical
+    // 0x1000 + i layout).
+    stream.ssrc = SsrcAllocator::StreamSsrc(caps.participant_id, i);
     stream.label = "camera" + std::to_string(i);
     desc.streams.push_back(stream);
   }
@@ -75,6 +80,40 @@ NegotiatedSession Negotiate(const EndpointCapabilities& local,
   session.num_paths = static_cast<int>(session.pairs.size());
   session.use_multipath = multipath && session.num_paths > 1;
   return session;
+}
+
+const NegotiatedSession& ConferencePlan::PairSession(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  // Row-major index of unordered pair (a, b), a < b, over num_participants:
+  // rows 0..a-1 contribute (n-1-r) entries each, then (b - a - 1) into row a.
+  const int n = num_participants;
+  const int index = a * (2 * n - a - 1) / 2 + (b - a - 1);
+  return sessions.at(static_cast<size_t>(index));
+}
+
+ConferencePlan NegotiateMesh(
+    const std::vector<EndpointCapabilities>& participants) {
+  ConferencePlan plan;
+  plan.num_participants = static_cast<int>(participants.size());
+  plan.star = false;
+  for (size_t a = 0; a < participants.size(); ++a) {
+    for (size_t b = a + 1; b < participants.size(); ++b) {
+      plan.sessions.push_back(Negotiate(participants[a], participants[b]));
+    }
+  }
+  return plan;
+}
+
+ConferencePlan NegotiateStar(
+    const EndpointCapabilities& forwarder,
+    const std::vector<EndpointCapabilities>& participants) {
+  ConferencePlan plan;
+  plan.num_participants = static_cast<int>(participants.size());
+  plan.star = true;
+  for (const EndpointCapabilities& participant : participants) {
+    plan.sessions.push_back(Negotiate(participant, forwarder));
+  }
+  return plan;
 }
 
 }  // namespace converge

@@ -1,7 +1,10 @@
 // Offer/answer negotiation with multipath capability exchange and the
 // backward-compatibility fallback the paper highlights (§1, §5): "Converge
 // seamlessly falls back to the standard WebRTC protocols if either endpoint
-// does not support multipath."
+// does not support multipath." N-party conferences negotiate pairwise: a
+// mesh runs offer/answer for every participant pair, a star has each
+// participant negotiate its uplink with the forwarder (NegotiateMesh /
+// NegotiateStar below).
 #pragma once
 
 #include "signaling/ice.h"
@@ -14,6 +17,10 @@ struct EndpointCapabilities {
   bool supports_multipath = true;
   int max_paths = 2;
   int num_streams = 1;
+  // Conference participant id; scopes the endpoint's published SSRCs
+  // (rtp/ssrc_allocator.h) so N senders never collide. The historical
+  // 2-party default of 0 keeps legacy SDP byte-compatible.
+  int participant_id = 0;
   std::vector<NetworkInterface> interfaces;
 };
 
@@ -37,5 +44,35 @@ SessionDescription CreateAnswer(const EndpointCapabilities& caps,
 // on both sides. `remote` answers `local`'s offer.
 NegotiatedSession Negotiate(const EndpointCapabilities& local,
                             const EndpointCapabilities& remote);
+
+// Result of negotiating an N-party conference, one pairwise session per
+// edge of the topology.
+struct ConferencePlan {
+  int num_participants = 0;
+  bool star = false;
+  // Mesh: sessions for unordered pairs (i, j), i < j, in row-major order
+  // ((0,1), (0,2), ..., (1,2), ...). Star: session i is participant i's
+  // uplink to the forwarder.
+  std::vector<NegotiatedSession> sessions;
+
+  // Mesh lookup: the session negotiated between participants a and b.
+  const NegotiatedSession& PairSession(int a, int b) const;
+  // Star lookup: participant's uplink session.
+  const NegotiatedSession& UplinkSession(int participant) const {
+    return sessions.at(static_cast<size_t>(participant));
+  }
+};
+
+// Full-mesh negotiation: offer/answer between every participant pair (lower
+// id offers). A single legacy endpoint only downgrades its own pairs — the
+// rest of the mesh keeps multipath.
+ConferencePlan NegotiateMesh(
+    const std::vector<EndpointCapabilities>& participants);
+
+// Star negotiation: every participant negotiates its uplink against the
+// forwarder's capabilities (the forwarder answers).
+ConferencePlan NegotiateStar(
+    const EndpointCapabilities& forwarder,
+    const std::vector<EndpointCapabilities>& participants);
 
 }  // namespace converge

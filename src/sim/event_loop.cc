@@ -4,16 +4,21 @@
 #include <memory>
 #include <utility>
 
+#include "util/trace_recorder.h"
+
 namespace converge {
 
 uint32_t EventLoop::AcquireSlot(Callback cb) {
+  const int32_t participant = TraceRecorder::CurrentParticipant();
   if (!free_slots_.empty()) {
     const uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
     slots_[slot] = std::move(cb);
+    slot_participants_[slot] = participant;
     return slot;
   }
   slots_.push_back(std::move(cb));
+  slot_participants_.push_back(participant);
   return static_cast<uint32_t>(slots_.size() - 1);
 }
 
@@ -29,6 +34,10 @@ void EventLoop::ScheduleIn(Duration delay, Callback cb) {
 }
 
 void EventLoop::RunUntil(Timestamp end) {
+  // Restoring the scheduling-time participant tag only matters when a trace
+  // recorder is installed; skip the TLS store entirely otherwise so untraced
+  // dispatch stays a plain heap pop + call.
+  const bool tag_participants = TraceRecorder::Current() != nullptr;
   while (!heap_.empty() && heap_.front().at <= end) {
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     const HeapEntry entry = heap_.back();
@@ -40,8 +49,12 @@ void EventLoop::RunUntil(Timestamp end) {
     free_slots_.push_back(entry.slot);
     now_ = entry.at;
     ++executed_;
+    if (tag_participants) {
+      TraceRecorder::SetCurrentParticipant(slot_participants_[entry.slot]);
+    }
     cb();
   }
+  if (tag_participants) TraceRecorder::SetCurrentParticipant(-1);
   if (end.IsFinite() && now_ < end) now_ = end;
 }
 

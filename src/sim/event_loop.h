@@ -71,6 +71,13 @@ class EventLoop {
   int64_t executed_ = 0;
   std::vector<HeapEntry> heap_;
   std::vector<Callback> slots_;
+  // Conference participant attribution, parallel to slots_: each event
+  // remembers the TraceRecorder participant tag active when it was
+  // scheduled, and dispatch restores it (only while a recorder is
+  // installed). Self-rescheduling component tasks — pacer drains, RTCP
+  // timers — thereby inherit their owner's tag transitively without any
+  // component knowing about participants.
+  std::vector<int32_t> slot_participants_;
   std::vector<uint32_t> free_slots_;
 };
 

@@ -9,6 +9,8 @@ namespace converge {
 
 ATTR_TLS_INITIAL_EXEC constinit thread_local TraceRecorder*
     TraceRecorder::current_ = nullptr;
+ATTR_TLS_INITIAL_EXEC constinit thread_local int32_t
+    TraceRecorder::participant_ = -1;
 
 TraceScope::TraceScope(TraceRecorder* recorder)
     : prev_(TraceRecorder::current_) {
@@ -17,12 +19,26 @@ TraceScope::TraceScope(TraceRecorder* recorder)
 
 TraceScope::~TraceScope() { TraceRecorder::current_ = prev_; }
 
+void TraceRecorder::SetCurrentParticipant(int32_t participant) {
+  participant_ = participant;
+}
+
+TraceParticipantScope::TraceParticipantScope(int32_t participant)
+    : prev_(TraceRecorder::CurrentParticipant()) {
+  TraceRecorder::SetCurrentParticipant(participant);
+}
+
+TraceParticipantScope::~TraceParticipantScope() {
+  TraceRecorder::SetCurrentParticipant(prev_);
+}
+
 TraceRecorder::TraceRecorder(size_t capacity)
     : capacity_(std::max<size_t>(1, capacity)) {
   ring_.reserve(capacity_);
 }
 
 void TraceRecorder::Emit(TraceEvent event) {
+  event.participant = participant_;
   if (event.at_us == kInheritTime) {
     // Clock-less emitter (e.g. a pure-function FEC controller): pin the
     // event to the newest simulation time seen so the timeline stays
@@ -86,12 +102,18 @@ void AppendDouble(std::string& out, double v) {
   out += buf;
 }
 
-// Series name: component.name plus path/stream qualifiers so each scope gets
-// its own Perfetto track (e.g. "gcc.target_kbps.p1").
+// Series name: component.name plus participant/path/stream qualifiers so
+// each scope gets its own Perfetto track (e.g. "gcc.target_kbps.P2.p1" for
+// conference participant 2's second path; untagged point-to-point runs keep
+// the historical "gcc.target_kbps.p1" names).
 std::string SeriesName(const TraceEvent& e) {
   std::string name = e.component;
   name.push_back('.');
   name += e.name;
+  if (e.participant >= 0) {
+    name += ".P";
+    name += std::to_string(e.participant);
+  }
   if (e.path >= 0) {
     name += ".p";
     name += std::to_string(e.path);
@@ -148,7 +170,8 @@ bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
 
 std::string TraceRecorder::Csv() const {
   const std::vector<TraceEvent> events = Snapshot();
-  std::string out = "t_ms,component,name,kind,path,stream,value,value2\n";
+  std::string out =
+      "t_ms,component,name,kind,participant,path,stream,value,value2\n";
   char buf[64];
   for (const TraceEvent& e : events) {
     std::snprintf(buf, sizeof(buf), "%.3f",
@@ -160,6 +183,8 @@ std::string TraceRecorder::Csv() const {
     out += e.name;
     out.push_back(',');
     out += e.kind == TraceKind::kCounter ? "counter" : "instant";
+    out.push_back(',');
+    out += std::to_string(e.participant);
     out.push_back(',');
     out += std::to_string(e.path);
     out.push_back(',');
@@ -190,6 +215,7 @@ std::string TraceRecorder::DescribeTail(size_t max_events) const {
     const TraceEvent& e = events[i];
     out << "  t=" << (static_cast<double>(e.at_us) / 1000.0) << "ms "
         << e.component << '.' << e.name;
+    if (e.participant >= 0) out << " participant=" << e.participant;
     if (e.path >= 0) out << " path=" << e.path;
     if (e.stream >= 0) out << " stream=" << e.stream;
     out << " value=" << e.value;

@@ -50,6 +50,11 @@ struct TraceEvent {
   int32_t stream = -1;  // stream id, -1 when not stream-scoped
   double value = 0.0;
   double value2 = 0.0;  // secondary value for instants (context)
+  // Conference participant the event belongs to, -1 for untagged
+  // point-to-point runs. Stamped by Emit() from the thread-local participant
+  // id — probe sites never pass it explicitly (a GCC pacer probe has no idea
+  // which of N senders owns it; the Conference routing layer does).
+  int32_t participant = -1;
 };
 
 class TraceRecorder {
@@ -64,6 +69,16 @@ class TraceRecorder {
   // The recorder installed on this thread, or nullptr when tracing is off.
   // Inline: a disabled probe site is one thread-local load and a branch.
   static TraceRecorder* Current() { return current_; }
+
+  // The participant id events on this thread are currently attributed to
+  // (-1 = untagged). Set by TraceParticipantScope at conference routing
+  // boundaries and restored by the EventLoop when it dispatches a callback
+  // that was scheduled under a tag (so self-rescheduling component tasks —
+  // pacer drains, RTCP timers — inherit their owner transitively). The
+  // *load* is inline (it sits on the EventLoop schedule path); the store is
+  // out of line, see TraceParticipantScope.
+  static int32_t CurrentParticipant() { return participant_; }
+  static void SetCurrentParticipant(int32_t participant);
 
   // Emission. Events whose timestamp is not finite (pure-function components
   // with no clock, e.g. the FEC controllers) inherit the recorder's
@@ -97,7 +112,8 @@ class TraceRecorder {
   std::string ChromeTraceJson() const;
   bool WriteChromeTrace(const std::string& path) const;
 
-  // Flat CSV time series: t_ms,component,name,kind,path,stream,value,value2.
+  // Flat CSV time series:
+  // t_ms,component,name,kind,participant,path,stream,value,value2.
   std::string Csv() const;
   bool WriteCsv(const std::string& path) const;
 
@@ -119,6 +135,9 @@ class TraceRecorder {
   // code.
   ATTR_TLS_INITIAL_EXEC static constinit thread_local TraceRecorder*
       current_;
+  // Participant attribution for Emit(); same constinit/initial-exec
+  // reasoning as current_.
+  ATTR_TLS_INITIAL_EXEC static constinit thread_local int32_t participant_;
 
   size_t capacity_;
   std::vector<TraceEvent> ring_;
@@ -142,6 +161,23 @@ class TraceScope {
 
  private:
   TraceRecorder* prev_;
+};
+
+// RAII: attributes trace events emitted in this scope to one conference
+// participant. The Conference enters a scope around each participant's
+// component construction and at every routing boundary (packet delivered to
+// participant p's receiver, feedback delivered to p's sender); the EventLoop
+// then propagates the tag to events the scoped code schedules. Ctor/dtor are
+// out of line for the same GCC 12 TLS-store reason as TraceScope.
+class TraceParticipantScope {
+ public:
+  explicit TraceParticipantScope(int32_t participant);
+  ~TraceParticipantScope();
+  TraceParticipantScope(const TraceParticipantScope&) = delete;
+  TraceParticipantScope& operator=(const TraceParticipantScope&) = delete;
+
+ private:
+  int32_t prev_;
 };
 
 }  // namespace converge

@@ -1,0 +1,300 @@
+// Conference runtime coverage: the 2-party Call adapter's byte-identity
+// against the pinned seed-era fixtures, 3-party mesh determinism across
+// worker counts and reruns, star-topology forwarding correctness, the
+// faulted-mesh chaos run CI pins under ASan, and the participant-scoped
+// SSRC allocator.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/loss_model.h"
+#include "rtp/ssrc_allocator.h"
+#include "session/call.h"
+#include "session/conference.h"
+#include "session/stats_json.h"
+#include "trace/generators.h"
+#include "util/invariants.h"
+
+namespace converge {
+namespace {
+
+PathSpec StablePath(const std::string& name, double mbps, int delay_ms,
+                    double loss = 0.0) {
+  PathSpec spec;
+  spec.name = name;
+  spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+  spec.prop_delay = Duration::Millis(delay_ms);
+  if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+  return spec;
+}
+
+// Mirrors FixtureConfig() in gen_call_fixtures.cc — the exact configuration
+// the pinned tests/data fixtures were generated from, on the pre-conference
+// point-to-point Call implementation.
+CallConfig FixtureCallConfig(Variant variant) {
+  PathSpec p0;
+  p0.name = "fix0";
+  p0.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(15));
+  p0.prop_delay = Duration::Millis(20);
+  p0.loss = std::make_shared<BernoulliLoss>(0.02);
+  PathSpec p1;
+  p1.name = "fix1";
+  p1.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(8));
+  p1.prop_delay = Duration::Millis(45);
+  p1.loss = std::make_shared<BernoulliLoss>(0.01);
+
+  CallConfig config;
+  config.variant = variant;
+  config.paths = {p0, p1};
+  config.num_streams = 2;
+  config.duration = Duration::Seconds(8);
+  config.seed = 17;
+  return config;
+}
+
+std::string FixtureFileName(Variant v) {
+  switch (v) {
+    case Variant::kWebRtcPath0: return "call_fixture_webrtc_p0.json";
+    case Variant::kWebRtcPath1: return "call_fixture_webrtc_p1.json";
+    case Variant::kWebRtcCm: return "call_fixture_webrtc_cm.json";
+    case Variant::kSrtt: return "call_fixture_srtt.json";
+    case Variant::kEcf: return "call_fixture_ecf.json";
+    case Variant::kMtput: return "call_fixture_mtput.json";
+    case Variant::kMrtp: return "call_fixture_mrtp.json";
+    case Variant::kConverge: return "call_fixture_converge.json";
+    case Variant::kConvergeNoFeedback: return "call_fixture_converge_nofb.json";
+    case Variant::kConvergeWebRtcFec:
+      return "call_fixture_converge_tblfec.json";
+  }
+  return "call_fixture_unknown.json";
+}
+
+std::string ReadFixture(Variant v) {
+  const std::string path =
+      std::string(CONVERGE_TEST_DATA_DIR) + "/" + FixtureFileName(v);
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// A small every-participant-duplex conference on two stable paths.
+ConferenceConfig MeshConfig(int participants, Duration duration,
+                            uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(static_cast<size_t>(participants),
+                             ParticipantSpec{});
+  config.paths = {StablePath("m0", 6.0, 20, 0.01),
+                  StablePath("m1", 4.0, 35, 0.005)};
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = duration;
+  config.seed = seed;
+  return config;
+}
+
+ConferenceConfig StarConfig(int participants, Duration duration,
+                            uint64_t seed) {
+  ConferenceConfig config = MeshConfig(participants, duration, seed);
+  config.topology = Topology::kStar;
+  // Uplinks keep the mesh path template; hub->receiver downlinks are
+  // provisioned for the aggregate of all forwarded senders (per-downlink
+  // congestion control at the forwarder is an open item).
+  config.paths_for_edge = [participants](int from, int) {
+    if (from == kHubId) {
+      const double scale = static_cast<double>(participants - 1);
+      return std::vector<PathSpec>{
+          StablePath("d0", 8.0 * scale, 15),
+          StablePath("d1", 6.0 * scale, 25)};
+    }
+    return std::vector<PathSpec>{StablePath("u0", 6.0, 20, 0.01),
+                                 StablePath("u1", 4.0, 35, 0.005)};
+  };
+  return config;
+}
+
+// --- Satellite: the participant-scoped SSRC allocator -----------------------
+
+TEST(SsrcAllocatorTest, ParticipantZeroKeepsLegacyLayout) {
+  EXPECT_EQ(SsrcAllocator::StreamSsrc(0, 0), 0x1000u);
+  EXPECT_EQ(SsrcAllocator::StreamSsrc(0, 2), 0x1002u);
+}
+
+TEST(SsrcAllocatorTest, BlocksAreDisjointAcrossParticipants) {
+  std::set<uint32_t> seen;
+  for (int p = 0; p < 8; ++p) {
+    for (int s = 0; s < 16; ++s) {
+      EXPECT_TRUE(seen.insert(SsrcAllocator::StreamSsrc(p, s)).second)
+          << "collision at participant " << p << " stream " << s;
+    }
+  }
+}
+
+// --- The 2-party Call adapter ----------------------------------------------
+
+TEST(ConferenceAdapterTest, MatchesSeedEraFixtureForEveryVariant) {
+  for (Variant v :
+       {Variant::kWebRtcPath0, Variant::kWebRtcPath1, Variant::kWebRtcCm,
+        Variant::kSrtt, Variant::kEcf, Variant::kMtput, Variant::kMrtp,
+        Variant::kConverge, Variant::kConvergeNoFeedback,
+        Variant::kConvergeWebRtcFec}) {
+    Call call(FixtureCallConfig(v));
+    const CallStats stats = call.Run();
+    EXPECT_EQ(CallStatsToJson(stats), ReadFixture(v))
+        << "adapter result drifted from the pre-refactor implementation for "
+        << ToString(v);
+  }
+}
+
+TEST(ConferenceAdapterTest, CallIsExactlyAOneLegMeshConference) {
+  const CallConfig call_config = FixtureCallConfig(Variant::kConverge);
+  Call call(call_config);
+  const CallStats via_call = call.Run();
+
+  Conference conference(ToConferenceConfig(call_config));
+  ASSERT_EQ(conference.num_legs(), 1u);
+  EXPECT_EQ(conference.leg_from(0), 0);
+  EXPECT_EQ(conference.leg_to(0), 1);
+  const ConferenceStats via_conference = conference.Run();
+  ASSERT_EQ(via_conference.legs.size(), 1u);
+  EXPECT_EQ(CallStatsToJson(via_conference.legs[0].stats),
+            CallStatsToJson(via_call));
+
+  // Only participant 1 receives anything.
+  ASSERT_EQ(via_conference.participants.size(), 2u);
+  EXPECT_EQ(via_conference.participants[0].inbound_streams, 0);
+  EXPECT_EQ(via_conference.participants[1].inbound_streams,
+            call_config.num_streams);
+}
+
+// --- Mesh -------------------------------------------------------------------
+
+TEST(ConferenceMeshTest, ThreePartyMeshAllParticipantsSendAndReceive) {
+  Conference conference(MeshConfig(3, Duration::Seconds(6), 11));
+  ASSERT_EQ(conference.num_legs(), 6u);
+  const ConferenceStats stats = conference.Run();
+  ASSERT_EQ(stats.legs.size(), 6u);
+  ASSERT_EQ(stats.participants.size(), 3u);
+
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    EXPECT_NE(leg.from, leg.to);
+    ASSERT_EQ(leg.stats.streams.size(), 1u);
+    EXPECT_GT(leg.stats.streams[0].frames_decoded, 0)
+        << "leg " << leg.from << "->" << leg.to << " decoded nothing";
+  }
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    EXPECT_EQ(p.inbound_streams, 2);
+    EXPECT_GT(p.avg_fps, 10.0) << "participant " << p.participant;
+    EXPECT_GT(p.total_tput_mbps, 0.2) << "participant " << p.participant;
+    EXPECT_LT(p.avg_e2e_ms, 500.0) << "participant " << p.participant;
+  }
+}
+
+TEST(ConferenceMeshTest, SendOnlyAndReceiveOnlyRolesPruneLegs) {
+  ConferenceConfig config = MeshConfig(3, Duration::Seconds(2), 4);
+  config.participants[0].receives = false;  // pure publisher
+  config.participants[2].sends = false;     // pure viewer
+  Conference conference(config);
+  // Senders {0, 1} x receivers {1, 2} minus self-legs: 0->1, 0->2, 1->2.
+  ASSERT_EQ(conference.num_legs(), 3u);
+  EXPECT_EQ(conference.leg_from(0), 0);
+  EXPECT_EQ(conference.leg_to(0), 1);
+  EXPECT_EQ(conference.leg_from(2), 1);
+  EXPECT_EQ(conference.leg_to(2), 2);
+}
+
+TEST(ConferenceMeshTest, DeterministicAcrossJobsAndReruns) {
+  std::vector<ConferenceConfig> configs;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    configs.push_back(MeshConfig(3, Duration::Seconds(4), seed));
+  }
+  const std::vector<ConferenceStats> serial = RunConferences(configs, 1);
+  const std::vector<ConferenceStats> parallel = RunConferences(configs, 8);
+  const std::vector<ConferenceStats> rerun = RunConferences(configs, 8);
+  ASSERT_EQ(serial.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const std::string expected = ConferenceStatsToJson(serial[i]);
+    EXPECT_EQ(ConferenceStatsToJson(parallel[i]), expected)
+        << "jobs=8 diverged from jobs=1 at seed " << (i + 1);
+    EXPECT_EQ(ConferenceStatsToJson(rerun[i]), expected)
+        << "rerun diverged at seed " << (i + 1);
+  }
+}
+
+// --- Star -------------------------------------------------------------------
+
+TEST(ConferenceStarTest, HubForwardsEveryStreamToEverySubscriber) {
+  Conference conference(StarConfig(3, Duration::Seconds(6), 21));
+  ASSERT_EQ(conference.num_legs(), 6u);
+  const ConferenceStats stats = conference.Run();
+
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    ASSERT_EQ(leg.stats.streams.size(), 1u);
+    EXPECT_GT(leg.stats.streams[0].frames_decoded, 0)
+        << "hub dropped leg " << leg.from << "->" << leg.to;
+  }
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    EXPECT_EQ(p.inbound_streams, 2);
+    EXPECT_GT(p.avg_fps, 10.0) << "participant " << p.participant;
+    // Two store-and-forward hops: E2E must exceed the single uplink
+    // propagation delay but stay conversational.
+    EXPECT_GT(p.avg_e2e_ms, 35.0) << "participant " << p.participant;
+    EXPECT_LT(p.avg_e2e_ms, 600.0) << "participant " << p.participant;
+  }
+}
+
+TEST(ConferenceStarTest, DeterministicAcrossJobs) {
+  std::vector<ConferenceConfig> configs;
+  for (uint64_t seed = 7; seed <= 9; ++seed) {
+    configs.push_back(StarConfig(3, Duration::Seconds(4), seed));
+  }
+  const std::vector<ConferenceStats> serial = RunConferences(configs, 1);
+  const std::vector<ConferenceStats> parallel = RunConferences(configs, 8);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(ConferenceStatsToJson(parallel[i]),
+              ConferenceStatsToJson(serial[i]));
+  }
+}
+
+// --- Chaos: faulted 3-party mesh under invariants + tracing -----------------
+// CI's chaos job runs this suite under ASan; the acceptance criterion is a
+// deterministic faulted N-party run with zero invariant violations.
+
+TEST(ConferenceChaosTest, FaultedThreePartyMeshRunsCleanUnderInvariants) {
+  ScopedInvariants invariants;
+  ConferenceConfig config = MeshConfig(3, Duration::Seconds(8), 31);
+  // Scripted faults on the primary path of every directed edge, plus the
+  // flight recorder, exactly as the chaos CI job drives 2-party calls.
+  config.paths[0].fault_plan =
+      MakeScenarioFaultPlan(Scenario::kWalking, config.seed);
+  config.trace_capacity = 1 << 14;
+  Conference conference(config);
+  const ConferenceStats stats = conference.Run();
+
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+  ASSERT_NE(conference.trace(), nullptr);
+  EXPECT_GT(conference.trace()->total_emitted(), 0);
+  // The faulted path degrades QoE but every participant must still decode
+  // video from both remotes.
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    ASSERT_EQ(leg.stats.streams.size(), 1u);
+    EXPECT_GT(leg.stats.streams[0].frames_decoded, 0);
+  }
+  // Participant tags flow through routing + the event loop into the trace.
+  std::set<int32_t> tagged;
+  for (const TraceEvent& e : conference.trace()->Snapshot()) {
+    if (e.participant >= 0) tagged.insert(e.participant);
+  }
+  EXPECT_EQ(tagged.size(), 3u)
+      << "expected probe events attributed to all 3 participants";
+}
+
+}  // namespace
+}  // namespace converge

@@ -163,5 +163,74 @@ TEST(NegotiationTest, OfferAdvertisesExtensionUri) {
   EXPECT_EQ(offer.header_extensions[0], kMultipathExtensionUri);
 }
 
+TEST(NegotiationTest, OfferCarriesParticipantScopedSsrcs) {
+  EndpointCapabilities caps;
+  caps.participant_id = 2;
+  caps.num_streams = 2;
+  caps.interfaces = DualInterfaces();
+  const SessionDescription offer = CreateOffer(caps);
+  ASSERT_EQ(offer.streams.size(), 2u);
+  EXPECT_EQ(offer.streams[0].ssrc, 0x1200u);  // 0x1000 + 2 * 0x100
+  EXPECT_EQ(offer.streams[1].ssrc, 0x1201u);
+  // Participant 0 keeps the historical point-to-point layout.
+  caps.participant_id = 0;
+  EXPECT_EQ(CreateOffer(caps).streams[0].ssrc, 0x1000u);
+}
+
+TEST(NegotiationTest, MeshPlanNegotiatesEveryPairOnce) {
+  std::vector<EndpointCapabilities> participants(3);
+  for (int i = 0; i < 3; ++i) {
+    participants[static_cast<size_t>(i)].participant_id = i;
+    participants[static_cast<size_t>(i)].interfaces = DualInterfaces();
+  }
+  const ConferencePlan plan = NegotiateMesh(participants);
+  EXPECT_FALSE(plan.star);
+  EXPECT_EQ(plan.num_participants, 3);
+  ASSERT_EQ(plan.sessions.size(), 3u);  // C(3, 2) unordered pairs
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      const NegotiatedSession& session = plan.PairSession(a, b);
+      EXPECT_TRUE(session.use_multipath) << "pair " << a << "," << b;
+      // PairSession is order-insensitive: both lookups hit the same entry.
+      EXPECT_EQ(&session, &plan.PairSession(b, a));
+    }
+  }
+}
+
+TEST(NegotiationTest, MeshPlanLegacyEndpointDowngradesOnlyItsOwnPairs) {
+  std::vector<EndpointCapabilities> participants(3);
+  for (int i = 0; i < 3; ++i) {
+    participants[static_cast<size_t>(i)].participant_id = i;
+    participants[static_cast<size_t>(i)].interfaces = DualInterfaces();
+  }
+  participants[1].supports_multipath = false;
+  const ConferencePlan plan = NegotiateMesh(participants);
+  EXPECT_FALSE(plan.PairSession(0, 1).use_multipath);
+  EXPECT_FALSE(plan.PairSession(1, 2).use_multipath);
+  // The pair not involving the legacy endpoint keeps multipath.
+  EXPECT_TRUE(plan.PairSession(0, 2).use_multipath);
+}
+
+TEST(NegotiationTest, StarPlanNegotiatesOneUplinkPerParticipant) {
+  EndpointCapabilities forwarder;
+  forwarder.participant_id = 100;
+  forwarder.interfaces = DualInterfaces();
+  std::vector<EndpointCapabilities> participants(3);
+  for (int i = 0; i < 3; ++i) {
+    participants[static_cast<size_t>(i)].participant_id = i;
+    participants[static_cast<size_t>(i)].interfaces = DualInterfaces();
+  }
+  participants[2].supports_multipath = false;
+
+  const ConferencePlan plan = NegotiateStar(forwarder, participants);
+  EXPECT_TRUE(plan.star);
+  ASSERT_EQ(plan.sessions.size(), 3u);
+  EXPECT_TRUE(plan.UplinkSession(0).use_multipath);
+  EXPECT_TRUE(plan.UplinkSession(1).use_multipath);
+  // A legacy participant only downgrades its own uplink to the forwarder.
+  EXPECT_FALSE(plan.UplinkSession(2).use_multipath);
+}
+
 }  // namespace
 }  // namespace converge

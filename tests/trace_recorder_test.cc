@@ -91,9 +91,10 @@ TEST(TraceRecorderTest, CsvHasHeaderAndOneRowPerEvent) {
   recorder.Instant("qoe", "negative_verdict", Timestamp::Millis(6), -2.0, 0);
   const std::string csv = recorder.Csv();
   EXPECT_EQ(static_cast<size_t>(std::count(csv.begin(), csv.end(), '\n')), 3u);
-  EXPECT_NE(csv.find("t_ms,component,name,kind,path,stream,value,value2"),
-            std::string::npos);
-  EXPECT_NE(csv.find("5.000,pacer,queue_pkts,counter,1,-1,3,0"),
+  EXPECT_NE(
+      csv.find("t_ms,component,name,kind,participant,path,stream,value,value2"),
+      std::string::npos);
+  EXPECT_NE(csv.find("5.000,pacer,queue_pkts,counter,-1,1,-1,3,0"),
             std::string::npos);
   EXPECT_NE(csv.find("qoe,negative_verdict,instant"), std::string::npos);
 }
@@ -248,6 +249,34 @@ TEST(TraceRecorderTest, ViolationWithoutRecorderHasNoTail) {
                      std::string("forced"));
   EXPECT_EQ(InvariantRegistry::violation_count(), 1);
   EXPECT_TRUE(InvariantRegistry::FlightRecorderTail().empty());
+}
+
+TEST(TraceRecorderTest, ParticipantScopeTagsEventsAndSeriesNames) {
+  TraceRecorder recorder(8);
+  recorder.Counter("gcc", "target_kbps", Timestamp::Millis(1), 500.0, 1);
+  {
+    TraceParticipantScope scope(2);
+    EXPECT_EQ(TraceRecorder::CurrentParticipant(), 2);
+    recorder.Counter("gcc", "target_kbps", Timestamp::Millis(2), 600.0, 1);
+  }
+  EXPECT_EQ(TraceRecorder::CurrentParticipant(), -1);
+  recorder.Counter("gcc", "target_kbps", Timestamp::Millis(3), 700.0, 1);
+
+  const std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].participant, -1);
+  EXPECT_EQ(events[1].participant, 2);
+  EXPECT_EQ(events[2].participant, -1);
+
+  // Tagged events get their own Perfetto series; untagged events keep the
+  // historical point-to-point names.
+  const std::string json = recorder.ChromeTraceJson();
+  EXPECT_NE(json.find("\"gcc.target_kbps.P2.p1\""), std::string::npos);
+  EXPECT_NE(json.find("\"gcc.target_kbps.p1\""), std::string::npos);
+
+  const std::string csv = recorder.Csv();
+  EXPECT_NE(csv.find("2.000,gcc,target_kbps,counter,2,1,-1,600,0"),
+            std::string::npos);
 }
 
 TEST(TraceRecorderTest, DescribeTailShowsNewestEventsLast) {
