@@ -3,8 +3,17 @@
 // grows with the number of directed legs, N*(N-1); star grows with uplinks
 // plus fan-out, so the crossover between the two is the quantity of interest.
 //
-//   --smoke            tiny sweep (N in {2,3}, 1 seed, 4 s calls) used as a
-//                      CI build-and-run sanity check
+// A second cell pins the PR 5 acceptance scenario: a star with one slow
+// receiver (1 Mbps downlinks next to 10 Mbps peers), reporting per-downlink
+// hub state (GCC target, thin/evict counts, queue highwater) so regressions
+// in the forwarder's congestion loop show up as table diffs.
+//
+//   --smoke            tiny sweep (N in {2,3}, 1 seed, 4 s calls) plus a
+//                      short constrained-star cell, used as a CI
+//                      build-and-run sanity check
+//   --trace=<prefix>   run ONE traced constrained-star conference and write
+//                      <prefix>.json (Perfetto / chrome://tracing) and
+//                      <prefix>.csv with the hub queue + hub_gcc series
 //   CONVERGE_BENCH_FAST=1 / CONVERGE_BENCH_SEEDS / CONVERGE_BENCH_JOBS as in
 //   the other benches
 #include <chrono>
@@ -55,6 +64,135 @@ ConferenceConfig NpartyConfig(Topology topology, int participants,
   return config;
 }
 
+// One sender (3 Mbps cap), three receivers; receiver 3's downlink pair is
+// scaled by slow_mbps (1.0 = the constrained acceptance scenario, 10.0 = the
+// unconstrained baseline). Mirrors the fixture in tests/conference_test.cc.
+ConferenceConfig ConstrainedStarConfig(double slow_mbps, Duration duration,
+                                       uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(4, ParticipantSpec{});
+  config.participants[0].receives = false;
+  for (int p = 1; p < 4; ++p) config.participants[p].sends = false;
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = duration;
+  config.seed = seed;
+  config.paths_for_edge = [slow_mbps](int from, int to) {
+    auto path = [](const char* name, double mbps, int delay_ms) {
+      PathSpec spec;
+      spec.name = name;
+      spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+      spec.prop_delay = Duration::Millis(delay_ms);
+      return spec;
+    };
+    if (from == kHubId) {
+      const double scale = to == 3 ? slow_mbps : 10.0;
+      return std::vector<PathSpec>{path("d0", 0.6 * scale, 15),
+                                   path("d1", 0.4 * scale, 25)};
+    }
+    return std::vector<PathSpec>{path("u0", 6.0, 20), path("u1", 4.0, 35)};
+  };
+  return config;
+}
+
+// Constrained vs unconstrained star, with the hub's per-downlink rows. The
+// interesting deltas: receiver 3's summed target_kbps converging toward its
+// 1 Mbps downlink pair, thin/evict counters absorbing the excess, and
+// receivers 1-2 matching the baseline row.
+int ConstrainedStarCell(Duration duration) {
+  bench::Header("constrained-downlink star: 1 sender @3 Mbps, receiver 3 slow");
+  for (const double slow : {1.0, 10.0}) {
+    Conference conference(ConstrainedStarConfig(slow, duration, 42));
+    const ConferenceStats stats = conference.Run();
+    std::printf("\nslow-downlink scale %.0fx (receiver 3 pair = %.1f Mbps)\n",
+                slow, slow);
+    std::printf("  %4s %8s %8s %8s %8s\n", "recv", "fps", "freeze", "e2e_ms",
+                "mbps");
+    for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+      if (p.inbound_streams == 0) continue;
+      std::printf("  %4d %8.2f %8.1f %8.1f %8.2f\n", p.participant, p.avg_fps,
+                  p.avg_freeze_ms, p.avg_e2e_ms, p.total_tput_mbps);
+    }
+    std::printf("  %4s %4s %8s %7s %6s %6s %6s %5s %9s %9s\n", "recv", "path",
+                "tgt_kbps", "srtt_ms", "loss", "thin", "evict", "plis",
+                "max_q_kB", "max_q_ms");
+    for (const ConferenceStats::Downlink& d : stats.downlinks) {
+      std::printf("  %4d %4d %8.0f %7.1f %6.3f %6lld %6lld %5lld %9.1f %9.1f\n",
+                  d.receiver, static_cast<int>(d.path), d.target_kbps,
+                  d.srtt_ms, d.loss,
+                  static_cast<long long>(d.forwarder.frames_thinned),
+                  static_cast<long long>(d.forwarder.frames_evicted),
+                  static_cast<long long>(d.forwarder.plis_relayed),
+                  d.forwarder.max_queue_bytes / 1000.0,
+                  d.forwarder.max_queue_delay_ms);
+    }
+    // Structural sanity for CI: the hub must expose one row per
+    // (receiver, path) and the constrained run must actually thin.
+    if (stats.downlinks.size() != 6) {
+      std::fprintf(stderr, "constrained cell: got %zu downlink rows, want 6\n",
+                   stats.downlinks.size());
+      return 1;
+    }
+    if (slow == 1.0) {
+      int64_t thinned = 0;
+      for (const ConferenceStats::Downlink& d : stats.downlinks) {
+        if (d.receiver == 3) thinned += d.forwarder.frames_thinned;
+      }
+      if (thinned == 0) {
+        std::fprintf(stderr,
+                     "constrained cell: slow receiver was never thinned\n");
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
+// --trace=<prefix> / CONVERGE_TRACE=<prefix>: one traced constrained-star
+// conference; the export carries the hub's per-downlink queue counters
+// ("hub" component) and the downlink controllers ("hub_gcc") alongside the
+// usual sender-side probes.
+bool MaybeCaptureHubTrace(int argc, char** argv) {
+  std::string prefix;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) prefix = arg.substr(8);
+  }
+  if (prefix.empty()) {
+    if (const char* env = std::getenv("CONVERGE_TRACE")) prefix = env;
+  }
+  if (prefix.empty()) return false;
+
+  ConferenceConfig config = ConstrainedStarConfig(
+      1.0,
+      bench::FastMode() ? Duration::Seconds(8) : Duration::Seconds(30), 42);
+  config.trace_capacity = TraceRecorder::kDefaultCapacity;
+  Conference conference(config);
+  const ConferenceStats stats = conference.Run();
+  const TraceRecorder* trace = conference.trace();
+
+  const std::string json_path = prefix + ".json";
+  const std::string csv_path = prefix + ".csv";
+  const bool ok =
+      trace->WriteChromeTrace(json_path) && trace->WriteCsv(csv_path);
+  double slow_tput = 0.0;
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    if (p.participant == 3) slow_tput = p.total_tput_mbps;
+  }
+  std::printf(
+      "traced constrained star: slow receiver %.2f Mbps, %lld events "
+      "(%lld dropped)\n",
+      slow_tput, static_cast<long long>(trace->total_emitted()),
+      static_cast<long long>(trace->dropped()));
+  std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "error: failed writing trace files\n");
+    std::exit(1);
+  }
+  return true;
+}
+
 void SweepTopology(Topology topology, const std::vector<int>& sizes,
                    Duration duration, int seeds) {
   bench::Header(("n-party scaling: " + ToString(topology) + " topology").c_str());
@@ -90,6 +228,8 @@ void SweepTopology(Topology topology, const std::vector<int>& sizes,
 }
 
 int Main(int argc, char** argv) {
+  if (MaybeCaptureHubTrace(argc, argv)) return 0;
+
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -110,6 +250,10 @@ int Main(int argc, char** argv) {
 
   SweepTopology(Topology::kMesh, sizes, duration, seeds);
   SweepTopology(Topology::kStar, sizes, duration, seeds);
+  if (int rc = ConstrainedStarCell(smoke ? Duration::Seconds(6) : duration);
+      rc != 0) {
+    return rc;
+  }
 
   if (smoke) {
     // Cheap structural sanity for CI: a 3-party mesh must produce 6 legs and

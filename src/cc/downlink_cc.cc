@@ -1,0 +1,64 @@
+#include "cc/downlink_cc.h"
+
+#include <vector>
+
+namespace converge {
+
+DownlinkCc::DownlinkCc(Config config)
+    : config_(config), gcc_(config.gcc) {}
+
+void DownlinkCc::OnPacketSent(int leg, int64_t transport_seq,
+                              Timestamp send_time, int64_t bytes) {
+  const auto key = std::make_pair(leg, transport_seq);
+  sent_[key] = {send_time, bytes};
+  sent_order_.push_back(key);
+  while (sent_order_.size() > config_.max_history) {
+    sent_.erase(sent_order_.front());
+    sent_order_.pop_front();
+  }
+}
+
+void DownlinkCc::OnTransportFeedback(int leg, const TransportFeedback& fb,
+                                     Timestamp now) {
+  std::vector<PacketResult> results;
+  results.reserve(fb.arrivals.size());
+  int received = 0;
+  int lost = 0;
+  Timestamp newest_send = Timestamp::MinusInfinity();
+  for (const auto& a : fb.arrivals) {
+    auto it = sent_.find({leg, a.mp_transport_seq});
+    if (it == sent_.end()) continue;
+    PacketResult r;
+    r.transport_seq = a.mp_transport_seq;
+    r.bytes = it->second.bytes;
+    r.send_time = it->second.send_time;
+    r.received = a.recv_time.IsFinite();
+    if (r.received) {
+      r.recv_time = a.recv_time;
+      ++received;
+      if (it->second.send_time > newest_send) {
+        newest_send = it->second.send_time;
+      }
+    } else {
+      ++lost;
+    }
+    results.push_back(r);
+  }
+  if (results.empty()) return;
+  ++feedback_batches_;
+  packets_acked_ += received;
+  packets_lost_ += lost;
+  gcc_.OnTransportFeedback(results, now);
+  // Drive the loss branch from the same batch: without hub SRs there is no
+  // receiver-report RTT echo for this hop, so use feedback arrival minus
+  // the newest received packet's send time as the round-trip sample.
+  const double fraction_lost =
+      static_cast<double>(lost) / static_cast<double>(received + lost);
+  Duration rtt = Duration::Millis(1);
+  if (newest_send.IsFinite() && now > newest_send) {
+    rtt = now - newest_send;
+  }
+  gcc_.OnReceiverReport(fraction_lost, rtt, now);
+}
+
+}  // namespace converge

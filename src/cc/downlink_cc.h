@@ -1,0 +1,73 @@
+// Hub-side congestion loop for one (receiver, path) downlink of a star
+// conference. The SFU hub owns the downlink sequence spaces: it re-stamps
+// mp_transport_seq per (origin leg, path) at egress and registers every
+// stamped packet here, then translates the receiver's per-leg transport
+// feedback into PacketResults for a wrapped GccController.
+//
+// The hub sends no SenderReports of its own (SR/SDES pass through from the
+// origin), so the receiver-report RTT echo measures the origin's round
+// trip, not the hub's. The loss branch is therefore driven from transport
+// feedback directly: each batch yields a loss fraction and an RTT sample
+// (feedback arrival minus send time of the newest received packet).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "cc/gcc.h"
+#include "rtp/rtcp.h"
+#include "util/time.h"
+
+namespace converge {
+
+class DownlinkCc {
+ public:
+  struct Config {
+    GccController::Config gcc;
+    // Packets kept awaiting feedback; the oldest entries are pruned first.
+    size_t max_history = 8192;
+  };
+
+  explicit DownlinkCc(Config config);
+
+  // Registers a packet stamped onto this downlink. `transport_seq` is the
+  // hub's unwrapped per-(leg, path) egress counter — the same value the
+  // receiver's unwrapper reconstructs and echoes in transport feedback.
+  void OnPacketSent(int leg, int64_t transport_seq, Timestamp send_time,
+                    int64_t bytes);
+
+  // One leg's transport feedback for this downlink path. Entries missing
+  // from the sent history (pruned, or stamped before a restart) are
+  // skipped rather than misread as losses.
+  void OnTransportFeedback(int leg, const TransportFeedback& fb,
+                           Timestamp now);
+
+  DataRate target_rate() const { return gcc_.target_rate(); }
+  Duration smoothed_rtt() const { return gcc_.smoothed_rtt(); }
+  double loss_estimate() const { return gcc_.loss_estimate(); }
+  const GccController& gcc() const { return gcc_; }
+
+  int64_t feedback_batches() const { return feedback_batches_; }
+  int64_t packets_acked() const { return packets_acked_; }
+  int64_t packets_lost() const { return packets_lost_; }
+
+ private:
+  struct SentRecord {
+    Timestamp send_time;
+    int64_t bytes = 0;
+  };
+
+  Config config_;
+  GccController gcc_;
+  // Keyed (leg, unwrapped transport seq); each leg's sequence space is
+  // independent, so the pair key keeps them disjoint.
+  std::map<std::pair<int, int64_t>, SentRecord> sent_;
+  std::deque<std::pair<int, int64_t>> sent_order_;
+  int64_t feedback_batches_ = 0;
+  int64_t packets_acked_ = 0;
+  int64_t packets_lost_ = 0;
+};
+
+}  // namespace converge

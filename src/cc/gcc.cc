@@ -67,19 +67,20 @@ void GccController::EmitTrace(Timestamp now) const {
   TraceRecorder* trace = TraceRecorder::Current();
   if (trace == nullptr) return;
   const int32_t path = config_.trace_path;
-  trace->Counter("gcc", "target_kbps", now,
+  const char* c = config_.trace_component;
+  trace->Counter(c, "target_kbps", now,
                  static_cast<double>(target_rate().bps()) / 1000.0, path);
-  trace->Counter("gcc", "goodput_kbps", now,
+  trace->Counter(c, "goodput_kbps", now,
                  static_cast<double>(goodput_.bps()) / 1000.0, path);
-  trace->Counter("gcc", "trendline_slope", now, trendline_.trend(), path);
-  trace->Counter("gcc", "trendline_threshold", now, trendline_.threshold(),
+  trace->Counter(c, "trendline_slope", now, trendline_.trend(), path);
+  trace->Counter(c, "trendline_threshold", now, trendline_.threshold(),
                  path);
-  trace->Counter("gcc", "detector_state", now,
+  trace->Counter(c, "detector_state", now,
                  static_cast<double>(trendline_.State()), path);
-  trace->Counter("gcc", "aimd_state", now,
+  trace->Counter(c, "aimd_state", now,
                  static_cast<double>(aimd_.state()), path);
-  trace->Counter("gcc", "srtt_ms", now, srtt_.seconds() * 1000.0, path);
-  trace->Counter("gcc", "loss", now, loss_.smoothed_loss(), path);
+  trace->Counter(c, "srtt_ms", now, srtt_.seconds() * 1000.0, path);
+  trace->Counter(c, "loss", now, loss_.smoothed_loss(), path);
 }
 
 DataRate GccController::target_rate() const {

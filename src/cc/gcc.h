@@ -34,6 +34,10 @@ class GccController {
     // PathId stamped on trace events (-1 when this controller is not
     // path-scoped); probes are read-only and fire only under TraceScope.
     int trace_path = -1;
+    // Trace component the series are emitted under; the hub's per-downlink
+    // controllers use a distinct name so their series do not collide with a
+    // participant's own sender-side controllers in the same trace.
+    const char* trace_component = "gcc";
   };
 
   GccController();

@@ -142,13 +142,16 @@ bool HasMultipathRtpExtension(Variant v) {
          v == Variant::kConvergeWebRtcFec;
 }
 
-// End-to-end signals the star hub relays to the origin sender: repair
-// requests and QoE feedback. RR/transport feedback from downlink receivers
-// terminate at the hub — the uplink congestion loop is closed by the hub's
-// own feedback endpoint (per-downlink CC at the forwarder is an open item).
+// End-to-end signals the star hub relays to the origin sender: keyframe
+// requests (the origin owns the encoder) and Converge QoE feedback (the
+// origin owns the scheduler split). Everything else from a downlink
+// receiver is consumed at the hub: RR/transport feedback drive the
+// per-downlink congestion controllers and NACKs are answered from hub
+// history (HubForwarder::OnReceiverRtcp) — the uplink congestion loop is
+// closed separately by the hub's own feedback endpoint, so the origin's
+// GCC must never see downlink feedback.
 bool ForwardsUpstream(const RtcpPacket& packet) {
-  return std::holds_alternative<Nack>(packet.payload) ||
-         std::holds_alternative<KeyframeRequest>(packet.payload) ||
+  return std::holds_alternative<KeyframeRequest>(packet.payload) ||
          std::holds_alternative<QoeFeedback>(packet.payload);
 }
 
@@ -413,6 +416,54 @@ void Conference::BuildStar(Random& rng) {
       up.fanout.push_back(leg_ptr);
     }
   }
+
+  // Per-receiver forwarding engines. Legs and uplinks are fully built, so
+  // the lookup tables the forwarder callbacks rely on are stable.
+  star_leg_lookup_.assign(static_cast<size_t>(n),
+                          std::vector<Leg*>(static_cast<size_t>(n), nullptr));
+  for (Leg& leg : legs_) {
+    star_leg_lookup_[static_cast<size_t>(leg.to)]
+                    [static_cast<size_t>(leg.from)] = &leg;
+  }
+  forwarders_.resize(static_cast<size_t>(n));
+  for (int to = 0; to < n; ++to) {
+    Network* down = downlinks_[static_cast<size_t>(to)].get();
+    if (down == nullptr) continue;
+    // An SFU starts each downlink optimistic — at the aggregate publisher
+    // rate it would have to carry — and lets delay/loss signals pull a
+    // constrained downlink back down.
+    DataRate aggregate = DataRate::Zero();
+    for (int from = 0; from < n; ++from) {
+      if (from == to) continue;
+      const ParticipantSpec& spec =
+          config_.participants[static_cast<size_t>(from)];
+      if (!spec.sends) continue;
+      aggregate = aggregate + config_.max_rate_per_stream *
+                                  static_cast<int64_t>(spec.num_streams);
+    }
+    HubForwarder::Config hconf = config_.hub;
+    hconf.cc.gcc.start_rate = aggregate;
+    hconf.cc.gcc.max_rate = aggregate * 2;
+    hconf.cc.gcc.trace_component = "hub_gcc";
+    // Hub work on this receiver's downlinks is attributed to the receiver,
+    // like the downlink delivery callbacks.
+    TraceParticipantScope scope(to);
+    forwarders_[static_cast<size_t>(to)] = std::make_unique<HubForwarder>(
+        &loop_, hconf, down->path_ids(),
+        [this, to](int from, PathId path, RtpPacket packet) {
+          Leg* leg = star_leg_lookup_[static_cast<size_t>(to)]
+                                     [static_cast<size_t>(from)];
+          StarDeliverDownlink(leg, path, std::move(packet));
+        },
+        [this](int from, uint32_t ssrc, PathId path) {
+          for (Uplink& u : uplinks_) {
+            if (u.from == from) {
+              StarRelayPli(&u, ssrc, path);
+              return;
+            }
+          }
+        });
+  }
 }
 
 void Conference::MeshTransmitRtp(Leg* leg, PathId path, RtpPacket packet) {
@@ -481,27 +532,48 @@ void Conference::StarHubDeliverRtp(Uplink* uplink, PathId path,
     RtpPacket hub_copy = packet;
     uplink->hub_feedback->OnRtpPacket(std::move(hub_copy), arrival, path);
   }
-  // Fan out to every subscribed receiver on its own downlink network,
-  // uplink path p -> downlink path p (equal path counts, checked at build).
-  const int64_t wire_bytes = packet.wire_size();
+  // Fan out to every subscribed receiver through its forwarding engine,
+  // uplink path p -> downlink path p (equal path counts, checked at
+  // build). The forwarder owns the downlink pacing/drop decisions; packets
+  // reach the wire via StarDeliverDownlink.
   for (size_t k = 0; k < uplink->fanout.size(); ++k) {
     Leg* leg = uplink->fanout[k];
-    Link& down = leg->downlink->path(path).forward();
-    for (int copy = down.SendCopies(); copy > 1; --copy) {
-      down.Send(wire_bytes, [leg, packet, path](Timestamp at) mutable {
-        TraceParticipantScope scope(leg->to);
-        leg->receiver->OnRtpPacket(std::move(packet), at, path);
-      });
-    }
     // Last fan-out leg takes ownership; earlier ones copy.
     RtpPacket fwd = (k + 1 == uplink->fanout.size()) ? std::move(packet)
                                                      : RtpPacket(packet);
-    down.Send(wire_bytes,
-              [leg, fwd = std::move(fwd), path](Timestamp at) mutable {
-                TraceParticipantScope scope(leg->to);
-                leg->receiver->OnRtpPacket(std::move(fwd), at, path);
-              });
+    TraceParticipantScope scope(leg->to);
+    forwarders_[static_cast<size_t>(leg->to)]->OnMediaFromUplink(
+        leg->from, path, std::move(fwd));
   }
+}
+
+void Conference::StarDeliverDownlink(Leg* leg, PathId path,
+                                     RtpPacket packet) {
+  const int64_t wire_bytes = packet.wire_size();
+  Link& down = leg->downlink->path(path).forward();
+  // Duplication faults clone the payload here, like every other wire hop.
+  for (int copy = down.SendCopies(); copy > 1; --copy) {
+    down.Send(wire_bytes, [leg, packet, path](Timestamp at) mutable {
+      TraceParticipantScope scope(leg->to);
+      leg->receiver->OnRtpPacket(std::move(packet), at, path);
+    });
+  }
+  down.Send(wire_bytes,
+            [leg, packet = std::move(packet), path](Timestamp at) mutable {
+              TraceParticipantScope scope(leg->to);
+              leg->receiver->OnRtpPacket(std::move(packet), at, path);
+            });
+}
+
+void Conference::StarRelayPli(Uplink* uplink, uint32_t ssrc, PathId path) {
+  RtcpPacket pli;
+  pli.path_id = path;
+  pli.payload = KeyframeRequest{ssrc};
+  uplink->network->path(path).backward().Send(
+      pli.wire_size(), [uplink, pli](Timestamp arrival) {
+        TraceParticipantScope scope(uplink->from);
+        uplink->sender->HandleRtcp(pli, arrival);
+      });
 }
 
 void Conference::StarTransmitRtcpForward(Uplink* uplink, PathId path,
@@ -527,9 +599,17 @@ void Conference::StarTransmitRtcpBackward(Leg* leg, PathId path,
   // Receiver -> hub on the downlink's feedback direction.
   leg->downlink->path(path).backward().Send(
       packet.wire_size(), [this, leg, path, packet](Timestamp) {
-        // At the hub: relay end-to-end repair/QoE signals to the origin
-        // sender; RR/transport feedback terminate here (the hub's own
-        // feedback endpoint closes the uplink congestion loop).
+        // At the hub: the receiver's forwarding engine consumes transport
+        // feedback and receiver reports (per-downlink congestion loop) and
+        // answers NACKs from hub history; only end-to-end signals —
+        // keyframe requests and QoE feedback — travel on to the origin.
+        {
+          TraceParticipantScope scope(leg->to);
+          if (forwarders_[static_cast<size_t>(leg->to)]->OnReceiverRtcp(
+                  leg->from, path, packet)) {
+            return;
+          }
+        }
         if (!ForwardsUpstream(packet)) return;
         Uplink* up = leg->uplink;
         up->network->path(path).backward().Send(
@@ -653,7 +733,33 @@ ConferenceStats Conference::Run() {
     q.avg_psnr_db = MeanOverStreams(inbound, &StreamQoe::psnr_mean_db);
     out.participants.push_back(q);
   }
+
+  // Star only: final per-(receiver, path) downlink state at the hub.
+  for (int p = 0; p < n; ++p) {
+    const HubForwarder* fwd = hub_forwarder(p);
+    if (fwd == nullptr) continue;
+    const Network* down = downlinks_[static_cast<size_t>(p)].get();
+    for (PathId path : down->path_ids()) {
+      ConferenceStats::Downlink d;
+      d.receiver = p;
+      d.path = path;
+      d.target_kbps =
+          static_cast<double>(fwd->downlink_target(path).bps()) / 1000.0;
+      d.srtt_ms = fwd->downlink_srtt(path).seconds() * 1000.0;
+      d.loss = fwd->downlink_loss(path);
+      d.forwarder = fwd->stats(path);
+      out.downlinks.push_back(d);
+    }
+  }
   return out;
+}
+
+const HubForwarder* Conference::hub_forwarder(int participant) const {
+  if (participant < 0 ||
+      static_cast<size_t>(participant) >= forwarders_.size()) {
+    return nullptr;
+  }
+  return forwarders_[static_cast<size_t>(participant)].get();
 }
 
 int Conference::leg_from(size_t leg) const { return legs_.at(leg).from; }

@@ -13,13 +13,16 @@
 //     uplink (Sender + Network to the hub); the hub terminates the uplink
 //     congestion-control loop with a feedback-only ReceiverEndpoint (RR,
 //     transport feedback, NACK — exactly what a real SFU answers on behalf
-//     of receivers) and fans every uplink packet out over per-receiver
-//     downlink Networks. End-to-end repair and QoE signals from downlink
-//     receivers (NACK, PLI, Converge QoE feedback) are forwarded upstream to
-//     the origin sender; downlink RR/transport feedback terminates at the
-//     hub (per-downlink congestion control at the forwarder is an open item,
-//     see ROADMAP). The hub forwards path p onto downlink path p, so all
-//     edges of a star must expose the same number of paths.
+//     of receivers) and fans every uplink packet out through one
+//     HubForwarder per receiving participant: a congestion-controlled,
+//     frame-aware paced queue per (receiver, path) downlink that thins
+//     whole frames when a downlink cannot carry the aggregate, answers
+//     downlink NACKs from hub history, and relays PLI upstream when a drop
+//     breaks a dependency chain (see session/hub_forwarder.h and DESIGN §7).
+//     Keyframe requests and Converge QoE feedback remain end-to-end; all
+//     other downlink feedback is consumed by the hub. The hub forwards
+//     uplink path p onto downlink path p, so all edges of a star must
+//     expose the same number of paths.
 //
 // Call/CallConfig (session/call.h) are now a thin 2-party adapter over this
 // runtime: a 2-participant mesh with one directed leg, constructed in
@@ -37,6 +40,7 @@
 #include "fec/fec_controller.h"
 #include "net/network.h"
 #include "schedulers/scheduler.h"
+#include "session/hub_forwarder.h"
 #include "session/metrics.h"
 #include "session/receiver_endpoint.h"
 #include "session/sender.h"
@@ -108,6 +112,11 @@ struct ConferenceConfig {
   // Tunables for the Converge variants (design-choice ablations).
   VideoAwareScheduler::Config video_scheduler;
   ConvergeFecController::Config converge_fec;
+  // Star only: per-downlink forwarding at the hub. The congestion
+  // controller's start and max rates in hub.cc.gcc are ignored: they are
+  // derived at build time from the aggregate publisher rate (an SFU starts
+  // optimistic and lets delay/loss signals pull a slow downlink back).
+  HubForwarder::Config hub;
   // Flight-recorder capacity in events; 0 (the default) disables tracing.
   size_t trace_capacity = 0;
 };
@@ -166,8 +175,20 @@ struct ConferenceStats {
     int64_t keyframe_requests = 0;
   };
 
+  // Star only: final state of one (receiver, path) downlink at the hub, in
+  // (receiver, path) order. Empty for mesh conferences.
+  struct Downlink {
+    int receiver = 0;
+    PathId path = 0;
+    double target_kbps = 0.0;
+    double srtt_ms = 0.0;
+    double loss = 0.0;
+    HubForwarder::DownlinkStats forwarder;
+  };
+
   std::vector<Leg> legs;
   std::vector<ParticipantQoe> participants;
+  std::vector<Downlink> downlinks;
 };
 
 class Conference {
@@ -194,6 +215,9 @@ class Conference {
   Scheduler& leg_scheduler(size_t leg);
   // Mesh: the pair's network. Star: the origin sender's uplink network.
   const Network& leg_network(size_t leg) const;
+  // Star only: the hub's per-receiver forwarding engine (nullptr for mesh
+  // or non-receiving participants).
+  const HubForwarder* hub_forwarder(int participant) const;
 
  private:
   struct Leg;
@@ -236,11 +260,16 @@ class Conference {
   void MeshTransmitRtcpBackward(Leg* leg, PathId path,
                                 const RtcpPacket& packet);
 
-  // Star routing: uplink into the hub, then fan-out; feedback either
-  // terminates at the hub or is forwarded upstream.
+  // Star routing: uplink into the hub, per-receiver forwarding engines,
+  // then fan-out; feedback either terminates at the hub or is forwarded
+  // upstream.
   void StarTransmitRtp(Uplink* uplink, PathId path, RtpPacket packet);
   void StarHubDeliverRtp(Uplink* uplink, PathId path, RtpPacket packet,
                          Timestamp arrival);
+  // Puts one hub-stamped packet onto the leg's downlink wire.
+  void StarDeliverDownlink(Leg* leg, PathId path, RtpPacket packet);
+  // Sends a hub-originated keyframe request up `uplink` describing `path`.
+  void StarRelayPli(Uplink* uplink, uint32_t ssrc, PathId path);
   void StarTransmitRtcpForward(Uplink* uplink, PathId path,
                                const RtcpPacket& packet);
   void StarTransmitRtcpBackward(Leg* leg, PathId path,
@@ -252,6 +281,11 @@ class Conference {
   // Star only: downlink networks indexed by receiving participant (null for
   // non-receiving entries); empty for mesh.
   std::vector<std::unique_ptr<Network>> downlinks_;
+  // Star only: per-receiver forwarding engines, indexed like downlinks_.
+  std::vector<std::unique_ptr<HubForwarder>> forwarders_;
+  // Star only: legs indexed [receiver][origin] for the forwarders'
+  // transmit callbacks (null where no such leg exists).
+  std::vector<std::vector<Leg*>> star_leg_lookup_;
   // reserve()d to exact counts up front: routing callbacks capture stable
   // Uplink*/Leg* pointers into these vectors.
   std::vector<Uplink> uplinks_;

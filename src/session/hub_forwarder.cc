@@ -1,0 +1,481 @@
+#include "session/hub_forwarder.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/invariants.h"
+#include "util/trace_recorder.h"
+
+namespace converge {
+namespace {
+
+constexpr size_t kDecisionWindow = 64;
+constexpr size_t kRtxDedupCap = 4096;
+
+bool MediaLike(const RtpPacket& p) {
+  return p.kind == PayloadKind::kMedia || p.kind == PayloadKind::kPps ||
+         p.kind == PayloadKind::kSps;
+}
+
+// Rebuilds the scheduler priority of a packet whose RTX provenance the hub
+// strips (the origin tagged the retransmitted copy kRetransmit).
+Priority RestorePriority(const RtpPacket& p) {
+  switch (p.kind) {
+    case PayloadKind::kPps:
+      return Priority::kPps;
+    case PayloadKind::kSps:
+      return Priority::kSps;
+    case PayloadKind::kFec:
+      return Priority::kFec;
+    default:
+      return p.frame_kind == FrameKind::kKey ? Priority::kKeyframe
+                                             : Priority::kNone;
+  }
+}
+
+// De-duplication flow ids: per-path NACKs and legacy NACKs live in
+// disjoint key spaces (bit 32 is the mode flag, the leg sits above it).
+int64_t MpFlow(int leg, PathId path) {
+  return (static_cast<int64_t>(leg) << 33) | (int64_t{1} << 32) |
+         static_cast<int64_t>(static_cast<uint32_t>(path));
+}
+int64_t LegacyFlow(int leg, uint32_t ssrc) {
+  return (static_cast<int64_t>(leg) << 33) | static_cast<int64_t>(ssrc);
+}
+
+}  // namespace
+
+HubForwarder::HubForwarder(EventLoop* loop, Config config,
+                           const std::vector<PathId>& paths,
+                           TransmitFn transmit, PliFn relay_pli)
+    : loop_(loop),
+      config_(config),
+      transmit_(std::move(transmit)),
+      relay_pli_(std::move(relay_pli)),
+      last_process_(loop->now()) {
+  for (PathId path : paths) {
+    DownlinkCc::Config cc = config_.cc;
+    cc.gcc.trace_path = static_cast<int>(path);
+    paths_.emplace(path, std::make_unique<PathState>(cc));
+  }
+  task_ = std::make_unique<RepeatingTask>(loop_, config_.process_interval,
+                                          [this] { Process(); });
+}
+
+HubForwarder::~HubForwarder() = default;
+
+HubForwarder::PathState& HubForwarder::Path(PathId path) {
+  return *paths_.at(path);
+}
+const HubForwarder::PathState& HubForwarder::Path(PathId path) const {
+  return *paths_.at(path);
+}
+
+Duration HubForwarder::ProjectedDelay(const PathState& ps) const {
+  if (ps.queued_bytes == 0) return Duration::Zero();
+  if (ps.pacing_rate.IsZero()) {
+    // Before the first Process() tick the pacing rate is unset; project
+    // with the controller's current target instead of reporting infinity.
+    return (ps.cc.target_rate() * config_.pacing_factor)
+        .TransmitTime(ps.queued_bytes);
+  }
+  return ps.pacing_rate.TransmitTime(ps.queued_bytes);
+}
+
+Duration HubForwarder::WorstQueueDelay() const {
+  Duration worst = Duration::Zero();
+  for (const auto& [path, ps] : paths_) {
+    worst = std::max(worst, ProjectedDelay(*ps));
+  }
+  return worst;
+}
+
+void HubForwarder::CloseGate(StreamGate& gate, int leg, int stream_id,
+                             PathId culprit, Timestamp now) {
+  gate.open = false;
+  gate.culprit = culprit;
+  if (gate.last_pli.IsFinite() &&
+      now - gate.last_pli < config_.pli_min_interval) {
+    return;
+  }
+  gate.last_pli = now;
+  auto it = paths_.find(culprit);
+  if (it != paths_.end()) ++it->second->stats.plis_relayed;
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant("hub", "pli_relay", now, static_cast<double>(leg),
+                   static_cast<int32_t>(culprit), stream_id);
+  }
+  relay_pli_(leg, gate.ssrc, culprit);
+}
+
+bool HubForwarder::AdmitMedia(int leg, PathId path, const RtpPacket& packet,
+                              Timestamp now) {
+  StreamGate& g = gates_[{leg, packet.stream_id}];
+  if (packet.ssrc != 0) g.ssrc = packet.ssrc;
+  if (packet.frame_kind == FrameKind::kKey) {
+    // Keyframes are always admitted; they repair the dependency chain.
+    g.open = true;
+    g.decisions[packet.frame_id] = true;
+  } else {
+    auto it = g.decisions.find(packet.frame_id);
+    if (it == g.decisions.end()) {
+      // First packet of a new delta frame: the layer-selection decision.
+      // The frame is decodable only if every path carries its share, so
+      // thin against the *worst* downlink path backlog.
+      bool admit = g.open;
+      PathId culprit = g.culprit == kInvalidPathId ? path : g.culprit;
+      if (admit) {
+        Duration worst = Duration::Zero();
+        for (const auto& [id, ps] : paths_) {
+          const Duration d = ProjectedDelay(*ps);
+          if (d > worst) {
+            worst = d;
+            culprit = id;
+          }
+        }
+        admit = worst <= config_.thin_queue_delay;
+      }
+      it = g.decisions.emplace(packet.frame_id, admit).first;
+      if (!admit) {
+        auto pit = paths_.find(culprit);
+        PathState& cp =
+            pit != paths_.end() ? *pit->second : *paths_.begin()->second;
+        ++cp.stats.frames_thinned;
+        if (TraceRecorder* trace = TraceRecorder::Current()) {
+          trace->Instant("hub", "frame_thinned", now,
+                         static_cast<double>(packet.frame_id),
+                         static_cast<int32_t>(culprit), packet.stream_id);
+        }
+        // Dropping a delta breaks the chain until the next keyframe.
+        CloseGate(g, leg, packet.stream_id, culprit, now);
+      }
+    }
+    if (!it->second) {
+      auto pit = paths_.find(g.culprit);
+      PathState& cp =
+          pit != paths_.end() ? *pit->second : *paths_.begin()->second;
+      ++cp.stats.packets_dropped;
+      return false;
+    }
+  }
+  while (g.decisions.size() > kDecisionWindow) {
+    g.decisions.erase(g.decisions.begin());
+  }
+  return true;
+}
+
+void HubForwarder::OnMediaFromUplink(int leg, PathId path,
+                                     RtpPacket packet) {
+  const Timestamp now = loop_->now();
+  auto pit = paths_.find(path);
+  if (pit == paths_.end()) return;
+  PathState& ps = *pit->second;
+
+  // Uplink RTX provenance ends at the hub: the receiver never saw a gap
+  // (egress sequence spaces are hub-stamped), so a packet the hub chased
+  // and recovered from the origin goes downstream as a first transmission.
+  if (packet.via_rtx) {
+    packet.via_rtx = false;
+    packet.rtx_for_path = kInvalidPathId;
+    packet.rtx_for_mp_seq = 0;
+    packet.priority = RestorePriority(packet);
+  }
+
+  if (MediaLike(packet)) {
+    if (!AdmitMedia(leg, path, packet, now)) return;
+  } else if (packet.kind == PayloadKind::kFec) {
+    // Parity covering a gated stream is dead weight on a congested link.
+    auto git = gates_.find({leg, packet.stream_id});
+    if (git != gates_.end() && !git->second.open) {
+      auto cit = paths_.find(git->second.culprit);
+      PathState& cp =
+          cit != paths_.end() ? *cit->second : ps;
+      ++cp.stats.packets_dropped;
+      return;
+    }
+  }
+
+  ps.queued_bytes += packet.wire_size();
+  ps.stats.max_queue_bytes =
+      std::max(ps.stats.max_queue_bytes, ps.queued_bytes);
+  ps.queue.push_back({std::move(packet), now, leg});
+}
+
+void HubForwarder::EvictFrame(PathId path, PathState& ps, int leg,
+                              int stream_id, int64_t frame_id,
+                              Timestamp now) {
+  StreamGate& g = gates_[{leg, stream_id}];
+  // Evict the target frame and every queued delta that depends on it
+  // (later deltas of the stream cannot decode once the chain is cut).
+  std::deque<Queued> kept;
+  int64_t frames_gone = 0;
+  int64_t last_gone = -1;
+  for (Queued& q : ps.queue) {
+    const RtpPacket& p = q.packet;
+    const bool same_stream =
+        q.leg == leg && p.stream_id == stream_id && MediaLike(p);
+    const bool doomed =
+        same_stream && (p.frame_id == frame_id ||
+                        (p.frame_id > frame_id &&
+                         p.frame_kind == FrameKind::kDelta));
+    if (!doomed) {
+      kept.push_back(std::move(q));
+      continue;
+    }
+    if (p.frame_id != last_gone) {
+      last_gone = p.frame_id;
+      ++frames_gone;
+      g.decisions[p.frame_id] = false;
+    }
+    ps.queued_bytes -= p.wire_size();
+    ++ps.stats.packets_dropped;
+  }
+  ps.queue = std::move(kept);
+  ps.stats.frames_evicted += frames_gone;
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant("hub", "frame_evicted", now,
+                   static_cast<double>(frame_id),
+                   static_cast<int32_t>(path), stream_id);
+  }
+  CloseGate(g, leg, stream_id, path, now);
+}
+
+void HubForwarder::EvictForSpace(PathId path, PathState& ps,
+                                 Timestamp now) {
+  while (!ps.queue.empty() &&
+         ProjectedDelay(ps) > config_.drop_queue_delay) {
+    // Oldest-frame-first, keyframe-protected: scan for the first entry
+    // that is not part of a keyframe.
+    auto victim = ps.queue.end();
+    for (auto it = ps.queue.begin(); it != ps.queue.end(); ++it) {
+      const RtpPacket& p = it->packet;
+      if (MediaLike(p) && p.frame_kind == FrameKind::kKey) continue;
+      victim = it;
+      break;
+    }
+    if (victim == ps.queue.end()) {
+      // Only keyframes left; shed them only beyond the hard bound.
+      if (ProjectedDelay(ps) <= config_.drop_queue_delay * 2.0) break;
+      victim = ps.queue.begin();
+    }
+    const RtpPacket& p = victim->packet;
+    if (MediaLike(p)) {
+      EvictFrame(path, ps, victim->leg, p.stream_id, p.frame_id, now);
+    } else {
+      ps.queued_bytes -= p.wire_size();
+      ++ps.stats.packets_dropped;
+      ps.queue.erase(victim);
+    }
+  }
+}
+
+void HubForwarder::Emit(PathId path, PathState& ps, Queued q,
+                        Timestamp now) {
+  RtpPacket& packet = q.packet;
+  EgressLeg& el = ps.egress[q.leg];
+  packet.path_id = path;
+  packet.send_time = now;
+  // Hub-owned sequence spaces, stamped at queue output so the per-path
+  // wire order stays strictly sequential even when retransmissions jump
+  // the backlog (mirrors Sender::DispatchPacket).
+  packet.mp_seq = el.next_mp_seq++;
+  packet.mp_transport_seq =
+      static_cast<uint16_t>(el.transport_count & 0xFFFF);
+  ps.cc.OnPacketSent(q.leg, el.transport_count, now, packet.wire_size());
+  ++el.transport_count;
+
+  if (MediaLike(packet)) {
+    el.mp_sent[packet.mp_seq] = packet;
+    if (!packet.via_rtx) {
+      legacy_sent_[{{q.leg, packet.ssrc}, packet.seq}] = {path, packet};
+      while (legacy_sent_.size() > config_.legacy_rtx_history) {
+        legacy_sent_.erase(legacy_sent_.begin());
+      }
+    }
+  } else {
+    el.mp_sent.erase(packet.mp_seq);  // stale wrap-around entry
+  }
+
+  ++ps.stats.packets_forwarded;
+  ps.stats.bytes_forwarded += packet.wire_size();
+  transmit_(q.leg, path, std::move(packet));
+}
+
+void HubForwarder::ProcessPath(PathId path, PathState& ps, Timestamp now) {
+  const Duration elapsed = now - last_process_;
+  ps.pacing_rate = ps.cc.target_rate() * config_.pacing_factor;
+  ps.budget_bytes += static_cast<double>(ps.pacing_rate.BytesIn(elapsed));
+  ps.budget_bytes = std::min(
+      ps.budget_bytes, static_cast<double>(config_.max_burst_bytes));
+
+  const Duration backlog = ProjectedDelay(ps);
+  ps.stats.max_queue_delay_ms =
+      std::max(ps.stats.max_queue_delay_ms, backlog.seconds() * 1000.0);
+  ps.stats.max_queue_bytes =
+      std::max(ps.stats.max_queue_bytes, ps.queued_bytes);
+
+  EvictForSpace(path, ps, now);
+
+  while (true) {
+    std::deque<Queued>* source =
+        !ps.rtx_queue.empty() ? &ps.rtx_queue : &ps.queue;
+    if (source->empty()) break;
+    const int64_t size = source->front().packet.wire_size();
+    if (ps.budget_bytes < static_cast<double>(size)) break;
+    Queued q = std::move(source->front());
+    source->pop_front();
+    ps.queued_bytes -= size;
+    ps.budget_bytes -= static_cast<double>(size);
+    Emit(path, ps, std::move(q), now);
+  }
+  if (ps.queue.empty() && ps.rtx_queue.empty() && ps.budget_bytes > 0.0) {
+    // Do not accumulate idle budget beyond one burst.
+    ps.budget_bytes = std::min(ps.budget_bytes, 3000.0);
+  }
+
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    const int32_t tp = static_cast<int32_t>(path);
+    trace->Counter("hub", "queue_pkts", now,
+                   static_cast<double>(ps.queue.size() +
+                                       ps.rtx_queue.size()),
+                   tp);
+    trace->Counter("hub", "queue_bytes", now,
+                   static_cast<double>(ps.queued_bytes), tp);
+    const Duration delay = ProjectedDelay(ps);
+    trace->Counter("hub", "queue_delay_ms", now,
+                   delay.IsInfinite() ? -1.0 : delay.seconds() * 1000.0,
+                   tp);
+    trace->Counter("hub", "target_kbps", now,
+                   static_cast<double>(ps.cc.target_rate().bps()) / 1000.0,
+                   tp);
+  }
+
+  CONVERGE_INVARIANT("HubForwarder", now, ps.queued_bytes >= 0,
+                     "queued_bytes=" + std::to_string(ps.queued_bytes));
+  CONVERGE_INVARIANT(
+      "HubForwarder", now,
+      !(ps.queue.empty() && ps.rtx_queue.empty()) || ps.queued_bytes == 0,
+      "empty queues but queued_bytes=" + std::to_string(ps.queued_bytes));
+  CONVERGE_INVARIANT(
+      "HubForwarder", now,
+      ps.budget_bytes <= static_cast<double>(config_.max_burst_bytes),
+      "budget=" + std::to_string(ps.budget_bytes));
+}
+
+void HubForwarder::Process() {
+  const Timestamp now = loop_->now();
+  for (auto& [path, ps] : paths_) {
+    ProcessPath(path, *ps, now);
+  }
+  last_process_ = now;
+}
+
+void HubForwarder::HandleNack(int leg, PathId report_path, const Nack& nack,
+                              Timestamp now) {
+  auto answer = [&](const RtpPacket& original, PathId target, int64_t flow,
+                    uint16_t seq, bool tag_mp_hole) {
+    const auto key = std::make_pair(flow, seq);
+    auto rit = recent_rtx_.find(key);
+    if (rit != recent_rtx_.end() &&
+        now - rit->second < config_.rtx_dedup_window) {
+      return;
+    }
+    auto tit = paths_.find(target);
+    if (tit == paths_.end()) return;
+    recent_rtx_[key] = now;
+    while (recent_rtx_.size() > kRtxDedupCap) {
+      recent_rtx_.erase(recent_rtx_.begin());
+    }
+    RtpPacket rtx = original;
+    rtx.via_rtx = true;
+    rtx.priority = Priority::kRetransmit;
+    if (tag_mp_hole) {
+      rtx.rtx_for_path = target;
+      rtx.rtx_for_mp_seq = seq;
+    } else {
+      rtx.rtx_for_path = kInvalidPathId;
+      rtx.rtx_for_mp_seq = 0;
+    }
+    PathState& tp = *tit->second;
+    tp.queued_bytes += rtx.wire_size();
+    ++tp.stats.rtx_answered;
+    if (TraceRecorder* trace = TraceRecorder::Current()) {
+      trace->Instant("hub", "rtx_answered", now, static_cast<double>(seq),
+                     static_cast<int32_t>(target), rtx.stream_id);
+    }
+    tp.rtx_queue.push_back({std::move(rtx), now, leg});
+  };
+
+  if (nack.ssrc != 0) {
+    // Legacy NACK: (ssrc, media seq), answered on the path the packet
+    // originally left on.
+    for (uint16_t seq : nack.seqs) {
+      auto it = legacy_sent_.find({{leg, nack.ssrc}, seq});
+      if (it == legacy_sent_.end()) continue;
+      answer(it->second.second, it->second.first,
+             LegacyFlow(leg, nack.ssrc), seq, /*tag_mp_hole=*/false);
+    }
+  } else {
+    // Converge NACK: (path, hub-stamped mp_seq) within this leg's space.
+    auto pit = paths_.find(report_path);
+    if (pit == paths_.end()) return;
+    auto lit = pit->second->egress.find(leg);
+    if (lit == pit->second->egress.end()) return;
+    for (uint16_t seq : nack.seqs) {
+      auto it = lit->second.mp_sent.find(seq);
+      if (it == lit->second.mp_sent.end()) continue;  // hub drop or evicted
+      answer(it->second, report_path, MpFlow(leg, report_path), seq,
+             /*tag_mp_hole=*/true);
+    }
+  }
+}
+
+bool HubForwarder::OnReceiverRtcp(int leg, PathId path,
+                                  const RtcpPacket& packet) {
+  const Timestamp now = loop_->now();
+  if (const auto* fb = std::get_if<TransportFeedback>(&packet.payload)) {
+    auto pit = paths_.find(packet.path_id);
+    if (pit != paths_.end()) {
+      pit->second->cc.OnTransportFeedback(leg, *fb, now);
+    }
+    return true;
+  }
+  if (std::get_if<ReceiverReport>(&packet.payload) != nullptr) {
+    // Consumed: the downlink loss branch is driven from transport
+    // feedback (the RR's SR echo measures the origin's round trip, not
+    // the hub's), and the origin hears about its uplink from the hub's
+    // own feedback endpoint instead.
+    return true;
+  }
+  if (const auto* nack = std::get_if<Nack>(&packet.payload)) {
+    const PathId report_path =
+        packet.path_id != kInvalidPathId ? packet.path_id : path;
+    HandleNack(leg, report_path, *nack, now);
+    return true;
+  }
+  return false;
+}
+
+DataRate HubForwarder::downlink_target(PathId path) const {
+  return Path(path).cc.target_rate();
+}
+Duration HubForwarder::downlink_srtt(PathId path) const {
+  return Path(path).cc.smoothed_rtt();
+}
+double HubForwarder::downlink_loss(PathId path) const {
+  return Path(path).cc.loss_estimate();
+}
+Duration HubForwarder::queue_delay(PathId path) const {
+  return ProjectedDelay(Path(path));
+}
+int64_t HubForwarder::queued_bytes(PathId path) const {
+  return Path(path).queued_bytes;
+}
+const HubForwarder::DownlinkStats& HubForwarder::stats(PathId path) const {
+  return Path(path).stats;
+}
+const DownlinkCc& HubForwarder::cc(PathId path) const {
+  return Path(path).cc;
+}
+
+}  // namespace converge

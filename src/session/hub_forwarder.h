@@ -1,0 +1,185 @@
+// Per-receiver forwarding engine for the star (SFU) hub.
+//
+// PR 4's hub forwarded every uplink packet straight onto the matching
+// downlink path, so downlinks had to be provisioned for the aggregate
+// sender rate. This class closes that gap: the hub runs one congestion
+// loop (DownlinkCc) and one frame-aware paced queue per (receiver, path)
+// downlink, thins whole frames deterministically when a downlink cannot
+// carry the aggregate, answers downlink NACKs from local history, and
+// relays a PLI upstream whenever a drop breaks a stream's dependency
+// chain. Forwarded rate therefore converges to
+// min(uplink inflow, downlink estimate) per receiver.
+//
+// Sequence-space ownership: the hub re-stamps mp_seq and mp_transport_seq
+// per (origin leg, path) at queue *output* (mirroring Pacer/Sender), so
+// each downlink sees a gap-free per-path sequence space even when the hub
+// deliberately drops frames — receivers never NACK-chase hub drops, and
+// per-leg transport feedback never misreads another leg's packets as
+// losses. The per-SSRC media `seq` is left untouched, which keeps FEC
+// recovery metadata valid end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cc/downlink_cc.h"
+#include "rtp/rtcp.h"
+#include "rtp/rtp_packet.h"
+#include "sim/event_loop.h"
+#include "util/time.h"
+
+namespace converge {
+
+class HubForwarder {
+ public:
+  struct Config {
+    Duration process_interval = Duration::Millis(5);
+    double pacing_factor = 1.25;
+    int64_t max_burst_bytes = 20'000;
+    // Ingress layer selection: while the worst downlink path's projected
+    // queue delay exceeds this, newly arriving delta frames are dropped
+    // whole (the stream's dependency chain is then gated until the next
+    // keyframe). Thinning breaks the GOP and costs a PLI round trip
+    // (debounced by pli_min_interval below), so this sits well above the
+    // GCC's delay-based operating point: on a persistently constrained
+    // downlink each admitted burst must be large enough to amortise the
+    // gate-closed dead time, or goodput degenerates to keyframe-rate.
+    Duration thin_queue_delay = Duration::Millis(350);
+    // Egress drop policy: above this the oldest queued non-key frame is
+    // evicted whole; keyframes are only shed beyond twice this bound.
+    Duration drop_queue_delay = Duration::Millis(600);
+    // Debounce for upstream PLI relays, per (leg, stream).
+    Duration pli_min_interval = Duration::Millis(500);
+    // De-duplicates NACK answers (receivers duplicate critical feedback
+    // on every live path).
+    Duration rtx_dedup_window = Duration::Millis(40);
+    size_t legacy_rtx_history = 4096;
+    // Template for each path's congestion loop; trace_path is overridden
+    // per path.
+    DownlinkCc::Config cc;
+  };
+
+  // Cumulative per-(receiver, path) accounting, surfaced via
+  // ConferenceStats::Downlink.
+  struct DownlinkStats {
+    int64_t packets_forwarded = 0;
+    int64_t bytes_forwarded = 0;
+    int64_t frames_thinned = 0;  // whole frames dropped at ingress
+    int64_t frames_evicted = 0;  // whole frames evicted from the queue
+    int64_t packets_dropped = 0; // packets inside thinned/evicted frames
+    int64_t rtx_answered = 0;
+    int64_t plis_relayed = 0;
+    int64_t max_queue_bytes = 0;
+    double max_queue_delay_ms = 0.0;
+  };
+
+  // Delivers a stamped packet onto the downlink: (origin leg, path, packet).
+  using TransmitFn = std::function<void(int, PathId, RtpPacket)>;
+  // Relays a keyframe request upstream to `leg`'s origin for `ssrc`,
+  // describing downlink path `path`.
+  using PliFn = std::function<void(int, uint32_t, PathId)>;
+
+  HubForwarder(EventLoop* loop, Config config,
+               const std::vector<PathId>& paths, TransmitFn transmit,
+               PliFn relay_pli);
+  ~HubForwarder();
+  HubForwarder(const HubForwarder&) = delete;
+  HubForwarder& operator=(const HubForwarder&) = delete;
+
+  // Media from `leg`'s uplink, already consumed by the hub's uplink
+  // feedback endpoint. Uplink RTX provenance is cleared here: a packet the
+  // hub recovered from the origin is a *first* transmission downstream.
+  void OnMediaFromUplink(int leg, PathId path, RtpPacket packet);
+
+  // Feedback from this receiver for downlink `path`. Returns true when the
+  // packet was consumed at the hub (transport feedback and receiver
+  // reports feed the downlink controller, NACKs are answered from local
+  // history); false for end-to-end signals the conference must still relay
+  // upstream (keyframe requests, QoE feedback).
+  bool OnReceiverRtcp(int leg, PathId path, const RtcpPacket& packet);
+
+  DataRate downlink_target(PathId path) const;
+  Duration downlink_srtt(PathId path) const;
+  double downlink_loss(PathId path) const;
+  Duration queue_delay(PathId path) const;
+  int64_t queued_bytes(PathId path) const;
+  const DownlinkStats& stats(PathId path) const;
+  const DownlinkCc& cc(PathId path) const;
+
+ private:
+  struct Queued {
+    RtpPacket packet;
+    Timestamp enqueued;
+    int leg = 0;
+  };
+  // Hub-owned egress sequence spaces for one (origin leg, path).
+  struct EgressLeg {
+    uint16_t next_mp_seq = 0;
+    int64_t transport_count = 0;  // unwrapped; low 16 bits go on the wire
+    // Retransmission history keyed by the hub-stamped per-path sequence
+    // the receiver's NACKs reference; 16-bit key bounds the map.
+    std::map<uint16_t, RtpPacket> mp_sent;
+  };
+  struct PathState {
+    explicit PathState(const DownlinkCc::Config& cc_config)
+        : cc(cc_config) {}
+    DownlinkCc cc;
+    std::deque<Queued> queue;
+    std::deque<Queued> rtx_queue;  // hub NACK answers jump the backlog
+    int64_t queued_bytes = 0;
+    double budget_bytes = 0.0;
+    DataRate pacing_rate = DataRate::Zero();
+    DownlinkStats stats;
+    std::map<int, EgressLeg> egress;
+  };
+  // Dependency gate for one (leg, stream): closed after the hub drops any
+  // frame of the stream, reopened by the next keyframe.
+  struct StreamGate {
+    bool open = true;
+    PathId culprit = kInvalidPathId;  // path whose backlog closed the gate
+    uint32_t ssrc = 0;
+    Timestamp last_pli = Timestamp::MinusInfinity();
+    // Admission verdicts for recent frame ids (packets of one frame arrive
+    // interleaved across paths); pruned to the newest kDecisionWindow.
+    std::map<int64_t, bool> decisions;
+  };
+
+  void Process();
+  void ProcessPath(PathId path, PathState& ps, Timestamp now);
+  void EvictForSpace(PathId path, PathState& ps, Timestamp now);
+  // Removes every queued packet of (leg, stream, frame) from ps.queue.
+  void EvictFrame(PathId path, PathState& ps, int leg, int stream_id,
+                  int64_t frame_id, Timestamp now);
+  void Emit(PathId path, PathState& ps, Queued entry, Timestamp now);
+  bool AdmitMedia(int leg, PathId path, const RtpPacket& packet,
+                  Timestamp now);
+  void CloseGate(StreamGate& gate, int leg, int stream_id, PathId culprit,
+                 Timestamp now);
+  void HandleNack(int leg, PathId report_path, const Nack& nack,
+                  Timestamp now);
+  Duration ProjectedDelay(const PathState& ps) const;
+  Duration WorstQueueDelay() const;
+  PathState& Path(PathId path);
+  const PathState& Path(PathId path) const;
+
+  EventLoop* loop_;
+  Config config_;
+  TransmitFn transmit_;
+  PliFn relay_pli_;
+  std::map<PathId, std::unique_ptr<PathState>> paths_;
+  std::map<std::pair<int, int>, StreamGate> gates_;  // (leg, stream_id)
+  // Legacy-NACK retransmission history: (leg, ssrc, seq) -> (path, packet).
+  std::map<std::pair<std::pair<int, uint32_t>, uint16_t>,
+           std::pair<PathId, RtpPacket>>
+      legacy_sent_;
+  std::map<std::pair<int64_t, uint16_t>, Timestamp> recent_rtx_;
+  Timestamp last_process_;
+  std::unique_ptr<RepeatingTask> task_;
+};
+
+}  // namespace converge

@@ -180,6 +180,28 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
   }
   w.CloseArray();
 
+  // Star only: hub-side downlink state (empty array for mesh).
+  w.OpenArray("downlinks");
+  for (const ConferenceStats::Downlink& d : stats.downlinks) {
+    w.OpenObjectInArray();
+    w.Field("receiver", static_cast<int64_t>(d.receiver));
+    w.Field("path", static_cast<int64_t>(d.path));
+    w.Field("target_kbps", d.target_kbps);
+    w.Field("srtt_ms", d.srtt_ms);
+    w.Field("loss", d.loss);
+    w.Field("packets_forwarded", d.forwarder.packets_forwarded);
+    w.Field("bytes_forwarded", d.forwarder.bytes_forwarded);
+    w.Field("frames_thinned", d.forwarder.frames_thinned);
+    w.Field("frames_evicted", d.forwarder.frames_evicted);
+    w.Field("packets_dropped", d.forwarder.packets_dropped);
+    w.Field("rtx_answered", d.forwarder.rtx_answered);
+    w.Field("plis_relayed", d.forwarder.plis_relayed);
+    w.Field("max_queue_bytes", d.forwarder.max_queue_bytes);
+    w.Field("max_queue_delay_ms", d.forwarder.max_queue_delay_ms);
+    w.CloseObject();
+  }
+  w.CloseArray();
+
   w.CloseObject();
   return w.str();
 }

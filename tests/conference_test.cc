@@ -8,9 +8,11 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <string_view>
 #include <string>
 #include <vector>
 
+#include "net/fault_plan.h"
 #include "net/loss_model.h"
 #include "rtp/ssrc_allocator.h"
 #include "session/call.h"
@@ -104,8 +106,8 @@ ConferenceConfig StarConfig(int participants, Duration duration,
   ConferenceConfig config = MeshConfig(participants, duration, seed);
   config.topology = Topology::kStar;
   // Uplinks keep the mesh path template; hub->receiver downlinks are
-  // provisioned for the aggregate of all forwarded senders (per-downlink
-  // congestion control at the forwarder is an open item).
+  // provisioned for the aggregate of all forwarded senders, so the hub's
+  // per-downlink controllers stay uncongested and forwarding is lossless.
   config.paths_for_edge = [participants](int from, int) {
     if (from == kHubId) {
       const double scale = static_cast<double>(participants - 1);
@@ -249,6 +251,123 @@ TEST(ConferenceStarTest, HubForwardsEveryStreamToEverySubscriber) {
   }
 }
 
+// One publisher fanned out to three subscribers; receiver 3's downlink is
+// constrained to `slow_mbps` aggregate across its two paths while the
+// others get 10 Mbps. The hub must adapt receiver 3 independently.
+ConferenceConfig ConstrainedStarConfig(double slow_mbps, Duration duration,
+                                       uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(4, ParticipantSpec{});
+  config.participants[0].receives = false;
+  for (int p = 1; p < 4; ++p) config.participants[p].sends = false;
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = duration;
+  config.seed = seed;
+  config.paths_for_edge = [slow_mbps](int from, int to) {
+    if (from == kHubId) {
+      const double scale = to == 3 ? slow_mbps : 10.0;
+      return std::vector<PathSpec>{StablePath("d0", 0.6 * scale, 15),
+                                   StablePath("d1", 0.4 * scale, 25)};
+    }
+    return std::vector<PathSpec>{StablePath("u0", 6.0, 20),
+                                 StablePath("u1", 4.0, 35)};
+  };
+  return config;
+}
+
+// The PR 5 acceptance scenario: one 1 Mbps downlink next to two 10 Mbps
+// downlinks. The slow receiver must converge near its own capacity with a
+// bounded hub queue, while the fast receivers stay within 5% of the QoE
+// they get in an unconstrained run.
+TEST(ConferenceStarTest, ConstrainedDownlinkConvergesAndIsolatesOthers) {
+  const Duration duration = Duration::Seconds(12);
+  Conference constrained(ConstrainedStarConfig(1.0, duration, 42));
+  const ConferenceStats stats = constrained.Run();
+  Conference unconstrained(ConstrainedStarConfig(10.0, duration, 42));
+  const ConferenceStats baseline = unconstrained.Run();
+
+  // Slow receiver: still decoding, at a rate near its 1 Mbps downlink.
+  const ConferenceStats::ParticipantQoe& slow = stats.participants[3];
+  EXPECT_GT(slow.avg_fps, 2.0);
+  EXPECT_GT(slow.total_tput_mbps, 0.3);
+  EXPECT_LT(slow.total_tput_mbps, 1.2);
+
+  // The hub's controllers converged from the 3 Mbps aggregate start down
+  // to roughly the slow downlink's capacity, thinning the excess, and the
+  // drop policy kept the hub queue bounded.
+  double slow_target_kbps = 0.0;
+  int64_t slow_thinned = 0;
+  ASSERT_FALSE(stats.downlinks.empty());
+  for (const ConferenceStats::Downlink& d : stats.downlinks) {
+    EXPECT_LT(d.forwarder.max_queue_delay_ms, 2000.0)
+        << "receiver " << d.receiver << " path " << d.path;
+    if (d.receiver == 3) {
+      slow_target_kbps += d.target_kbps;
+      slow_thinned += d.forwarder.frames_thinned;
+    }
+  }
+  EXPECT_GT(slow_target_kbps, 300.0);
+  EXPECT_LT(slow_target_kbps, 2000.0);
+  EXPECT_GT(slow_thinned, 0);
+  // Thinning broke dependency chains, so the hub asked the origin for
+  // recovery keyframes.
+  const HubForwarder* fwd = constrained.hub_forwarder(3);
+  ASSERT_NE(fwd, nullptr);
+  EXPECT_GT(fwd->stats(0).plis_relayed + fwd->stats(1).plis_relayed, 0);
+
+  // Fast receivers: within 5% of their unconstrained QoE.
+  for (int p = 1; p <= 2; ++p) {
+    const double fps = stats.participants[static_cast<size_t>(p)].avg_fps;
+    const double base =
+        baseline.participants[static_cast<size_t>(p)].avg_fps;
+    EXPECT_GT(base, 10.0) << "participant " << p;
+    EXPECT_GT(fps, base * 0.95)
+        << "participant " << p << " lost more than 5% QoE to a slow peer";
+  }
+}
+
+// Regression for the ForwardsUpstream audit: downlink feedback must
+// terminate at the hub. With heavily lossy downlinks and clean uplinks,
+// the origin sender's per-path loss estimate (fed only by the hub's
+// feedback endpoint) must stay clean while the hub's per-downlink
+// controllers see the loss.
+TEST(ConferenceStarTest, UplinkGccNeverSeesDownlinkFeedback) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(2, ParticipantSpec{});
+  config.participants[0].receives = false;
+  config.participants[1].sends = false;
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(2);
+  config.duration = Duration::Seconds(8);
+  config.seed = 5;
+  config.paths_for_edge = [](int from, int) {
+    if (from == kHubId) {
+      return std::vector<PathSpec>{StablePath("d0", 6.0, 15, 0.15),
+                                   StablePath("d1", 4.0, 25, 0.15)};
+    }
+    return std::vector<PathSpec>{StablePath("u0", 6.0, 20),
+                                 StablePath("u1", 4.0, 35)};
+  };
+  Conference conference(config);
+  ASSERT_EQ(conference.num_legs(), 1u);
+  conference.Run();
+
+  const Sender& origin = conference.leg_sender(0);
+  const HubForwarder* fwd = conference.hub_forwarder(1);
+  ASSERT_NE(fwd, nullptr);
+  double hub_loss = 0.0;
+  for (PathId path : {PathId{0}, PathId{1}}) {
+    EXPECT_LT(origin.path_loss(path), 0.05)
+        << "origin GCC saw downlink loss on path " << path;
+    hub_loss = std::max(hub_loss, fwd->downlink_loss(path));
+  }
+  EXPECT_GT(hub_loss, 0.05)
+      << "hub controllers never registered the downlink loss";
+}
+
 TEST(ConferenceStarTest, DeterministicAcrossJobs) {
   std::vector<ConferenceConfig> configs;
   for (uint64_t seed = 7; seed <= 9; ++seed) {
@@ -294,6 +413,75 @@ TEST(ConferenceChaosTest, FaultedThreePartyMeshRunsCleanUnderInvariants) {
   }
   EXPECT_EQ(tagged.size(), 3u)
       << "expected probe events attributed to all 3 participants";
+}
+
+// Star chaos: a mid-call rate cliff on ONE receiver's downlink. The hub
+// must absorb it per-downlink — invariants clean, the hub queue bounded by
+// the drop policy, and the receivers on healthy downlinks within 5% of an
+// un-faulted run.
+TEST(ConferenceChaosTest, StarRateCliffOnOneDownlinkIsolatesOthers) {
+  auto make_config = [](bool faulted) {
+    ConferenceConfig config = StarConfig(3, Duration::Seconds(8), 33);
+    auto base_paths = config.paths_for_edge;
+    config.paths_for_edge = [base_paths, faulted](int from, int to) {
+      std::vector<PathSpec> paths = base_paths(from, to);
+      if (faulted && from == kHubId && to == 2) {
+        // Both of receiver 2's downlink paths collapse to 10% capacity
+        // from t=2s to t=6s.
+        for (PathSpec& p : paths) {
+          p.fault_plan.Add(
+              FaultEvent::RateCliff(Timestamp::Zero() + Duration::Seconds(2),
+                                    Duration::Seconds(4), 0.1));
+        }
+      }
+      return paths;
+    };
+    config.trace_capacity = 1 << 14;
+    return config;
+  };
+
+  ScopedInvariants invariants;
+  Conference faulted(make_config(true));
+  const ConferenceStats stats = faulted.Run();
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+  Conference clean(make_config(false));
+  const ConferenceStats baseline = clean.Run();
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+
+  // The faulted receiver degrades but keeps decoding, and the hub reacted
+  // by thinning its downlink rather than letting the queue grow unbounded.
+  EXPECT_GT(stats.participants[2].avg_fps, 1.0);
+  int64_t faulted_thinned = 0;
+  for (const ConferenceStats::Downlink& d : stats.downlinks) {
+    EXPECT_LT(d.forwarder.max_queue_delay_ms, 2500.0)
+        << "receiver " << d.receiver << " path " << d.path;
+    if (d.receiver == 2) faulted_thinned += d.forwarder.frames_thinned;
+  }
+  EXPECT_GT(faulted_thinned, 0);
+
+  // Receivers 0 and 1 ride healthy downlinks: within 5% of the un-faulted
+  // run.
+  for (int p = 0; p <= 1; ++p) {
+    const double fps = stats.participants[static_cast<size_t>(p)].avg_fps;
+    const double base =
+        baseline.participants[static_cast<size_t>(p)].avg_fps;
+    EXPECT_GT(base, 10.0) << "participant " << p;
+    EXPECT_GT(fps, base * 0.95)
+        << "participant " << p << " lost more than 5% QoE to the fault";
+  }
+
+  // The hub's probes made it into the flight recorder.
+  ASSERT_NE(faulted.trace(), nullptr);
+  bool hub_series = false;
+  bool hub_gcc_series = false;
+  for (const TraceEvent& e : faulted.trace()->Snapshot()) {
+    if (std::string_view(e.component) == "hub") hub_series = true;
+    if (std::string_view(e.component) == "hub_gcc") hub_gcc_series = true;
+  }
+  EXPECT_TRUE(hub_series);
+  EXPECT_TRUE(hub_gcc_series);
 }
 
 }  // namespace

@@ -1,0 +1,278 @@
+// HubForwarder unit coverage: hub-owned egress sequence spaces, the
+// frame-aware drop policy (oldest-first, keyframe-protected, dependency
+// gating with PLI relay), local NACK answering from hub history, and the
+// per-downlink congestion loop in DownlinkCc.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cc/downlink_cc.h"
+#include "session/hub_forwarder.h"
+#include "sim/event_loop.h"
+
+namespace converge {
+namespace {
+
+struct Delivered {
+  int leg = 0;
+  PathId path = 0;
+  RtpPacket packet;
+};
+
+struct Relayed {
+  int leg = 0;
+  uint32_t ssrc = 0;
+  PathId path = 0;
+};
+
+struct Harness {
+  explicit Harness(HubForwarder::Config config, std::vector<PathId> paths = {0})
+      : forwarder(&loop, config, paths,
+                  [this](int leg, PathId path, RtpPacket packet) {
+                    delivered.push_back({leg, path, std::move(packet)});
+                  },
+                  [this](int leg, uint32_t ssrc, PathId path) {
+                    plis.push_back({leg, ssrc, path});
+                  }) {}
+
+  EventLoop loop;
+  HubForwarder forwarder;
+  std::vector<Delivered> delivered;
+  std::vector<Relayed> plis;
+};
+
+HubForwarder::Config FastConfig(double start_mbps) {
+  HubForwarder::Config config;
+  config.cc.gcc.start_rate = DataRate::MegabitsPerSec(start_mbps);
+  config.cc.gcc.max_rate = DataRate::MegabitsPerSec(start_mbps * 4);
+  return config;
+}
+
+RtpPacket MediaPacket(uint32_t ssrc, uint16_t seq, int64_t frame_id,
+                      FrameKind kind, int64_t bytes = 1000,
+                      int stream = 0) {
+  RtpPacket p;
+  p.ssrc = ssrc;
+  p.seq = seq;
+  p.kind = PayloadKind::kMedia;
+  p.frame_kind = kind;
+  p.stream_id = stream;
+  p.frame_id = frame_id;
+  p.payload_bytes = bytes;
+  return p;
+}
+
+TEST(HubForwarderTest, StampsGapFreeSequencesPerLegAndForwards) {
+  Harness h(FastConfig(10.0));
+  // Two legs interleaved onto the same path: each must get its own
+  // contiguous mp_seq / mp_transport_seq space.
+  uint16_t seq = 0;
+  for (int64_t frame = 0; frame < 5; ++frame) {
+    const FrameKind kind = frame == 0 ? FrameKind::kKey : FrameKind::kDelta;
+    h.forwarder.OnMediaFromUplink(0, 0, MediaPacket(0x10, seq++, frame, kind));
+    h.forwarder.OnMediaFromUplink(2, 0, MediaPacket(0x20, seq++, frame, kind));
+  }
+  h.loop.RunUntil(Timestamp::Zero() + Duration::Millis(100));
+
+  ASSERT_EQ(h.delivered.size(), 10u);
+  std::map<int, uint16_t> next_seq;
+  for (const Delivered& d : h.delivered) {
+    auto it = next_seq.find(d.leg);
+    if (it == next_seq.end()) {
+      EXPECT_EQ(d.packet.mp_seq, 0) << "leg " << d.leg;
+      EXPECT_EQ(d.packet.mp_transport_seq, 0) << "leg " << d.leg;
+      next_seq[d.leg] = 1;
+    } else {
+      EXPECT_EQ(d.packet.mp_seq, it->second) << "leg " << d.leg;
+      ++it->second;
+    }
+  }
+  EXPECT_EQ(h.forwarder.stats(0).packets_forwarded, 10);
+  EXPECT_EQ(h.forwarder.stats(0).frames_thinned, 0);
+}
+
+TEST(HubForwarderTest, ThinsDeltasWhenBackloggedAndRelaysPli) {
+  // 200 kbps downlink: a 4 Mbps inflow must be thinned almost entirely.
+  HubForwarder::Config config = FastConfig(0.2);
+  Harness h(config);
+  uint16_t seq = 0;
+  int64_t frame = 0;
+  // One keyframe, then a long run of deltas at ~4 Mbps (30 fps x 16.6 KB).
+  for (int tick = 0; tick < 30; ++tick) {
+    const FrameKind kind = frame == 0 ? FrameKind::kKey : FrameKind::kDelta;
+    for (int j = 0; j < 14; ++j) {
+      h.forwarder.OnMediaFromUplink(0, 0,
+                                    MediaPacket(0x10, seq++, frame, kind, 1200));
+    }
+    ++frame;
+    h.loop.RunUntil(h.loop.now() + Duration::Millis(33));
+  }
+  const HubForwarder::DownlinkStats& stats = h.forwarder.stats(0);
+  EXPECT_GT(stats.frames_thinned, 0);
+  EXPECT_GT(stats.packets_dropped, 0);
+  ASSERT_FALSE(h.plis.empty());
+  EXPECT_EQ(h.plis[0].leg, 0);
+  EXPECT_EQ(h.plis[0].ssrc, 0x10u);
+  // PLI relays are debounced, so far fewer PLIs than thinned frames.
+  EXPECT_LT(static_cast<int64_t>(h.plis.size()), stats.frames_thinned);
+  // The queue stayed bounded by the drop policy.
+  EXPECT_LT(stats.max_queue_delay_ms, 1000.0);
+}
+
+TEST(HubForwarderTest, GateReopensOnKeyframe) {
+  HubForwarder::Config config = FastConfig(10.0);
+  // Thin aggressively: anything queued at all triggers thinning.
+  config.thin_queue_delay = Duration::Micros(-1);
+  Harness h(config);
+  h.forwarder.OnMediaFromUplink(0, 0,
+                                MediaPacket(0x10, 0, 0, FrameKind::kKey));
+  // Backlogged (nothing processed yet): this delta is thinned, closing
+  // the gate...
+  h.forwarder.OnMediaFromUplink(0, 0,
+                                MediaPacket(0x10, 1, 1, FrameKind::kDelta));
+  // ...and a later delta is dropped by the closed gate even though the
+  // instantaneous decision would now be re-evaluated.
+  h.forwarder.OnMediaFromUplink(0, 0,
+                                MediaPacket(0x10, 2, 2, FrameKind::kDelta));
+  // A keyframe reopens the chain; the following delta is admitted.
+  h.forwarder.OnMediaFromUplink(0, 0,
+                                MediaPacket(0x10, 3, 3, FrameKind::kKey));
+  h.loop.RunUntil(Timestamp::Zero() + Duration::Millis(200));
+
+  EXPECT_EQ(h.forwarder.stats(0).frames_thinned, 2);
+  ASSERT_EQ(h.delivered.size(), 2u);
+  EXPECT_EQ(h.delivered[0].packet.frame_id, 0);
+  EXPECT_EQ(h.delivered[1].packet.frame_id, 3);
+}
+
+TEST(HubForwarderTest, EvictionIsOldestFirstAndKeyframeProtected) {
+  // Rate so low nothing drains: eviction policy alone shapes the queue.
+  HubForwarder::Config config;
+  config.cc.gcc.start_rate = DataRate::KilobitsPerSec(50);
+  config.cc.gcc.min_rate = DataRate::KilobitsPerSec(50);
+  config.cc.gcc.max_rate = DataRate::KilobitsPerSec(100);
+  config.thin_queue_delay = Duration::Seconds(1000);  // ingress never thins
+  config.drop_queue_delay = Duration::Millis(250);
+  Harness h(config);
+  // Keyframe (protected) + two delta frames; at 50 kbps even one packet
+  // exceeds the drop threshold.
+  h.forwarder.OnMediaFromUplink(0, 0,
+                                MediaPacket(0x10, 0, 0, FrameKind::kKey, 800));
+  h.forwarder.OnMediaFromUplink(
+      0, 0, MediaPacket(0x10, 1, 1, FrameKind::kDelta, 800));
+  h.forwarder.OnMediaFromUplink(
+      0, 0, MediaPacket(0x10, 2, 2, FrameKind::kDelta, 800));
+  h.loop.RunUntil(Timestamp::Zero() + Duration::Millis(20));
+
+  const HubForwarder::DownlinkStats& stats = h.forwarder.stats(0);
+  // Both deltas go (frame 1 is oldest unprotected; frame 2 depends on it);
+  // the keyframe survives and eventually drains.
+  EXPECT_EQ(stats.frames_evicted, 2);
+  for (const Delivered& d : h.delivered) {
+    EXPECT_EQ(d.packet.frame_kind, FrameKind::kKey);
+  }
+}
+
+TEST(HubForwarderTest, AnswersNackFromHubHistoryWithFreshStamps) {
+  Harness h(FastConfig(10.0));
+  for (int64_t frame = 0; frame < 3; ++frame) {
+    const FrameKind kind = frame == 0 ? FrameKind::kKey : FrameKind::kDelta;
+    h.forwarder.OnMediaFromUplink(
+        0, 0, MediaPacket(0x10, static_cast<uint16_t>(frame), frame, kind));
+  }
+  h.loop.RunUntil(Timestamp::Zero() + Duration::Millis(50));
+  ASSERT_EQ(h.delivered.size(), 3u);
+
+  // The receiver reports a hole at hub-stamped mp_seq 1 on path 0.
+  RtcpPacket nack;
+  nack.path_id = 0;
+  nack.payload = Nack{0, {1}};
+  EXPECT_TRUE(h.forwarder.OnReceiverRtcp(0, 0, nack));
+  // A duplicate (receivers duplicate critical feedback per path) is
+  // de-duplicated and answered only once.
+  EXPECT_TRUE(h.forwarder.OnReceiverRtcp(0, 0, nack));
+  // A NACK for a sequence the hub never stamped is ignored.
+  RtcpPacket unknown;
+  unknown.path_id = 0;
+  unknown.payload = Nack{0, {999}};
+  EXPECT_TRUE(h.forwarder.OnReceiverRtcp(0, 0, unknown));
+  h.loop.RunUntil(h.loop.now() + Duration::Millis(50));
+
+  ASSERT_EQ(h.delivered.size(), 4u);
+  const RtpPacket& rtx = h.delivered.back().packet;
+  EXPECT_TRUE(rtx.via_rtx);
+  EXPECT_EQ(rtx.rtx_for_path, 0);
+  EXPECT_EQ(rtx.rtx_for_mp_seq, 1);
+  // The retransmission keeps the per-path wire order sequential: it rides
+  // the next fresh mp_seq, not the old one.
+  EXPECT_EQ(rtx.mp_seq, 3);
+  EXPECT_EQ(h.forwarder.stats(0).rtx_answered, 1);
+}
+
+TEST(HubForwarderTest, ConsumesDownlinkFeedbackKinds) {
+  Harness h(FastConfig(10.0));
+  RtcpPacket fb;
+  fb.path_id = 0;
+  fb.payload = TransportFeedback{};
+  EXPECT_TRUE(h.forwarder.OnReceiverRtcp(0, 0, fb));
+  RtcpPacket rr;
+  rr.path_id = 0;
+  rr.payload = ReceiverReport{};
+  EXPECT_TRUE(h.forwarder.OnReceiverRtcp(0, 0, rr));
+  // End-to-end signals are NOT consumed: the conference relays them.
+  RtcpPacket pli;
+  pli.path_id = 0;
+  pli.payload = KeyframeRequest{0x10};
+  EXPECT_FALSE(h.forwarder.OnReceiverRtcp(0, 0, pli));
+  RtcpPacket qoe;
+  qoe.path_id = 0;
+  qoe.payload = QoeFeedback{};
+  EXPECT_FALSE(h.forwarder.OnReceiverRtcp(0, 0, qoe));
+}
+
+TEST(DownlinkCcTest, LossyFeedbackDropsTargetBelowStart) {
+  DownlinkCc::Config config;
+  config.gcc.start_rate = DataRate::MegabitsPerSec(5);
+  config.gcc.max_rate = DataRate::MegabitsPerSec(10);
+  DownlinkCc cc(config);
+  const DataRate start = cc.target_rate();
+
+  // 2 s of 50 ms feedback batches with 30% loss and growing delay.
+  Timestamp now = Timestamp::Zero();
+  int64_t seq = 0;
+  for (int batch = 0; batch < 40; ++batch) {
+    TransportFeedback fb;
+    for (int i = 0; i < 20; ++i) {
+      const Timestamp sent = now + Duration::Millis(i * 2);
+      cc.OnPacketSent(/*leg=*/0, seq, sent, 1200);
+      TransportFeedback::Arrival a;
+      a.mp_transport_seq = seq;
+      // Delay grows with the batch index: a building queue.
+      a.recv_time = i % 3 == 0 ? Timestamp::MinusInfinity()
+                               : sent + Duration::Millis(20 + batch * 2);
+      fb.arrivals.push_back(a);
+      ++seq;
+    }
+    now = now + Duration::Millis(50);
+    cc.OnTransportFeedback(/*leg=*/0, fb, now);
+  }
+  EXPECT_LT(cc.target_rate().bps(), start.bps() / 2);
+  EXPECT_GT(cc.packets_lost(), 0);
+  EXPECT_GT(cc.packets_acked(), 0);
+}
+
+TEST(DownlinkCcTest, SkipsArrivalsOutsideSentHistory) {
+  DownlinkCc cc(DownlinkCc::Config{});
+  TransportFeedback fb;
+  TransportFeedback::Arrival a;
+  a.mp_transport_seq = 7;  // never registered via OnPacketSent
+  a.recv_time = Timestamp::Zero() + Duration::Millis(10);
+  fb.arrivals.push_back(a);
+  cc.OnTransportFeedback(0, fb, Timestamp::Zero() + Duration::Millis(20));
+  EXPECT_EQ(cc.feedback_batches(), 0);
+  EXPECT_EQ(cc.packets_acked(), 0);
+}
+
+}  // namespace
+}  // namespace converge
