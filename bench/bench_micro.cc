@@ -13,6 +13,7 @@
 #include "receiver/fec_recovery.h"
 #include "receiver/packet_buffer.h"
 #include "rtp/rtp_packet.h"
+#include "session/call.h"
 #include "sim/event_loop.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -302,6 +303,34 @@ void BM_TraceProbeDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TraceProbeDisabled);
+
+// End-to-end cost of one short 2-party call: the fleet-scale figure of
+// merit. Everything this PR pools — timer wheel dispatch, link ring
+// buffers, the per-call arena — lands in this number.
+void BM_SingleCallSimulate(benchmark::State& state) {
+  int64_t frames = 0;
+  for (auto _ : state) {
+    CallConfig config;
+    config.variant = Variant::kConverge;
+    config.duration = Duration::Seconds(2);
+    config.seed = 7;
+    PathSpec wifi;
+    wifi.name = "wifi";
+    wifi.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(7));
+    wifi.prop_delay = Duration::Millis(20);
+    PathSpec cell;
+    cell.name = "cell";
+    cell.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(5));
+    cell.prop_delay = Duration::Millis(40);
+    config.paths = {wifi, cell};
+    Call call(config);
+    const CallStats stats = call.Run();
+    frames += stats.frames_encoded;
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetItemsProcessed(frames);
+}
+BENCHMARK(BM_SingleCallSimulate)->Unit(benchmark::kMillisecond);
 
 // Emission cost with a recorder installed (ring write, no allocation).
 void BM_TraceEmit(benchmark::State& state) {

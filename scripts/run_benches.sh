@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Builds the benches in Release mode and records the micro-benchmark
-# baseline to BENCH_micro.json (gitignored; compare across commits with
-# google-benchmark's tools/compare.py or by diffing the JSON).
+# Builds the benches in Release mode and records the machine-readable
+# baselines: BENCH_micro.json (google-benchmark; compare across commits with
+# tools/compare.py or by diffing the JSON) and BENCH_fleet.json (fleet-scale
+# capacity envelope from bench_fleet --smoke). Both are gitignored.
 #
 # Environment knobs (see EXPERIMENTS.md):
 #   CONVERGE_BENCH_JOBS   worker threads for the figure/table benches
@@ -24,6 +25,9 @@ echo "== micro benchmarks -> BENCH_micro.json =="
   --benchmark_out=BENCH_micro.json \
   --benchmark_out_format=json
 
+echo "== fleet capacity smoke -> BENCH_fleet.json =="
+"${BUILD_DIR}/bench/bench_fleet" --smoke --out=BENCH_fleet.json
+
 if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
   for bench in "${BUILD_DIR}"/bench/bench_fig* "${BUILD_DIR}"/bench/bench_ablation*; do
     echo "== $(basename "${bench}") =="
@@ -31,4 +35,4 @@ if [[ "${RUN_FIGURE_BENCHES:-0}" == "1" ]]; then
   done
 fi
 
-echo "Done. Micro baseline written to BENCH_micro.json"
+echo "Done. Baselines written to BENCH_micro.json and BENCH_fleet.json"

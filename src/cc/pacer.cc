@@ -64,7 +64,7 @@ void Pacer::Process() {
   }
 
   while (true) {
-    std::deque<Queued>* source =
+    RingQueue<Queued>* source =
         !high_queue_.empty() ? &high_queue_ : &queue_;
     if (source->empty()) break;
     if (budget_bytes_ <

@@ -2,12 +2,12 @@
 // multiple of the path's allocated rate, like WebRTC's paced sender.
 #pragma once
 
-#include <deque>
 #include <functional>
 #include <memory>
 
 #include "rtp/rtp_packet.h"
 #include "sim/event_loop.h"
+#include "util/ring_buffer.h"
 
 namespace converge {
 
@@ -59,8 +59,11 @@ class Pacer {
   };
 
   DataRate pacing_rate_ = DataRate::KilobitsPerSec(300);
-  std::deque<Queued> high_queue_;  // retransmissions
-  std::deque<Queued> queue_;
+  // Recycled rings: the pacer queue slides through memory at packet rate,
+  // so a deque would allocate and free chunks on the hot path; the ring
+  // reuses its slots once it reaches steady-state depth.
+  RingQueue<Queued> high_queue_;  // retransmissions
+  RingQueue<Queued> queue_;
   int64_t queued_bytes_ = 0;
   double budget_bytes_ = 0.0;
   Timestamp last_process_;

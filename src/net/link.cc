@@ -1,6 +1,7 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 namespace converge {
@@ -48,23 +49,46 @@ void Link::StartTransmission() {
 }
 
 void Link::FinishTransmission() {
-  Pending pkt = std::move(queue_.front());
-  queue_.pop_front();
+  // Work on the head slot in place; pop_front (which resets the slot and
+  // destroys whatever we did not move out) runs before rescheduling.
+  Pending& pkt = queue_.front();
   queued_bytes_ -= pkt.bytes;
   const bool lost =
       config_.loss != nullptr && config_.loss->ShouldDrop(loop_->now(), rng_);
   if (lost) {
     ++stats_.packets_lost;
-    if (pkt.on_drop) pkt.on_drop(/*queue_drop=*/false);
+    DropFn on_drop = std::move(pkt.on_drop);
+    queue_.pop_front();
+    if (on_drop) on_drop(/*queue_drop=*/false);
   } else {
     ++stats_.packets_delivered;
     stats_.bytes_delivered += pkt.bytes;
     const Timestamp arrival = loop_->now() + PropDelayNow();
-    loop_->ScheduleAt(arrival, [arrival, deliver = std::move(pkt.on_deliver)]() mutable {
-      deliver(arrival);
-    });
+    uint32_t slot;
+    if (!deliver_free_.empty()) {
+      slot = deliver_free_.back();
+      deliver_free_.pop_back();
+      deliver_slots_[slot] = std::move(pkt.on_deliver);
+    } else {
+      slot = static_cast<uint32_t>(deliver_slots_.size());
+      deliver_slots_.push_back(std::move(pkt.on_deliver));
+    }
+    queue_.pop_front();
+    inflight_.push_back(Arrival{arrival, inflight_seq_++, slot});
+    std::push_heap(inflight_.begin(), inflight_.end(), std::greater<>{});
+    loop_->ScheduleAt(arrival, [this] { DeliverNext(); });
   }
   StartTransmission();
+}
+
+void Link::DeliverNext() {
+  std::pop_heap(inflight_.begin(), inflight_.end(), std::greater<>{});
+  const Arrival arrival = inflight_.back();
+  inflight_.pop_back();
+  DeliverFn deliver = std::move(deliver_slots_[arrival.slot]);
+  deliver_slots_[arrival.slot] = nullptr;
+  deliver_free_.push_back(arrival.slot);
+  deliver(arrival.at);
 }
 
 }  // namespace converge

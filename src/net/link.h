@@ -14,7 +14,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "net/fault_plan.h"
@@ -23,6 +22,7 @@
 #include "sim/event_loop.h"
 #include "util/inline_function.h"
 #include "util/random.h"
+#include "util/ring_buffer.h"
 
 namespace converge {
 
@@ -118,17 +118,43 @@ class Link {
     DeliverFn on_deliver;
     DropFn on_drop;
   };
+  // One propagating packet: its delivery continuation parks in a recycled
+  // slot and a 24-byte heap entry orders it by (arrival, seq). Wrapping the
+  // continuation plus the arrival timestamp into the event-loop callback
+  // directly would exceed the callback's inline buffer and heap-allocate on
+  // every delivered packet; this keeps the scheduled event a bare `this`
+  // capture.
+  struct Arrival {
+    Timestamp at;
+    int64_t seq;
+    uint32_t slot;
+    bool operator>(const Arrival& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
 
   int64_t QueueLimitBytes() const;
   void StartTransmission();
   void FinishTransmission();
+  void DeliverNext();
 
   EventLoop* loop_;
   Config config_;
   Random rng_;
-  std::deque<Pending> queue_;
+  // Recycled ring: after the queue grows to its steady-state depth once, the
+  // per-packet enqueue/dequeue path never touches the allocator (a deque
+  // allocates/frees chunks as it slides through memory).
+  RingQueue<Pending> queue_;
   int64_t queued_bytes_ = 0;
   bool busy_ = false;
+  // In-flight deliveries: min-heap on (arrival, seq) + recycled continuation
+  // slots. Dispatch order matches the event loop's exactly — the loop fires
+  // arrival events in (time, schedule-order) order, which is precisely the
+  // heap's (at, seq) order — so delivery results are unchanged.
+  std::vector<Arrival> inflight_;
+  std::vector<DeliverFn> deliver_slots_;
+  std::vector<uint32_t> deliver_free_;
+  int64_t inflight_seq_ = 0;
   Stats stats_;
 };
 

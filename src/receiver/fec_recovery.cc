@@ -9,8 +9,10 @@ constexpr size_t kMaxPending = 256;
 constexpr int64_t kPendingMaxAge = 512;  // in media-packet ticks
 }  // namespace
 
-FecRecoverer::FecRecoverer(RecoveredCallback on_recovered)
-    : on_recovered_(std::move(on_recovered)) {}
+FecRecoverer::FecRecoverer(RecoveredCallback on_recovered, PoolArena* arena)
+    : on_recovered_(std::move(on_recovered)),
+      seen_(arena != nullptr ? arena : &own_arena_),
+      pending_(arena != nullptr ? arena : &own_arena_) {}
 
 void FecRecoverer::OnMediaPacket(const RtpPacket& packet) {
   seen_.insert({packet.ssrc, packet.seq});

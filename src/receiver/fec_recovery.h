@@ -9,12 +9,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <set>
 #include <vector>
 
 #include "fec/xor_fec.h"
 #include "rtp/rtp_packet.h"
+#include "util/arena.h"
 
 namespace converge {
 
@@ -30,7 +29,9 @@ class FecRecoverer {
   // By value: the freshly rebuilt packet is moved out to the caller.
   using RecoveredCallback = std::function<void(RtpPacket)>;
 
-  explicit FecRecoverer(RecoveredCallback on_recovered);
+  // `arena` backs the seen-set / pending-list nodes; null => private arena.
+  explicit FecRecoverer(RecoveredCallback on_recovered,
+                        PoolArena* arena = nullptr);
 
   // Media path: remember the sequence and re-check pending parity packets.
   void OnMediaPacket(const RtpPacket& packet);
@@ -52,8 +53,9 @@ class FecRecoverer {
 
   RecoveredCallback on_recovered_;
   Stats stats_;
-  std::set<std::pair<uint32_t, uint16_t>> seen_;  // (ssrc, seq), bounded
-  std::list<PendingFec> pending_;
+  PoolArena own_arena_;  // declared before the containers: destruction order
+  ArenaSet<std::pair<uint32_t, uint16_t>> seen_;  // (ssrc, seq), bounded
+  ArenaList<PendingFec> pending_;
   int64_t tick_ = 0;
 };
 

@@ -15,7 +15,8 @@ FrameBuffer::FrameBuffer(EventLoop* loop, Config config,
       config_(config),
       on_release_(std::move(on_release)),
       on_keyframe_request_(std::move(on_keyframe_request)),
-      on_purge_(std::move(on_purge)) {}
+      on_purge_(std::move(on_purge)),
+      buffer_(config.arena != nullptr ? config.arena : &own_arena_) {}
 
 void FrameBuffer::Insert(AssembledFrame frame) {
   if (stream_id_ < 0) stream_id_ = frame.stream_id;

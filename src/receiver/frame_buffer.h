@@ -7,11 +7,11 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 
 #include "receiver/packet_buffer.h"
 #include "sim/event_loop.h"
+#include "util/arena.h"
 #include "video/frame.h"
 
 namespace converge {
@@ -21,6 +21,8 @@ class FrameBuffer {
   struct Config {
     size_t capacity_frames = 16;
     Duration max_wait = Duration::Millis(300);  // head-of-line gap patience
+    // Node storage for the ordered frame map; null => private arena.
+    PoolArena* arena = nullptr;
   };
 
   struct Stats {
@@ -61,7 +63,8 @@ class FrameBuffer {
   Stats stats_;
 
   int stream_id_ = -1;
-  std::map<int64_t, AssembledFrame> buffer_;  // keyed by frame_id
+  PoolArena own_arena_;  // declared before buffer_: destruction order
+  ArenaMap<int64_t, AssembledFrame> buffer_;  // keyed by frame_id
   int64_t next_expected_ = 0;
   // Set after a jump restarted at a delta frame: the decode chain is broken,
   // so delta frames are dropped (not released) until a keyframe arrives.

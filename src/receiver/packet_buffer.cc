@@ -9,7 +9,11 @@
 namespace converge {
 
 PacketBuffer::PacketBuffer(Config config, FrameCallback on_frame)
-    : config_(config), on_frame_(std::move(on_frame)) {}
+    : config_(config),
+      on_frame_(std::move(on_frame)),
+      entries_(config.arena != nullptr ? config.arena : &own_arena_),
+      unwrappers_(config.arena != nullptr ? config.arena : &own_arena_),
+      frames_(config.arena != nullptr ? config.arena : &own_arena_) {}
 
 void PacketBuffer::Insert(RtpPacket packet, Timestamp arrival, PathId path) {
   const int64_t useq = unwrappers_[packet.ssrc].Unwrap(packet.seq);

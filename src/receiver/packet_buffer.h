@@ -9,13 +9,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "net/path.h"
 #include "rtp/rtp_packet.h"
 #include "rtp/sequence_number.h"
+#include "util/arena.h"
 #include "video/frame.h"
 
 namespace converge {
@@ -37,6 +37,10 @@ class PacketBuffer {
  public:
   struct Config {
     size_t capacity_packets = 512;
+    // Node storage for the entry/frame maps. Null: the buffer owns a
+    // private arena. Callers running many components per call (the
+    // conference runtime) share one per-call arena instead.
+    PoolArena* arena = nullptr;
   };
 
   struct Stats {
@@ -89,11 +93,14 @@ class PacketBuffer {
   Stats stats_;
   int64_t next_insert_order_ = 0;
 
+  // Declared before the containers: they return nodes into it on
+  // destruction.
+  PoolArena own_arena_;
   // Key: (ssrc, unwrapped seq).
-  std::map<std::pair<uint32_t, int64_t>, Entry> entries_;
-  std::map<uint32_t, SeqUnwrapper> unwrappers_;
+  ArenaMap<std::pair<uint32_t, int64_t>, Entry> entries_;
+  ArenaMap<uint32_t, SeqUnwrapper> unwrappers_;
   // Key: (stream, frame).
-  std::map<std::pair<int, int64_t>, FrameProgress> frames_;
+  ArenaMap<std::pair<int, int64_t>, FrameProgress> frames_;
 };
 
 }  // namespace converge

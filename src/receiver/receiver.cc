@@ -5,19 +5,30 @@
 #include "util/trace_recorder.h"
 
 namespace converge {
+namespace {
+
+template <typename ConfigT>
+ConfigT WithArena(ConfigT config, PoolArena* arena) {
+  if (config.arena == nullptr) config.arena = arena;
+  return config;
+}
+
+}  // namespace
 
 VideoReceiveStream::VideoReceiveStream(EventLoop* loop, Config config,
                                        Callbacks callbacks)
     : loop_(loop),
       config_(config),
       callbacks_(std::move(callbacks)),
-      fec_([this](RtpPacket recovered) {
-        // Recovered packets rejoin the media pipeline with the original
-        // arrival context (recovery happens upon the triggering arrival).
-        OnMediaLikePacket(std::move(recovered), current_arrival_,
-                          current_path_);
-      }),
-      packet_buffer_(config.packet_buffer,
+      fec_(
+          [this](RtpPacket recovered) {
+            // Recovered packets rejoin the media pipeline with the original
+            // arrival context (recovery happens upon the triggering arrival).
+            OnMediaLikePacket(std::move(recovered), current_arrival_,
+                              current_path_);
+          },
+          config.arena),
+      packet_buffer_(WithArena(config.packet_buffer, config.arena),
                      [this](GatheredFrame&& gathered) {
                        // The monitor always *measures* (FCD/IFD feed the
                        // metrics); enable_qoe_feedback only gates whether
@@ -36,7 +47,7 @@ VideoReceiveStream::VideoReceiveStream(EventLoop* loop, Config config,
                        }
                      }),
       frame_buffer_(
-          loop, config.frame_buffer,
+          loop, WithArena(config.frame_buffer, config.arena),
           [this](const AssembledFrame& frame) { decoder_.Decode(frame); },
           [this] { RequestKeyframe(); },
           [this](int stream_id, int64_t upto_frame) {

@@ -218,8 +218,10 @@ Sender::Config MakeSenderConfig(const ConferenceConfig& config,
 // false for the star hub's feedback-only endpoint: it answers RR/transport
 // feedback/NACK for the uplink but never decodes media.
 ReceiverEndpoint::Config MakeReceiverConfig(const ConferenceConfig& config,
-                                            int from, bool subscribe) {
+                                            int from, bool subscribe,
+                                            PoolArena* arena) {
   ReceiverEndpoint::Config rconf;
+  rconf.arena = arena;
   if (subscribe) {
     const ParticipantSpec& spec =
         config.participants[static_cast<size_t>(from)];
@@ -303,7 +305,8 @@ void Conference::BuildMesh(Random& rng) {
       {
         TraceParticipantScope scope(to);
         leg.receiver = std::make_unique<ReceiverEndpoint>(
-            &loop_, MakeReceiverConfig(config_, from, /*subscribe=*/true),
+            &loop_,
+            MakeReceiverConfig(config_, from, /*subscribe=*/true, &arena_),
             leg.metrics.get(),
             [this, leg_ptr](PathId path, const RtcpPacket& packet) {
               MeshTransmitRtcpBackward(leg_ptr, path, packet);
@@ -361,7 +364,8 @@ void Conference::BuildStar(Random& rng) {
           StarTransmitRtcpForward(up_ptr, path, packet);
         });
     up.hub_feedback = std::make_unique<ReceiverEndpoint>(
-        &loop_, MakeReceiverConfig(config_, from, /*subscribe=*/false),
+        &loop_,
+        MakeReceiverConfig(config_, from, /*subscribe=*/false, &arena_),
         /*metrics=*/nullptr,
         [this, up_ptr](PathId path, const RtcpPacket& packet) {
           up_ptr->network->path(path).backward().Send(
@@ -408,7 +412,8 @@ void Conference::BuildStar(Random& rng) {
       mconf.expected_frame_interval = Duration::Seconds(1.0 / config_.fps);
       leg.metrics = std::make_unique<MetricsCollector>(&loop_, mconf);
       leg.receiver = std::make_unique<ReceiverEndpoint>(
-          &loop_, MakeReceiverConfig(config_, from, /*subscribe=*/true),
+          &loop_,
+          MakeReceiverConfig(config_, from, /*subscribe=*/true, &arena_),
           leg.metrics.get(),
           [this, leg_ptr](PathId path, const RtcpPacket& packet) {
             StarTransmitRtcpBackward(leg_ptr, path, packet);
@@ -665,6 +670,12 @@ CallStats CollectLegStats(const ConferenceConfig& config, int num_streams,
 }  // namespace
 
 ConferenceStats Conference::Run() {
+  Start();
+  AdvanceTo(Timestamp::Zero() + config_.duration);
+  return Collect();
+}
+
+void Conference::SetInvariantContext() {
   // Label invariant violations with the run that produced them — essential
   // when a parallel multi-seed chaos sweep trips one check in one run. A
   // single-leg conference (the 2-party Call adapter) keeps the historical
@@ -678,6 +689,10 @@ ConferenceStats Conference::Run() {
     }
     InvariantRegistry::SetContext(std::move(context));
   }
+}
+
+void Conference::Start() {
+  SetInvariantContext();
   // Conferences run single-threaded (one per worker in parallel sweeps), so
   // the thread-local recorder covers exactly this conference's components.
   TraceScope trace_scope(trace_.get());
@@ -694,8 +709,17 @@ ConferenceStats Conference::Run() {
     TraceParticipantScope scope(up.from);
     up.sender->Start();
   }
-  loop_.RunUntil(Timestamp::Zero() + config_.duration);
+}
 
+void Conference::AdvanceTo(Timestamp t) {
+  // Re-established per slice: a fleet driver interleaves many conferences on
+  // one thread, each with its own recorder (usually none) and label.
+  SetInvariantContext();
+  TraceScope trace_scope(trace_.get());
+  loop_.RunUntil(t);
+}
+
+ConferenceStats Conference::Collect() {
   ConferenceStats out;
   out.legs.reserve(legs_.size());
   for (Leg& leg : legs_) {

@@ -44,6 +44,7 @@
 #include "session/metrics.h"
 #include "session/receiver_endpoint.h"
 #include "session/sender.h"
+#include "util/arena.h"
 #include "util/trace_recorder.h"
 
 namespace converge {
@@ -197,8 +198,18 @@ class Conference {
   ~Conference();
 
   // Runs the whole conference; returns per-leg stats plus per-participant
-  // QoE aggregates.
+  // QoE aggregates. Equivalent to Start() + AdvanceTo(end) + Collect().
   ConferenceStats Run();
+
+  // Incremental interface for drivers that interleave many conferences on
+  // one thread (sim/fleet.h). Start() arms every endpoint; AdvanceTo() runs
+  // this conference's loop up to `t` (monotonic across calls — RunUntil(t1)
+  // then RunUntil(t2) executes exactly the events RunUntil(t2) would, which
+  // is the determinism contract fleet sharding relies on); Collect() gathers
+  // the stats once the final AdvanceTo has run.
+  void Start();
+  void AdvanceTo(Timestamp t);
+  ConferenceStats Collect();
 
   EventLoop& loop() { return loop_; }
   // The conference's flight recorder (nullptr unless trace_capacity > 0).
@@ -252,6 +263,7 @@ class Conference {
   std::vector<PathSpec> EdgePaths(int from, int to) const;
   void BuildMesh(Random& rng);
   void BuildStar(Random& rng);
+  void SetInvariantContext();
 
   // Mesh routing: the three historical Call transmit hops, per leg.
   void MeshTransmitRtp(Leg* leg, PathId path, RtpPacket packet);
@@ -278,6 +290,10 @@ class Conference {
   ConferenceConfig config_;
   EventLoop loop_;
   std::unique_ptr<TraceRecorder> trace_;
+  // Per-conference node arena shared by every receive pipeline below (all on
+  // this one loop/thread). Declared before uplinks_/legs_ so it outlives the
+  // containers handing nodes back on destruction.
+  PoolArena arena_;
   // Star only: downlink networks indexed by receiving participant (null for
   // non-receiving entries); empty for mesh.
   std::vector<std::unique_ptr<Network>> downlinks_;

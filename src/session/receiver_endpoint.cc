@@ -12,11 +12,14 @@ ReceiverEndpoint::ReceiverEndpoint(EventLoop* loop, Config config,
     : loop_(loop),
       config_(std::move(config)),
       metrics_(metrics),
-      transmit_rtcp_(std::move(transmit_rtcp)) {
+      transmit_rtcp_(std::move(transmit_rtcp)),
+      arena_(config_.arena != nullptr ? config_.arena : &own_arena_),
+      path_state_(arena_) {
   for (size_t i = 0; i < config_.ssrcs.size(); ++i) {
     VideoReceiveStream::Config sc = config_.stream_template;
     sc.ssrc = config_.ssrcs[i];
     sc.stream_id = static_cast<int>(i);
+    if (sc.arena == nullptr) sc.arena = arena_;
 
     VideoReceiveStream::Callbacks callbacks;
     callbacks.send_keyframe_request = [this](uint32_t ssrc) {
@@ -41,8 +44,10 @@ ReceiverEndpoint::ReceiverEndpoint(EventLoop* loop, Config config,
 
   // Loss detection (see Config::per_path_nack). In per-path mode NACKs
   // carry (path, mp_seqs); in legacy mode they carry (ssrc, media seqs).
+  NackGenerator::Config nack_config = config_.nack;
+  if (nack_config.arena == nullptr) nack_config.arena = arena_;
   nack_ = std::make_unique<NackGenerator>(
-      loop_, config_.nack,
+      loop_, nack_config,
       [this](int64_t flow, const std::vector<uint16_t>& seqs) {
         RtcpPacket rtcp;
         Nack nack;
@@ -74,7 +79,7 @@ int ReceiverEndpoint::StreamIndexOf(uint32_t ssrc) const {
 void ReceiverEndpoint::OnRtpPacket(RtpPacket packet, Timestamp arrival,
                                    PathId path) {
   ++stats_.rtp_received;
-  PathReceiveState& ps = path_state_[path];
+  PathReceiveState& ps = path_state_.try_emplace(path, arena_).first->second;
   ps.last_activity = arrival;
 
   if (config_.per_path_nack) {
@@ -138,7 +143,8 @@ void ReceiverEndpoint::OnRtpPacket(RtpPacket packet, Timestamp arrival,
 void ReceiverEndpoint::OnRtcpPacket(const RtcpPacket& packet,
                                     Timestamp arrival, PathId path) {
   if (const auto* sr = std::get_if<SenderReport>(&packet.payload)) {
-    PathReceiveState& ps = path_state_[path];
+    PathReceiveState& ps =
+        path_state_.try_emplace(path, arena_).first->second;
     ps.last_sr_time = sr->send_time;
     ps.last_sr_arrival = arrival;
   } else if (const auto* sdes = std::get_if<SdesFrameRate>(&packet.payload)) {

@@ -65,6 +65,7 @@ void Sender::Start() {
 
 std::vector<PathInfo> Sender::BuildPathInfos() const {
   std::vector<PathInfo> infos;
+  infos.reserve(path_ids_.size());
   for (PathId id : path_ids_) {
     const PathState& st = paths_.at(id);
     PathInfo info;
@@ -226,14 +227,13 @@ void Sender::DispatchPacket(PathId path, RtpPacket packet) {
   // Transport feedback bookkeeping. Transport seqs are assigned
   // monotonically per path, so unwrapping against the newest entry is exact.
   int64_t unwrapped = packet.mp_transport_seq;
-  if (!st.sent.empty()) {
-    const int64_t last = st.sent.rbegin()->first;
+  if (st.last_sent_seq >= 0) {
+    const int64_t last = st.last_sent_seq;
     unwrapped = last + static_cast<int16_t>(static_cast<uint16_t>(
                            packet.mp_transport_seq -
                            static_cast<uint16_t>(last & 0xFFFF)));
   }
-  st.sent[unwrapped] = {packet.send_time, packet.wire_size()};
-  while (st.sent.size() > 8192) st.sent.erase(st.sent.begin());
+  st.RecordSent(unwrapped, packet.send_time, packet.wire_size());
 
   // Retransmission history, keyed by the per-path sequence NACKs reference.
   // Only media-like packets are retransmittable (FEC and probes are not
@@ -254,8 +254,19 @@ void Sender::DispatchPacket(PathId path, RtpPacket packet) {
   }
 
   if (media_like) {
-    const std::vector<PathInfo> infos = BuildPathInfos();
-    const PathId fast = MinSrttPath(infos);
+    // Min-srtt path computed directly (strict less, first wins, in
+    // path_ids_ order — exactly MinSrttPath over BuildPathInfos()) so the
+    // per-packet hot path does not materialize a PathInfo vector just for
+    // this lookup.
+    PathId fast = kInvalidPathId;
+    Duration best_srtt = Duration::Zero();
+    for (PathId id : path_ids_) {
+      const Duration srtt = paths_.at(id).gcc.smoothed_rtt();
+      if (fast == kInvalidPathId || srtt < best_srtt) {
+        fast = id;
+        best_srtt = srtt;
+      }
+    }
     if (path == fast) last_fast_packet_ = packet;
   }
 
@@ -385,13 +396,14 @@ void Sender::HandleTransportFeedback(const TransportFeedback& feedback,
   PathState& st = pit->second;
 
   std::vector<PacketResult> results;
+  results.reserve(feedback.arrivals.size());
   for (const TransportFeedback::Arrival& a : feedback.arrivals) {
-    auto sit = st.sent.find(a.mp_transport_seq);
-    if (sit == st.sent.end()) continue;
+    const SentRecord* rec = st.FindSent(a.mp_transport_seq);
+    if (rec == nullptr) continue;
     PacketResult r;
     r.transport_seq = a.mp_transport_seq;
-    r.send_time = sit->second.first;
-    r.bytes = sit->second.second;
+    r.send_time = rec->send_time;
+    r.bytes = rec->bytes;
     r.received = a.recv_time.IsFinite();
     r.recv_time = a.recv_time;
     results.push_back(r);

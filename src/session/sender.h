@@ -82,14 +82,55 @@ class Sender {
   double path_loss(PathId path) const;
 
  private:
+  // One sent-packet record for transport feedback matching.
+  struct SentRecord {
+    int64_t seq = -1;  // unwrapped transport seq; -1 = empty slot
+    Timestamp send_time;
+    int64_t bytes = 0;
+  };
+
   struct PathState {
     GccController gcc;
     std::unique_ptr<Pacer> pacer;
     uint16_t next_mp_seq = 0;
     uint16_t next_mp_transport_seq = 0;
-    // Sent history for transport feedback matching: unwrapped transport
-    // seq -> (send time, wire bytes).
-    std::map<int64_t, std::pair<Timestamp, int64_t>> sent;
+    // Sent history for transport feedback matching. Transport seqs are
+    // assigned monotonically (+1 per packet) by DispatchPacket, so the
+    // history is always the contiguous window of the last kSentWindow seqs
+    // — a power-of-two ring indexed by `seq & (capacity - 1)` holds exactly
+    // the same membership as the capped ordered map it replaces, without a
+    // red-black-tree insert + evict on every dispatched packet. The ring
+    // starts small and doubles up to kSentWindow only when a path has that
+    // many packets genuinely outstanding, so short calls stay compact.
+    static constexpr size_t kSentWindow = 8192;
+    std::vector<SentRecord> sent;
+    int64_t last_sent_seq = -1;  // newest unwrapped seq (unwrap anchor)
+
+    void RecordSent(int64_t seq, Timestamp at, int64_t bytes) {
+      if (sent.empty()) sent.resize(256);
+      // Grow while the slot still holds a record inside the retention
+      // window (only possible when capacity < kSentWindow).
+      while (sent.size() < kSentWindow) {
+        const SentRecord& victim = sent[seq & (sent.size() - 1)];
+        if (victim.seq < 0 ||
+            victim.seq <= seq - static_cast<int64_t>(kSentWindow)) {
+          break;
+        }
+        std::vector<SentRecord> grown(sent.size() * 2);
+        for (const SentRecord& r : sent) {
+          if (r.seq >= 0) grown[r.seq & (grown.size() - 1)] = r;
+        }
+        sent = std::move(grown);
+      }
+      sent[seq & (sent.size() - 1)] = SentRecord{seq, at, bytes};
+      last_sent_seq = seq;
+    }
+
+    const SentRecord* FindSent(int64_t seq) const {
+      if (sent.empty()) return nullptr;
+      const SentRecord& r = sent[seq & (sent.size() - 1)];
+      return r.seq == seq ? &r : nullptr;
+    }
     // Retransmission history: per-path mp_seq (wire 16-bit) -> sent packet.
     // NACKs name (path, mp_seq); the entry is overwritten on wrap.
     std::map<uint16_t, RtpPacket> mp_sent;

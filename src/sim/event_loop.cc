@@ -1,47 +1,139 @@
 #include "sim/event_loop.h"
 
 #include <algorithm>
-#include <memory>
+#include <string>
 #include <utility>
 
+#include "util/invariants.h"
 #include "util/trace_recorder.h"
 
 namespace converge {
 
-uint32_t EventLoop::AcquireSlot(Callback cb) {
+EventLoop::EventLoop() : bucket_head_(kWheelTicks, -1) {}
+
+uint32_t EventLoop::AcquireSlot(Callback&& cb) {
   const int32_t participant = TraceRecorder::CurrentParticipant();
   if (!free_slots_.empty()) {
     const uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
     slots_[slot] = std::move(cb);
-    slot_participants_[slot] = participant;
+    slot_meta_[slot].participant = participant;
     return slot;
   }
   slots_.push_back(std::move(cb));
-  slot_participants_.push_back(participant);
+  slot_meta_.push_back(SlotMeta{Timestamp::Zero(), 0, -1, participant});
   return static_cast<uint32_t>(slots_.size() - 1);
 }
 
-void EventLoop::ScheduleAt(Timestamp at, Callback cb) {
-  if (at < now_) at = now_;
-  const uint32_t slot = AcquireSlot(std::move(cb));
-  heap_.push_back(HeapEntry{at, next_seq_++, slot});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+void EventLoop::Insert(Entry entry) {
+  const int64_t tick = TickOf(entry.at);
+  if (tick <= cursor_tick_) {
+    // The open tick (or, after a RunUntil boundary left the cursor parked on
+    // a future tick, an earlier one): the cursor heap's exact (at, seq)
+    // order puts it in its rightful place among the already-expanded events.
+    cursor_.push_back(entry);
+    std::push_heap(cursor_.begin(), cursor_.end(), Later{});
+  } else if (tick < cursor_tick_ + static_cast<int64_t>(kWheelTicks)) {
+    // Within the wheel horizon: O(1) intrusive push onto the tick's bucket.
+    // The window invariant guarantees one round per bucket, so draining
+    // never has to filter entries by tick.
+    const size_t b = static_cast<uint64_t>(tick) & kWheelMask;
+    SlotMeta& meta = slot_meta_[entry.slot];
+    meta.at = entry.at;
+    meta.seq = entry.seq;
+    meta.next = bucket_head_[b];
+    bucket_head_[b] = static_cast<int32_t>(entry.slot);
+    ++near_count_;
+  } else {
+    overflow_.push_back(entry);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
 }
 
-void EventLoop::ScheduleIn(Duration delay, Callback cb) {
+void EventLoop::ScheduleAt(Timestamp at, Callback&& cb) {
+  if (at < now_) {
+    ++clamped_past_;
+    CONVERGE_INVARIANT("EventLoop", now_, at >= now_,
+                       "schedule-in-the-past clamped: at=" + at.ToString() +
+                           " now=" + now_.ToString());
+    at = now_;
+  }
+  const uint32_t slot = AcquireSlot(std::move(cb));
+  Insert(Entry{at, next_seq_++, slot});
+}
+
+void EventLoop::ScheduleIn(Duration delay, Callback&& cb) {
   ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void EventLoop::DumpBucket(int64_t tick) {
+  const size_t b = static_cast<uint64_t>(tick) & kWheelMask;
+  int32_t head = bucket_head_[b];
+  bucket_head_[b] = -1;
+  while (head != -1) {
+    const SlotMeta& meta = slot_meta_[head];
+    cursor_.push_back(Entry{meta.at, meta.seq, static_cast<uint32_t>(head)});
+    std::push_heap(cursor_.begin(), cursor_.end(), Later{});
+    head = meta.next;
+    --near_count_;
+  }
+}
+
+bool EventLoop::AdvanceCursor(Timestamp end) {
+  const int64_t end_tick = TickOf(end);
+  while (near_count_ > 0 || !overflow_.empty()) {
+    int64_t next_tick;
+    if (near_count_ > 0) {
+      // Some bucket inside the window is populated; scan forward. Bounded by
+      // kWheelTicks probes, each a 4-byte load.
+      next_tick = cursor_tick_;
+      do {
+        ++next_tick;
+      } while (bucket_head_[static_cast<uint64_t>(next_tick) & kWheelMask] ==
+               -1);
+    } else {
+      // Wheel empty: jump straight to the earliest far event.
+      next_tick = TickOf(overflow_.front().at);
+    }
+    if (next_tick > end_tick) return false;
+    cursor_tick_ = next_tick;
+    DumpBucket(next_tick);
+    // The window slid forward: pull far events that are now inside it.
+    const int64_t window_end =
+        cursor_tick_ + static_cast<int64_t>(kWheelTicks);
+    while (!overflow_.empty() && TickOf(overflow_.front().at) < window_end) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+      Entry entry = overflow_.back();
+      overflow_.pop_back();
+      if (TickOf(entry.at) <= cursor_tick_) {
+        cursor_.push_back(entry);
+        std::push_heap(cursor_.begin(), cursor_.end(), Later{});
+      } else {
+        const size_t b = static_cast<uint64_t>(TickOf(entry.at)) & kWheelMask;
+        SlotMeta& meta = slot_meta_[entry.slot];
+        meta.at = entry.at;
+        meta.seq = entry.seq;
+        meta.next = bucket_head_[b];
+        bucket_head_[b] = static_cast<int32_t>(entry.slot);
+        ++near_count_;
+      }
+    }
+    if (!cursor_.empty()) return true;
+  }
+  return false;
 }
 
 void EventLoop::RunUntil(Timestamp end) {
   // Restoring the scheduling-time participant tag only matters when a trace
   // recorder is installed; skip the TLS store entirely otherwise so untraced
-  // dispatch stays a plain heap pop + call.
+  // dispatch stays a plain pop + call.
   const bool tag_participants = TraceRecorder::Current() != nullptr;
-  while (!heap_.empty() && heap_.front().at <= end) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    const HeapEntry entry = heap_.back();
-    heap_.pop_back();
+  for (;;) {
+    if (cursor_.empty() && !AdvanceCursor(end)) break;
+    if (cursor_.front().at > end) break;
+    std::pop_heap(cursor_.begin(), cursor_.end(), Later{});
+    const Entry entry = cursor_.back();
+    cursor_.pop_back();
     // Move the callback out before running it: the callback may schedule
     // more events, which can reuse the slot.
     Callback cb = std::move(slots_[entry.slot]);
@@ -50,7 +142,7 @@ void EventLoop::RunUntil(Timestamp end) {
     now_ = entry.at;
     ++executed_;
     if (tag_participants) {
-      TraceRecorder::SetCurrentParticipant(slot_participants_[entry.slot]);
+      TraceRecorder::SetCurrentParticipant(slot_meta_[entry.slot].participant);
     }
     cb();
   }
@@ -60,32 +152,49 @@ void EventLoop::RunUntil(Timestamp end) {
 
 void EventLoop::RunAll() { RunUntil(Timestamp::PlusInfinity()); }
 
-RepeatingTask::RepeatingTask(EventLoop* loop, Duration period,
-                             std::function<void()> tick)
-    : loop_(loop),
-      period_(period),
-      tick_(std::move(tick)),
-      alive_(std::make_shared<bool>(true)) {
-  Arm();
+uint64_t EventLoop::StartRepeating(Duration period, Callback tick) {
+  uint32_t slot;
+  if (!repeating_free_.empty()) {
+    slot = repeating_free_.back();
+    repeating_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(repeating_.size());
+    repeating_.emplace_back();
+  }
+  RepeatingSlot& rs = repeating_[slot];
+  rs.tick = std::move(tick);
+  rs.period = period;
+  const uint32_t generation = rs.generation;
+  ScheduleIn(period, [this, slot, generation] {
+    FireRepeating(slot, generation);
+  });
+  return (static_cast<uint64_t>(slot) << 32) | generation;
 }
 
-RepeatingTask::~RepeatingTask() { Stop(); }
-
-void RepeatingTask::Stop() {
-  if (alive_) *alive_ = false;
-  alive_.reset();
+void EventLoop::CancelRepeating(uint64_t handle) {
+  const uint32_t slot = static_cast<uint32_t>(handle >> 32);
+  const uint32_t generation = static_cast<uint32_t>(handle);
+  if (slot >= repeating_.size()) return;
+  RepeatingSlot& rs = repeating_[slot];
+  if (rs.generation != generation) return;  // already cancelled / reused
+  ++rs.generation;
+  rs.tick = nullptr;
+  repeating_free_.push_back(slot);
 }
 
-void RepeatingTask::Arm() {
-  std::weak_ptr<bool> weak = alive_;
-  loop_->ScheduleIn(period_, [this, weak] {
-    auto alive = weak.lock();
-    if (!alive || !*alive) return;
-    tick_();
-    // The tick may have stopped or destroyed the task; `alive` (a strong
-    // ref to the flag) outlives the object, so check it before touching
-    // `this` again.
-    if (*alive) Arm();
+void EventLoop::FireRepeating(uint32_t slot, uint32_t generation) {
+  RepeatingSlot& rs = repeating_[slot];
+  if (rs.generation != generation) return;  // cancelled while in flight
+  // Move the tick out while it runs: the tick may cancel its own task (which
+  // frees and possibly re-populates the slot) without destroying the
+  // callable mid-call.
+  Callback tick = std::move(rs.tick);
+  tick();
+  RepeatingSlot& after = repeating_[slot];
+  if (after.generation != generation) return;  // cancelled inside the tick
+  after.tick = std::move(tick);
+  ScheduleIn(after.period, [this, slot, generation] {
+    FireRepeating(slot, generation);
   });
 }
 

@@ -1,0 +1,167 @@
+#include "sim/fleet.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "util/parallel.h"
+
+namespace converge {
+namespace {
+
+Duration OffsetOf(const FleetConfig& config, size_t i) {
+  return i < config.start_offsets.size() ? config.start_offsets[i]
+                                         : Duration::Zero();
+}
+
+FleetCallSummary Summarize(int index, const ConferenceStats& stats) {
+  FleetCallSummary s;
+  s.index = index;
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    s.frame_drops += leg.stats.total_frame_drops;
+    s.keyframe_requests += leg.stats.total_keyframe_requests;
+    s.media_packets_sent += leg.stats.media_packets_sent;
+    s.frames_encoded += leg.stats.frames_encoded;
+  }
+  double fps = 0.0;
+  double freeze = 0.0;
+  double e2e = 0.0;
+  int receiving = 0;
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    if (p.inbound_streams == 0) continue;
+    fps += p.avg_fps;
+    freeze += p.avg_freeze_ms;
+    e2e += p.avg_e2e_ms;
+    s.total_tput_mbps += p.total_tput_mbps;
+    ++receiving;
+  }
+  if (receiving > 0) {
+    s.avg_fps = fps / receiving;
+    s.avg_freeze_ms = freeze / receiving;
+    s.avg_e2e_ms = e2e / receiving;
+  }
+  return s;
+}
+
+int64_t PeakRssKb() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss);  // KiB on Linux
+}
+
+}  // namespace
+
+FleetResult RunFleet(const FleetConfig& config) {
+  FleetResult out;
+  const size_t n = config.calls.size();
+  out.calls.resize(n);
+  const int shards =
+      std::max(1, std::min(config.shards > 0 ? config.shards : DefaultJobs(),
+                           static_cast<int>(n > 0 ? n : 1)));
+  out.shards = shards;
+  if (n == 0) return out;
+
+  // Total simulated time and the peak-concurrency envelope both follow from
+  // the (offset, duration) windows alone — computed up front, deterministic.
+  std::vector<std::pair<Duration, int>> edges;  // (fleet time, +1/-1)
+  edges.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    const Duration offset = OffsetOf(config, i);
+    out.sim_seconds += config.calls[i].duration.seconds();
+    edges.emplace_back(offset, 1);
+    edges.emplace_back(offset + config.calls[i].duration, -1);
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const auto& a, const auto& b) {
+              // A leave at t happens before a join at t: windows are
+              // half-open [offset, offset + duration).
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  int live = 0;
+  for (const auto& [t, delta] : edges) {
+    live += delta;
+    out.max_concurrent = std::max(out.max_concurrent, live);
+  }
+
+  const Duration quantum =
+      config.quantum > Duration::Zero() ? config.quantum
+                                        : Duration::Millis(250);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  ParallelFor(
+      shards,
+      [&](int64_t shard) {
+        // This shard's calls, joined in fleet-time order. Each summary slot
+        // is written by exactly one shard, so no synchronization is needed.
+        std::vector<size_t> mine;
+        for (size_t i = static_cast<size_t>(shard); i < n;
+             i += static_cast<size_t>(shards)) {
+          mine.push_back(i);
+        }
+        std::stable_sort(mine.begin(), mine.end(), [&](size_t a, size_t b) {
+          return OffsetOf(config, a) < OffsetOf(config, b);
+        });
+
+        struct Active {
+          size_t index;
+          Duration offset;
+          std::unique_ptr<Conference> conf;
+        };
+        std::vector<Active> active;
+        size_t next_join = 0;
+        Timestamp fleet_now = Timestamp::Zero();
+
+        while (next_join < mine.size() || !active.empty()) {
+          const Timestamp fleet_next = fleet_now + quantum;
+          // Joins inside (fleet_now, fleet_next]: calls are built (and their
+          // first slice run) the first quantum that covers them.
+          while (next_join < mine.size() &&
+                 Timestamp::Zero() + OffsetOf(config, mine[next_join]) <
+                     fleet_next) {
+            const size_t i = mine[next_join++];
+            Active a;
+            a.index = i;
+            a.offset = OffsetOf(config, i);
+            a.conf = std::make_unique<Conference>(config.calls[i]);
+            a.conf->Start();
+            active.push_back(std::move(a));
+          }
+          // Advance every live call to the boundary (its own clock runs
+          // `offset` behind fleet time), retiring the ones that finish.
+          for (Active& a : active) {
+            const Duration duration = config.calls[a.index].duration;
+            const Duration local =
+                std::min((fleet_next - Timestamp::Zero()) - a.offset,
+                         duration);
+            a.conf->AdvanceTo(Timestamp::Zero() + local);
+            if (local >= duration) {
+              out.calls[a.index] =
+                  Summarize(static_cast<int>(a.index), a.conf->Collect());
+              a.conf.reset();
+            }
+          }
+          active.erase(std::remove_if(active.begin(), active.end(),
+                                      [](const Active& a) {
+                                        return a.conf == nullptr;
+                                      }),
+                       active.end());
+          fleet_now = fleet_next;
+        }
+      },
+      shards);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  out.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  out.sim_per_wall =
+      out.wall_seconds > 0.0 ? out.sim_seconds / out.wall_seconds : 0.0;
+  out.calls_per_core = static_cast<double>(n) / static_cast<double>(shards);
+  out.peak_rss_kb = PeakRssKb();
+  return out;
+}
+
+}  // namespace converge

@@ -1,7 +1,9 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -46,6 +48,90 @@ class ThreadBudget {
  private:
   ThreadBudget() : available_(DefaultJobs() - 1) {}
   std::atomic<int> available_;
+};
+
+// Persistent helpers for budget-rationed loops. Spawning a thread per
+// ParallelFor costs ~100µs each; a fleet bench calling back-to-back sweeps
+// pays that over and over. Instead, DefaultJobs()-1 workers are spawned once
+// on first use and parked on a condition variable between loops; a loop
+// hands each granted worker one execution of its claim-next-index closure.
+//
+// Leaky singleton: the pool (and its parked threads) intentionally outlives
+// every static destructor, so no join-at-exit ordering hazards exist.
+class WorkerPool {
+ public:
+  // One ParallelFor's dispatch unit. `fn` is the loop's worker closure;
+  // every dispatched worker runs it once. The caller owns the batch on its
+  // stack and blocks in Wait() until the last worker checks out, so
+  // reference captures inside `fn` stay valid.
+  struct Batch {
+    std::function<void()> fn;
+    std::atomic<int> pending{0};
+    std::mutex done_mutex;
+    std::condition_variable done;
+
+    void Wait() {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done.wait(lock, [this] {
+        return pending.load(std::memory_order_acquire) == 0;
+      });
+    }
+  };
+
+  static WorkerPool& Get() {
+    static WorkerPool* pool = new WorkerPool();
+    return *pool;
+  }
+
+  // Queues `count` executions of batch->fn. batch->pending must already
+  // include them.
+  void Submit(Batch* batch, int count) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int i = 0; i < count; ++i) queue_.push_back(batch);
+    }
+    if (count == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  WorkerPool() {
+    const int n = DefaultJobs() - 1;
+    threads_.reserve(static_cast<size_t>(n > 0 ? n : 0));
+    for (int i = 0; i < n; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  void Loop() {
+    for (;;) {
+      Batch* batch;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return !queue_.empty(); });
+        batch = queue_.front();
+        queue_.pop_front();
+      }
+      batch->fn();
+      {
+        // Decrement under the batch mutex: were it outside, a spuriously
+        // woken caller could observe pending == 0, return from Wait(), and
+        // destroy the batch before this thread touches its mutex/cv.
+        std::lock_guard<std::mutex> lock(batch->done_mutex);
+        if (batch->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          batch->done.notify_all();
+        }
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Batch*> queue_;
+  std::vector<std::thread> threads_;
 };
 
 }  // namespace
@@ -93,12 +179,26 @@ void ThreadPool::ParallelFor(int64_t n,
     }
   };
 
-  std::vector<std::thread> helpers;
-  helpers.reserve(static_cast<size_t>(granted));
-  for (int t = 0; t < granted; ++t) helpers.emplace_back(worker);
-  worker();  // The caller always participates.
-  for (std::thread& h : helpers) h.join();
-  if (!explicit_size_) ThreadBudget::Get().Release(granted);
+  if (explicit_size_) {
+    // Explicitly sized pools always get dedicated threads: tests use this
+    // to force real concurrency regardless of budget or host core count.
+    std::vector<std::thread> helpers;
+    helpers.reserve(static_cast<size_t>(granted));
+    for (int t = 0; t < granted; ++t) helpers.emplace_back(worker);
+    worker();  // The caller always participates.
+    for (std::thread& h : helpers) h.join();
+  } else {
+    // Budget-rationed loops ride the persistent pool; its worker count
+    // equals the total permit budget, so granted permits always map onto
+    // (eventually) free workers.
+    WorkerPool::Batch batch;
+    batch.fn = worker;
+    batch.pending.store(granted, std::memory_order_release);
+    WorkerPool::Get().Submit(&batch, granted);
+    worker();  // The caller always participates.
+    batch.Wait();
+    ThreadBudget::Get().Release(granted);
+  }
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -5,13 +5,16 @@
 // fixed order — ParallelFor guarantees item i's effects land wherever the
 // body writes for index i, and callers reduce serially in index order.
 //
-// Concurrency model: ParallelFor spawns helper threads for the duration of
-// one loop and the calling thread always participates, so nested loops (a
-// bench fanning out table cells whose bodies fan out seeds) can never
-// deadlock — the innermost caller just runs its own indices. A global permit
-// budget of DefaultJobs()-1 helpers keeps nesting from oversubscribing the
-// machine. CONVERGE_BENCH_JOBS=1 (or a single-core host) disables threading
-// entirely and every loop runs serially on the caller.
+// Concurrency model: a budget-rationed loop borrows helpers from a
+// process-wide persistent worker pool (spawned lazily once, parked between
+// loops — no thread spawn on the per-loop hot path); an explicitly sized
+// pool spawns dedicated threads for the duration of the loop. Either way the
+// calling thread always participates, so nested loops (a bench fanning out
+// table cells whose bodies fan out seeds) can never deadlock — the innermost
+// caller just runs its own indices. A global permit budget of
+// DefaultJobs()-1 helpers keeps nesting from oversubscribing the machine.
+// CONVERGE_BENCH_JOBS=1 (or a single-core host) disables threading entirely
+// and every loop runs serially on the caller.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,144 @@
+// Fleet driver contract tests: per-call results are a pure function of the
+// call's own config — independent of shard count, quantum size, and churn
+// offsets — and the incremental Conference interface the driver rides on
+// (Start/AdvanceTo/Collect) reproduces Run() exactly.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "session/conference.h"
+#include "sim/fleet.h"
+
+namespace converge {
+namespace {
+
+ConferenceConfig SmallCall(uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(2, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::KilobitsPerSec(600);
+  config.duration = Duration::Millis(800);
+  config.seed = seed;
+
+  PathSpec wifi;
+  wifi.name = "wifi";
+  wifi.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(3));
+  wifi.prop_delay = Duration::Millis(20);
+  PathSpec cell;
+  cell.name = "cell";
+  cell.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(2));
+  cell.prop_delay = Duration::Millis(40);
+  config.paths = {wifi, cell};
+  return config;
+}
+
+FleetConfig SmallFleet(int calls) {
+  FleetConfig config;
+  for (int i = 0; i < calls; ++i) {
+    config.calls.push_back(SmallCall(static_cast<uint64_t>(i + 1)));
+  }
+  return config;
+}
+
+// Exact comparison on purpose: the determinism contract is bit-identity,
+// not tolerance-level agreement.
+void ExpectIdentical(const std::vector<FleetCallSummary>& a,
+                     const std::vector<FleetCallSummary>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index) << "call " << i;
+    EXPECT_EQ(a[i].avg_fps, b[i].avg_fps) << "call " << i;
+    EXPECT_EQ(a[i].avg_freeze_ms, b[i].avg_freeze_ms) << "call " << i;
+    EXPECT_EQ(a[i].avg_e2e_ms, b[i].avg_e2e_ms) << "call " << i;
+    EXPECT_EQ(a[i].total_tput_mbps, b[i].total_tput_mbps) << "call " << i;
+    EXPECT_EQ(a[i].frame_drops, b[i].frame_drops) << "call " << i;
+    EXPECT_EQ(a[i].keyframe_requests, b[i].keyframe_requests) << "call " << i;
+    EXPECT_EQ(a[i].media_packets_sent, b[i].media_packets_sent)
+        << "call " << i;
+    EXPECT_EQ(a[i].frames_encoded, b[i].frames_encoded) << "call " << i;
+  }
+}
+
+TEST(FleetTest, PerCallResultsIndependentOfShardCount) {
+  FleetConfig config = SmallFleet(5);
+  config.shards = 1;
+  const FleetResult serial = RunFleet(config);
+  config.shards = 2;
+  const FleetResult sharded = RunFleet(config);
+  config.shards = 5;  // one call per shard
+  const FleetResult max_sharded = RunFleet(config);
+
+  EXPECT_EQ(serial.shards, 1);
+  EXPECT_EQ(sharded.shards, 2);
+  ExpectIdentical(serial.calls, sharded.calls);
+  ExpectIdentical(serial.calls, max_sharded.calls);
+  EXPECT_EQ(serial.max_concurrent, 5);
+  EXPECT_GT(serial.calls[0].frames_encoded, 0);
+}
+
+TEST(FleetTest, PerCallResultsIndependentOfQuantum) {
+  FleetConfig config = SmallFleet(3);
+  config.shards = 1;
+  config.quantum = Duration::Millis(250);
+  const FleetResult coarse = RunFleet(config);
+  config.quantum = Duration::Millis(40);  // duration not a multiple
+  const FleetResult fine = RunFleet(config);
+  ExpectIdentical(coarse.calls, fine.calls);
+}
+
+TEST(FleetTest, ChurnOffsetsDoNotChangePerCallResults) {
+  FleetConfig config = SmallFleet(4);
+  config.shards = 2;
+  const FleetResult together = RunFleet(config);
+
+  // Staggered joins: each call still simulates its own [0, duration) span.
+  config.start_offsets = {Duration::Zero(), Duration::Millis(300),
+                          Duration::Millis(800), Duration::Millis(1600)};
+  const FleetResult staggered = RunFleet(config);
+
+  ExpectIdentical(together.calls, staggered.calls);
+  EXPECT_EQ(together.max_concurrent, 4);
+  // Windows: [0,800), [300,1100), [800,1600), [1600,2400). Call 0 leaves at
+  // 800 ms exactly as call 2 joins (leave-before-join: no overlap), so the
+  // peak is two concurrent calls.
+  EXPECT_EQ(staggered.max_concurrent, 2);
+  EXPECT_EQ(together.sim_seconds, staggered.sim_seconds);
+}
+
+TEST(FleetTest, IncrementalInterfaceMatchesRun) {
+  const ConferenceConfig config = SmallCall(/*seed=*/9);
+
+  Conference whole(config);
+  const ConferenceStats expected = whole.Run();
+
+  Conference sliced(config);
+  sliced.Start();
+  // Uneven quanta, including a zero-length advance and a final boundary
+  // exactly at the end.
+  const int64_t slices_ms[] = {100, 100, 350, 350, 600, 800};
+  for (int64_t ms : slices_ms) {
+    sliced.AdvanceTo(Timestamp::Zero() + Duration::Millis(ms));
+  }
+  const ConferenceStats actual = sliced.Collect();
+
+  ASSERT_EQ(expected.legs.size(), actual.legs.size());
+  for (size_t i = 0; i < expected.legs.size(); ++i) {
+    const CallStats& e = expected.legs[i].stats;
+    const CallStats& a = actual.legs[i].stats;
+    EXPECT_EQ(e.media_packets_sent, a.media_packets_sent) << "leg " << i;
+    EXPECT_EQ(e.frames_encoded, a.frames_encoded) << "leg " << i;
+    EXPECT_EQ(e.total_frame_drops, a.total_frame_drops) << "leg " << i;
+    EXPECT_EQ(e.AvgFps(), a.AvgFps()) << "leg " << i;
+    EXPECT_EQ(e.AvgE2eMs(), a.AvgE2eMs()) << "leg " << i;
+    EXPECT_EQ(e.TotalTputMbps(), a.TotalTputMbps()) << "leg " << i;
+  }
+  ASSERT_EQ(expected.participants.size(), actual.participants.size());
+  for (size_t i = 0; i < expected.participants.size(); ++i) {
+    EXPECT_EQ(expected.participants[i].avg_fps, actual.participants[i].avg_fps)
+        << "participant " << i;
+  }
+}
+
+}  // namespace
+}  // namespace converge

@@ -1,0 +1,266 @@
+// Differential test pinning the timer-wheel EventLoop against a reference
+// binary-heap scheduler, plus the schedule-in-the-past accounting the wheel
+// rewrite surfaced.
+//
+// The reference model is the seed-era implementation distilled to its
+// essentials: a (timestamp, seq) min-heap where seq is assigned at
+// ScheduleAt time. The wheel must execute the exact same sequence of
+// (time, id) pairs on every schedule the heap handles — same-timestamp
+// bursts (cursor-heap tie-breaks), events beyond the 512-tick wheel horizon
+// (overflow migration), and callbacks that schedule more work for the
+// current instant (cursor re-entry).
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "util/invariants.h"
+#include "util/random.h"
+
+namespace converge {
+namespace {
+
+// Reference scheduler: plain (timestamp, seq) min-heap with FIFO tie-break.
+// Carries (id, depth) so chained re-schedules track their position without
+// any id-keyed lookup.
+class HeapModel {
+ public:
+  void ScheduleAt(Timestamp at, int id, int depth) {
+    if (at < now_) at = now_;
+    heap_.push(Entry{at, next_seq_++, id, depth});
+  }
+
+  // Executes everything due by `end`; calls visit(time, id, depth, this) in
+  // order (visit may schedule more).
+  template <typename Visit>
+  void RunUntil(Timestamp end, Visit&& visit) {
+    while (!heap_.empty() && heap_.top().at <= end) {
+      const Entry e = heap_.top();
+      heap_.pop();
+      now_ = e.at;
+      visit(e.at, e.id, e.depth, this);
+    }
+    if (now_ < end) now_ = end;
+  }
+
+  Timestamp now() const { return now_; }
+
+ private:
+  struct Entry {
+    Timestamp at;
+    int64_t seq;
+    int id;
+    int depth;
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  Timestamp now_ = Timestamp::Zero();
+  int64_t next_seq_ = 0;
+};
+
+struct Execution {
+  Timestamp at;
+  int id;
+};
+
+// Follow-up delay derived purely from (id): both models compute it
+// identically without sharing state. The classes cover cursor re-entry
+// (zero delay), near-bucket hops, mid-wheel hops, and overflow jumps past
+// the ~524 ms wheel horizon.
+Duration FollowUp(int id) {
+  switch (id % 5) {
+    case 0: return Duration::Zero();
+    case 1: return Duration::Micros(1);
+    case 2: return Duration::Micros(700);
+    case 3: return Duration::Millis(37);
+    default: return Duration::Millis(900);
+  }
+}
+
+constexpr int kMaxChain = 3;
+
+int NextChainId(int id, int depth) { return id * 31 + depth + 1; }
+
+// Drives both schedulers through the same randomized schedule (including
+// follow-up events scheduled from inside callbacks) and compares the full
+// execution orders.
+void RunDifferential(uint64_t seed, int initial_events, int64_t horizon_us,
+                     Duration run_chunk) {
+  EventLoop wheel;
+  HeapModel heap;
+  std::vector<Execution> wheel_order;
+  std::vector<Execution> heap_order;
+
+  std::function<void(int, int, Timestamp)> arm_wheel =
+      [&](int id, int depth, Timestamp at) {
+        wheel.ScheduleAt(at, [&, id, depth] {
+          wheel_order.push_back({wheel.now(), id});
+          if (depth < kMaxChain) {
+            arm_wheel(NextChainId(id, depth), depth + 1,
+                      wheel.now() + FollowUp(id));
+          }
+        });
+      };
+
+  Random rng(seed);
+  struct Seeded {
+    Timestamp at;
+    int id;
+  };
+  std::vector<Seeded> seeds;
+  for (int i = 0; i < initial_events; ++i) {
+    // Bursts: several events share a timestamp to stress tie-breaks.
+    const int64_t us = rng.UniformInt(0, horizon_us);
+    const int burst = 1 + static_cast<int>(rng.UniformInt(0, 2));
+    for (int b = 0; b < burst; ++b) {
+      seeds.push_back(
+          {Timestamp::Zero() + Duration::Micros(us), i * 100 + b});
+    }
+  }
+  for (const Seeded& s : seeds) arm_wheel(s.id, 0, s.at);
+  for (const Seeded& s : seeds) heap.ScheduleAt(s.at, s.id, 0);
+
+  const auto heap_visit = [&](Timestamp at, int id, int depth,
+                              HeapModel* model) {
+    heap_order.push_back({at, id});
+    if (depth < kMaxChain) {
+      model->ScheduleAt(at + FollowUp(id), NextChainId(id, depth), depth + 1);
+    }
+  };
+
+  const Timestamp end =
+      Timestamp::Zero() + Duration::Micros(horizon_us) + Duration::Seconds(4);
+  // Run in chunks so RunUntil boundaries land mid-schedule too (with a chunk
+  // larger than the whole schedule, the final catch-up below is the single
+  // giant RunUntil).
+  for (Timestamp t = Timestamp::Zero() + run_chunk; t <= end;
+       t = t + run_chunk) {
+    wheel.RunUntil(t);
+    heap.RunUntil(t, heap_visit);
+    ASSERT_EQ(wheel.now(), heap.now());
+    ASSERT_EQ(wheel_order.size(), heap_order.size())
+        << "diverged within chunk ending at " << t.us() << "us";
+  }
+  wheel.RunUntil(end);
+  heap.RunUntil(end, heap_visit);
+  ASSERT_EQ(wheel.now(), heap.now());
+
+  ASSERT_EQ(wheel_order.size(), heap_order.size());
+  for (size_t i = 0; i < wheel_order.size(); ++i) {
+    ASSERT_EQ(wheel_order[i].at, heap_order[i].at) << "execution " << i;
+    ASSERT_EQ(wheel_order[i].id, heap_order[i].id) << "execution " << i;
+  }
+  EXPECT_EQ(wheel.pending_events(), 0u);
+  EXPECT_EQ(wheel.executed_events(),
+            static_cast<int64_t>(wheel_order.size()));
+}
+
+TEST(TimerWheelDifferential, DenseNearHorizonSchedules) {
+  // Everything initially lands inside the 512-tick (~524 ms) wheel window.
+  RunDifferential(/*seed=*/1, /*initial_events=*/400,
+                  /*horizon_us=*/400'000, Duration::Millis(50));
+}
+
+TEST(TimerWheelDifferential, FarFutureOverflowSchedules) {
+  // Most initial events sit beyond the wheel horizon and must migrate out
+  // of the overflow heap as the window slides.
+  RunDifferential(/*seed=*/2, /*initial_events=*/300,
+                  /*horizon_us=*/3'000'000, Duration::Millis(250));
+}
+
+TEST(TimerWheelDifferential, CoarseChunksCrossManyBuckets) {
+  // One giant RunUntil spanning the entire schedule: the cursor must sweep
+  // every bucket round without a boundary ever parking it.
+  RunDifferential(/*seed=*/3, /*initial_events=*/200,
+                  /*horizon_us=*/1'500'000, Duration::Seconds(10));
+}
+
+TEST(TimerWheelDifferential, SameTimestampBurstsKeepFifoOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  const Timestamp at = Timestamp::Zero() + Duration::Millis(5);
+  for (int i = 0; i < 64; ++i) {
+    loop.ScheduleAt(at, [&order, i] { order.push_back(i); });
+  }
+  // A second burst at the same instant, scheduled from inside a callback
+  // that runs first (scheduled earlier): lands in the cursor heap while the
+  // tick is already open.
+  loop.ScheduleAt(Timestamp::Zero() + Duration::Millis(4), [&] {
+    for (int i = 64; i < 96; ++i) {
+      loop.ScheduleAt(at, [&order, i] { order.push_back(i); });
+    }
+  });
+  loop.RunAll();
+  ASSERT_EQ(order.size(), 96u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(TimerWheelDifferential, ScheduleInsideCallbackAcrossHorizon) {
+  // A chain that repeatedly hops past the wheel window forces overflow
+  // migration while the cursor is mid-dispatch.
+  EventLoop loop;
+  std::vector<Timestamp> fired;
+  std::function<void(int)> hop = [&](int remaining) {
+    fired.push_back(loop.now());
+    if (remaining > 0) {
+      loop.ScheduleIn(Duration::Millis(600),
+                      [&hop, remaining] { hop(remaining - 1); });
+    }
+  };
+  loop.ScheduleIn(Duration::Millis(1), [&hop] { hop(10); });
+  loop.RunAll();
+  ASSERT_EQ(fired.size(), 11u);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i] - fired[i - 1], Duration::Millis(600));
+  }
+}
+
+TEST(TimerWheelPastClamp, CountsAndClampsScheduleInThePast) {
+  EventLoop loop;
+  int ran_at_now = 0;
+  loop.ScheduleIn(Duration::Millis(10), [&] {
+    // From t=10ms, schedule for t=5ms: must clamp to now and count.
+    loop.ScheduleAt(Timestamp::Zero() + Duration::Millis(5), [&] {
+      ran_at_now = loop.now().us() == 10'000 ? 1 : -1;
+    });
+  });
+  EXPECT_EQ(loop.clamped_past_events(), 0);
+  loop.RunAll();
+  EXPECT_EQ(ran_at_now, 1);
+  EXPECT_EQ(loop.clamped_past_events(), 1);
+}
+
+TEST(TimerWheelPastClamp, InvariantFiresWhenEnabled) {
+  ScopedInvariants scoped;
+  EventLoop loop;
+  loop.ScheduleIn(Duration::Millis(10),
+                  [&] { loop.ScheduleAt(Timestamp::Zero(), [] {}); });
+  loop.RunAll();
+  EXPECT_EQ(loop.clamped_past_events(), 1);
+  const auto violations = InvariantRegistry::Snapshot();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].component, "EventLoop");
+}
+
+TEST(TimerWheelPastClamp, NoFalsePositivesOnNormalSchedules) {
+  ScopedInvariants scoped;
+  EventLoop loop;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    loop.ScheduleIn(Duration::Micros(i * 100), [&] { ++fired; });
+  }
+  loop.RunAll();
+  EXPECT_EQ(fired, 100);
+  EXPECT_EQ(loop.clamped_past_events(), 0);
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+}  // namespace
+}  // namespace converge
