@@ -8,12 +8,19 @@
 // hub state (GCC target, thin/evict counts, queue highwater) so regressions
 // in the forwarder's congestion loop show up as table diffs.
 //
-//   --smoke            tiny sweep (N in {2,3}, 1 seed, 4 s calls) plus a
-//                      short constrained-star cell, used as a CI
-//                      build-and-run sanity check
-//   --trace=<prefix>   run ONE traced constrained-star conference and write
-//                      <prefix>.json (Perfetto / chrome://tracing) and
-//                      <prefix>.csv with the hub queue + hub_gcc series
+//   --smoke            tiny sweep (N in {2,3}, 1 seed, 4 s calls) plus
+//                      short constrained-star, churn, and cross-traffic
+//                      cells, used as a CI build-and-run sanity check
+//   --churn            run ONLY the mid-call churn cell (join/leave/rejoin
+//                      on a 4-party mesh, per-leg lifetime windows)
+//   --cross-traffic    run ONLY the competing-TCP cell (call share vs a
+//                      greedy AIMD flow on the primary path)
+//   --trace=<prefix>   run ONE traced conference and write <prefix>.json
+//                      (Perfetto / chrome://tracing) and <prefix>.csv.
+//                      Default subject is the constrained star (hub queue +
+//                      hub_gcc series); combined with --churn it traces the
+//                      churn scenario instead (membership join/leave
+//                      instants in the "conference" category)
 //   CONVERGE_BENCH_FAST=1 / CONVERGE_BENCH_SEEDS / CONVERGE_BENCH_JOBS as in
 //   the other benches
 #include <chrono>
@@ -23,6 +30,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "net/cross_traffic.h"
 #include "session/conference.h"
 #include "session/stats_json.h"
 
@@ -149,24 +157,180 @@ int ConstrainedStarCell(Duration duration) {
   return 0;
 }
 
+// Mid-call churn: a 4-party mesh where participant 3 joins late, 1 leaves
+// and rejoins, and 2 leaves for good. Event times scale with the duration
+// so the smoke run exercises the same shape in a few seconds.
+ConferenceConfig ChurnConfig(Duration duration, uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(4, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = duration;
+  config.seed = seed;
+  config.paths_for_edge = [](int, int) {
+    auto path = [](const char* name, double mbps, int delay_ms, double loss) {
+      PathSpec spec;
+      spec.name = name;
+      spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+      spec.prop_delay = Duration::Millis(delay_ms);
+      if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+      return spec;
+    };
+    return std::vector<PathSpec>{path("wifi", 6.0, 20, 0.01),
+                                 path("cell", 4.0, 35, 0.005)};
+  };
+  auto at = [&](double frac) {
+    return Timestamp::Zero() + duration * frac;
+  };
+  config.membership = {
+      {MembershipEvent::Kind::kJoin, at(0.15), 3},
+      {MembershipEvent::Kind::kLeave, at(0.40), 1},
+      {MembershipEvent::Kind::kJoin, at(0.60), 1},
+      {MembershipEvent::Kind::kLeave, at(0.80), 2},
+  };
+  return config;
+}
+
+// Per-leg lifetime windows and rates under churn. The interesting deltas:
+// rejoin legs (incarnation 1) ramping back within their short window, and
+// retired legs keeping sane whole-window aggregates.
+int ChurnCell(Duration duration) {
+  bench::Header("mid-call churn: 4-party mesh, late join + leave/rejoin");
+  Conference conference(ChurnConfig(duration, 42));
+  const ConferenceStats stats = conference.Run();
+  std::printf("  %4s %8s %8s %8s\n", "part", "active_s", "fps", "mbps");
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    std::printf("  %4d %8.1f %8.2f %8.2f\n", p.participant, p.active_s,
+                p.avg_fps, p.total_tput_mbps);
+  }
+  std::printf("  %4s %3s %3s %4s %7s %7s %8s %8s\n", "leg", "frm", "to",
+              "inc", "join_s", "left_s", "fps", "mbps");
+  for (size_t i = 0; i < stats.legs.size(); ++i) {
+    const ConferenceStats::Leg& leg = stats.legs[i];
+    std::printf("  %4zu %3d %3d %4d %7.1f %7.1f %8.2f %8.2f\n", i, leg.from,
+                leg.to, leg.incarnation, leg.joined_s, leg.left_s,
+                leg.stats.AvgFps(), leg.stats.TotalTputMbps());
+  }
+  // Structural sanity for CI: the initial 6 legs of {0,1,2}, 6 more from
+  // p3's join, 6 rejoin legs for p1's second incarnation.
+  if (stats.legs.size() != 18) {
+    std::fprintf(stderr, "churn cell: got %zu legs, want 18\n",
+                 stats.legs.size());
+    return 1;
+  }
+  // p1's rejoin creates 6 fresh legs; the 3 it publishes carry its new
+  // incarnation (inbound legs keep each sender's own incarnation 0).
+  const double rejoin_s = (duration * 0.6).seconds();
+  double rejoin_tput = 0.0;
+  int rejoin_out = 0, rejoin_fresh = 0;
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    if (leg.joined_s == rejoin_s && (leg.from == 1 || leg.to == 1)) {
+      ++rejoin_fresh;
+    }
+    if (leg.incarnation != 1) continue;
+    ++rejoin_out;
+    rejoin_tput += leg.stats.TotalTputMbps();
+  }
+  if (rejoin_out != 3 || rejoin_fresh != 6 || rejoin_tput <= 0.0) {
+    std::fprintf(stderr,
+                 "churn cell: %d inc-1 legs (want 3), %d fresh legs (want 6), "
+                 "%.2f Mbps total\n",
+                 rejoin_out, rejoin_fresh, rejoin_tput);
+    return 1;
+  }
+  return 0;
+}
+
+// Competing cross-traffic: a duplex 2-party call whose 6 Mbps primary is
+// shared with one greedy TCP-like flow, next to a clean 3 Mbps secondary.
+// The delay-sensitive call concedes most of the shared path but must keep a
+// nonzero stable share overall.
+int CrossTrafficCell(Duration duration) {
+  bench::Header("competing cross-traffic: 2-party call vs one TCP flow");
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(2, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(6);
+  config.duration = duration;
+  config.seed = 42;
+  PathSpec p0;
+  p0.name = "shared";
+  p0.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(6));
+  p0.prop_delay = Duration::Millis(20);
+  CrossTrafficSpec bulk;
+  bulk.name = "bulk";
+  bulk.kind = CrossTrafficKind::kTcp;
+  bulk.start = Timestamp::Zero() + duration * 0.1;
+  p0.cross_traffic = {bulk};
+  PathSpec p1;
+  p1.name = "clean";
+  p1.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(3));
+  p1.prop_delay = Duration::Millis(35);
+  config.paths = {p0, p1};
+
+  Conference conference(config);
+  const ConferenceStats stats = conference.Run();
+  std::printf("  %4s %8s %8s\n", "part", "fps", "mbps");
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    std::printf("  %4d %8.2f %8.2f\n", p.participant, p.avg_fps,
+                p.total_tput_mbps);
+  }
+  std::printf("  %-6s %4s %4s %8s %8s %7s %8s\n", "flow", "edge", "path",
+              "mbps", "deliv", "loss", "cwnd");
+  for (const ConferenceStats::CrossFlow& f : stats.cross_traffic) {
+    std::printf("  %-6s %d->%d %4d %8.2f %8lld %7lld %8.1f\n", f.name.c_str(),
+                f.from, f.to, static_cast<int>(f.path), f.throughput_mbps,
+                static_cast<long long>(f.packets_delivered),
+                static_cast<long long>(f.loss_events), f.final_cwnd);
+  }
+  // Structural sanity for CI: one flow per direction, both actually moved
+  // bytes, and the call held a nonzero share.
+  if (stats.cross_traffic.size() != 2) {
+    std::fprintf(stderr, "cross-traffic cell: got %zu flows, want 2\n",
+                 stats.cross_traffic.size());
+    return 1;
+  }
+  for (const ConferenceStats::CrossFlow& f : stats.cross_traffic) {
+    if (f.packets_delivered <= 0) {
+      std::fprintf(stderr, "cross-traffic cell: flow %s moved nothing\n",
+                   f.name.c_str());
+      return 1;
+    }
+  }
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    if (p.total_tput_mbps <= 0.5) {
+      std::fprintf(stderr,
+                   "cross-traffic cell: participant %d starved (%.2f Mbps)\n",
+                   p.participant, p.total_tput_mbps);
+      return 1;
+    }
+  }
+  return 0;
+}
+
 // --trace=<prefix> / CONVERGE_TRACE=<prefix>: one traced constrained-star
 // conference; the export carries the hub's per-downlink queue counters
 // ("hub" component) and the downlink controllers ("hub_gcc") alongside the
 // usual sender-side probes.
 bool MaybeCaptureHubTrace(int argc, char** argv) {
   std::string prefix;
+  bool churn = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) prefix = arg.substr(8);
+    if (arg == "--churn") churn = true;
   }
   if (prefix.empty()) {
     if (const char* env = std::getenv("CONVERGE_TRACE")) prefix = env;
   }
   if (prefix.empty()) return false;
 
-  ConferenceConfig config = ConstrainedStarConfig(
-      1.0,
-      bench::FastMode() ? Duration::Seconds(8) : Duration::Seconds(30), 42);
+  const Duration duration =
+      bench::FastMode() ? Duration::Seconds(8) : Duration::Seconds(30);
+  ConferenceConfig config =
+      churn ? ChurnConfig(duration, 42) : ConstrainedStarConfig(1.0, duration, 42);
   config.trace_capacity = TraceRecorder::kDefaultCapacity;
   Conference conference(config);
   const ConferenceStats stats = conference.Run();
@@ -176,15 +340,27 @@ bool MaybeCaptureHubTrace(int argc, char** argv) {
   const std::string csv_path = prefix + ".csv";
   const bool ok =
       trace->WriteChromeTrace(json_path) && trace->WriteCsv(csv_path);
-  double slow_tput = 0.0;
-  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
-    if (p.participant == 3) slow_tput = p.total_tput_mbps;
+  if (churn) {
+    double rejoin_tput = 0.0;
+    for (const ConferenceStats::Leg& leg : stats.legs) {
+      if (leg.incarnation == 1) rejoin_tput += leg.stats.TotalTputMbps();
+    }
+    std::printf(
+        "traced churn mesh: rejoin legs %.2f Mbps total, %lld events "
+        "(%lld dropped)\n",
+        rejoin_tput, static_cast<long long>(trace->total_emitted()),
+        static_cast<long long>(trace->dropped()));
+  } else {
+    double slow_tput = 0.0;
+    for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+      if (p.participant == 3) slow_tput = p.total_tput_mbps;
+    }
+    std::printf(
+        "traced constrained star: slow receiver %.2f Mbps, %lld events "
+        "(%lld dropped)\n",
+        slow_tput, static_cast<long long>(trace->total_emitted()),
+        static_cast<long long>(trace->dropped()));
   }
-  std::printf(
-      "traced constrained star: slow receiver %.2f Mbps, %lld events "
-      "(%lld dropped)\n",
-      slow_tput, static_cast<long long>(trace->total_emitted()),
-      static_cast<long long>(trace->dropped()));
   std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
   if (!ok) {
     std::fprintf(stderr, "error: failed writing trace files\n");
@@ -231,8 +407,21 @@ int Main(int argc, char** argv) {
   if (MaybeCaptureHubTrace(argc, argv)) return 0;
 
   bool smoke = false;
+  bool churn_only = false;
+  bool cross_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--churn") == 0) churn_only = true;
+    if (std::strcmp(argv[i], "--cross-traffic") == 0) cross_only = true;
+  }
+  if (churn_only || cross_only) {
+    const Duration cell_duration =
+        smoke || bench::FastMode() ? Duration::Seconds(10)
+                                   : Duration::Seconds(30);
+    int rc = 0;
+    if (churn_only) rc = ChurnCell(cell_duration);
+    if (rc == 0 && cross_only) rc = CrossTrafficCell(cell_duration);
+    return rc;
   }
 
   std::vector<int> sizes;
@@ -254,6 +443,9 @@ int Main(int argc, char** argv) {
       rc != 0) {
     return rc;
   }
+  const Duration cell_duration = smoke ? Duration::Seconds(10) : duration;
+  if (int rc = ChurnCell(cell_duration); rc != 0) return rc;
+  if (int rc = CrossTrafficCell(cell_duration); rc != 0) return rc;
 
   if (smoke) {
     // Cheap structural sanity for CI: a 3-party mesh must produce 6 legs and

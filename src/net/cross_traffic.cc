@@ -1,0 +1,124 @@
+#include "net/cross_traffic.h"
+
+#include <algorithm>
+
+#include "net/link.h"
+#include "util/trace_recorder.h"
+
+namespace converge {
+
+namespace {
+constexpr double kMinCwnd = 2.0;
+// Pacing bounds: the floor caps a single flow at mss / 200µs (= 48 Mbps at
+// 1200 B), far above any bottleneck the suite models; the ceiling keeps an
+// idle-window flow polling often enough to refill promptly after a decrease.
+constexpr int64_t kMinPaceUs = 200;
+constexpr int64_t kMaxPaceUs = 50'000;
+}  // namespace
+
+const char* CrossTrafficKindName(CrossTrafficKind kind) {
+  switch (kind) {
+    case CrossTrafficKind::kTcp:
+      return "tcp";
+    case CrossTrafficKind::kQuic:
+      return "quic";
+  }
+  return "?";
+}
+
+CrossTrafficSource::CrossTrafficSource(EventLoop* loop, Link* link, int path,
+                                       CrossTrafficSpec spec)
+    : loop_(loop),
+      link_(link),
+      path_(path),
+      spec_(std::move(spec)),
+      cwnd_(std::max(kMinCwnd, spec_.initial_cwnd)),
+      ssthresh_(spec_.ssthresh),
+      srtt_(spec_.ack_delay + Duration::Millis(20)) {
+  loop_->ScheduleAt(spec_.start, [this] { OnTimer(); });
+}
+
+const CrossTrafficSource::Stats& CrossTrafficSource::stats() const {
+  stats_.final_cwnd = cwnd_;
+  return stats_;
+}
+
+double CrossTrafficSource::ThroughputMbps(Timestamp call_end) const {
+  const Timestamp begin = spec_.start;
+  const Timestamp end = std::min(spec_.stop, call_end);
+  const double seconds = std::max(1e-9, (end - begin).seconds());
+  return static_cast<double>(stats_.bytes_delivered) * 8.0 / seconds / 1e6;
+}
+
+Duration CrossTrafficSource::PacingInterval() const {
+  // One window of segments per smoothed RTT.
+  const double interval_us =
+      static_cast<double>(srtt_.us()) / std::max(1.0, cwnd_);
+  return Duration::Micros(std::clamp(static_cast<int64_t>(interval_us),
+                                     kMinPaceUs, kMaxPaceUs));
+}
+
+void CrossTrafficSource::Arm() {
+  loop_->ScheduleIn(PacingInterval(), [this] { OnTimer(); });
+}
+
+void CrossTrafficSource::OnTimer() {
+  const Timestamp now = loop_->now();
+  if (now >= spec_.stop) return;  // flow over; no re-arm, no new segments
+  if (static_cast<double>(inflight_) < cwnd_) SendSegment();
+  Arm();
+}
+
+void CrossTrafficSource::SendSegment() {
+  const Timestamp sent_at = loop_->now();
+  ++stats_.packets_sent;
+  ++inflight_;
+  last_send_ = sent_at;
+  link_->Send(
+      spec_.mss_bytes,
+      [this, sent_at](Timestamp arrival) {
+        // Data reached the far end; the ACK crosses back off-link.
+        loop_->ScheduleAt(arrival + spec_.ack_delay, [this, sent_at] {
+          const Duration sample = loop_->now() - sent_at;
+          srtt_ = Duration::Micros((srtt_.us() * 7 + sample.us()) / 8);
+          OnAck();
+        });
+      },
+      [this](bool /*queue_full*/) { OnLoss(); });
+}
+
+void CrossTrafficSource::OnAck() {
+  inflight_ = std::max<int64_t>(0, inflight_ - 1);
+  ++stats_.packets_delivered;
+  stats_.bytes_delivered += spec_.mss_bytes;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += 1.0;  // slow start: double per RTT
+  } else {
+    // Additive increase per ACK; the QUIC-like profile probes harder.
+    const double gain = spec_.kind == CrossTrafficKind::kQuic ? 1.5 : 1.0;
+    cwnd_ += gain / std::max(1.0, cwnd_);
+  }
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    if (stats_.packets_delivered % 32 == 0) {
+      trace->Counter("xtraffic", "cwnd_segments", loop_->now(), cwnd_, path_);
+    }
+  }
+}
+
+void CrossTrafficSource::OnLoss() {
+  inflight_ = std::max<int64_t>(0, inflight_ - 1);
+  ++stats_.packets_dropped;
+  const Timestamp now = loop_->now();
+  if (now < recovery_until_) return;  // one decrease per RTT round
+  const double beta = spec_.kind == CrossTrafficKind::kQuic ? 0.7 : 0.5;
+  ssthresh_ = std::max(kMinCwnd, cwnd_ * beta);
+  cwnd_ = ssthresh_;
+  recovery_until_ = now + srtt_;
+  ++stats_.loss_events;
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant("xtraffic", "loss_event", now, cwnd_, path_);
+    trace->Counter("xtraffic", "cwnd_segments", now, cwnd_, path_);
+  }
+}
+
+}  // namespace converge

@@ -1,0 +1,118 @@
+// Deterministic competing cross-traffic: long-lived AIMD rate processes that
+// share a path's DropTail byte queue with the call's own media.
+//
+// The measurement studies this repo reproduces (and the "Can You See Me
+// Now?" axes the scenario suite pins) all evaluate conferencing flows on
+// *shared* bottlenecks — a video call competing with a bulk TCP download or
+// a QUIC transfer — yet every scenario the repo could previously run gave
+// the call a dedicated link. This module closes that gap with a closed-loop
+// flow model driven entirely by the link's own delivery/loss signals:
+//
+//   * window-based AIMD: slow start to `ssthresh`, then additive increase
+//     per ACK; on any loss (random egress loss or a DropTail queue drop)
+//     the window collapses multiplicatively — once per RTT round, like a
+//     real transport reacting once per window of data.
+//   * self-clocked through the simulator: the source runs a pacing timer at
+//     ~one segment per (srtt / cwnd) and only sends while the in-flight
+//     count is below the window, so throughput converges to the classic
+//     cwnd * mss / rtt without ever busy-looping the event loop. Timer
+//     pacing also sidesteps Link::Send's synchronous queue-drop callback:
+//     a drop is pure bookkeeping, never a recursive re-send.
+//   * ACKs are modeled as a fixed reverse-path delay after delivery; the
+//     feedback link is not consumed (real cross traffic does not share the
+//     call's RTCP channel).
+//
+// Two profiles are provided: kTcp (Reno-like, beta 0.5, +1 segment/RTT) and
+// kQuic (Cubic-flavoured in spirit: shallower backoff beta 0.7 and a more
+// aggressive additive gain), matching the competing-workload shapes in the
+// QUIC streaming study referenced from PAPERS.md.
+//
+// Determinism: the model draws NO random numbers — its entire evolution is
+// a function of link delivery/loss timing, which is itself deterministic per
+// seed. Adding a flow to a PathSpec therefore does not perturb the RNG fork
+// sequence of the call, and configs without cross traffic are byte-identical
+// to their pre-cross-traffic results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace converge {
+
+class Link;
+
+enum class CrossTrafficKind {
+  kTcp,   // Reno-like: beta 0.5, +1 segment per RTT
+  kQuic,  // QUIC-like: beta 0.7, more aggressive additive increase
+};
+
+const char* CrossTrafficKindName(CrossTrafficKind kind);
+
+// Declarative description of one competing flow, carried by PathSpec.
+struct CrossTrafficSpec {
+  std::string name = "xflow";
+  CrossTrafficKind kind = CrossTrafficKind::kTcp;
+  Timestamp start = Timestamp::Zero();
+  // Flow lifetime end; PlusInfinity = runs for the whole call.
+  Timestamp stop = Timestamp::PlusInfinity();
+  int64_t mss_bytes = 1200;
+  // Round-trip time seen by the flow: forward propagation is simulated by
+  // the shared link; this adds the reverse (ACK) leg. The flow's effective
+  // RTT is the link's queueing+propagation delay plus this.
+  Duration ack_delay = Duration::Millis(20);
+  double initial_cwnd = 10.0;
+  double ssthresh = 64.0;  // segments; slow start ends here (or at first loss)
+};
+
+// One live flow bound to a link's forward direction. Owned by the Network
+// that owns the link; must outlive any scheduled events, i.e. the Network
+// must live until the EventLoop drains (Conference guarantees this, even for
+// links retired by mid-call churn).
+class CrossTrafficSource {
+ public:
+  struct Stats {
+    int64_t packets_sent = 0;
+    int64_t packets_delivered = 0;
+    int64_t packets_dropped = 0;  // queue drops + egress loss
+    int64_t bytes_delivered = 0;
+    int64_t loss_events = 0;      // multiplicative-decrease episodes
+    double final_cwnd = 0.0;      // window when the flow stopped / call ended
+  };
+
+  CrossTrafficSource(EventLoop* loop, Link* link, int path, CrossTrafficSpec spec);
+
+  const CrossTrafficSpec& spec() const { return spec_; }
+  int path() const { return path_; }
+  const Stats& stats() const;
+  // Delivered goodput over the flow's active window, for stats export.
+  double ThroughputMbps(Timestamp call_end) const;
+
+ private:
+  void Arm();
+  void OnTimer();
+  void SendSegment();
+  void OnAck();
+  void OnLoss();
+  Duration PacingInterval() const;
+
+  EventLoop* loop_;
+  Link* link_;
+  int path_;
+  CrossTrafficSpec spec_;
+
+  double cwnd_;            // segments
+  double ssthresh_;        // segments
+  int64_t inflight_ = 0;   // segments
+  // Loss reaction is applied at most once per RTT round: further losses
+  // inside [.., recovery_until_) are counted but do not shrink the window
+  // again (one decrease per window of data, like Reno's fast recovery).
+  Timestamp recovery_until_ = Timestamp::MinusInfinity();
+  Duration srtt_;          // smoothed from send->ack, seeded with ack_delay
+  Timestamp last_send_ = Timestamp::MinusInfinity();
+  mutable Stats stats_;
+};
+
+}  // namespace converge

@@ -21,6 +21,14 @@ Network::Network(EventLoop* loop, const std::vector<PathSpec>& specs,
     config.backward.faults = spec.feedback_fault_plan;
     paths_.push_back(std::make_unique<Path>(loop, std::move(config), rng.Fork()));
   }
+  // Attach after all paths exist so source construction (which schedules the
+  // flow's first timer) cannot interleave with path RNG forks above.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (const CrossTrafficSpec& flow : specs[i].cross_traffic) {
+      cross_traffic_.push_back(std::make_unique<CrossTrafficSource>(
+          loop, &paths_[i]->forward(), static_cast<int>(i), flow));
+    }
+  }
 }
 
 std::vector<PathId> Network::path_ids() const {

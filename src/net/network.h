@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "net/cross_traffic.h"
 #include "net/path.h"
 
 namespace converge {
@@ -29,6 +30,10 @@ struct PathSpec {
   // FaultyLink. Faults are seed-deterministic with the rest of the call.
   FaultPlan fault_plan;           // applied to the forward (data) link
   FaultPlan feedback_fault_plan;  // applied to the backward (feedback) link
+  // Competing flows sharing the forward link's DropTail queue with the call
+  // (net/cross_traffic.h). Deterministic and RNG-free: an empty list leaves
+  // the path byte-identical to its pre-cross-traffic behaviour.
+  std::vector<CrossTrafficSpec> cross_traffic;
 };
 
 class Network {
@@ -42,8 +47,15 @@ class Network {
   }
   std::vector<PathId> path_ids() const;
 
+  // Competing flows attached to this network's paths, in (path, spec) order.
+  const std::vector<std::unique_ptr<CrossTrafficSource>>& cross_traffic()
+      const {
+    return cross_traffic_;
+  }
+
  private:
   std::vector<std::unique_ptr<Path>> paths_;
+  std::vector<std::unique_ptr<CrossTrafficSource>> cross_traffic_;
 };
 
 }  // namespace converge

@@ -3,15 +3,26 @@
 // (0x1000 + stream) was hardcoded independently in the sender and receiver
 // blocks of call.cc and again in signaling — workable for one point-to-point
 // call, but colliding as soon as two participants publish streams into the
-// same conference. Every SSRC now derives from (participant, stream):
+// same conference. Every SSRC now derives from (participant, stream,
+// incarnation):
 //
 //   participant 0: 0x1000, 0x1001, ...   (the legacy 2-party layout)
 //   participant 1: 0x1100, 0x1101, ...
 //   participant p: 0x1000 + p * 0x100 + stream
 //
-// The stride caps streams-per-participant at 256, far above the 3-stream
-// regime the paper evaluates; Conference enforces the bound with an
-// invariant rather than silently wrapping into a neighbour's block.
+// A participant that leaves and rejoins mid-call comes back under a new
+// *incarnation*. Incarnations occupy disjoint 0x100000-wide banks above the
+// legacy block, so a rejoiner's streams can never collide with any SSRC it
+// (or anyone else) used before — receivers, hub downlink sequence spaces,
+// and NACK/RTX history keyed by SSRC all see a brand-new stream identity,
+// exactly as a real endpoint would re-randomize its SSRCs on reconnect.
+// Incarnation 0 reproduces the historical layout bit-for-bit, which keeps
+// the seed-era JSON fixtures valid.
+//
+// The stride caps streams-per-participant at 256 and participants-per-
+// incarnation at 4096, far above the 3-stream regime the paper evaluates;
+// Conference enforces the bounds with invariants rather than silently
+// wrapping into a neighbour's block.
 #pragma once
 
 #include <cstdint>
@@ -22,11 +33,16 @@ class SsrcAllocator {
  public:
   static constexpr uint32_t kBase = 0x1000;
   static constexpr uint32_t kParticipantStride = 0x100;
+  static constexpr uint32_t kIncarnationStride = 0x100000;
   static constexpr int kMaxStreamsPerParticipant =
       static_cast<int>(kParticipantStride);
+  static constexpr int kMaxParticipantsPerIncarnation =
+      static_cast<int>(kIncarnationStride / kParticipantStride);
 
-  static constexpr uint32_t StreamSsrc(int participant, int stream) {
+  static constexpr uint32_t StreamSsrc(int participant, int stream,
+                                       int incarnation = 0) {
     return kBase +
+           static_cast<uint32_t>(incarnation) * kIncarnationStride +
            static_cast<uint32_t>(participant) * kParticipantStride +
            static_cast<uint32_t>(stream);
   }

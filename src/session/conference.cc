@@ -161,16 +161,34 @@ Conference::Conference(const ConferenceConfig& config) : config_(config) {
   if (config_.participants.empty()) {
     config_.participants = {ParticipantSpec{}, ParticipantSpec{}};
   }
-  CONVERGE_INVARIANT("Conference", Timestamp::Zero(),
-                     config_.participants.size() >= 2,
+  const int n = static_cast<int>(config_.participants.size());
+  CONVERGE_INVARIANT("Conference", Timestamp::Zero(), n >= 2,
                      "conference needs >= 2 participants, got " +
-                         std::to_string(config_.participants.size()));
+                         std::to_string(n));
+  CONVERGE_INVARIANT(
+      "Conference", Timestamp::Zero(),
+      n <= SsrcAllocator::kMaxParticipantsPerIncarnation,
+      "too many participants for the SSRC layout: " + std::to_string(n));
   for (const ParticipantSpec& p : config_.participants) {
     CONVERGE_INVARIANT(
         "Conference", Timestamp::Zero(),
         p.num_streams >= 1 &&
             p.num_streams <= SsrcAllocator::kMaxStreamsPerParticipant,
         "num_streams out of range: " + std::to_string(p.num_streams));
+  }
+  {
+    std::stable_sort(config_.membership.begin(), config_.membership.end(),
+                     [](const MembershipEvent& a, const MembershipEvent& b) {
+                       return a.at < b.at;
+                     });
+    const std::string error = ValidateMembership(n, config_.membership);
+    CONVERGE_INVARIANT("Conference", Timestamp::Zero(), error.empty(), error);
+    if (!error.empty()) config_.membership.clear();
+  }
+  present_.resize(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    present_[static_cast<size_t>(p)] =
+        MembershipPresentAtStart(p, config_.membership) ? 1 : 0;
   }
   if (config_.trace_capacity > 0) {
     trace_ = std::make_unique<TraceRecorder>(config_.trace_capacity);
@@ -181,6 +199,9 @@ Conference::Conference(const ConferenceConfig& config) : config_(config) {
   } else {
     BuildStar(rng);
   }
+  // Forked last: the initial build above consumes exactly the historical
+  // fork sequence, so churn-free configs stay byte-identical.
+  churn_rng_ = rng.Fork();
 }
 
 Conference::~Conference() = default;
@@ -193,13 +214,13 @@ std::vector<PathSpec> Conference::EdgePaths(int from, int to) const {
 namespace {
 
 Sender::Config MakeSenderConfig(const ConferenceConfig& config,
-                                int participant) {
+                                int participant, int incarnation) {
   const ParticipantSpec& spec =
       config.participants[static_cast<size_t>(participant)];
   Sender::Config sconf;
   for (int i = 0; i < spec.num_streams; ++i) {
     Sender::StreamConfig sc;
-    sc.ssrc = SsrcAllocator::StreamSsrc(participant, i);
+    sc.ssrc = SsrcAllocator::StreamSsrc(participant, i, incarnation);
     sc.camera.stream_id = i;
     sc.camera.fps = config.fps;
     sc.camera.width = config.width;
@@ -218,7 +239,8 @@ Sender::Config MakeSenderConfig(const ConferenceConfig& config,
 // false for the star hub's feedback-only endpoint: it answers RR/transport
 // feedback/NACK for the uplink but never decodes media.
 ReceiverEndpoint::Config MakeReceiverConfig(const ConferenceConfig& config,
-                                            int from, bool subscribe,
+                                            int from, int incarnation,
+                                            bool subscribe,
                                             PoolArena* arena) {
   ReceiverEndpoint::Config rconf;
   rconf.arena = arena;
@@ -226,7 +248,7 @@ ReceiverEndpoint::Config MakeReceiverConfig(const ConferenceConfig& config,
     const ParticipantSpec& spec =
         config.participants[static_cast<size_t>(from)];
     for (int i = 0; i < spec.num_streams; ++i) {
-      rconf.ssrcs.push_back(SsrcAllocator::StreamSsrc(from, i));
+      rconf.ssrcs.push_back(SsrcAllocator::StreamSsrc(from, i, incarnation));
     }
   }
   rconf.stream_template.packet_buffer.capacity_packets =
@@ -241,6 +263,68 @@ ReceiverEndpoint::Config MakeReceiverConfig(const ConferenceConfig& config,
 
 }  // namespace
 
+// One full pipeline for the ordered pair (from, to), built in exactly the
+// order the historical point-to-point Call used (network fork, scheduler,
+// FEC, metrics, sender fork, receiver) — with one sending participant and
+// one receiving participant this IS the old Call, RNG stream and event
+// schedule included, which is what keeps the 2-party adapter byte-identical.
+// The initial build calls this with the construction RNG; mid-call joins
+// call it with churn_rng_.
+Conference::Leg* Conference::BuildMeshLeg(int from, int to, int incarnation,
+                                          Random& rng) {
+  uplinks_.push_back(std::make_unique<Uplink>());
+  Uplink& up = *uplinks_.back();
+  legs_.push_back(std::make_unique<Leg>());
+  Leg& leg = *legs_.back();
+  up.from = from;
+  up.to = to;
+  up.incarnation = incarnation;
+  leg.from = from;
+  leg.to = to;
+  leg.incarnation = incarnation;
+  leg.uplink = &up;
+  Leg* leg_ptr = &leg;
+  {
+    TraceParticipantScope scope(from);
+    up.network =
+        std::make_unique<Network>(&loop_, EdgePaths(from, to), rng.Fork());
+    up.scheduler = MakeScheduler(config_);
+    up.fec = MakeFec(config_);
+  }
+  {
+    TraceParticipantScope scope(to);
+    MetricsCollector::Config mconf;
+    mconf.num_streams =
+        config_.participants[static_cast<size_t>(from)].num_streams;
+    mconf.expected_frame_interval = Duration::Seconds(1.0 / config_.fps);
+    leg.metrics = std::make_unique<MetricsCollector>(&loop_, mconf);
+  }
+  {
+    TraceParticipantScope scope(from);
+    up.sender = std::make_unique<Sender>(
+        &loop_, MakeSenderConfig(config_, from, incarnation),
+        up.scheduler.get(), up.fec.get(), up.network->path_ids(), rng.Fork(),
+        [this, leg_ptr](PathId path, RtpPacket packet) {
+          MeshTransmitRtp(leg_ptr, path, std::move(packet));
+        },
+        [this, leg_ptr](PathId path, const RtcpPacket& packet) {
+          MeshTransmitRtcpForward(leg_ptr, path, packet);
+        });
+  }
+  {
+    TraceParticipantScope scope(to);
+    leg.receiver = std::make_unique<ReceiverEndpoint>(
+        &loop_,
+        MakeReceiverConfig(config_, from, incarnation, /*subscribe=*/true,
+                           &arena_),
+        leg.metrics.get(),
+        [this, leg_ptr](PathId path, const RtcpPacket& packet) {
+          MeshTransmitRtcpBackward(leg_ptr, path, packet);
+        });
+  }
+  return leg_ptr;
+}
+
 void Conference::BuildMesh(Random& rng) {
   const int n = static_cast<int>(config_.participants.size());
   size_t num_legs = 0;
@@ -254,66 +338,149 @@ void Conference::BuildMesh(Random& rng) {
   uplinks_.reserve(num_legs);
   legs_.reserve(num_legs);
 
-  // One full pipeline per ordered pair, built in exactly the order the
-  // historical point-to-point Call used (network fork, scheduler, FEC,
-  // metrics, sender fork, receiver) — with one sending participant and one
-  // receiving participant this IS the old Call, RNG stream and event
-  // schedule included, which is what keeps the 2-party adapter
-  // byte-identical.
   for (int from = 0; from < n; ++from) {
+    if (!present_[static_cast<size_t>(from)]) continue;
     if (!config_.participants[static_cast<size_t>(from)].sends) continue;
     for (int to = 0; to < n; ++to) {
       if (to == from) continue;
+      if (!present_[static_cast<size_t>(to)]) continue;
       if (!config_.participants[static_cast<size_t>(to)].receives) continue;
-
-      uplinks_.emplace_back();
-      Uplink& up = uplinks_.back();
-      legs_.emplace_back();
-      Leg& leg = legs_.back();
-      up.from = from;
-      leg.from = from;
-      leg.to = to;
-      leg.uplink = &up;
-      Leg* leg_ptr = &leg;
-      {
-        TraceParticipantScope scope(from);
-        up.network = std::make_unique<Network>(&loop_, EdgePaths(from, to),
-                                               rng.Fork());
-        up.scheduler = MakeScheduler(config_);
-        up.fec = MakeFec(config_);
-      }
-      {
-        TraceParticipantScope scope(to);
-        MetricsCollector::Config mconf;
-        mconf.num_streams =
-            config_.participants[static_cast<size_t>(from)].num_streams;
-        mconf.expected_frame_interval = Duration::Seconds(1.0 / config_.fps);
-        leg.metrics = std::make_unique<MetricsCollector>(&loop_, mconf);
-      }
-      {
-        TraceParticipantScope scope(from);
-        up.sender = std::make_unique<Sender>(
-            &loop_, MakeSenderConfig(config_, from), up.scheduler.get(),
-            up.fec.get(), up.network->path_ids(), rng.Fork(),
-            [this, leg_ptr](PathId path, RtpPacket packet) {
-              MeshTransmitRtp(leg_ptr, path, std::move(packet));
-            },
-            [this, leg_ptr](PathId path, const RtcpPacket& packet) {
-              MeshTransmitRtcpForward(leg_ptr, path, packet);
-            });
-      }
-      {
-        TraceParticipantScope scope(to);
-        leg.receiver = std::make_unique<ReceiverEndpoint>(
-            &loop_,
-            MakeReceiverConfig(config_, from, /*subscribe=*/true, &arena_),
-            leg.metrics.get(),
-            [this, leg_ptr](PathId path, const RtcpPacket& packet) {
-              MeshTransmitRtcpBackward(leg_ptr, path, packet);
-            });
-      }
+      BuildMeshLeg(from, to, /*incarnation=*/0, rng);
     }
   }
+}
+
+// Hub->participant downlink network, shared by every stream forwarded to
+// that participant.
+void Conference::BuildStarDownlink(int to, Random& rng) {
+  TraceParticipantScope scope(to);
+  downlinks_[static_cast<size_t>(to)] =
+      std::make_unique<Network>(&loop_, EdgePaths(kHubId, to), rng.Fork());
+}
+
+// Per-sender uplink: pipeline into the hub plus the hub-side endpoint that
+// terminates the uplink congestion-control loop.
+Conference::Uplink* Conference::BuildStarUplink(int from, int incarnation,
+                                                Random& rng) {
+  const int n = static_cast<int>(config_.participants.size());
+  uplinks_.push_back(std::make_unique<Uplink>());
+  Uplink& up = *uplinks_.back();
+  up.from = from;
+  up.to = kHubId;
+  up.incarnation = incarnation;
+  Uplink* up_ptr = &up;
+  TraceParticipantScope scope(from);
+  up.network =
+      std::make_unique<Network>(&loop_, EdgePaths(from, kHubId), rng.Fork());
+  up.scheduler = MakeScheduler(config_);
+  up.fec = MakeFec(config_);
+  up.sender = std::make_unique<Sender>(
+      &loop_, MakeSenderConfig(config_, from, incarnation),
+      up.scheduler.get(), up.fec.get(), up.network->path_ids(), rng.Fork(),
+      [this, up_ptr](PathId path, RtpPacket packet) {
+        StarTransmitRtp(up_ptr, path, std::move(packet));
+      },
+      [this, up_ptr](PathId path, const RtcpPacket& packet) {
+        StarTransmitRtcpForward(up_ptr, path, packet);
+      });
+  up.hub_feedback = std::make_unique<ReceiverEndpoint>(
+      &loop_,
+      MakeReceiverConfig(config_, from, incarnation, /*subscribe=*/false,
+                         &arena_),
+      /*metrics=*/nullptr,
+      [this, up_ptr](PathId path, const RtcpPacket& packet) {
+        up_ptr->network->path(path).backward().Send(
+            packet.wire_size(), [up_ptr, packet](Timestamp arrival) {
+              TraceParticipantScope deliver_scope(up_ptr->from);
+              up_ptr->sender->HandleRtcp(packet, arrival);
+            });
+      });
+
+  // The hub forwards uplink path p onto downlink path p, so every edge of
+  // a star must expose the same number of paths.
+  for (int to = 0; to < n; ++to) {
+    const Network* down = downlinks_[static_cast<size_t>(to)].get();
+    CONVERGE_INVARIANT(
+        "Conference", Timestamp::Zero(),
+        down == nullptr || down->num_paths() == up.network->num_paths(),
+        "star edge path-count mismatch: uplink " + std::to_string(from) +
+            " has " + std::to_string(up.network->num_paths()) +
+            ", downlink " + std::to_string(to) + " has " +
+            std::to_string(down == nullptr ? 0 : down->num_paths()));
+  }
+  return up_ptr;
+}
+
+// Receiving leg: per (sender, receiver) metrics + receive pipeline,
+// registered with the sender's uplink for hub fan-out.
+Conference::Leg* Conference::BuildStarLeg(Uplink* up, int to) {
+  legs_.push_back(std::make_unique<Leg>());
+  Leg& leg = *legs_.back();
+  leg.from = up->from;
+  leg.to = to;
+  leg.incarnation = up->incarnation;
+  leg.uplink = up;
+  leg.downlink = downlinks_[static_cast<size_t>(to)].get();
+  Leg* leg_ptr = &leg;
+  TraceParticipantScope scope(to);
+  MetricsCollector::Config mconf;
+  mconf.num_streams =
+      config_.participants[static_cast<size_t>(up->from)].num_streams;
+  mconf.expected_frame_interval = Duration::Seconds(1.0 / config_.fps);
+  leg.metrics = std::make_unique<MetricsCollector>(&loop_, mconf);
+  leg.receiver = std::make_unique<ReceiverEndpoint>(
+      &loop_,
+      MakeReceiverConfig(config_, up->from, up->incarnation,
+                         /*subscribe=*/true, &arena_),
+      leg.metrics.get(),
+      [this, leg_ptr](PathId path, const RtcpPacket& packet) {
+        StarTransmitRtcpBackward(leg_ptr, path, packet);
+      });
+  up->fanout.push_back(leg_ptr);
+  star_leg_lookup_[static_cast<size_t>(to)][static_cast<size_t>(up->from)] =
+      leg_ptr;
+  return leg_ptr;
+}
+
+// Per-receiver forwarding engine.
+void Conference::BuildStarForwarder(int to) {
+  const int n = static_cast<int>(config_.participants.size());
+  Network* down = downlinks_[static_cast<size_t>(to)].get();
+  if (down == nullptr) return;
+  // An SFU starts each downlink optimistic — at the aggregate publisher
+  // rate it would have to carry — and lets delay/loss signals pull a
+  // constrained downlink back down. Aggregated over currently-present
+  // senders (= all senders when membership is static).
+  DataRate aggregate = DataRate::Zero();
+  for (int from = 0; from < n; ++from) {
+    if (from == to) continue;
+    if (!present_[static_cast<size_t>(from)]) continue;
+    const ParticipantSpec& spec =
+        config_.participants[static_cast<size_t>(from)];
+    if (!spec.sends) continue;
+    aggregate = aggregate + config_.max_rate_per_stream *
+                                static_cast<int64_t>(spec.num_streams);
+  }
+  HubForwarder::Config hconf = config_.hub;
+  hconf.cc.gcc.start_rate = aggregate;
+  hconf.cc.gcc.max_rate = aggregate * 2;
+  hconf.cc.gcc.trace_component = "hub_gcc";
+  // Hub work on this receiver's downlinks is attributed to the receiver,
+  // like the downlink delivery callbacks.
+  TraceParticipantScope scope(to);
+  forwarders_[static_cast<size_t>(to)] = std::make_unique<HubForwarder>(
+      &loop_, hconf, down->path_ids(),
+      [this, to](int from, PathId path, RtpPacket packet) {
+        Leg* leg = star_leg_lookup_[static_cast<size_t>(to)]
+                                   [static_cast<size_t>(from)];
+        // A retired leg's forwarder is stopped with it, but a packet can be
+        // in flight through the hub when the receiver leaves.
+        if (leg == nullptr || !leg->live) return;
+        StarDeliverDownlink(leg, path, std::move(packet));
+      },
+      [this](int from, uint32_t ssrc, PathId path) {
+        if (Uplink* u = LiveUplinkOf(from)) StarRelayPli(u, ssrc, path);
+      });
 }
 
 void Conference::BuildStar(Random& rng) {
@@ -331,147 +498,39 @@ void Conference::BuildStar(Random& rng) {
   uplinks_.reserve(num_uplinks);
   legs_.reserve(num_legs);
   downlinks_.resize(static_cast<size_t>(n));
-
-  // Hub->participant downlink networks, one per receiving participant,
-  // shared by every stream forwarded to that participant.
-  for (int to = 0; to < n; ++to) {
-    if (!config_.participants[static_cast<size_t>(to)].receives) continue;
-    TraceParticipantScope scope(to);
-    downlinks_[static_cast<size_t>(to)] = std::make_unique<Network>(
-        &loop_, EdgePaths(kHubId, to), rng.Fork());
-  }
-
-  // Per-sender uplinks: pipeline into the hub plus the hub-side endpoint
-  // that terminates the uplink congestion-control loop.
-  for (int from = 0; from < n; ++from) {
-    if (!config_.participants[static_cast<size_t>(from)].sends) continue;
-    uplinks_.emplace_back();
-    Uplink& up = uplinks_.back();
-    up.from = from;
-    Uplink* up_ptr = &up;
-    TraceParticipantScope scope(from);
-    up.network = std::make_unique<Network>(&loop_, EdgePaths(from, kHubId),
-                                           rng.Fork());
-    up.scheduler = MakeScheduler(config_);
-    up.fec = MakeFec(config_);
-    up.sender = std::make_unique<Sender>(
-        &loop_, MakeSenderConfig(config_, from), up.scheduler.get(),
-        up.fec.get(), up.network->path_ids(), rng.Fork(),
-        [this, up_ptr](PathId path, RtpPacket packet) {
-          StarTransmitRtp(up_ptr, path, std::move(packet));
-        },
-        [this, up_ptr](PathId path, const RtcpPacket& packet) {
-          StarTransmitRtcpForward(up_ptr, path, packet);
-        });
-    up.hub_feedback = std::make_unique<ReceiverEndpoint>(
-        &loop_,
-        MakeReceiverConfig(config_, from, /*subscribe=*/false, &arena_),
-        /*metrics=*/nullptr,
-        [this, up_ptr](PathId path, const RtcpPacket& packet) {
-          up_ptr->network->path(path).backward().Send(
-              packet.wire_size(), [up_ptr, packet](Timestamp arrival) {
-                TraceParticipantScope deliver_scope(up_ptr->from);
-                up_ptr->sender->HandleRtcp(packet, arrival);
-              });
-        });
-
-    // The hub forwards uplink path p onto downlink path p, so every edge of
-    // a star must expose the same number of paths.
-    for (int to = 0; to < n; ++to) {
-      const Network* down = downlinks_[static_cast<size_t>(to)].get();
-      CONVERGE_INVARIANT(
-          "Conference", Timestamp::Zero(),
-          down == nullptr || down->num_paths() == up.network->num_paths(),
-          "star edge path-count mismatch: uplink " + std::to_string(from) +
-              " has " + std::to_string(up.network->num_paths()) +
-              ", downlink " + std::to_string(to) + " has " +
-              std::to_string(down == nullptr ? 0 : down->num_paths()));
-    }
-  }
-
-  // Receiving legs: per (sender, receiver) metrics + receive pipeline,
-  // registered with the sender's uplink for hub fan-out.
-  size_t uplink_index = 0;
-  for (int from = 0; from < n; ++from) {
-    if (!config_.participants[static_cast<size_t>(from)].sends) continue;
-    Uplink& up = uplinks_[uplink_index++];
-    for (int to = 0; to < n; ++to) {
-      if (to == from) continue;
-      if (!config_.participants[static_cast<size_t>(to)].receives) continue;
-      legs_.emplace_back();
-      Leg& leg = legs_.back();
-      leg.from = from;
-      leg.to = to;
-      leg.uplink = &up;
-      leg.downlink = downlinks_[static_cast<size_t>(to)].get();
-      Leg* leg_ptr = &leg;
-      TraceParticipantScope scope(to);
-      MetricsCollector::Config mconf;
-      mconf.num_streams =
-          config_.participants[static_cast<size_t>(from)].num_streams;
-      mconf.expected_frame_interval = Duration::Seconds(1.0 / config_.fps);
-      leg.metrics = std::make_unique<MetricsCollector>(&loop_, mconf);
-      leg.receiver = std::make_unique<ReceiverEndpoint>(
-          &loop_,
-          MakeReceiverConfig(config_, from, /*subscribe=*/true, &arena_),
-          leg.metrics.get(),
-          [this, leg_ptr](PathId path, const RtcpPacket& packet) {
-            StarTransmitRtcpBackward(leg_ptr, path, packet);
-          });
-      up.fanout.push_back(leg_ptr);
-    }
-  }
-
-  // Per-receiver forwarding engines. Legs and uplinks are fully built, so
-  // the lookup tables the forwarder callbacks rely on are stable.
+  forwarders_.resize(static_cast<size_t>(n));
   star_leg_lookup_.assign(static_cast<size_t>(n),
                           std::vector<Leg*>(static_cast<size_t>(n), nullptr));
-  for (Leg& leg : legs_) {
-    star_leg_lookup_[static_cast<size_t>(leg.to)]
-                    [static_cast<size_t>(leg.from)] = &leg;
-  }
-  forwarders_.resize(static_cast<size_t>(n));
+
+  auto in_call = [&](int p, bool (ParticipantSpec::*role)) {
+    return present_[static_cast<size_t>(p)] != 0 &&
+           config_.participants[static_cast<size_t>(p)].*role;
+  };
+
   for (int to = 0; to < n; ++to) {
-    Network* down = downlinks_[static_cast<size_t>(to)].get();
-    if (down == nullptr) continue;
-    // An SFU starts each downlink optimistic — at the aggregate publisher
-    // rate it would have to carry — and lets delay/loss signals pull a
-    // constrained downlink back down.
-    DataRate aggregate = DataRate::Zero();
-    for (int from = 0; from < n; ++from) {
-      if (from == to) continue;
-      const ParticipantSpec& spec =
-          config_.participants[static_cast<size_t>(from)];
-      if (!spec.sends) continue;
-      aggregate = aggregate + config_.max_rate_per_stream *
-                                  static_cast<int64_t>(spec.num_streams);
+    if (in_call(to, &ParticipantSpec::receives)) BuildStarDownlink(to, rng);
+  }
+  for (int from = 0; from < n; ++from) {
+    if (!in_call(from, &ParticipantSpec::sends)) continue;
+    Uplink* up = BuildStarUplink(from, /*incarnation=*/0, rng);
+    (void)up;
+  }
+  for (auto& up : uplinks_) {
+    for (int to = 0; to < n; ++to) {
+      if (to == up->from) continue;
+      if (!in_call(to, &ParticipantSpec::receives)) continue;
+      BuildStarLeg(up.get(), to);
     }
-    HubForwarder::Config hconf = config_.hub;
-    hconf.cc.gcc.start_rate = aggregate;
-    hconf.cc.gcc.max_rate = aggregate * 2;
-    hconf.cc.gcc.trace_component = "hub_gcc";
-    // Hub work on this receiver's downlinks is attributed to the receiver,
-    // like the downlink delivery callbacks.
-    TraceParticipantScope scope(to);
-    forwarders_[static_cast<size_t>(to)] = std::make_unique<HubForwarder>(
-        &loop_, hconf, down->path_ids(),
-        [this, to](int from, PathId path, RtpPacket packet) {
-          Leg* leg = star_leg_lookup_[static_cast<size_t>(to)]
-                                     [static_cast<size_t>(from)];
-          StarDeliverDownlink(leg, path, std::move(packet));
-        },
-        [this](int from, uint32_t ssrc, PathId path) {
-          for (Uplink& u : uplinks_) {
-            if (u.from == from) {
-              StarRelayPli(&u, ssrc, path);
-              return;
-            }
-          }
-        });
+  }
+  for (int to = 0; to < n; ++to) {
+    if (in_call(to, &ParticipantSpec::receives)) BuildStarForwarder(to);
   }
 }
 
 void Conference::MeshTransmitRtp(Leg* leg, PathId path, RtpPacket packet) {
+  // Retired legs keep their pipelines alive (in-flight continuations) but
+  // put nothing new on the wire.
+  if (!leg->live) return;
   const int64_t wire_bytes = packet.wire_size();
   Link& link = leg->uplink->network->path(path).forward();
   // Duplication faults clone the payload here: the link only sees bytes and
@@ -494,6 +553,7 @@ void Conference::MeshTransmitRtp(Leg* leg, PathId path, RtpPacket packet) {
 
 void Conference::MeshTransmitRtcpForward(Leg* leg, PathId path,
                                          const RtcpPacket& packet) {
+  if (!leg->live) return;
   leg->uplink->network->path(path).forward().Send(
       packet.wire_size(), [leg, packet, path](Timestamp arrival) {
         TraceParticipantScope scope(leg->to);
@@ -503,6 +563,7 @@ void Conference::MeshTransmitRtcpForward(Leg* leg, PathId path,
 
 void Conference::MeshTransmitRtcpBackward(Leg* leg, PathId path,
                                           const RtcpPacket& packet) {
+  if (!leg->live) return;
   leg->uplink->network->path(path).backward().Send(
       packet.wire_size(), [leg, packet](Timestamp arrival) {
         TraceParticipantScope scope(leg->from);
@@ -512,6 +573,7 @@ void Conference::MeshTransmitRtcpBackward(Leg* leg, PathId path,
 
 void Conference::StarTransmitRtp(Uplink* uplink, PathId path,
                                  RtpPacket packet) {
+  if (!uplink->live) return;
   const int64_t wire_bytes = packet.wire_size();
   Link& link = uplink->network->path(path).forward();
   for (int copy = link.SendCopies(); copy > 1; --copy) {
@@ -543,6 +605,9 @@ void Conference::StarHubDeliverRtp(Uplink* uplink, PathId path,
   // reach the wire via StarDeliverDownlink.
   for (size_t k = 0; k < uplink->fanout.size(); ++k) {
     Leg* leg = uplink->fanout[k];
+    // Retired legs stay in the fan-out list (in-flight deliveries walk it)
+    // but their receiver — and possibly their forwarder slot — is gone.
+    if (!leg->live) continue;
     // Last fan-out leg takes ownership; earlier ones copy.
     RtpPacket fwd = (k + 1 == uplink->fanout.size()) ? std::move(packet)
                                                      : RtpPacket(packet);
@@ -583,6 +648,7 @@ void Conference::StarRelayPli(Uplink* uplink, uint32_t ssrc, PathId path) {
 
 void Conference::StarTransmitRtcpForward(Uplink* uplink, PathId path,
                                          const RtcpPacket& packet) {
+  if (!uplink->live) return;
   uplink->network->path(path).forward().Send(
       packet.wire_size(), [this, uplink, packet, path](Timestamp arrival) {
         {
@@ -590,6 +656,7 @@ void Conference::StarTransmitRtcpForward(Uplink* uplink, PathId path,
           uplink->hub_feedback->OnRtcpPacket(packet, arrival, path);
         }
         for (Leg* leg : uplink->fanout) {
+          if (!leg->live) continue;
           leg->downlink->path(path).forward().Send(
               packet.wire_size(), [leg, packet, path](Timestamp at) {
                 TraceParticipantScope scope(leg->to);
@@ -602,8 +669,12 @@ void Conference::StarTransmitRtcpForward(Uplink* uplink, PathId path,
 void Conference::StarTransmitRtcpBackward(Leg* leg, PathId path,
                                           const RtcpPacket& packet) {
   // Receiver -> hub on the downlink's feedback direction.
+  if (!leg->live) return;
   leg->downlink->path(path).backward().Send(
       packet.wire_size(), [this, leg, path, packet](Timestamp) {
+        // The leg may have been retired while this feedback was in flight;
+        // its forwarder slot may already belong to a rejoin.
+        if (!leg->live) return;
         // At the hub: the receiver's forwarding engine consumes transport
         // feedback and receiver reports (per-downlink congestion loop) and
         // answers NACKs from hub history; only end-to-end signals —
@@ -625,11 +696,167 @@ void Conference::StarTransmitRtcpBackward(Leg* leg, PathId path,
       });
 }
 
+Conference::Uplink* Conference::LiveUplinkOf(int p) {
+  for (auto& up : uplinks_) {
+    if (up->live && up->from == p) return up.get();
+  }
+  return nullptr;
+}
+
+void Conference::RetireLeg(Leg* leg, Timestamp now) {
+  if (!leg->live) return;
+  leg->live = false;
+  leg->left = now;
+  leg->receiver->Stop();
+  leg->metrics->Stop();
+}
+
+void Conference::RetireUplink(Uplink* up) {
+  if (!up->live) return;
+  up->live = false;
+  up->sender->Stop();
+  if (up->hub_feedback != nullptr) up->hub_feedback->Stop();
+}
+
+void Conference::LeaveParticipant(int p) {
+  const Timestamp now = loop_.now();
+  present_[static_cast<size_t>(p)] = 0;
+  for (auto& leg : legs_) {
+    if (leg->live && (leg->from == p || leg->to == p)) {
+      RetireLeg(leg.get(), now);
+    }
+  }
+  for (auto& up : uplinks_) {
+    if (up->live && up->from == p) RetireUplink(up.get());
+  }
+  if (config_.topology != Topology::kStar) return;
+
+  // Hub-side teardown. The forwarder and downlink network of the leaver are
+  // moved to the retired lists (in-flight continuations may still reference
+  // them) and their slots cleared so a rejoin rebuilds fresh ones; the
+  // remaining receivers' forwarders drop the leaver's queued media and
+  // forget its egress/gate/RTX state so a rejoin (fresh incarnation, new
+  // SSRCs) never inherits stamp counters from the previous life.
+  if (forwarders_[static_cast<size_t>(p)] != nullptr) {
+    forwarders_[static_cast<size_t>(p)]->Stop();
+    retired_forwarders_.push_back(
+        std::move(forwarders_[static_cast<size_t>(p)]));
+  }
+  if (downlinks_[static_cast<size_t>(p)] != nullptr) {
+    retired_downlinks_.emplace_back(
+        p, std::move(downlinks_[static_cast<size_t>(p)]));
+  }
+  const int n = static_cast<int>(config_.participants.size());
+  for (int q = 0; q < n; ++q) {
+    if (forwarders_[static_cast<size_t>(q)] != nullptr) {
+      forwarders_[static_cast<size_t>(q)]->ResetOrigin(p);
+    }
+    star_leg_lookup_[static_cast<size_t>(p)][static_cast<size_t>(q)] =
+        nullptr;
+    star_leg_lookup_[static_cast<size_t>(q)][static_cast<size_t>(p)] =
+        nullptr;
+  }
+}
+
+void Conference::JoinParticipant(int p) {
+  const Timestamp now = loop_.now();
+  present_[static_cast<size_t>(p)] = 1;
+  const int n = static_cast<int>(config_.participants.size());
+  const ParticipantSpec& spec = config_.participants[static_cast<size_t>(p)];
+  const int inc = MembershipIncarnationAt(p, now, config_.membership);
+  std::vector<Leg*> fresh_legs;
+  std::vector<Uplink*> fresh_ups;
+
+  if (config_.topology == Topology::kMesh) {
+    // Mesh semantics: every directed pair runs its own encode loop, so the
+    // join creates full pipelines both ways — p toward every present
+    // receiver, and every present sender toward p (under the *sender's*
+    // current incarnation; its other legs keep their own networks, so SSRC
+    // spaces never mix).
+    if (spec.sends) {
+      for (int q = 0; q < n; ++q) {
+        if (q == p || !present_[static_cast<size_t>(q)]) continue;
+        if (!config_.participants[static_cast<size_t>(q)].receives) continue;
+        Leg* leg = BuildMeshLeg(p, q, inc, churn_rng_);
+        fresh_legs.push_back(leg);
+        fresh_ups.push_back(leg->uplink);
+      }
+    }
+    if (spec.receives) {
+      for (int q = 0; q < n; ++q) {
+        if (q == p || !present_[static_cast<size_t>(q)]) continue;
+        if (!config_.participants[static_cast<size_t>(q)].sends) continue;
+        const int qinc = MembershipIncarnationAt(q, now, config_.membership);
+        Leg* leg = BuildMeshLeg(q, p, qinc, churn_rng_);
+        fresh_legs.push_back(leg);
+        fresh_ups.push_back(leg->uplink);
+      }
+    }
+  } else {
+    // Star: mirror the constructor's phase order for this one participant —
+    // downlink, uplink (path counts re-checked), legs, forwarder.
+    if (spec.receives) BuildStarDownlink(p, churn_rng_);
+    if (spec.sends) {
+      Uplink* up = BuildStarUplink(p, inc, churn_rng_);
+      fresh_ups.push_back(up);
+      for (int q = 0; q < n; ++q) {
+        if (q == p || !present_[static_cast<size_t>(q)]) continue;
+        if (!config_.participants[static_cast<size_t>(q)].receives) continue;
+        fresh_legs.push_back(BuildStarLeg(up, q));
+      }
+    }
+    if (spec.receives) {
+      // One inbound leg per live publisher, in uplink construction order.
+      for (auto& up : uplinks_) {
+        if (!up->live || up->from == p) continue;
+        fresh_legs.push_back(BuildStarLeg(up.get(), p));
+      }
+      BuildStarForwarder(p);
+    }
+  }
+
+  // Arm the fresh pipelines in Start()'s order: receivers, hub feedback
+  // endpoints, then senders.
+  for (Leg* leg : fresh_legs) {
+    leg->joined = now;
+    TraceParticipantScope scope(leg->to);
+    leg->receiver->Start();
+  }
+  for (Uplink* up : fresh_ups) {
+    if (up->hub_feedback == nullptr) continue;
+    TraceParticipantScope scope(up->from);
+    up->hub_feedback->Start();
+  }
+  for (Uplink* up : fresh_ups) {
+    TraceParticipantScope scope(up->from);
+    up->sender->Start();
+  }
+}
+
+void Conference::ApplyMembershipEvent(const MembershipEvent& ev) {
+  TraceParticipantScope scope(ev.participant);
+  if (ev.kind == MembershipEvent::Kind::kJoin) {
+    JoinParticipant(ev.participant);
+  } else {
+    LeaveParticipant(ev.participant);
+  }
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    if (ev.kind == MembershipEvent::Kind::kJoin) {
+      trace->Instant("conference", "join", loop_.now(),
+                     static_cast<double>(ev.participant));
+    } else {
+      trace->Instant("conference", "leave", loop_.now(),
+                     static_cast<double>(ev.participant));
+    }
+  }
+}
+
 namespace {
 
 CallStats CollectLegStats(const ConferenceConfig& config, int num_streams,
                           MetricsCollector* metrics, const Sender& sender,
-                          const ReceiverEndpoint& receiver) {
+                          const ReceiverEndpoint& receiver,
+                          Timestamp window_start, Timestamp window_end) {
   CallStats out;
   for (int i = 0; i < num_streams; ++i) {
     const auto rx_stats = receiver.stream(i).GetStats();
@@ -638,7 +865,7 @@ CallStats CollectLegStats(const ConferenceConfig& config, int num_streams,
     out.total_frame_drops += rx_stats.FrameDrops();
     out.total_keyframe_requests += rx_stats.keyframe_requests;
   }
-  out.streams = metrics->AllStreams(config.duration);
+  out.streams = metrics->AllStreams(window_start, window_end);
   out.time_series = metrics->time_series();
 
   const auto& tx = sender.stats();
@@ -665,6 +892,28 @@ CallStats CollectLegStats(const ConferenceConfig& config, int num_streams,
           ? static_cast<double>(fec_used) / static_cast<double>(fec_received)
           : 0.0;
   return out;
+}
+
+// Seconds participant p spent in the call, from the membership timeline
+// (sorted by time), clamped to the call window.
+double ActiveSeconds(int p, const ConferenceConfig& config) {
+  const Timestamp end = Timestamp::Zero() + config.duration;
+  bool present = MembershipPresentAtStart(p, config.membership);
+  Timestamp open = Timestamp::Zero();
+  double total = 0.0;
+  for (const MembershipEvent& ev : config.membership) {
+    if (ev.participant != p) continue;
+    if (ev.at >= end) break;
+    if (ev.kind == MembershipEvent::Kind::kLeave && present) {
+      total += (ev.at - open).seconds();
+      present = false;
+    } else if (ev.kind == MembershipEvent::Kind::kJoin && !present) {
+      open = ev.at;
+      present = true;
+    }
+  }
+  if (present) total += (end - open).seconds();
+  return total;
 }
 
 }  // namespace
@@ -696,18 +945,28 @@ void Conference::Start() {
   // Conferences run single-threaded (one per worker in parallel sweeps), so
   // the thread-local recorder covers exactly this conference's components.
   TraceScope trace_scope(trace_.get());
-  for (Leg& leg : legs_) {
-    TraceParticipantScope scope(leg.to);
-    leg.receiver->Start();
+  for (auto& leg : legs_) {
+    TraceParticipantScope scope(leg->to);
+    leg->receiver->Start();
   }
-  for (Uplink& up : uplinks_) {
-    if (up.hub_feedback == nullptr) continue;
-    TraceParticipantScope scope(up.from);
-    up.hub_feedback->Start();
+  for (auto& up : uplinks_) {
+    if (up->hub_feedback == nullptr) continue;
+    TraceParticipantScope scope(up->from);
+    up->hub_feedback->Start();
   }
-  for (Uplink& up : uplinks_) {
-    TraceParticipantScope scope(up.from);
-    up.sender->Start();
+  for (auto& up : uplinks_) {
+    TraceParticipantScope scope(up->from);
+    up->sender->Start();
+  }
+  // Arm the membership timeline once: events fire inside AdvanceTo (which
+  // re-establishes the trace/invariant scopes per slice), and scheduling
+  // them all up front keeps their (time, sequence) dispatch order identical
+  // however the run is sliced.
+  if (!started_) {
+    started_ = true;
+    for (const MembershipEvent& ev : config_.membership) {
+      loop_.ScheduleAt(ev.at, [this, ev] { ApplyMembershipEvent(ev); });
+    }
   }
 }
 
@@ -721,18 +980,27 @@ void Conference::AdvanceTo(Timestamp t) {
 
 ConferenceStats Conference::Collect() {
   ConferenceStats out;
+  const Timestamp call_end = Timestamp::Zero() + config_.duration;
   out.legs.reserve(legs_.size());
-  for (Leg& leg : legs_) {
+  for (auto& leg : legs_) {
     ConferenceStats::Leg ls;
-    ls.from = leg.from;
-    ls.to = leg.to;
+    ls.from = leg->from;
+    ls.to = leg->to;
+    ls.incarnation = leg->incarnation;
+    // QoE is normalized over the leg's own membership window, so a
+    // churn-created leg's rates are comparable to a whole-call leg's.
+    const Timestamp window_start = leg->joined;
+    const Timestamp window_end = std::min(leg->left, call_end);
+    ls.joined_s = (window_start - Timestamp::Zero()).seconds();
+    ls.left_s = (window_end - Timestamp::Zero()).seconds();
     // Star note: the sender-side counters (packets sent, FEC overhead) come
     // from the shared uplink, so they repeat across the uplink's legs; the
     // receive-side QoE is per leg.
     ls.stats = CollectLegStats(
         config_,
-        config_.participants[static_cast<size_t>(leg.from)].num_streams,
-        leg.metrics.get(), *leg.uplink->sender, *leg.receiver);
+        config_.participants[static_cast<size_t>(leg->from)].num_streams,
+        leg->metrics.get(), *leg->uplink->sender, *leg->receiver,
+        window_start, window_end);
     out.legs.push_back(std::move(ls));
   }
 
@@ -741,6 +1009,7 @@ ConferenceStats Conference::Collect() {
   for (int p = 0; p < n; ++p) {
     ConferenceStats::ParticipantQoe q;
     q.participant = p;
+    q.active_s = ActiveSeconds(p, config_);
     std::vector<const StreamQoe*> inbound;
     for (const ConferenceStats::Leg& ls : out.legs) {
       if (ls.to != p) continue;
@@ -751,6 +1020,7 @@ ConferenceStats Conference::Collect() {
     q.inbound_streams = static_cast<int>(inbound.size());
     q.avg_fps = MeanOverStreams(inbound, &StreamQoe::avg_fps);
     q.avg_freeze_ms = MeanOverStreams(inbound, &StreamQoe::freeze_total_ms);
+    q.avg_freeze_ratio = MeanOverStreams(inbound, &StreamQoe::freeze_ratio);
     q.avg_e2e_ms = MeanOverStreams(inbound, &StreamQoe::e2e_mean_ms);
     q.total_tput_mbps = SumOverStreams(inbound, &StreamQoe::tput_mbps);
     q.avg_qp = MeanOverStreams(inbound, &StreamQoe::qp_mean);
@@ -759,6 +1029,8 @@ ConferenceStats Conference::Collect() {
   }
 
   // Star only: final per-(receiver, path) downlink state at the hub.
+  // Forwarders retired by a mid-call leave are intentionally not reported:
+  // the slot either belongs to the rejoin or to nobody.
   for (int p = 0; p < n; ++p) {
     const HubForwarder* fwd = hub_forwarder(p);
     if (fwd == nullptr) continue;
@@ -775,6 +1047,36 @@ ConferenceStats Conference::Collect() {
       out.downlinks.push_back(d);
     }
   }
+
+  // Competing cross-traffic, in deterministic construction order: uplink
+  // edges first (mesh pair networks are "uplinks" here too), then live
+  // star downlinks by receiver, then downlinks retired by churn.
+  auto collect_flows = [&](int from, int to, const Network& net) {
+    for (const auto& src : net.cross_traffic()) {
+      ConferenceStats::CrossFlow f;
+      f.from = from;
+      f.to = to;
+      f.path = src->path();
+      f.name = src->spec().name;
+      f.kind = CrossTrafficKindName(src->spec().kind);
+      f.packets_sent = src->stats().packets_sent;
+      f.packets_delivered = src->stats().packets_delivered;
+      f.packets_dropped = src->stats().packets_dropped;
+      f.loss_events = src->stats().loss_events;
+      f.throughput_mbps = src->ThroughputMbps(call_end);
+      f.final_cwnd = src->stats().final_cwnd;
+      out.cross_traffic.push_back(std::move(f));
+    }
+  };
+  for (auto& up : uplinks_) collect_flows(up->from, up->to, *up->network);
+  for (size_t p = 0; p < downlinks_.size(); ++p) {
+    if (downlinks_[p] != nullptr) {
+      collect_flows(kHubId, static_cast<int>(p), *downlinks_[p]);
+    }
+  }
+  for (const auto& retired : retired_downlinks_) {
+    collect_flows(kHubId, retired.first, *retired.second);
+  }
   return out;
 }
 
@@ -786,27 +1088,27 @@ const HubForwarder* Conference::hub_forwarder(int participant) const {
   return forwarders_[static_cast<size_t>(participant)].get();
 }
 
-int Conference::leg_from(size_t leg) const { return legs_.at(leg).from; }
-int Conference::leg_to(size_t leg) const { return legs_.at(leg).to; }
+int Conference::leg_from(size_t leg) const { return legs_.at(leg)->from; }
+int Conference::leg_to(size_t leg) const { return legs_.at(leg)->to; }
 
 const MetricsCollector& Conference::leg_metrics(size_t leg) const {
-  return *legs_.at(leg).metrics;
+  return *legs_.at(leg)->metrics;
 }
 
 const Sender& Conference::leg_sender(size_t leg) const {
-  return *legs_.at(leg).uplink->sender;
+  return *legs_.at(leg)->uplink->sender;
 }
 
 const ReceiverEndpoint& Conference::leg_receiver(size_t leg) const {
-  return *legs_.at(leg).receiver;
+  return *legs_.at(leg)->receiver;
 }
 
 Scheduler& Conference::leg_scheduler(size_t leg) {
-  return *legs_.at(leg).uplink->scheduler;
+  return *legs_.at(leg)->uplink->scheduler;
 }
 
 const Network& Conference::leg_network(size_t leg) const {
-  return *legs_.at(leg).uplink->network;
+  return *legs_.at(leg)->uplink->network;
 }
 
 double CallStats::AvgFps() const {

@@ -44,6 +44,7 @@
 #include "session/metrics.h"
 #include "session/receiver_endpoint.h"
 #include "session/sender.h"
+#include "signaling/negotiation.h"
 #include "util/arena.h"
 #include "util/trace_recorder.h"
 
@@ -88,6 +89,16 @@ struct ConferenceConfig {
   Topology topology = Topology::kMesh;
   // N >= 2 participants; when left empty, two duplex participants.
   std::vector<ParticipantSpec> participants;
+
+  // Mid-call membership churn: scheduled join/leave events (sorted by time;
+  // signaling/negotiation.h defines the type and ValidateMembership the
+  // rules). A participant whose FIRST event is a join is absent at t=0 (a
+  // late joiner); everyone else is in the call from the start. A leave tears
+  // the participant's legs down (mesh pairs, or star downlink + hub state);
+  // a rejoin builds fresh ones under a new SSRC incarnation. Empty = the
+  // historical fixed-membership call, byte-identical to before this field
+  // existed.
+  std::vector<MembershipEvent> membership;
 
   // Path template instantiated independently for every directed network
   // edge (mesh: sender->receiver pair; star: participant->hub uplink and
@@ -155,10 +166,18 @@ struct CallStats {
 
 struct ConferenceStats {
   // One entry per directed leg, in construction order (mesh: from-major over
-  // ordered pairs; star: same order, legs of one uplink grouped together).
+  // ordered pairs; star: same order, legs of one uplink grouped together;
+  // churn-created legs follow in join order). Legs retired by a mid-call
+  // leave still report, with their stats normalized over [joined_s, left_s).
   struct Leg {
     int from = 0;
     int to = 0;
+    // Sender incarnation this leg carried (0 unless `from` rejoined).
+    int incarnation = 0;
+    // Observation window within the call, seconds. Whole-call legs report
+    // [0, duration).
+    double joined_s = 0.0;
+    double left_s = 0.0;
     CallStats stats;
   };
 
@@ -166,8 +185,16 @@ struct ConferenceStats {
   struct ParticipantQoe {
     int participant = 0;
     int inbound_streams = 0;
+    // Seconds this participant was actually in the call (= duration unless
+    // it churned). Per-stream rates below are already normalized by each
+    // leg's own membership window, so a late joiner's fps is comparable to
+    // a full-call participant's.
+    double active_s = 0.0;
     double avg_fps = 0.0;
     double avg_freeze_ms = 0.0;
+    // Mean frozen fraction of the inbound streams' active windows — the
+    // lifetime-fair form of avg_freeze_ms.
+    double avg_freeze_ratio = 0.0;
     double avg_e2e_ms = 0.0;
     double total_tput_mbps = 0.0;
     double avg_qp = 0.0;
@@ -187,9 +214,27 @@ struct ConferenceStats {
     HubForwarder::DownlinkStats forwarder;
   };
 
+  // One competing cross-traffic flow (net/cross_traffic.h) and its final
+  // AIMD state, in construction order. `from`/`to` name the edge whose
+  // forward link the flow shared (kHubId = the star hub side).
+  struct CrossFlow {
+    int from = 0;
+    int to = 0;
+    PathId path = 0;
+    std::string name;
+    std::string kind;  // "tcp" | "quic"
+    int64_t packets_sent = 0;
+    int64_t packets_delivered = 0;
+    int64_t packets_dropped = 0;
+    int64_t loss_events = 0;
+    double throughput_mbps = 0.0;
+    double final_cwnd = 0.0;
+  };
+
   std::vector<Leg> legs;
   std::vector<ParticipantQoe> participants;
   std::vector<Downlink> downlinks;
+  std::vector<CrossFlow> cross_traffic;
 };
 
 class Conference {
@@ -235,8 +280,21 @@ class Conference {
 
   // One sending pipeline. Mesh: paired 1:1 with a leg. Star: one per
   // sending participant, fanned out to every receiving leg by the hub.
+  //
+  // Churn lifetime rule — detach, don't destroy: in-flight link delivery
+  // continuations capture raw Uplink*/Leg* pointers and the EventLoop has
+  // no event cancellation, so an object built for a participant that later
+  // leaves is never destroyed mid-run. It is *retired*: its timers stop,
+  // `live` flips false, and every routing hop checks the flag before
+  // touching hub state that may have been replaced by a rejoin. Retired
+  // objects die with the Conference.
   struct Uplink {
     int from = 0;
+    // Mesh: the receiving peer. Star: kHubId.
+    int to = 0;
+    // SSRC incarnation this uplink publishes under (> 0 after a rejoin).
+    int incarnation = 0;
+    bool live = true;
     std::unique_ptr<Network> network;
     std::unique_ptr<Scheduler> scheduler;
     std::unique_ptr<FecController> fec;
@@ -244,8 +302,9 @@ class Conference {
     // Star only: the hub-side endpoint that terminates the uplink
     // congestion-control loop (RR + transport feedback + NACK).
     std::unique_ptr<ReceiverEndpoint> hub_feedback;
-    // Star only: receiving legs fed by this uplink (filled after legs are
-    // built; transmission starts in Run(), so never observed empty early).
+    // Star only: receiving legs fed by this uplink. Retired legs stay
+    // listed (in-flight hub deliveries still walk the list) and are
+    // skipped via leg->live.
     std::vector<Leg*> fanout;
   };
 
@@ -253,6 +312,11 @@ class Conference {
   struct Leg {
     int from = 0;
     int to = 0;
+    int incarnation = 0;
+    bool live = true;
+    // Membership window: [joined, left). Whole-call legs keep the defaults.
+    Timestamp joined = Timestamp::Zero();
+    Timestamp left = Timestamp::PlusInfinity();
     Uplink* uplink = nullptr;
     // Star only: the hub->receiver network this leg's media rides on.
     Network* downlink = nullptr;
@@ -264,6 +328,23 @@ class Conference {
   void BuildMesh(Random& rng);
   void BuildStar(Random& rng);
   void SetInvariantContext();
+
+  // --- membership churn ---
+  void ApplyMembershipEvent(const MembershipEvent& ev);
+  void JoinParticipant(int p);
+  void LeaveParticipant(int p);
+  // Builds one mesh pipeline (from -> to) in exactly the constructor's
+  // component order; used by both the initial build and mid-call joins.
+  Leg* BuildMeshLeg(int from, int to, int incarnation, Random& rng);
+  // Star builders, mirroring the constructor's phases for one participant.
+  void BuildStarDownlink(int to, Random& rng);
+  Uplink* BuildStarUplink(int from, int incarnation, Random& rng);
+  Leg* BuildStarLeg(Uplink* up, int to);
+  void BuildStarForwarder(int to);
+  // The (unique) live uplink publishing as participant p, if any.
+  Uplink* LiveUplinkOf(int p);
+  void RetireLeg(Leg* leg, Timestamp now);
+  void RetireUplink(Uplink* up);
 
   // Mesh routing: the three historical Call transmit hops, per leg.
   void MeshTransmitRtp(Leg* leg, PathId path, RtpPacket packet);
@@ -295,17 +376,30 @@ class Conference {
   // containers handing nodes back on destruction.
   PoolArena arena_;
   // Star only: downlink networks indexed by receiving participant (null for
-  // non-receiving entries); empty for mesh.
+  // non-receiving or currently-absent entries); empty for mesh.
   std::vector<std::unique_ptr<Network>> downlinks_;
   // Star only: per-receiver forwarding engines, indexed like downlinks_.
   std::vector<std::unique_ptr<HubForwarder>> forwarders_;
   // Star only: legs indexed [receiver][origin] for the forwarders'
-  // transmit callbacks (null where no such leg exists).
+  // transmit callbacks (null where no such leg exists; rejoin overwrites
+  // the slot with the fresh leg).
   std::vector<std::vector<Leg*>> star_leg_lookup_;
-  // reserve()d to exact counts up front: routing callbacks capture stable
-  // Uplink*/Leg* pointers into these vectors.
-  std::vector<Uplink> uplinks_;
-  std::vector<Leg> legs_;
+  // Owned behind unique_ptr so routing callbacks capture pointers that stay
+  // stable while churn appends new entries mid-call. Retired entries are
+  // kept (never erased): in-flight deliveries may still reference them.
+  std::vector<std::unique_ptr<Uplink>> uplinks_;
+  std::vector<std::unique_ptr<Leg>> legs_;
+  // Star churn: downlink networks / forwarders of participants that left,
+  // kept alive for in-flight continuations (paired with the participant so
+  // their cross-traffic flows still report).
+  std::vector<std::pair<int, std::unique_ptr<Network>>> retired_downlinks_;
+  std::vector<std::unique_ptr<HubForwarder>> retired_forwarders_;
+  // Churn-time construction draws from a dedicated stream forked after the
+  // initial build, so configs without membership events keep the historical
+  // RNG sequence bit-for-bit.
+  Random churn_rng_{0};
+  std::vector<char> present_;
+  bool started_ = false;
 };
 
 // Runs one independent Conference per config, fanned out across cores (each

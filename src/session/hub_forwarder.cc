@@ -64,6 +64,33 @@ HubForwarder::HubForwarder(EventLoop* loop, Config config,
 
 HubForwarder::~HubForwarder() = default;
 
+void HubForwarder::Stop() { task_.reset(); }
+
+void HubForwarder::ResetOrigin(int leg) {
+  for (auto& [path, ps] : paths_) {
+    for (std::deque<Queued>* q : {&ps->queue, &ps->rtx_queue}) {
+      std::deque<Queued> kept;
+      for (Queued& entry : *q) {
+        if (entry.leg == leg) {
+          ps->queued_bytes -= entry.packet.wire_size();
+          ++ps->stats.packets_dropped;
+        } else {
+          kept.push_back(std::move(entry));
+        }
+      }
+      *q = std::move(kept);
+    }
+    ps->egress.erase(leg);
+  }
+  for (auto it = gates_.begin(); it != gates_.end();) {
+    it = it->first.first == leg ? gates_.erase(it) : std::next(it);
+  }
+  for (auto it = legacy_sent_.begin(); it != legacy_sent_.end();) {
+    it = it->first.first.first == leg ? legacy_sent_.erase(it)
+                                     : std::next(it);
+  }
+}
+
 HubForwarder::PathState& HubForwarder::Path(PathId path) {
   return *paths_.at(path);
 }

@@ -103,6 +103,17 @@ class HubForwarder {
   // upstream (keyframe requests, QoE feedback).
   bool OnReceiverRtcp(int leg, PathId path, const RtcpPacket& packet);
 
+  // Origin `leg`'s sender left the conference. Drops its queued media and
+  // forgets its egress sequence spaces, dependency gates, and RTX history,
+  // so a rejoin (which arrives under a fresh incarnation with brand-new
+  // SSRCs) starts from clean hub state instead of inheriting stamp counters
+  // and half-open gates from the previous life.
+  void ResetOrigin(int leg);
+  // Quiesces the pacing timer when this forwarder's receiver leaves the
+  // call; the retired forwarder stays alive (in-flight deliveries may still
+  // reference it) but emits nothing further.
+  void Stop();
+
   DataRate downlink_target(PathId path) const;
   Duration downlink_srtt(PathId path) const;
   double downlink_loss(PathId path) const;

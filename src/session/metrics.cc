@@ -83,29 +83,36 @@ void MetricsCollector::DisplayTick() {
   }
 }
 
-StreamQoe MetricsCollector::StreamResult(int stream_id,
-                                         Duration call_length) const {
+void MetricsCollector::Stop() {
+  second_task_.reset();
+  display_task_.reset();
+}
+
+StreamQoe MetricsCollector::StreamResult(int stream_id, Timestamp start,
+                                         Timestamp end) const {
   StreamQoe out;
   auto it = streams_.find(stream_id);
   if (it == streams_.end()) return out;
   const StreamState& st = it->second;
 
-  const double seconds = std::max(1e-9, call_length.seconds());
+  const double seconds = std::max(1e-9, (end - start).seconds());
   out.avg_fps = static_cast<double>(st.frames) / seconds;
   out.freeze_total_ms = st.freeze_total_ms;
   out.freeze_count = st.freeze_count;
-  // A freeze still in progress when the call ends is real frozen wall time
-  // the per-frame accounting above never closes (it only books a freeze on
-  // the *next* decoded frame). Calls start at Timestamp::Zero(), so call
-  // end is Zero() + call_length.
+  // A freeze still in progress when the observation window closes is real
+  // frozen wall time the per-frame accounting above never closes (it only
+  // books a freeze on the *next* decoded frame). For a whole-call stream the
+  // window end is the call end; for a participant that left mid-call it is
+  // the leave time.
   if (st.last_render.IsFinite()) {
-    const Duration tail =
-        (Timestamp::Zero() + call_length) - st.last_render;
+    const Duration tail = end - st.last_render;
     if (tail > config_.freeze_threshold) {
       out.freeze_total_ms += (tail - config_.expected_frame_interval).ms();
       ++out.freeze_count;
     }
   }
+  out.freeze_ratio =
+      std::clamp(out.freeze_total_ms / (seconds * 1000.0), 0.0, 1.0);
   out.e2e_mean_ms = st.e2e_ms.Mean();
   out.e2e_p95_ms = st.e2e_ms.Quantile(0.95);
   out.e2e_std_ms = st.e2e_ms.Stddev();
@@ -123,11 +130,11 @@ StreamQoe MetricsCollector::StreamResult(int stream_id,
   return out;
 }
 
-std::vector<StreamQoe> MetricsCollector::AllStreams(
-    Duration call_length) const {
+std::vector<StreamQoe> MetricsCollector::AllStreams(Timestamp start,
+                                                    Timestamp end) const {
   std::vector<StreamQoe> out;
   for (const auto& [id, st] : streams_) {
-    out.push_back(StreamResult(id, call_length));
+    out.push_back(StreamResult(id, start, end));
   }
   return out;
 }

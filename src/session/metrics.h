@@ -27,6 +27,9 @@ struct SecondSample {
 struct StreamQoe {
   double avg_fps = 0.0;
   double freeze_total_ms = 0.0;
+  // Frozen fraction of the stream's *active* interval: a late joiner's 500ms
+  // freeze over a 4s membership is 0.125, not 500ms over the full call.
+  double freeze_ratio = 0.0;
   int64_t freeze_count = 0;
   double e2e_mean_ms = 0.0;
   double e2e_p95_ms = 0.0;
@@ -79,9 +82,25 @@ class MetricsCollector {
   void SetReceiverCounters(int stream_id, int64_t frame_drops,
                            int64_t keyframe_requests);
 
+  // Cancels the per-second / display-rate sampling tasks; called when the
+  // observed participant leaves the call mid-run. Results remain queryable.
+  void Stop();
+
   // --- outputs ---
-  StreamQoe StreamResult(int stream_id, Duration call_length) const;
-  std::vector<StreamQoe> AllStreams(Duration call_length) const;
+  // Interval-aware results: rates (fps, tput), the freeze ratio, and the
+  // tail-freeze close-out are normalized over [start, end) — the observed
+  // leg's actual membership window — rather than the whole call. The
+  // Duration overloads are the historical whole-call forms and delegate with
+  // [Zero, Zero + call_length), bit-identically.
+  StreamQoe StreamResult(int stream_id, Timestamp start, Timestamp end) const;
+  StreamQoe StreamResult(int stream_id, Duration call_length) const {
+    return StreamResult(stream_id, Timestamp::Zero(),
+                        Timestamp::Zero() + call_length);
+  }
+  std::vector<StreamQoe> AllStreams(Timestamp start, Timestamp end) const;
+  std::vector<StreamQoe> AllStreams(Duration call_length) const {
+    return AllStreams(Timestamp::Zero(), Timestamp::Zero() + call_length);
+  }
   const std::vector<SecondSample>& time_series() const { return series_; }
   const SampleSet& e2e_samples(int stream_id) const;
   // Display-rate PSNR samples (stale frames degrade, §6 Fig 15 CDF).

@@ -69,6 +69,8 @@ void ReceiverEndpoint::Start() {
       loop_, config_.feedback_interval, [this] { SendFeedback(); });
 }
 
+void ReceiverEndpoint::Stop() { feedback_task_.reset(); }
+
 int ReceiverEndpoint::StreamIndexOf(uint32_t ssrc) const {
   for (size_t i = 0; i < config_.ssrcs.size(); ++i) {
     if (config_.ssrcs[i] == ssrc) return static_cast<int>(i);

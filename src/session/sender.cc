@@ -63,6 +63,13 @@ void Sender::Start() {
   SendSdes();
 }
 
+void Sender::Stop() {
+  for (StreamState& s : streams_) s.camera->Stop();
+  tick_task_.reset();
+  sr_task_.reset();
+  sdes_task_.reset();
+}
+
 std::vector<PathInfo> Sender::BuildPathInfos() const {
   std::vector<PathInfo> infos;
   infos.reserve(path_ids_.size());

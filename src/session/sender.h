@@ -71,6 +71,11 @@ class Sender {
   ~Sender();
 
   void Start();
+  // Quiesces the endpoint when its participant leaves mid-call: cameras stop
+  // producing frames and the tick/SR/SDES timers are cancelled, so no new
+  // media or RTCP enters the network. Packets already in flight (and the
+  // idle per-path pacers) are unaffected; stats remain queryable.
+  void Stop();
 
   // Receiver RTCP arriving at the sender.
   void HandleRtcp(const RtcpPacket& packet, Timestamp arrival);

@@ -46,6 +46,10 @@ class JsonWriter {
     Key(key);
     out_ << value;
   }
+  void Field(const std::string& key, const std::string& value) {
+    Key(key);
+    out_ << '"' << value << '"';
+  }
 
   std::string str() const { return out_.str(); }
 
@@ -156,8 +160,10 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
     w.OpenObjectInArray();
     w.Field("participant", static_cast<int64_t>(p.participant));
     w.Field("inbound_streams", static_cast<int64_t>(p.inbound_streams));
+    w.Field("active_s", p.active_s);
     w.Field("avg_fps", p.avg_fps);
     w.Field("avg_freeze_ms", p.avg_freeze_ms);
+    w.Field("avg_freeze_ratio", p.avg_freeze_ratio);
     w.Field("avg_e2e_ms", p.avg_e2e_ms);
     w.Field("total_tput_mbps", p.total_tput_mbps);
     w.Field("avg_qp", p.avg_qp);
@@ -173,6 +179,9 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
     w.OpenObjectInArray();
     w.Field("from", static_cast<int64_t>(leg.from));
     w.Field("to", static_cast<int64_t>(leg.to));
+    w.Field("incarnation", static_cast<int64_t>(leg.incarnation));
+    w.Field("joined_s", leg.joined_s);
+    w.Field("left_s", leg.left_s);
     w.OpenObject("stats");
     WriteCallStatsBody(w, leg.stats);
     w.CloseObject();
@@ -198,6 +207,26 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
     w.Field("plis_relayed", d.forwarder.plis_relayed);
     w.Field("max_queue_bytes", d.forwarder.max_queue_bytes);
     w.Field("max_queue_delay_ms", d.forwarder.max_queue_delay_ms);
+    w.CloseObject();
+  }
+  w.CloseArray();
+
+  // Competing cross-traffic flows (empty array when no PathSpec carries
+  // any), in construction order.
+  w.OpenArray("cross_traffic");
+  for (const ConferenceStats::CrossFlow& f : stats.cross_traffic) {
+    w.OpenObjectInArray();
+    w.Field("from", static_cast<int64_t>(f.from));
+    w.Field("to", static_cast<int64_t>(f.to));
+    w.Field("path", static_cast<int64_t>(f.path));
+    w.Field("name", f.name);
+    w.Field("kind", f.kind);
+    w.Field("packets_sent", f.packets_sent);
+    w.Field("packets_delivered", f.packets_delivered);
+    w.Field("packets_dropped", f.packets_dropped);
+    w.Field("loss_events", f.loss_events);
+    w.Field("throughput_mbps", f.throughput_mbps);
+    w.Field("final_cwnd", f.final_cwnd);
     w.CloseObject();
   }
   w.CloseArray();

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "rtp/ssrc_allocator.h"
+#include "util/invariants.h"
 
 namespace converge {
 namespace {
@@ -82,6 +83,90 @@ NegotiatedSession Negotiate(const EndpointCapabilities& local,
   return session;
 }
 
+bool MembershipPresentAtStart(int participant,
+                              const std::vector<MembershipEvent>& events) {
+  for (const MembershipEvent& ev : events) {
+    if (ev.participant != participant) continue;
+    return ev.kind != MembershipEvent::Kind::kJoin;
+  }
+  return true;  // no events: in the call for its whole duration
+}
+
+int MembershipIncarnationAt(int participant, Timestamp t,
+                            const std::vector<MembershipEvent>& events) {
+  int leaves = 0;
+  for (const MembershipEvent& ev : events) {
+    if (ev.participant != participant) continue;
+    if (ev.kind == MembershipEvent::Kind::kLeave && ev.at <= t) ++leaves;
+  }
+  return leaves;
+}
+
+std::string ValidateMembership(int num_participants,
+                               const std::vector<MembershipEvent>& events) {
+  Timestamp prev = Timestamp::MinusInfinity();
+  for (const MembershipEvent& ev : events) {
+    if (ev.participant < 0 || ev.participant >= num_participants) {
+      return "membership event names participant " +
+             std::to_string(ev.participant) + " outside [0, " +
+             std::to_string(num_participants) + ")";
+    }
+    if (!ev.at.IsFinite() || ev.at < Timestamp::Zero()) {
+      return "membership event time must be finite and >= 0";
+    }
+    if (ev.at < prev) return "membership events must be sorted by time";
+    prev = ev.at;
+  }
+  // Per-participant: alternation consistent with the initial-presence rule,
+  // strictly increasing times.
+  for (int p = 0; p < num_participants; ++p) {
+    bool present = MembershipPresentAtStart(p, events);
+    Timestamp last = Timestamp::MinusInfinity();
+    for (const MembershipEvent& ev : events) {
+      if (ev.participant != p) continue;
+      if (ev.at <= last) {
+        return "participant " + std::to_string(p) +
+               " has two membership events at the same time";
+      }
+      last = ev.at;
+      const bool join = ev.kind == MembershipEvent::Kind::kJoin;
+      if (join && present) {
+        return "participant " + std::to_string(p) + " joins while present";
+      }
+      if (!join && !present) {
+        return "participant " + std::to_string(p) + " leaves while absent";
+      }
+      present = join;
+    }
+  }
+  return "";
+}
+
+bool ConferencePlan::PresentAt(int participant, Timestamp t) const {
+  bool present = PresentAtStart(participant);
+  for (const MembershipEvent& ev : membership) {
+    if (ev.participant != participant || ev.at > t) continue;
+    present = ev.kind == MembershipEvent::Kind::kJoin;
+  }
+  return present;
+}
+
+namespace {
+
+std::vector<MembershipEvent> CheckedTimeline(
+    int num_participants, std::vector<MembershipEvent> membership) {
+  std::stable_sort(membership.begin(), membership.end(),
+                   [](const MembershipEvent& a, const MembershipEvent& b) {
+                     return a.at < b.at;
+                   });
+  const std::string error = ValidateMembership(num_participants, membership);
+  CONVERGE_INVARIANT("Negotiation", Timestamp::Zero(), error.empty(), error);
+  if (!error.empty()) membership.clear();
+  return membership;
+}
+
+}  // namespace
+
 const NegotiatedSession& ConferencePlan::PairSession(int a, int b) const {
   if (a > b) std::swap(a, b);
   // Row-major index of unordered pair (a, b), a < b, over num_participants:
@@ -113,6 +198,25 @@ ConferencePlan NegotiateStar(
   for (const EndpointCapabilities& participant : participants) {
     plan.sessions.push_back(Negotiate(participant, forwarder));
   }
+  return plan;
+}
+
+ConferencePlan NegotiateMesh(
+    const std::vector<EndpointCapabilities>& participants,
+    std::vector<MembershipEvent> membership) {
+  ConferencePlan plan = NegotiateMesh(participants);
+  plan.membership =
+      CheckedTimeline(plan.num_participants, std::move(membership));
+  return plan;
+}
+
+ConferencePlan NegotiateStar(
+    const EndpointCapabilities& forwarder,
+    const std::vector<EndpointCapabilities>& participants,
+    std::vector<MembershipEvent> membership) {
+  ConferencePlan plan = NegotiateStar(forwarder, participants);
+  plan.membership =
+      CheckedTimeline(plan.num_participants, std::move(membership));
   return plan;
 }
 

@@ -7,10 +7,45 @@
 // NegotiateStar below).
 #pragma once
 
+#include <string>
+
 #include "signaling/ice.h"
 #include "signaling/sdp.h"
+#include "util/time.h"
 
 namespace converge {
+
+// One scheduled membership change: a participant joining or leaving the
+// conference at a simulated time. A timeline of these drives mid-call churn:
+// the Conference wires up (or tears down) the participant's legs when the
+// event fires, and signaling validates the timeline up front so an
+// impossible schedule (leaving twice, joining while present) is rejected at
+// negotiation time rather than surfacing as a dangling leg mid-call.
+struct MembershipEvent {
+  enum class Kind : uint8_t { kJoin, kLeave };
+  Kind kind = Kind::kJoin;
+  Timestamp at = Timestamp::Zero();
+  int participant = 0;
+};
+
+// Validates a membership timeline against `num_participants`: events must
+// name valid participants, carry finite non-decreasing times (per
+// participant strictly increasing), and alternate join/leave consistently
+// with the initial-presence rule — a participant is absent at t=0 iff its
+// first event is a join. Returns an empty string when valid, else a
+// description of the first problem.
+std::string ValidateMembership(int num_participants,
+                               const std::vector<MembershipEvent>& events);
+
+// Initial-presence rule shared by Conference and the negotiators.
+bool MembershipPresentAtStart(int participant,
+                              const std::vector<MembershipEvent>& events);
+
+// Number of completed leave events for `participant` at or before `t`; a
+// rejoin after the k-th leave runs as incarnation k, which scopes its SSRC
+// bank (rtp/ssrc_allocator.h) disjoint from every earlier stream.
+int MembershipIncarnationAt(int participant, Timestamp t,
+                            const std::vector<MembershipEvent>& events);
 
 // Everything one endpoint brings to the negotiation.
 struct EndpointCapabilities {
@@ -54,9 +89,17 @@ struct ConferencePlan {
   // ((0,1), (0,2), ..., (1,2), ...). Star: session i is participant i's
   // uplink to the forwarder.
   std::vector<NegotiatedSession> sessions;
+  // Scheduled mid-call joins/leaves, sorted by time. Empty = everyone is in
+  // the call for its whole duration (the historical behaviour).
+  std::vector<MembershipEvent> membership;
 
   // Mesh lookup: the session negotiated between participants a and b.
   const NegotiatedSession& PairSession(int a, int b) const;
+  // Membership queries over the timeline above.
+  bool PresentAtStart(int participant) const {
+    return MembershipPresentAtStart(participant, membership);
+  }
+  bool PresentAt(int participant, Timestamp t) const;
   // Star lookup: participant's uplink session.
   const NegotiatedSession& UplinkSession(int participant) const {
     return sessions.at(static_cast<size_t>(participant));
@@ -74,5 +117,19 @@ ConferencePlan NegotiateMesh(
 ConferencePlan NegotiateStar(
     const EndpointCapabilities& forwarder,
     const std::vector<EndpointCapabilities>& participants);
+
+// Churn-aware overloads: negotiate the full roster up front (every
+// participant that will EVER be in the call, as real conferencing services
+// do — a rejoiner re-uses its negotiated session under a fresh incarnation),
+// then validate and attach the membership timeline, sorted by time. The
+// timeline must pass ValidateMembership; invalid timelines are rejected via
+// the invariant registry and attached empty.
+ConferencePlan NegotiateMesh(
+    const std::vector<EndpointCapabilities>& participants,
+    std::vector<MembershipEvent> membership);
+ConferencePlan NegotiateStar(
+    const EndpointCapabilities& forwarder,
+    const std::vector<EndpointCapabilities>& participants,
+    std::vector<MembershipEvent> membership);
 
 }  // namespace converge

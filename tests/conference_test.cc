@@ -154,6 +154,51 @@ TEST(ConferenceAdapterTest, MatchesSeedEraFixtureForEveryVariant) {
   }
 }
 
+// Mirrors FixtureConferenceConfig() in gen_call_fixtures.cc — the exact
+// configuration conference_fixture_star3.json was generated from.
+ConferenceConfig FixtureConferenceConfig() {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(3, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = Duration::Seconds(8);
+  config.seed = 29;
+  config.paths_for_edge = [](int from, int) {
+    PathSpec p0;
+    p0.name = from == kHubId ? "fixd0" : "fixu0";
+    p0.capacity = BandwidthTrace::Constant(
+        DataRate::MegabitsPerSec(from == kHubId ? 12.0 : 6.0));
+    p0.prop_delay = Duration::Millis(from == kHubId ? 15 : 20);
+    p0.loss = std::make_shared<BernoulliLoss>(0.01);
+    PathSpec p1;
+    p1.name = from == kHubId ? "fixd1" : "fixu1";
+    p1.capacity = BandwidthTrace::Constant(
+        DataRate::MegabitsPerSec(from == kHubId ? 8.0 : 4.0));
+    p1.prop_delay = Duration::Millis(from == kHubId ? 25 : 35);
+    p1.loss = std::make_shared<BernoulliLoss>(0.005);
+    return std::vector<PathSpec>{p0, p1};
+  };
+  return config;
+}
+
+// Pins the whole ConferenceStats JSON export — values AND schema (the
+// churn-era participant/leg fields and the cross_traffic array included) —
+// against the committed fixture. Regenerate with gen_call_fixtures and
+// commit the diff when a PR intentionally changes conference results.
+TEST(ConferenceAdapterTest, StarThreePartyMatchesPinnedFixture) {
+  Conference conference(FixtureConferenceConfig());
+  const ConferenceStats stats = conference.Run();
+  const std::string path =
+      std::string(CONVERGE_TEST_DATA_DIR) + "/conference_fixture_star3.json";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(ConferenceStatsToJson(stats), buf.str())
+      << "conference results drifted from the pinned star-3 fixture";
+}
+
 TEST(ConferenceAdapterTest, CallIsExactlyAOneLegMeshConference) {
   const CallConfig call_config = FixtureCallConfig(Variant::kConverge);
   Call call(call_config);

@@ -13,6 +13,7 @@
 
 #include "net/loss_model.h"
 #include "session/call.h"
+#include "session/conference.h"
 #include "session/stats_json.h"
 
 namespace converge {
@@ -37,6 +38,38 @@ CallConfig FixtureConfig(Variant variant) {
   config.num_streams = 2;
   config.duration = Duration::Seconds(8);
   config.seed = 17;
+  return config;
+}
+
+// Mirrored exactly by FixtureConferenceConfig() in conference_test.cc: a
+// 3-party Converge star. Pins the full ConferenceStats JSON shape —
+// participants (incl. active_s / avg_freeze_ratio), legs (incl. incarnation
+// and the [joined_s, left_s) window), hub downlinks, and the cross_traffic
+// array — so later PRs can't silently drift conference results or the
+// export schema.
+ConferenceConfig FixtureConferenceConfig() {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(3, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = Duration::Seconds(8);
+  config.seed = 29;
+  config.paths_for_edge = [](int from, int) {
+    PathSpec p0;
+    p0.name = from == kHubId ? "fixd0" : "fixu0";
+    p0.capacity = BandwidthTrace::Constant(
+        DataRate::MegabitsPerSec(from == kHubId ? 12.0 : 6.0));
+    p0.prop_delay = Duration::Millis(from == kHubId ? 15 : 20);
+    p0.loss = std::make_shared<BernoulliLoss>(0.01);
+    PathSpec p1;
+    p1.name = from == kHubId ? "fixd1" : "fixu1";
+    p1.capacity = BandwidthTrace::Constant(
+        DataRate::MegabitsPerSec(from == kHubId ? 8.0 : 4.0));
+    p1.prop_delay = Duration::Millis(from == kHubId ? 25 : 35);
+    p1.loss = std::make_shared<BernoulliLoss>(0.005);
+    return std::vector<PathSpec>{p0, p1};
+  };
   return config;
 }
 
@@ -78,6 +111,18 @@ int main(int argc, char** argv) {
     }
     out << CallStatsToJson(stats);
     std::printf("%s: %s\n", ToString(v).c_str(), path.c_str());
+  }
+  {
+    Conference conference(FixtureConferenceConfig());
+    const ConferenceStats stats = conference.Run();
+    const std::string path = dir + "/conference_fixture_star3.json";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    out << ConferenceStatsToJson(stats);
+    std::printf("star-3 conference: %s\n", path.c_str());
   }
   return 0;
 }

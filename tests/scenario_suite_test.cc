@@ -1,0 +1,557 @@
+// Measurement-study acceptance suite: named end-to-end scenarios modeled on
+// the axes conferencing measurement studies actually report (bitrate vs
+// party count, outage recovery time, asymmetric access, membership churn,
+// competition with bulk transport flows), each pinned to an explicit
+// numeric envelope. EXPERIMENTS.md ("Scenario acceptance suite") documents
+// every envelope; regenerate the numbers there when a PR intentionally
+// moves one.
+//
+// Every scenario runs under the invariant registry and must be
+// byte-deterministic: the suite re-runs the whole scenario set serially,
+// with 8 workers, and a second time, and byte-compares the stats JSON.
+//
+// When CONVERGE_SCENARIO_REPORT is set, every envelope check appends a
+// "scenario metric value lo hi PASS|FAIL" line to that file (CI uploads it
+// as an artifact).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/cross_traffic.h"
+#include "net/fault_plan.h"
+#include "net/loss_model.h"
+#include "rtp/ssrc_allocator.h"
+#include "session/conference.h"
+#include "session/stats_json.h"
+#include "util/invariants.h"
+
+namespace converge {
+namespace {
+
+PathSpec StablePath(const std::string& name, double mbps, int delay_ms,
+                    double loss = 0.0) {
+  PathSpec spec;
+  spec.name = name;
+  spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+  spec.prop_delay = Duration::Millis(delay_ms);
+  if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+  return spec;
+}
+
+Timestamp At(double seconds) {
+  return Timestamp::Zero() + Duration::Seconds(seconds);
+}
+
+// Appends one envelope-check row to $CONVERGE_SCENARIO_REPORT (truncated on
+// the first write of the process) and asserts the value is inside [lo, hi].
+void CheckEnvelope(const char* scenario, const char* metric, double value,
+                   double lo, double hi) {
+  const bool pass = value >= lo && value <= hi;
+  EXPECT_TRUE(pass) << scenario << "." << metric << " = " << value
+                    << " outside pinned envelope [" << lo << ", " << hi
+                    << "]";
+  if (const char* path = std::getenv("CONVERGE_SCENARIO_REPORT")) {
+    static bool truncated = false;
+    std::ofstream out(path, truncated ? std::ios::app : std::ios::trunc);
+    truncated = true;
+    out << scenario << ' ' << metric << ' ' << value << ' ' << lo << ' '
+        << hi << ' ' << (pass ? "PASS" : "FAIL") << '\n';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario configurations. Every config is a pure function of its arguments
+// so the determinism sweep can rebuild identical ones.
+// ---------------------------------------------------------------------------
+
+// Scenario 1 — bitrate vs party count: a star whose per-receiver downlink
+// budget is FIXED (5 Mbps across both paths) while the number of duplex
+// parties grows, so the hub must split the same downlink among N-1
+// publishers. The measurement-study claim: per-sender received bitrate
+// falls roughly as 1/(N-1).
+ConferenceConfig LadderConfig(int participants, uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(static_cast<size_t>(participants),
+                             ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(4);
+  config.duration = Duration::Seconds(10);
+  config.seed = seed;
+  config.paths_for_edge = [](int from, int) {
+    if (from == kHubId) {
+      return std::vector<PathSpec>{StablePath("d0", 3.0, 15),
+                                   StablePath("d1", 2.0, 25)};
+    }
+    return std::vector<PathSpec>{StablePath("u0", 6.0, 20),
+                                 StablePath("u1", 4.0, 35)};
+  };
+  return config;
+}
+
+// Scenario 2 — outage recovery: a duplex 2-party multipath call whose
+// primary path blacks out for [10 s, 12 s), well after the controller has
+// converged. The envelope pins how fast the per-second receive rate climbs
+// back to half its pre-outage mean once the path returns.
+ConferenceConfig OutageRecoveryConfig(uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(2, ParticipantSpec{});
+  PathSpec p0 = StablePath("o0", 6.0, 20);
+  p0.fault_plan.Add(FaultEvent::Outage(At(10.0), Duration::Seconds(2)));
+  config.paths = {p0, StablePath("o1", 4.0, 35)};
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(6);
+  config.duration = Duration::Seconds(18);
+  config.seed = seed;
+  return config;
+}
+
+// Scenario 3 — asymmetric access: a 3-party star where participant 2's
+// uplink pair is an order of magnitude thinner than its peers' (ADSL-style
+// asymmetry: wide downlink, thin uplink). Peers must still receive p2's
+// video at the uplink's rate while p2 receives full-rate video from both.
+ConferenceConfig AsymmetricAccessConfig(uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(3, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(4);
+  config.duration = Duration::Seconds(10);
+  config.seed = seed;
+  config.paths_for_edge = [](int from, int) {
+    if (from == kHubId) {
+      return std::vector<PathSpec>{StablePath("d0", 8.0, 15),
+                                   StablePath("d1", 6.0, 25)};
+    }
+    if (from == 2) {
+      return std::vector<PathSpec>{StablePath("thin0", 0.9, 25),
+                                   StablePath("thin1", 0.6, 45)};
+    }
+    return std::vector<PathSpec>{StablePath("u0", 6.0, 20),
+                                 StablePath("u1", 4.0, 35)};
+  };
+  return config;
+}
+
+// Scenario 4 — churn storm: a 4-party mesh with a late joiner, a mid-call
+// leave + rejoin, and a final leave, all in one 20 s call. The envelope is
+// structural (leg windows, incarnations, invariant cleanliness) plus QoE
+// floors on every leg that lived at least 3 s.
+ConferenceConfig ChurnStormConfig(uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(4, ParticipantSpec{});
+  config.paths = {StablePath("c0", 6.0, 20, 0.01),
+                  StablePath("c1", 4.0, 35, 0.005)};
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = Duration::Seconds(20);
+  config.seed = seed;
+  config.membership = {
+      {MembershipEvent::Kind::kJoin, At(3.0), 3},   // late joiner
+      {MembershipEvent::Kind::kLeave, At(8.0), 1},  // leave...
+      {MembershipEvent::Kind::kJoin, At(12.0), 1},  // ...and rejoin
+      {MembershipEvent::Kind::kLeave, At(16.0), 2},
+  };
+  return config;
+}
+
+// Scenario 5 — competing cross-traffic: a duplex 2-party call whose primary
+// path (6 Mbps) is shared with a greedy TCP-like flow from t = 2 s, next to
+// a clean 3 Mbps secondary. The call must keep a nonzero stable share and
+// the flow's throughput must land in the stats JSON.
+ConferenceConfig CrossTrafficShareConfig(uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(2, ParticipantSpec{});
+  PathSpec p0 = StablePath("x0", 6.0, 20);
+  CrossTrafficSpec bulk;
+  bulk.name = "bulk";
+  bulk.kind = CrossTrafficKind::kTcp;
+  bulk.start = At(2.0);
+  p0.cross_traffic = {bulk};
+  config.paths = {p0, StablePath("x1", 3.0, 35)};
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(6);
+  config.duration = Duration::Seconds(20);
+  config.seed = seed;
+  return config;
+}
+
+struct Scenario {
+  std::string name;
+  std::vector<ConferenceConfig> configs;
+};
+
+// The registry the determinism sweep iterates. Names are stable
+// identifiers; EXPERIMENTS.md documents each envelope under the same name.
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> all;
+  all.push_back({"bitrate-vs-parties",
+                 {LadderConfig(2, 11), LadderConfig(3, 11),
+                  LadderConfig(4, 11)}});
+  all.push_back({"outage-recovery", {OutageRecoveryConfig(23)}});
+  all.push_back({"asymmetric-access", {AsymmetricAccessConfig(31)}});
+  all.push_back({"churn-storm", {ChurnStormConfig(47)}});
+  all.push_back({"cross-traffic-share", {CrossTrafficShareConfig(59)}});
+  return all;
+}
+
+double SumInboundTput(const ConferenceStats& stats, int receiver) {
+  double total = 0.0;
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    if (p.participant == receiver) total = p.total_tput_mbps;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Envelope checks, one test per scenario.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuiteTest, BitrateVsPartiesLadder) {
+  ScopedInvariants invariants;
+  // Mean per-leg receive rate for each N on the fixed 5 Mbps downlink.
+  std::vector<double> per_leg;
+  for (int n : {2, 3, 4}) {
+    Conference conference(LadderConfig(n, 11));
+    const ConferenceStats stats = conference.Run();
+    double tput = 0.0;
+    for (const ConferenceStats::Leg& leg : stats.legs) {
+      tput += leg.stats.TotalTputMbps();
+    }
+    per_leg.push_back(tput / static_cast<double>(stats.legs.size()));
+  }
+  // The ladder must strictly decrease: the same downlink budget split among
+  // more publishers leaves less per publisher.
+  EXPECT_GT(per_leg[0], per_leg[1]);
+  EXPECT_GT(per_leg[1], per_leg[2]);
+  CheckEnvelope("bitrate-vs-parties", "per_leg_mbps_n2", per_leg[0], 1.3,
+                2.6);
+  CheckEnvelope("bitrate-vs-parties", "per_leg_mbps_n3", per_leg[1], 0.85,
+                1.8);
+  CheckEnvelope("bitrate-vs-parties", "per_leg_mbps_n4", per_leg[2], 0.55,
+                1.3);
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+TEST(ScenarioSuiteTest, OutageRecoveryTiming) {
+  ScopedInvariants invariants;
+  Conference conference(OutageRecoveryConfig(23));
+  const ConferenceStats stats = conference.Run();
+  ASSERT_EQ(stats.legs.size(), 2u);
+
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    const std::vector<SecondSample>& series = leg.stats.time_series;
+    double pre = 0.0;
+    int pre_n = 0;
+    for (const SecondSample& s : series) {
+      if (s.t_s >= 6.0 && s.t_s < 10.0) {
+        pre += s.tput_mbps;
+        ++pre_n;
+      }
+    }
+    ASSERT_GT(pre_n, 0);
+    pre /= pre_n;
+
+    // Multipath survives the outage on the secondary: the per-second rate
+    // never reaches zero.
+    double outage_min = pre;
+    for (const SecondSample& s : series) {
+      if (s.t_s >= 10.5 && s.t_s < 12.0) {
+        outage_min = std::min(outage_min, s.tput_mbps);
+      }
+    }
+    // Recovery: first whole second after the outage clears where the rate
+    // is back to >= 50% of the pre-outage mean.
+    double recovered_at = -1.0;
+    for (const SecondSample& s : series) {
+      if (s.t_s >= 12.0 && s.tput_mbps >= 0.5 * pre) {
+        recovered_at = s.t_s;
+        break;
+      }
+    }
+    ASSERT_GE(recovered_at, 0.0) << "never recovered to 50% of " << pre;
+    CheckEnvelope("outage-recovery", "pre_outage_mbps", pre, 1.0, 5.5);
+    CheckEnvelope("outage-recovery", "outage_floor_mbps", outage_min, 0.05,
+                  5.5);
+    CheckEnvelope("outage-recovery", "recovery_s", recovered_at - 12.0, 0.0,
+                  2.0);
+  }
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+TEST(ScenarioSuiteTest, AsymmetricAccessUplinkLimited) {
+  ScopedInvariants invariants;
+  Conference conference(AsymmetricAccessConfig(31));
+  const ConferenceStats stats = conference.Run();
+
+  // Legs published by the thin participant are pinned near its 1.5 Mbps
+  // uplink pair; everyone else's legs run at full rate; the thin
+  // participant still RECEIVES full-rate video.
+  double thin_out = 0.0, wide_out = 0.0;
+  int thin_n = 0, wide_n = 0;
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    const double tput = leg.stats.TotalTputMbps();
+    if (leg.from == 2) {
+      thin_out += tput;
+      ++thin_n;
+    } else {
+      wide_out += tput;
+      ++wide_n;
+    }
+  }
+  thin_out /= thin_n;
+  wide_out /= wide_n;
+  CheckEnvelope("asymmetric-access", "thin_leg_mbps", thin_out, 0.1, 1.5);
+  CheckEnvelope("asymmetric-access", "wide_leg_mbps", wide_out, 1.8, 4.4);
+  CheckEnvelope("asymmetric-access", "thin_recv_mbps",
+                SumInboundTput(stats, 2), 3.0, 8.8);
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+TEST(ScenarioSuiteTest, ChurnStormStructureAndFloors) {
+  ScopedInvariants invariants;
+  Conference conference(ChurnStormConfig(47));
+  const ConferenceStats stats = conference.Run();
+
+  // 4 duplex parties, p3 joining late, p1 leaving+rejoining, p2 leaving:
+  // initial build is the 3x2 directed pairs of {0,1,2}; p3's join adds 6
+  // legs; p1's leave freezes its 6, the rejoin adds 6 more (incarnation 1);
+  // p2's leave freezes in place. 18 legs total.
+  ASSERT_EQ(stats.legs.size(), 18u);
+
+  int rejoin_legs = 0;
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    EXPECT_LE(leg.joined_s, leg.left_s);
+    if (leg.from == 1 && leg.incarnation == 1) {
+      ++rejoin_legs;
+      EXPECT_DOUBLE_EQ(leg.joined_s, 12.0);
+    }
+    const double window = leg.left_s - leg.joined_s;
+    if (window >= 3.0) {
+      CheckEnvelope("churn-storm", "leg_fps_floor", leg.stats.AvgFps(), 20.0,
+                    40.0);
+    }
+  }
+  EXPECT_EQ(rejoin_legs, 3);
+
+  // Lifetime accounting: p3 was in for 17 s, p1 for 8 + 8 s, p2 for 16 s.
+  EXPECT_DOUBLE_EQ(stats.participants[0].active_s, 20.0);
+  EXPECT_DOUBLE_EQ(stats.participants[1].active_s, 16.0);
+  EXPECT_DOUBLE_EQ(stats.participants[2].active_s, 16.0);
+  EXPECT_DOUBLE_EQ(stats.participants[3].active_s, 17.0);
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+TEST(ScenarioSuiteTest, CrossTrafficShareIsStableAndExported) {
+  ScopedInvariants invariants;
+  Conference conference(CrossTrafficShareConfig(59));
+  const ConferenceStats stats = conference.Run();
+
+  // One flow per direction's path-0 network.
+  ASSERT_EQ(stats.cross_traffic.size(), 2u);
+  for (const ConferenceStats::CrossFlow& flow : stats.cross_traffic) {
+    EXPECT_EQ(flow.kind, "tcp");
+    EXPECT_EQ(flow.name, "bulk");
+    EXPECT_EQ(flow.path, 0);
+    EXPECT_GT(flow.packets_delivered, 0);
+    CheckEnvelope("cross-traffic-share", "bulk_tput_mbps",
+                  flow.throughput_mbps, 2.0, 6.0);
+  }
+  // The call keeps a nonzero stable share (the delay-sensitive controller
+  // concedes most of the shared 6 Mbps to the queue-building TCP flow but
+  // holds the clean secondary).
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    CheckEnvelope("cross-traffic-share", "call_tput_mbps", p.total_tput_mbps,
+                  1.0, 9.0);
+    CheckEnvelope("cross-traffic-share", "call_fps", p.avg_fps, 20.0, 40.0);
+  }
+  // The flow is visible in the JSON export, for dashboards and CI
+  // artifacts.
+  const std::string json = ConferenceStatsToJson(stats);
+  EXPECT_NE(json.find("\"cross_traffic\""), std::string::npos);
+  EXPECT_NE(json.find("\"bulk\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"tcp\""), std::string::npos);
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the whole scenario registry is byte-identical across worker
+// counts and across reruns.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuiteTest, AllScenariosDeterministicAcrossJobsAndReruns) {
+  ScopedInvariants invariants;
+  for (const Scenario& scenario : AllScenarios()) {
+    std::vector<std::string> serial, parallel, rerun;
+    for (const ConferenceStats& s : RunConferences(scenario.configs, 1)) {
+      serial.push_back(ConferenceStatsToJson(s));
+    }
+    for (const ConferenceStats& s : RunConferences(scenario.configs, 8)) {
+      parallel.push_back(ConferenceStatsToJson(s));
+    }
+    for (const ConferenceStats& s : RunConferences(scenario.configs, 1)) {
+      rerun.push_back(ConferenceStatsToJson(s));
+    }
+    ASSERT_EQ(serial.size(), scenario.configs.size()) << scenario.name;
+    EXPECT_EQ(serial, parallel) << scenario.name
+                                << ": jobs=8 diverged from jobs=1";
+    EXPECT_EQ(serial, rerun) << scenario.name << ": rerun diverged";
+  }
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Churn acceptance: leave + rejoin on a 3-party star recovers the
+// rejoiner's receive rate, under a fresh SSRC incarnation, cleanly.
+// ---------------------------------------------------------------------------
+
+ConferenceConfig LeaveRejoinStarConfig() {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(3, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = Duration::Seconds(16);
+  config.seed = 7;
+  config.paths_for_edge = [](int from, int) {
+    if (from == kHubId) {
+      return std::vector<PathSpec>{StablePath("d0", 16.0, 15),
+                                   StablePath("d1", 12.0, 25)};
+    }
+    return std::vector<PathSpec>{StablePath("u0", 6.0, 20),
+                                 StablePath("u1", 4.0, 35)};
+  };
+  config.membership = {
+      {MembershipEvent::Kind::kLeave, At(4.0), 2},
+      {MembershipEvent::Kind::kJoin, At(8.0), 2},
+  };
+  return config;
+}
+
+TEST(ScenarioSuiteTest, StarLeaveRejoinRecoversReceiveRate) {
+  ScopedInvariants invariants;
+  Conference conference(LeaveRejoinStarConfig());
+  const ConferenceStats stats = conference.Run();
+
+  // Pre-leave inbound rate at p2 (legs *->2 with window ending at the
+  // leave) vs post-rejoin inbound rate (legs *->2 starting at the rejoin).
+  double pre = 0.0, post = 0.0;
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    if (leg.to != 2) continue;
+    if (leg.left_s <= 4.0) pre += leg.stats.TotalTputMbps();
+    if (leg.joined_s >= 8.0) post += leg.stats.TotalTputMbps();
+  }
+  ASSERT_GT(pre, 0.0);
+  EXPECT_GE(post, 0.5 * pre)
+      << "rejoiner recovered only " << post << " of " << pre << " Mbps";
+  // Above 1.0 is expected: the pre-leave window includes the slow-start
+  // ramp from t=0 while the rejoin legs ride fresh, optimistically-seeded
+  // hub downlinks.
+  CheckEnvelope("leave-rejoin", "recovered_fraction", post / pre, 0.5, 6.0);
+
+  // The rejoiner publishes under incarnation 1; everything it publishes
+  // post-rejoin is a fresh leg with the rejoin timestamp.
+  int rejoin_out = 0;
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    if (leg.from == 2 && leg.incarnation == 1) {
+      ++rejoin_out;
+      EXPECT_DOUBLE_EQ(leg.joined_s, 8.0);
+      EXPECT_DOUBLE_EQ(leg.left_s, 16.0);
+    }
+  }
+  EXPECT_EQ(rejoin_out, 2);
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+// Late joiners report lifetime-normalized QoE: their per-second rates are
+// computed over their own membership window, so they are comparable to
+// whole-call participants instead of being diluted by absent time.
+TEST(ScenarioSuiteTest, LateJoinerQoeIsLifetimeNormalized) {
+  ScopedInvariants invariants;
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kMesh;
+  config.participants.assign(3, ParticipantSpec{});
+  config.paths = {StablePath("l0", 6.0, 20), StablePath("l1", 4.0, 35)};
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(3);
+  config.duration = Duration::Seconds(12);
+  config.seed = 13;
+  config.membership = {{MembershipEvent::Kind::kJoin, At(6.0), 2}};
+  Conference conference(config);
+  const ConferenceStats stats = conference.Run();
+
+  EXPECT_DOUBLE_EQ(stats.participants[2].active_s, 6.0);
+  double full_fps = 0.0, late_fps = 0.0;
+  int full_n = 0, late_n = 0;
+  for (const ConferenceStats::Leg& leg : stats.legs) {
+    if (leg.joined_s == 0.0 && leg.to != 2 && leg.from != 2) {
+      full_fps += leg.stats.AvgFps();
+      ++full_n;
+    }
+    if (leg.joined_s == 6.0) {
+      EXPECT_DOUBLE_EQ(leg.left_s, 12.0);
+      late_fps += leg.stats.AvgFps();
+      ++late_n;
+    }
+  }
+  ASSERT_GT(full_n, 0);
+  ASSERT_EQ(late_n, 4);  // 2->{0,1} and {0,1}->2
+  full_fps /= full_n;
+  late_fps /= late_n;
+  // Normalized over its own window, the late joiner's frame rate is within
+  // 20% of the whole-call participants' — NOT roughly halved, which is what
+  // whole-call normalization would report for a half-call member.
+  EXPECT_GT(late_fps, 0.8 * full_fps);
+  // And the lifetime-fair freeze metric stays a ratio in [0, 1].
+  for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+    EXPECT_GE(p.avg_freeze_ratio, 0.0);
+    EXPECT_LE(p.avg_freeze_ratio, 1.0);
+  }
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SSRC incarnations: rejoin allocations are disjoint from every earlier
+// stream of every participant, so a rejoiner can never collide with its own
+// previous life (or anyone else's) at a receiver or in the hub's
+// per-(origin, path) sequence spaces, which are keyed by participant id and
+// reset on leave.
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSuiteTest, SsrcIncarnationsAreDisjoint) {
+  std::set<uint32_t> seen;
+  for (int incarnation = 0; incarnation < 4; ++incarnation) {
+    for (int participant = 0; participant < 8; ++participant) {
+      for (int stream = 0; stream < SsrcAllocator::kMaxStreamsPerParticipant;
+           ++stream) {
+        const uint32_t ssrc =
+            SsrcAllocator::StreamSsrc(participant, stream, incarnation);
+        EXPECT_TRUE(seen.insert(ssrc).second)
+            << "collision at inc=" << incarnation << " p=" << participant
+            << " s=" << stream;
+      }
+    }
+  }
+  // Incarnation 0 is the historical layout: the legacy 2-arg form.
+  EXPECT_EQ(SsrcAllocator::StreamSsrc(3, 1),
+            SsrcAllocator::StreamSsrc(3, 1, 0));
+  // Incarnation banks are whole disjoint ranges, not interleavings: the
+  // maximum incarnation-0 SSRC sits below the minimum incarnation-1 SSRC.
+  EXPECT_LT(SsrcAllocator::StreamSsrc(
+                SsrcAllocator::kMaxParticipantsPerIncarnation - 1,
+                SsrcAllocator::kMaxStreamsPerParticipant - 1, 0),
+            SsrcAllocator::StreamSsrc(0, 0, 1));
+}
+
+}  // namespace
+}  // namespace converge

@@ -212,6 +212,76 @@ TEST(NegotiationTest, MeshPlanLegacyEndpointDowngradesOnlyItsOwnPairs) {
   EXPECT_TRUE(plan.PairSession(0, 2).use_multipath);
 }
 
+TEST(MembershipTest, ValidatesTimelines) {
+  auto at = [](double s) { return Timestamp::Zero() + Duration::Seconds(s); };
+  using K = MembershipEvent::Kind;
+
+  // Valid: a late joiner, and a leave + rejoin.
+  EXPECT_EQ(ValidateMembership(3, {{K::kJoin, at(5), 2}}), "");
+  EXPECT_EQ(ValidateMembership(3, {{K::kLeave, at(4), 1},
+                                   {K::kJoin, at(8), 1}}),
+            "");
+  EXPECT_EQ(ValidateMembership(2, {}), "");
+
+  // Invalid: unknown participant, joining while present, leaving twice,
+  // non-increasing per-participant times.
+  EXPECT_NE(ValidateMembership(2, {{K::kJoin, at(1), 5}}), "");
+  EXPECT_NE(ValidateMembership(2, {{K::kLeave, at(2), 0},
+                                   {K::kJoin, at(4), 0},
+                                   {K::kJoin, at(6), 0}}),
+            "");
+  EXPECT_NE(ValidateMembership(2, {{K::kLeave, at(2), 0},
+                                   {K::kLeave, at(4), 0}}),
+            "");
+  EXPECT_NE(ValidateMembership(2, {{K::kLeave, at(4), 0},
+                                   {K::kJoin, at(4), 0}}),
+            "");
+}
+
+TEST(MembershipTest, PresenceAndIncarnationQueries) {
+  auto at = [](double s) { return Timestamp::Zero() + Duration::Seconds(s); };
+  using K = MembershipEvent::Kind;
+  const std::vector<MembershipEvent> events = {
+      {K::kJoin, at(3), 2},                       // late joiner
+      {K::kLeave, at(4), 1}, {K::kJoin, at(8), 1}  // leave + rejoin
+  };
+
+  // Absent at t=0 iff the first event is a join.
+  EXPECT_TRUE(MembershipPresentAtStart(0, events));
+  EXPECT_TRUE(MembershipPresentAtStart(1, events));
+  EXPECT_FALSE(MembershipPresentAtStart(2, events));
+
+  // Incarnation = completed leaves at or before t; the rejoin at 8 s runs
+  // as incarnation 1.
+  EXPECT_EQ(MembershipIncarnationAt(1, at(0), events), 0);
+  EXPECT_EQ(MembershipIncarnationAt(1, at(4), events), 1);
+  EXPECT_EQ(MembershipIncarnationAt(1, at(8), events), 1);
+  EXPECT_EQ(MembershipIncarnationAt(2, at(10), events), 0);
+}
+
+TEST(MembershipTest, ChurnAwareMeshPlanCarriesTimeline) {
+  auto at = [](double s) { return Timestamp::Zero() + Duration::Seconds(s); };
+  using K = MembershipEvent::Kind;
+  std::vector<EndpointCapabilities> participants(3);
+  for (int i = 0; i < 3; ++i) {
+    participants[static_cast<size_t>(i)].participant_id = i;
+    participants[static_cast<size_t>(i)].interfaces = DualInterfaces();
+  }
+
+  // The full roster negotiates up front (a rejoiner reuses its session);
+  // the timeline is attached sorted.
+  const ConferencePlan plan = NegotiateMesh(
+      participants, {{K::kJoin, at(8), 1}, {K::kLeave, at(4), 1}});
+  ASSERT_EQ(plan.membership.size(), 2u);
+  EXPECT_EQ(plan.membership[0].kind, K::kLeave);
+  EXPECT_TRUE(plan.PresentAtStart(1));
+  EXPECT_TRUE(plan.PresentAt(1, at(2)));
+  EXPECT_FALSE(plan.PresentAt(1, at(6)));
+  EXPECT_TRUE(plan.PresentAt(1, at(10)));
+  // Pairwise sessions exist for every pair regardless of churn.
+  EXPECT_TRUE(plan.PairSession(0, 1).use_multipath);
+}
+
 TEST(NegotiationTest, StarPlanNegotiatesOneUplinkPerParticipant) {
   EndpointCapabilities forwarder;
   forwarder.participant_id = 100;
