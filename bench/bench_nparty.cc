@@ -15,6 +15,10 @@
 //                      on a 4-party mesh, per-leg lifetime windows)
 //   --cross-traffic    run ONLY the competing-TCP cell (call share vs a
 //                      greedy AIMD flow on the primary path)
+//   --cc=<name>        congestion controller for every cell (gcc | nada |
+//                      cross; default gcc)
+//   --coupling=<name>  multipath coupling strategy (uncoupled | mp-weighted
+//                      | mp-rr | mp-best; default uncoupled)
 //   --trace=<prefix>   run ONE traced conference and write <prefix>.json
 //                      (Perfetto / chrome://tracing) and <prefix>.csv.
 //                      Default subject is the constrained star (hub queue +
@@ -36,6 +40,15 @@
 
 namespace converge {
 namespace {
+
+// --cc / --coupling selections, applied to every cell's config.
+CcAlgorithm g_cc_algorithm = CcAlgorithm::kGcc;
+CcCoupling g_cc_coupling = CcCoupling::kUncoupled;
+
+void ApplyCcFlags(ConferenceConfig& config) {
+  config.cc_algorithm = g_cc_algorithm;
+  config.cc_coupling = g_cc_coupling;
+}
 
 ConferenceConfig NpartyConfig(Topology topology, int participants,
                               Duration duration, uint64_t seed) {
@@ -69,6 +82,7 @@ ConferenceConfig NpartyConfig(Topology topology, int participants,
     return std::vector<PathSpec>{path("wifi", 7.0, 20, 0.01),
                                  path("cell", 5.0, 40, 0.005)};
   };
+  ApplyCcFlags(config);
   return config;
 }
 
@@ -101,6 +115,7 @@ ConferenceConfig ConstrainedStarConfig(double slow_mbps, Duration duration,
     }
     return std::vector<PathSpec>{path("u0", 6.0, 20), path("u1", 4.0, 35)};
   };
+  ApplyCcFlags(config);
   return config;
 }
 
@@ -189,6 +204,7 @@ ConferenceConfig ChurnConfig(Duration duration, uint64_t seed) {
       {MembershipEvent::Kind::kJoin, at(0.60), 1},
       {MembershipEvent::Kind::kLeave, at(0.80), 2},
   };
+  ApplyCcFlags(config);
   return config;
 }
 
@@ -269,6 +285,7 @@ int CrossTrafficCell(Duration duration) {
   p1.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(3));
   p1.prop_delay = Duration::Millis(35);
   config.paths = {p0, p1};
+  ApplyCcFlags(config);
 
   Conference conference(config);
   const ConferenceStats stats = conference.Run();
@@ -404,15 +421,37 @@ void SweepTopology(Topology topology, const std::vector<int>& sizes,
 }
 
 int Main(int argc, char** argv) {
-  if (MaybeCaptureHubTrace(argc, argv)) return 0;
-
   bool smoke = false;
   bool churn_only = false;
   bool cross_only = false;
+  // CC flags are parsed before the trace short-circuit so a traced run
+  // (`--trace=... --cc=nada`) exercises the requested controller too.
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-    if (std::strcmp(argv[i], "--churn") == 0) churn_only = true;
-    if (std::strcmp(argv[i], "--cross-traffic") == 0) cross_only = true;
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if (arg == "--churn") churn_only = true;
+    if (arg == "--cross-traffic") cross_only = true;
+    if (arg.rfind("--cc=", 0) == 0) {
+      if (!ParseCcAlgorithm(arg.substr(5), &g_cc_algorithm)) {
+        std::fprintf(stderr, "unknown --cc value: %s\n", arg.c_str() + 5);
+        return 2;
+      }
+    }
+    if (arg.rfind("--coupling=", 0) == 0) {
+      if (!ParseCcCoupling(arg.substr(11), &g_cc_coupling)) {
+        std::fprintf(stderr, "unknown --coupling value: %s\n",
+                     arg.c_str() + 11);
+        return 2;
+      }
+    }
+  }
+
+  if (MaybeCaptureHubTrace(argc, argv)) return 0;
+  if (g_cc_algorithm != CcAlgorithm::kGcc ||
+      g_cc_coupling != CcCoupling::kUncoupled) {
+    std::printf("congestion control: %s, coupling: %s\n",
+                ToString(g_cc_algorithm).c_str(),
+                ToString(g_cc_coupling).c_str());
   }
   if (churn_only || cross_only) {
     const Duration cell_duration =

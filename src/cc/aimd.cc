@@ -31,13 +31,24 @@ DataRate AimdRateControl::Update(BandwidthUsage usage, DataRate acked_rate,
           acked_rate.IsZero() ? rate_ : acked_rate;
       const DataRate target = measured * config_.beta;
       if (target < rate_) rate_ = Clamp(target);
-      // Remember the capacity estimate (EWMA around decrease points).
+      // Remember the capacity estimate (EWMA around decrease points) and
+      // track the normalized variance of the samples against it: the
+      // squared estimation error in kbps, normalized by the estimate so the
+      // value is scale-free, EWMA-smoothed and clamped like libwebrtc's
+      // LinkCapacityEstimator. Tight samples pull the variance back to the
+      // floor; scattered ones widen the near-capacity band above.
       const double sample = static_cast<double>(measured.bps());
       if (link_capacity_estimate_bps_ <= 0.0) {
         link_capacity_estimate_bps_ = sample;
       } else {
         link_capacity_estimate_bps_ +=
             0.05 * (sample - link_capacity_estimate_bps_);
+        const double estimate_kbps = link_capacity_estimate_bps_ / 1000.0;
+        const double error_kbps = estimate_kbps - sample / 1000.0;
+        link_capacity_var_ =
+            0.95 * link_capacity_var_ +
+            0.05 * (error_kbps * error_kbps) / std::max(estimate_kbps, 1.0);
+        link_capacity_var_ = std::clamp(link_capacity_var_, 0.4, 2.5);
       }
       ever_decreased_ = true;
       last_decrease_ = now;

@@ -28,6 +28,14 @@ class AimdRateControl {
   DataRate rate() const { return rate_; }
   void SetRate(DataRate rate) { rate_ = Clamp(rate); }
   State state() const { return state_; }
+  // Normalized variance of the capacity samples observed at decrease
+  // points (kbps-scale, clamped to [0.4, 2.5]); the near-capacity
+  // additive-increase band in Update is 3*sqrt of this, so spread samples
+  // widen the cautious region and tight samples shrink it back.
+  double link_capacity_variance() const { return link_capacity_var_; }
+  double link_capacity_estimate_bps() const {
+    return link_capacity_estimate_bps_;
+  }
 
  private:
   DataRate Clamp(DataRate r) const;
@@ -39,7 +47,10 @@ class AimdRateControl {
   bool ever_decreased_ = false;
   Timestamp last_decrease_ = Timestamp::MinusInfinity();
   Timestamp last_update_ = Timestamp::MinusInfinity();
-  // Average decrease point: near it we switch to additive increase.
+  // Average decrease point: near it we switch to additive increase. The
+  // variance is the EWMA of the normalized squared estimation error at
+  // decrease points (libwebrtc LinkCapacityEstimator-style), so the band
+  // width tracks how repeatable the capacity samples actually are.
   double link_capacity_estimate_bps_ = 0.0;
   double link_capacity_var_ = 0.4;
 };

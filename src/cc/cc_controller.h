@@ -1,0 +1,107 @@
+// The pluggable congestion-control seam. Converge runs one controller per
+// path (uncoupled CC, §4.1); this interface is the surface the session layer
+// (session/sender.h, cc/downlink_cc.h, the hub forwarder) holds controllers
+// through, so the paper's uncoupled-GCC choice can be evaluated against
+// alternative controllers (NADA, Cross) and against coupled-multipath
+// wrapper strategies (cc/coupling.h) without touching the media pipeline.
+//
+// Controllers are created through MakeCcController, an exhaustive switch
+// mirroring the MakeScheduler/MakeFec pattern in session/conference.cc: a
+// forged enum screams through the invariant registry and degrades to GCC so
+// release builds still produce a run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace converge {
+
+// One packet's fate as reported by transport feedback.
+struct PacketResult {
+  int64_t transport_seq = 0;
+  int64_t bytes = 0;
+  Timestamp send_time;
+  Timestamp recv_time;  // only valid when received
+  bool received = false;
+};
+
+// The available per-path rate controllers.
+enum class CcAlgorithm {
+  kGcc,    // trendline + AIMD + loss branch (WebRTC's controller)
+  kNada,   // RFC 8698: composite congestion signal, gradual update
+  kCross,  // Cross-style delay gradient with an explicit queue budget
+};
+
+// How a sender combines its per-path controllers. kUncoupled is the paper's
+// design (each path's target stands alone); the mp-* strategies redistribute
+// the aggregate target across paths (cc/coupling.h).
+enum class CcCoupling {
+  kUncoupled,   // per-path targets used as-is (Converge §4.1)
+  kWeighted,    // aggregate split by delivered-goodput share ("mp-weighted")
+  kRoundRobin,  // aggregate split equally across paths ("mp-rr")
+  kBestPath,    // aggregate pinned to the best path ("mp-best")
+};
+
+std::string ToString(CcAlgorithm a);
+std::string ToString(CcCoupling c);
+// Parse the stable token names ("gcc", "nada", "cross"; "uncoupled",
+// "mp-weighted", "mp-rr", "mp-best") used by bench flags and SDP. Returns
+// false on an unknown token, leaving `out` untouched.
+bool ParseCcAlgorithm(const std::string& token, CcAlgorithm* out);
+bool ParseCcCoupling(const std::string& token, CcCoupling* out);
+
+// Construction parameters shared by every controller.
+struct CcConfig {
+  CcAlgorithm algorithm = CcAlgorithm::kGcc;
+  DataRate start_rate = DataRate::KilobitsPerSec(300);
+  DataRate min_rate = DataRate::KilobitsPerSec(50);
+  DataRate max_rate = DataRate::MegabitsPerSec(50);
+  // PathId stamped on trace events (-1 when this controller is not
+  // path-scoped); probes are read-only and fire only under TraceScope.
+  int trace_path = -1;
+  // Trace component the series are emitted under; nullptr uses the
+  // controller's own name ("gcc", "nada", "cross"). The hub's per-downlink
+  // controllers use a distinct "hub_"-prefixed name so their series do not
+  // collide with a participant's own sender-side controllers in the same
+  // trace (HubTraceComponent below).
+  const char* trace_component = nullptr;
+};
+
+// Per-path congestion controller. Implementations must keep target_rate()
+// inside [config.min_rate, config.max_rate] (checked via the invariant
+// registry) and be fully deterministic functions of their inputs.
+class CcController {
+ public:
+  virtual ~CcController() = default;
+
+  // Stable token name ("gcc", "nada", "cross").
+  virtual const char* name() const = 0;
+
+  // Transport-wide feedback for this path (delay signal + goodput).
+  virtual void OnTransportFeedback(const std::vector<PacketResult>& results,
+                                   Timestamp now) = 0;
+  // Receiver-report loss + RTT. Policy (enforced by every implementation,
+  // documented in cc/gcc.h): a report with rtt <= 0 is accepted loss-only —
+  // the loss fraction is self-contained receiver evidence, while an RTT
+  // sample needs a valid SR echo.
+  virtual void OnReceiverReport(double fraction_lost, Duration rtt,
+                                Timestamp now) = 0;
+
+  virtual DataRate target_rate() const = 0;
+  virtual Duration smoothed_rtt() const = 0;
+  virtual double loss_estimate() const = 0;
+  virtual DataRate goodput() const = 0;
+};
+
+// Exhaustive factory over CcAlgorithm (the MakeScheduler pattern): a forged
+// enum screams through the invariant registry and falls back to GCC.
+std::unique_ptr<CcController> MakeCcController(const CcConfig& config);
+
+// The hub-side trace component for an algorithm ("hub_gcc", "hub_nada",
+// "hub_cross"); static storage, valid forever.
+const char* HubTraceComponent(CcAlgorithm a);
+
+}  // namespace converge

@@ -1,0 +1,73 @@
+#include "cc/coupling.h"
+
+#include <algorithm>
+
+#include "util/invariants.h"
+
+namespace converge {
+
+std::vector<DataRate> CoupleRates(CcCoupling coupling,
+                                  const std::vector<PathCcSnapshot>& paths,
+                                  DataRate floor) {
+  std::vector<DataRate> allocated;
+  allocated.reserve(paths.size());
+  if (paths.empty()) return allocated;
+
+  switch (coupling) {
+    case CcCoupling::kUncoupled: {
+      for (const PathCcSnapshot& p : paths) allocated.push_back(p.target);
+      return allocated;
+    }
+    case CcCoupling::kWeighted: {
+      DataRate aggregate = DataRate::Zero();
+      double total_goodput = 0.0;
+      for (const PathCcSnapshot& p : paths) {
+        aggregate = aggregate + p.target;
+        total_goodput += static_cast<double>(p.goodput.bps());
+      }
+      const double n = static_cast<double>(paths.size());
+      for (const PathCcSnapshot& p : paths) {
+        // Goodput-share weights; equal split until any path has delivered.
+        const double weight =
+            total_goodput > 0.0
+                ? static_cast<double>(p.goodput.bps()) / total_goodput
+                : 1.0 / n;
+        allocated.push_back(std::max(floor, aggregate * weight));
+      }
+      return allocated;
+    }
+    case CcCoupling::kRoundRobin: {
+      DataRate aggregate = DataRate::Zero();
+      for (const PathCcSnapshot& p : paths) aggregate = aggregate + p.target;
+      const DataRate share =
+          aggregate / static_cast<int64_t>(paths.size());
+      for (size_t i = 0; i < paths.size(); ++i) {
+        allocated.push_back(std::max(floor, share));
+      }
+      return allocated;
+    }
+    case CcCoupling::kBestPath: {
+      DataRate aggregate = DataRate::Zero();
+      size_t best = 0;
+      for (size_t i = 0; i < paths.size(); ++i) {
+        aggregate = aggregate + paths[i].target;
+        // Strictly-greater keeps the first best on ties — deterministic in
+        // the sender's fixed path order.
+        if (paths[i].target > paths[best].target) best = i;
+      }
+      for (size_t i = 0; i < paths.size(); ++i) {
+        allocated.push_back(i == best ? std::max(floor, aggregate) : floor);
+      }
+      return allocated;
+    }
+  }
+  // Exhaustive switch; only a forged enum lands here. Scream and fall back
+  // to the uncoupled identity.
+  CONVERGE_INVARIANT("CoupleRates", Timestamp::MinusInfinity(), false,
+                     "unknown CcCoupling " +
+                         std::to_string(static_cast<int>(coupling)));
+  for (const PathCcSnapshot& p : paths) allocated.push_back(p.target);
+  return allocated;
+}
+
+}  // namespace converge

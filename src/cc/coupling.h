@@ -1,0 +1,41 @@
+// Coupled-multipath rate allocation: wrapper strategies over the per-path
+// CcControllers, after the mp-weighted / mp-rr / mp-best family of coupled
+// multipath congestion-control variants. The per-path controllers keep
+// running untouched (they still probe and back off on their own signals);
+// coupling only redistributes the AGGREGATE of their targets across the
+// paths before the sender hands rates to the pacers, the encoder budget,
+// and the schedulers' PathInfo. kUncoupled is the identity — the paper's
+// per-path design (§4.1) — and must leave every rate byte-identical.
+#pragma once
+
+#include <vector>
+
+#include "cc/cc_controller.h"
+#include "util/time.h"
+
+namespace converge {
+
+// Read-only snapshot of one path's controller, in the sender's path order.
+struct PathCcSnapshot {
+  DataRate target = DataRate::Zero();
+  DataRate goodput = DataRate::Zero();
+  Duration srtt = Duration::Zero();
+  double loss = 0.0;
+};
+
+// Returns the allocated per-path rates (same order as `paths`) under the
+// strategy:
+//   kUncoupled  — each path keeps its own controller target (identity);
+//   kWeighted   — the aggregate target split by delivered-goodput share
+//                 (equal split until any path reports goodput);
+//   kRoundRobin — the aggregate split equally across paths;
+//   kBestPath   — the aggregate pinned to the best path (highest target,
+//                 first wins on ties), the rest held at `floor` so they
+//                 still carry probes/feedback and can take over.
+// Every allocation is floored at `floor` and the function is a pure,
+// deterministic function of its arguments.
+std::vector<DataRate> CoupleRates(CcCoupling coupling,
+                                  const std::vector<PathCcSnapshot>& paths,
+                                  DataRate floor);
+
+}  // namespace converge

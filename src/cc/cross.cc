@@ -1,0 +1,134 @@
+#include "cc/cross.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/invariants.h"
+#include "util/trace_recorder.h"
+
+namespace converge {
+namespace {
+
+void CheckRateEnvelope(const CcConfig& config, DataRate rate, Timestamp now) {
+  CONVERGE_INVARIANT(
+      "CrossController", now,
+      rate >= config.min_rate && rate <= config.max_rate,
+      "target=" + std::to_string(rate.bps()) +
+          "bps min=" + std::to_string(config.min_rate.bps()) +
+          " max=" + std::to_string(config.max_rate.bps()));
+}
+
+}  // namespace
+
+CrossController::CrossController(CcConfig config)
+    : CrossController(config, Params{}) {}
+
+CrossController::CrossController(CcConfig config, Params params)
+    : config_(config), params_(params), rate_(config.start_rate) {}
+
+void CrossController::OnTransportFeedback(
+    const std::vector<PacketResult>& results, Timestamp now) {
+  int received = 0;
+  int lost = 0;
+  Duration batch_min_owd = Duration::Infinity();
+  for (const PacketResult& r : results) {
+    if (!r.received) {
+      ++lost;
+      continue;
+    }
+    ++received;
+    acked_rate_.AddBytes(r.recv_time, r.bytes);
+    const Duration owd = r.recv_time - r.send_time;
+    if (owd < base_delay_) base_delay_ = owd;
+    if (owd < batch_min_owd) batch_min_owd = owd;
+  }
+  if (received + lost == 0) return;
+  goodput_ = acked_rate_.Rate(now);
+  loss_.Add(static_cast<double>(lost) /
+            static_cast<double>(received + lost));
+
+  const double dt_s = last_update_.IsFinite()
+                          ? std::clamp((now - last_update_).seconds(), 0.0, 0.5)
+                          : 0.1;
+  last_update_ = now;
+
+  if (!batch_min_owd.IsInfinite() && !base_delay_.IsInfinite()) {
+    const double sample_ms = (batch_min_owd - base_delay_).ms();
+    if (have_queue_sample_ && dt_s > 1e-6) {
+      const double gradient = (sample_ms - queue_ms_) / dt_s;
+      gradient_ms_per_s_ =
+          0.7 * gradient_ms_per_s_ + 0.3 * gradient;
+    }
+    queue_ms_ = have_queue_sample_ ? 0.5 * queue_ms_ + 0.5 * sample_ms
+                                   : sample_ms;
+    have_queue_sample_ = true;
+  }
+
+  const double budget = params_.queue_budget_ms;
+  if (loss_estimate() > params_.high_loss) {
+    // Heavy loss means the queue signal already failed (a drop-tail ahead
+    // of the bottleneck, or a faulted link): back off multiplicatively, at
+    // most once per ~300 ms so consecutive batches don't compound.
+    if (!last_loss_backoff_.IsFinite() ||
+        now - last_loss_backoff_ > Duration::Millis(300)) {
+      rate_ = rate_ * params_.loss_backoff;
+      last_loss_backoff_ = now;
+    }
+  } else if (queue_ms_ > budget) {
+    // Proportional multiplicative decrease: the further past the budget
+    // the queue sits, the harder the pull-down.
+    const double overshoot = (queue_ms_ - budget) / budget;
+    const double factor =
+        std::clamp(1.0 - params_.decrease_gain * dt_s * overshoot, 0.5, 1.0);
+    rate_ = rate_ * factor;
+  } else if (gradient_ms_per_s_ > params_.gradient_hold_ms_per_s) {
+    // Queue is filling fast even though it is still under budget: hold and
+    // let the gradient play out instead of feeding it.
+  } else {
+    // Headroom-scaled increase: full speed on an empty queue, tapering to
+    // nothing as the queue approaches the budget.
+    const double headroom =
+        std::clamp((budget - queue_ms_) / budget, 0.0, 1.0);
+    rate_ = rate_ * (1.0 + params_.increase_per_second * dt_s * headroom);
+  }
+
+  if (!goodput_.IsZero()) {
+    const DataRate ceiling = goodput_ * 2.0 + DataRate::KilobitsPerSec(500);
+    if (rate_ > ceiling) rate_ = ceiling;
+  }
+  rate_ = std::clamp(rate_, config_.min_rate, config_.max_rate);
+  CheckRateEnvelope(config_, rate_, now);
+  EmitTrace(now);
+}
+
+void CrossController::OnReceiverReport(double fraction_lost, Duration rtt,
+                                       Timestamp now) {
+  // Zero-RTT policy — accept loss-only (see cc/gcc.h).
+  if (rtt > Duration::Zero()) {
+    srtt_ = have_rtt_ ? srtt_ * 0.875 + rtt * 0.125 : rtt;
+    have_rtt_ = true;
+  }
+  loss_.Add(fraction_lost);
+  CheckRateEnvelope(config_, rate_, now);
+  CONVERGE_INVARIANT("CrossController", now, srtt_ > Duration::Zero(),
+                     "srtt=" + std::to_string(srtt_.us()) + "us");
+  EmitTrace(now);
+}
+
+void CrossController::EmitTrace(Timestamp now) const {
+  TraceRecorder* trace = TraceRecorder::Current();
+  if (trace == nullptr) return;
+  const int32_t path = config_.trace_path;
+  const char* c =
+      config_.trace_component != nullptr ? config_.trace_component : name();
+  trace->Counter(c, "target_kbps", now,
+                 static_cast<double>(rate_.bps()) / 1000.0, path);
+  trace->Counter(c, "goodput_kbps", now,
+                 static_cast<double>(goodput_.bps()) / 1000.0, path);
+  trace->Counter(c, "queue_ms", now, queue_ms_, path);
+  trace->Counter(c, "queue_gradient", now, gradient_ms_per_s_, path);
+  trace->Counter(c, "srtt_ms", now, srtt_.seconds() * 1000.0, path);
+  trace->Counter(c, "loss", now, loss_estimate(), path);
+}
+
+}  // namespace converge

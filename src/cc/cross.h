@@ -1,0 +1,70 @@
+// Cross-style delay-based congestion control (after arXiv 2409.10042):
+// tracks the queuing delay against an explicit budget and steers the rate
+// by the filtered delay gradient. Unlike GCC's trendline detector (a
+// slope-over-threshold state machine) the controller regulates directly on
+// the measured queue: overshoot of the budget produces a proportional
+// multiplicative decrease, headroom under it scales the increase, and a
+// sustained positive gradient holds the rate before the budget is even
+// reached. One instance per path, behind the CcController seam.
+#pragma once
+
+#include <vector>
+
+#include "cc/cc_controller.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace converge {
+
+class CrossController : public CcController {
+ public:
+  struct Params {
+    double queue_budget_ms = 50.0;   // explicit queuing-delay budget
+    double gradient_hold_ms_per_s = 25.0;  // hold when queue grows faster
+    double increase_per_second = 0.4;      // growth at full headroom
+    double decrease_gain = 0.8;      // decrease rate per unit overshoot
+    double loss_backoff = 0.85;      // multiplicative backoff on heavy loss
+    double high_loss = 0.10;
+  };
+
+  explicit CrossController(CcConfig config);
+  CrossController(CcConfig config, Params params);
+
+  const char* name() const override { return "cross"; }
+
+  void OnTransportFeedback(const std::vector<PacketResult>& results,
+                           Timestamp now) override;
+  void OnReceiverReport(double fraction_lost, Duration rtt,
+                        Timestamp now) override;
+
+  DataRate target_rate() const override { return rate_; }
+  Duration smoothed_rtt() const override { return srtt_; }
+  double loss_estimate() const override {
+    return loss_.initialized() ? loss_.value() : 0.0;
+  }
+  DataRate goodput() const override { return goodput_; }
+
+  // Filtered queuing delay (ms) and gradient (ms/s), for tests and traces.
+  double queue_delay_ms() const { return queue_ms_; }
+  double queue_gradient_ms_per_s() const { return gradient_ms_per_s_; }
+
+ private:
+  void EmitTrace(Timestamp now) const;
+
+  CcConfig config_;
+  Params params_;
+  DataRate rate_;
+  Duration srtt_ = Duration::Millis(100);
+  bool have_rtt_ = false;
+  Duration base_delay_ = Duration::Infinity();
+  double queue_ms_ = 0.0;
+  double gradient_ms_per_s_ = 0.0;
+  bool have_queue_sample_ = false;
+  Ewma loss_{0.1};
+  Timestamp last_update_ = Timestamp::MinusInfinity();
+  Timestamp last_loss_backoff_ = Timestamp::MinusInfinity();
+  RateEstimator acked_rate_{Duration::Millis(800)};
+  DataRate goodput_ = DataRate::Zero();
+};
+
+}  // namespace converge

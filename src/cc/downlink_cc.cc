@@ -5,7 +5,7 @@
 namespace converge {
 
 DownlinkCc::DownlinkCc(Config config)
-    : config_(config), gcc_(config.gcc) {}
+    : config_(config), cc_(MakeCcController(config.controller)) {}
 
 void DownlinkCc::OnPacketSent(int leg, int64_t transport_seq,
                               Timestamp send_time, int64_t bytes) {
@@ -48,7 +48,7 @@ void DownlinkCc::OnTransportFeedback(int leg, const TransportFeedback& fb,
   ++feedback_batches_;
   packets_acked_ += received;
   packets_lost_ += lost;
-  gcc_.OnTransportFeedback(results, now);
+  cc_->OnTransportFeedback(results, now);
   // Drive the loss branch from the same batch: without hub SRs there is no
   // receiver-report RTT echo for this hop, so use feedback arrival minus
   // the newest received packet's send time as the round-trip sample.
@@ -58,7 +58,7 @@ void DownlinkCc::OnTransportFeedback(int leg, const TransportFeedback& fb,
   if (newest_send.IsFinite() && now > newest_send) {
     rtt = now - newest_send;
   }
-  gcc_.OnReceiverReport(fraction_lost, rtt, now);
+  cc_->OnReceiverReport(fraction_lost, rtt, now);
 }
 
 }  // namespace converge

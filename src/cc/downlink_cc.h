@@ -2,7 +2,8 @@
 // conference. The SFU hub owns the downlink sequence spaces: it re-stamps
 // mp_transport_seq per (origin leg, path) at egress and registers every
 // stamped packet here, then translates the receiver's per-leg transport
-// feedback into PacketResults for a wrapped GccController.
+// feedback into PacketResults for a wrapped CcController (GCC by default;
+// any algorithm behind MakeCcController).
 //
 // The hub sends no SenderReports of its own (SR/SDES pass through from the
 // origin), so the receiver-report RTT echo measures the origin's round
@@ -14,9 +15,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <utility>
 
-#include "cc/gcc.h"
+#include "cc/cc_controller.h"
 #include "rtp/rtcp.h"
 #include "util/time.h"
 
@@ -25,7 +27,7 @@ namespace converge {
 class DownlinkCc {
  public:
   struct Config {
-    GccController::Config gcc;
+    CcConfig controller;
     // Packets kept awaiting feedback; the oldest entries are pruned first.
     size_t max_history = 8192;
   };
@@ -44,10 +46,10 @@ class DownlinkCc {
   void OnTransportFeedback(int leg, const TransportFeedback& fb,
                            Timestamp now);
 
-  DataRate target_rate() const { return gcc_.target_rate(); }
-  Duration smoothed_rtt() const { return gcc_.smoothed_rtt(); }
-  double loss_estimate() const { return gcc_.loss_estimate(); }
-  const GccController& gcc() const { return gcc_; }
+  DataRate target_rate() const { return cc_->target_rate(); }
+  Duration smoothed_rtt() const { return cc_->smoothed_rtt(); }
+  double loss_estimate() const { return cc_->loss_estimate(); }
+  const CcController& controller() const { return *cc_; }
 
   int64_t feedback_batches() const { return feedback_batches_; }
   int64_t packets_acked() const { return packets_acked_; }
@@ -60,7 +62,7 @@ class DownlinkCc {
   };
 
   Config config_;
-  GccController gcc_;
+  std::unique_ptr<CcController> cc_;
   // Keyed (leg, unwrapped transport seq); each leg's sequence space is
   // independent, so the pair key keeps them disjoint.
   std::map<std::pair<int, int64_t>, SentRecord> sent_;

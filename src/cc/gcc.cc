@@ -48,6 +48,8 @@ void GccController::OnTransportFeedback(
 
 void GccController::OnReceiverReport(double fraction_lost, Duration rtt,
                                      Timestamp now) {
+  // Accept-loss-only policy (see header): the RTT sample is used only when
+  // a valid SR echo produced it, the loss fraction always counts.
   if (rtt > Duration::Zero()) {
     srtt_ = have_rtt_ ? srtt_ * 0.875 + rtt * 0.125 : rtt;
     have_rtt_ = true;
@@ -67,7 +69,8 @@ void GccController::EmitTrace(Timestamp now) const {
   TraceRecorder* trace = TraceRecorder::Current();
   if (trace == nullptr) return;
   const int32_t path = config_.trace_path;
-  const char* c = config_.trace_component;
+  const char* c =
+      config_.trace_component != nullptr ? config_.trace_component : name();
   trace->Counter(c, "target_kbps", now,
                  static_cast<double>(target_rate().bps()) / 1000.0, path);
   trace->Counter(c, "goodput_kbps", now,

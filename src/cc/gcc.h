@@ -4,11 +4,14 @@
 //
 // Converge runs one GccController per path (uncoupled congestion control,
 // §4.1); the encoder target is min(sum of path rates, application max).
+// GCC is the default CcController and the one the pinned tests/data
+// fixtures were captured under.
 #pragma once
 
 #include <vector>
 
 #include "cc/aimd.h"
+#include "cc/cc_controller.h"
 #include "cc/loss_based.h"
 #include "cc/trendline.h"
 #include "util/stats.h"
@@ -16,45 +19,35 @@
 
 namespace converge {
 
-// One packet's fate as reported by transport feedback.
-struct PacketResult {
-  int64_t transport_seq = 0;
-  int64_t bytes = 0;
-  Timestamp send_time;
-  Timestamp recv_time;  // only valid when received
-  bool received = false;
-};
-
-class GccController {
+class GccController : public CcController {
  public:
-  struct Config {
-    DataRate start_rate = DataRate::KilobitsPerSec(300);
-    DataRate min_rate = DataRate::KilobitsPerSec(50);
-    DataRate max_rate = DataRate::MegabitsPerSec(50);
-    // PathId stamped on trace events (-1 when this controller is not
-    // path-scoped); probes are read-only and fire only under TraceScope.
-    int trace_path = -1;
-    // Trace component the series are emitted under; the hub's per-downlink
-    // controllers use a distinct name so their series do not collide with a
-    // participant's own sender-side controllers in the same trace.
-    const char* trace_component = "gcc";
-  };
+  // GCC's construction parameters are exactly the shared CcConfig; the
+  // alias keeps the historical GccController::Config spelling working.
+  using Config = CcConfig;
 
   GccController();
   explicit GccController(Config config);
 
+  const char* name() const override { return "gcc"; }
+
   // Transport-wide feedback for this path (delay-based branch + goodput).
   void OnTransportFeedback(const std::vector<PacketResult>& results,
-                           Timestamp now);
-  // Receiver-report loss + RTT (loss-based branch).
-  void OnReceiverReport(double fraction_lost, Duration rtt, Timestamp now);
+                           Timestamp now) override;
+  // Receiver-report loss + RTT (loss-based branch). Zero-RTT policy —
+  // accept loss-only: the fraction-lost field is self-contained receiver
+  // evidence (a cumulative count delta), so it always drives the loss
+  // branch, while the RTT sample requires a valid SR echo and is dropped
+  // when rtt <= 0 (no echo yet, or a clock artifact). Rejecting the whole
+  // report would blind the loss branch exactly when SRs are lost.
+  void OnReceiverReport(double fraction_lost, Duration rtt,
+                        Timestamp now) override;
 
   // Combined target: min(delay-based, loss-based).
-  DataRate target_rate() const;
+  DataRate target_rate() const override;
 
-  Duration smoothed_rtt() const { return srtt_; }
-  double loss_estimate() const { return loss_.smoothed_loss(); }
-  DataRate goodput() const { return goodput_; }
+  Duration smoothed_rtt() const override { return srtt_; }
+  double loss_estimate() const override { return loss_.smoothed_loss(); }
+  DataRate goodput() const override { return goodput_; }
   BandwidthUsage detector_state() const { return trendline_.State(); }
   double trendline_slope() const { return trendline_.trend(); }
   AimdRateControl::State aimd_state() const { return aimd_.state(); }

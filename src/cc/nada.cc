@@ -1,0 +1,135 @@
+#include "cc/nada.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/invariants.h"
+#include "util/trace_recorder.h"
+
+namespace converge {
+namespace {
+
+void CheckRateEnvelope(const CcConfig& config, DataRate rate, Timestamp now) {
+  CONVERGE_INVARIANT(
+      "NadaController", now,
+      rate >= config.min_rate && rate <= config.max_rate,
+      "target=" + std::to_string(rate.bps()) +
+          "bps min=" + std::to_string(config.min_rate.bps()) +
+          " max=" + std::to_string(config.max_rate.bps()));
+}
+
+}  // namespace
+
+NadaController::NadaController(CcConfig config)
+    : NadaController(config, Params{}) {}
+
+NadaController::NadaController(CcConfig config, Params params)
+    : config_(config), params_(params), rate_(config.start_rate) {}
+
+void NadaController::OnTransportFeedback(
+    const std::vector<PacketResult>& results, Timestamp now) {
+  int received = 0;
+  int lost = 0;
+  Duration batch_min_owd = Duration::Infinity();
+  for (const PacketResult& r : results) {
+    if (!r.received) {
+      ++lost;
+      continue;
+    }
+    ++received;
+    acked_rate_.AddBytes(r.recv_time, r.bytes);
+    const Duration owd = r.recv_time - r.send_time;
+    if (owd < base_delay_) base_delay_ = owd;
+    if (owd < batch_min_owd) batch_min_owd = owd;
+  }
+  if (received + lost == 0) return;
+  goodput_ = acked_rate_.Rate(now);
+
+  if (!batch_min_owd.IsInfinite() && !base_delay_.IsInfinite()) {
+    const double sample_ms = (batch_min_owd - base_delay_).ms();
+    // EWMA in place of the RFC's 15-tap median: same intent (suppress
+    // single-packet jitter), cheaper and already the house style.
+    queue_ms_ = 0.5 * queue_ms_ + 0.5 * sample_ms;
+  }
+  loss_.Add(static_cast<double>(lost) /
+            static_cast<double>(received + lost));
+
+  UpdateRate(/*batch_had_loss=*/lost > 0, now);
+  CheckRateEnvelope(config_, rate_, now);
+  EmitTrace(now);
+}
+
+void NadaController::UpdateRate(bool batch_had_loss, Timestamp now) {
+  const double dt_s = last_update_.IsFinite()
+                          ? std::clamp((now - last_update_).seconds(), 0.0, 0.5)
+                          : 0.1;
+  last_update_ = now;
+
+  // Composite congestion signal (RFC 8698 §4.2): filtered queuing delay
+  // plus an equivalent-delay loss penalty.
+  x_curr_ms_ = queue_ms_ + params_.loss_penalty_ms * loss_estimate();
+
+  const bool uncongested =
+      !batch_had_loss && queue_ms_ < params_.qeps_ms && loss_estimate() < 0.01;
+  if (uncongested) {
+    // Accelerated ramp-up (§4.3): multiplicative growth bounded so the
+    // self-inflicted queue stays under QBOUND for the current RTT.
+    const double rtt_ms = std::max(10.0, srtt_.seconds() * 1000.0);
+    const double gamma =
+        std::min(params_.gamma_max, params_.qbound_ms / (rtt_ms + 100.0));
+    rate_ = rate_ * (1.0 + gamma * dt_s / 0.1);
+  } else {
+    // Gradual update (§4.3): proportional term on the offset from the
+    // delay target, derivative term on the signal's change.
+    const double x_offset = x_curr_ms_ - params_.xref_ms;
+    const double x_diff = x_curr_ms_ - x_prev_ms_;
+    const double dt_ms = dt_s * 1000.0;
+    const double delta =
+        params_.kappa * (dt_ms / params_.tau_ms) * (x_offset / params_.tau_ms) +
+        params_.kappa * params_.eta * (x_diff / params_.tau_ms);
+    rate_ = rate_ * std::clamp(1.0 - delta, 0.5, 1.1);
+  }
+  x_prev_ms_ = x_curr_ms_;
+
+  // Never run far ahead of what the path demonstrably delivers (the same
+  // ceiling AIMD applies), except while still blind before the first
+  // goodput sample.
+  if (!goodput_.IsZero()) {
+    const DataRate ceiling = goodput_ * 2.0 + DataRate::KilobitsPerSec(500);
+    if (rate_ > ceiling) rate_ = ceiling;
+  }
+  rate_ = std::clamp(rate_, config_.min_rate, config_.max_rate);
+}
+
+void NadaController::OnReceiverReport(double fraction_lost, Duration rtt,
+                                      Timestamp now) {
+  // Zero-RTT policy — accept loss-only (see cc/gcc.h): loss is
+  // self-contained receiver evidence; the RTT sample needs a valid SR echo.
+  if (rtt > Duration::Zero()) {
+    srtt_ = have_rtt_ ? srtt_ * 0.875 + rtt * 0.125 : rtt;
+    have_rtt_ = true;
+  }
+  loss_.Add(fraction_lost);
+  CheckRateEnvelope(config_, rate_, now);
+  CONVERGE_INVARIANT("NadaController", now, srtt_ > Duration::Zero(),
+                     "srtt=" + std::to_string(srtt_.us()) + "us");
+  EmitTrace(now);
+}
+
+void NadaController::EmitTrace(Timestamp now) const {
+  TraceRecorder* trace = TraceRecorder::Current();
+  if (trace == nullptr) return;
+  const int32_t path = config_.trace_path;
+  const char* c =
+      config_.trace_component != nullptr ? config_.trace_component : name();
+  trace->Counter(c, "target_kbps", now,
+                 static_cast<double>(rate_.bps()) / 1000.0, path);
+  trace->Counter(c, "goodput_kbps", now,
+                 static_cast<double>(goodput_.bps()) / 1000.0, path);
+  trace->Counter(c, "queue_ms", now, queue_ms_, path);
+  trace->Counter(c, "x_curr_ms", now, x_curr_ms_, path);
+  trace->Counter(c, "srtt_ms", now, srtt_.seconds() * 1000.0, path);
+  trace->Counter(c, "loss", now, loss_estimate(), path);
+}
+
+}  // namespace converge

@@ -1,0 +1,79 @@
+// NADA congestion control (RFC 8698): a composite congestion signal built
+// from queuing delay plus a loss penalty, with a gradual rate update toward
+// equilibrium and an accelerated ramp-up phase when the path shows no
+// congestion. One instance per path, behind the CcController seam.
+//
+// The implementation follows the RFC's reference aggregation (x_curr =
+// warped queuing delay + loss penalty; r_ref updated by the offset from the
+// delay target and the signal's derivative) with the same simplifications
+// the rest of this repo makes: EWMA filters instead of the 15-tap median,
+// and the delivered-goodput ceiling GCC's AIMD also applies, so a
+// controller can never run far ahead of what the path demonstrably carries.
+#pragma once
+
+#include <vector>
+
+#include "cc/cc_controller.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace converge {
+
+class NadaController : public CcController {
+ public:
+  struct Params {
+    double xref_ms = 10.0;    // delay target at equilibrium (XREF)
+    double tau_ms = 500.0;    // filter time constant (TAU)
+    double kappa = 0.5;       // gradual-update scaling (KAPPA)
+    double eta = 2.0;         // derivative weight (ETA)
+    double gamma_max = 0.5;   // accelerated ramp-up cap per interval
+    double qbound_ms = 50.0;  // ramp-up delay bound (QBOUND)
+    double qeps_ms = 10.0;    // "uncongested" queue threshold for ramp-up
+    double loss_penalty_ms = 1000.0;  // signal ms added per unit loss ratio
+  };
+
+  explicit NadaController(CcConfig config);
+  NadaController(CcConfig config, Params params);
+
+  const char* name() const override { return "nada"; }
+
+  void OnTransportFeedback(const std::vector<PacketResult>& results,
+                           Timestamp now) override;
+  void OnReceiverReport(double fraction_lost, Duration rtt,
+                        Timestamp now) override;
+
+  DataRate target_rate() const override { return rate_; }
+  Duration smoothed_rtt() const override { return srtt_; }
+  double loss_estimate() const override {
+    return loss_.initialized() ? loss_.value() : 0.0;
+  }
+  DataRate goodput() const override { return goodput_; }
+
+  // Filtered queuing delay (ms), for tests and traces.
+  double queue_delay_ms() const { return queue_ms_; }
+  // Last composite congestion signal x_curr (ms).
+  double congestion_signal_ms() const { return x_curr_ms_; }
+
+ private:
+  void UpdateRate(bool batch_had_loss, Timestamp now);
+  void EmitTrace(Timestamp now) const;
+
+  CcConfig config_;
+  Params params_;
+  DataRate rate_;
+  Duration srtt_ = Duration::Millis(100);
+  bool have_rtt_ = false;
+  // Baseline (minimum observed) one-way delay; queuing delay is measured
+  // against it. One-way delays in this simulation share a clock, so no
+  // offset handling is needed.
+  Duration base_delay_ = Duration::Infinity();
+  double queue_ms_ = 0.0;     // EWMA-filtered queuing delay
+  double x_curr_ms_ = 0.0;    // composite signal of the last update
+  double x_prev_ms_ = 0.0;
+  Ewma loss_{0.1};
+  Timestamp last_update_ = Timestamp::MinusInfinity();
+  RateEstimator acked_rate_{Duration::Millis(800)};
+  DataRate goodput_ = DataRate::Zero();
+};
+
+}  // namespace converge

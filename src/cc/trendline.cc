@@ -38,8 +38,9 @@ void TrendlineEstimator::UpdateGroup(Timestamp send_time, Timestamp recv_time) {
     smoothed_delay_ms_ = config_.smoothing * smoothed_delay_ms_ +
                          (1.0 - config_.smoothing) * accumulated_delay_ms_;
     UpdateTrend(group_last_recv_);
+    ++num_deltas_;
     const Duration inter_arrival = group_last_recv_ - prev_group_recv_;
-    Detect(trend_ * static_cast<double>(std::min<size_t>(window_.size(), 60)) *
+    Detect(trend_ * static_cast<double>(std::min<int64_t>(num_deltas_, 60)) *
                config_.threshold_gain,
            inter_arrival, group_last_recv_);
   }

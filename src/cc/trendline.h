@@ -33,6 +33,9 @@ class TrendlineEstimator {
   BandwidthUsage State() const { return state_; }
   double trend() const { return trend_; }
   double threshold() const { return threshold_; }
+  // Inter-group delay deltas observed so far; the detector gain is
+  // min(num_deltas, 60), independent of the regression window size.
+  int64_t num_deltas() const { return num_deltas_; }
 
  private:
   void UpdateGroup(Timestamp send_time, Timestamp recv_time);
@@ -56,6 +59,10 @@ class TrendlineEstimator {
   double smoothed_delay_ms_ = 0.0;
   std::deque<std::pair<double, double>> window_;  // (arrival ms, smoothed)
   double first_arrival_ms_ = 0.0;
+  // Total deltas observed, counted separately from the regression window:
+  // the detector gain saturates at 60 deltas (the published design), while
+  // the window holds only the last window_size points for the slope fit.
+  int64_t num_deltas_ = 0;
 
   double trend_ = 0.0;
   double threshold_;

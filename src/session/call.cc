@@ -32,6 +32,8 @@ ConferenceConfig ToConferenceConfig(const CallConfig& config) {
   conf.frame_buffer_capacity = config.frame_buffer_capacity;
   conf.video_scheduler = config.video_scheduler;
   conf.converge_fec = config.converge_fec;
+  conf.cc_algorithm = config.cc_algorithm;
+  conf.cc_coupling = config.cc_coupling;
   conf.trace_capacity = config.trace_capacity;
   return conf;
 }

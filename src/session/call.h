@@ -32,6 +32,10 @@ struct CallConfig {
   // Tunables for the Converge variants (design-choice ablations).
   VideoAwareScheduler::Config video_scheduler;
   ConvergeFecController::Config converge_fec;
+  // Per-path congestion-control algorithm and multipath coupling strategy
+  // (see cc/cc_controller.h). Defaults keep the historical uncoupled GCC.
+  CcAlgorithm cc_algorithm = CcAlgorithm::kGcc;
+  CcCoupling cc_coupling = CcCoupling::kUncoupled;
   // Flight-recorder capacity in events; 0 (the default) disables tracing.
   // When set, the call owns a TraceRecorder that is installed for the
   // duration of Run() — probes are read-only, so results are identical

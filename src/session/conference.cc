@@ -230,7 +230,9 @@ Sender::Config MakeSenderConfig(const ConferenceConfig& config,
   }
   sconf.max_total_rate =
       config.max_rate_per_stream * static_cast<int64_t>(spec.num_streams);
-  sconf.gcc.max_rate = sconf.max_total_rate * 2;
+  sconf.cc.algorithm = config.cc_algorithm;
+  sconf.cc.max_rate = sconf.max_total_rate * 2;
+  sconf.cc_coupling = config.cc_coupling;
   sconf.enable_fec = config.enable_fec;
   return sconf;
 }
@@ -462,9 +464,10 @@ void Conference::BuildStarForwarder(int to) {
                                 static_cast<int64_t>(spec.num_streams);
   }
   HubForwarder::Config hconf = config_.hub;
-  hconf.cc.gcc.start_rate = aggregate;
-  hconf.cc.gcc.max_rate = aggregate * 2;
-  hconf.cc.gcc.trace_component = "hub_gcc";
+  hconf.cc.controller.algorithm = config_.cc_algorithm;
+  hconf.cc.controller.start_rate = aggregate;
+  hconf.cc.controller.max_rate = aggregate * 2;
+  hconf.cc.controller.trace_component = HubTraceComponent(config_.cc_algorithm);
   // Hub work on this receiver's downlinks is attributed to the receiver,
   // like the downlink delivery callbacks.
   TraceParticipantScope scope(to);

@@ -124,9 +124,16 @@ struct ConferenceConfig {
   // Tunables for the Converge variants (design-choice ablations).
   VideoAwareScheduler::Config video_scheduler;
   ConvergeFecController::Config converge_fec;
+  // Per-path congestion-control algorithm (every sender path AND every hub
+  // downlink run one instance of it) and the strategy coupling a sender's
+  // per-path targets into allocated rates. Defaults preserve the historical
+  // uncoupled-GCC behavior byte-for-byte.
+  CcAlgorithm cc_algorithm = CcAlgorithm::kGcc;
+  CcCoupling cc_coupling = CcCoupling::kUncoupled;
   // Star only: per-downlink forwarding at the hub. The congestion
-  // controller's start and max rates in hub.cc.gcc are ignored: they are
-  // derived at build time from the aggregate publisher rate (an SFU starts
+  // controller's algorithm, start and max rates in hub.cc.controller are
+  // overridden at build time: the algorithm follows cc_algorithm and the
+  // rates derive from the aggregate publisher rate (an SFU starts
   // optimistic and lets delay/loss signals pull a slow downlink back).
   HubForwarder::Config hub;
   // Flight-recorder capacity in events; 0 (the default) disables tracing.

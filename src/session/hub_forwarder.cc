@@ -55,7 +55,7 @@ HubForwarder::HubForwarder(EventLoop* loop, Config config,
       last_process_(loop->now()) {
   for (PathId path : paths) {
     DownlinkCc::Config cc = config_.cc;
-    cc.gcc.trace_path = static_cast<int>(path);
+    cc.controller.trace_path = static_cast<int>(path);
     paths_.emplace(path, std::make_unique<PathState>(cc));
   }
   task_ = std::make_unique<RepeatingTask>(loop_, config_.process_interval,

@@ -23,15 +23,15 @@ Sender::Sender(EventLoop* loop, Config config, Scheduler* scheduler,
       path_ids_(std::move(path_ids)) {
   for (PathId id : path_ids_) {
     PathState& st = paths_[id];
-    GccController::Config gcc_config = config_.gcc;
-    gcc_config.trace_path = static_cast<int>(id);
-    st.gcc = GccController(gcc_config);
+    CcConfig cc_config = config_.cc;
+    cc_config.trace_path = static_cast<int>(id);
+    st.cc = MakeCcController(cc_config);
     Pacer::Config pacer_config = config_.pacer;
     pacer_config.trace_path = static_cast<int>(id);
     st.pacer = std::make_unique<Pacer>(
         loop_, pacer_config,
         [this, id](RtpPacket&& packet) { DispatchPacket(id, std::move(packet)); });
-    st.pacer->SetRate(config_.gcc.start_rate);
+    st.pacer->SetRate(config_.cc.start_rate);
   }
   for (size_t i = 0; i < config_.streams.size(); ++i) {
     const StreamConfig& sc = config_.streams[i];
@@ -70,17 +70,34 @@ void Sender::Stop() {
   sdes_task_.reset();
 }
 
+std::vector<DataRate> Sender::AllocatedRates() const {
+  std::vector<PathCcSnapshot> snapshots;
+  snapshots.reserve(path_ids_.size());
+  for (PathId id : path_ids_) {
+    const PathState& st = paths_.at(id);
+    PathCcSnapshot snap;
+    snap.target = st.cc->target_rate();
+    snap.goodput = st.cc->goodput();
+    snap.srtt = st.cc->smoothed_rtt();
+    snap.loss = st.cc->loss_estimate();
+    snapshots.push_back(snap);
+  }
+  return CoupleRates(config_.cc_coupling, snapshots, config_.cc.min_rate);
+}
+
 std::vector<PathInfo> Sender::BuildPathInfos() const {
+  const std::vector<DataRate> allocated = AllocatedRates();
   std::vector<PathInfo> infos;
   infos.reserve(path_ids_.size());
-  for (PathId id : path_ids_) {
+  for (size_t i = 0; i < path_ids_.size(); ++i) {
+    const PathId id = path_ids_[i];
     const PathState& st = paths_.at(id);
     PathInfo info;
     info.id = id;
-    info.allocated_rate = st.gcc.target_rate();
-    info.srtt = st.gcc.smoothed_rtt();
-    info.loss = st.gcc.loss_estimate();
-    info.goodput = st.gcc.goodput();
+    info.allocated_rate = allocated[i];
+    info.srtt = st.cc->smoothed_rtt();
+    info.loss = st.cc->loss_estimate();
+    info.goodput = st.cc->goodput();
     info.pacer_queue_bytes = st.pacer->queue_bytes();
     info.pacer_queue_delay = st.pacer->QueueDelay();
     infos.push_back(info);
@@ -94,8 +111,8 @@ double Sender::AggregateLoss() const {
   double weighted = 0.0;
   double total = 0.0;
   for (const auto& [id, st] : paths_) {
-    const double rate = static_cast<double>(st.gcc.target_rate().bps());
-    weighted += st.gcc.loss_estimate() * rate;
+    const double rate = static_cast<double>(st.cc->target_rate().bps());
+    weighted += st.cc->loss_estimate() * rate;
     total += rate;
   }
   return total > 0.0 ? weighted / total : 0.0;
@@ -176,7 +193,7 @@ void Sender::OnCameraFrame(size_t stream_index, const RawFrame& raw) {
     for (auto& [path, media] : per_path) {
       auto pit = paths_.find(path);
       const double path_loss =
-          pit != paths_.end() ? pit->second.gcc.loss_estimate() : 0.0;
+          pit != paths_.end() ? pit->second.cc->loss_estimate() : 0.0;
       const int n_fec = fec_->NumFecPackets(
           static_cast<int>(media.size()), frame.kind, path, path_loss,
           aggregate);
@@ -268,7 +285,7 @@ void Sender::DispatchPacket(PathId path, RtpPacket packet) {
     PathId fast = kInvalidPathId;
     Duration best_srtt = Duration::Zero();
     for (PathId id : path_ids_) {
-      const Duration srtt = paths_.at(id).gcc.smoothed_rtt();
+      const Duration srtt = paths_.at(id).cc->smoothed_rtt();
       if (fast == kInvalidPathId || srtt < best_srtt) {
         fast = id;
         best_srtt = srtt;
@@ -286,11 +303,15 @@ void Sender::Tick() {
   scheduler_->OnTick(infos, now);
 
   // Per-path pacing rates and the aggregate encoder target (§4.1): the
-  // encoder runs at min(sum of active path rates, application max).
+  // encoder runs at min(sum of active path rates, application max). Rates
+  // go through the coupling strategy first; under kUncoupled they are
+  // exactly each controller's own target.
+  const std::vector<DataRate> allocated = AllocatedRates();
   DataRate total = DataRate::Zero();
-  for (PathId id : path_ids_) {
+  for (size_t i = 0; i < path_ids_.size(); ++i) {
+    const PathId id = path_ids_[i];
     PathState& st = paths_.at(id);
-    const DataRate rate = st.gcc.target_rate();
+    const DataRate rate = allocated[i];
     st.pacer->SetRate(std::max(rate, DataRate::KilobitsPerSec(100)));
     if (scheduler_->IsPathActive(id)) total += rate;
   }
@@ -372,7 +393,7 @@ void Sender::HandleRtcp(const RtcpPacket& packet, Timestamp arrival) {
       rtt = arrival - rr->last_sr_time - rr->delay_since_last_sr;
       if (rtt < Duration::Zero()) rtt = Duration::Zero();
     }
-    pit->second.gcc.OnReceiverReport(rr->fraction_lost, rtt, arrival);
+    pit->second.cc->OnReceiverReport(rr->fraction_lost, rtt, arrival);
   } else if (const auto* fb =
                  std::get_if<TransportFeedback>(&packet.payload)) {
     HandleTransportFeedback(*fb, path_id, arrival);
@@ -415,7 +436,7 @@ void Sender::HandleTransportFeedback(const TransportFeedback& feedback,
     r.recv_time = a.recv_time;
     results.push_back(r);
   }
-  st.gcc.OnTransportFeedback(results, now);
+  st.cc->OnTransportFeedback(results, now);
 }
 
 void Sender::HandleNack(const Nack& nack, PathId report_path) {
@@ -479,17 +500,17 @@ void Sender::HandleNack(const Nack& nack, PathId report_path) {
 
 DataRate Sender::path_rate(PathId path) const {
   auto it = paths_.find(path);
-  return it == paths_.end() ? DataRate::Zero() : it->second.gcc.target_rate();
+  return it == paths_.end() ? DataRate::Zero() : it->second.cc->target_rate();
 }
 
 Duration Sender::path_srtt(PathId path) const {
   auto it = paths_.find(path);
-  return it == paths_.end() ? Duration::Zero() : it->second.gcc.smoothed_rtt();
+  return it == paths_.end() ? Duration::Zero() : it->second.cc->smoothed_rtt();
 }
 
 double Sender::path_loss(PathId path) const {
   auto it = paths_.find(path);
-  return it == paths_.end() ? 0.0 : it->second.gcc.loss_estimate();
+  return it == paths_.end() ? 0.0 : it->second.cc->loss_estimate();
 }
 
 }  // namespace converge

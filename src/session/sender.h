@@ -12,7 +12,8 @@
 #include <optional>
 #include <vector>
 
-#include "cc/gcc.h"
+#include "cc/cc_controller.h"
+#include "cc/coupling.h"
 #include "cc/pacer.h"
 #include "fec/fec_controller.h"
 #include "fec/xor_fec.h"
@@ -38,7 +39,10 @@ class Sender {
   struct Config {
     std::vector<StreamConfig> streams;
     DataRate max_total_rate = DataRate::MegabitsPerSec(10);
-    GccController::Config gcc;
+    // Per-path congestion controller (one instance per path, built through
+    // MakeCcController) and the coupling strategy combining their targets.
+    CcConfig cc;
+    CcCoupling cc_coupling = CcCoupling::kUncoupled;
     Pacer::Config pacer;
     Duration tick_interval = Duration::Millis(50);
     Duration sr_interval = Duration::Millis(100);
@@ -95,7 +99,7 @@ class Sender {
   };
 
   struct PathState {
-    GccController gcc;
+    std::unique_ptr<CcController> cc;
     std::unique_ptr<Pacer> pacer;
     uint16_t next_mp_seq = 0;
     uint16_t next_mp_transport_seq = 0;
@@ -161,6 +165,9 @@ class Sender {
   void SendSenderReports();
   void SendSdes();
   std::vector<PathInfo> BuildPathInfos() const;
+  // Per-path rates after the coupling strategy (path_ids_ order). Under
+  // kUncoupled this is exactly each controller's own target.
+  std::vector<DataRate> AllocatedRates() const;
   double AggregateLoss() const;
   void HandleNack(const Nack& nack, PathId report_path);
   void HandleTransportFeedback(const TransportFeedback& feedback,

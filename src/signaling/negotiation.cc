@@ -32,6 +32,7 @@ SessionDescription CreateOffer(const EndpointCapabilities& caps) {
                                     static_cast<int>(caps.interfaces.size()));
     offer.header_extensions.push_back(kMultipathExtensionUri);
   }
+  offer.cc_algorithm = caps.cc_algorithm;
   return offer;
 }
 
@@ -47,6 +48,11 @@ SessionDescription CreateAnswer(const EndpointCapabilities& caps,
         std::min({offer.max_paths, caps.max_paths,
                   static_cast<int>(caps.interfaces.size())});
     answer.header_extensions.push_back(kMultipathExtensionUri);
+  }
+  // The CC attribute is echoed only when this endpoint runs the SAME
+  // algorithm the offer advertised; a silent answer means "gcc".
+  if (offer.cc_algorithm != "gcc" && offer.cc_algorithm == caps.cc_algorithm) {
+    answer.cc_algorithm = offer.cc_algorithm;
   }
   return answer;
 }
@@ -80,6 +86,14 @@ NegotiatedSession Negotiate(const EndpointCapabilities& local,
   }
   session.num_paths = static_cast<int>(session.pairs.size());
   session.use_multipath = multipath && session.num_paths > 1;
+  // CC resolution goes through the serialized round trip too: if either
+  // side's SDP dropped the attribute (legacy endpoint, mismatched
+  // algorithm), both ends land on the GCC default.
+  if (offer_parsed.has_value() && answer_parsed.has_value() &&
+      offer_parsed->cc_algorithm != "gcc" &&
+      answer_parsed->cc_algorithm == offer_parsed->cc_algorithm) {
+    session.cc_algorithm = offer_parsed->cc_algorithm;
+  }
   return session;
 }
 

@@ -52,6 +52,12 @@ struct EndpointCapabilities {
   bool supports_multipath = true;
   int max_paths = 2;
   int num_streams = 1;
+  // Congestion-control algorithm this endpoint is configured to run
+  // ("gcc" | "nada" | "cross" — cc/cc_controller.h owns the vocabulary).
+  // Offered via `a=x-converge-cc`; the answer echoes it only when the
+  // answerer runs the same algorithm, so a mismatch (or a legacy endpoint
+  // that drops the unknown attribute) falls back to GCC on both sides.
+  std::string cc_algorithm = "gcc";
   // Conference participant id; scopes the endpoint's published SSRCs
   // (rtp/ssrc_allocator.h) so N senders never collide. The historical
   // 2-party default of 0 keeps legacy SDP byte-compatible.
@@ -64,6 +70,9 @@ struct NegotiatedSession {
   bool use_multipath = false;
   int num_paths = 1;
   int num_streams = 1;
+  // Resolved congestion controller: the offered algorithm when both sides
+  // advertise it, otherwise "gcc" (the legacy fallback).
+  std::string cc_algorithm = "gcc";
   std::vector<CandidatePair> pairs;  // one per media path
 };
 

@@ -19,6 +19,9 @@ std::string SerializeSdp(const SessionDescription& desc) {
   if (desc.multipath_supported) {
     out << "a=" << kMultipathAttribute << ":" << desc.max_paths << "\r\n";
   }
+  if (desc.cc_algorithm != "gcc" && !desc.cc_algorithm.empty()) {
+    out << "a=" << kCcAttribute << ":" << desc.cc_algorithm << "\r\n";
+  }
   for (const SdpMediaStream& s : desc.streams) {
     out << "a=ssrc:" << s.ssrc << " label:" << s.label << "\r\n";
   }
@@ -31,6 +34,7 @@ std::optional<SessionDescription> ParseSdp(const std::string& text) {
   desc.streams.clear();
   desc.multipath_supported = false;
   desc.max_paths = 1;
+  desc.cc_algorithm = "gcc";
 
   bool saw_version = false;
   bool saw_media = false;
@@ -79,6 +83,10 @@ std::optional<SessionDescription> ParseSdp(const std::string& text) {
           desc.max_paths =
               std::atoi(value.c_str() + std::string(kMultipathAttribute).size() + 1);
           if (desc.max_paths < 1) desc.max_paths = 1;
+        } else if (value.rfind(std::string(kCcAttribute) + ":", 0) == 0) {
+          desc.cc_algorithm =
+              value.substr(std::string(kCcAttribute).size() + 1);
+          if (desc.cc_algorithm.empty()) desc.cc_algorithm = "gcc";
         } else if (value.rfind("ssrc:", 0) == 0) {
           SdpMediaStream stream;
           stream.ssrc = static_cast<uint32_t>(

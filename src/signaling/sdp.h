@@ -27,6 +27,11 @@ struct SessionDescription {
   // Converge extension: advertised only by multipath-capable endpoints.
   bool multipath_supported = false;
   int max_paths = 1;
+  // Converge extension: congestion-control algorithm token ("gcc", "nada",
+  // "cross"; cc/cc_controller.h owns the vocabulary). Serialized only when
+  // non-default, so legacy SDP stays byte-identical; a legacy endpoint
+  // ignores the unknown attribute and both sides fall back to GCC.
+  std::string cc_algorithm = "gcc";
   // RTP header extension URIs (the Appendix-B multipath extension).
   std::vector<std::string> header_extensions;
 };
@@ -39,6 +44,7 @@ std::string SerializeSdp(const SessionDescription& desc);
 std::optional<SessionDescription> ParseSdp(const std::string& text);
 
 inline constexpr char kMultipathAttribute[] = "x-converge-multipath";
+inline constexpr char kCcAttribute[] = "x-converge-cc";
 inline constexpr char kMultipathExtensionUri[] =
     "urn:x-converge:rtp-hdrext:multipath";
 

@@ -1,0 +1,240 @@
+// Scheduler × congestion-controller × coupling matrix: byte-determinism of
+// the full grid under parallel sharding, plus convergence envelopes for the
+// non-GCC controllers (NADA, Cross) on scripted rate-cliff and outage fault
+// plans — the same acceptance shape the GCC chaos suite pins: a bounded
+// ramp before the fault and at least half the pre-fault delivered rate back
+// within 10 s of the fault clearing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fault_plan.h"
+#include "net/loss_model.h"
+#include "session/call.h"
+#include "session/conference.h"
+#include "session/stats_json.h"
+#include "util/invariants.h"
+
+namespace converge {
+namespace {
+
+// One short duplex 2-party mesh cell of the matrix. Lossy asymmetric paths
+// so every scheduler/controller actually has signals to work with.
+ConferenceConfig MatrixConfig(Variant variant, CcAlgorithm algorithm,
+                              CcCoupling coupling, uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = variant;
+  config.topology = Topology::kMesh;
+  config.participants.assign(2, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::MegabitsPerSec(4);
+  config.duration = Duration::Seconds(4);
+  config.seed = seed;
+  config.cc_algorithm = algorithm;
+  config.cc_coupling = coupling;
+  auto path = [](const char* name, double mbps, int delay_ms, double loss) {
+    PathSpec spec;
+    spec.name = name;
+    spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+    spec.prop_delay = Duration::Millis(delay_ms);
+    if (loss > 0.0) spec.loss = std::make_shared<BernoulliLoss>(loss);
+    return spec;
+  };
+  config.paths = {path("wifi", 6.0, 20, 0.01), path("cell", 4.0, 40, 0.005)};
+  return config;
+}
+
+std::vector<ConferenceConfig> FullMatrix() {
+  const Variant variants[] = {Variant::kSrtt, Variant::kEcf, Variant::kMtput,
+                              Variant::kConverge};
+  const CcAlgorithm algorithms[] = {CcAlgorithm::kGcc, CcAlgorithm::kNada,
+                                    CcAlgorithm::kCross};
+  const CcCoupling couplings[] = {CcCoupling::kUncoupled, CcCoupling::kWeighted,
+                                  CcCoupling::kRoundRobin,
+                                  CcCoupling::kBestPath};
+  std::vector<ConferenceConfig> configs;
+  uint64_t seed = 1000;
+  for (Variant v : variants) {
+    for (CcAlgorithm a : algorithms) {
+      for (CcCoupling c : couplings) {
+        configs.push_back(MatrixConfig(v, a, c, seed++));
+      }
+    }
+  }
+  return configs;
+}
+
+std::vector<std::string> RunMatrixToJson(
+    const std::vector<ConferenceConfig>& configs, int jobs) {
+  const std::vector<ConferenceStats> results = RunConferences(configs, jobs);
+  std::vector<std::string> json;
+  json.reserve(results.size());
+  for (const ConferenceStats& stats : results) {
+    json.push_back(ConferenceStatsToJson(stats, 0));
+  }
+  return json;
+}
+
+// The whole 4 scheduler × 3 controller × 4 coupling grid must produce
+// byte-identical serialized stats however many workers ran, and again on a
+// rerun — the fleet-sharding determinism contract, extended to the new CC
+// seam. Invariants stay armed: no cell may scream either.
+TEST(CcMatrixTest, FullMatrixDeterministicAcrossJobsAndReruns) {
+  const std::vector<ConferenceConfig> configs = FullMatrix();
+  ASSERT_EQ(configs.size(), 48u);
+
+  InvariantRegistry::Clear();
+  ScopedInvariants guard;
+  const std::vector<std::string> serial = RunMatrixToJson(configs, 1);
+  const std::vector<std::string> sharded = RunMatrixToJson(configs, 8);
+  const std::vector<std::string> rerun = RunMatrixToJson(configs, 8);
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+
+  ASSERT_EQ(serial.size(), configs.size());
+  ASSERT_EQ(sharded.size(), configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(serial[i], sharded[i])
+        << "cell " << i << " (" << ToString(configs[i].variant) << " × "
+        << ToString(configs[i].cc_algorithm) << " × "
+        << ToString(configs[i].cc_coupling) << ") differs jobs=1 vs jobs=8";
+    EXPECT_EQ(sharded[i], rerun[i])
+        << "cell " << i << " (" << ToString(configs[i].variant) << " × "
+        << ToString(configs[i].cc_algorithm) << " × "
+        << ToString(configs[i].cc_coupling) << ") differs across reruns";
+  }
+}
+
+// Every matrix cell must actually move media: a controller stuck at its
+// floor (or a coupling strategy starving all paths) shows up here as a
+// dead cell long before the QoE envelopes would.
+TEST(CcMatrixTest, EveryCellDeliversMedia) {
+  const std::vector<ConferenceConfig> configs = FullMatrix();
+  const std::vector<ConferenceStats> results = RunConferences(configs, 0);
+  ASSERT_EQ(results.size(), configs.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    double tput = 0.0;
+    for (const ConferenceStats::ParticipantQoe& p : results[i].participants) {
+      tput += p.total_tput_mbps;
+    }
+    EXPECT_GT(tput, 0.2) << "cell " << i << " ("
+                         << ToString(configs[i].variant) << " × "
+                         << ToString(configs[i].cc_algorithm) << " × "
+                         << ToString(configs[i].cc_coupling) << ") starved";
+  }
+}
+
+// --- convergence envelopes for the non-GCC controllers --------------------
+
+CallConfig EnvelopeCall(CcAlgorithm algorithm) {
+  PathSpec primary;
+  primary.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(6));
+  primary.prop_delay = Duration::Millis(20);
+  PathSpec secondary = primary;
+  secondary.prop_delay = Duration::Millis(50);
+  CallConfig config;
+  config.variant = Variant::kConverge;
+  config.paths = {primary, secondary};
+  config.duration = Duration::Seconds(22);
+  config.seed = 5;
+  config.cc_algorithm = algorithm;
+  return config;
+}
+
+// Mirrors ChaosStressTest.ThroughputRecoversAfterOutage for a given
+// controller: 2 s outage on the primary at t=10; the delivered rate must be
+// flowing before the cut and regain >= 50% of the pre-outage mean within
+// 10 s of the window closing. Invariants armed throughout.
+void CheckOutageRecovery(CcAlgorithm algorithm) {
+  CallConfig config = EnvelopeCall(algorithm);
+  config.paths.front().fault_plan.Add(
+      FaultEvent::Outage(Timestamp::Seconds(10), Duration::Seconds(2)));
+
+  InvariantRegistry::Clear();
+  ScopedInvariants guard;
+  Call call(config);
+  const CallStats stats = call.Run();
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+
+  double pre_sum = 0.0;
+  int pre_n = 0;
+  double post_best = 0.0;
+  for (const SecondSample& s : stats.time_series) {
+    if (s.t_s >= 5 && s.t_s < 10) {
+      pre_sum += s.tput_mbps;
+      ++pre_n;
+    }
+    if (s.t_s > 12 && s.t_s <= 22) post_best = std::max(post_best, s.tput_mbps);
+  }
+  ASSERT_GT(pre_n, 0);
+  const double pre_mean = pre_sum / pre_n;
+  EXPECT_GT(pre_mean, 0.5) << ToString(algorithm)
+                           << ": not flowing before the outage";
+  EXPECT_GE(post_best, 0.5 * pre_mean)
+      << ToString(algorithm) << ": pre-outage mean " << pre_mean
+      << " Mbps, best post-outage second " << post_best << " Mbps";
+}
+
+// Rate cliff instead of a full cut: the primary loses 75% of its capacity
+// for 4 s. The ramp must be bounded (no second ever above the 2x-goodput
+// ceiling headroom over the physical capacity) and the call must be back to
+// >= 50% of its pre-cliff mean within 10 s of the cliff ending.
+void CheckRateCliffConvergence(CcAlgorithm algorithm) {
+  CallConfig config = EnvelopeCall(algorithm);
+  config.paths.front().fault_plan.Add(
+      FaultEvent::RateCliff(Timestamp::Seconds(10), Duration::Seconds(4),
+                            /*fraction=*/0.25));
+
+  InvariantRegistry::Clear();
+  ScopedInvariants guard;
+  Call call(config);
+  const CallStats stats = call.Run();
+  EXPECT_EQ(InvariantRegistry::violation_count(), 0)
+      << InvariantRegistry::Describe();
+
+  double pre_sum = 0.0;
+  int pre_n = 0;
+  double post_best = 0.0;
+  for (const SecondSample& s : stats.time_series) {
+    // Bounded ramp: both paths total 12 Mbps of physical capacity; no
+    // delivered second can exceed it (with a little headroom for sampling
+    // edges). A controller running away unchecked trips this long before.
+    EXPECT_LT(s.tput_mbps, 13.0)
+        << ToString(algorithm) << ": second " << s.t_s << " delivered "
+        << s.tput_mbps << " Mbps over physical capacity";
+    if (s.t_s >= 5 && s.t_s < 10) {
+      pre_sum += s.tput_mbps;
+      ++pre_n;
+    }
+    if (s.t_s > 14 && s.t_s <= 22) post_best = std::max(post_best, s.tput_mbps);
+  }
+  ASSERT_GT(pre_n, 0);
+  const double pre_mean = pre_sum / pre_n;
+  EXPECT_GT(pre_mean, 0.5) << ToString(algorithm)
+                           << ": not flowing before the cliff";
+  EXPECT_GE(post_best, 0.5 * pre_mean)
+      << ToString(algorithm) << ": pre-cliff mean " << pre_mean
+      << " Mbps, best post-cliff second " << post_best << " Mbps";
+}
+
+TEST(CcMatrixTest, NadaRecoversAfterOutage) {
+  CheckOutageRecovery(CcAlgorithm::kNada);
+}
+
+TEST(CcMatrixTest, CrossRecoversAfterOutage) {
+  CheckOutageRecovery(CcAlgorithm::kCross);
+}
+
+TEST(CcMatrixTest, NadaConvergesThroughRateCliff) {
+  CheckRateCliffConvergence(CcAlgorithm::kNada);
+}
+
+TEST(CcMatrixTest, CrossConvergesThroughRateCliff) {
+  CheckRateCliffConvergence(CcAlgorithm::kCross);
+}
+
+}  // namespace
+}  // namespace converge

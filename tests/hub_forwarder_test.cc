@@ -44,8 +44,8 @@ struct Harness {
 
 HubForwarder::Config FastConfig(double start_mbps) {
   HubForwarder::Config config;
-  config.cc.gcc.start_rate = DataRate::MegabitsPerSec(start_mbps);
-  config.cc.gcc.max_rate = DataRate::MegabitsPerSec(start_mbps * 4);
+  config.cc.controller.start_rate = DataRate::MegabitsPerSec(start_mbps);
+  config.cc.controller.max_rate = DataRate::MegabitsPerSec(start_mbps * 4);
   return config;
 }
 
@@ -149,9 +149,9 @@ TEST(HubForwarderTest, GateReopensOnKeyframe) {
 TEST(HubForwarderTest, EvictionIsOldestFirstAndKeyframeProtected) {
   // Rate so low nothing drains: eviction policy alone shapes the queue.
   HubForwarder::Config config;
-  config.cc.gcc.start_rate = DataRate::KilobitsPerSec(50);
-  config.cc.gcc.min_rate = DataRate::KilobitsPerSec(50);
-  config.cc.gcc.max_rate = DataRate::KilobitsPerSec(100);
+  config.cc.controller.start_rate = DataRate::KilobitsPerSec(50);
+  config.cc.controller.min_rate = DataRate::KilobitsPerSec(50);
+  config.cc.controller.max_rate = DataRate::KilobitsPerSec(100);
   config.thin_queue_delay = Duration::Seconds(1000);  // ingress never thins
   config.drop_queue_delay = Duration::Millis(250);
   Harness h(config);
@@ -233,8 +233,8 @@ TEST(HubForwarderTest, ConsumesDownlinkFeedbackKinds) {
 
 TEST(DownlinkCcTest, LossyFeedbackDropsTargetBelowStart) {
   DownlinkCc::Config config;
-  config.gcc.start_rate = DataRate::MegabitsPerSec(5);
-  config.gcc.max_rate = DataRate::MegabitsPerSec(10);
+  config.controller.start_rate = DataRate::MegabitsPerSec(5);
+  config.controller.max_rate = DataRate::MegabitsPerSec(10);
   DownlinkCc cc(config);
   const DataRate start = cc.target_rate();
 

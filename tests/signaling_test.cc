@@ -302,5 +302,64 @@ TEST(NegotiationTest, StarPlanNegotiatesOneUplinkPerParticipant) {
   EXPECT_FALSE(plan.UplinkSession(2).use_multipath);
 }
 
+TEST(SdpTest, DefaultCcOmitsAttributeForByteCompat) {
+  // The historical SDP never carried a CC attribute; the GCC default must
+  // keep serializing byte-identically, and a legacy description parses back
+  // to "gcc".
+  SessionDescription desc;
+  const std::string sdp = SerializeSdp(desc);
+  EXPECT_EQ(sdp.find(kCcAttribute), std::string::npos);
+  const auto parsed = ParseSdp(sdp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cc_algorithm, "gcc");
+}
+
+TEST(SdpTest, NonDefaultCcRoundTrips) {
+  SessionDescription desc;
+  desc.cc_algorithm = "nada";
+  const std::string sdp = SerializeSdp(desc);
+  EXPECT_NE(sdp.find("a=x-converge-cc:nada"), std::string::npos);
+  const auto parsed = ParseSdp(sdp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cc_algorithm, "nada");
+}
+
+TEST(NegotiationTest, MatchingCcAlgorithmIsNegotiated) {
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  a.cc_algorithm = "cross";
+  EndpointCapabilities b = a;
+  const NegotiatedSession session = Negotiate(a, b);
+  EXPECT_EQ(session.cc_algorithm, "cross");
+}
+
+TEST(NegotiationTest, MismatchedCcAlgorithmFallsBackToGcc) {
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  a.cc_algorithm = "nada";
+  EndpointCapabilities b = a;
+  b.cc_algorithm = "cross";
+  const NegotiatedSession session = Negotiate(a, b);
+  EXPECT_EQ(session.cc_algorithm, "gcc");
+}
+
+TEST(NegotiationTest, LegacyAnswererFallsBackToGcc) {
+  // A legacy remote never echoes the attribute (its caps keep the "gcc"
+  // default), so the offerer lands on GCC even though it advertised NADA.
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  a.cc_algorithm = "nada";
+  EndpointCapabilities legacy;
+  legacy.interfaces = DualInterfaces();
+  const NegotiatedSession session = Negotiate(a, legacy);
+  EXPECT_EQ(session.cc_algorithm, "gcc");
+
+  // Answer-side sanity: the echo only happens on an exact match.
+  const SessionDescription offer = CreateOffer(a);
+  EXPECT_EQ(offer.cc_algorithm, "nada");
+  const SessionDescription answer = CreateAnswer(legacy, offer);
+  EXPECT_EQ(answer.cc_algorithm, "gcc");
+}
+
 }  // namespace
 }  // namespace converge
