@@ -15,6 +15,14 @@
 //                      on a 4-party mesh, per-leg lifetime windows)
 //   --cross-traffic    run ONLY the competing-TCP cell (call share vs a
 //                      greedy AIMD flow on the primary path)
+//   --hubs=<k>         run ONLY the cascaded-fabric cell: a fixed-size star
+//                      swept across 1..k regional hubs (participants
+//                      round-robin), reporting QoE, trunk state, and driver
+//                      wall-clock vs hub count. With --smoke the sweep
+//                      shrinks to a CI-sized sanity check. Combined with
+//                      --trace=<prefix> it instead traces ONE k-hub call
+//                      with a mid-call hub failure ("hub_trunk" categories
+//                      + re-homing instants in the export)
 //   --cc=<name>        congestion controller for every cell (gcc | nada |
 //                      cross; default gcc)
 //   --coupling=<name>  multipath coupling strategy (uncoupled | mp-weighted
@@ -35,6 +43,7 @@
 
 #include "bench/bench_util.h"
 #include "net/cross_traffic.h"
+#include "net/fault_plan.h"
 #include "session/conference.h"
 #include "session/stats_json.h"
 
@@ -327,6 +336,100 @@ int CrossTrafficCell(Duration duration) {
   return 0;
 }
 
+// Cascaded-fabric subject: the N-party star wired over `num_hubs` regional
+// hubs. home_hub stays empty so participants land round-robin (p % hubs),
+// and the trunks get a dedicated path pair provisioned for every sender's
+// 4 Mbps cap with headroom — the inter-hub legs sit in well-connected
+// infrastructure, like the hub downlinks above.
+ConferenceConfig CascadeConfig(int participants, int num_hubs,
+                               Duration duration, uint64_t seed) {
+  ConferenceConfig config =
+      NpartyConfig(Topology::kStar, participants, duration, seed);
+  config.num_hubs = num_hubs;
+  auto trunk = [](const char* name, double mbps, int delay_ms) {
+    PathSpec spec;
+    spec.name = name;
+    spec.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(mbps));
+    spec.prop_delay = Duration::Millis(delay_ms);
+    return spec;
+  };
+  config.trunk_paths = {trunk("trunk-a", 6.0 * participants, 15),
+                        trunk("trunk-b", 4.0 * participants, 25)};
+  return config;
+}
+
+// The traced chaos subject: a k-hub call whose last hub dies 40% into the
+// call and recovers at 80%, so the export carries "hub_trunk" queue/CC
+// series (the flight recorder keeps the newest events, so early instants
+// may rotate out; the structural failure/re-home checks run on stats).
+ConferenceConfig CascadeFailoverConfig(int participants, int num_hubs,
+                                       Duration duration, uint64_t seed) {
+  ConferenceConfig config =
+      CascadeConfig(participants, num_hubs, duration, seed);
+  FaultPlan plan;
+  plan.Add(FaultEvent::Outage(Timestamp::Zero() + duration * 0.4,
+                              duration * 0.4));
+  config.hub_fault_plans.assign(static_cast<size_t>(num_hubs), FaultPlan{});
+  config.hub_fault_plans[static_cast<size_t>(num_hubs - 1)] = plan;
+  return config;
+}
+
+// QoE and driver wall-clock versus hub count: the same star swept from the
+// degenerate 1-hub case (zero trunks) up to max_hubs. Each extra hub adds
+// h*(h-1) directed trunks and one store-and-forward trunk crossing for
+// remote-hub media, so the expected deltas are a modest e2e_ms rise and
+// trunk rows appearing in the stats.
+int HubSweepCell(int max_hubs, int participants, Duration duration,
+                 int seeds) {
+  bench::Header("cascaded fabric: fixed-size star vs hub count");
+  std::printf("%4s %6s %8s %8s %8s %9s %10s\n", "hubs", "trunks", "fps",
+              "freeze", "e2e_ms", "mbps/recv", "wall_ms");
+  for (int h = 1; h <= max_hubs; ++h) {
+    std::vector<ConferenceConfig> configs;
+    for (int i = 0; i < seeds; ++i) {
+      configs.push_back(CascadeConfig(participants, h, duration,
+                                      1000 + static_cast<uint64_t>(i) * 77));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<ConferenceStats> results = RunConferences(configs);
+    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+
+    RunningStat fps, freeze, e2e, tput;
+    size_t trunk_rows = 0;
+    for (const ConferenceStats& stats : results) {
+      trunk_rows = stats.trunks.size();
+      for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+        fps.Add(p.avg_fps);
+        freeze.Add(p.avg_freeze_ms);
+        e2e.Add(p.avg_e2e_ms);
+        tput.Add(p.total_tput_mbps);
+      }
+    }
+    std::printf("%4d %6zu %8.2f %8.1f %8.1f %9.2f %10lld\n", h, trunk_rows,
+                fps.mean(), freeze.mean(), e2e.mean(), tput.mean(),
+                static_cast<long long>(wall.count()));
+    // Structural sanity for CI: the degenerate case must stay trunk-free, a
+    // real fabric must expose one stats row per directed trunk per path, and
+    // every receiver must keep rendering across the extra trunk hop.
+    const size_t want_rows =
+        h == 1 ? 0 : static_cast<size_t>(h) * (h - 1) * 2;
+    if (trunk_rows != want_rows) {
+      std::fprintf(stderr,
+                   "hub cell: got %zu trunk rows at %d hubs, want %zu\n",
+                   trunk_rows, h, want_rows);
+      return 1;
+    }
+    if (fps.mean() <= 1.0) {
+      std::fprintf(stderr,
+                   "hub cell: receivers starved at %d hubs (%.2f fps)\n", h,
+                   fps.mean());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 // --trace=<prefix> / CONVERGE_TRACE=<prefix>: one traced constrained-star
 // conference; the export carries the hub's per-downlink queue counters
 // ("hub" component) and the downlink controllers ("hub_gcc") alongside the
@@ -334,10 +437,12 @@ int CrossTrafficCell(Duration duration) {
 bool MaybeCaptureHubTrace(int argc, char** argv) {
   std::string prefix;
   bool churn = false;
+  int hubs = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) prefix = arg.substr(8);
     if (arg == "--churn") churn = true;
+    if (arg.rfind("--hubs=", 0) == 0) hubs = std::atoi(arg.c_str() + 7);
   }
   if (prefix.empty()) {
     if (const char* env = std::getenv("CONVERGE_TRACE")) prefix = env;
@@ -347,7 +452,9 @@ bool MaybeCaptureHubTrace(int argc, char** argv) {
   const Duration duration =
       bench::FastMode() ? Duration::Seconds(8) : Duration::Seconds(30);
   ConferenceConfig config =
-      churn ? ChurnConfig(duration, 42) : ConstrainedStarConfig(1.0, duration, 42);
+      hubs >= 2 ? CascadeFailoverConfig(9, hubs, duration, 42)
+      : churn   ? ChurnConfig(duration, 42)
+                : ConstrainedStarConfig(1.0, duration, 42);
   config.trace_capacity = TraceRecorder::kDefaultCapacity;
   Conference conference(config);
   const ConferenceStats stats = conference.Run();
@@ -357,7 +464,25 @@ bool MaybeCaptureHubTrace(int argc, char** argv) {
   const std::string csv_path = prefix + ".csv";
   const bool ok =
       trace->WriteChromeTrace(json_path) && trace->WriteCsv(csv_path);
-  if (churn) {
+  if (hubs >= 2) {
+    int64_t failures = 0, rehomed = 0;
+    for (const ConferenceStats::Hub& hb : stats.hubs) {
+      failures += hb.failures;
+      rehomed += hb.rehomed_onto;
+    }
+    std::printf(
+        "traced %d-hub failover: %lld hub failures, %lld participants "
+        "re-homed, %zu trunk rows, %lld events (%lld dropped)\n",
+        hubs, static_cast<long long>(failures),
+        static_cast<long long>(rehomed), stats.trunks.size(),
+        static_cast<long long>(trace->total_emitted()),
+        static_cast<long long>(trace->dropped()));
+    if (failures == 0 || rehomed == 0) {
+      std::fprintf(stderr,
+                   "error: traced failover never failed/re-homed a hub\n");
+      std::exit(1);
+    }
+  } else if (churn) {
     double rejoin_tput = 0.0;
     for (const ConferenceStats::Leg& leg : stats.legs) {
       if (leg.incarnation == 1) rejoin_tput += leg.stats.TotalTputMbps();
@@ -424,6 +549,7 @@ int Main(int argc, char** argv) {
   bool smoke = false;
   bool churn_only = false;
   bool cross_only = false;
+  int hubs = 0;
   // CC flags are parsed before the trace short-circuit so a traced run
   // (`--trace=... --cc=nada`) exercises the requested controller too.
   for (int i = 1; i < argc; ++i) {
@@ -431,6 +557,13 @@ int Main(int argc, char** argv) {
     if (arg == "--smoke") smoke = true;
     if (arg == "--churn") churn_only = true;
     if (arg == "--cross-traffic") cross_only = true;
+    if (arg.rfind("--hubs=", 0) == 0) {
+      hubs = std::atoi(arg.c_str() + 7);
+      if (hubs < 1) {
+        std::fprintf(stderr, "bad --hubs value: %s\n", arg.c_str() + 7);
+        return 2;
+      }
+    }
     if (arg.rfind("--cc=", 0) == 0) {
       if (!ParseCcAlgorithm(arg.substr(5), &g_cc_algorithm)) {
         std::fprintf(stderr, "unknown --cc value: %s\n", arg.c_str() + 5);
@@ -461,6 +594,12 @@ int Main(int argc, char** argv) {
     if (churn_only) rc = ChurnCell(cell_duration);
     if (rc == 0 && cross_only) rc = CrossTrafficCell(cell_duration);
     return rc;
+  }
+  if (hubs > 0) {
+    const bool fast = smoke || bench::FastMode();
+    return HubSweepCell(hubs, /*participants=*/fast ? 6 : 12,
+                        fast ? Duration::Seconds(6) : Duration::Seconds(30),
+                        fast ? 1 : bench::NumSeeds());
   }
 
   std::vector<int> sizes;

@@ -12,6 +12,7 @@ void DownlinkCc::OnPacketSent(int leg, int64_t transport_seq,
   const auto key = std::make_pair(leg, transport_seq);
   sent_[key] = {send_time, bytes};
   sent_order_.push_back(key);
+  ++packets_registered_;
   while (sent_order_.size() > config_.max_history) {
     sent_.erase(sent_order_.front());
     sent_order_.pop_front();

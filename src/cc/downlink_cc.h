@@ -52,6 +52,7 @@ class DownlinkCc {
   const CcController& controller() const { return *cc_; }
 
   int64_t feedback_batches() const { return feedback_batches_; }
+  int64_t packets_registered() const { return packets_registered_; }
   int64_t packets_acked() const { return packets_acked_; }
   int64_t packets_lost() const { return packets_lost_; }
 
@@ -68,6 +69,7 @@ class DownlinkCc {
   std::map<std::pair<int, int64_t>, SentRecord> sent_;
   std::deque<std::pair<int, int64_t>> sent_order_;
   int64_t feedback_batches_ = 0;
+  int64_t packets_registered_ = 0;
   int64_t packets_acked_ = 0;
   int64_t packets_lost_ = 0;
 };

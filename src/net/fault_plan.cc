@@ -99,6 +99,15 @@ bool FaultPlan::InOutage(Timestamp t) const {
   return false;
 }
 
+std::vector<std::pair<Timestamp, Timestamp>> FaultPlan::OutageWindows()
+    const {
+  std::vector<std::pair<Timestamp, Timestamp>> windows;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kOutage) windows.emplace_back(e.start, e.end());
+  }
+  return windows;
+}
+
 std::optional<Timestamp> FaultPlan::OutageEnd(Timestamp t) const {
   std::optional<Timestamp> end;
   for (const FaultEvent& e : events_) {

@@ -102,6 +102,12 @@ class FaultPlan {
   // no outage can affect in-flight packets anymore.
   Timestamp LastOutageEnd() const { return last_outage_end_; }
 
+  // Every kOutage window as a [start, end) pair, in event order. The
+  // cascaded hub fabric (session/conference.h) reads a hub's plan through
+  // this to schedule hub failure at each window start and recovery at its
+  // end.
+  std::vector<std::pair<Timestamp, Timestamp>> OutageWindows() const;
+
   // Compact one-line schema, e.g.
   // "outage[10s+2s] handover[14s+1s rtt+40ms loss15%] cliff[20s+5s x0.25]".
   std::string Describe() const;

@@ -190,6 +190,50 @@ Conference::Conference(const ConferenceConfig& config) : config_(config) {
     present_[static_cast<size_t>(p)] =
         MembershipPresentAtStart(p, config_.membership) ? 1 : 0;
   }
+  // Hub-graph validation. The cascade is a star concept; a mesh with
+  // num_hubs > 1 is rejected and degraded to the plain mesh.
+  if (config_.num_hubs < 1) {
+    CONVERGE_INVARIANT("Conference", Timestamp::Zero(), false,
+                       "num_hubs must be >= 1, got " +
+                           std::to_string(config_.num_hubs));
+    config_.num_hubs = 1;
+  }
+  if (config_.num_hubs > 1 && config_.topology != Topology::kStar) {
+    CONVERGE_INVARIANT("Conference", Timestamp::Zero(), false,
+                       "multi-hub cascade requires the star topology");
+    config_.num_hubs = 1;
+  }
+  CONVERGE_INVARIANT(
+      "Conference", Timestamp::Zero(),
+      config_.home_hub.empty() ||
+          config_.home_hub.size() == static_cast<size_t>(n),
+      "home_hub must be empty or have one entry per participant");
+  CONVERGE_INVARIANT(
+      "Conference", Timestamp::Zero(),
+      config_.hub_fault_plans.size() <=
+          static_cast<size_t>(config_.num_hubs),
+      "more hub fault plans than hubs");
+  home_hub_.resize(static_cast<size_t>(n), 0);
+  for (int p = 0; p < n; ++p) {
+    int hub = p % config_.num_hubs;
+    if (config_.home_hub.size() == static_cast<size_t>(n)) {
+      const int pinned = config_.home_hub[static_cast<size_t>(p)];
+      if (pinned >= 0 && pinned < config_.num_hubs) {
+        hub = pinned;
+      } else {
+        CONVERGE_INVARIANT("Conference", Timestamp::Zero(), false,
+                           "home_hub[" + std::to_string(p) + "]=" +
+                               std::to_string(pinned) + " outside [0, " +
+                               std::to_string(config_.num_hubs) + ")");
+      }
+    }
+    home_hub_[static_cast<size_t>(p)] = hub;
+  }
+  hub_alive_.assign(static_cast<size_t>(config_.num_hubs), 1);
+  hub_failures_.assign(static_cast<size_t>(config_.num_hubs), 0);
+  rehomed_away_.assign(static_cast<size_t>(config_.num_hubs), 0);
+  rehomed_onto_.assign(static_cast<size_t>(config_.num_hubs), 0);
+  extra_incarnations_.assign(static_cast<size_t>(n), 0);
   if (config_.trace_capacity > 0) {
     trace_ = std::make_unique<TraceRecorder>(config_.trace_capacity);
   }
@@ -370,6 +414,7 @@ Conference::Uplink* Conference::BuildStarUplink(int from, int incarnation,
   up.from = from;
   up.to = kHubId;
   up.incarnation = incarnation;
+  up.hub = home_hub_[static_cast<size_t>(from)];
   Uplink* up_ptr = &up;
   TraceParticipantScope scope(from);
   up.network =
@@ -410,6 +455,12 @@ Conference::Uplink* Conference::BuildStarUplink(int from, int incarnation,
             ", downlink " + std::to_string(to) + " has " +
             std::to_string(down == nullptr ? 0 : down->num_paths()));
   }
+  // Mid-call builds (joins, re-homings) register with the trunks already
+  // leaving this hub; the initial build has no trunks yet — BuildTrunk
+  // registers the existing uplinks itself.
+  for (auto& t : trunks_) {
+    if (t->live && t->from_hub == up.hub) BuildTrunkAgent(t.get(), up_ptr);
+  }
   return up_ptr;
 }
 
@@ -421,6 +472,7 @@ Conference::Leg* Conference::BuildStarLeg(Uplink* up, int to) {
   leg.from = up->from;
   leg.to = to;
   leg.incarnation = up->incarnation;
+  leg.hub = home_hub_[static_cast<size_t>(to)];
   leg.uplink = up;
   leg.downlink = downlinks_[static_cast<size_t>(to)].get();
   Leg* leg_ptr = &leg;
@@ -471,6 +523,8 @@ void Conference::BuildStarForwarder(int to) {
   // Hub work on this receiver's downlinks is attributed to the receiver,
   // like the downlink delivery callbacks.
   TraceParticipantScope scope(to);
+  forwarder_hub_[static_cast<size_t>(to)] =
+      home_hub_[static_cast<size_t>(to)];
   forwarders_[static_cast<size_t>(to)] = std::make_unique<HubForwarder>(
       &loop_, hconf, down->path_ids(),
       [this, to](int from, PathId path, RtpPacket packet) {
@@ -481,8 +535,29 @@ void Conference::BuildStarForwarder(int to) {
         if (leg == nullptr || !leg->live) return;
         StarDeliverDownlink(leg, path, std::move(packet));
       },
-      [this](int from, uint32_t ssrc, PathId path) {
-        if (Uplink* u = LiveUplinkOf(from)) StarRelayPli(u, ssrc, path);
+      [this, to](int from, uint32_t ssrc, PathId path) {
+        Uplink* u = LiveUplinkOf(from);
+        if (u == nullptr) return;
+        const int serving_hub = forwarder_hub_[static_cast<size_t>(to)];
+        if (!multi_hub() || serving_hub == u->hub) {
+          StarRelayPli(u, ssrc, path);
+          return;
+        }
+        // The receiver is served by a remote hub: the keyframe request
+        // first crosses the trunk that carried the media (its feedback
+        // direction), then rides the origin's uplink backward link.
+        Trunk* t = LiveTrunk(u->hub, serving_hub);
+        if (t == nullptr) return;
+        RtcpPacket pli;
+        pli.path_id = path;
+        pli.payload = KeyframeRequest{ssrc};
+        t->network->path(path).backward().Send(
+            pli.wire_size(), [this, t, from, ssrc, path](Timestamp) {
+              if (!t->live) return;
+              if (Uplink* u2 = LiveUplinkOf(from)) {
+                StarRelayPli(u2, ssrc, path);
+              }
+            });
       });
 }
 
@@ -502,6 +577,7 @@ void Conference::BuildStar(Random& rng) {
   legs_.reserve(num_legs);
   downlinks_.resize(static_cast<size_t>(n));
   forwarders_.resize(static_cast<size_t>(n));
+  forwarder_hub_.assign(static_cast<size_t>(n), 0);
   star_leg_lookup_.assign(static_cast<size_t>(n),
                           std::vector<Leg*>(static_cast<size_t>(n), nullptr));
 
@@ -527,6 +603,293 @@ void Conference::BuildStar(Random& rng) {
   }
   for (int to = 0; to < n; ++to) {
     if (in_call(to, &ParticipantSpec::receives)) BuildStarForwarder(to);
+  }
+  // Trunks are built last — after every single-star phase — so the RNG fork
+  // sequence up to here is the historical one and num_hubs == 1 (which
+  // skips this entirely) stays byte-identical.
+  if (multi_hub()) {
+    for (int a = 0; a < config_.num_hubs; ++a) {
+      for (int b = 0; b < config_.num_hubs; ++b) {
+        if (a != b) BuildTrunk(a, b, rng);
+      }
+    }
+  }
+}
+
+std::vector<PathSpec> Conference::TrunkPaths(int from_hub,
+                                             int to_hub) const {
+  if (config_.paths_for_trunk) {
+    return config_.paths_for_trunk(from_hub, to_hub);
+  }
+  return config_.trunk_paths.empty() ? config_.paths : config_.trunk_paths;
+}
+
+Conference::Trunk* Conference::LiveTrunk(int from_hub, int to_hub) {
+  for (auto& t : trunks_) {
+    if (t->live && t->from_hub == from_hub && t->to_hub == to_hub) {
+      return t.get();
+    }
+  }
+  return nullptr;
+}
+
+Conference::Trunk* Conference::BuildTrunk(int from_hub, int to_hub,
+                                          Random& rng) {
+  trunks_.push_back(std::make_unique<Trunk>());
+  Trunk& t = *trunks_.back();
+  t.from_hub = from_hub;
+  t.to_hub = to_hub;
+  Trunk* t_ptr = &t;
+  t.network = std::make_unique<Network>(&loop_, TrunkPaths(from_hub, to_hub),
+                                        rng.Fork());
+  // Uplink path p crosses trunk path p onto downlink path p, so the trunk
+  // must expose the same path count as the star's edges.
+  for (size_t p = 0; p < downlinks_.size(); ++p) {
+    const Network* down = downlinks_[p].get();
+    CONVERGE_INVARIANT(
+        "Conference", loop_.now(),
+        down == nullptr || down->num_paths() == t.network->num_paths(),
+        "trunk " + std::to_string(from_hub) + "->" + std::to_string(to_hub) +
+            " path-count mismatch: trunk has " +
+            std::to_string(t.network->num_paths()) + ", downlink " +
+            std::to_string(p) + " has " +
+            std::to_string(down == nullptr ? 0 : down->num_paths()));
+  }
+  // Like a downlink forwarder, the trunk engine starts optimistic — at the
+  // aggregate rate of the publishers homed at the near hub — and lets the
+  // trunk's own delay/loss feedback pull it down.
+  DataRate aggregate = DataRate::Zero();
+  const int n = static_cast<int>(config_.participants.size());
+  for (int from = 0; from < n; ++from) {
+    if (!present_[static_cast<size_t>(from)]) continue;
+    if (home_hub_[static_cast<size_t>(from)] != from_hub) continue;
+    const ParticipantSpec& spec =
+        config_.participants[static_cast<size_t>(from)];
+    if (!spec.sends) continue;
+    aggregate = aggregate + config_.max_rate_per_stream *
+                                static_cast<int64_t>(spec.num_streams);
+  }
+  if (aggregate.bps() == 0) aggregate = config_.max_rate_per_stream;
+  HubForwarder::Config tconf = config_.trunk;
+  tconf.cc.controller.algorithm = config_.cc_algorithm;
+  tconf.cc.controller.start_rate = aggregate;
+  tconf.cc.controller.max_rate = aggregate * 2;
+  tconf.cc.controller.trace_component = "hub_trunk";
+  tconf.trace_category = "hub_trunk";
+  t.engine = std::make_unique<HubForwarder>(
+      &loop_, tconf, t.network->path_ids(),
+      [this, t_ptr](int origin, PathId path, RtpPacket packet) {
+        if (!t_ptr->live) return;
+        TrunkTransmitRtp(t_ptr, origin, path, std::move(packet));
+      },
+      [this, t_ptr](int origin, uint32_t ssrc, PathId path) {
+        // Trunk thinning broke a dependency chain: chase the keyframe all
+        // the way to the origin publisher.
+        if (!t_ptr->live) return;
+        if (Uplink* u = LiveUplinkOf(origin)) StarRelayPli(u, ssrc, path);
+      });
+  for (auto& up : uplinks_) {
+    if (up->live && up->hub_feedback != nullptr && up->hub == from_hub) {
+      BuildTrunkAgent(t_ptr, up.get());
+    }
+  }
+  return t_ptr;
+}
+
+void Conference::BuildTrunkAgent(Trunk* t, Uplink* up) {
+  const int origin = up->from;
+  auto it = t->agents.find(origin);
+  if (it != t->agents.end()) {
+    // Defensive replace (a re-homing retires the old uplink's agent via
+    // DetachParticipantPipelines first, so this should not trigger).
+    it->second->Stop();
+    retired_trunk_agents_.push_back(std::move(it->second));
+    t->agents.erase(it);
+  }
+  Trunk* t_ptr = t;
+  TraceParticipantScope scope(origin);
+  auto agent = std::make_unique<ReceiverEndpoint>(
+      &loop_,
+      MakeReceiverConfig(config_, origin, up->incarnation,
+                         /*subscribe=*/false, &arena_),
+      /*metrics=*/nullptr,
+      [this, t_ptr, origin](PathId path, const RtcpPacket& packet) {
+        if (!t_ptr->live) return;
+        t_ptr->network->path(path).backward().Send(
+            packet.wire_size(), [t_ptr, origin, path, packet](Timestamp) {
+              // The trunk may have been retired while this feedback was in
+              // flight. Live or not, trunk feedback terminates HERE — it
+              // never reaches the publisher's uplink CC or the remote hub's
+              // downlink CC.
+              if (!t_ptr->live) return;
+              TraceParticipantScope scope(origin);
+              t_ptr->engine->OnReceiverRtcp(origin, path, packet);
+            });
+      });
+  if (started_) agent->Start();
+  t->agents.emplace(origin, std::move(agent));
+}
+
+void Conference::RetireTrunk(Trunk* t) {
+  if (!t->live) return;
+  t->live = false;
+  t->engine->Stop();
+  for (auto& [origin, agent] : t->agents) {
+    agent->Stop();
+    retired_trunk_agents_.push_back(std::move(agent));
+  }
+  t->agents.clear();
+}
+
+void Conference::TrunkTransmitRtp(Trunk* t, int origin, PathId path,
+                                  RtpPacket packet) {
+  const int64_t wire_bytes = packet.wire_size();
+  Link& link = t->network->path(path).forward();
+  // Duplication faults clone the payload here, like every other wire hop.
+  for (int copy = link.SendCopies(); copy > 1; --copy) {
+    link.Send(wire_bytes,
+              [this, t, origin, packet, path](Timestamp arrival) mutable {
+                TrunkDeliverRtp(t, origin, path, std::move(packet), arrival);
+              });
+  }
+  link.Send(wire_bytes,
+            [this, t, origin, packet = std::move(packet),
+             path](Timestamp arrival) mutable {
+              TrunkDeliverRtp(t, origin, path, std::move(packet), arrival);
+            });
+}
+
+void Conference::TrunkDeliverRtp(Trunk* t, int origin, PathId path,
+                                 RtpPacket packet, Timestamp arrival) {
+  if (!t->live) return;
+  // The far-end feedback agent sees every trunk arrival: it answers
+  // RR/transport feedback/NACK toward the trunk engine, so trunk losses are
+  // chased hub-to-hub instead of end-to-end.
+  auto agent = t->agents.find(origin);
+  if (agent != t->agents.end()) {
+    TraceParticipantScope scope(origin);
+    RtpPacket agent_copy = packet;
+    agent->second->OnRtpPacket(std::move(agent_copy), arrival, path);
+  }
+  // Skip the fan-out when the origin re-homed while this packet crossed:
+  // its fresh uplink publishes under a new incarnation through (possibly)
+  // another trunk, and the remote forwarders' state for the old incarnation
+  // has been reset.
+  Uplink* up = LiveUplinkOf(origin);
+  if (up == nullptr || up->hub != t->from_hub) return;
+  for (Leg* leg : up->fanout) {
+    if (!leg->live || leg->hub != t->to_hub) continue;
+    HubForwarder* fwd = forwarders_[static_cast<size_t>(leg->to)].get();
+    if (fwd == nullptr) continue;
+    TraceParticipantScope scope(leg->to);
+    fwd->OnMediaFromUplink(origin, path, RtpPacket(packet));
+  }
+}
+
+void Conference::CascadeFanOut(Uplink* uplink, PathId path,
+                               RtpPacket packet) {
+  // Legs homed at the origin's own hub fan out locally, exactly like the
+  // single-star path.
+  for (Leg* leg : uplink->fanout) {
+    if (!leg->live || leg->hub != uplink->hub) continue;
+    HubForwarder* fwd = forwarders_[static_cast<size_t>(leg->to)].get();
+    if (fwd == nullptr) continue;
+    TraceParticipantScope scope(leg->to);
+    fwd->OnMediaFromUplink(leg->from, path, RtpPacket(packet));
+  }
+  // Media crosses each trunk at most ONCE per remote hub — the defining
+  // economy of a cascaded SFU — and only when that hub currently serves a
+  // live subscribed leg.
+  for (auto& t : trunks_) {
+    if (!t->live || t->from_hub != uplink->hub) continue;
+    if (!hub_alive_[static_cast<size_t>(t->to_hub)]) continue;
+    bool wanted = false;
+    for (Leg* leg : uplink->fanout) {
+      if (leg->live && leg->hub == t->to_hub) {
+        wanted = true;
+        break;
+      }
+    }
+    if (!wanted) continue;
+    TraceParticipantScope scope(uplink->from);
+    t->engine->OnMediaFromUplink(uplink->from, path, RtpPacket(packet));
+  }
+}
+
+int Conference::NextAliveHub(int hub) const {
+  for (int step = 1; step < config_.num_hubs; ++step) {
+    const int h = (hub + step) % config_.num_hubs;
+    if (hub_alive_[static_cast<size_t>(h)]) return h;
+  }
+  return -1;
+}
+
+void Conference::FailHub(int hub) {
+  if (!multi_hub() || !hub_alive_[static_cast<size_t>(hub)]) return;
+  hub_alive_[static_cast<size_t>(hub)] = 0;
+  ++hub_failures_[static_cast<size_t>(hub)];
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant("conference", "hub_fail", loop_.now(),
+                   static_cast<double>(hub));
+  }
+  for (auto& t : trunks_) {
+    if (t->live && (t->from_hub == hub || t->to_hub == hub)) {
+      RetireTrunk(t.get());
+    }
+  }
+  const int fallback = NextAliveHub(hub);
+  CONVERGE_INVARIANT("Conference", loop_.now(), fallback >= 0,
+                     "hub " + std::to_string(hub) +
+                         " failed with no alive hub to re-home onto");
+  if (fallback < 0) return;
+  const int n = static_cast<int>(config_.participants.size());
+  std::vector<int> affected;
+  for (int p = 0; p < n; ++p) {
+    if (present_[static_cast<size_t>(p)] &&
+        home_hub_[static_cast<size_t>(p)] == hub) {
+      affected.push_back(p);
+    }
+  }
+  // Teardown-all first, then rebuild-all: a rebuilt participant's legs must
+  // never be wired against a forwarder or uplink that the next teardown in
+  // the batch is about to retire. The whole batch is marked absent for the
+  // rebuild so each JoinParticipant wires only pairs whose far side is
+  // already rebuilt — exactly a batch of simultaneous rejoins; a leg toward
+  // a torn-down peer would capture its null downlink slot.
+  for (int p : affected) {
+    TraceParticipantScope scope(p);
+    present_[static_cast<size_t>(p)] = 0;
+    DetachParticipantPipelines(p, /*rehomed=*/true);
+  }
+  for (int p : affected) {
+    home_hub_[static_cast<size_t>(p)] = fallback;
+    ++extra_incarnations_[static_cast<size_t>(p)];
+    ++rehomed_away_[static_cast<size_t>(hub)];
+    ++rehomed_onto_[static_cast<size_t>(fallback)];
+  }
+  for (int p : affected) {
+    TraceParticipantScope scope(p);
+    JoinParticipant(p);
+    if (TraceRecorder* trace = TraceRecorder::Current()) {
+      trace->Instant("conference", "rehome", loop_.now(),
+                     static_cast<double>(p));
+    }
+  }
+}
+
+void Conference::RecoverHub(int hub) {
+  if (!multi_hub() || hub_alive_[static_cast<size_t>(hub)]) return;
+  hub_alive_[static_cast<size_t>(hub)] = 1;
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant("conference", "hub_recover", loop_.now(),
+                   static_cast<double>(hub));
+  }
+  // Rebuild the trunks so the hub can serve future re-homings; participants
+  // re-homed away do not move back.
+  for (int other = 0; other < config_.num_hubs; ++other) {
+    if (other == hub || !hub_alive_[static_cast<size_t>(other)]) continue;
+    if (LiveTrunk(hub, other) == nullptr) BuildTrunk(hub, other, churn_rng_);
+    if (LiveTrunk(other, hub) == nullptr) BuildTrunk(other, hub, churn_rng_);
   }
 }
 
@@ -602,6 +965,10 @@ void Conference::StarHubDeliverRtp(Uplink* uplink, PathId path,
     RtpPacket hub_copy = packet;
     uplink->hub_feedback->OnRtpPacket(std::move(hub_copy), arrival, path);
   }
+  if (multi_hub()) {
+    CascadeFanOut(uplink, path, std::move(packet));
+    return;
+  }
   // Fan out to every subscribed receiver through its forwarding engine,
   // uplink path p -> downlink path p (equal path counts, checked at
   // build). The forwarder owns the downlink pacing/drop decisions; packets
@@ -660,10 +1027,41 @@ void Conference::StarTransmitRtcpForward(Uplink* uplink, PathId path,
         }
         for (Leg* leg : uplink->fanout) {
           if (!leg->live) continue;
+          // Legs served by a remote hub get the SR via their trunk below.
+          if (multi_hub() && leg->hub != uplink->hub) continue;
           leg->downlink->path(path).forward().Send(
               packet.wire_size(), [leg, packet, path](Timestamp at) {
                 TraceParticipantScope scope(leg->to);
                 leg->receiver->OnRtcpPacket(packet, at, path);
+              });
+        }
+        if (!multi_hub()) return;
+        // One trunk copy per remote hub with a live subscribed leg; on
+        // arrival the SR fans onto that hub's downlinks.
+        for (auto& t : trunks_) {
+          Trunk* t_ptr = t.get();
+          if (!t_ptr->live || t_ptr->from_hub != uplink->hub) continue;
+          bool wanted = false;
+          for (Leg* leg : uplink->fanout) {
+            if (leg->live && leg->hub == t_ptr->to_hub) {
+              wanted = true;
+              break;
+            }
+          }
+          if (!wanted) continue;
+          t_ptr->network->path(path).forward().Send(
+              packet.wire_size(),
+              [t_ptr, uplink, packet, path](Timestamp) {
+                if (!t_ptr->live || !uplink->live) return;
+                for (Leg* leg : uplink->fanout) {
+                  if (!leg->live || leg->hub != t_ptr->to_hub) continue;
+                  leg->downlink->path(path).forward().Send(
+                      packet.wire_size(),
+                      [leg, packet, path](Timestamp at) {
+                        TraceParticipantScope scope(leg->to);
+                        leg->receiver->OnRtcpPacket(packet, at, path);
+                      });
+                }
               });
         }
       });
@@ -691,6 +1089,23 @@ void Conference::StarTransmitRtcpBackward(Leg* leg, PathId path,
         }
         if (!ForwardsUpstream(packet)) return;
         Uplink* up = leg->uplink;
+        if (multi_hub() && leg->hub != up->hub) {
+          // The receiver is served by a remote hub: the end-to-end signal
+          // first crosses the trunk that carried the media (its feedback
+          // direction) back to the origin's hub, then rides the uplink.
+          Trunk* t = LiveTrunk(up->hub, leg->hub);
+          if (t == nullptr) return;
+          t->network->path(path).backward().Send(
+              packet.wire_size(), [t, up, packet, path](Timestamp) {
+                if (!t->live || !up->live) return;
+                up->network->path(path).backward().Send(
+                    packet.wire_size(), [up, packet](Timestamp arrival) {
+                      TraceParticipantScope scope(up->from);
+                      up->sender->HandleRtcp(packet, arrival);
+                    });
+              });
+          return;
+        }
         up->network->path(path).backward().Send(
             packet.wire_size(), [up, packet](Timestamp arrival) {
               TraceParticipantScope scope(up->from);
@@ -722,8 +1137,12 @@ void Conference::RetireUplink(Uplink* up) {
 }
 
 void Conference::LeaveParticipant(int p) {
-  const Timestamp now = loop_.now();
   present_[static_cast<size_t>(p)] = 0;
+  DetachParticipantPipelines(p, /*rehomed=*/false);
+}
+
+void Conference::DetachParticipantPipelines(int p, bool rehomed) {
+  const Timestamp now = loop_.now();
   for (auto& leg : legs_) {
     if (leg->live && (leg->from == p || leg->to == p)) {
       RetireLeg(leg.get(), now);
@@ -743,7 +1162,8 @@ void Conference::LeaveParticipant(int p) {
   if (forwarders_[static_cast<size_t>(p)] != nullptr) {
     forwarders_[static_cast<size_t>(p)]->Stop();
     retired_forwarders_.push_back(
-        std::move(forwarders_[static_cast<size_t>(p)]));
+        RetiredForwarder{forwarder_hub_[static_cast<size_t>(p)], p, rehomed,
+                         std::move(forwarders_[static_cast<size_t>(p)])});
   }
   if (downlinks_[static_cast<size_t>(p)] != nullptr) {
     retired_downlinks_.emplace_back(
@@ -759,6 +1179,17 @@ void Conference::LeaveParticipant(int p) {
     star_leg_lookup_[static_cast<size_t>(q)][static_cast<size_t>(p)] =
         nullptr;
   }
+  // Trunk state: p's far-end feedback agents die with its uplink, and the
+  // trunk engines drop p's queued media / egress spaces exactly like the
+  // per-receiver forwarders above.
+  for (auto& t : trunks_) {
+    t->engine->ResetOrigin(p);
+    auto it = t->agents.find(p);
+    if (it == t->agents.end()) continue;
+    it->second->Stop();
+    retired_trunk_agents_.push_back(std::move(it->second));
+    t->agents.erase(it);
+  }
 }
 
 void Conference::JoinParticipant(int p) {
@@ -766,7 +1197,11 @@ void Conference::JoinParticipant(int p) {
   present_[static_cast<size_t>(p)] = 1;
   const int n = static_cast<int>(config_.participants.size());
   const ParticipantSpec& spec = config_.participants[static_cast<size_t>(p)];
-  const int inc = MembershipIncarnationAt(p, now, config_.membership);
+  // Incarnation = membership-timeline leave count + re-homing bumps, so
+  // every rebuild (rejoin OR re-home) publishes under a fresh, never-reused
+  // SSRC bank.
+  const int inc = MembershipIncarnationAt(p, now, config_.membership) +
+                  extra_incarnations_[static_cast<size_t>(p)];
   std::vector<Leg*> fresh_legs;
   std::vector<Uplink*> fresh_ups;
 
@@ -789,7 +1224,8 @@ void Conference::JoinParticipant(int p) {
       for (int q = 0; q < n; ++q) {
         if (q == p || !present_[static_cast<size_t>(q)]) continue;
         if (!config_.participants[static_cast<size_t>(q)].sends) continue;
-        const int qinc = MembershipIncarnationAt(q, now, config_.membership);
+        const int qinc = MembershipIncarnationAt(q, now, config_.membership) +
+                         extra_incarnations_[static_cast<size_t>(q)];
         Leg* leg = BuildMeshLeg(q, p, qinc, churn_rng_);
         fresh_legs.push_back(leg);
         fresh_ups.push_back(leg->uplink);
@@ -957,6 +1393,13 @@ void Conference::Start() {
     TraceParticipantScope scope(up->from);
     up->hub_feedback->Start();
   }
+  for (auto& t : trunks_) {
+    if (!t->live) continue;
+    for (auto& [origin, agent] : t->agents) {
+      TraceParticipantScope scope(origin);
+      agent->Start();
+    }
+  }
   for (auto& up : uplinks_) {
     TraceParticipantScope scope(up->from);
     up->sender->Start();
@@ -969,6 +1412,18 @@ void Conference::Start() {
     started_ = true;
     for (const MembershipEvent& ev : config_.membership) {
       loop_.ScheduleAt(ev.at, [this, ev] { ApplyMembershipEvent(ev); });
+    }
+    // Hub outages are scheduled the same way: every kOutage window of hub
+    // h's fault plan kills the hub at its start and recovers it at its end.
+    if (multi_hub()) {
+      for (size_t h = 0; h < config_.hub_fault_plans.size(); ++h) {
+        const int hub = static_cast<int>(h);
+        for (const auto& [fail_at, recover_at] :
+             config_.hub_fault_plans[h].OutageWindows()) {
+          loop_.ScheduleAt(fail_at, [this, hub] { FailHub(hub); });
+          loop_.ScheduleAt(recover_at, [this, hub] { RecoverHub(hub); });
+        }
+      }
     }
   }
 }
@@ -1031,15 +1486,21 @@ ConferenceStats Conference::Collect() {
     out.participants.push_back(q);
   }
 
-  // Star only: final per-(receiver, path) downlink state at the hub.
-  // Forwarders retired by a mid-call leave are intentionally not reported:
-  // the slot either belongs to the rejoin or to nobody.
+  // Star only: final per-(hub, receiver, path) downlink state. Live
+  // forwarders first, in (receiver, path) order — the historical single-hub
+  // row order, unchanged. Forwarders retired by a mid-call leave are
+  // intentionally not reported (the slot either belongs to the rejoin or to
+  // nobody); forwarders retired by a re-homing ARE reported afterwards,
+  // tagged with the hub that ran them, so a failed-over call accounts for
+  // both serving hubs.
+  out.num_hubs = config_.num_hubs;
   for (int p = 0; p < n; ++p) {
     const HubForwarder* fwd = hub_forwarder(p);
     if (fwd == nullptr) continue;
     const Network* down = downlinks_[static_cast<size_t>(p)].get();
     for (PathId path : down->path_ids()) {
       ConferenceStats::Downlink d;
+      d.hub = forwarder_hub_[static_cast<size_t>(p)];
       d.receiver = p;
       d.path = path;
       d.target_kbps =
@@ -1048,6 +1509,60 @@ ConferenceStats Conference::Collect() {
       d.loss = fwd->downlink_loss(path);
       d.forwarder = fwd->stats(path);
       out.downlinks.push_back(d);
+    }
+  }
+  for (const RetiredForwarder& rf : retired_forwarders_) {
+    if (!rf.rehomed) continue;
+    for (PathId path : rf.forwarder->path_ids()) {
+      ConferenceStats::Downlink d;
+      d.hub = rf.hub;
+      d.receiver = rf.receiver;
+      d.path = path;
+      d.target_kbps =
+          static_cast<double>(rf.forwarder->downlink_target(path).bps()) /
+          1000.0;
+      d.srtt_ms = rf.forwarder->downlink_srtt(path).seconds() * 1000.0;
+      d.loss = rf.forwarder->downlink_loss(path);
+      d.forwarder = rf.forwarder->stats(path);
+      out.downlinks.push_back(d);
+    }
+  }
+
+  // Multi-hub only: trunk and hub state (both stay empty for single-hub
+  // conferences, keeping their stats JSON byte-identical).
+  if (multi_hub()) {
+    for (const auto& t : trunks_) {
+      for (PathId path : t->engine->path_ids()) {
+        ConferenceStats::Trunk ts;
+        ts.from_hub = t->from_hub;
+        ts.to_hub = t->to_hub;
+        ts.path = path;
+        ts.live = t->live;
+        ts.target_kbps =
+            static_cast<double>(t->engine->downlink_target(path).bps()) /
+            1000.0;
+        ts.srtt_ms = t->engine->downlink_srtt(path).seconds() * 1000.0;
+        ts.loss = t->engine->downlink_loss(path);
+        ts.feedback_batches = t->engine->cc(path).feedback_batches();
+        ts.packets_registered = t->engine->cc(path).packets_registered();
+        ts.forwarder = t->engine->stats(path);
+        out.trunks.push_back(ts);
+      }
+    }
+    for (int h = 0; h < config_.num_hubs; ++h) {
+      ConferenceStats::Hub hs;
+      hs.hub = h;
+      hs.alive = hub_alive_[static_cast<size_t>(h)] != 0;
+      hs.failures = hub_failures_[static_cast<size_t>(h)];
+      hs.rehomed_away = rehomed_away_[static_cast<size_t>(h)];
+      hs.rehomed_onto = rehomed_onto_[static_cast<size_t>(h)];
+      for (int p = 0; p < n; ++p) {
+        if (present_[static_cast<size_t>(p)] &&
+            home_hub_[static_cast<size_t>(p)] == h) {
+          ++hs.home_participants;
+        }
+      }
+      out.hubs.push_back(hs);
     }
   }
 
@@ -1080,6 +1595,7 @@ ConferenceStats Conference::Collect() {
   for (const auto& retired : retired_downlinks_) {
     collect_flows(kHubId, retired.first, *retired.second);
   }
+  for (const auto& t : trunks_) collect_flows(kHubId, kHubId, *t->network);
   return out;
 }
 
@@ -1089,6 +1605,24 @@ const HubForwarder* Conference::hub_forwarder(int participant) const {
     return nullptr;
   }
   return forwarders_[static_cast<size_t>(participant)].get();
+}
+
+int Conference::home_hub(int participant) const {
+  if (participant < 0 ||
+      static_cast<size_t>(participant) >= home_hub_.size()) {
+    return 0;
+  }
+  return home_hub_[static_cast<size_t>(participant)];
+}
+
+const HubForwarder* Conference::trunk_engine(int from_hub,
+                                             int to_hub) const {
+  for (const auto& t : trunks_) {
+    if (t->live && t->from_hub == from_hub && t->to_hub == to_hub) {
+      return t->engine.get();
+    }
+  }
+  return nullptr;
 }
 
 int Conference::leg_from(size_t leg) const { return legs_.at(leg)->from; }

@@ -24,6 +24,15 @@
 //     uplink path p onto downlink path p, so all edges of a star must
 //     expose the same number of paths.
 //
+//   A star may additionally be sharded over N regional hubs — a cascaded
+//   SFU fabric (DESIGN §10): ConferenceConfig::num_hubs pins every
+//   participant to a home hub, directed inter-hub trunks (each a full
+//   HubForwarder engine with its own congestion loop and paced queues,
+//   traced under "hub_trunk") carry a publisher's media at most once per
+//   remote hub, and per-hub fault plans drive mid-call hub failure with
+//   deterministic re-homing of the affected participants. num_hubs == 1 is
+//   the historical single-star path, bit-for-bit.
+//
 // Call/CallConfig (session/call.h) are now a thin 2-party adapter over this
 // runtime: a 2-participant mesh with one directed leg, constructed in
 // exactly the order the historical point-to-point Call used, which keeps its
@@ -38,6 +47,7 @@
 #include "core/video_aware_scheduler.h"
 #include "fec/converge_fec_controller.h"
 #include "fec/fec_controller.h"
+#include "net/fault_plan.h"
 #include "net/network.h"
 #include "schedulers/scheduler.h"
 #include "session/hub_forwarder.h"
@@ -136,6 +146,41 @@ struct ConferenceConfig {
   // rates derive from the aggregate publisher rate (an SFU starts
   // optimistic and lets delay/loss signals pull a slow downlink back).
   HubForwarder::Config hub;
+
+  // --- Cascaded SFU fabric (star only; DESIGN §10) -----------------------
+  // Number of regional hubs the forwarding fabric is sharded over. 1 (the
+  // default) is the degenerate single-star case and leaves the historical
+  // path untouched bit-for-bit. With k > 1 every participant is pinned to
+  // a home hub: its uplink terminates there, media for receivers homed at
+  // that hub fans out locally, and media for every other hub crosses
+  // exactly one inter-hub trunk before fanning out on the remote hub's
+  // downlinks.
+  int num_hubs = 1;
+  // Per-participant home hub in [0, num_hubs). Empty assigns participant p
+  // to hub p % num_hubs (round-robin). Out-of-range pins are rejected via
+  // the invariant registry and fall back to round-robin.
+  std::vector<int> home_hub;
+  // Trunk path template, instantiated for every ordered pair of distinct
+  // hubs. Trunks must expose the same number of paths as the star's edges
+  // (uplink path p crosses trunk path p onto downlink path p). Empty falls
+  // back to `paths`.
+  std::vector<PathSpec> trunk_paths;
+  // Optional per-trunk override, mirroring paths_for_edge.
+  std::function<std::vector<PathSpec>(int from_hub, int to_hub)>
+      paths_for_trunk;
+  // Per-hub fault plans, indexed by hub id (shorter vectors leave the tail
+  // hubs fault-free). Each kOutage window marks the hub DEAD for its
+  // duration: its trunks retire and every participant homed there is
+  // re-homed to the next alive hub in ring order under a fresh SSRC
+  // incarnation (PR 7's detach-don't-destroy machinery). At the window's
+  // end the hub rejoins the fabric — trunks are rebuilt so it can serve
+  // future re-homings — but participants do not move back.
+  std::vector<FaultPlan> hub_fault_plans;
+  // Trunk forwarding-engine knobs. Like `hub`, the congestion controller's
+  // algorithm and rates are overridden at build time; trunk CC and queue
+  // probes trace under "hub_trunk".
+  HubForwarder::Config trunk;
+
   // Flight-recorder capacity in events; 0 (the default) disables tracing.
   size_t trace_capacity = 0;
 };
@@ -210,15 +255,48 @@ struct ConferenceStats {
     int64_t keyframe_requests = 0;
   };
 
-  // Star only: final state of one (receiver, path) downlink at the hub, in
-  // (receiver, path) order. Empty for mesh conferences.
+  // Star only: final state of one (hub, receiver, path) downlink, keyed by
+  // serving hub so the rows stay unambiguous when two hubs served the same
+  // receiver across a re-homing. Live forwarders report first in
+  // (receiver, path) order (single-hub order unchanged), then forwarders
+  // retired by a re-homing in retirement order, tagged with the hub that
+  // ran them. Empty for mesh conferences.
   struct Downlink {
+    int hub = 0;
     int receiver = 0;
     PathId path = 0;
     double target_kbps = 0.0;
     double srtt_ms = 0.0;
     double loss = 0.0;
     HubForwarder::DownlinkStats forwarder;
+  };
+
+  // Multi-hub only: final state of one inter-hub trunk path, in trunk
+  // construction order. A trunk retired by a hub failure still reports,
+  // with live = false.
+  struct Trunk {
+    int from_hub = 0;
+    int to_hub = 0;
+    PathId path = 0;
+    bool live = true;
+    double target_kbps = 0.0;
+    double srtt_ms = 0.0;
+    double loss = 0.0;
+    int64_t feedback_batches = 0;
+    int64_t packets_registered = 0;
+    HubForwarder::DownlinkStats forwarder;
+  };
+
+  // Multi-hub only: per-hub membership and failover accounting.
+  struct Hub {
+    int hub = 0;
+    bool alive = true;
+    int64_t failures = 0;
+    // Participants re-homed away from / onto this hub over the call.
+    int64_t rehomed_away = 0;
+    int64_t rehomed_onto = 0;
+    // Present participants homed here at call end.
+    int home_participants = 0;
   };
 
   // One competing cross-traffic flow (net/cross_traffic.h) and its final
@@ -242,6 +320,11 @@ struct ConferenceStats {
   std::vector<ParticipantQoe> participants;
   std::vector<Downlink> downlinks;
   std::vector<CrossFlow> cross_traffic;
+  // Hub-graph shape and state; trunks/hubs stay empty (and unexported) for
+  // single-hub conferences, which keeps their stats JSON byte-identical.
+  int num_hubs = 1;
+  std::vector<Trunk> trunks;
+  std::vector<Hub> hubs;
 };
 
 class Conference {
@@ -281,6 +364,11 @@ class Conference {
   // Star only: the hub's per-receiver forwarding engine (nullptr for mesh
   // or non-receiving participants).
   const HubForwarder* hub_forwarder(int participant) const;
+  // Cascade introspection for tests: the participant's current home hub
+  // (0 for single-hub stars and meshes) and the live trunk engine between
+  // two hubs (nullptr when no live trunk connects them).
+  int home_hub(int participant) const;
+  const HubForwarder* trunk_engine(int from_hub, int to_hub) const;
 
  private:
   struct Leg;
@@ -299,8 +387,12 @@ class Conference {
     int from = 0;
     // Mesh: the receiving peer. Star: kHubId.
     int to = 0;
-    // SSRC incarnation this uplink publishes under (> 0 after a rejoin).
+    // SSRC incarnation this uplink publishes under (> 0 after a rejoin or
+    // a re-homing).
     int incarnation = 0;
+    // Star: the hub this uplink terminates at (the origin's home hub when
+    // the uplink was built; a re-homing retires it and builds a fresh one).
+    int hub = 0;
     bool live = true;
     std::unique_ptr<Network> network;
     std::unique_ptr<Scheduler> scheduler;
@@ -320,6 +412,10 @@ class Conference {
     int from = 0;
     int to = 0;
     int incarnation = 0;
+    // Star: the hub serving this leg's receiver when the leg was built.
+    // Media reaches it locally when it matches the origin uplink's hub,
+    // otherwise across the (uplink->hub -> leg->hub) trunk.
+    int hub = 0;
     bool live = true;
     // Membership window: [joined, left). Whole-call legs keep the defaults.
     Timestamp joined = Timestamp::Zero();
@@ -331,15 +427,69 @@ class Conference {
     std::unique_ptr<ReceiverEndpoint> receiver;
   };
 
+  // One directed inter-hub trunk (from_hub -> to_hub). The near hub runs a
+  // full HubForwarder as the trunk engine — per-path congestion loop
+  // (DownlinkCc under trace component "hub_trunk"), paced queues,
+  // whole-frame thinning, NACK answering from trunk history — with one
+  // egress sequence space per origin participant crossing it. The far hub
+  // terminates the trunk's congestion loop with one feedback-only
+  // ReceiverEndpoint per origin (mirroring the uplink's hub_feedback
+  // endpoint), so trunk losses are chased hub-to-hub and trunk feedback
+  // never reaches publisher uplink CC or the remote hub's downlink CC.
+  // Media arriving at the far hub re-enters the per-receiver forwarders,
+  // which stamp their own hub-owned downlink sequence spaces.
+  struct Trunk {
+    int from_hub = 0;
+    int to_hub = 0;
+    bool live = true;
+    std::unique_ptr<Network> network;
+    std::unique_ptr<HubForwarder> engine;
+    // Far-end feedback agents keyed by origin participant. Retired with
+    // the origin's uplink (into retired_trunk_agents_) or with the trunk.
+    std::map<int, std::unique_ptr<ReceiverEndpoint>> agents;
+  };
+
   std::vector<PathSpec> EdgePaths(int from, int to) const;
   void BuildMesh(Random& rng);
   void BuildStar(Random& rng);
   void SetInvariantContext();
 
+  // --- cascaded hub fabric ---
+  bool multi_hub() const { return config_.num_hubs > 1; }
+  std::vector<PathSpec> TrunkPaths(int from_hub, int to_hub) const;
+  Trunk* LiveTrunk(int from_hub, int to_hub);
+  Trunk* BuildTrunk(int from_hub, int to_hub, Random& rng);
+  // Far-end feedback agent for `up`'s media on trunk `t` (t->from_hub must
+  // be up->hub). Started immediately when the call is already running.
+  void BuildTrunkAgent(Trunk* t, Uplink* up);
+  void RetireTrunk(Trunk* t);
+  // Puts one trunk-stamped packet from the trunk engine onto the wire.
+  void TrunkTransmitRtp(Trunk* t, int origin, PathId path, RtpPacket packet);
+  // Far-hub arrival: feeds the origin's trunk feedback agent, then fans
+  // out to the origin's live legs homed at the far hub.
+  void TrunkDeliverRtp(Trunk* t, int origin, PathId path, RtpPacket packet,
+                       Timestamp arrival);
+  // Multi-hub fan-out for one uplink arrival: local legs directly, one
+  // trunk copy per remote hub with a live subscribed leg.
+  void CascadeFanOut(Uplink* uplink, PathId path, RtpPacket packet);
+  int NextAliveHub(int hub) const;
+  // Hub outage handling, scheduled from hub_fault_plans: FailHub retires
+  // the hub's trunks and re-homes every participant homed there to the
+  // next alive hub (teardown-all then rebuild-all, so rebuilt legs never
+  // reference forwarders about to retire); RecoverHub rebuilds the trunks
+  // so the hub can serve future re-homings.
+  void FailHub(int hub);
+  void RecoverHub(int hub);
+
   // --- membership churn ---
   void ApplyMembershipEvent(const MembershipEvent& ev);
   void JoinParticipant(int p);
   void LeaveParticipant(int p);
+  // Shared teardown for leaves and re-homings: retires p's legs, uplink,
+  // forwarder/downlink slot, trunk feedback agents, and clears the other
+  // forwarders' per-origin state. `rehomed` tags the retired forwarder so
+  // stats still report its (hub, receiver, path) rows.
+  void DetachParticipantPipelines(int p, bool rehomed);
   // Builds one mesh pipeline (from -> to) in exactly the constructor's
   // component order; used by both the initial build and mid-call joins.
   Leg* BuildMeshLeg(int from, int to, int incarnation, Random& rng);
@@ -400,7 +550,34 @@ class Conference {
   // kept alive for in-flight continuations (paired with the participant so
   // their cross-traffic flows still report).
   std::vector<std::pair<int, std::unique_ptr<Network>>> retired_downlinks_;
-  std::vector<std::unique_ptr<HubForwarder>> retired_forwarders_;
+  struct RetiredForwarder {
+    int hub = 0;
+    int receiver = 0;
+    // True when retired by a hub-failure re-homing (reported in stats);
+    // false for churn leaves (unreported, matching the historical JSON).
+    bool rehomed = false;
+    std::unique_ptr<HubForwarder> forwarder;
+  };
+  std::vector<RetiredForwarder> retired_forwarders_;
+  // --- cascaded hub fabric state (empty / degenerate when num_hubs == 1;
+  // trunks_ only ever populated for multi-hub stars) ---
+  std::vector<std::unique_ptr<Trunk>> trunks_;
+  // Trunk feedback agents detached by an uplink retirement or a trunk
+  // retirement; kept alive for in-flight continuations.
+  std::vector<std::unique_ptr<ReceiverEndpoint>> retired_trunk_agents_;
+  // Current home hub per participant (all-zero for single-hub).
+  std::vector<int> home_hub_;
+  // Serving hub of forwarders_[p] (tracked separately so retired-slot
+  // stats and PLI routing survive the forwarder slot being rebuilt).
+  std::vector<int> forwarder_hub_;
+  std::vector<char> hub_alive_;
+  std::vector<int64_t> hub_failures_;
+  std::vector<int64_t> rehomed_away_;
+  std::vector<int64_t> rehomed_onto_;
+  // Re-homing incarnation bumps per participant, added on top of the
+  // membership timeline's leave count so every rebuild gets a fresh,
+  // never-reused SSRC bank.
+  std::vector<int> extra_incarnations_;
   // Churn-time construction draws from a dedicated stream forked after the
   // initial build, so configs without membership events keep the historical
   // RNG sequence bit-for-bit.

@@ -129,7 +129,7 @@ void HubForwarder::CloseGate(StreamGate& gate, int leg, int stream_id,
   auto it = paths_.find(culprit);
   if (it != paths_.end()) ++it->second->stats.plis_relayed;
   if (TraceRecorder* trace = TraceRecorder::Current()) {
-    trace->Instant("hub", "pli_relay", now, static_cast<double>(leg),
+    trace->Instant(config_.trace_category, "pli_relay", now, static_cast<double>(leg),
                    static_cast<int32_t>(culprit), stream_id);
   }
   relay_pli_(leg, gate.ssrc, culprit);
@@ -169,7 +169,7 @@ bool HubForwarder::AdmitMedia(int leg, PathId path, const RtpPacket& packet,
             pit != paths_.end() ? *pit->second : *paths_.begin()->second;
         ++cp.stats.frames_thinned;
         if (TraceRecorder* trace = TraceRecorder::Current()) {
-          trace->Instant("hub", "frame_thinned", now,
+          trace->Instant(config_.trace_category, "frame_thinned", now,
                          static_cast<double>(packet.frame_id),
                          static_cast<int32_t>(culprit), packet.stream_id);
         }
@@ -260,7 +260,7 @@ void HubForwarder::EvictFrame(PathId path, PathState& ps, int leg,
   ps.queue = std::move(kept);
   ps.stats.frames_evicted += frames_gone;
   if (TraceRecorder* trace = TraceRecorder::Current()) {
-    trace->Instant("hub", "frame_evicted", now,
+    trace->Instant(config_.trace_category, "frame_evicted", now,
                    static_cast<double>(frame_id),
                    static_cast<int32_t>(path), stream_id);
   }
@@ -362,17 +362,17 @@ void HubForwarder::ProcessPath(PathId path, PathState& ps, Timestamp now) {
 
   if (TraceRecorder* trace = TraceRecorder::Current()) {
     const int32_t tp = static_cast<int32_t>(path);
-    trace->Counter("hub", "queue_pkts", now,
+    trace->Counter(config_.trace_category, "queue_pkts", now,
                    static_cast<double>(ps.queue.size() +
                                        ps.rtx_queue.size()),
                    tp);
-    trace->Counter("hub", "queue_bytes", now,
+    trace->Counter(config_.trace_category, "queue_bytes", now,
                    static_cast<double>(ps.queued_bytes), tp);
     const Duration delay = ProjectedDelay(ps);
-    trace->Counter("hub", "queue_delay_ms", now,
+    trace->Counter(config_.trace_category, "queue_delay_ms", now,
                    delay.IsInfinite() ? -1.0 : delay.seconds() * 1000.0,
                    tp);
-    trace->Counter("hub", "target_kbps", now,
+    trace->Counter(config_.trace_category, "target_kbps", now,
                    static_cast<double>(ps.cc.target_rate().bps()) / 1000.0,
                    tp);
   }
@@ -427,7 +427,7 @@ void HubForwarder::HandleNack(int leg, PathId report_path, const Nack& nack,
     tp.queued_bytes += rtx.wire_size();
     ++tp.stats.rtx_answered;
     if (TraceRecorder* trace = TraceRecorder::Current()) {
-      trace->Instant("hub", "rtx_answered", now, static_cast<double>(seq),
+      trace->Instant(config_.trace_category, "rtx_answered", now, static_cast<double>(seq),
                      static_cast<int32_t>(target), rtx.stream_id);
     }
     tp.rtx_queue.push_back({std::move(rtx), now, leg});
@@ -481,6 +481,13 @@ bool HubForwarder::OnReceiverRtcp(int leg, PathId path,
     return true;
   }
   return false;
+}
+
+std::vector<PathId> HubForwarder::path_ids() const {
+  std::vector<PathId> ids;
+  ids.reserve(paths_.size());
+  for (const auto& [path, ps] : paths_) ids.push_back(path);
+  return ids;
 }
 
 DataRate HubForwarder::downlink_target(PathId path) const {

@@ -62,6 +62,12 @@ class HubForwarder {
     // Template for each path's congestion loop; trace_path is overridden
     // per path.
     DownlinkCc::Config cc;
+    // Flight-recorder category for this engine's queue/thinning probes.
+    // Receiver-facing downlink forwarders keep the historical "hub";
+    // inter-hub trunk engines run under "hub_trunk" so a trace separates
+    // the two hops of a cascaded forward. Must outlive the forwarder
+    // (string literals only).
+    const char* trace_category = "hub";
   };
 
   // Cumulative per-(receiver, path) accounting, surfaced via
@@ -113,6 +119,11 @@ class HubForwarder {
   // call; the retired forwarder stays alive (in-flight deliveries may still
   // reference it) but emits nothing further.
   void Stop();
+
+  // Paths this engine paces over, in ascending PathId order (stable across
+  // the forwarder's lifetime; stats collection for retired engines reads
+  // them here once the owning Network has been retired separately).
+  std::vector<PathId> path_ids() const;
 
   DataRate downlink_target(PathId path) const;
   Duration downlink_srtt(PathId path) const;

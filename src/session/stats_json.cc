@@ -189,10 +189,14 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
   }
   w.CloseArray();
 
-  // Star only: hub-side downlink state (empty array for mesh).
+  // Star only: hub-side downlink state (empty array for mesh). Rows are
+  // keyed (hub, receiver, path); the hub key is emitted only for multi-hub
+  // conferences so single-hub JSON stays byte-identical to the seed-era
+  // fixtures.
   w.OpenArray("downlinks");
   for (const ConferenceStats::Downlink& d : stats.downlinks) {
     w.OpenObjectInArray();
+    if (stats.num_hubs > 1) w.Field("hub", static_cast<int64_t>(d.hub));
     w.Field("receiver", static_cast<int64_t>(d.receiver));
     w.Field("path", static_cast<int64_t>(d.path));
     w.Field("target_kbps", d.target_kbps);
@@ -230,6 +234,50 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
     w.CloseObject();
   }
   w.CloseArray();
+
+  // Cascaded-fabric state, multi-hub only: the keys are absent entirely for
+  // single-hub conferences (fixture byte-identity), not emitted empty.
+  if (stats.num_hubs > 1) {
+    w.Field("num_hubs", static_cast<int64_t>(stats.num_hubs));
+
+    w.OpenArray("hubs");
+    for (const ConferenceStats::Hub& h : stats.hubs) {
+      w.OpenObjectInArray();
+      w.Field("hub", static_cast<int64_t>(h.hub));
+      w.Field("alive", static_cast<int64_t>(h.alive ? 1 : 0));
+      w.Field("failures", h.failures);
+      w.Field("rehomed_away", h.rehomed_away);
+      w.Field("rehomed_onto", h.rehomed_onto);
+      w.Field("home_participants", static_cast<int64_t>(h.home_participants));
+      w.CloseObject();
+    }
+    w.CloseArray();
+
+    w.OpenArray("trunks");
+    for (const ConferenceStats::Trunk& t : stats.trunks) {
+      w.OpenObjectInArray();
+      w.Field("from_hub", static_cast<int64_t>(t.from_hub));
+      w.Field("to_hub", static_cast<int64_t>(t.to_hub));
+      w.Field("path", static_cast<int64_t>(t.path));
+      w.Field("live", static_cast<int64_t>(t.live ? 1 : 0));
+      w.Field("target_kbps", t.target_kbps);
+      w.Field("srtt_ms", t.srtt_ms);
+      w.Field("loss", t.loss);
+      w.Field("feedback_batches", t.feedback_batches);
+      w.Field("packets_registered", t.packets_registered);
+      w.Field("packets_forwarded", t.forwarder.packets_forwarded);
+      w.Field("bytes_forwarded", t.forwarder.bytes_forwarded);
+      w.Field("frames_thinned", t.forwarder.frames_thinned);
+      w.Field("frames_evicted", t.forwarder.frames_evicted);
+      w.Field("packets_dropped", t.forwarder.packets_dropped);
+      w.Field("rtx_answered", t.forwarder.rtx_answered);
+      w.Field("plis_relayed", t.forwarder.plis_relayed);
+      w.Field("max_queue_bytes", t.forwarder.max_queue_bytes);
+      w.Field("max_queue_delay_ms", t.forwarder.max_queue_delay_ms);
+      w.CloseObject();
+    }
+    w.CloseArray();
+  }
 
   w.CloseObject();
   return w.str();

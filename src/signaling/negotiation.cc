@@ -33,6 +33,7 @@ SessionDescription CreateOffer(const EndpointCapabilities& caps) {
     offer.header_extensions.push_back(kMultipathExtensionUri);
   }
   offer.cc_algorithm = caps.cc_algorithm;
+  offer.home_hub = caps.home_hub;
   return offer;
 }
 
@@ -94,6 +95,9 @@ NegotiatedSession Negotiate(const EndpointCapabilities& local,
       answer_parsed->cc_algorithm == offer_parsed->cc_algorithm) {
     session.cc_algorithm = offer_parsed->cc_algorithm;
   }
+  // The home-hub request also survives only through the serialized round
+  // trip: a legacy offer never carries the attribute and parses as hub 0.
+  if (offer_parsed.has_value()) session.home_hub = offer_parsed->home_hub;
   return session;
 }
 
@@ -231,6 +235,35 @@ ConferencePlan NegotiateStar(
   ConferencePlan plan = NegotiateStar(forwarder, participants);
   plan.membership =
       CheckedTimeline(plan.num_participants, std::move(membership));
+  return plan;
+}
+
+ConferencePlan NegotiateCascade(
+    const EndpointCapabilities& forwarder,
+    const std::vector<EndpointCapabilities>& participants, int num_hubs,
+    std::vector<MembershipEvent> membership) {
+  CONVERGE_INVARIANT("Negotiation", Timestamp::Zero(), num_hubs >= 1,
+                     "cascade needs >= 1 hub, got " +
+                         std::to_string(num_hubs));
+  if (num_hubs < 1) num_hubs = 1;
+  ConferencePlan plan =
+      NegotiateStar(forwarder, participants, std::move(membership));
+  plan.num_hubs = num_hubs;
+  if (num_hubs == 1) return plan;  // degenerate single-star plan
+  plan.home_hub.reserve(participants.size());
+  for (size_t i = 0; i < participants.size(); ++i) {
+    const int requested = plan.sessions[i].home_hub;
+    if (requested >= 0 && requested < num_hubs) {
+      plan.home_hub.push_back(requested);
+      continue;
+    }
+    CONVERGE_INVARIANT(
+        "Negotiation", Timestamp::Zero(), false,
+        "participant " + std::to_string(i) + " pinned to hub " +
+            std::to_string(requested) + " outside [0, " +
+            std::to_string(num_hubs) + "); falling back to round-robin");
+    plan.home_hub.push_back(static_cast<int>(i) % num_hubs);
+  }
   return plan;
 }
 

@@ -62,6 +62,11 @@ struct EndpointCapabilities {
   // (rtp/ssrc_allocator.h) so N senders never collide. The historical
   // 2-party default of 0 keeps legacy SDP byte-compatible.
   int participant_id = 0;
+  // Regional hub this endpoint asks to home its uplink at in a cascaded
+  // SFU fabric (DESIGN §10). Offered via `a=x-converge-home-hub` only when
+  // > 0 — legacy SDP stays byte-identical and a legacy endpoint (whose
+  // offer never carries the attribute) lands on hub 0.
+  int home_hub = 0;
   std::vector<NetworkInterface> interfaces;
 };
 
@@ -73,6 +78,10 @@ struct NegotiatedSession {
   // Resolved congestion controller: the offered algorithm when both sides
   // advertise it, otherwise "gcc" (the legacy fallback).
   std::string cc_algorithm = "gcc";
+  // Home hub the offer requested, through the serialized round trip (0 when
+  // the attribute was absent). NegotiateCascade validates it against the
+  // fabric's hub count.
+  int home_hub = 0;
   std::vector<CandidatePair> pairs;  // one per media path
 };
 
@@ -101,6 +110,11 @@ struct ConferencePlan {
   // Scheduled mid-call joins/leaves, sorted by time. Empty = everyone is in
   // the call for its whole duration (the historical behaviour).
   std::vector<MembershipEvent> membership;
+  // Cascaded fabric shape (star only): number of regional hubs and the
+  // validated per-participant home hub. num_hubs == 1 (every non-cascade
+  // negotiation) leaves home_hub empty — the degenerate single-star plan.
+  int num_hubs = 1;
+  std::vector<int> home_hub;
 
   // Mesh lookup: the session negotiated between participants a and b.
   const NegotiatedSession& PairSession(int a, int b) const;
@@ -140,5 +154,18 @@ ConferencePlan NegotiateStar(
     const EndpointCapabilities& forwarder,
     const std::vector<EndpointCapabilities>& participants,
     std::vector<MembershipEvent> membership);
+
+// Cascaded-fabric negotiation (DESIGN §10): a star over `num_hubs` regional
+// hubs. Each participant negotiates its uplink against the forwarder
+// exactly as NegotiateStar does (so a 1-hub cascade plan is the star plan
+// plus num_hubs/home_hub), and its `a=x-converge-home-hub` request is
+// resolved through the SDP round trip: a pin inside [0, num_hubs) is
+// honored — a legacy endpoint, whose offer never carries the attribute,
+// parses as hub 0 and lands there — while an out-of-range pin falls back
+// to participant_index % num_hubs (round-robin).
+ConferencePlan NegotiateCascade(
+    const EndpointCapabilities& forwarder,
+    const std::vector<EndpointCapabilities>& participants, int num_hubs,
+    std::vector<MembershipEvent> membership = {});
 
 }  // namespace converge

@@ -22,6 +22,9 @@ std::string SerializeSdp(const SessionDescription& desc) {
   if (desc.cc_algorithm != "gcc" && !desc.cc_algorithm.empty()) {
     out << "a=" << kCcAttribute << ":" << desc.cc_algorithm << "\r\n";
   }
+  if (desc.home_hub > 0) {
+    out << "a=" << kHomeHubAttribute << ":" << desc.home_hub << "\r\n";
+  }
   for (const SdpMediaStream& s : desc.streams) {
     out << "a=ssrc:" << s.ssrc << " label:" << s.label << "\r\n";
   }
@@ -35,6 +38,7 @@ std::optional<SessionDescription> ParseSdp(const std::string& text) {
   desc.multipath_supported = false;
   desc.max_paths = 1;
   desc.cc_algorithm = "gcc";
+  desc.home_hub = 0;
 
   bool saw_version = false;
   bool saw_media = false;
@@ -87,6 +91,11 @@ std::optional<SessionDescription> ParseSdp(const std::string& text) {
           desc.cc_algorithm =
               value.substr(std::string(kCcAttribute).size() + 1);
           if (desc.cc_algorithm.empty()) desc.cc_algorithm = "gcc";
+        } else if (value.rfind(std::string(kHomeHubAttribute) + ":", 0) ==
+                   0) {
+          desc.home_hub = std::atoi(
+              value.c_str() + std::string(kHomeHubAttribute).size() + 1);
+          if (desc.home_hub < 0) desc.home_hub = 0;
         } else if (value.rfind("ssrc:", 0) == 0) {
           SdpMediaStream stream;
           stream.ssrc = static_cast<uint32_t>(

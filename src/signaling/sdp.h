@@ -32,6 +32,12 @@ struct SessionDescription {
   // non-default, so legacy SDP stays byte-identical; a legacy endpoint
   // ignores the unknown attribute and both sides fall back to GCC.
   std::string cc_algorithm = "gcc";
+  // Converge extension: the regional hub this endpoint wants its uplink
+  // terminated at in a cascaded SFU fabric (DESIGN §10). Serialized only
+  // when > 0, so legacy SDP — and every single-hub offer — stays
+  // byte-identical; a legacy endpoint ignores the attribute and lands on
+  // hub 0.
+  int home_hub = 0;
   // RTP header extension URIs (the Appendix-B multipath extension).
   std::vector<std::string> header_extensions;
 };
@@ -45,6 +51,7 @@ std::optional<SessionDescription> ParseSdp(const std::string& text);
 
 inline constexpr char kMultipathAttribute[] = "x-converge-multipath";
 inline constexpr char kCcAttribute[] = "x-converge-cc";
+inline constexpr char kHomeHubAttribute[] = "x-converge-home-hub";
 inline constexpr char kMultipathExtensionUri[] =
     "urn:x-converge:rtp-hdrext:multipath";
 

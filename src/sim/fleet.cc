@@ -26,6 +26,9 @@ FleetCallSummary Summarize(int index, const ConferenceStats& stats) {
     s.media_packets_sent += leg.stats.media_packets_sent;
     s.frames_encoded += leg.stats.frames_encoded;
   }
+  for (const ConferenceStats::Hub& hub : stats.hubs) {
+    s.rehomed += hub.rehomed_onto;
+  }
   double fps = 0.0;
   double freeze = 0.0;
   double e2e = 0.0;

@@ -54,6 +54,10 @@ struct FleetCallSummary {
   int64_t keyframe_requests = 0;
   int64_t media_packets_sent = 0;
   int64_t frames_encoded = 0;
+  // Cascaded-fabric calls only: participants re-homed across hubs by
+  // mid-call hub failures (sum of the per-hub rehomed_onto counters;
+  // 0 for every single-hub call).
+  int64_t rehomed = 0;
 };
 
 struct FleetResult {

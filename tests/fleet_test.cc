@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/fault_plan.h"
 #include "session/conference.h"
 #include "sim/fleet.h"
 
@@ -57,7 +58,34 @@ void ExpectIdentical(const std::vector<FleetCallSummary>& a,
     EXPECT_EQ(a[i].media_packets_sent, b[i].media_packets_sent)
         << "call " << i;
     EXPECT_EQ(a[i].frames_encoded, b[i].frames_encoded) << "call " << i;
+    EXPECT_EQ(a[i].rehomed, b[i].rehomed) << "call " << i;
   }
+}
+
+// A small cascaded call whose last hub fails mid-call, for driving the
+// re-homing machinery through the fleet driver's incremental interface.
+ConferenceConfig CascadeCall(uint64_t seed) {
+  ConferenceConfig config;
+  config.variant = Variant::kConverge;
+  config.topology = Topology::kStar;
+  config.participants.assign(4, ParticipantSpec{});
+  config.max_rate_per_stream = DataRate::KilobitsPerSec(600);
+  config.duration = Duration::Seconds(2);
+  config.seed = seed;
+  PathSpec wifi;
+  wifi.name = "wifi";
+  wifi.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(4));
+  wifi.prop_delay = Duration::Millis(20);
+  PathSpec cell;
+  cell.name = "cell";
+  cell.capacity = BandwidthTrace::Constant(DataRate::MegabitsPerSec(3));
+  cell.prop_delay = Duration::Millis(40);
+  config.paths = {wifi, cell};
+  config.num_hubs = 2;  // round-robin homing: p % 2
+  config.hub_fault_plans.resize(2);
+  config.hub_fault_plans[1].Add(FaultEvent::Outage(
+      Timestamp::Zero() + Duration::Millis(800), Duration::Millis(600)));
+  return config;
 }
 
 TEST(FleetTest, PerCallResultsIndependentOfShardCount) {
@@ -137,6 +165,26 @@ TEST(FleetTest, IncrementalInterfaceMatchesRun) {
   for (size_t i = 0; i < expected.participants.size(); ++i) {
     EXPECT_EQ(expected.participants[i].avg_fps, actual.participants[i].avg_fps)
         << "participant " << i;
+  }
+}
+
+// Cascaded calls with mid-call hub failover keep the fleet determinism
+// contract: the per-call summary (including the rehomed count) is identical
+// for any shard count, and the re-homing actually happened in every call.
+TEST(FleetTest, CascadeFailoverCallsAreShardIndependent) {
+  FleetConfig config;
+  for (int i = 0; i < 4; ++i) {
+    config.calls.push_back(CascadeCall(static_cast<uint64_t>(i + 1)));
+  }
+  config.shards = 1;
+  const FleetResult serial = RunFleet(config);
+  config.shards = 4;
+  const FleetResult sharded = RunFleet(config);
+  ExpectIdentical(serial.calls, sharded.calls);
+  for (const FleetCallSummary& c : serial.calls) {
+    // 4 participants over 2 hubs: hub 1's failure re-homes its 2.
+    EXPECT_EQ(c.rehomed, 2) << "call " << c.index;
+    EXPECT_GT(c.frames_encoded, 0) << "call " << c.index;
   }
 }
 

@@ -361,5 +361,63 @@ TEST(NegotiationTest, LegacyAnswererFallsBackToGcc) {
   EXPECT_EQ(answer.cc_algorithm, "gcc");
 }
 
+TEST(SdpTest, DefaultHomeHubOmitsAttributeForByteCompat) {
+  SessionDescription desc;
+  const std::string text = SerializeSdp(desc);
+  EXPECT_EQ(text.find("x-converge-home-hub"), std::string::npos);
+  const auto parsed = ParseSdp(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->home_hub, 0);
+}
+
+TEST(SdpTest, HomeHubAttributeRoundTrips) {
+  SessionDescription desc;
+  desc.home_hub = 2;
+  const std::string text = SerializeSdp(desc);
+  EXPECT_NE(text.find("a=x-converge-home-hub:2"), std::string::npos);
+  const auto parsed = ParseSdp(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->home_hub, 2);
+}
+
+TEST(NegotiationTest, CascadePlanHonorsValidPinsAndDefaultsLegacy) {
+  EndpointCapabilities forwarder;
+  forwarder.interfaces = DualInterfaces();
+  std::vector<EndpointCapabilities> participants(3);
+  for (size_t i = 0; i < participants.size(); ++i) {
+    participants[i].participant_id = static_cast<int>(i);
+    participants[i].interfaces = DualInterfaces();
+  }
+  participants[0].home_hub = 1;  // valid pin
+  participants[1].home_hub = 0;  // legacy default: lands on hub 0
+  participants[2].home_hub = 2;  // valid pin
+
+  const ConferencePlan plan =
+      NegotiateCascade(forwarder, participants, /*num_hubs=*/3);
+  EXPECT_TRUE(plan.star);
+  EXPECT_EQ(plan.num_hubs, 3);
+  ASSERT_EQ(plan.home_hub.size(), 3u);
+  EXPECT_EQ(plan.home_hub[0], 1);
+  EXPECT_EQ(plan.home_hub[1], 0);
+  EXPECT_EQ(plan.home_hub[2], 2);
+  // The uplink sessions are exactly the star negotiation's.
+  EXPECT_EQ(plan.sessions.size(), 3u);
+}
+
+TEST(NegotiationTest, CascadeSingleHubIsDegenerateStarPlan) {
+  EndpointCapabilities forwarder;
+  forwarder.interfaces = DualInterfaces();
+  std::vector<EndpointCapabilities> participants(2);
+  for (size_t i = 0; i < participants.size(); ++i) {
+    participants[i].participant_id = static_cast<int>(i);
+    participants[i].interfaces = DualInterfaces();
+  }
+  const ConferencePlan plan =
+      NegotiateCascade(forwarder, participants, /*num_hubs=*/1);
+  EXPECT_EQ(plan.num_hubs, 1);
+  EXPECT_TRUE(plan.home_hub.empty());  // the plain single-star plan
+  EXPECT_TRUE(plan.star);
+}
+
 }  // namespace
 }  // namespace converge
