@@ -13,6 +13,12 @@
 //                      cells, used as a CI build-and-run sanity check
 //   --churn            run ONLY the mid-call churn cell (join/leave/rejoin
 //                      on a 4-party mesh, per-leg lifetime windows)
+//   --layers           run ONLY the layered constrained-star cell: the same
+//                      slow-receiver star with a 3-rung simulcast ladder,
+//                      reporting per-downlink selected rung, switch counts,
+//                      filtered packets, and ALR padding volume. Combined
+//                      with --trace=<prefix> the traced subject is the
+//                      layered star ("hub_layer" series in the export)
 //   --cross-traffic    run ONLY the competing-TCP cell (call share vs a
 //                      greedy AIMD flow on the primary path)
 //   --hubs=<k>         run ONLY the cascaded-fabric cell: a fixed-size star
@@ -35,6 +41,7 @@
 //                      instants in the "conference" category)
 //   CONVERGE_BENCH_FAST=1 / CONVERGE_BENCH_SEEDS / CONVERGE_BENCH_JOBS as in
 //   the other benches
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -176,6 +183,83 @@ int ConstrainedStarCell(Duration duration) {
                      "constrained cell: slow receiver was never thinned\n");
         return 1;
       }
+    }
+  }
+  return 0;
+}
+
+// The layered variant of the constrained star: same shape, but the sender
+// offers a 3-rung simulcast ladder and the hub runs per-(receiver, path)
+// rung selection instead of whole-frame thinning.
+ConferenceConfig LayeredStarConfig(double slow_mbps, Duration duration,
+                                   uint64_t seed) {
+  ConferenceConfig config = ConstrainedStarConfig(slow_mbps, duration, seed);
+  config.simulcast_rungs = 3;
+  return config;
+}
+
+// Layered constrained vs unconstrained star. The interesting deltas against
+// ConstrainedStarCell: receiver 3 settles on a lower rung at full fps with
+// zero thinning, receivers 1-2 hold rung 0, and the padding column shows the
+// ALR probe volume the hub spent keeping each downlink's estimator honest.
+int LayeredStarCell(Duration duration) {
+  bench::Header(
+      "layered star: 3-rung simulcast, per-downlink rung selection");
+  for (const double slow : {1.0, 10.0}) {
+    Conference conference(LayeredStarConfig(slow, duration, 42));
+    const ConferenceStats stats = conference.Run();
+    std::printf("\nslow-downlink scale %.0fx (receiver 3 pair = %.1f Mbps)\n",
+                slow, slow);
+    std::printf("  %4s %8s %8s %8s %8s\n", "recv", "fps", "freeze", "e2e_ms",
+                "mbps");
+    for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+      if (p.inbound_streams == 0) continue;
+      std::printf("  %4d %8.2f %8.1f %8.1f %8.2f\n", p.participant, p.avg_fps,
+                  p.avg_freeze_ms, p.avg_e2e_ms, p.total_tput_mbps);
+    }
+    std::printf("  %4s %4s %8s %5s %9s %9s %6s %6s %8s\n", "recv", "path",
+                "tgt_kbps", "rung", "switches", "filtered", "thin", "evict",
+                "padding");
+    for (const ConferenceStats::Downlink& d : stats.downlinks) {
+      std::printf("  %4d %4d %8.0f %5d %9lld %9lld %6lld %6lld %8lld\n",
+                  d.receiver, static_cast<int>(d.path), d.target_kbps,
+                  d.selected_rung,
+                  static_cast<long long>(d.forwarder.layer_switches),
+                  static_cast<long long>(d.forwarder.layer_packets_filtered),
+                  static_cast<long long>(d.forwarder.frames_thinned),
+                  static_cast<long long>(d.forwarder.frames_evicted),
+                  static_cast<long long>(d.forwarder.padding_packets));
+    }
+    // Structural sanity for CI: the constrained run must adapt by rung
+    // selection (not thinning), and unconstrained receivers stay on the
+    // top rung at full rate.
+    for (const ConferenceStats::ParticipantQoe& p : stats.participants) {
+      if (p.inbound_streams > 0 && p.avg_fps <= 20.0) {
+        std::fprintf(stderr, "layered cell: receiver %d collapsed to %.2f fps\n",
+                     p.participant, p.avg_fps);
+        return 1;
+      }
+    }
+    int max_slow_rung = 0;
+    for (const ConferenceStats::Downlink& d : stats.downlinks) {
+      if (d.receiver == 3) {
+        max_slow_rung = std::max(max_slow_rung, d.selected_rung);
+      } else if (d.selected_rung != 0) {
+        std::fprintf(stderr,
+                     "layered cell: fast receiver %d left rung 0 (rung %d)\n",
+                     d.receiver, d.selected_rung);
+        return 1;
+      }
+    }
+    if (slow == 1.0 && max_slow_rung == 0) {
+      std::fprintf(stderr,
+                   "layered cell: slow receiver never left the top rung\n");
+      return 1;
+    }
+    if (slow == 10.0 && max_slow_rung != 0) {
+      std::fprintf(stderr,
+                   "layered cell: unconstrained receiver 3 downswitched\n");
+      return 1;
     }
   }
   return 0;
@@ -437,11 +521,13 @@ int HubSweepCell(int max_hubs, int participants, Duration duration,
 bool MaybeCaptureHubTrace(int argc, char** argv) {
   std::string prefix;
   bool churn = false;
+  bool layers = false;
   int hubs = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--trace=", 0) == 0) prefix = arg.substr(8);
     if (arg == "--churn") churn = true;
+    if (arg == "--layers") layers = true;
     if (arg.rfind("--hubs=", 0) == 0) hubs = std::atoi(arg.c_str() + 7);
   }
   if (prefix.empty()) {
@@ -454,6 +540,7 @@ bool MaybeCaptureHubTrace(int argc, char** argv) {
   ConferenceConfig config =
       hubs >= 2 ? CascadeFailoverConfig(9, hubs, duration, 42)
       : churn   ? ChurnConfig(duration, 42)
+      : layers  ? LayeredStarConfig(1.0, duration, 42)
                 : ConstrainedStarConfig(1.0, duration, 42);
   config.trace_capacity = TraceRecorder::kDefaultCapacity;
   Conference conference(config);
@@ -498,9 +585,10 @@ bool MaybeCaptureHubTrace(int argc, char** argv) {
       if (p.participant == 3) slow_tput = p.total_tput_mbps;
     }
     std::printf(
-        "traced constrained star: slow receiver %.2f Mbps, %lld events "
+        "traced %s star: slow receiver %.2f Mbps, %lld events "
         "(%lld dropped)\n",
-        slow_tput, static_cast<long long>(trace->total_emitted()),
+        layers ? "layered" : "constrained", slow_tput,
+        static_cast<long long>(trace->total_emitted()),
         static_cast<long long>(trace->dropped()));
   }
   std::printf("wrote %s and %s\n", json_path.c_str(), csv_path.c_str());
@@ -549,6 +637,7 @@ int Main(int argc, char** argv) {
   bool smoke = false;
   bool churn_only = false;
   bool cross_only = false;
+  bool layers_only = false;
   int hubs = 0;
   // CC flags are parsed before the trace short-circuit so a traced run
   // (`--trace=... --cc=nada`) exercises the requested controller too.
@@ -557,6 +646,7 @@ int Main(int argc, char** argv) {
     if (arg == "--smoke") smoke = true;
     if (arg == "--churn") churn_only = true;
     if (arg == "--cross-traffic") cross_only = true;
+    if (arg == "--layers") layers_only = true;
     if (arg.rfind("--hubs=", 0) == 0) {
       hubs = std::atoi(arg.c_str() + 7);
       if (hubs < 1) {
@@ -586,13 +676,14 @@ int Main(int argc, char** argv) {
                 ToString(g_cc_algorithm).c_str(),
                 ToString(g_cc_coupling).c_str());
   }
-  if (churn_only || cross_only) {
+  if (churn_only || cross_only || layers_only) {
     const Duration cell_duration =
         smoke || bench::FastMode() ? Duration::Seconds(10)
                                    : Duration::Seconds(30);
     int rc = 0;
     if (churn_only) rc = ChurnCell(cell_duration);
     if (rc == 0 && cross_only) rc = CrossTrafficCell(cell_duration);
+    if (rc == 0 && layers_only) rc = LayeredStarCell(cell_duration);
     return rc;
   }
   if (hubs > 0) {
@@ -618,6 +709,10 @@ int Main(int argc, char** argv) {
   SweepTopology(Topology::kMesh, sizes, duration, seeds);
   SweepTopology(Topology::kStar, sizes, duration, seeds);
   if (int rc = ConstrainedStarCell(smoke ? Duration::Seconds(6) : duration);
+      rc != 0) {
+    return rc;
+  }
+  if (int rc = LayeredStarCell(smoke ? Duration::Seconds(10) : duration);
       rc != 0) {
     return rc;
   }

@@ -20,6 +20,10 @@ ProtectedPacketMeta MetaOf(const RtpPacket& packet) {
   meta.marker = packet.marker;
   meta.payload_bytes = packet.payload_bytes;
   meta.capture_time = packet.capture_time;
+  meta.spatial_id = packet.spatial_id;
+  meta.num_spatial = packet.num_spatial;
+  meta.temporal_id = packet.temporal_id;
+  meta.num_temporal = packet.num_temporal;
   return meta;
 }
 
@@ -38,6 +42,10 @@ RtpPacket PacketFromMeta(const ProtectedPacketMeta& meta, uint32_t ssrc) {
   p.marker = meta.marker;
   p.payload_bytes = meta.payload_bytes;
   p.capture_time = meta.capture_time;
+  p.spatial_id = meta.spatial_id;
+  p.num_spatial = meta.num_spatial;
+  p.temporal_id = meta.temporal_id;
+  p.num_temporal = meta.num_temporal;
   return p;
 }
 
@@ -60,6 +68,12 @@ std::vector<RtpPacket> XorFecEncoder::Generate(
     fec.frame_kind = sample.frame_kind;
     fec.capture_time = sample.capture_time;
     fec.fec_block = block_id;
+    // Parity inherits the covered rung's layer coordinates so a hub can
+    // forward only the parity protecting the subscribed rung.
+    fec.spatial_id = sample.spatial_id;
+    fec.num_spatial = sample.num_spatial;
+    fec.temporal_id = sample.temporal_id;
+    fec.num_temporal = sample.num_temporal;
 
     int64_t max_payload = 0;
     auto block = std::make_shared<FecBlockMeta>();

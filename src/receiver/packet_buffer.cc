@@ -75,6 +75,8 @@ void PacketBuffer::TryAssemble(uint32_t ssrc, int stream_id,
   frame.kind = sample.frame_kind;
   frame.qp = sample.qp;
   frame.capture_time = sample.capture_time;
+  frame.spatial_id = sample.spatial_id;
+  frame.temporal_id = sample.temporal_id;
   frame.packets = static_cast<int>(members.size());
 
   Timestamp first_arrival = Timestamp::PlusInfinity();

@@ -30,6 +30,10 @@ uint32_t GetU32(const std::vector<uint8_t>& in, size_t at) {
 constexpr uint8_t kExtIdPathId = 1;
 constexpr uint8_t kExtIdMpSeq = 2;
 constexpr uint8_t kExtIdMpTransportSeq = 3;
+// Layer coordinates (simulcast rung + temporal layer), emitted only for
+// layered streams: the element fits in the padding of the 3-word extension
+// block, so adding it changes neither wire_size nor the single-layer bytes.
+constexpr uint8_t kExtIdLayers = 4;
 constexpr uint16_t kOneByteProfile = 0xBEDE;
 
 }  // namespace
@@ -64,6 +68,17 @@ std::vector<uint8_t> SerializeRtpHeader(const RtpPacket& packet) {
   // MpTransportSequenceNumber: id=3, 2 bytes (L=1).
   out.push_back(static_cast<uint8_t>((kExtIdMpTransportSeq << 4) | 1));
   PutU16(out, packet.mp_transport_seq);
+  // Layers element: id=4, 2 bytes (L=1), only when the stream is layered.
+  // Byte 0 packs (spatial_id, temporal_id), byte 1 (num_spatial,
+  // num_temporal) — 4 bits each, mirroring the AV1 dependency descriptor's
+  // compact layer coordinates.
+  if (packet.num_spatial > 1 || packet.num_temporal > 1) {
+    out.push_back(static_cast<uint8_t>((kExtIdLayers << 4) | 1));
+    out.push_back(static_cast<uint8_t>(((packet.spatial_id & 0x0F) << 4) |
+                                       (packet.temporal_id & 0x0F)));
+    out.push_back(static_cast<uint8_t>(((packet.num_spatial & 0x0F) << 4) |
+                                       (packet.num_temporal & 0x0F)));
+  }
   // Pad to a 32-bit boundary (8 data bytes used, pad 4).
   while ((out.size() % 4) != 0) out.push_back(0);
   while (out.size() < static_cast<size_t>(kRtpHeaderBytes + kMultipathExtensionBytes)) {
@@ -109,6 +124,12 @@ bool ParseRtpHeader(const std::vector<uint8_t>& in, RtpPacket* packet) {
         break;
       case kExtIdMpTransportSeq:
         packet->mp_transport_seq = GetU16(in, at);
+        break;
+      case kExtIdLayers:
+        packet->spatial_id = in[at] >> 4;
+        packet->temporal_id = in[at] & 0x0F;
+        packet->num_spatial = in[at + 1] >> 4;
+        packet->num_temporal = in[at + 1] & 0x0F;
         break;
       default:
         break;  // unknown element: skip

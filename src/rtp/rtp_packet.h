@@ -56,6 +56,11 @@ struct ProtectedPacketMeta {
   bool marker = false;
   int64_t payload_bytes = 0;
   Timestamp capture_time;
+  // Layer coordinates of the covered packet (defaults for single-layer).
+  uint8_t spatial_id = 0;
+  uint8_t num_spatial = 1;
+  uint8_t temporal_id = 0;
+  uint8_t num_temporal = 1;
 };
 
 // Recovery metadata of one FEC parity packet: the covered sequence numbers
@@ -85,12 +90,21 @@ struct RtpPacket {
   FrameKind frame_kind = FrameKind::kDelta;
   Priority priority = Priority::kNone;
   int stream_id = 0;       // camera stream index
-  int64_t frame_id = -1;   // monotone per stream
+  int64_t frame_id = -1;   // monotone per stream, shared across rungs
   int64_t gop_id = -1;
   bool first_in_frame = false;
   bool last_in_frame = false;
   int64_t payload_bytes = 0;
   int qp = 30;  // encoder QP of the carrying frame
+
+  // ---- layer coordinates (x-converge-layers extension element) ----
+  // Simulcast rung / temporal layer of the carrying frame. On the wire the
+  // element is emitted only for layered streams (num_spatial > 1 or
+  // num_temporal > 1), so single-layer serialization stays byte-identical.
+  uint8_t spatial_id = 0;
+  uint8_t num_spatial = 1;
+  uint8_t temporal_id = 0;
+  uint8_t num_temporal = 1;
 
   // Receiver-side provenance: set when this packet was rebuilt by FEC
   // recovery or arrived as an RTX retransmission.

@@ -213,6 +213,37 @@ Conference::Conference(const ConferenceConfig& config) : config_(config) {
       config_.hub_fault_plans.size() <=
           static_cast<size_t>(config_.num_hubs),
       "more hub fault plans than hubs");
+  // Layered-media gating. Simulcast needs (a) the star topology — a mesh
+  // receiver would get every rung and the receiver's PacketBuffer keys
+  // frames by (stream, frame_id), so two rungs of one capture would collide
+  // — and (b) a Converge-family variant: rung filtering leaves per-SSRC
+  // `seq` gaps at the hub, which only the multipath extension's per-path
+  // (mp_seq-based) NACK machinery tolerates. Invalid combinations degrade
+  // to single-layer through the invariant registry, mirroring the hub-graph
+  // rules above.
+  if (config_.simulcast_rungs < 1) config_.simulcast_rungs = 1;
+  if (config_.temporal_layers < 1) config_.temporal_layers = 1;
+  if (config_.simulcast_rungs > HubForwarder::kMaxRungs) {
+    CONVERGE_INVARIANT("Conference", Timestamp::Zero(), false,
+                       "simulcast_rungs " +
+                           std::to_string(config_.simulcast_rungs) +
+                           " exceeds the wire/selection limit of " +
+                           std::to_string(HubForwarder::kMaxRungs));
+    config_.simulcast_rungs = HubForwarder::kMaxRungs;
+  }
+  if (config_.temporal_layers > 4) config_.temporal_layers = 4;
+  if (config_.simulcast_rungs > 1 && config_.topology != Topology::kStar) {
+    CONVERGE_INVARIANT("Conference", Timestamp::Zero(), false,
+                       "simulcast requires the star topology");
+    config_.simulcast_rungs = 1;
+  }
+  if (config_.simulcast_rungs > 1 &&
+      !HasMultipathRtpExtension(config_.variant)) {
+    CONVERGE_INVARIANT(
+        "Conference", Timestamp::Zero(), false,
+        "simulcast requires a Converge-family variant (per-path NACK)");
+    config_.simulcast_rungs = 1;
+  }
   home_hub_.resize(static_cast<size_t>(n), 0);
   for (int p = 0; p < n; ++p) {
     int hub = p % config_.num_hubs;
@@ -270,6 +301,13 @@ Sender::Config MakeSenderConfig(const ConferenceConfig& config,
     sc.camera.width = config.width;
     sc.camera.height = config.height;
     sc.encoder.max_rate = config.max_rate_per_stream;
+    sc.encoder.simulcast_rungs = config.simulcast_rungs;
+    sc.encoder.temporal_layers = config.temporal_layers;
+    if (config.simulcast_rungs > 1) {
+      // Layered mode moves the resolution choice to the hub's per-receiver
+      // rung selection; the sender-side adaptive ladder would fight it.
+      sc.encoder.adapt_resolution = false;
+    }
     sconf.streams.push_back(sc);
   }
   sconf.max_total_rate =
@@ -520,6 +558,9 @@ void Conference::BuildStarForwarder(int to) {
   hconf.cc.controller.start_rate = aggregate;
   hconf.cc.controller.max_rate = aggregate * 2;
   hconf.cc.controller.trace_component = HubTraceComponent(config_.cc_algorithm);
+  // Receiver-facing engines run rung selection whenever the conference is
+  // layered; hub.layers carries only the tunables.
+  hconf.layers.enabled = config_.simulcast_rungs > 1;
   // Hub work on this receiver's downlinks is attributed to the receiver,
   // like the downlink delivery callbacks.
   TraceParticipantScope scope(to);
@@ -676,6 +717,9 @@ Conference::Trunk* Conference::BuildTrunk(int from_hub, int to_hub,
   tconf.cc.controller.max_rate = aggregate * 2;
   tconf.cc.controller.trace_component = "hub_trunk";
   tconf.trace_category = "hub_trunk";
+  // A trunk must carry EVERY rung: the remote hub's per-receiver engines
+  // make their own selections, so filtering here would starve them.
+  tconf.layers.enabled = false;
   t.engine = std::make_unique<HubForwarder>(
       &loop_, tconf, t.network->path_ids(),
       [this, t_ptr](int origin, PathId path, RtpPacket packet) {
@@ -1494,6 +1538,8 @@ ConferenceStats Conference::Collect() {
   // tagged with the hub that ran them, so a failed-over call accounts for
   // both serving hubs.
   out.num_hubs = config_.num_hubs;
+  out.simulcast_rungs = config_.simulcast_rungs;
+  out.temporal_layers = config_.temporal_layers;
   for (int p = 0; p < n; ++p) {
     const HubForwarder* fwd = hub_forwarder(p);
     if (fwd == nullptr) continue;
@@ -1503,6 +1549,7 @@ ConferenceStats Conference::Collect() {
       d.hub = forwarder_hub_[static_cast<size_t>(p)];
       d.receiver = p;
       d.path = path;
+      d.selected_rung = fwd->max_selected_rung();
       d.target_kbps =
           static_cast<double>(fwd->downlink_target(path).bps()) / 1000.0;
       d.srtt_ms = fwd->downlink_srtt(path).seconds() * 1000.0;
@@ -1518,6 +1565,7 @@ ConferenceStats Conference::Collect() {
       d.hub = rf.hub;
       d.receiver = rf.receiver;
       d.path = path;
+      d.selected_rung = rf.forwarder->max_selected_rung();
       d.target_kbps =
           static_cast<double>(rf.forwarder->downlink_target(path).bps()) /
           1000.0;

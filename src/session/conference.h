@@ -147,6 +147,24 @@ struct ConferenceConfig {
   // optimistic and lets delay/loss signals pull a slow downlink back).
   HubForwarder::Config hub;
 
+  // --- Layered media (simulcast + temporal SVC metadata) -----------------
+  // simulcast_rungs > 1 makes every publisher encode that many rungs per
+  // capture (video/encoder.h: rung k halves the linear resolution k times)
+  // and switches the hub's per-receiver forwarders from whole-frame
+  // thinning to per-(origin, stream) rung selection (hub.layers tunables
+  // apply; layers.enabled itself is derived from this field at build time).
+  // Requires the star topology AND a Converge-family variant (rung
+  // filtering leaves per-SSRC seq gaps that only mp_seq-based per-path
+  // NACK tolerates; a mesh receiver would see every rung and mis-assemble);
+  // invalid combinations are rejected through the invariant registry and
+  // degraded back to single-layer. temporal_layers > 1 stamps dyadic
+  // temporal ids on frames (metadata only; no frames are withheld).
+  // Defaults (1/1) keep every pipeline byte-identical to the unlayered
+  // build. Negotiated over SDP as `a=x-converge-layers:SxT`
+  // (signaling/sdp.h); legacy peers fall back to 1x1.
+  int simulcast_rungs = 1;
+  int temporal_layers = 1;
+
   // --- Cascaded SFU fabric (star only; DESIGN §10) -----------------------
   // Number of regional hubs the forwarding fabric is sharded over. 1 (the
   // default) is the degenerate single-star case and leaves the historical
@@ -268,6 +286,10 @@ struct ConferenceStats {
     double target_kbps = 0.0;
     double srtt_ms = 0.0;
     double loss = 0.0;
+    // Layered forwarding only: the deepest rung any of this receiver's
+    // subscriptions sits at when the call ends (0 = every stream at the
+    // top rung). Stays 0 — and unexported — for single-layer calls.
+    int selected_rung = 0;
     HubForwarder::DownlinkStats forwarder;
   };
 
@@ -325,6 +347,10 @@ struct ConferenceStats {
   int num_hubs = 1;
   std::vector<Trunk> trunks;
   std::vector<Hub> hubs;
+  // Effective layer shape after topology/variant gating (1/1 for
+  // single-layer calls, whose stats JSON omits every layer field).
+  int simulcast_rungs = 1;
+  int temporal_layers = 1;
 };
 
 class Conference {

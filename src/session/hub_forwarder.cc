@@ -12,6 +12,11 @@ namespace {
 constexpr size_t kDecisionWindow = 64;
 constexpr size_t kRtxDedupCap = 4096;
 
+// Flight-recorder category for the rung-selection engine: switches,
+// selection counters, and the keyframe requests that commit them live
+// apart from the queue probes in `config.trace_category`.
+constexpr char kLayerTraceCategory[] = "hub_layer";
+
 bool MediaLike(const RtpPacket& p) {
   return p.kind == PayloadKind::kMedia || p.kind == PayloadKind::kPps ||
          p.kind == PayloadKind::kSps;
@@ -52,7 +57,8 @@ HubForwarder::HubForwarder(EventLoop* loop, Config config,
       config_(config),
       transmit_(std::move(transmit)),
       relay_pli_(std::move(relay_pli)),
-      last_process_(loop->now()) {
+      last_process_(loop->now()),
+      last_layer_eval_(loop->now()) {
   for (PathId path : paths) {
     DownlinkCc::Config cc = config_.cc;
     cc.controller.trace_path = static_cast<int>(path);
@@ -117,6 +123,14 @@ Duration HubForwarder::WorstQueueDelay() const {
   return worst;
 }
 
+double HubForwarder::WorstSmoothedDelayMs() const {
+  double worst = 0.0;
+  for (const auto& [path, ps] : paths_) {
+    worst = std::max(worst, ps->smoothed_delay_ms);
+  }
+  return worst;
+}
+
 void HubForwarder::CloseGate(StreamGate& gate, int leg, int stream_id,
                              PathId culprit, Timestamp now) {
   gate.open = false;
@@ -139,16 +153,19 @@ bool HubForwarder::AdmitMedia(int leg, PathId path, const RtpPacket& packet,
                               Timestamp now) {
   StreamGate& g = gates_[{leg, packet.stream_id}];
   if (packet.ssrc != 0) g.ssrc = packet.ssrc;
+  if (config_.layers.enabled && packet.num_spatial > 1) {
+    return AdmitLayered(g, leg, path, packet, now);
+  }
   if (packet.frame_kind == FrameKind::kKey) {
     // Keyframes are always admitted; they repair the dependency chain.
     g.open = true;
-    g.decisions[packet.frame_id] = true;
+    g.decisions[packet.frame_id] = 0;
   } else {
     auto it = g.decisions.find(packet.frame_id);
     if (it == g.decisions.end()) {
-      // First packet of a new delta frame: the layer-selection decision.
-      // The frame is decodable only if every path carries its share, so
-      // thin against the *worst* downlink path backlog.
+      // First packet of a new delta frame: the whole-frame thinning
+      // decision. The frame is decodable only if every path carries its
+      // share, so thin against the *worst* downlink path backlog.
       bool admit = g.open;
       PathId culprit = g.culprit == kInvalidPathId ? path : g.culprit;
       if (admit) {
@@ -162,7 +179,7 @@ bool HubForwarder::AdmitMedia(int leg, PathId path, const RtpPacket& packet,
         }
         admit = worst <= config_.thin_queue_delay;
       }
-      it = g.decisions.emplace(packet.frame_id, admit).first;
+      it = g.decisions.emplace(packet.frame_id, admit ? 0 : -1).first;
       if (!admit) {
         auto pit = paths_.find(culprit);
         PathState& cp =
@@ -177,7 +194,7 @@ bool HubForwarder::AdmitMedia(int leg, PathId path, const RtpPacket& packet,
         CloseGate(g, leg, packet.stream_id, culprit, now);
       }
     }
-    if (!it->second) {
+    if (it->second < 0) {
       auto pit = paths_.find(g.culprit);
       PathState& cp =
           pit != paths_.end() ? *pit->second : *paths_.begin()->second;
@@ -189,6 +206,228 @@ bool HubForwarder::AdmitMedia(int leg, PathId path, const RtpPacket& packet,
     g.decisions.erase(g.decisions.begin());
   }
   return true;
+}
+
+bool HubForwarder::AdmitLayered(StreamGate& g, int leg, PathId path,
+                                const RtpPacket& packet, Timestamp now) {
+  g.num_rungs = std::min<int>(packet.num_spatial, kMaxRungs);
+  // Every rung's ingress bytes feed the rate estimates — including rungs
+  // the receiver is not subscribed to; those estimates are exactly what an
+  // upswitch decision needs.
+  if (packet.spatial_id < kMaxRungs) {
+    g.rung_window_bytes[packet.spatial_id] += packet.wire_size();
+  }
+
+  auto it = g.decisions.find(packet.frame_id);
+  if (it == g.decisions.end()) {
+    // First packet of this frame_id (any rung, any path): decide which
+    // rung of the frame goes downstream. Exactly one rung per frame_id
+    // keeps the subscriber's frame continuity — full fps at every rung.
+    int rung;
+    if (packet.frame_kind == FrameKind::kKey) {
+      if (g.pending >= 0 && g.pending != g.current) {
+        // The keyframe all rungs share is the decodable switch boundary.
+        g.current = std::min(g.pending, g.num_rungs - 1);
+        g.last_switch = now;
+        PathState& cp = *paths_.begin()->second;
+        ++cp.stats.layer_switches;
+        if (TraceRecorder* trace = TraceRecorder::Current()) {
+          trace->Instant(kLayerTraceCategory, "layer_switch", now,
+                         static_cast<double>(g.current),
+                         static_cast<int32_t>(leg), packet.stream_id);
+        }
+      }
+      g.pending = -1;
+      g.open = true;
+      rung = std::min(g.current, g.num_rungs - 1);
+    } else if (!g.open) {
+      rung = -1;  // chain already broken; wait for the next keyframe
+    } else {
+      rung = std::min(g.current, g.num_rungs - 1);
+      // Overload backstop below the lowest rung: if even the selected rung
+      // overruns the worst path's queue, fall back to whole-frame thinning
+      // exactly like the single-layer hub.
+      Duration worst = Duration::Zero();
+      PathId culprit = path;
+      for (const auto& [id, ps] : paths_) {
+        const Duration d = ProjectedDelay(*ps);
+        if (d > worst) {
+          worst = d;
+          culprit = id;
+        }
+      }
+      if (worst > config_.thin_queue_delay) {
+        rung = -1;
+        auto pit = paths_.find(culprit);
+        PathState& cp =
+            pit != paths_.end() ? *pit->second : *paths_.begin()->second;
+        ++cp.stats.frames_thinned;
+        if (TraceRecorder* trace = TraceRecorder::Current()) {
+          trace->Instant(config_.trace_category, "frame_thinned", now,
+                         static_cast<double>(packet.frame_id),
+                         static_cast<int32_t>(culprit), packet.stream_id);
+        }
+        CloseGate(g, leg, packet.stream_id, culprit, now);
+      }
+    }
+    it = g.decisions.emplace(packet.frame_id, rung).first;
+  }
+  while (g.decisions.size() > kDecisionWindow) {
+    g.decisions.erase(g.decisions.begin());
+  }
+
+  const int rung = it->second;
+  if (rung < 0) {
+    auto pit = paths_.find(g.culprit);
+    PathState& cp =
+        pit != paths_.end() ? *pit->second : *paths_.begin()->second;
+    ++cp.stats.packets_dropped;
+    return false;
+  }
+  if (packet.spatial_id != rung) {
+    // Deliberate rung filtering, not loss: hub-stamped egress sequence
+    // spaces mean the receiver never sees a gap to chase.
+    ++Path(path).stats.layer_packets_filtered;
+    return false;
+  }
+  return true;
+}
+
+void HubForwarder::RequestSwitchKeyframe(StreamGate& gate, int leg,
+                                         int stream_id, Timestamp now) {
+  if (gate.last_pli.IsFinite() &&
+      now - gate.last_pli < config_.pli_min_interval) {
+    return;
+  }
+  gate.last_pli = now;
+  // Attribute the request to the constraining downlink path (the lowest
+  // CC target) — the one the switch is for.
+  PathId culprit = paths_.begin()->first;
+  DataRate lowest = DataRate::Infinity();
+  for (const auto& [id, ps] : paths_) {
+    if (ps->cc.target_rate() < lowest) {
+      lowest = ps->cc.target_rate();
+      culprit = id;
+    }
+  }
+  ++paths_.at(culprit)->stats.plis_relayed;
+  if (TraceRecorder* trace = TraceRecorder::Current()) {
+    trace->Instant(kLayerTraceCategory, "switch_pli", now,
+                   static_cast<double>(gate.pending),
+                   static_cast<int32_t>(leg), stream_id);
+  }
+  relay_pli_(leg, gate.ssrc, culprit);
+}
+
+void HubForwarder::EvaluateLayerSelection(Timestamp now) {
+  if (!config_.layers.enabled) return;
+  const Duration window = now - last_layer_eval_;
+  if (window < config_.layers.eval_interval) return;
+  last_layer_eval_ = now;
+  const double window_s = window.seconds();
+  if (window_s <= 0.0) return;
+
+  double total_target_bps = 0.0;
+  for (const auto& [id, ps] : paths_) {
+    total_target_bps += static_cast<double>(ps->cc.target_rate().bps());
+  }
+  if (total_target_bps >= peak_total_target_bps_) {
+    peak_total_target_bps_ = total_target_bps;
+  } else {
+    peak_total_target_bps_ += std::min(1.0, window_s / 4.0) *
+                              (total_target_bps - peak_total_target_bps_);
+  }
+  int layered_streams = 0;
+  for (const auto& [key, g] : gates_) {
+    if (g.num_rungs > 1) ++layered_streams;
+  }
+  if (layered_streams == 0) return;
+  // Every layered stream this receiver subscribes to shares the aggregate
+  // downlink budget equally. Selection (which rung SHOULD fit) runs on
+  // the slow-decaying capacity belief; the upswitch margin additionally
+  // checks the instantaneous target so a stale peak cannot drive a climb.
+  const double budget_bps = peak_total_target_bps_ * config_.layers.headroom /
+                            static_cast<double>(layered_streams);
+  const double cur_budget_bps = total_target_bps * config_.layers.headroom /
+                                static_cast<double>(layered_streams);
+
+  for (auto& [key, g] : gates_) {
+    if (g.num_rungs <= 1) continue;
+    const int leg = key.first;
+    const int stream_id = key.second;
+    // Fold the window's ingress bytes into the per-rung rate estimates.
+    for (int k = 0; k < g.num_rungs; ++k) {
+      const double inst =
+          static_cast<double>(g.rung_window_bytes[k]) * 8.0 / window_s;
+      g.rung_window_bytes[k] = 0;
+      const double alpha = inst > g.rung_rate_bps[k]
+                               ? config_.layers.rate_alpha_up
+                               : config_.layers.rate_alpha;
+      g.rung_rate_bps[k] =
+          g.rung_rate_bps[k] <= 0.0
+              ? inst
+              : g.rung_rate_bps[k] + alpha * (inst - g.rung_rate_bps[k]);
+    }
+    // Highest-quality rung whose measured rate fits the budget; when even
+    // the lowest rung overruns, subscribe to the lowest anyway — the
+    // thinning backstop handles what remains.
+    int desired = g.num_rungs - 1;
+    for (int k = 0; k < g.num_rungs; ++k) {
+      if (g.rung_rate_bps[k] > 0.0 && g.rung_rate_bps[k] <= budget_bps) {
+        desired = k;
+        break;
+      }
+    }
+    // A sustained backlog means the pacer cannot drain the current rung
+    // no matter what the budget arithmetic believes (the capacity belief
+    // lags real losses by design) — degrade one rung now.
+    const bool emergency =
+        WorstSmoothedDelayMs() > config_.layers.emergency_queue_delay.ms();
+    if (emergency && desired <= g.current && g.current < g.num_rungs - 1) {
+      desired = g.current + 1;
+    }
+    if (desired == g.current) {
+      g.pending = -1;  // converged; cancel any stale switch request
+      g.deficit_evals = 0;
+    } else if (desired > g.current) {
+      // Downswitch: a deficit against the peak-tracked budget is a
+      // genuine capacity shortfall (probe dips do not dent the peak), so
+      // confirmation is only about riding out one keyframe-inflated
+      // window; an emergency bypasses even that. Commits at the next
+      // keyframe.
+      ++g.deficit_evals;
+      const bool confirmed =
+          g.deficit_evals >= config_.layers.downswitch_confirm_evals;
+      if (emergency || confirmed) {
+        if (g.pending != desired) g.pending = desired;
+        RequestSwitchKeyframe(g, leg, stream_id, now);
+      }
+    } else {
+      g.deficit_evals = 0;
+      // Upswitch: hysteretic — the better rung must fit a tighter budget
+      // and the current selection must have dwelled.
+      const bool fits_margin =
+          g.rung_rate_bps[desired] <=
+          cur_budget_bps * config_.layers.upswitch_margin;
+      const bool dwelled =
+          !g.last_switch.IsFinite() ||
+          now - g.last_switch >= config_.layers.min_dwell;
+      if (fits_margin && dwelled) {
+        if (g.pending != desired) g.pending = desired;
+        RequestSwitchKeyframe(g, leg, stream_id, now);
+      } else {
+        g.pending = -1;
+      }
+    }
+    if (TraceRecorder* trace = TraceRecorder::Current()) {
+      trace->Counter(kLayerTraceCategory, "selected_rung", now,
+                     static_cast<double>(g.current),
+                     static_cast<int32_t>(leg), stream_id);
+      trace->Counter(kLayerTraceCategory, "rung_budget_kbps", now,
+                     budget_bps / 1000.0, static_cast<int32_t>(leg),
+                     stream_id);
+    }
+  }
 }
 
 void HubForwarder::OnMediaFromUplink(int leg, PathId path,
@@ -218,6 +457,14 @@ void HubForwarder::OnMediaFromUplink(int leg, PathId path,
       PathState& cp =
           cit != paths_.end() ? *cit->second : ps;
       ++cp.stats.packets_dropped;
+      return;
+    }
+    // Layered: parity protects exactly one rung (the sender windows FEC
+    // per rung), so forward only the subscribed rung's parity.
+    if (config_.layers.enabled && packet.num_spatial > 1 &&
+        git != gates_.end() &&
+        packet.spatial_id != git->second.current) {
+      ++ps.stats.layer_packets_filtered;
       return;
     }
   }
@@ -252,7 +499,7 @@ void HubForwarder::EvictFrame(PathId path, PathState& ps, int leg,
     if (p.frame_id != last_gone) {
       last_gone = p.frame_id;
       ++frames_gone;
-      g.decisions[p.frame_id] = false;
+      g.decisions[p.frame_id] = -1;
     }
     ps.queued_bytes -= p.wire_size();
     ++ps.stats.packets_dropped;
@@ -297,7 +544,7 @@ void HubForwarder::EvictForSpace(PathId path, PathState& ps,
 }
 
 void HubForwarder::Emit(PathId path, PathState& ps, Queued q,
-                        Timestamp now) {
+                        Timestamp now, bool padding) {
   RtpPacket& packet = q.packet;
   EgressLeg& el = ps.egress[q.leg];
   packet.path_id = path;
@@ -310,6 +557,7 @@ void HubForwarder::Emit(PathId path, PathState& ps, Queued q,
       static_cast<uint16_t>(el.transport_count & 0xFFFF);
   ps.cc.OnPacketSent(q.leg, el.transport_count, now, packet.wire_size());
   ++el.transport_count;
+  ps.pad_budget_bytes -= static_cast<double>(packet.wire_size());
 
   if (MediaLike(packet)) {
     el.mp_sent[packet.mp_seq] = packet;
@@ -319,12 +567,21 @@ void HubForwarder::Emit(PathId path, PathState& ps, Queued q,
         legacy_sent_.erase(legacy_sent_.begin());
       }
     }
+    if (config_.layers.enabled && !packet.via_rtx) {
+      ps.last_media = q;
+      if (!ps.has_last_media) ps.first_media_at = now;
+      ps.has_last_media = true;
+    }
   } else {
     el.mp_sent.erase(packet.mp_seq);  // stale wrap-around entry
   }
 
-  ++ps.stats.packets_forwarded;
-  ps.stats.bytes_forwarded += packet.wire_size();
+  if (padding) {
+    ++ps.stats.padding_packets;
+  } else {
+    ++ps.stats.packets_forwarded;
+    ps.stats.bytes_forwarded += packet.wire_size();
+  }
   transmit_(q.leg, path, std::move(packet));
 }
 
@@ -334,12 +591,25 @@ void HubForwarder::ProcessPath(PathId path, PathState& ps, Timestamp now) {
   ps.budget_bytes += static_cast<double>(ps.pacing_rate.BytesIn(elapsed));
   ps.budget_bytes = std::min(
       ps.budget_bytes, static_cast<double>(config_.max_burst_bytes));
+  if (config_.layers.enabled && config_.layers.alr_padding) {
+    ps.pad_budget_bytes += static_cast<double>(
+        (ps.cc.target_rate() * config_.layers.padding_target_factor)
+            .BytesIn(elapsed));
+    ps.pad_budget_bytes = std::min(
+        ps.pad_budget_bytes, static_cast<double>(config_.max_burst_bytes));
+  }
 
   const Duration backlog = ProjectedDelay(ps);
   ps.stats.max_queue_delay_ms =
       std::max(ps.stats.max_queue_delay_ms, backlog.seconds() * 1000.0);
   ps.stats.max_queue_bytes =
       std::max(ps.stats.max_queue_bytes, ps.queued_bytes);
+  if (config_.layers.enabled) {
+    const double backlog_ms =
+        backlog.IsInfinite() ? 1000.0 : backlog.ms();
+    ps.smoothed_delay_ms += std::min(1.0, elapsed.ms() / 250.0) *
+                            (backlog_ms - ps.smoothed_delay_ms);
+  }
 
   EvictForSpace(path, ps, now);
 
@@ -356,9 +626,58 @@ void HubForwarder::ProcessPath(PathId path, PathState& ps, Timestamp now) {
     Emit(path, ps, std::move(q), now);
   }
   if (ps.queue.empty() && ps.rtx_queue.empty() && ps.budget_bytes > 0.0) {
+    // Application-limited: pad up to the CC target with probe duplicates
+    // of the last forwarded media packet so the estimator keeps seeing —
+    // and probing above — a target-rate ack stream (see Layers docs).
+    const Duration srtt = ps.cc.smoothed_rtt();
+    if (!srtt.IsInfinite() && srtt < ps.min_srtt) ps.min_srtt = srtt;
+    const bool gates_clean =
+        (srtt.IsInfinite() || ps.min_srtt.IsInfinite() ||
+         srtt - ps.min_srtt <= config_.layers.padding_delay_gate) &&
+        ps.cc.loss_estimate() <= config_.layers.padding_loss_gate;
+    if (!gates_clean) {
+      ps.pad_clean_since = now;
+      if (now >= ps.pad_resume) {
+        // A probe just found the ceiling; re-probing immediately would
+        // only rebuild the queue. Back off (exponentially per episode).
+        ps.pad_backoff =
+            ps.pad_backoff.IsZero()
+                ? config_.layers.padding_backoff
+                : std::min(ps.pad_backoff * 2,
+                           config_.layers.padding_backoff_max);
+        ps.pad_resume = now + ps.pad_backoff;
+      }
+    } else if (now < ps.pad_resume) {
+      ps.pad_clean_since = now;  // still waiting out the backoff
+    } else if (ps.pad_clean_since.IsFinite() && !ps.pad_backoff.IsZero() &&
+               now - ps.pad_clean_since >= Duration::Seconds(3)) {
+      ps.pad_backoff = Duration::Zero();  // sustained clean probe: reset
+    }
+    const bool warmed_up =
+        ps.has_last_media &&
+        now - ps.first_media_at >= config_.layers.padding_warmup;
+    if (config_.layers.enabled && config_.layers.alr_padding && warmed_up &&
+        gates_clean && now >= ps.pad_resume) {
+      while (true) {
+        const int64_t size = ps.last_media.packet.wire_size();
+        if (ps.pad_budget_bytes < static_cast<double>(size) ||
+            ps.budget_bytes < static_cast<double>(size)) {
+          break;
+        }
+        Queued pad = ps.last_media;
+        pad.packet.kind = PayloadKind::kProbe;
+        pad.packet.is_probe_duplicate = true;
+        pad.packet.priority = Priority::kNone;
+        pad.packet.via_rtx = false;
+        pad.enqueued = now;
+        ps.budget_bytes -= static_cast<double>(size);
+        Emit(path, ps, std::move(pad), now, /*padding=*/true);
+      }
+    }
     // Do not accumulate idle budget beyond one burst.
     ps.budget_bytes = std::min(ps.budget_bytes, 3000.0);
   }
+  if (ps.pad_budget_bytes < 0.0) ps.pad_budget_bytes = 0.0;
 
   if (TraceRecorder* trace = TraceRecorder::Current()) {
     const int32_t tp = static_cast<int32_t>(path);
@@ -391,6 +710,7 @@ void HubForwarder::ProcessPath(PathId path, PathState& ps, Timestamp now) {
 
 void HubForwarder::Process() {
   const Timestamp now = loop_->now();
+  EvaluateLayerSelection(now);
   for (auto& [path, ps] : paths_) {
     ProcessPath(path, *ps, now);
   }
@@ -510,6 +830,19 @@ const HubForwarder::DownlinkStats& HubForwarder::stats(PathId path) const {
 }
 const DownlinkCc& HubForwarder::cc(PathId path) const {
   return Path(path).cc;
+}
+
+int HubForwarder::selected_rung(int leg, int stream_id) const {
+  auto it = gates_.find({leg, stream_id});
+  return it == gates_.end() ? 0 : it->second.current;
+}
+
+int HubForwarder::max_selected_rung() const {
+  int deepest = 0;
+  for (const auto& [key, g] : gates_) {
+    if (g.num_rungs > 1) deepest = std::max(deepest, g.current);
+  }
+  return deepest;
 }
 
 }  // namespace converge

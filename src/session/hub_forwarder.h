@@ -68,7 +68,90 @@ class HubForwarder {
     // the two hops of a cascaded forward. Must outlive the forwarder
     // (string literals only).
     const char* trace_category = "hub";
+    // Per-subscriber simulcast-rung selection (the production-SFU behaviour
+    // the Zoom/Webex/Meet measurement study documents). When enabled and
+    // the origin publishes layered media, the hub subscribes each (origin
+    // leg, stream) to exactly one rung sized to the aggregate downlink CC
+    // budget instead of thinning whole frames: every frame_id still goes
+    // downstream (at a lower rung), so a constrained receiver keeps full
+    // fps. Selections are hysteretic (upswitches need sustained headroom)
+    // and keyframe-gated (a switch commits on the next keyframe, which the
+    // hub requests via a debounced PLI relay). Whole-frame thinning remains
+    // as the overload backstop below the lowest rung. Receiver-facing
+    // engines only; trunk engines forward all rungs for downstream hubs.
+    struct Layers {
+      bool enabled = false;
+      // Selected rung must fit inside headroom * aggregate target.
+      double headroom = 0.85;
+      // Upswitch hysteresis: the higher rung must also fit inside
+      // headroom * upswitch_margin, and the current selection must have
+      // dwelled at least min_dwell.
+      double upswitch_margin = 0.8;
+      Duration min_dwell = Duration::Seconds(2);
+      // Cadence of selection re-evaluation and per-rung rate estimation.
+      Duration eval_interval = Duration::Millis(250);
+      // Blend of the newest windowed rate into the per-rung estimate.
+      // Asymmetric: growth is tracked almost instantly (a rung outgrowing
+      // the budget must trigger the downswitch before the path chokes),
+      // decay uses the slower `rate_alpha` (upswitches stay hysteretic).
+      double rate_alpha = 0.5;
+      double rate_alpha_up = 0.9;
+      // A deficit against the capacity belief must persist this many
+      // consecutive evals before a downswitch fires (one keyframe can
+      // inflate a single window's rung estimate); a sustained smoothed
+      // backlog beyond emergency_queue_delay overrides the confirmation
+      // and switches immediately.
+      int downswitch_confirm_evals = 2;
+      Duration emergency_queue_delay = Duration::Millis(30);
+      // Application-limited padding. Forwarding only the selected rung
+      // leaves the downlink CC blind above the forwarded rate (its
+      // acked-rate ceiling pins the target just above what was sent), so
+      // after a downswitch the budget could never grow back to admit the
+      // higher rung. When the paced queue drains with budget to spare,
+      // the hub pads the path with probe duplicates up to the CC target —
+      // the receiver acks them in transport feedback but drops them
+      // before frame assembly — letting the estimator keep probing for
+      // real headroom exactly like WebRTC ALR padding.
+      bool alr_padding = true;
+      // Padding fills to this fraction of the target, not all of it: the
+      // CC equilibrium then puts the actual send rate at the link's edge
+      // instead of past it, so capacity discovery costs far fewer
+      // overuse/backoff cycles on a saturated path.
+      double padding_target_factor = 0.9;
+      // Padding is expendable: it pauses while the path's loss estimate
+      // sits above this gate, so probing a constrained link to its knee
+      // costs padding packets first and media only briefly. Without the
+      // gate a droptail bottleneck is held at GCC's loss plateau and the
+      // media stream eats a continuous slice of that loss.
+      double padding_loss_gate = 0.02;
+      // Same idea on the delay axis, and earlier: padding also pauses
+      // while the path's smoothed RTT sits more than this above the
+      // minimum it has observed (a building bottleneck queue inflates
+      // RTT long before a droptail queue starts dropping).
+      Duration padding_delay_gate = Duration::Millis(25);
+      // A gate trip means the last probe found the path's ceiling, so
+      // re-probing immediately would just rebuild the same queue. Probing
+      // episodes back off exponentially between padding_backoff and
+      // padding_backoff_max; a probe that stays clean for a few seconds
+      // resets the backoff (genuinely uncongested paths pad continuously
+      // and never enter this ladder).
+      Duration padding_backoff = Duration::Seconds(1);
+      Duration padding_backoff_max = Duration::Seconds(8);
+      // No padding until the path has carried media this long. At call
+      // start the CC target is an optimistic guess, min_srtt is unknown
+      // (so the delay gate cannot trip), and the encoder is still
+      // ramping — padding straight to the guessed target floods a
+      // constrained downlink and freezes first-second media behind the
+      // probe queue. By the end of the warm-up the estimator has real
+      // feedback and the gates are armed.
+      Duration padding_warmup = Duration::Seconds(2);
+    };
+    Layers layers;
   };
+
+  // Highest rung index the selection engine tracks (wire field is 4 bits;
+  // practical simulcast ladders stop at 4 rungs).
+  static constexpr int kMaxRungs = 4;
 
   // Cumulative per-(receiver, path) accounting, surfaced via
   // ConferenceStats::Downlink.
@@ -82,6 +165,12 @@ class HubForwarder {
     int64_t plis_relayed = 0;
     int64_t max_queue_bytes = 0;
     double max_queue_delay_ms = 0.0;
+    // Layered forwarding: rung switches committed at a keyframe, and
+    // packets of unsubscribed rungs filtered at ingress (deliberate
+    // selection, not loss — disjoint from packets_dropped).
+    int64_t layer_switches = 0;
+    int64_t layer_packets_filtered = 0;
+    int64_t padding_packets = 0;  // ALR probe duplicates (layered only)
   };
 
   // Delivers a stamped packet onto the downlink: (origin leg, path, packet).
@@ -133,6 +222,14 @@ class HubForwarder {
   const DownlinkStats& stats(PathId path) const;
   const DownlinkCc& cc(PathId path) const;
 
+  // Layered forwarding introspection. selected_rung: the rung (origin leg,
+  // stream) is currently subscribed to (0 when the stream is unknown or
+  // single-layer). max_selected_rung: the deepest downswitch across every
+  // layered stream this receiver subscribes to — 0 means every stream runs
+  // at the top rung.
+  int selected_rung(int leg, int stream_id) const;
+  int max_selected_rung() const;
+
  private:
   struct Queued {
     RtpPacket packet;
@@ -155,12 +252,35 @@ class HubForwarder {
     std::deque<Queued> rtx_queue;  // hub NACK answers jump the backlog
     int64_t queued_bytes = 0;
     double budget_bytes = 0.0;
+    // ALR padding accrues at the CC target (not the pacing rate) and is
+    // drained by every emitted byte, so media + padding together track
+    // the target and padding never displaces media.
+    double pad_budget_bytes = 0.0;
     DataRate pacing_rate = DataRate::Zero();
+    // Template for ALR probe duplicates: the last media packet emitted on
+    // this path (Emit re-stamps the egress sequence fields per copy).
+    bool has_last_media = false;
+    Queued last_media;
+    // First media emit on this path, anchor for Layers::padding_warmup.
+    Timestamp first_media_at = Timestamp::PlusInfinity();
+    // EWMA of the projected queue delay (~250 ms time constant), the
+    // backlog signal layer selection runs on: a keyframe burst drains in
+    // one spike the average barely registers, while genuine overload
+    // holds the average up. Thinning keeps using the instantaneous value.
+    double smoothed_delay_ms = 0.0;
+    // Baseline RTT for the padding delay gate.
+    Duration min_srtt = Duration::Infinity();
+    // Probe-episode backoff state (see Layers::padding_backoff).
+    Timestamp pad_resume = Timestamp::MinusInfinity();
+    Timestamp pad_clean_since = Timestamp::MinusInfinity();
+    Duration pad_backoff = Duration::Zero();  // set on first gate trip
     DownlinkStats stats;
     std::map<int, EgressLeg> egress;
   };
   // Dependency gate for one (leg, stream): closed after the hub drops any
-  // frame of the stream, reopened by the next keyframe.
+  // frame of the stream, reopened by the next keyframe. For layered
+  // streams it also holds the rung subscription and per-rung rate
+  // estimates the selection engine runs on.
   struct StreamGate {
     bool open = true;
     PathId culprit = kInvalidPathId;  // path whose backlog closed the gate
@@ -168,7 +288,18 @@ class HubForwarder {
     Timestamp last_pli = Timestamp::MinusInfinity();
     // Admission verdicts for recent frame ids (packets of one frame arrive
     // interleaved across paths); pruned to the newest kDecisionWindow.
-    std::map<int64_t, bool> decisions;
+    // Value: admitted rung (0 for single-layer streams), -1 = dropped.
+    std::map<int64_t, int> decisions;
+    // ---- layered state (meaningful when num_rungs > 1) ----
+    int num_rungs = 1;
+    int current = 0;   // subscribed rung, 0 = highest quality
+    int pending = -1;  // rung awaiting a keyframe to take effect
+    int deficit_evals = 0;  // consecutive evals wanting a downswitch
+    Timestamp last_switch = Timestamp::MinusInfinity();
+    // Per-rung ingress byte counts for the current estimation window and
+    // the blended rate estimate they feed.
+    int64_t rung_window_bytes[kMaxRungs] = {0, 0, 0, 0};
+    double rung_rate_bps[kMaxRungs] = {0.0, 0.0, 0.0, 0.0};
   };
 
   void Process();
@@ -177,15 +308,29 @@ class HubForwarder {
   // Removes every queued packet of (leg, stream, frame) from ps.queue.
   void EvictFrame(PathId path, PathState& ps, int leg, int stream_id,
                   int64_t frame_id, Timestamp now);
-  void Emit(PathId path, PathState& ps, Queued entry, Timestamp now);
+  void Emit(PathId path, PathState& ps, Queued entry, Timestamp now,
+            bool padding = false);
   bool AdmitMedia(int leg, PathId path, const RtpPacket& packet,
                   Timestamp now);
+  // Layered admission: one rung per frame_id, keyframe-gated switches.
+  bool AdmitLayered(StreamGate& g, int leg, PathId path,
+                    const RtpPacket& packet, Timestamp now);
+  // Re-evaluates every layered stream's rung against the aggregate
+  // downlink budget (runs at layers.eval_interval inside Process()).
+  void EvaluateLayerSelection(Timestamp now);
+  // Debounced PLI toward the origin asking for the keyframe that commits
+  // a pending rung switch (the gate stays open — unlike CloseGate, the
+  // current rung keeps flowing until the key arrives).
+  void RequestSwitchKeyframe(StreamGate& gate, int leg, int stream_id,
+                             Timestamp now);
   void CloseGate(StreamGate& gate, int leg, int stream_id, PathId culprit,
                  Timestamp now);
   void HandleNack(int leg, PathId report_path, const Nack& nack,
                   Timestamp now);
   Duration ProjectedDelay(const PathState& ps) const;
   Duration WorstQueueDelay() const;
+  // Worst smoothed (EWMA) queue delay across paths, in milliseconds.
+  double WorstSmoothedDelayMs() const;
   PathState& Path(PathId path);
   const PathState& Path(PathId path) const;
 
@@ -201,6 +346,12 @@ class HubForwarder {
       legacy_sent_;
   std::map<std::pair<int64_t, uint16_t>, Timestamp> recent_rtx_;
   Timestamp last_process_;
+  Timestamp last_layer_eval_;
+  // Capacity belief the selection budget runs on: tracks the aggregate CC
+  // target upward instantly but decays toward it slowly (~4 s), so a
+  // probing episode's multiplicative backoff — which the next probe will
+  // recover — does not read as a capacity loss and force a downswitch.
+  double peak_total_target_bps_ = 0.0;
   std::unique_ptr<RepeatingTask> task_;
 };
 

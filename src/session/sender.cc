@@ -120,13 +120,21 @@ double Sender::AggregateLoss() const {
 
 void Sender::OnCameraFrame(size_t stream_index, const RawFrame& raw) {
   StreamState& stream = streams_[stream_index];
-  EncodedFrame frame = stream.encoder->Encode(raw);
+  // One EncodedFrame per simulcast rung (exactly one for the historical
+  // single-layer config), all sharing the capture's frame_id. Each rung is
+  // packetized, scheduled, and FEC-protected independently so a hub can
+  // forward any one of them without touching the others.
+  const std::vector<EncodedFrame> rungs = stream.encoder->EncodeLayered(raw);
   ++stats_.frames_encoded;
-  if (frame.kind == FrameKind::kKey) {
+  if (!rungs.empty() && rungs.front().kind == FrameKind::kKey) {
     ++stats_.keyframes_encoded;
     stream.last_keyframe_encoded = loop_->now();
   }
+  for (const EncodedFrame& frame : rungs) SendEncodedFrame(stream, frame);
+}
 
+void Sender::SendEncodedFrame(StreamState& stream,
+                              const EncodedFrame& frame) {
   std::vector<RtpPacket> packets = stream.packetizer->Packetize(frame);
   for (RtpPacket& p : packets) p.qp = frame.qp;
 
@@ -205,7 +213,7 @@ void Sender::OnCameraFrame(size_t stream_index, const RawFrame& raw) {
                              " media=" + std::to_string(media.size()) +
                              " path=" + std::to_string(path));
 
-      auto& window = fec_window_[{path, frame.stream_id}];
+      auto& window = fec_window_[{path, frame.stream_id, frame.spatial_id}];
       for (const RtpPacket* p : media) window.push_back(*p);
       while (window.size() > kFecWindowPackets) window.pop_front();
 

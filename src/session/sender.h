@@ -10,6 +10,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "cc/cc_controller.h"
@@ -157,6 +158,9 @@ class Sender {
   };
 
   void OnCameraFrame(size_t stream_index, const RawFrame& raw);
+  // Packetizes, schedules, paces, and FEC-protects one encoded frame (one
+  // simulcast rung of a capture; called once per capture when unlayered).
+  void SendEncodedFrame(StreamState& stream, const EncodedFrame& frame);
   // Stamps multipath headers and hands the packet to the path's pacer.
   void DispatchToPacer(PathId path, const RtpPacket& packet);
   // Pacer output: bookkeeping + transmission into the network.
@@ -191,9 +195,12 @@ class Sender {
   // Legacy NACK lookup: (ssrc, media seq) -> (packet, original path).
   std::map<std::pair<uint32_t, uint16_t>, std::pair<RtpPacket, PathId>>
       ssrc_sent_;
-  // Sliding FEC windows: media of (path, stream) awaiting parity coverage.
+  // Sliding FEC windows: media of (path, stream, rung) awaiting parity
+  // coverage. Windowing per rung keeps every parity packet's covered set
+  // inside one rung, so a hub forwarding a single rung never strands
+  // parity across filtered packets.
   static constexpr size_t kFecWindowPackets = 48;
-  std::map<std::pair<PathId, int>, std::deque<RtpPacket>> fec_window_;
+  std::map<std::tuple<PathId, int, int>, std::deque<RtpPacket>> fec_window_;
   std::optional<RtpPacket> last_fast_packet_;  // probe duplication source
 
   DataRate encoder_target_ = DataRate::KilobitsPerSec(300);

@@ -211,6 +211,14 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
     w.Field("plis_relayed", d.forwarder.plis_relayed);
     w.Field("max_queue_bytes", d.forwarder.max_queue_bytes);
     w.Field("max_queue_delay_ms", d.forwarder.max_queue_delay_ms);
+    // Layered forwarding only: the rung fields are absent for single-layer
+    // calls, keeping seed-era fixtures byte-identical.
+    if (stats.simulcast_rungs > 1) {
+      w.Field("selected_rung", static_cast<int64_t>(d.selected_rung));
+      w.Field("layer_switches", d.forwarder.layer_switches);
+      w.Field("layer_packets_filtered", d.forwarder.layer_packets_filtered);
+      w.Field("padding_packets", d.forwarder.padding_packets);
+    }
     w.CloseObject();
   }
   w.CloseArray();
@@ -234,6 +242,12 @@ std::string ConferenceStatsToJson(const ConferenceStats& stats, int indent) {
     w.CloseObject();
   }
   w.CloseArray();
+
+  // Layer shape, layered calls only (absent otherwise, like num_hubs).
+  if (stats.simulcast_rungs > 1 || stats.temporal_layers > 1) {
+    w.Field("simulcast_rungs", static_cast<int64_t>(stats.simulcast_rungs));
+    w.Field("temporal_layers", static_cast<int64_t>(stats.temporal_layers));
+  }
 
   // Cascaded-fabric state, multi-hub only: the keys are absent entirely for
   // single-hub conferences (fixture byte-identity), not emitted empty.

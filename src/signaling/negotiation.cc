@@ -34,6 +34,8 @@ SessionDescription CreateOffer(const EndpointCapabilities& caps) {
   }
   offer.cc_algorithm = caps.cc_algorithm;
   offer.home_hub = caps.home_hub;
+  offer.simulcast_rungs = std::max(1, caps.simulcast_rungs);
+  offer.temporal_layers = std::max(1, caps.temporal_layers);
   return offer;
 }
 
@@ -55,6 +57,15 @@ SessionDescription CreateAnswer(const EndpointCapabilities& caps,
   if (offer.cc_algorithm != "gcc" && offer.cc_algorithm == caps.cc_algorithm) {
     answer.cc_algorithm = offer.cc_algorithm;
   }
+  // Layers: the answer carries the element-wise minimum of what the offer
+  // advertised and what we can do. A legacy offer parses as 1x1, so the
+  // answer stays silent and both sides run single-layer.
+  answer.simulcast_rungs =
+      std::min(std::max(1, offer.simulcast_rungs),
+               std::max(1, caps.simulcast_rungs));
+  answer.temporal_layers =
+      std::min(std::max(1, offer.temporal_layers),
+               std::max(1, caps.temporal_layers));
   return answer;
 }
 
@@ -98,6 +109,15 @@ NegotiatedSession Negotiate(const EndpointCapabilities& local,
   // The home-hub request also survives only through the serialized round
   // trip: a legacy offer never carries the attribute and parses as hub 0.
   if (offer_parsed.has_value()) session.home_hub = offer_parsed->home_hub;
+  // Layer capability: the answer already carries min(offer, answerer); a
+  // legacy endpoint on either side leaves the attribute out and the
+  // parsed default (1x1) wins.
+  if (offer_parsed.has_value() && answer_parsed.has_value()) {
+    session.simulcast_rungs = std::min(offer_parsed->simulcast_rungs,
+                                       answer_parsed->simulcast_rungs);
+    session.temporal_layers = std::min(offer_parsed->temporal_layers,
+                                       answer_parsed->temporal_layers);
+  }
   return session;
 }
 

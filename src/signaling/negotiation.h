@@ -67,6 +67,12 @@ struct EndpointCapabilities {
   // > 0 — legacy SDP stays byte-identical and a legacy endpoint (whose
   // offer never carries the attribute) lands on hub 0.
   int home_hub = 0;
+  // Layered-media capability, offered via `a=x-converge-layers:<S>x<T>`
+  // only when either dimension exceeds 1. The answer echoes the
+  // element-wise minimum of both sides; a legacy peer (whose SDP never
+  // carries the attribute) resolves the session to single-layer (1x1).
+  int simulcast_rungs = 1;
+  int temporal_layers = 1;
   std::vector<NetworkInterface> interfaces;
 };
 
@@ -82,6 +88,11 @@ struct NegotiatedSession {
   // the attribute was absent). NegotiateCascade validates it against the
   // fabric's hub count.
   int home_hub = 0;
+  // Layer capability both sides agreed on through the serialized round
+  // trip: min(offer, answer) per dimension, 1x1 when either side stayed
+  // silent (the legacy fallback).
+  int simulcast_rungs = 1;
+  int temporal_layers = 1;
   std::vector<CandidatePair> pairs;  // one per media path
 };
 

@@ -25,6 +25,10 @@ std::string SerializeSdp(const SessionDescription& desc) {
   if (desc.home_hub > 0) {
     out << "a=" << kHomeHubAttribute << ":" << desc.home_hub << "\r\n";
   }
+  if (desc.simulcast_rungs > 1 || desc.temporal_layers > 1) {
+    out << "a=" << kLayersAttribute << ":" << desc.simulcast_rungs << "x"
+        << desc.temporal_layers << "\r\n";
+  }
   for (const SdpMediaStream& s : desc.streams) {
     out << "a=ssrc:" << s.ssrc << " label:" << s.label << "\r\n";
   }
@@ -39,6 +43,8 @@ std::optional<SessionDescription> ParseSdp(const std::string& text) {
   desc.max_paths = 1;
   desc.cc_algorithm = "gcc";
   desc.home_hub = 0;
+  desc.simulcast_rungs = 1;
+  desc.temporal_layers = 1;
 
   bool saw_version = false;
   bool saw_media = false;
@@ -96,6 +102,18 @@ std::optional<SessionDescription> ParseSdp(const std::string& text) {
           desc.home_hub = std::atoi(
               value.c_str() + std::string(kHomeHubAttribute).size() + 1);
           if (desc.home_hub < 0) desc.home_hub = 0;
+        } else if (value.rfind(std::string(kLayersAttribute) + ":", 0) == 0) {
+          const char* spec =
+              value.c_str() + std::string(kLayersAttribute).size() + 1;
+          char* after = nullptr;
+          desc.simulcast_rungs =
+              static_cast<int>(std::strtol(spec, &after, 10));
+          if (after != nullptr && *after == 'x') {
+            desc.temporal_layers =
+                static_cast<int>(std::strtol(after + 1, nullptr, 10));
+          }
+          if (desc.simulcast_rungs < 1) desc.simulcast_rungs = 1;
+          if (desc.temporal_layers < 1) desc.temporal_layers = 1;
         } else if (value.rfind("ssrc:", 0) == 0) {
           SdpMediaStream stream;
           stream.ssrc = static_cast<uint32_t>(

@@ -38,6 +38,13 @@ struct SessionDescription {
   // byte-identical; a legacy endpoint ignores the attribute and lands on
   // hub 0.
   int home_hub = 0;
+  // Converge extension: layered-media capability, "<rungs>x<temporal>"
+  // (e.g. `a=x-converge-layers:3x1` = 3 simulcast rungs, no temporal SVC).
+  // Serialized only when either dimension exceeds 1, so legacy SDP — and
+  // every single-layer offer — stays byte-identical; a legacy endpoint
+  // ignores the attribute and the session resolves to single-layer.
+  int simulcast_rungs = 1;
+  int temporal_layers = 1;
   // RTP header extension URIs (the Appendix-B multipath extension).
   std::vector<std::string> header_extensions;
 };
@@ -52,6 +59,7 @@ std::optional<SessionDescription> ParseSdp(const std::string& text);
 inline constexpr char kMultipathAttribute[] = "x-converge-multipath";
 inline constexpr char kCcAttribute[] = "x-converge-cc";
 inline constexpr char kHomeHubAttribute[] = "x-converge-home-hub";
+inline constexpr char kLayersAttribute[] = "x-converge-layers";
 inline constexpr char kMultipathExtensionUri[] =
     "urn:x-converge:rtp-hdrext:multipath";
 

@@ -6,6 +6,25 @@
 #include "video/quality.h"
 
 namespace converge {
+namespace {
+
+// Dyadic temporal-layer id for the `gop_pos`-th frame after a keyframe:
+// the base layer (tid 0) runs at cadence/2^(T-1), each higher layer doubles
+// it. T=3 yields the classic [0, 2, 1, 2] pattern.
+int TemporalIdFor(int64_t gop_pos, int num_temporal) {
+  if (num_temporal <= 1) return 0;
+  const int64_t period = int64_t{1} << (num_temporal - 1);
+  int64_t idx = gop_pos % period;
+  if (idx == 0) return 0;
+  int tid = num_temporal - 1;
+  while ((idx & 1) == 0) {
+    idx >>= 1;
+    --tid;
+  }
+  return tid;
+}
+
+}  // namespace
 
 Encoder::Encoder(Config config, Random rng)
     : config_(config), rng_(rng), target_rate_(config.min_rate) {}
@@ -67,7 +86,9 @@ EncodedFrame Encoder::Encode(const RawFrame& raw) {
   if (keyframe) {
     ++gop_id_;
     ++keyframes_encoded_;
+    gop_pos_ = 0;
   }
+  ++gop_pos_;
   out.gop_id = gop_id_;
   out.kind = keyframe ? FrameKind::kKey : FrameKind::kDelta;
   out.encode_fps = fps;
@@ -85,6 +106,64 @@ EncodedFrame Encoder::Encode(const RawFrame& raw) {
   const int raw_qp =
       QpForBudget(budget_bits, out.width, out.height, raw.complexity);
   out.qp = std::min(kMaxQp, raw_qp + 11 * resolution_step_);
+  return out;
+}
+
+std::vector<EncodedFrame> Encoder::EncodeLayered(const RawFrame& raw) {
+  const int rungs = std::max(1, config_.simulcast_rungs);
+  const int temporal = std::max(1, config_.temporal_layers);
+  if (rungs == 1 && temporal == 1) return {Encode(raw)};
+
+  // Layered mode bypasses the sender-side adaptive ladder: the rung set IS
+  // the ladder, and the per-subscriber choice among rungs belongs to the
+  // hub (§ layer selection).
+  const bool keyframe = keyframe_requested_;
+  keyframe_requested_ = false;
+  if (keyframe) {
+    ++gop_id_;
+    ++keyframes_encoded_;
+    gop_pos_ = 0;
+  }
+  const int temporal_id = TemporalIdFor(gop_pos_, temporal);
+  ++gop_pos_;
+  const int64_t frame_id = next_frame_id_++;
+
+  const double fps = 30.0;
+  // Rung k halves the linear resolution k times, so its share of the
+  // target rate scales with pixel count: w_k ∝ 4^-k.
+  double weight_sum = 0.0;
+  for (int k = 0; k < rungs; ++k) weight_sum += std::pow(0.25, k);
+
+  std::vector<EncodedFrame> out;
+  out.reserve(static_cast<size_t>(rungs));
+  for (int k = 0; k < rungs; ++k) {
+    EncodedFrame f;
+    f.stream_id = raw.stream_id;
+    f.frame_id = frame_id;
+    f.gop_id = gop_id_;
+    f.kind = keyframe ? FrameKind::kKey : FrameKind::kDelta;
+    f.capture_time = raw.capture_time;
+    f.encode_fps = fps;
+    f.width = std::max(1, raw.width >> k);
+    f.height = std::max(1, raw.height >> k);
+    f.spatial_id = k;
+    f.num_spatial = rungs;
+    f.temporal_id = temporal_id;
+    f.num_temporal = temporal;
+
+    const double share = std::pow(0.25, k) / weight_sum;
+    const double budget_bits =
+        static_cast<double>(target_rate_.bps()) * share / fps;
+    const double factor = keyframe ? config_.keyframe_size_factor : 1.0;
+    const double noise = std::exp(rng_.Gaussian(0.0, config_.size_jitter));
+    const double bits =
+        std::max(8.0 * 200.0, budget_bits * factor * raw.complexity * noise);
+    f.size_bytes = static_cast<int64_t>(bits / 8.0);
+    const int raw_qp =
+        QpForBudget(budget_bits, f.width, f.height, raw.complexity);
+    f.qp = std::min(kMaxQp, raw_qp + 11 * k);
+    out.push_back(f);
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "util/random.h"
 #include "util/time.h"
@@ -28,6 +29,17 @@ class Encoder {
     // so switches are hysteretic and rate-limited.
     bool adapt_resolution = true;
     Duration min_resolution_dwell = Duration::Seconds(3.0);
+    // Layered encoding. simulcast_rungs > 1 makes EncodeLayered emit that
+    // many independently decodable rungs per capture (rung k halves the
+    // linear resolution k times and takes a 4^-k share of the target rate);
+    // the per-subscriber choice among them moves to the hub, so the
+    // sender-side adaptive ladder is bypassed in layered mode.
+    // temporal_layers > 1 stamps a dyadic temporal_id on every frame
+    // (metadata the SFU study's providers expose; no frames are withheld
+    // at the encoder). 1/1 reproduces the historical single-layer encode
+    // bit-for-bit, including the RNG draw sequence.
+    int simulcast_rungs = 1;
+    int temporal_layers = 1;
   };
 
   Encoder(Config config, Random rng);
@@ -41,6 +53,14 @@ class Encoder {
 
   // Encodes one captured frame.
   EncodedFrame Encode(const RawFrame& raw);
+
+  // Layered encode: one EncodedFrame per simulcast rung (rung 0 first), all
+  // sharing the capture's frame_id/gop_id and stamped with the dyadic
+  // temporal_id of this position in the GOP. A keyframe request keys every
+  // rung of the same capture, so a hub can switch rungs at that frame
+  // boundary without breaking the subscriber's decode chain. With the
+  // default 1-rung/1-temporal config this is exactly {Encode(raw)}.
+  std::vector<EncodedFrame> EncodeLayered(const RawFrame& raw);
 
   int64_t keyframes_encoded() const { return keyframes_encoded_; }
   int64_t frames_encoded() const { return next_frame_id_; }
@@ -57,6 +77,7 @@ class Encoder {
   bool keyframe_requested_ = true;  // first frame is always a key
   int64_t next_frame_id_ = 0;
   int64_t gop_id_ = -1;
+  int64_t gop_pos_ = 0;  // frames since the current GOP's keyframe
   int64_t keyframes_encoded_ = 0;
   int resolution_step_ = 0;
   Timestamp last_resolution_change_ = Timestamp::MinusInfinity();

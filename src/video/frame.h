@@ -19,10 +19,14 @@ struct RawFrame {
   double complexity = 1.0;
 };
 
-// Output of the encoder: a compressed key or delta frame.
+// Output of the encoder: a compressed key or delta frame. When the encoder
+// runs layered (simulcast rungs and/or temporal SVC), every rung of a
+// capture shares frame_id/gop_id/capture_time — a hub forwards exactly one
+// rung per frame_id, so the receiver's frame-id continuity contract holds
+// regardless of which rung it is subscribed to.
 struct EncodedFrame {
   int stream_id = 0;
-  int64_t frame_id = 0;  // monotone per stream
+  int64_t frame_id = 0;  // monotone per stream, shared across rungs
   int64_t gop_id = 0;    // increments at each keyframe
   FrameKind kind = FrameKind::kDelta;
   int64_t size_bytes = 0;
@@ -31,6 +35,11 @@ struct EncodedFrame {
   Timestamp capture_time;
   int width = 1280;
   int height = 720;
+  // Layer coordinates. Single-layer encodes leave the defaults (0 of 1).
+  int spatial_id = 0;     // simulcast rung, 0 = highest quality
+  int num_spatial = 1;
+  int temporal_id = 0;    // dyadic temporal layer, 0 = base cadence
+  int num_temporal = 1;
 };
 
 // A frame rebuilt by the receiver and handed to the decoder.
@@ -48,6 +57,10 @@ struct AssembledFrame {
   int packets = 0;
   int recovered_by_fec = 0;         // packets restored by XOR recovery
   int recovered_by_rtx = 0;         // packets restored via NACK/RTX
+  // Layer coordinates of the rung that reached this receiver (hub-selected
+  // on a star downlink; always 0/1 for single-layer senders).
+  int spatial_id = 0;
+  int temporal_id = 0;
 };
 
 // A frame the decoder rendered.

@@ -24,6 +24,10 @@ std::vector<RtpPacket> Packetizer::Packetize(const EncodedFrame& frame) {
     p.gop_id = frame.gop_id;
     p.payload_bytes = payload;
     p.capture_time = frame.capture_time;
+    p.spatial_id = static_cast<uint8_t>(frame.spatial_id);
+    p.num_spatial = static_cast<uint8_t>(frame.num_spatial);
+    p.temporal_id = static_cast<uint8_t>(frame.temporal_id);
+    p.num_temporal = static_cast<uint8_t>(frame.num_temporal);
     return p;
   };
 

@@ -373,6 +373,67 @@ TEST(ConferenceStarTest, ConstrainedDownlinkConvergesAndIsolatesOthers) {
   }
 }
 
+// The PR 10 acceptance scenario: the same 1 Mbps vs 10 Mbps heterogeneous
+// star, but with the publisher encoding three simulcast rungs and the hub
+// doing per-receiver rung selection instead of whole-frame thinning. The
+// slow receiver must lock to a lower rung at (essentially) full frame
+// rate — no thinning-induced fps collapse — while the fast receivers stay
+// within 5% of the source fps they get in an unconstrained run.
+TEST(ConferenceStarTest, LayeredSlowDownlinkLocksLowerRungAtFullFps) {
+  const Duration duration = Duration::Seconds(12);
+  ConferenceConfig layered = ConstrainedStarConfig(1.0, duration, 42);
+  layered.simulcast_rungs = 3;
+  Conference constrained(layered);
+  const ConferenceStats stats = constrained.Run();
+  ConferenceConfig unconstrained_cfg = ConstrainedStarConfig(10.0, duration, 42);
+  unconstrained_cfg.simulcast_rungs = 3;
+  Conference unconstrained(unconstrained_cfg);
+  const ConferenceStats baseline = unconstrained.Run();
+
+  EXPECT_EQ(stats.simulcast_rungs, 3);
+
+  // Slow receiver: locked to a lower rung, with switches committed and
+  // unsubscribed rungs filtered (selection, not loss).
+  int slow_rung = 0;
+  int64_t slow_switches = 0;
+  int64_t slow_filtered = 0;
+  int64_t slow_thinned = 0;
+  for (const ConferenceStats::Downlink& d : stats.downlinks) {
+    if (d.receiver != 3) continue;
+    slow_rung = std::max(slow_rung, d.selected_rung);
+    slow_switches += d.forwarder.layer_switches;
+    slow_filtered += d.forwarder.layer_packets_filtered;
+    slow_thinned += d.forwarder.frames_thinned;
+  }
+  EXPECT_GE(slow_rung, 1);
+  EXPECT_GE(slow_switches, 1);
+  EXPECT_GT(slow_filtered, 0);
+
+  // Full fps on the lower rung: within 5% of the receiver's own
+  // unconstrained fps. This is the envelope whole-frame thinning cannot
+  // meet (the PR 5 test above pins its fps collapse).
+  const double slow_fps = stats.participants[3].avg_fps;
+  const double slow_base = baseline.participants[3].avg_fps;
+  EXPECT_GT(slow_base, 20.0);
+  EXPECT_GT(slow_fps, slow_base * 0.95)
+      << "rung selection failed to hold full fps on the slow downlink";
+  // Selection converged: thinning (the overload backstop) stayed rare
+  // instead of running continuously like the single-layer hub.
+  EXPECT_LT(slow_thinned, 30);
+
+  // Fast receivers: within 5% of their unconstrained QoE, on the top rung.
+  for (int p = 1; p <= 2; ++p) {
+    const double fps = stats.participants[static_cast<size_t>(p)].avg_fps;
+    const double base = baseline.participants[static_cast<size_t>(p)].avg_fps;
+    EXPECT_GT(base, 20.0) << "participant " << p;
+    EXPECT_GT(fps, base * 0.95) << "participant " << p;
+  }
+  for (const ConferenceStats::Downlink& d : stats.downlinks) {
+    if (d.receiver == 3) continue;
+    EXPECT_EQ(d.selected_rung, 0) << "receiver " << d.receiver;
+  }
+}
+
 // Regression for the ForwardsUpstream audit: downlink feedback must
 // terminate at the hub. With heavily lossy downlinks and clean uplinks,
 // the origin sender's per-path loss estimate (fed only by the hub's

@@ -146,6 +146,182 @@ TEST(HubForwarderTest, GateReopensOnKeyframe) {
   EXPECT_EQ(h.delivered[1].packet.frame_id, 3);
 }
 
+RtpPacket LayeredPacket(uint32_t ssrc, uint16_t seq, int64_t frame_id,
+                        FrameKind kind, int spatial, int num_spatial,
+                        int64_t bytes) {
+  RtpPacket p = MediaPacket(ssrc, seq, frame_id, kind, bytes);
+  p.spatial_id = static_cast<uint8_t>(spatial);
+  p.num_spatial = static_cast<uint8_t>(num_spatial);
+  return p;
+}
+
+TEST(HubForwarderTest, LayeredFiltersUnsubscribedRungsWithoutSeqGaps) {
+  HubForwarder::Config config = FastConfig(10.0);
+  config.layers.enabled = true;
+  config.layers.alr_padding = false;  // pin the egress sequence exactly
+  Harness h(config);
+  // Two rungs per capture, plenty of downlink budget: the default rung-0
+  // subscription holds, rung 1 is filtered at ingress, and the hub-stamped
+  // egress sequence space stays gap-free (filtering is selection, not
+  // loss — the receiver must never see anything to NACK-chase).
+  uint16_t seq = 0;
+  for (int64_t frame = 0; frame < 10; ++frame) {
+    const FrameKind kind = frame == 0 ? FrameKind::kKey : FrameKind::kDelta;
+    h.forwarder.OnMediaFromUplink(
+        0, 0, LayeredPacket(0x10, seq++, frame, kind, 0, 2, 1000));
+    h.forwarder.OnMediaFromUplink(
+        0, 0, LayeredPacket(0x10, seq++, frame, kind, 1, 2, 300));
+    h.loop.RunUntil(h.loop.now() + Duration::Millis(33));
+  }
+  h.loop.RunUntil(h.loop.now() + Duration::Millis(200));
+
+  ASSERT_EQ(h.delivered.size(), 10u);
+  for (size_t i = 0; i < h.delivered.size(); ++i) {
+    EXPECT_EQ(h.delivered[i].packet.spatial_id, 0);
+    EXPECT_EQ(h.delivered[i].packet.frame_id, static_cast<int64_t>(i));
+    EXPECT_EQ(h.delivered[i].packet.mp_seq, static_cast<uint16_t>(i));
+  }
+  const HubForwarder::DownlinkStats& stats = h.forwarder.stats(0);
+  EXPECT_EQ(stats.layer_packets_filtered, 10);
+  EXPECT_EQ(stats.frames_thinned, 0);
+  EXPECT_EQ(stats.packets_dropped, 0);
+  EXPECT_EQ(h.forwarder.selected_rung(0, 0), 0);
+  EXPECT_EQ(h.forwarder.max_selected_rung(), 0);
+}
+
+TEST(HubForwarderTest, LayeredDownswitchCommitsAtKeyframeWithFullFps) {
+  // 500 kbps downlink, rung 0 at ~700 kbps, rung 1 at ~96 kbps: the
+  // selection engine must ask for a downswitch (debounced PLI), commit it
+  // on the next keyframe, and keep EVERY frame_id flowing — no
+  // whole-frame thinning, which is the whole point of rung selection.
+  HubForwarder::Config config = FastConfig(0.5);
+  config.layers.enabled = true;
+  config.layers.alr_padding = false;  // pin the egress sequence exactly
+  Harness h(config);
+  uint16_t seq = 0;
+  int64_t frame = 0;
+  for (int tick = 0; tick < 30; ++tick) {
+    // The hub's switch PLI reaches the origin, which keys ALL rungs of a
+    // later capture; model that with a keyframe once the PLI arrives.
+    const FrameKind kind = (frame == 0 || (frame == 10 && !h.plis.empty()))
+                               ? FrameKind::kKey
+                               : FrameKind::kDelta;
+    h.forwarder.OnMediaFromUplink(
+        0, 0, LayeredPacket(0x10, seq++, frame, kind, 0, 2, 2917));
+    h.forwarder.OnMediaFromUplink(
+        0, 0, LayeredPacket(0x10, seq++, frame, kind, 1, 2, 400));
+    ++frame;
+    h.loop.RunUntil(h.loop.now() + Duration::Millis(33));
+  }
+  h.loop.RunUntil(h.loop.now() + Duration::Seconds(2));
+
+  // The switch was requested upstream and committed exactly once.
+  ASSERT_FALSE(h.plis.empty());
+  const HubForwarder::DownlinkStats& stats = h.forwarder.stats(0);
+  EXPECT_EQ(stats.layer_switches, 1);
+  EXPECT_EQ(h.forwarder.selected_rung(0, 0), 1);
+  EXPECT_EQ(h.forwarder.max_selected_rung(), 1);
+
+  // Full fps: every frame_id went downstream exactly once, rung 0 before
+  // the commit and rung 1 from the keyframe on; nothing was thinned.
+  EXPECT_EQ(stats.frames_thinned, 0);
+  ASSERT_EQ(h.delivered.size(), 30u);
+  for (size_t i = 0; i < h.delivered.size(); ++i) {
+    EXPECT_EQ(h.delivered[i].packet.frame_id, static_cast<int64_t>(i));
+    EXPECT_EQ(h.delivered[i].packet.mp_seq, static_cast<uint16_t>(i));
+    EXPECT_EQ(h.delivered[i].packet.spatial_id, i < 10 ? 0 : 1);
+  }
+}
+
+TEST(HubForwarderTest, LayeredUpswitchIsDwellGatedAndKeyframeCommitted) {
+  HubForwarder::Config config = FastConfig(0.5);
+  config.layers.enabled = true;
+  config.layers.alr_padding = false;  // delivered[] must be media only
+  config.layers.min_dwell = Duration::Seconds(1);
+  Harness h(config);
+  uint16_t seq = 0;
+  int64_t frame = 0;
+  int64_t switches_seen = 0;
+  // Phase A: rung 0 overruns -> downswitch. Phase B: rung 0 collapses to
+  // ~60 kbps -> upswitch, but only after the blended estimate decays AND
+  // the 1 s dwell passes. Periodic keyframes give pending switches their
+  // commit points.
+  for (int tick = 0; tick < 120; ++tick) {
+    const bool phase_a = tick < 15;
+    const FrameKind kind =
+        (frame % 15 == 0) ? FrameKind::kKey : FrameKind::kDelta;
+    h.forwarder.OnMediaFromUplink(
+        0, 0,
+        LayeredPacket(0x10, seq++, frame, kind, 0, 2, phase_a ? 2917 : 250));
+    h.forwarder.OnMediaFromUplink(
+        0, 0, LayeredPacket(0x10, seq++, frame, kind, 1, 2, 400));
+    ++frame;
+    if (h.forwarder.stats(0).layer_switches > switches_seen) {
+      switches_seen = h.forwarder.stats(0).layer_switches;
+      if (switches_seen == 1) {
+        // Downswitch committed; it must NOT bounce back before the dwell.
+        EXPECT_EQ(h.forwarder.selected_rung(0, 0), 1);
+      }
+    }
+    h.loop.RunUntil(h.loop.now() + Duration::Millis(33));
+  }
+  h.loop.RunUntil(h.loop.now() + Duration::Seconds(1));
+
+  const HubForwarder::DownlinkStats& stats = h.forwarder.stats(0);
+  EXPECT_EQ(stats.layer_switches, 2);
+  EXPECT_EQ(h.forwarder.selected_rung(0, 0), 0);
+  EXPECT_EQ(stats.frames_thinned, 0);
+  // Every capture still went downstream exactly once.
+  ASSERT_EQ(h.delivered.size(), 120u);
+  for (size_t i = 0; i < h.delivered.size(); ++i) {
+    EXPECT_EQ(h.delivered[i].packet.frame_id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(HubForwarderTest, LayeredAlrPaddingFillsToTargetWithProbeDuplicates) {
+  // Forwarding only the selected rung leaves the path application-limited;
+  // with padding on, the hub fills up to the CC target with kProbe
+  // duplicates that share the gap-free egress sequence space (receivers
+  // ack them in transport feedback but never assemble them).
+  HubForwarder::Config config = FastConfig(1.0);
+  config.layers.enabled = true;  // alr_padding defaults to true
+  // Shrink the warm-up so this 2 s capture also pins it: no probes until
+  // the path has carried media for ~10 frames.
+  config.layers.padding_warmup = Duration::Millis(330);
+  Harness h(config);
+  uint16_t seq = 0;
+  for (int64_t frame = 0; frame < 60; ++frame) {
+    const FrameKind kind = frame == 0 ? FrameKind::kKey : FrameKind::kDelta;
+    // ~120 kbps of media against a 1 Mbps target: heavily app-limited.
+    h.forwarder.OnMediaFromUplink(
+        0, 0, LayeredPacket(0x10, seq++, frame, kind, 0, 2, 500));
+    h.forwarder.OnMediaFromUplink(
+        0, 0, LayeredPacket(0x10, seq++, frame, kind, 1, 2, 200));
+    h.loop.RunUntil(h.loop.now() + Duration::Millis(33));
+  }
+
+  int64_t media = 0, probes = 0;
+  uint16_t expect_seq = 0;
+  for (const Delivered& d : h.delivered) {
+    EXPECT_EQ(d.packet.mp_seq, expect_seq++);  // padding shares the space
+    if (d.packet.kind == PayloadKind::kProbe) {
+      EXPECT_TRUE(d.packet.is_probe_duplicate);
+      // Warm-up: padding must not start before the path has carried
+      // media for padding_warmup (~10 frames here).
+      EXPECT_GE(media, 10) << "probe before the warm-up elapsed";
+      ++probes;
+    } else {
+      EXPECT_FALSE(d.packet.is_probe_duplicate);
+      ++media;
+    }
+  }
+  EXPECT_EQ(media, 60);  // one rung-0 packet per capture, nothing thinned
+  EXPECT_GT(probes, 100);  // the ~880 kbps gap is real padding on the wire
+  const HubForwarder::DownlinkStats& stats = h.forwarder.stats(0);
+  EXPECT_EQ(stats.padding_packets, probes);
+  EXPECT_EQ(stats.packets_forwarded, media);  // padding is not "forwarded"
+}
+
 TEST(HubForwarderTest, EvictionIsOldestFirstAndKeyframeProtected) {
   // Rate so low nothing drains: eviction policy alone shapes the queue.
   HubForwarder::Config config;

@@ -67,6 +67,53 @@ TEST(RtpPacketTest, SerializeParseRoundTrip) {
   EXPECT_EQ(out.mp_transport_seq, 0x5678);
 }
 
+TEST(RtpPacketTest, LayeredHeaderRoundTripsWithoutGrowingTheWire) {
+  RtpPacket p;
+  p.ssrc = 0x1234;
+  p.seq = 77;
+  p.spatial_id = 2;
+  p.num_spatial = 3;
+  p.temporal_id = 1;
+  p.num_temporal = 2;
+
+  const std::vector<uint8_t> wire = SerializeRtpHeader(p);
+  // The layers element rides in the extension block's existing padding:
+  // layered and unlayered headers serialize to the same size, so wire_size
+  // accounting (and every byte-pinned fixture) is unchanged.
+  EXPECT_EQ(wire.size(),
+            static_cast<size_t>(kRtpHeaderBytes + kMultipathExtensionBytes));
+
+  RtpPacket out;
+  ASSERT_TRUE(ParseRtpHeader(wire, &out));
+  EXPECT_EQ(out.spatial_id, 2);
+  EXPECT_EQ(out.num_spatial, 3);
+  EXPECT_EQ(out.temporal_id, 1);
+  EXPECT_EQ(out.num_temporal, 2);
+}
+
+TEST(RtpPacketTest, UnlayeredHeaderBytesAreUnchangedAndParseToDefaults) {
+  // Single-layer packets must not emit the layers element at all: the
+  // serialized bytes are identical to the pre-layers wire format.
+  RtpPacket p;
+  p.ssrc = 0xDEAD;
+  p.seq = 42;
+  const std::vector<uint8_t> wire = SerializeRtpHeader(p);
+
+  RtpPacket layered = p;
+  layered.num_spatial = 1;
+  layered.num_temporal = 1;
+  layered.spatial_id = 0;
+  layered.temporal_id = 0;
+  EXPECT_EQ(SerializeRtpHeader(layered), wire);
+
+  RtpPacket out;
+  ASSERT_TRUE(ParseRtpHeader(wire, &out));
+  EXPECT_EQ(out.spatial_id, 0);
+  EXPECT_EQ(out.num_spatial, 1);
+  EXPECT_EQ(out.temporal_id, 0);
+  EXPECT_EQ(out.num_temporal, 1);
+}
+
 TEST(RtpPacketTest, ParseRejectsTruncatedBuffer) {
   RtpPacket p;
   std::vector<uint8_t> wire = SerializeRtpHeader(p);

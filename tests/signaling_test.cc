@@ -380,6 +380,65 @@ TEST(SdpTest, HomeHubAttributeRoundTrips) {
   EXPECT_EQ(parsed->home_hub, 2);
 }
 
+TEST(SdpTest, DefaultLayersOmitAttributeForByteCompat) {
+  // Single-layer descriptions never carry the layers attribute, so the
+  // serialized SDP is byte-identical to the pre-layers format; a legacy
+  // description parses back to 1x1.
+  SessionDescription desc;
+  const std::string text = SerializeSdp(desc);
+  EXPECT_EQ(text.find(kLayersAttribute), std::string::npos);
+  const auto parsed = ParseSdp(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->simulcast_rungs, 1);
+  EXPECT_EQ(parsed->temporal_layers, 1);
+}
+
+TEST(SdpTest, LayersAttributeRoundTrips) {
+  SessionDescription desc;
+  desc.simulcast_rungs = 3;
+  desc.temporal_layers = 2;
+  const std::string text = SerializeSdp(desc);
+  EXPECT_NE(text.find("a=x-converge-layers:3x2"), std::string::npos);
+  const auto parsed = ParseSdp(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->simulcast_rungs, 3);
+  EXPECT_EQ(parsed->temporal_layers, 2);
+}
+
+TEST(NegotiationTest, LayersResolveToElementWiseMinimum) {
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  a.simulcast_rungs = 3;
+  a.temporal_layers = 2;
+  EndpointCapabilities b = a;
+  b.simulcast_rungs = 2;
+  b.temporal_layers = 3;
+  const NegotiatedSession session = Negotiate(a, b);
+  EXPECT_EQ(session.simulcast_rungs, 2);
+  EXPECT_EQ(session.temporal_layers, 2);
+}
+
+TEST(NegotiationTest, LegacyPeerFallsBackToSingleLayer) {
+  // A legacy answerer never echoes the attribute: both sides land on 1x1
+  // however many rungs the offer advertised.
+  EndpointCapabilities a;
+  a.interfaces = DualInterfaces();
+  a.simulcast_rungs = 3;
+  a.temporal_layers = 3;
+  EndpointCapabilities legacy;
+  legacy.interfaces = DualInterfaces();
+  const NegotiatedSession session = Negotiate(a, legacy);
+  EXPECT_EQ(session.simulcast_rungs, 1);
+  EXPECT_EQ(session.temporal_layers, 1);
+
+  const SessionDescription offer = CreateOffer(a);
+  EXPECT_EQ(offer.simulcast_rungs, 3);
+  const SessionDescription answer = CreateAnswer(legacy, offer);
+  EXPECT_EQ(answer.simulcast_rungs, 1);
+  // The 1x1 answer stays byte-silent about layers entirely.
+  EXPECT_EQ(SerializeSdp(answer).find(kLayersAttribute), std::string::npos);
+}
+
 TEST(NegotiationTest, CascadePlanHonorsValidPinsAndDefaultsLegacy) {
   EndpointCapabilities forwarder;
   forwarder.interfaces = DualInterfaces();

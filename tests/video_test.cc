@@ -177,6 +177,115 @@ TEST(EncoderTest, RateClampedToConfiguredRange) {
   EXPECT_EQ(enc.target_rate(), DataRate::KilobitsPerSec(100));
 }
 
+TEST(EncoderTest, LayeredSingleConfigIsExactlyLegacyEncode) {
+  // 1 rung / 1 temporal layer must reproduce Encode() bit-for-bit,
+  // including the RNG draw sequence — this is what keeps every unlayered
+  // pipeline byte-identical when it routes through EncodeLayered.
+  Encoder legacy({}, Random(7));
+  Encoder layered({}, Random(7));
+  legacy.SetTargetRate(DataRate::MegabitsPerSec(2.0));
+  layered.SetTargetRate(DataRate::MegabitsPerSec(2.0));
+  for (int64_t n = 0; n < 20; ++n) {
+    if (n == 9) {
+      legacy.RequestKeyframe();
+      layered.RequestKeyframe();
+    }
+    const EncodedFrame a = legacy.Encode(MakeRaw(n));
+    const std::vector<EncodedFrame> b = layered.EncodeLayered(MakeRaw(n));
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0].frame_id, a.frame_id);
+    EXPECT_EQ(b[0].kind, a.kind);
+    EXPECT_EQ(b[0].size_bytes, a.size_bytes);
+    EXPECT_EQ(b[0].qp, a.qp);
+    EXPECT_EQ(b[0].width, a.width);
+    EXPECT_EQ(b[0].spatial_id, 0);
+    EXPECT_EQ(b[0].num_spatial, 1);
+  }
+}
+
+TEST(EncoderTest, SimulcastRungsShareFrameIdAndKeyTogether) {
+  Encoder::Config c;
+  c.simulcast_rungs = 3;
+  c.size_jitter = 0.0;
+  Encoder enc(c, Random(3));
+  enc.SetTargetRate(DataRate::MegabitsPerSec(3.0));
+
+  RawFrame raw = MakeRaw(0);
+  raw.width = 1280;
+  raw.height = 720;
+  const std::vector<EncodedFrame> key = enc.EncodeLayered(raw);
+  ASSERT_EQ(key.size(), 3u);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(key[static_cast<size_t>(k)].frame_id, 0);
+    EXPECT_EQ(key[static_cast<size_t>(k)].kind, FrameKind::kKey);
+    EXPECT_EQ(key[static_cast<size_t>(k)].spatial_id, k);
+    EXPECT_EQ(key[static_cast<size_t>(k)].num_spatial, 3);
+    EXPECT_EQ(key[static_cast<size_t>(k)].width, 1280 >> k);
+  }
+  // One keyframe event, not three.
+  EXPECT_EQ(enc.keyframes_encoded(), 1);
+
+  // Rung sizes follow the 4^-k rate split (jitter disabled), and every
+  // rung of a later capture shares the next frame_id.
+  EXPECT_GT(key[0].size_bytes, key[1].size_bytes);
+  EXPECT_GT(key[1].size_bytes, key[2].size_bytes);
+  const std::vector<EncodedFrame> delta = enc.EncodeLayered(MakeRaw(1));
+  ASSERT_EQ(delta.size(), 3u);
+  for (const EncodedFrame& f : delta) {
+    EXPECT_EQ(f.frame_id, 1);
+    EXPECT_EQ(f.kind, FrameKind::kDelta);
+    EXPECT_EQ(f.gop_id, 0);
+  }
+  // A mid-GOP keyframe request keys EVERY rung of the same capture — the
+  // decodable boundary a hub rung switch commits at.
+  enc.RequestKeyframe();
+  const std::vector<EncodedFrame> rekey = enc.EncodeLayered(MakeRaw(2));
+  for (const EncodedFrame& f : rekey) {
+    EXPECT_EQ(f.kind, FrameKind::kKey);
+    EXPECT_EQ(f.gop_id, 1);
+  }
+}
+
+TEST(EncoderTest, TemporalIdsFollowDyadicPattern) {
+  Encoder::Config c;
+  c.temporal_layers = 3;
+  Encoder enc(c, Random(4));
+  // T=3: period-4 pattern [0, 2, 1, 2] from each keyframe.
+  const int expected[] = {0, 2, 1, 2, 0, 2, 1, 2};
+  for (int64_t n = 0; n < 8; ++n) {
+    const std::vector<EncodedFrame> out = enc.EncodeLayered(MakeRaw(n));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].temporal_id, expected[n]) << "frame " << n;
+    EXPECT_EQ(out[0].num_temporal, 3);
+  }
+  // A keyframe restarts the GOP, so the pattern restarts at tid 0.
+  enc.RequestKeyframe();
+  const std::vector<EncodedFrame> key = enc.EncodeLayered(MakeRaw(8));
+  EXPECT_EQ(key[0].temporal_id, 0);
+  const std::vector<EncodedFrame> next = enc.EncodeLayered(MakeRaw(9));
+  EXPECT_EQ(next[0].temporal_id, 2);
+}
+
+TEST(PacketizerTest, CarriesLayerMetadataOntoEveryPacket) {
+  Packetizer pkt({.ssrc = 0x42});
+  EncodedFrame frame;
+  frame.kind = FrameKind::kKey;
+  frame.size_bytes = 2500;
+  frame.frame_id = 7;
+  frame.spatial_id = 1;
+  frame.num_spatial = 3;
+  frame.temporal_id = 2;
+  frame.num_temporal = 3;
+  const auto packets = pkt.Packetize(frame);
+  ASSERT_FALSE(packets.empty());
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.spatial_id, 1);
+    EXPECT_EQ(p.num_spatial, 3);
+    EXPECT_EQ(p.temporal_id, 2);
+    EXPECT_EQ(p.num_temporal, 3);
+  }
+}
+
 TEST(QualityTest, QpMonotoneInBudget) {
   const int qp_rich = QpForBudget(400000, 1280, 720);
   const int qp_poor = QpForBudget(40000, 1280, 720);
